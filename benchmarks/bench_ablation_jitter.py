@@ -1,0 +1,79 @@
+"""Ablation: stability of the constructions under placement jitter.
+
+Not a paper table — a robustness study motivated by the paper's smooth
+tradeoff claim (Figure 9): if the cost/path surfaces are smooth in eps,
+they should also be stable under small placement perturbations, which
+is what a physical-design flow needs (placements move late).  We jitter
+sink coordinates by up to 1%/2%/5% of the net span and measure how the
+mean cost moves for BKRUS, BPRIM and BKST at eps = 0.2.
+"""
+
+from repro.algorithms.bkrus import bkrus
+from repro.algorithms.bprim import bprim_vectorized
+from repro.analysis.robustness import jitter_study
+from repro.analysis.tables import format_table
+from repro.instances.random_nets import random_net
+from repro.steiner.bkst import bkst
+
+from conftest import emit
+
+EPS = 0.2
+MAGNITUDES = (10.0, 20.0, 50.0)  # the nets live in a 1000 x 1000 box
+NET = random_net(10, 123)
+
+
+class _SteinerAdapter:
+    """Give SteinerTree the RoutingTree-like surface jitter_study needs."""
+
+    def __init__(self, tree):
+        self.cost = tree.cost
+        self._radius = tree.longest_sink_path()
+
+    def longest_source_path(self):
+        return self._radius
+
+
+def build_jitter_table():
+    rows = []
+    constructions = (
+        ("bkrus", lambda net: bkrus(net, EPS)),
+        ("bprim", lambda net: bprim_vectorized(net, EPS)),
+        ("bkst", lambda net: _SteinerAdapter(bkst(net, EPS))),
+    )
+    for name, construct in constructions:
+        for report in jitter_study(NET, construct, MAGNITUDES, draws=8):
+            rows.append(
+                (
+                    name,
+                    report.magnitude,
+                    report.mean_cost_ratio,
+                    report.max_cost_ratio,
+                    report.mean_radius_ratio,
+                )
+            )
+    return rows
+
+
+def test_ablation_jitter(benchmark, results_dir):
+    rows = benchmark.pedantic(build_jitter_table, rounds=1)
+    text = format_table(
+        [
+            "algorithm",
+            "jitter",
+            "mean cost ratio",
+            "max cost ratio",
+            "mean radius/R",
+        ],
+        rows,
+        title=f"Jitter stability at eps = {EPS} on {NET.name} "
+        "(cost ratios vs the unjittered tree)",
+    )
+    emit(results_dir, "ablation_jitter.txt", text)
+
+    for name, magnitude, mean_ratio, max_ratio, radius_ratio in rows:
+        # Bounded constructions stay bounded under jitter...
+        assert radius_ratio <= 1.0 + EPS + 1e-6
+        # ...and costs move proportionally, not catastrophically:
+        # 5% coordinate jitter should move mean cost well under 25%.
+        assert abs(mean_ratio - 1.0) <= 0.25
+        assert max_ratio <= 1.5

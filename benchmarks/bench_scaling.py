@@ -1,0 +1,69 @@
+"""Empirical complexity check: BKRUS runtime scaling.
+
+Section 3.1 proves BKRUS is O(V^3).  This regression guard measures the
+construction's wall time over growing uniform-random nets and fits the
+log-log slope: it should sit near 3 and must stay below 4 (a quartic
+blow-up would mean the Merge block updates or the feasibility scan lost
+their vectorisation).
+"""
+
+import math
+import time
+
+from repro.algorithms.bkrus import bkrus
+from repro.analysis.tables import format_table
+from repro.instances.random_nets import random_net
+
+from conftest import emit
+
+SIZES = (20, 40, 80, 160)
+EPS = 0.1
+REPEATS = 3
+
+
+def measure(size: int) -> float:
+    best = math.inf
+    for repeat in range(REPEATS):
+        net = random_net(size, 4242 + repeat)
+        start = time.perf_counter()
+        bkrus(net, EPS)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def build_scaling_table():
+    rows = []
+    previous = None
+    for size in SIZES:
+        seconds = measure(size)
+        slope = None
+        if previous is not None:
+            prev_size, prev_seconds = previous
+            slope = math.log(seconds / prev_seconds) / math.log(
+                size / prev_size
+            )
+        rows.append((size, seconds * 1000, slope))
+        previous = (size, seconds)
+    return rows
+
+
+def test_bkrus_scaling(benchmark, results_dir):
+    rows = benchmark.pedantic(build_scaling_table, rounds=1)
+    text = format_table(
+        ["sinks", "best-of-3 ms", "log-log slope vs previous"],
+        rows,
+        title=f"BKRUS runtime scaling at eps = {EPS} (theory: O(V^3))",
+    )
+    emit(results_dir, "scaling.txt", text)
+
+    # The fitted slope between the two largest sizes is the cleanest
+    # signal (constant overheads dominate the small ones).
+    final_slope = rows[-1][2]
+    assert final_slope is not None
+    assert final_slope < 4.0, "BKRUS scaling regressed beyond cubic"
+
+
+def test_bkrus_kernel(benchmark):
+    """Absolute-time anchor for the 80-sink construction."""
+    net = random_net(80, 99)
+    benchmark(lambda: bkrus(net, EPS).cost)

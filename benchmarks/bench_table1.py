@@ -1,0 +1,31 @@
+"""Table 1 — characteristics of the benchmark instances.
+
+Paper columns: bench, # of pts, # of edges, R, r.  The p* rows match
+the paper exactly (the generators are calibrated to Table 1); the
+pr*/r* rows are synthetic analogues whose R is calibrated and whose r
+follows from the placement class (see DESIGN.md substitutions).
+"""
+
+from repro.analysis.paper_tables import table1_rows as build_table
+from repro.analysis.tables import format_table
+from repro.instances.large import LARGE_SPECS
+
+from conftest import emit
+
+
+def test_table1(benchmark, results_dir, bench_sinks, bench_full):
+    scale = 1.0 if bench_full else bench_sinks / LARGE_SPECS["r5"].num_points
+    rows = benchmark.pedantic(build_table, args=(min(scale * 8, 1.0),), rounds=1)
+    text = format_table(
+        ["bench", "# of pts", "# of edges", "R", "r"],
+        rows,
+        precision=1,
+        title="Table 1: Characteristics of Benchmarks "
+        "(pr*/r* rows are scaled synthetic analogues)",
+    )
+    emit(results_dir, "table1.txt", text)
+    # Paper-shape assertions: p* signatures are exact.
+    by_name = {row[0]: row for row in rows}
+    assert by_name["p1"][1] == 6 and abs(by_name["p1"][3] - 20.4) < 1e-6
+    assert by_name["p3"][1] == 17 and abs(by_name["p3"][3] - 16.0) < 1e-6
+    assert by_name["p4"][1] == 31

@@ -1,0 +1,65 @@
+"""Table 4 — cost over MST on random nets (benchmark set 4).
+
+Paper: 50 random cases per size in {5, 8, 10, 12, 15}; columns are the
+average/max perf ratio of BPRIM, BRBC (max only), BKRUS, BKH2, BMST_G
+and min/ave/max of BKST over eps in {0, .1, .2, .3, .4, .5, 1}.
+
+Expected shape (asserted below):
+
+* ave(BKRUS) <= ave(BPRIM) at every (size, eps) — the 17-21% reductions;
+* ave(BKH2) <= ave(BKRUS) <= a few % above the exact;
+* BKST average sits below 1.0 for moderate eps (Steiner beats the MST
+  reference itself) and its min column dips well below 1;
+* ratios shrink monotonically in eps.
+
+Default is 10 cases per size (REPRO_BENCH_CASES=50 for the paper's
+count).  The exact column uses ordered enumeration with a tree budget
+and falls back to depth-4 BKEX (99.7% optimal per the paper's study).
+"""
+
+from repro.analysis.paper_tables import table4_rows as build_table4
+from repro.analysis.tables import format_table
+
+from conftest import emit
+
+SIZES = (5, 8, 10, 12, 15)
+
+
+def test_table4(benchmark, results_dir, bench_cases):
+    rows = benchmark.pedantic(build_table4, args=(bench_cases,), rounds=1)
+    text = format_table(
+        [
+            "size",
+            "eps",
+            "BPRIM ave",
+            "BPRIM max",
+            "BRBC max",
+            "BKRUS ave",
+            "BKRUS max",
+            "BKH2 ave",
+            "BMST_G ave",
+            "BKST min",
+            "BKST ave",
+            "BKST max",
+        ],
+        rows,
+        title=f"Table 4: routing cost over MST, {bench_cases} random cases "
+        "per size (paper: 50)",
+    )
+    emit(results_dir, "table4.txt", text)
+
+    for row in rows:
+        (size, eps, bprim_ave, _, _, bkrus_ave, _, bkh2_ave, exact_ave,
+         _, bkst_ave, _) = row
+        # The ordering claims of Section 7 / Figure 11.  Small tolerances
+        # absorb the depth/beam caps documented above (the stand-in
+        # "exact" can sit a hair above a lucky full BKH2 search).
+        assert exact_ave <= bkh2_ave + 0.01
+        assert bkh2_ave <= bkrus_ave + 1e-9
+        assert bkrus_ave <= bprim_ave + 0.005
+        # Steiner beats every spanning method on average.
+        assert bkst_ave <= bkrus_ave + 1e-6
+    # Monotone in eps within each size (averaged).
+    for size in SIZES:
+        series = [row[5] for row in rows if row[0] == size]
+        assert all(b <= a + 0.01 for a, b in zip(series, series[1:]))

@@ -1,0 +1,66 @@
+"""Table 5 — lower AND upper bounded BKRUS (clock-skew control).
+
+Paper: for each benchmark and each (eps1, eps2) combination, the skew
+``s`` (longest over shortest path) and cost ratio ``r`` (over MST), with
+"-" for infeasible configurations.  Expected shape:
+
+* growing eps1 (higher floor) shrinks ``s`` toward 1 and inflates ``r``;
+* (eps1=0, eps2=large) reduces to plain BKRUS: ``r`` near 1;
+* near-zero-skew corners are expensive (p1's paper cell: r = 3.9) and
+  many tight combinations are infeasible for node-branching trees.
+"""
+
+from repro.analysis.paper_tables import table5_rows
+from repro.analysis.tables import format_table
+
+from conftest import emit
+
+EPS1_GRID = (0.0, 0.1, 0.3, 0.5, 0.7, 1.0)
+EPS2_GRID = (0.0, 0.1, 0.3, 0.5, 1.0, 2.0)
+
+
+def build_table5(bench_sinks: int, full: bool):
+    return table5_rows(
+        bench_sinks=bench_sinks,
+        full=full,
+        eps1_grid=EPS1_GRID,
+        eps2_grid=EPS2_GRID,
+    )
+
+
+def test_table5(benchmark, results_dir, bench_sinks, bench_full):
+    rows = benchmark.pedantic(
+        build_table5, args=(bench_sinks, bench_full), rounds=1
+    )
+    text = format_table(
+        ["bench", "eps1", "eps2", "s (skew)", "r (cost/MST)"],
+        rows,
+        precision=2,
+        title="Table 5: lower/upper bounded BKRUS "
+        "(- = infeasible configuration, as in the paper)",
+    )
+    emit(results_dir, "table5.txt", text)
+
+    by_key = {(r[0], r[1], r[2]): (r[3], r[4]) for r in rows}
+
+    # eps1 = 0 with a loose ceiling reduces to plain BKRUS: cheap.
+    for name in ("p1", "p2", "p3", "p4"):
+        skew, ratio = by_key[(name, 0.0, 2.0)]
+        assert ratio <= 1.05
+
+    # Raising the floor never cheapens the tree (same ceiling), and the
+    # skew of feasible cells respects the (eps1, eps2) box.
+    for name in {row[0] for row in rows}:
+        for eps2 in EPS2_GRID:
+            previous = 0.0
+            for eps1 in EPS1_GRID:
+                cell = by_key[(name, eps1, eps2)]
+                if cell[0] is None:
+                    continue
+                skew, ratio = cell
+                assert skew <= (1.0 + eps2) / max(eps1, 1e-9) + 1e-6 or eps1 == 0.0
+                assert ratio >= previous - 0.05
+                previous = max(previous, ratio)
+
+    # At least one tight corner is infeasible somewhere (the dashes).
+    assert any(row[3] is None for row in rows)

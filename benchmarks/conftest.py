@@ -1,0 +1,52 @@
+"""Shared fixtures and knobs for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper,
+prints it (run pytest with ``-s`` to see it live), and writes it under
+``benchmarks/results/`` so the artefacts survive output capture.
+
+Environment knobs (all optional):
+
+* ``REPRO_BENCH_CASES``  — random cases per Table 4 row (default 10;
+  the paper used 50 — set 50 for the full run).
+* ``REPRO_BENCH_SINKS``  — approximate sink count for the scaled large
+  benchmarks of Table 3 (default 48).
+* ``REPRO_BENCH_FULL``   — set to 1 to run the large benchmarks at full
+  paper scale (hours of CPU; off by default).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_cases() -> int:
+    return int(os.environ.get("REPRO_BENCH_CASES", "10"))
+
+
+@pytest.fixture(scope="session")
+def bench_sinks() -> int:
+    return int(os.environ.get("REPRO_BENCH_SINKS", "48"))
+
+
+@pytest.fixture(scope="session")
+def bench_full() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print a rendered table and persist it."""
+    print()
+    print(text)
+    (results_dir / name).write_text(text + "\n")

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Head-to-head: every algorithm in the library on the same nets.
+
+Reproduces the paper's comparison methodology in miniature: for each
+eps, run the baselines (BPRIM, BRBC, Prim-Dijkstra), the paper's
+heuristics (BKRUS, BKH2), the exact solvers (BMST_G via ordered
+enumeration, BKEX via negative-sum exchanges), and the Steiner
+construction (BKST), and report cost-over-MST plus wall time.
+
+Run: ``python examples/baseline_comparison.py``
+"""
+
+import time
+
+from repro.algorithms.mst import mst_cost
+from repro.analysis.runners import run_many
+from repro.analysis.tables import format_table, mean
+from repro.instances.random_nets import random_nets_for_size
+from repro.instances.special import p4
+
+ALGORITHMS = [
+    "spt",
+    "bprim",
+    "brbc",
+    "prim_dijkstra",
+    "bkrus",
+    "bkh2",
+    "bkex",
+    "bmst_g",
+    "bkst",
+]
+
+
+def averaged_comparison() -> None:
+    """Ten random 10-sink nets, three bounds — Table 4 in miniature."""
+    nets = random_nets_for_size(10, cases=10)
+    for eps in (0.1, 0.3):
+        ratios = {name: [] for name in ALGORITHMS}
+        times = {name: [] for name in ALGORITHMS}
+        for net in nets:
+            reference = mst_cost(net)
+            for report in run_many(ALGORITHMS, net, eps, mst_reference=reference):
+                ratios[report.algorithm].append(report.perf_ratio)
+                times[report.algorithm].append(report.cpu_seconds)
+        rows = [
+            (
+                name,
+                mean(ratios[name]),
+                max(ratios[name]),
+                mean(times[name]) * 1000.0,
+            )
+            for name in ALGORITHMS
+        ]
+        rows.sort(key=lambda row: row[1])
+        print(
+            format_table(
+                ["algorithm", "ave cost/MST", "max cost/MST", "ave ms"],
+                rows,
+                title=f"10 random nets of 10 sinks, eps = {eps}",
+            )
+        )
+        print()
+
+
+def pathological_case() -> None:
+    """The circular p4 benchmark, where greedy baselines struggle."""
+    net = p4()
+    eps = 0.2
+    reference = mst_cost(net)
+    start = time.perf_counter()
+    reports = run_many(["bprim", "brbc", "bkrus", "bkh2"], net, eps, reference)
+    elapsed = time.perf_counter() - start
+    rows = [(r.algorithm, r.perf_ratio, r.path_ratio) for r in reports]
+    print(
+        format_table(
+            ["algorithm", "cost/MST", "radius/R"],
+            rows,
+            title=f"p4 (30 sinks on a circle), eps = {eps}",
+        )
+    )
+    print(f"\ntotal wall time: {elapsed:.2f}s")
+
+
+def main() -> None:
+    averaged_comparison()
+    pathological_case()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Buffer insertion on a bounded path length tree (future-work study).
+
+The paper closes with "future research includes considering the effects
+of buffering".  This example shows the interplay: BKRUS controls the
+*topological* path lengths; van Ginneken's dynamic program then inserts
+repeaters on the fixed topology to cut the worst Elmore delay further.
+
+Run: ``python examples/buffered_clock_tree.py``
+"""
+
+from repro import DEFAULT_PARAMETERS, Net, bkrus, mst
+from repro.analysis.tables import format_table
+from repro.elmore.buffering import (
+    BufferType,
+    van_ginneken,
+    worst_buffered_delay,
+)
+from repro.elmore.delay import elmore_radius
+
+
+def wide_net() -> Net:
+    """A physically large net (millimetre-scale wires) where repeaters
+    pay off: RC delay grows quadratically with unbuffered length."""
+    sinks = [
+        (9000.0, 500.0),
+        (8000.0, 4000.0),
+        (5000.0, 8000.0),
+        (500.0, 9000.0),
+        (-4000.0, 7000.0),
+        (-9000.0, 1000.0),
+        (-6000.0, -6000.0),
+        (2000.0, -9000.0),
+        (7000.0, -5000.0),
+    ]
+    return Net((0.0, 0.0), sinks, metric="manhattan", name="wide")
+
+
+def main() -> None:
+    net = wide_net()
+    params = DEFAULT_PARAMETERS
+    buffer = BufferType(
+        input_capacitance=0.02, intrinsic_delay=20.0, output_resistance=40.0
+    )
+
+    rows = []
+    for label, tree in (("mst", mst(net)), ("bkrus(0.2)", bkrus(net, 0.2))):
+        unbuffered = elmore_radius(tree, params)
+        solution = van_ginneken(tree, params, buffer)
+        buffered = worst_buffered_delay(
+            tree, params, buffer, solution.buffered_nodes
+        )
+        rows.append(
+            (
+                label,
+                tree.cost,
+                unbuffered,
+                buffered,
+                len(solution.buffered_nodes),
+                100.0 * (1.0 - buffered / unbuffered),
+            )
+        )
+    print(
+        format_table(
+            [
+                "topology",
+                "wire length",
+                "worst delay",
+                "buffered delay",
+                "# buffers",
+                "delay saved %",
+            ],
+            rows,
+            precision=1,
+            title="van Ginneken buffering on bounded-path-length topologies",
+        )
+    )
+
+    # Buffer-count sweep on the BKRUS tree.
+    tree = bkrus(net, 0.2)
+    print("\nbuffer budget sweep (bkrus eps=0.2):")
+    sweep = []
+    for budget in (0, 1, 2, 4, 8):
+        solution = van_ginneken(tree, params, buffer, max_buffers=budget)
+        sweep.append(
+            (
+                budget,
+                len(solution.buffered_nodes),
+                -solution.worst_slack,
+            )
+        )
+    print(
+        format_table(
+            ["budget", "used", "worst delay"],
+            sweep,
+            precision=1,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Design-space exploration: sweeps, Pareto frontiers, knee points.
+
+A designer rarely wants "the tree at eps = 0.2"; they want the frontier
+of achievable (wire, worst-path) pairs and the point matching their
+exchange rate between the two.  This example sweeps several algorithms,
+extracts the combined Pareto frontier, and picks knees for three design
+stances.
+
+Run: ``python examples/design_space.py``
+"""
+
+import math
+
+from repro.algorithms.bkrus import bkrus
+from repro.algorithms.bprim import bprim_vectorized
+from repro.analysis.frontier import dominated_area, knee_point, pareto_frontier
+from repro.analysis.tables import format_table
+from repro.instances.special import p4
+from repro.steiner.bkst import bkst
+
+EPS_SWEEP = (math.inf, 1.5, 1.0, 0.7, 0.5, 0.4, 0.3, 0.2, 0.1, 0.05, 0.0)
+
+
+def sweep(net, label, construct):
+    points = []
+    for eps in EPS_SWEEP:
+        tree = construct(net, eps)
+        radius = (
+            tree.longest_sink_path()
+            if hasattr(tree, "longest_sink_path")
+            else tree.longest_source_path()
+        )
+        points.append((eps, float(tree.cost), float(radius)))
+    return label, points
+
+
+def main() -> None:
+    # p4 (sinks around a circle) has a rich tradeoff: tightening the
+    # bound genuinely reshapes the tree at every step.
+    net = p4()
+    print(f"net: {net}\n")
+
+    sweeps = [
+        sweep(net, "bkrus", lambda n, e: bkrus(n, e)),
+        sweep(net, "bprim", lambda n, e: bprim_vectorized(n, e)),
+        sweep(net, "bkst", lambda n, e: bkst(n, e)),
+    ]
+
+    # Per-algorithm frontier quality (hypervolume vs a shared reference).
+    reference = (
+        max(p[1] for _, pts in sweeps for p in pts) * 1.05,
+        max(p[2] for _, pts in sweeps for p in pts) * 1.05,
+    )
+    rows = []
+    for label, points in sweeps:
+        frontier = pareto_frontier(points)
+        rows.append(
+            (
+                label,
+                len(points),
+                len(frontier),
+                dominated_area(points, reference),
+            )
+        )
+    print(
+        format_table(
+            ["algorithm", "sweep points", "frontier points", "dominated area"],
+            rows,
+            precision=0,
+            title="Frontier quality per algorithm (larger area = better)",
+        )
+    )
+
+    # The combined frontier across every algorithm.
+    everything = [p for _, pts in sweeps for p in pts]
+    combined = pareto_frontier(everything)
+    print("\ncombined frontier (cost ascending):")
+    print(
+        format_table(
+            ["eps", "cost", "worst path"],
+            [(p.eps, p.cost, p.radius) for p in combined],
+            precision=1,
+        )
+    )
+
+    # Knee points for three design stances.
+    stances = [
+        ("wire-dominated (cheap chip)", 0.2),
+        ("balanced", 1.0),
+        ("timing-dominated (fast chip)", 5.0),
+    ]
+    rows = []
+    for label, rate in stances:
+        knee = knee_point(everything, rate)
+        rows.append((label, rate, knee.cost, knee.radius))
+    print()
+    print(
+        format_table(
+            ["stance", "wire per unit radius", "chosen cost", "chosen path"],
+            rows,
+            precision=1,
+            title="Knee points by exchange rate",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

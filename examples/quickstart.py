@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Quickstart: route one net with every bound and read the tradeoff.
+
+A signal net is a source (the driver) plus sinks.  The BKRUS algorithm
+builds a spanning tree whose longest source-to-sink path is at most
+``(1 + eps) * R``, where ``R`` is the distance to the farthest sink —
+``eps = inf`` gives the minimum spanning tree (cheapest, slowest paths)
+and ``eps = 0`` pins every sink to its shortest-path distance.
+
+Run: ``python examples/quickstart.py``
+"""
+
+import math
+
+from repro import Net, bkrus, mst, spt
+from repro.analysis.metrics import format_eps
+from repro.analysis.tables import format_table
+
+
+def main() -> None:
+    # A small net: driver at the origin, eight sinks spread around it.
+    net = Net(
+        source=(0.0, 0.0),
+        sinks=[
+            (12.0, 3.0),
+            (10.0, 9.0),
+            (3.0, 11.0),
+            (-6.0, 8.0),
+            (-11.0, 1.0),
+            (-7.0, -7.0),
+            (2.0, -12.0),
+            (9.0, -6.0),
+        ],
+        metric="manhattan",
+        name="quickstart",
+    )
+    print(f"net: {net}")
+    print(f"R (farthest sink): {net.radius():.2f}")
+
+    # The two anchors of the tradeoff.
+    mst_tree = mst(net)
+    spt_tree = spt(net)
+    print(f"\nMST  cost {mst_tree.cost:7.2f}  radius {mst_tree.longest_source_path():7.2f}")
+    print(f"SPT  cost {spt_tree.cost:7.2f}  radius {spt_tree.longest_source_path():7.2f}")
+
+    # BKRUS interpolates between them under a hard radius bound.
+    rows = []
+    for eps in (math.inf, 1.0, 0.5, 0.25, 0.1, 0.0):
+        tree = bkrus(net, eps)
+        assert tree.satisfies_bound(eps)
+        rows.append(
+            (
+                format_eps(eps),
+                tree.cost,
+                tree.longest_source_path(),
+                tree.cost / mst_tree.cost,
+                tree.longest_source_path() / net.radius(),
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["eps", "cost", "radius", "cost/MST", "radius/R"],
+            rows,
+            title="BKRUS tradeoff (Figure 9 in miniature)",
+        )
+    )
+
+    # Inspect one tree: edges and per-sink paths.
+    tree = bkrus(net, 0.25)
+    print("\nBKRUS tree at eps = 0.25:")
+    for u, v in tree.edges:
+        print(f"  {net.point(u)} -- {net.point(v)}  (len {net.distance(u, v):.2f})")
+    paths = tree.source_path_lengths()
+    print("per-sink path lengths vs direct distance:")
+    for sink in range(1, net.num_terminals):
+        print(
+            f"  sink {sink}: path {paths[sink]:6.2f}  direct "
+            f"{net.distance(0, sink):6.2f}  (bound {net.path_bound(0.25):.2f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

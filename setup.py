@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no ``wheel`` package, so PEP 517 editable
+installs fail; ``pip install -e . --no-build-isolation`` (or a direct
+``python setup.py develop``) works through this shim instead.  All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""repro — Bounded path length minimal spanning/Steiner trees.
+
+A full reproduction of J. Oh, I. Pyo, M. Pedram, "Constructing Minimal
+Spanning/Steiner Trees with Bounded Path Length" (EDTC/DATE 1996):
+
+* :mod:`repro.core` — nets, metrics, routing trees, forest bookkeeping.
+* :mod:`repro.algorithms` — BKRUS, BMST_G (Gabow), BKEX, BKH2, baselines
+  (BPRIM, BRBC, Prim-Dijkstra, MST, SPT), and the lower+upper bounded
+  variants for clock routing.
+* :mod:`repro.elmore` — Elmore delay model and delay-bounded BKRUS.
+* :mod:`repro.steiner` — Hanan grids and the BKST Steiner heuristic.
+* :mod:`repro.instances` — the paper's benchmark families.
+* :mod:`repro.analysis` — the metrics and sweeps behind Tables 1-5 and
+  Figures 9-13.
+
+Quickstart::
+
+    from repro import Net, bkrus
+    net = Net(source=(0, 0), sinks=[(10, 0), (10, 5), (4, 8)])
+    tree = bkrus(net, eps=0.2)
+    print(tree.cost, tree.longest_source_path(), net.path_bound(0.2))
+"""
+
+from repro.core import (
+    AlgorithmLimitError,
+    InfeasibleError,
+    InvalidNetError,
+    InvalidParameterError,
+    Metric,
+    Net,
+    ReproError,
+    RoutingTree,
+    SOURCE,
+)
+from repro.algorithms import (
+    bkex,
+    bkh2,
+    bkrus,
+    bmst_gabow,
+    bprim,
+    brbc,
+    lub_bkrus,
+    mst,
+    prim_dijkstra,
+    spt,
+)
+from repro.clock import ClockTree, zero_skew_tree
+from repro.elmore import bkrus_elmore, DEFAULT_PARAMETERS, ElmoreParameters
+from repro.steiner import bkst, lub_bkst, SteinerTree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlgorithmLimitError",
+    "InfeasibleError",
+    "InvalidNetError",
+    "InvalidParameterError",
+    "Metric",
+    "Net",
+    "ReproError",
+    "RoutingTree",
+    "SOURCE",
+    "bkex",
+    "bkh2",
+    "bkrus",
+    "bmst_gabow",
+    "bprim",
+    "brbc",
+    "lub_bkrus",
+    "mst",
+    "prim_dijkstra",
+    "spt",
+    "bkrus_elmore",
+    "DEFAULT_PARAMETERS",
+    "ElmoreParameters",
+    "bkst",
+    "lub_bkst",
+    "SteinerTree",
+    "ClockTree",
+    "zero_skew_tree",
+    "__version__",
+]

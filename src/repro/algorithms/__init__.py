@@ -1,0 +1,56 @@
+"""Spanning-tree construction and optimisation algorithms."""
+
+from repro.algorithms.bkex import bkex, BkexStats, exchange_descent
+from repro.algorithms.bkh2 import bkh2, Bkh2Stats, depth2_descent
+from repro.algorithms.bkrus import bkrus, bounded_kruskal, KruskalTrace
+from repro.algorithms.bprim import bprim, bprim_vectorized
+from repro.algorithms.branch_bound import BranchBoundStats, bmst_branch_bound
+from repro.algorithms.brbc import brbc
+from repro.algorithms.gabow import (
+    bmst_brute_force,
+    bmst_gabow,
+    lemma_preprocessing,
+    spanning_trees_in_cost_order,
+)
+from repro.algorithms.last import last_cost_bound, last_tree
+from repro.algorithms.lub import lub_bkex, lub_bkh2, lub_bkrus, lub_exact
+from repro.algorithms.mst import kruskal_mst, maximal_spanning_tree, mst, prim_mst
+from repro.algorithms.per_sink import bkrus_per_sink, satisfies_per_sink, stretch
+from repro.algorithms.prim_dijkstra import prim_dijkstra
+from repro.algorithms.spt import spt
+
+__all__ = [
+    "bkex",
+    "BkexStats",
+    "exchange_descent",
+    "bkh2",
+    "Bkh2Stats",
+    "depth2_descent",
+    "bkrus",
+    "bounded_kruskal",
+    "KruskalTrace",
+    "bprim",
+    "bprim_vectorized",
+    "BranchBoundStats",
+    "bmst_branch_bound",
+    "brbc",
+    "bmst_brute_force",
+    "bmst_gabow",
+    "lemma_preprocessing",
+    "spanning_trees_in_cost_order",
+    "last_cost_bound",
+    "last_tree",
+    "lub_bkex",
+    "lub_bkh2",
+    "lub_bkrus",
+    "lub_exact",
+    "bkrus_per_sink",
+    "satisfies_per_sink",
+    "stretch",
+    "kruskal_mst",
+    "maximal_spanning_tree",
+    "mst",
+    "prim_mst",
+    "prim_dijkstra",
+    "spt",
+]

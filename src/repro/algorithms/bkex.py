@@ -1,0 +1,213 @@
+"""BKEX — exact BMST by negative-sum-exchange search (Section 5).
+
+BKEX starts from any feasible tree (BKT by default), then depth-first
+searches *sequences* of T-exchanges whose running weight sum stays
+negative.  Whenever a sequence produces a feasible tree, that tree is
+strictly cheaper than the current root; it becomes the new root and the
+search restarts.  The iteration stops when no negative-sum sequence
+reaches a feasible tree — for unbounded depth that tree is an optimal
+BMST (any spanning tree is reachable within ``V - 1`` exchanges), at
+polynomial space ``O(E)``.
+
+The paper's empirical depth data (2750 random nets, 5-15 sinks): depth 2
+already reaches the optimum on 96.9% of nets, depth 4 on 99.7%, depth 6
+on all of them.  ``max_depth`` exposes exactly that knob; ``None``
+reproduces the unbounded search (pruned only by the non-negative-sum
+rule, as in the paper's DFS_EXCHANGE).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.edges import non_tree_edges
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net
+from repro.core.tree import RoutingTree
+from repro.algorithms.bkrus import bkrus
+
+
+@dataclass
+class BkexStats:
+    """Search statistics for one :func:`bkex` run."""
+
+    iterations: int = 0
+    """Times a cheaper feasible tree replaced the root."""
+    exchanges_tried: int = 0
+    max_depth_reached: int = 0
+
+
+def _candidate_exchanges(tree: RoutingTree):
+    """Yield ``((remove, add), diff)`` in the paper's DFS_EXCHANGE order:
+    for each non-tree edge, walk the induced cycle retreating the deeper
+    endpoint toward the common ancestor (Figure 8)."""
+    parents = tree.parents()
+    depths = tree.depths()
+    dist = tree.net.dist
+    for x, y in non_tree_edges(tree.num_terminals, tree.edges):
+        add_weight = float(dist[x, y])
+        u, v = x, y
+        while u != v:
+            if depths[u] > depths[v]:
+                u, v = v, u
+            father = parents[v]
+            diff = add_weight - float(dist[v, father])
+            yield ((v, father), (x, y)), diff
+            v = father
+
+
+def _dfs_exchange(
+    root: RoutingTree,
+    is_feasible: "Callable[[RoutingTree], bool]",
+    max_depth: Optional[int],
+    stats: Optional[BkexStats],
+    tolerance: float,
+) -> Optional[RoutingTree]:
+    """The paper's DFS_EXCHANGE, run iteratively with an explicit stack.
+
+    Returns a feasible tree cheaper than ``root``, or None.  The running
+    weight sum along a search path equals ``cost(tree) - cost(root)``
+    (each exchange changes the cost by exactly its weight), so any
+    revisit of an ancestor state repeats an identical subsearch; the
+    ancestor-signature set prunes those without losing completeness —
+    and guarantees termination, which the naive recursion does not
+    (two opposite exchanges can ping-pong forever at a negative sum).
+    """
+    # The running weight sum of a search path equals
+    # ``cost(tree) - cost(root)`` — a function of the *state*, not the
+    # path — so exploring a state twice with the same (or less)
+    # remaining depth budget repeats an identical, fruitless subsearch.
+    # ``explored`` memoises the largest remaining budget each infeasible
+    # state has been expanded with; this both guarantees termination
+    # (the naive recursion can ping-pong between two trees forever at a
+    # negative sum) and collapses the exponential re-exploration that
+    # makes the textbook DFS impractical beyond a handful of sinks.
+    infinite = float("inf")
+
+    def remaining(depth: int) -> float:
+        return infinite if max_depth is None else max_depth - depth
+
+    explored = {root.edge_set(): remaining(0)}
+    stack = [(root, 0.0, _candidate_exchanges(root))]
+    while stack:
+        tree, weight_sum, candidates = stack[-1]
+        advanced = False
+        for (remove, add), diff in candidates:
+            if stats is not None:
+                stats.exchanges_tried += 1
+                stats.max_depth_reached = max(
+                    stats.max_depth_reached, len(stack)
+                )
+            if diff + weight_sum >= -tolerance:
+                continue
+            candidate = tree.with_exchange(remove, add, validate=False)
+            signature = candidate.edge_set()
+            budget = remaining(len(stack))
+            if explored.get(signature, -1.0) >= budget:
+                continue
+            if is_feasible(candidate):
+                return candidate
+            if budget > 0:
+                explored[signature] = budget
+                stack.append(
+                    (candidate, diff + weight_sum, _candidate_exchanges(candidate))
+                )
+                advanced = True
+                break
+        if not advanced:
+            stack.pop()
+    return None
+
+
+def bkex(
+    net: Net,
+    eps: float,
+    initial: Optional[RoutingTree] = None,
+    max_depth: Optional[int] = None,
+    stats: Optional[BkexStats] = None,
+    tolerance: float = 1e-9,
+) -> RoutingTree:
+    """Optimal (or depth-limited) BMST via negative-sum exchanges.
+
+    Parameters
+    ----------
+    net:
+        The net to route.
+    eps:
+        Non-negative slack; the bound is ``(1 + eps) * R``.
+    initial:
+        Feasible starting tree; defaults to ``bkrus(net, eps)`` (the
+        paper's Algorithm BKEX, line 1).  Must satisfy the bound.
+    max_depth:
+        Cap on exchange-sequence length.  ``None`` = unbounded (exact on
+        every net the paper tested); small values trade optimality for
+        speed exactly as in the paper's depth study.
+    stats:
+        Optional :class:`BkexStats` to fill in.
+    """
+    if eps < 0 or math.isnan(eps):
+        raise InvalidParameterError(f"eps must be >= 0, got {eps}")
+    bound = net.path_bound(eps) if math.isfinite(eps) else math.inf
+    tree = initial if initial is not None else bkrus(net, eps)
+    if tree.longest_source_path() > bound + tolerance:
+        raise InvalidParameterError(
+            "initial tree violates the path-length bound; BKEX needs a "
+            "feasible starting solution"
+        )
+
+    def is_feasible(candidate: RoutingTree) -> bool:
+        return candidate.longest_source_path() <= bound + tolerance
+
+    return exchange_descent(
+        tree, is_feasible, max_depth=max_depth, stats=stats, tolerance=tolerance
+    )
+
+
+def exchange_descent(
+    tree: RoutingTree,
+    is_feasible: Callable[[RoutingTree], bool],
+    max_depth: Optional[int] = None,
+    stats: Optional[BkexStats] = None,
+    tolerance: float = 1e-9,
+) -> RoutingTree:
+    """Iterate negative-sum-exchange search under a custom feasibility.
+
+    The generalised engine behind :func:`bkex`; the lower+upper bounded
+    solver of Section 6 plugs in a two-sided predicate.  ``tree`` must
+    already satisfy ``is_feasible``.
+    """
+    while True:
+        better = _dfs_exchange(tree, is_feasible, max_depth, stats, tolerance)
+        if better is None:
+            return tree
+        assert better.cost < tree.cost, "negative-sum exchange must reduce cost"
+        tree = better
+        if stats is not None:
+            stats.iterations += 1
+
+
+def bkex_depth_profile(
+    net: Net,
+    eps: float,
+    depths: Tuple[int, ...] = (1, 2, 3, 4, 5, 6),
+    reference: Optional[RoutingTree] = None,
+) -> List[Tuple[int, float, bool]]:
+    """Cost reached at each depth cap, and whether it matches the optimum.
+
+    Reproduces the paper's depth study (Section 5: 96.9% at depth 2,
+    99.7% at depth 4 over 2750 random nets).  ``reference`` defaults to
+    the unbounded-depth BKEX result.
+
+    Returns a list of ``(depth, cost, reached_reference)`` rows.
+    """
+    if reference is None:
+        reference = bkex(net, eps, max_depth=None)
+    rows = []
+    for depth in depths:
+        tree = bkex(net, eps, max_depth=depth)
+        rows.append(
+            (depth, tree.cost, bool(abs(tree.cost - reference.cost) <= 1e-9))
+        )
+    return rows

@@ -1,0 +1,160 @@
+"""BKH2 — depth-2 negative-sum-exchange post-processing (Section 5).
+
+BKT (the BKRUS output) is a local optimum with respect to any *single*
+T-exchange (a consequence of Lemma 3.1), so the cheapest improvement
+available is a pair of exchanges with negative weight sum.  BKH2 searches
+breadth-first over sequences of one or two exchanges, applies an
+improving feasible result, and repeats until no improvement exists —
+yielding a deeper (more stable) local optimum than BKT at complexity
+``O(E^2 V^3)``.
+
+Because the quadratic level is expensive, the second level optionally
+restricts its first exchange to the ``level2_beam`` candidates with the
+smallest weights (most promising first).  ``level2_beam=None`` is the
+faithful full search used in the tests; benchmarks on larger nets pass a
+beam, which is documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net
+from repro.core.tree import RoutingTree
+from repro.algorithms.bkrus import bkrus
+from repro.algorithms.exchange import Exchange, iter_all_exchanges
+
+
+@dataclass
+class Bkh2Stats:
+    """Counters for one :func:`bkh2` run."""
+
+    single_improvements: int = 0
+    double_improvements: int = 0
+    exchanges_scanned: int = 0
+
+
+def _best_single(
+    tree: RoutingTree,
+    is_feasible: Callable[[RoutingTree], bool],
+    tolerance: float,
+    stats: Optional[Bkh2Stats],
+) -> Optional[RoutingTree]:
+    """Cheapest feasible tree one negative exchange away, or None."""
+    best: Optional[RoutingTree] = None
+    best_weight = -tolerance
+    for ex in iter_all_exchanges(tree):
+        if stats is not None:
+            stats.exchanges_scanned += 1
+        if ex.weight >= best_weight:
+            continue
+        candidate = ex.apply(tree)
+        if is_feasible(candidate):
+            best = candidate
+            best_weight = ex.weight
+    return best
+
+
+def _best_double(
+    tree: RoutingTree,
+    is_feasible: Callable[[RoutingTree], bool],
+    tolerance: float,
+    level2_beam: Optional[int],
+    stats: Optional[Bkh2Stats],
+) -> Optional[RoutingTree]:
+    """Cheapest feasible tree two exchanges away with negative sum."""
+    first_moves: List[Exchange] = sorted(
+        iter_all_exchanges(tree), key=lambda ex: (ex.weight, ex.remove, ex.add)
+    )
+    if level2_beam is not None:
+        first_moves = first_moves[:level2_beam]
+    best: Optional[RoutingTree] = None
+    best_sum = -tolerance
+    for first in first_moves:
+        intermediate = first.apply(tree)
+        for second in iter_all_exchanges(intermediate):
+            if stats is not None:
+                stats.exchanges_scanned += 1
+            total = first.weight + second.weight
+            if total >= best_sum:
+                continue
+            candidate = second.apply(intermediate)
+            if is_feasible(candidate):
+                best = candidate
+                best_sum = total
+    return best
+
+
+def bkh2(
+    net: Net,
+    eps: float,
+    initial: Optional[RoutingTree] = None,
+    level2_beam: Optional[int] = None,
+    stats: Optional[Bkh2Stats] = None,
+    tolerance: float = 1e-9,
+) -> RoutingTree:
+    """BKRUS followed by repeated best 1- or 2-exchange improvements.
+
+    Parameters
+    ----------
+    net:
+        The net to route.
+    eps:
+        Non-negative slack; the bound is ``(1 + eps) * R``.
+    initial:
+        Feasible starting tree; defaults to ``bkrus(net, eps)``.
+    level2_beam:
+        Optional cap on first-exchange candidates in the double-exchange
+        level (sorted by weight); ``None`` searches exhaustively.
+    """
+    if eps < 0 or math.isnan(eps):
+        raise InvalidParameterError(f"eps must be >= 0, got {eps}")
+    bound = net.path_bound(eps) if math.isfinite(eps) else math.inf
+    tree = initial if initial is not None else bkrus(net, eps)
+    if tree.longest_source_path() > bound + tolerance:
+        raise InvalidParameterError(
+            "initial tree violates the path-length bound"
+        )
+
+    def is_feasible(candidate: RoutingTree) -> bool:
+        return candidate.longest_source_path() <= bound + tolerance
+
+    return depth2_descent(
+        tree,
+        is_feasible,
+        level2_beam=level2_beam,
+        stats=stats,
+        tolerance=tolerance,
+    )
+
+
+def depth2_descent(
+    tree: RoutingTree,
+    is_feasible: Callable[[RoutingTree], bool],
+    level2_beam: Optional[int] = None,
+    stats: Optional[Bkh2Stats] = None,
+    tolerance: float = 1e-9,
+) -> RoutingTree:
+    """Iterate best 1-/2-exchange improvements under a custom feasibility.
+
+    The generalised engine behind :func:`bkh2`; the lower+upper bounded
+    solver of Section 6 plugs in a two-sided predicate.  ``tree`` must
+    already satisfy ``is_feasible``.
+    """
+    while True:
+        single = _best_single(tree, is_feasible, tolerance, stats)
+        if single is not None:
+            if stats is not None:
+                stats.single_improvements += 1
+            tree = single
+            continue
+        double = _best_double(tree, is_feasible, tolerance, level2_beam, stats)
+        if double is not None:
+            if stats is not None:
+                stats.double_improvements += 1
+            tree = double
+            continue
+        return tree

@@ -1,0 +1,194 @@
+"""BKRUS — Bounded path length Kruskal spanning trees (Section 3.1).
+
+The algorithm is classical Kruskal plus one extra acceptance test per
+edge: the merged tree must still be *completable* within the path-length
+bound ``(1 + eps) * R``.  Two cases (Figure 2):
+
+* (3-a) one endpoint component contains the source: the merge is feasible
+  iff ``path(S, u) + dist(u, v) + radius(v) <= bound`` — every node of the
+  attached component lands within the bound, and nodes already connected
+  to the source are unaffected.
+* (3-b) neither component contains the source: the merge is feasible iff
+  the merged tree contains a *feasible node* ``x`` with
+  ``dist(S, x) + radius_tM(x) <= bound`` — a direct source connection at
+  ``x`` could still bring everyone within the bound later.
+
+Lemma 3.1 guarantees a rejected edge never becomes feasible, so the
+single sorted pass of Kruskal suffices and the tree it returns (called
+BKT in the paper) always satisfies the bound.  Complexity ``O(V^3)``.
+
+The module exposes a generic driver, :func:`bounded_kruskal`, so the
+lower+upper bounded construction (Section 6) and tests can plug in their
+own feasibility policies while reusing the scan/merge machinery.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.core.exceptions import InfeasibleError, InvalidParameterError
+from repro.core.net import Net, SOURCE
+from repro.core.partial_forest import PartialForest
+from repro.core.edges import sorted_edge_arrays
+from repro.core.tree import RoutingTree
+
+FeasibilityTest = Callable[[PartialForest, int, int], bool]
+"""Signature of a merge-feasibility policy: (forest, u, v) -> accept?"""
+
+
+@dataclass
+class KruskalTrace:
+    """Optional construction trace for diagnostics and tests.
+
+    ``accepted`` lists merges in order; ``rejected`` lists edges that
+    failed the bound test (cycle edges are not recorded — condition (2)
+    rejections are uninteresting and numerous).
+    """
+
+    accepted: List[Tuple[int, int]] = field(default_factory=list)
+    rejected: List[Tuple[int, int]] = field(default_factory=list)
+    edges_scanned: int = 0
+
+
+def upper_bound_test(
+    net: Net,
+    bound: float,
+    tolerance: float = 1e-9,
+) -> FeasibilityTest:
+    """The paper's conditions (3-a)/(3-b) for a given absolute ``bound``."""
+    dist = net.dist
+
+    def feasible(forest: PartialForest, u: int, v: int) -> bool:
+        d = float(dist[u, v])
+        source_in_u = forest.component_contains_source(u)
+        source_in_v = forest.component_contains_source(v)
+        if source_in_u:
+            return forest.path(SOURCE, u) + d + forest.radius(v) <= bound + tolerance
+        if source_in_v:
+            return forest.path(SOURCE, v) + d + forest.radius(u) <= bound + tolerance
+        nodes, radii = forest.merged_radii(u, v)
+        slack = dist[SOURCE, nodes] + radii
+        return bool(slack.min() <= bound + tolerance)
+
+    return feasible
+
+
+def bounded_kruskal(
+    net: Net,
+    feasible: FeasibilityTest,
+    edge_stream: Optional[Iterable[Tuple[int, int]]] = None,
+    trace: Optional[KruskalTrace] = None,
+) -> PartialForest:
+    """Kruskal scan with a pluggable per-merge feasibility policy.
+
+    Scans ``edge_stream`` (default: all complete-graph edges in
+    nondecreasing weight order), merging each edge that joins two
+    components *and* passes ``feasible``.  Returns the final forest; the
+    caller decides whether a non-spanning forest is an error.
+    """
+    forest = PartialForest(net)
+    n = net.num_terminals
+    if edge_stream is None:
+        _, us, vs = sorted_edge_arrays(net)
+        edge_stream = zip(us.tolist(), vs.tolist())
+    merged = 0
+    for u, v in edge_stream:
+        if trace is not None:
+            trace.edges_scanned += 1
+        if forest.connected(u, v):
+            continue
+        if feasible(forest, u, v):
+            forest.merge(u, v)
+            merged += 1
+            if trace is not None:
+                trace.accepted.append((u, v))
+            if merged == n - 1:
+                break
+        elif trace is not None:
+            trace.rejected.append((u, v))
+    return forest
+
+
+def bkrus(
+    net: Net,
+    eps: float,
+    tolerance: float = 1e-9,
+    trace: Optional[KruskalTrace] = None,
+) -> RoutingTree:
+    """Construct the BKT: a spanning tree with radius <= ``(1 + eps) * R``.
+
+    Parameters
+    ----------
+    net:
+        The net to route.
+    eps:
+        Non-negative slack parameter; ``math.inf`` reduces BKRUS to plain
+        Kruskal MST, ``0.0`` forces SPT-like radii.
+    tolerance:
+        Absolute slack on bound comparisons (floating-point guard).
+    trace:
+        Optional :class:`KruskalTrace` to fill during construction.
+
+    Returns
+    -------
+    RoutingTree
+        A spanning tree that always satisfies the bound (guaranteed by the
+        feasible-node invariant: every non-source component keeps a node
+        that can legally reach the source directly).
+    """
+    if eps < 0 or math.isnan(eps):
+        raise InvalidParameterError(f"eps must be >= 0, got {eps}")
+    bound = net.path_bound(eps) if math.isfinite(eps) else math.inf
+    test = upper_bound_test(net, bound, tolerance)
+    forest = bounded_kruskal(net, test, trace=trace)
+    if forest.num_components != 1:
+        raise InfeasibleError(
+            "BKRUS failed to span the net — this indicates a broken "
+            "feasibility policy, not a property of the input"
+        )
+    tree = RoutingTree(net, forest.edges)
+    return tree
+
+
+def bkt_cost(net: Net, eps: float) -> float:
+    """Cost of the BKRUS tree for ``(net, eps)``."""
+    return bkrus(net, eps).cost
+
+
+def is_rejection_permanent(
+    net: Net,
+    eps: float,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Empirical check of Lemma 3.1 on one net.
+
+    Re-runs the BKRUS scan and, after *every* accepted merge, replays all
+    previously bound-rejected edges against the new forest state: each
+    must still be infeasible (now a cycle edge, or still violating the
+    bound).  Returns True when the lemma holds; used by property tests.
+    """
+    bound = net.path_bound(eps) if math.isfinite(eps) else math.inf
+    test = upper_bound_test(net, bound, tolerance)
+    forest = PartialForest(net)
+    n = net.num_terminals
+    _, us, vs = sorted_edge_arrays(net)
+    rejected: List[Tuple[int, int]] = []
+    merged = 0
+    for u, v in zip(us.tolist(), vs.tolist()):
+        if forest.connected(u, v):
+            continue
+        if test(forest, u, v):
+            forest.merge(u, v)
+            merged += 1
+            for ru, rv in rejected:
+                if forest.connected(ru, rv):
+                    continue
+                if test(forest, ru, rv):
+                    return False  # a rejected edge became feasible again
+            if merged == n - 1:
+                break
+        else:
+            rejected.append((u, v))
+    return forest.num_components == 1

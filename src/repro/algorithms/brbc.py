@@ -1,0 +1,133 @@
+"""BRBC — Bounded Radius, Bounded Cost trees (Cong et al., 1992).
+
+The second baseline of Section 2.  BRBC is the provably-good construction:
+
+1. Build the MST and set ``Q = MST``.
+2. Walk the MST's depth-first traversal (each edge traversed twice, as in
+   the classical 2-approximation tour), accumulating traversed wire
+   length since the last shortcut.
+3. Whenever the accumulated length reaches ``eps * R``, add the direct
+   source edge to the current node ("shortcut") and reset the
+   accumulator.
+4. Return the shortest path tree of ``Q`` from the source.
+
+Guarantees: radius ``<= (1 + eps) * R`` and
+``cost(Q) <= (1 + 2 / eps) * cost(MST)``.  The reproduced paper points
+out the practical weakness — shortcuts are full shortest paths and can
+add unnecessary cost, which is what Tables 2/4 quantify against BKRUS.
+
+``eps = 0`` degenerates to the SPT star; ``eps = inf`` returns the MST
+(re-rooted at the source, which does not change the edge set).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net, SOURCE
+from repro.core.tree import RoutingTree
+from repro.algorithms.mst import mst
+from repro.algorithms.spt import shortest_path_tree_of_graph
+
+
+def depth_first_tour(tree: RoutingTree, root: int = SOURCE) -> List[int]:
+    """The DFS traversal sequence of ``tree`` from ``root``.
+
+    Every edge appears exactly twice (down and up), so consecutive
+    entries are always tree-adjacent; this is the walk BRBC measures.
+    Children are visited in ascending node order for determinism.
+    """
+    adjacency = tree.adjacency()
+    tour = [root]
+    visited = {root}
+    # Iterative DFS recording the return to the parent as well.
+    frames: List[Tuple[int, List[int]]] = [(root, sorted(adjacency[root]))]
+    while frames:
+        node, pending = frames[-1]
+        advanced = False
+        while pending:
+            child = pending.pop(0)
+            if child in visited:
+                continue
+            visited.add(child)
+            tour.append(child)
+            frames.append((child, sorted(adjacency[child])))
+            advanced = True
+            break
+        if not advanced:
+            frames.pop()
+            if frames:
+                tour.append(frames[-1][0])
+    return tour
+
+
+def brbc(
+    net: Net,
+    eps: float,
+    tolerance: float = 1e-9,
+) -> RoutingTree:
+    """Construct the BRBC tree for slack parameter ``eps``."""
+    if eps < 0 or math.isnan(eps):
+        raise InvalidParameterError(f"eps must be >= 0, got {eps}")
+    base = mst(net)
+    if math.isinf(eps):
+        return base
+
+    radius = net.radius()
+    threshold = eps * radius
+    dist = net.dist
+    n = net.num_terminals
+
+    # Q starts as the MST; adjacency maps node -> [(neighbor, weight)].
+    adjacency: Dict[int, List[Tuple[int, float]]] = {i: [] for i in range(n)}
+    for u, v in base.edges:
+        w = float(dist[u, v])
+        adjacency[u].append((v, w))
+        adjacency[v].append((u, w))
+
+    shortcut_to = set()
+
+    def add_shortcut(node: int) -> None:
+        if node == SOURCE or node in shortcut_to:
+            return
+        shortcut_to.add(node)
+        w = float(dist[SOURCE, node])
+        adjacency[SOURCE].append((node, w))
+        adjacency[node].append((SOURCE, w))
+
+    tour = depth_first_tour(base)
+    accumulated = 0.0
+    for prev, node in zip(tour, tour[1:]):
+        accumulated += float(dist[prev, node])
+        if accumulated + tolerance >= threshold:
+            add_shortcut(node)
+            accumulated = 0.0
+
+    return shortest_path_tree_of_graph(net, adjacency)
+
+
+def brbc_auxiliary_cost(net: Net, eps: float) -> float:
+    """Total edge weight of the auxiliary graph ``Q`` (for the cost bound).
+
+    Exposed for tests of the ``cost(Q) <= (1 + 2/eps) * cost(MST)``
+    guarantee; the returned value includes both MST edges and shortcuts.
+    """
+    if eps <= 0:
+        raise InvalidParameterError("auxiliary cost bound needs eps > 0")
+    base = mst(net)
+    dist = net.dist
+    threshold = eps * net.radius()
+    total = base.cost
+    tour = depth_first_tour(base)
+    accumulated = 0.0
+    seen = set()
+    for prev, node in zip(tour, tour[1:]):
+        accumulated += float(dist[prev, node])
+        if accumulated >= threshold - 1e-9:
+            if node != SOURCE and node not in seen:
+                seen.add(node)
+                total += float(dist[SOURCE, node])
+            accumulated = 0.0
+    return total

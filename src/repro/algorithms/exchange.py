@@ -1,0 +1,123 @@
+"""T-exchange machinery (Sections 4 and 5, Figure 8).
+
+A *T-exchange* on a spanning tree ``T`` is a pair ``(e, f)`` with
+``e in T``, ``f not in T`` such that ``T - e + f`` is again a spanning
+tree; its weight is ``weight(f) - weight(e)``.  Exchanges are the moves
+of both exact algorithms: Gabow's enumeration steps between trees via
+minimal exchanges, and BKEX searches sequences whose weight sum is
+negative.
+
+For a non-tree edge ``(x, y)`` the removable edges are exactly the tree
+edges on the unique ``x``-``y`` tree path.  The paper finds them by
+walking ``u`` and ``v`` from ``x`` and ``y`` toward their common ancestor
+using the father array ``FA`` — :func:`iter_cycle_exchanges` reproduces
+that walk, yielding candidates in the same order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.core.edges import Edge, normalize, non_tree_edges
+from repro.core.net import Net
+from repro.core.tree import RoutingTree
+
+
+@dataclass(frozen=True)
+class Exchange:
+    """One T-exchange: remove a tree edge, add a non-tree edge."""
+
+    remove: Edge
+    add: Edge
+    weight: float
+    """``weight(add) - weight(remove)``; negative means the swap saves cost."""
+
+    def apply(self, tree: RoutingTree) -> RoutingTree:
+        # Candidates from the cycle walk are valid by construction.
+        return tree.with_exchange(self.remove, self.add, validate=False)
+
+
+def iter_cycle_exchanges(
+    tree: RoutingTree,
+    non_tree_edge: Edge,
+    parents: Optional[List[int]] = None,
+    depths: Optional[List[int]] = None,
+) -> Iterator[Exchange]:
+    """Exchanges removing each tree edge on the cycle of ``non_tree_edge``.
+
+    Follows the paper's DFS_EXCHANGE walk: ``u`` and ``v`` start at the
+    edge's endpoints and the deeper of the two retreats to its father,
+    pairing the retreat edge with ``non_tree_edge`` at each step, until
+    both meet at the common ancestor.
+    """
+    if parents is None:
+        parents = tree.parents()
+    if depths is None:
+        depths = tree.depths()
+    x, y = non_tree_edge
+    dist = tree.net.dist
+    add_weight = float(dist[x, y])
+    u, v = x, y
+    while u != v:
+        if depths[u] > depths[v]:
+            u, v = v, u
+        father = parents[v]
+        remove = normalize((v, father))
+        yield Exchange(
+            remove=remove,
+            add=normalize((x, y)),
+            weight=add_weight - float(dist[v, father]),
+        )
+        v = father
+
+
+def iter_all_exchanges(tree: RoutingTree) -> Iterator[Exchange]:
+    """Every T-exchange of ``tree`` (all non-tree edges, all cycle edges).
+
+    ``O(E * V)`` candidates in the worst case, matching the paper's count
+    of children per node of the BKEX search tree.
+    """
+    parents = tree.parents()
+    depths = tree.depths()
+    for edge in non_tree_edges(tree.num_terminals, tree.edges):
+        yield from iter_cycle_exchanges(tree, edge, parents, depths)
+
+
+def negative_exchanges(tree: RoutingTree) -> List[Exchange]:
+    """All strictly cost-reducing exchanges, most negative first."""
+    found = [ex for ex in iter_all_exchanges(tree) if ex.weight < 0]
+    found.sort(key=lambda ex: (ex.weight, ex.remove, ex.add))
+    return found
+
+
+def minimal_exchange(tree: RoutingTree) -> Optional[Exchange]:
+    """The minimum-weight T-exchange, or None on a single-node tree.
+
+    On an MST the minimal exchange is non-negative (that is the classical
+    optimality criterion, and the basis of Gabow's next-tree step).
+    """
+    best: Optional[Exchange] = None
+    for ex in iter_all_exchanges(tree):
+        if best is None or (ex.weight, ex.remove, ex.add) < (
+            best.weight,
+            best.remove,
+            best.add,
+        ):
+            best = ex
+    return best
+
+
+def is_mst_by_exchange(tree: RoutingTree, tolerance: float = 1e-9) -> bool:
+    """True iff no T-exchange has negative weight (MST optimality test)."""
+    minimal = minimal_exchange(tree)
+    return minimal is None or minimal.weight >= -tolerance
+
+
+def exchange_distance_upper_bound(net: Net) -> int:
+    """Max exchanges needed between any two spanning trees: ``V - 1``.
+
+    (Section 5: "one can reach any spanning tree ... from the root by a
+    series of at most V - 1 T-exchanges.")
+    """
+    return net.num_terminals - 1

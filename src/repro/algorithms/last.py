@@ -1,0 +1,108 @@
+"""LAST — Light Approximate Shortest-path Trees (Khuller et al.).
+
+The shallow-light family the paper's Section 2 draws on has two classic
+provable constructions: BRBC (global radius bound) and Khuller,
+Raghavachari & Young's LAST, which guarantees the *per-sink* stretch
+
+    ``path(S, x) <= alpha * dist(S, x)``        for every sink ``x``
+
+at cost ``<= (1 + 2 / (alpha - 1)) * cost(MST)``.  LAST is therefore
+the provable counterpart of this library's heuristic per-sink variant
+(`bkrus_per_sink` with ``alpha = 1 + eps``), and a natural extra
+baseline for its policy study.
+
+The algorithm is a single DFS over the MST: a tentative distance label
+``d[v]`` is relaxed along every traversed tree edge (both downward and
+on the way back up), and whenever a vertex's label exceeds its stretch
+budget the vertex is relinked straight to the source (on a complete
+geometric graph the shortest S-path is the direct edge) and its label
+reset — the classical potential argument charges all shortcuts to at
+most ``2 / (alpha - 1)`` times the DFS tour, i.e. the MST cost.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net, SOURCE
+from repro.core.tree import RoutingTree, tree_from_parent_array
+from repro.algorithms.mst import mst
+
+
+def last_tree(net: Net, alpha: float) -> RoutingTree:
+    """Build the LAST for stretch factor ``alpha > 1``.
+
+    ``alpha = 1 + eps`` matches the per-sink bound convention used by
+    :func:`repro.algorithms.per_sink.bkrus_per_sink`; ``alpha = inf``
+    returns the MST unchanged.
+    """
+    if math.isnan(alpha) or alpha <= 1.0:
+        if math.isinf(alpha):
+            return mst(net)
+        raise InvalidParameterError(f"alpha must exceed 1, got {alpha}")
+    if math.isinf(alpha):
+        return mst(net)
+
+    base = mst(net)
+    dist = net.dist
+    n = net.num_terminals
+    adjacency = base.adjacency()
+
+    labels = [math.inf] * n
+    labels[SOURCE] = 0.0
+    parent = [-1] * n
+
+    def relax(u: int, v: int) -> None:
+        candidate = labels[u] + float(dist[u, v])
+        if candidate < labels[v] - 1e-12:
+            labels[v] = candidate
+            parent[v] = u
+
+    def check(v: int) -> None:
+        if v != SOURCE and labels[v] > alpha * float(dist[SOURCE, v]) + 1e-12:
+            labels[v] = float(dist[SOURCE, v])
+            parent[v] = SOURCE
+
+    # Iterative DFS over the MST, relaxing on entry and on return.
+    visited = [False] * n
+    stack: List[tuple] = [(SOURCE, -1, iter(sorted(adjacency[SOURCE])))]
+    visited[SOURCE] = True
+    check(SOURCE)
+    while stack:
+        node, come_from, children = stack[-1]
+        advanced = False
+        for child in children:
+            if visited[child]:
+                continue
+            visited[child] = True
+            relax(node, child)
+            check(child)
+            stack.append((child, node, iter(sorted(adjacency[child]))))
+            advanced = True
+            break
+        if not advanced:
+            stack.pop()
+            if come_from >= 0:
+                relax(node, come_from)
+                check(come_from)
+
+    return tree_from_parent_array(net, parent)
+
+
+def last_cost_bound(net: Net, alpha: float) -> float:
+    """The KRY guarantee: ``(1 + 2 / (alpha - 1)) * cost(MST)``."""
+    if alpha <= 1.0:
+        raise InvalidParameterError(f"alpha must exceed 1, got {alpha}")
+    return (1.0 + 2.0 / (alpha - 1.0)) * mst(net).cost
+
+
+def last_stretch_bound(tree: RoutingTree, alpha: float) -> bool:
+    """Verify the per-sink stretch guarantee on a built tree."""
+    paths = tree.source_path_lengths()
+    dist = tree.net.dist
+    for sink in range(1, tree.num_terminals):
+        if paths[sink] > alpha * float(dist[SOURCE, sink]) + 1e-9:
+            return False
+    return True

@@ -1,0 +1,245 @@
+"""Lower AND upper bounded path length trees (Section 6).
+
+Clock routing wants simultaneous control of skew and cost: every
+source-to-sink path must satisfy
+
+    ``eps1 * R  <=  path(S, sink)  <=  (1 + eps2) * R``.
+
+The lower bound suppresses "double clocking" (a too-fast combinational
+path racing the clock edge) by *wire-length* control instead of area- and
+power-hungry delay buffers.
+
+The construction is BKRUS with two additions:
+
+* **Lemma 6.1** — direct source edges shorter than ``eps1 * R`` are
+  eliminated from the edge stream (connecting a sink directly through
+  them would fix a too-short path).
+* **Merge-time lower check** — by the Kruskal invariants a node's source
+  path is frozen the moment its component joins the source component, so
+  a merge onto the source component is rejected unless every newly fixed
+  path is at least ``eps1 * R`` (the shortest is the path to the merge
+  endpoint itself).  For merges between two source-free components the
+  feasible-node test (3-b) additionally requires the witnessing direct
+  edge to survive Lemma 6.1 (``dist(S, x) >= eps1 * R``).
+
+Unlike the upper-bound-only problem, (eps1, eps2) combinations can be
+genuinely infeasible for spanning trees (the paper's Table 5 dashes);
+:class:`~repro.core.exceptions.InfeasibleError` reports those.  Exact
+variants (ordered enumeration, exchange descent) are provided as well,
+mirroring the paper's "BKRUS, BMST_G, BKEX, and BKH2 ... implemented for
+both the lower and the upper bounded path length".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from repro.core.edges import sorted_edge_arrays
+from repro.core.exceptions import (
+    AlgorithmLimitError,
+    InfeasibleError,
+    InvalidParameterError,
+)
+from repro.core.net import Net, SOURCE
+from repro.core.partial_forest import PartialForest
+from repro.core.tree import RoutingTree
+from repro.algorithms.bkrus import FeasibilityTest, bounded_kruskal
+from repro.algorithms.bkex import BkexStats, exchange_descent
+from repro.algorithms.bkh2 import Bkh2Stats, depth2_descent
+from repro.algorithms.gabow import spanning_trees_in_cost_order
+
+
+def resolve_bounds(net: Net, eps1: float, eps2: float) -> Tuple[float, float]:
+    """``(lower, upper)`` absolute path bounds for ``(eps1, eps2)``.
+
+    ``eps1 >= 0`` scales the lower bound (``1.0`` means every path at
+    least as long as the farthest direct run — exact zero skew when
+    combined with ``eps2 = 0``); ``eps2 >= 0`` is the usual upper slack.
+    """
+    if eps1 < 0 or math.isnan(eps1):
+        raise InvalidParameterError(f"eps1 must be >= 0, got {eps1}")
+    if eps2 < 0 or math.isnan(eps2):
+        raise InvalidParameterError(f"eps2 must be >= 0, got {eps2}")
+    radius = net.radius()
+    lower = eps1 * radius
+    upper = (1.0 + eps2) * radius if math.isfinite(eps2) else math.inf
+    if lower > upper:
+        raise InfeasibleError(
+            f"lower bound {lower:.6g} exceeds upper bound {upper:.6g}"
+        )
+    return lower, upper
+
+
+def lub_feasibility_test(
+    net: Net,
+    lower: float,
+    upper: float,
+    tolerance: float = 1e-9,
+) -> FeasibilityTest:
+    """Merge-feasibility policy for the two-sided bound."""
+    dist = net.dist
+
+    def feasible(forest: PartialForest, u: int, v: int) -> bool:
+        d = float(dist[u, v])
+        source_in_u = forest.component_contains_source(u)
+        source_in_v = forest.component_contains_source(v)
+        if source_in_u or source_in_v:
+            if source_in_v:
+                u, v = v, u  # normalise: source side is t_u
+            head = forest.path(SOURCE, u) + d
+            if head + forest.radius(v) > upper + tolerance:
+                return False
+            # Newly fixed source paths are head + path(v, x); the
+            # shortest is head itself (x = v).
+            return head >= lower - tolerance
+        nodes, radii = forest.merged_radii(u, v)
+        direct = dist[SOURCE, nodes]
+        witness = (direct >= lower - tolerance) & (
+            direct + radii <= upper + tolerance
+        )
+        return bool(witness.any())
+
+    return feasible
+
+
+def _lemma61_edge_stream(net: Net, lower: float, tolerance: float):
+    """Sorted complete-graph edges minus Lemma 6.1 eliminations."""
+    dist = net.dist
+    _, us, vs = sorted_edge_arrays(net)
+    for u, v in zip(us.tolist(), vs.tolist()):
+        if u == SOURCE and float(dist[SOURCE, v]) < lower - tolerance:
+            continue
+        yield (u, v)
+
+
+def _check_two_sided(
+    tree: RoutingTree,
+    lower: float,
+    upper: float,
+    tolerance: float,
+) -> bool:
+    paths = tree.source_path_lengths()[1:]
+    return bool(
+        paths.min() >= lower - tolerance and paths.max() <= upper + tolerance
+    )
+
+
+def lub_bkrus(
+    net: Net,
+    eps1: float,
+    eps2: float,
+    tolerance: float = 1e-9,
+) -> RoutingTree:
+    """BKRUS under a two-sided path-length bound (the paper's LUBKT).
+
+    Raises :class:`InfeasibleError` when the construction cannot span the
+    net within the bounds; the paper notes many (eps1, eps2) pairs are
+    infeasible for *node-branching* (spanning) trees and that this is
+    unavoidable without Steiner/path branching.
+    """
+    lower, upper = resolve_bounds(net, eps1, eps2)
+    test = lub_feasibility_test(net, lower, upper, tolerance)
+    forest = bounded_kruskal(
+        net, test, edge_stream=_lemma61_edge_stream(net, lower, tolerance)
+    )
+    if forest.num_components != 1:
+        raise InfeasibleError(
+            f"no LUB spanning tree found for eps1={eps1}, eps2={eps2}"
+        )
+    tree = RoutingTree(net, forest.edges)
+    if not _check_two_sided(tree, lower, upper, tolerance):
+        raise InfeasibleError(
+            f"constructed tree violates bounds for eps1={eps1}, eps2={eps2}"
+        )
+    return tree
+
+
+def lub_exact(
+    net: Net,
+    eps1: float,
+    eps2: float,
+    max_trees: Optional[int] = 200_000,
+    tolerance: float = 1e-9,
+) -> RoutingTree:
+    """Optimal two-sided-bound spanning tree by ordered enumeration.
+
+    Applies Lemma 6.1 (too-short source edges) plus the Lemma 4.2
+    analogue for the upper bound as pre-filters.  Lemma 4.1 is *not*
+    sound under a lower bound (its rewiring shortens paths), so it is
+    omitted here.
+    """
+    lower, upper = resolve_bounds(net, eps1, eps2)
+    dist = net.dist
+    n = net.num_terminals
+    exclude = set()
+    for v in range(1, n):
+        if float(dist[SOURCE, v]) < lower - tolerance:
+            exclude.add((SOURCE, v))
+    if math.isfinite(upper):
+        for a in range(1, n):
+            for b in range(a + 1, n):
+                w = float(dist[a, b])
+                if (
+                    float(dist[SOURCE, a]) + w > upper + tolerance
+                    and float(dist[SOURCE, b]) + w > upper + tolerance
+                ):
+                    exclude.add((a, b))
+    count = 0
+    for tree in spanning_trees_in_cost_order(net, frozenset(), frozenset(exclude)):
+        count += 1
+        if max_trees is not None and count > max_trees:
+            raise AlgorithmLimitError(
+                f"LUB enumeration exceeded max_trees={max_trees}"
+            )
+        if _check_two_sided(tree, lower, upper, tolerance):
+            return tree
+    raise InfeasibleError(
+        f"no spanning tree satisfies eps1={eps1}, eps2={eps2}"
+    )
+
+
+def lub_bkex(
+    net: Net,
+    eps1: float,
+    eps2: float,
+    initial: Optional[RoutingTree] = None,
+    max_depth: Optional[int] = None,
+    stats: Optional[BkexStats] = None,
+    tolerance: float = 1e-9,
+) -> RoutingTree:
+    """Negative-sum-exchange descent under the two-sided bound."""
+    lower, upper = resolve_bounds(net, eps1, eps2)
+    tree = initial if initial is not None else lub_bkrus(net, eps1, eps2)
+    if not _check_two_sided(tree, lower, upper, tolerance):
+        raise InvalidParameterError("initial tree violates the two-sided bound")
+    return exchange_descent(
+        tree,
+        lambda candidate: _check_two_sided(candidate, lower, upper, tolerance),
+        max_depth=max_depth,
+        stats=stats,
+        tolerance=tolerance,
+    )
+
+
+def lub_bkh2(
+    net: Net,
+    eps1: float,
+    eps2: float,
+    initial: Optional[RoutingTree] = None,
+    level2_beam: Optional[int] = None,
+    stats: Optional[Bkh2Stats] = None,
+    tolerance: float = 1e-9,
+) -> RoutingTree:
+    """Depth-2 exchange polish under the two-sided bound."""
+    lower, upper = resolve_bounds(net, eps1, eps2)
+    tree = initial if initial is not None else lub_bkrus(net, eps1, eps2)
+    if not _check_two_sided(tree, lower, upper, tolerance):
+        raise InvalidParameterError("initial tree violates the two-sided bound")
+    return depth2_descent(
+        tree,
+        lambda candidate: _check_two_sided(candidate, lower, upper, tolerance),
+        level2_beam=level2_beam,
+        stats=stats,
+        tolerance=tolerance,
+    )

@@ -1,0 +1,134 @@
+"""Minimal spanning trees over a net's complete terminal graph.
+
+Both classical constructions are provided: Kruskal (the basis of BKRUS)
+and Prim (the basis of BPRIM).  On the same net they return trees of the
+same cost, though possibly different edge sets under ties.
+
+``mst(net)`` is the unbounded anchor of the paper's comparisons — every
+perf ratio in Tables 2-4 is ``cost(tree) / cost(mst)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+import numpy as np
+
+from repro.core.disjoint_set import DisjointSet
+from repro.core.edges import sorted_edge_arrays
+from repro.core.net import Net, SOURCE
+from repro.core.tree import RoutingTree
+
+
+def kruskal_mst(net: Net) -> RoutingTree:
+    """Kruskal's algorithm on the complete terminal graph.
+
+    Deterministic: edges are scanned in (weight, u, v) order, so equal-cost
+    MSTs resolve identically run to run.
+    """
+    n = net.num_terminals
+    _, us, vs = sorted_edge_arrays(net)
+    sets = DisjointSet(n)
+    chosen: List[tuple] = []
+    for u, v in zip(us.tolist(), vs.tolist()):
+        if sets.union(u, v):
+            chosen.append((u, v))
+            if len(chosen) == n - 1:
+                break
+    return RoutingTree(net, chosen)
+
+
+def prim_mst(net: Net, root: int = SOURCE) -> RoutingTree:
+    """Prim's algorithm grown from ``root`` using the dense distance matrix.
+
+    O(V^2) with numpy argmin per step — the right shape for complete
+    geometric graphs, and fast enough for the large Table 3 instances.
+    """
+    n = net.num_terminals
+    dist = net.dist
+    in_tree = np.zeros(n, dtype=bool)
+    in_tree[root] = True
+    best_cost = dist[root].copy()
+    best_from = np.full(n, root, dtype=int)
+    best_cost[root] = np.inf
+    chosen: List[tuple] = []
+    for _ in range(n - 1):
+        nxt = int(np.argmin(np.where(in_tree, np.inf, best_cost)))
+        chosen.append((int(best_from[nxt]), nxt))
+        in_tree[nxt] = True
+        best_cost[nxt] = np.inf
+        closer = dist[nxt] < best_cost
+        closer &= ~in_tree
+        best_cost[closer] = dist[nxt][closer]
+        best_from[closer] = nxt
+    return RoutingTree(net, chosen)
+
+
+def mst(net: Net) -> RoutingTree:
+    """The library's canonical MST (Kruskal, deterministic tie-breaks)."""
+    return kruskal_mst(net)
+
+
+def mst_cost(net: Net) -> float:
+    """Cost of a minimal spanning tree of ``net``."""
+    return mst(net).cost
+
+
+def maximal_spanning_tree(net: Net) -> RoutingTree:
+    """Maximum-weight spanning tree — the upper anchor of Figure 11's chart."""
+    n = net.num_terminals
+    weights, us, vs = sorted_edge_arrays(net)
+    sets = DisjointSet(n)
+    chosen: List[tuple] = []
+    for u, v in zip(us[::-1].tolist(), vs[::-1].tolist()):
+        if sets.union(u, v):
+            chosen.append((u, v))
+            if len(chosen) == n - 1:
+                break
+    del weights
+    return RoutingTree(net, chosen)
+
+
+def constrained_mst(
+    net: Net,
+    include: frozenset,
+    exclude: frozenset,
+) -> "RoutingTree | None":
+    """Minimum spanning tree forced to contain ``include`` and avoid ``exclude``.
+
+    The workhorse of the Gabow-style enumeration (Section 4): each search
+    node is the constrained-MST problem over (include, exclude) edge sets.
+    Returns None if the constraints admit no spanning tree (forced edges
+    forming a cycle, or the remaining graph disconnected).
+    """
+    n = net.num_terminals
+    sets = DisjointSet(n)
+    chosen: List[tuple] = []
+    for u, v in sorted(include):
+        if not sets.union(u, v):
+            return None
+        chosen.append((u, v))
+    if len(chosen) == n - 1:
+        return RoutingTree(net, chosen)
+    _, us, vs = sorted_edge_arrays(net)
+    for u, v in zip(us.tolist(), vs.tolist()):
+        edge = (u, v)
+        if edge in include or edge in exclude:
+            continue
+        if sets.union(u, v):
+            chosen.append(edge)
+            if len(chosen) == n - 1:
+                return RoutingTree(net, chosen)
+    return None
+
+
+def mst_edge_heap(net: Net) -> List[tuple]:
+    """(weight, u, v) min-heap over all complete-graph edges."""
+    weights, us, vs = sorted_edge_arrays(net)
+    heap = [
+        (float(w), int(u), int(v))
+        for w, u, v in zip(weights, us, vs)
+    ]
+    heapq.heapify(heap)
+    return heap

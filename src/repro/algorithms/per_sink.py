@@ -1,0 +1,150 @@
+"""Per-sink bounded path length trees (the bounded-*ratio* variant).
+
+The reproduced paper bounds every path by a single global value
+``(1 + eps) * R``.  Cong et al.'s original formulation also considers
+the per-sink version: each sink ``x`` must satisfy
+
+    ``path(S, x) <= (1 + eps) * dist(S, x)``
+
+— a *stretch* bound, stricter for near sinks and looser for far ones.
+The same Kruskal machinery applies with a bound vector instead of a
+scalar:
+
+* (3-a) with ``S`` in ``t_u``: every node ``y`` of ``t_v`` must satisfy
+  ``path(S, u) + dist(u, v) + path(v, y) <= bound_y`` — checked
+  vectorised over ``t_v``'s members (no single-radius shortcut exists,
+  because each member carries its own ceiling).
+* (3-b) without ``S``: a witness ``x`` must make the *direct* connection
+  legal for every member:
+  ``dist(S, x) + path_M(x, y) <= bound_y  for all y`` in the merged
+  tree.
+
+Rejection permanence (the Lemma 3.1 argument) carries over: both sides
+of each inequality behave exactly as in the global-bound proof, with
+``bound_y`` constant per node.  At ``eps = 0`` every sink is pinned to
+its direct distance (an SPT-path forest); at ``eps = inf`` the
+construction is plain Kruskal.
+
+A per-sink tree with parameter ``eps`` is automatically a global-bound
+tree with the same ``eps`` (take ``y`` = the farthest sink), so this
+variant is the stricter policy; the `bench_per_sink.py` study prices
+the difference.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.exceptions import InfeasibleError, InvalidParameterError
+from repro.core.net import Net, SOURCE
+from repro.core.partial_forest import PartialForest
+from repro.core.tree import RoutingTree
+from repro.algorithms.bkrus import FeasibilityTest, KruskalTrace, bounded_kruskal
+
+
+def per_sink_bounds(net: Net, eps: float) -> np.ndarray:
+    """The bound vector: ``(1 + eps) * dist(S, x)`` per node (inf at S)."""
+    if eps < 0 or math.isnan(eps):
+        raise InvalidParameterError(f"eps must be >= 0, got {eps}")
+    bounds = (1.0 + eps) * np.asarray(net.dist[SOURCE], dtype=float)
+    bounds[SOURCE] = math.inf
+    return bounds
+
+
+def per_sink_test(
+    net: Net,
+    bounds: np.ndarray,
+    tolerance: float = 1e-9,
+) -> FeasibilityTest:
+    """Merge feasibility for a per-node bound vector."""
+    dist = net.dist
+
+    def feasible(forest: PartialForest, u: int, v: int) -> bool:
+        d = float(dist[u, v])
+        source_in_u = forest.component_contains_source(u)
+        source_in_v = forest.component_contains_source(v)
+        if source_in_u or source_in_v:
+            if source_in_v:
+                u, v = v, u
+            head = forest.path(SOURCE, u) + d
+            members = np.asarray(forest.sets.members_view(v), dtype=int)
+            paths = head + forest.P[v, members]
+            return bool(np.all(paths <= bounds[members] + tolerance))
+        mu = np.asarray(forest.sets.members_view(u), dtype=int)
+        mv = np.asarray(forest.sets.members_view(v), dtype=int)
+        members = np.concatenate([mu, mv])
+        ceilings = bounds[members]
+        # path_M(x, y) for x, y in the merged tree: within-side paths
+        # plus cross terms through the new edge.
+        p_uu = forest.P[np.ix_(mu, mu)]
+        p_vv = forest.P[np.ix_(mv, mv)]
+        cross = forest.P[mu, u][:, None] + d + forest.P[v, mv][None, :]
+        top = np.concatenate([p_uu, cross], axis=1)
+        bottom = np.concatenate([cross.T, p_vv], axis=1)
+        path_matrix = np.concatenate([top, bottom], axis=0)
+        direct = np.asarray(dist[SOURCE])[members]
+        # Witness x: direct[x] + path_M(x, y) <= bounds[y] for all y.
+        slack = ceilings[None, :] - (direct[:, None] + path_matrix)
+        return bool(np.any(slack.min(axis=1) >= -tolerance))
+
+    return feasible
+
+
+def bkrus_per_sink(
+    net: Net,
+    eps: float,
+    tolerance: float = 1e-9,
+    trace: Optional[KruskalTrace] = None,
+) -> RoutingTree:
+    """Bounded Kruskal under the per-sink stretch bound.
+
+    Always completes for ``eps >= 0``: the direct source edge of any
+    witness is legal by the witness test itself, and every singleton is
+    its own witness initially, so the feasible-node invariant carries
+    over from the global-bound argument.
+    """
+    if eps < 0 or math.isnan(eps):
+        raise InvalidParameterError(f"eps must be >= 0, got {eps}")
+    if math.isinf(eps):
+        from repro.algorithms.mst import mst
+
+        return mst(net)
+    bounds = per_sink_bounds(net, eps)
+    forest = bounded_kruskal(net, per_sink_test(net, bounds, tolerance), trace=trace)
+    if forest.num_components != 1:
+        raise InfeasibleError(
+            "per-sink BKRUS failed to span the net — this indicates a "
+            "broken feasibility policy, not a property of the input"
+        )
+    tree = RoutingTree(net, forest.edges)
+    assert satisfies_per_sink(tree, eps, tolerance)
+    return tree
+
+
+def satisfies_per_sink(
+    tree: RoutingTree,
+    eps: float,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Does every sink meet its stretch bound ``(1+eps) * dist(S, x)``?"""
+    paths = tree.source_path_lengths()
+    direct = np.asarray(tree.net.dist[SOURCE])
+    sinks = slice(1, None)
+    return bool(
+        np.all(paths[sinks] <= (1.0 + eps) * direct[sinks] + tolerance)
+    )
+
+
+def stretch(tree: RoutingTree) -> float:
+    """The tree's maximum stretch: ``max_x path(S, x) / dist(S, x)``.
+
+    The smallest ``eps`` for which the tree is per-sink feasible is
+    ``stretch - 1``.
+    """
+    paths = tree.source_path_lengths()
+    direct = np.asarray(tree.net.dist[SOURCE])
+    ratios = paths[1:] / direct[1:]
+    return float(ratios.max())

@@ -1,0 +1,66 @@
+"""Prim-Dijkstra tradeoff trees (Alpert, Hu, Huang, Kahng — ref [9]).
+
+The paper's Section 1 cites this construction as the prior art that
+trades *average* source-to-sink path length for total cost with a linear
+combining objective: grow a tree from the source, always adding the pair
+``(u, v)`` minimising
+
+    ``c * path(S, u) + dist(u, v)``       for  ``c in [0, 1]``.
+
+``c = 0`` is Prim (MST); ``c = 1`` is Dijkstra (SPT on a complete
+geometric graph, i.e. the star).  Unlike BKRUS the construction offers no
+hard bound on the longest path — which is exactly the gap the reproduced
+paper fills — but it is a useful extra baseline for the tradeoff curves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net, SOURCE
+from repro.core.tree import RoutingTree
+
+
+def prim_dijkstra(net: Net, c: float) -> RoutingTree:
+    """Grow the Prim-Dijkstra tree for mixing parameter ``c``.
+
+    Parameters
+    ----------
+    net:
+        The net to route.
+    c:
+        Mixing weight in ``[0, 1]``; 0 reproduces Prim/MST behaviour and
+        1 reproduces Dijkstra/SPT behaviour.
+    """
+    if not (0.0 <= c <= 1.0) or math.isnan(c):
+        raise InvalidParameterError(f"c must lie in [0, 1], got {c}")
+    n = net.num_terminals
+    dist = net.dist
+    in_tree = np.zeros(n, dtype=bool)
+    in_tree[SOURCE] = True
+    path_len = np.zeros(n)
+    best_key = c * 0.0 + dist[SOURCE].copy()
+    best_from = np.full(n, SOURCE, dtype=int)
+    best_key[SOURCE] = np.inf
+    edges: List[Tuple[int, int]] = []
+    for _ in range(n - 1):
+        v = int(np.argmin(np.where(in_tree, np.inf, best_key)))
+        u = int(best_from[v])
+        in_tree[v] = True
+        path_len[v] = path_len[u] + float(dist[u, v])
+        edges.append((u, v))
+        keys = c * path_len[v] + dist[v]
+        better = (~in_tree) & (keys < best_key)
+        best_key[better] = keys[better]
+        best_from[better] = v
+        best_key[v] = np.inf
+    return RoutingTree(net, edges)
+
+
+def prim_dijkstra_sweep(net: Net, values: List[float]) -> List[Tuple[float, RoutingTree]]:
+    """Trees for each mixing value, for tradeoff-curve plotting."""
+    return [(c, prim_dijkstra(net, c)) for c in values]

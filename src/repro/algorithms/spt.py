@@ -1,0 +1,83 @@
+"""Shortest path trees.
+
+On a complete geometric graph the shortest source-to-sink path is the
+direct edge (triangle inequality), so the SPT degenerates to a star on
+the source — the minimum-radius, maximum-cost anchor of the paper's
+tradeoff (Figure 11 places SPT at the high-cost end; its longest path
+defines ``R``).
+
+A general Dijkstra SPT over an arbitrary weighted graph is also provided
+because the Steiner substrate (grid routing graphs, BRBC's auxiliary
+graph ``Q``) needs real shortest-path trees on sparse graphs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net, SOURCE
+from repro.core.tree import RoutingTree, star_tree
+
+
+def spt(net: Net) -> RoutingTree:
+    """The shortest path tree of a geometric net (a source-centred star)."""
+    return star_tree(net)
+
+
+def spt_radius(net: Net) -> float:
+    """``R``: the longest source-sink path of the SPT."""
+    return net.radius()
+
+
+def dijkstra(
+    adjacency: Mapping[int, Iterable[Tuple[int, float]]],
+    source: int,
+) -> Tuple[Dict[int, float], Dict[int, int]]:
+    """Dijkstra over an adjacency mapping ``node -> [(neighbor, weight)]``.
+
+    Returns ``(dist, parent)`` dictionaries covering every node reachable
+    from ``source``.  Deterministic: ties are resolved by node index.
+    """
+    dist: Dict[int, float] = {source: 0.0}
+    parent: Dict[int, int] = {source: -1}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    done = set()
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        done.add(node)
+        for neighbor, weight in adjacency.get(node, ()):
+            if weight < 0:
+                raise InvalidParameterError(
+                    f"negative edge weight {weight} on ({node}, {neighbor})"
+                )
+            candidate = d + weight
+            if neighbor not in dist or candidate < dist[neighbor] - 1e-12:
+                dist[neighbor] = candidate
+                parent[neighbor] = node
+                heapq.heappush(heap, (candidate, neighbor))
+    return dist, parent
+
+
+def shortest_path_tree_of_graph(
+    net: Net,
+    extra_adjacency: Mapping[int, Iterable[Tuple[int, float]]],
+) -> RoutingTree:
+    """SPT (from the net's source) of an arbitrary graph over the terminals.
+
+    ``extra_adjacency`` lists the graph's edges per node; weights default
+    to the net metric when omitted (pass explicit weights to override).
+    Used by BRBC: the final answer is the SPT of MST + shortcut edges.
+    """
+    dist, parent = dijkstra(extra_adjacency, SOURCE)
+    n = net.num_terminals
+    missing = [node for node in range(n) if node not in dist]
+    if missing:
+        raise InvalidParameterError(
+            f"graph does not reach terminals {missing}; cannot build an SPT"
+        )
+    edges = [(node, parent[node]) for node in range(n) if node != SOURCE]
+    return RoutingTree(net, edges)

@@ -1,0 +1,66 @@
+"""Evaluation metrics, sweeps, table formatting and validation."""
+
+from repro.analysis.metrics import (
+    TreeReport,
+    evaluate,
+    path_ratio,
+    perf_ratio,
+    skew_ratio,
+)
+from repro.analysis.frontier import (
+    FrontierPoint,
+    dominated_area,
+    knee_point,
+    pareto_frontier,
+)
+from repro.analysis.planarity import crossing_count, crossing_pairs
+from repro.analysis.render import ascii_render, save_svg, svg_render
+from repro.analysis.report import collect_results, write_report
+from repro.analysis.runners import ALGORITHMS, algorithm_names, run, run_many
+from repro.analysis.statistics import geometric_mean, mean_ci, paired_sign_test
+from repro.analysis.tables import format_table
+from repro.analysis.tree_diff import TreeDiff, diff_trees, format_diff
+from repro.analysis.tradeoff import (
+    PAPER_EPS_SWEEP,
+    PAPER_EPS_SWEEP_SET4,
+    PAPER_LUB_GRID,
+    lub_grid,
+    ratio_curves,
+    tradeoff_curve,
+)
+
+__all__ = [
+    "TreeReport",
+    "evaluate",
+    "path_ratio",
+    "perf_ratio",
+    "skew_ratio",
+    "ALGORITHMS",
+    "algorithm_names",
+    "run",
+    "run_many",
+    "format_table",
+    "FrontierPoint",
+    "dominated_area",
+    "knee_point",
+    "pareto_frontier",
+    "collect_results",
+    "write_report",
+    "geometric_mean",
+    "mean_ci",
+    "paired_sign_test",
+    "crossing_count",
+    "crossing_pairs",
+    "ascii_render",
+    "save_svg",
+    "svg_render",
+    "TreeDiff",
+    "diff_trees",
+    "format_diff",
+    "PAPER_EPS_SWEEP",
+    "PAPER_EPS_SWEEP_SET4",
+    "PAPER_LUB_GRID",
+    "lub_grid",
+    "ratio_curves",
+    "tradeoff_curve",
+]

@@ -1,0 +1,101 @@
+"""Pareto frontier utilities over (cost, radius) tradeoff points.
+
+Figure 9 plots a *sweep*; what a designer actually consumes is the
+Pareto frontier: the sweep points no other point dominates (cheaper AND
+shorter-pathed).  These helpers extract the frontier from any tradeoff
+series, measure its dominated area (a hypervolume-style scalar, lower
+is better), and pick the knee point for a given wire/time exchange
+rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.exceptions import InvalidParameterError
+from repro.analysis.tradeoff import TradeoffPoint
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One non-dominated sweep sample (``eps`` kept for traceability)."""
+
+    eps: float
+    cost: float
+    radius: float
+
+
+def _as_points(points: Sequence) -> List[FrontierPoint]:
+    converted = []
+    for point in points:
+        if isinstance(point, FrontierPoint):
+            converted.append(point)
+        elif isinstance(point, TradeoffPoint):
+            converted.append(
+                FrontierPoint(point.eps, point.cost, point.longest_path)
+            )
+        else:
+            eps, cost, radius = point
+            converted.append(FrontierPoint(eps, cost, radius))
+    return converted
+
+
+def pareto_frontier(points: Sequence) -> List[FrontierPoint]:
+    """Non-dominated subset, sorted by increasing cost.
+
+    A point dominates another when it is no worse on both axes and
+    strictly better on at least one.  Accepts `TradeoffPoint`s,
+    `FrontierPoint`s, or ``(eps, cost, radius)`` triples.
+    """
+    candidates = _as_points(points)
+    if not candidates:
+        return []
+    candidates.sort(key=lambda p: (p.cost, p.radius))
+    frontier: List[FrontierPoint] = []
+    best_radius = float("inf")
+    for point in candidates:
+        if point.radius < best_radius - 1e-12:
+            frontier.append(point)
+            best_radius = point.radius
+    return frontier
+
+
+def dominated_area(
+    points: Sequence,
+    reference: Tuple[float, float],
+) -> float:
+    """Area dominated by the frontier up to ``reference = (cost, radius)``.
+
+    The 2-D hypervolume indicator: larger means a better frontier.
+    Frontier points beyond the reference on either axis are clipped out.
+    """
+    frontier = pareto_frontier(points)
+    ref_cost, ref_radius = reference
+    area = 0.0
+    previous_radius = ref_radius
+    for point in frontier:
+        if point.cost >= ref_cost or point.radius >= previous_radius:
+            continue
+        area += (ref_cost - point.cost) * (previous_radius - point.radius)
+        previous_radius = point.radius
+    return area
+
+
+def knee_point(points: Sequence, wire_per_unit_radius: float) -> FrontierPoint:
+    """The frontier point minimising ``cost + rate * radius``.
+
+    ``wire_per_unit_radius`` is the exchange rate: how much wire the
+    designer would pay to shave one unit off the worst path.
+    """
+    if wire_per_unit_radius < 0:
+        raise InvalidParameterError(
+            f"exchange rate must be >= 0, got {wire_per_unit_radius}"
+        )
+    frontier = pareto_frontier(points)
+    if not frontier:
+        raise InvalidParameterError("empty frontier")
+    return min(
+        frontier,
+        key=lambda p: (p.cost + wire_per_unit_radius * p.radius, p.eps),
+    )

@@ -1,0 +1,116 @@
+"""Evaluation metrics for routing trees — the columns of Tables 2-5.
+
+* ``perf ratio``  = ``cost(tree) / cost(MST)``      (cost quality)
+* ``path ratio``  = ``longest path(tree) / R``      (timing quality;
+  the paper normalises by the SPT's longest path, which equals ``R``)
+* ``skew``        = ``longest path / shortest path`` (Table 5's ``s``)
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.net import Net
+from repro.core.tree import RoutingTree
+from repro.algorithms.mst import mst_cost
+from repro.steiner.bkst import SteinerTree
+
+AnyTree = Union[RoutingTree, SteinerTree]
+
+
+@dataclass(frozen=True)
+class TreeReport:
+    """One evaluated tree: the quantities the paper tabulates."""
+
+    algorithm: str
+    net_name: str
+    eps: float
+    cost: float
+    longest_path: float
+    shortest_path: float
+    perf_ratio: float
+    path_ratio: float
+    cpu_seconds: float = float("nan")
+
+    @property
+    def skew(self) -> float:
+        if self.shortest_path == 0.0:
+            return float("inf")
+        return self.longest_path / self.shortest_path
+
+
+def tree_cost(tree: AnyTree) -> float:
+    return tree.cost
+
+
+def tree_longest_path(tree: AnyTree) -> float:
+    if isinstance(tree, SteinerTree):
+        return tree.longest_sink_path()
+    return tree.longest_source_path()
+
+
+def tree_shortest_path(tree: AnyTree) -> float:
+    if isinstance(tree, SteinerTree):
+        return min(tree.sink_path_lengths().values())
+    return tree.shortest_source_path()
+
+
+def perf_ratio(tree: AnyTree, net: Net, mst_reference: Optional[float] = None) -> float:
+    """``cost(tree) / cost(MST)`` — the paper's performance ratio."""
+    reference = mst_reference if mst_reference is not None else mst_cost(net)
+    return tree_cost(tree) / reference
+
+
+def path_ratio(tree: AnyTree, net: Net) -> float:
+    """``longest path(tree) / longest path(SPT)`` = longest path / R."""
+    return tree_longest_path(tree) / net.radius()
+
+
+def skew_ratio(tree: AnyTree) -> float:
+    """Longest over shortest source-sink path (Table 5's ``s``)."""
+    shortest = tree_shortest_path(tree)
+    if shortest == 0.0:
+        return float("inf")
+    return tree_longest_path(tree) / shortest
+
+
+def evaluate(
+    algorithm: str,
+    net: Net,
+    tree: AnyTree,
+    eps: float,
+    mst_reference: Optional[float] = None,
+    cpu_seconds: float = float("nan"),
+) -> TreeReport:
+    """Package a tree into a :class:`TreeReport` row."""
+    reference = mst_reference if mst_reference is not None else mst_cost(net)
+    longest = tree_longest_path(tree)
+    shortest = tree_shortest_path(tree)
+    return TreeReport(
+        algorithm=algorithm,
+        net_name=net.name or "?",
+        eps=eps,
+        cost=tree_cost(tree),
+        longest_path=longest,
+        shortest_path=shortest,
+        perf_ratio=tree_cost(tree) / reference,
+        path_ratio=longest / net.radius(),
+        cpu_seconds=cpu_seconds,
+    )
+
+
+def timed(func, *args, **kwargs):
+    """``(result, seconds)`` of one call — for the CPU columns."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def format_eps(eps: float) -> str:
+    """Render eps the way the paper's tables do (``inf`` for no bound)."""
+    if math.isinf(eps):
+        return "inf"
+    return f"{eps:.2f}"

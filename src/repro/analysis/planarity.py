@@ -1,0 +1,124 @@
+"""Wire-crossing analysis of routing trees.
+
+The paper's closing section lists "preserving planarity during the
+construction procedure" as future work: a spanning tree whose edges are
+realised as rectilinear wires may self-intersect, and each crossing is
+a via / layer change in a real layout.  This module quantifies that:
+every tree edge is realised as an L-shaped wire (corner nearer the
+source, the same rule BKST uses), and crossings between wires of
+*different* tree edges are counted.
+
+Only rectilinear (L1) realisations are analysed; segments are
+axis-parallel, so the intersection predicate is exact over floats.
+Touching at a shared tree node is not a crossing (that is just the tree
+branching); any other contact — a transversal crossing, a T-touch, or a
+collinear overlap — counts once per segment pair.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.net import Net, SOURCE
+from repro.core.tree import RoutingTree
+
+Point = Tuple[float, float]
+Segment = Tuple[Point, Point]
+
+
+def l_realisation(net: Net, u: int, v: int) -> List[Segment]:
+    """The two axis-parallel segments of edge (u, v)'s L-shaped wire.
+
+    The corner is chosen nearer the source (the paper's BKST rule);
+    degenerate (zero-length) segments are dropped, so an axis-aligned
+    edge yields a single segment.
+    """
+    p, q = net.point(u), net.point(v)
+    sx, sy = net.point(SOURCE)
+    corner_a = (q[0], p[1])
+    corner_b = (p[0], q[1])
+
+    def corner_key(corner: Point) -> float:
+        return abs(corner[0] - sx) + abs(corner[1] - sy)
+
+    corner = min((corner_a, corner_b), key=corner_key)
+    segments = []
+    for a, b in ((p, corner), (corner, q)):
+        if a != b:
+            segments.append((a, b))
+    return segments
+
+
+def tree_segments(tree: RoutingTree) -> List[Tuple[int, Segment]]:
+    """All wire segments of the tree, tagged by owning edge index."""
+    segments: List[Tuple[int, Segment]] = []
+    for index, (u, v) in enumerate(tree.edges):
+        for segment in l_realisation(tree.net, u, v):
+            segments.append((index, segment))
+    return segments
+
+
+def _span(a: float, b: float) -> Tuple[float, float]:
+    return (a, b) if a <= b else (b, a)
+
+
+def segments_intersect(s1: Segment, s2: Segment) -> bool:
+    """Do two axis-parallel segments share at least one point?"""
+    (x1a, y1a), (x1b, y1b) = s1
+    (x2a, y2a), (x2b, y2b) = s2
+    x1_lo, x1_hi = _span(x1a, x1b)
+    y1_lo, y1_hi = _span(y1a, y1b)
+    x2_lo, x2_hi = _span(x2a, x2b)
+    y2_lo, y2_hi = _span(y2a, y2b)
+    return (
+        x1_lo <= x2_hi
+        and x2_lo <= x1_hi
+        and y1_lo <= y2_hi
+        and y2_lo <= y1_hi
+    )
+
+
+def _shares_tree_node(net: Net, e1: Tuple[int, int], e2: Tuple[int, int]) -> bool:
+    return bool(set(e1) & set(e2))
+
+
+def crossing_pairs(tree: RoutingTree) -> List[Tuple[int, int]]:
+    """Edge-index pairs whose wire realisations touch or cross.
+
+    Pairs of tree edges sharing a terminal are excluded (their wires
+    legitimately meet at the shared node).  Adjacent-edge overlaps
+    beyond the shared point are therefore not reported; the metric
+    targets genuine crossings between unrelated branches.
+    """
+    net = tree.net
+    edges = tree.edges
+    tagged = tree_segments(tree)
+    seen = set()
+    for i, (edge_i, seg_i) in enumerate(tagged):
+        for edge_j, seg_j in tagged[i + 1 :]:
+            if edge_i == edge_j:
+                continue
+            key = (min(edge_i, edge_j), max(edge_i, edge_j))
+            if key in seen:
+                continue
+            if _shares_tree_node(net, edges[edge_i], edges[edge_j]):
+                continue
+            if segments_intersect(seg_i, seg_j):
+                seen.add(key)
+    return sorted(seen)
+
+
+def crossing_count(tree: RoutingTree) -> int:
+    """Number of crossing edge pairs in the tree's L-realisation."""
+    return len(crossing_pairs(tree))
+
+
+def crossing_report(
+    trees: Sequence[Tuple[str, RoutingTree]],
+) -> List[Tuple[str, int, float]]:
+    """``(label, crossings, crossings per edge)`` rows for comparison."""
+    rows = []
+    for label, tree in trees:
+        count = crossing_count(tree)
+        rows.append((label, count, count / max(len(tree.edges), 1)))
+    return rows

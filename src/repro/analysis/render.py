@@ -1,0 +1,175 @@
+"""Rendering routing trees: ASCII canvases and SVG documents.
+
+Pure-stdlib visual output for nets, spanning trees and Steiner trees —
+useful in examples, benchmark reports, and debugging.  Spanning-tree
+edges are drawn as their L-shaped realisations (corner nearer the
+source, the convention shared with :mod:`repro.analysis.planarity`);
+Steiner trees draw their actual grid segments.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.net import SOURCE
+from repro.core.tree import RoutingTree
+from repro.analysis.planarity import l_realisation, Segment
+from repro.steiner.bkst import SteinerTree
+
+AnyTree = Union[RoutingTree, SteinerTree]
+
+
+def _segments_of(tree: AnyTree) -> List[Segment]:
+    if isinstance(tree, SteinerTree):
+        return [
+            (tree.grid.coordinate(u), tree.grid.coordinate(v))
+            for u, v in tree.edges
+        ]
+    segments: List[Segment] = []
+    for u, v in tree.edges:
+        segments.extend(l_realisation(tree.net, u, v))
+    return segments
+
+
+def _terminal_points(tree: AnyTree) -> List[Tuple[int, Tuple[float, float]]]:
+    net = tree.net
+    return [(node, net.point(node)) for node in range(net.num_terminals)]
+
+
+def _bounds(tree: AnyTree) -> Tuple[float, float, float, float]:
+    xs: List[float] = []
+    ys: List[float] = []
+    for (x1, y1), (x2, y2) in _segments_of(tree):
+        xs.extend([x1, x2])
+        ys.extend([y1, y2])
+    for _, (x, y) in _terminal_points(tree):
+        xs.append(x)
+        ys.append(y)
+    return min(xs), min(ys), max(xs), max(ys)
+
+
+# ----------------------------------------------------------------------
+# ASCII
+# ----------------------------------------------------------------------
+def ascii_render(
+    tree: AnyTree,
+    width: int = 61,
+    height: int = 21,
+    wire: str = "#",
+    sink: str = "o",
+    source: str = "S",
+) -> str:
+    """A monospace plot: wires, sinks, and the source.
+
+    Wires occupy grid cells along each (axis-parallel) segment; sinks
+    and the source overwrite wires so terminals stay visible.
+    """
+    min_x, min_y, max_x, max_y = _bounds(tree)
+    span_x = (max_x - min_x) or 1.0
+    span_y = (max_y - min_y) or 1.0
+
+    def cell(point: Tuple[float, float]) -> Tuple[int, int]:
+        col = int(round((point[0] - min_x) / span_x * (width - 1)))
+        row = int(round((point[1] - min_y) / span_y * (height - 1)))
+        return height - 1 - row, col
+
+    canvas = [[" "] * width for _ in range(height)]
+    for (x1, y1), (x2, y2) in _segments_of(tree):
+        (r1, c1), (r2, c2) = cell((x1, y1)), cell((x2, y2))
+        if r1 == r2:
+            for c in range(min(c1, c2), max(c1, c2) + 1):
+                canvas[r1][c] = wire
+        elif c1 == c2:
+            for r in range(min(r1, r2), max(r1, r2) + 1):
+                canvas[r][c1] = wire
+        else:  # non-axis-parallel (L2 render): draw endpoint markers only
+            canvas[r1][c1] = wire
+            canvas[r2][c2] = wire
+    for node, point in _terminal_points(tree):
+        r, c = cell(point)
+        canvas[r][c] = source if node == SOURCE else sink
+    return "\n".join("".join(row) for row in canvas)
+
+
+# ----------------------------------------------------------------------
+# SVG
+# ----------------------------------------------------------------------
+def svg_render(
+    tree: AnyTree,
+    size: int = 480,
+    margin: int = 20,
+    wire_color: str = "#1f77b4",
+    sink_color: str = "#d62728",
+    source_color: str = "#2ca02c",
+    labels: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """A standalone SVG document for the tree.
+
+    The viewport is scaled isotropically to fit ``size`` pixels plus a
+    margin; y is flipped so the plot matches Cartesian coordinates.
+    """
+    min_x, min_y, max_x, max_y = _bounds(tree)
+    span = max(max_x - min_x, max_y - min_y) or 1.0
+    scale = (size - 2 * margin) / span
+
+    def to_px(point: Tuple[float, float]) -> Tuple[float, float]:
+        x = margin + (point[0] - min_x) * scale
+        y = size - margin - (point[1] - min_y) * scale
+        return x, y
+
+    out = io.StringIO()
+    out.write(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" '
+        f'height="{size}" viewBox="0 0 {size} {size}">\n'
+    )
+    if title:
+        out.write(f"  <title>{title}</title>\n")
+    out.write('  <rect width="100%" height="100%" fill="white"/>\n')
+    for (p1, p2) in _segments_of(tree):
+        (x1, y1), (x2, y2) = to_px(p1), to_px(p2)
+        out.write(
+            f'  <line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" '
+            f'y2="{y2:.2f}" stroke="{wire_color}" stroke-width="2"/>\n'
+        )
+    for node, point in _terminal_points(tree):
+        x, y = to_px(point)
+        color = source_color if node == SOURCE else sink_color
+        radius = 6 if node == SOURCE else 4
+        out.write(
+            f'  <circle cx="{x:.2f}" cy="{y:.2f}" r="{radius}" '
+            f'fill="{color}"/>\n'
+        )
+        if labels:
+            label = "S" if node == SOURCE else str(node)
+            out.write(
+                f'  <text x="{x + 7:.2f}" y="{y - 7:.2f}" '
+                f'font-size="11" font-family="monospace">{label}</text>\n'
+            )
+    out.write("</svg>\n")
+    return out.getvalue()
+
+
+def save_svg(tree: AnyTree, path: str, **kwargs) -> None:
+    """Write :func:`svg_render`'s output to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(svg_render(tree, **kwargs))
+
+
+def side_by_side(
+    blocks: Sequence[str],
+    gap: int = 4,
+) -> str:
+    """Join multiline ASCII blocks horizontally (for comparisons)."""
+    split = [block.splitlines() for block in blocks]
+    height = max(len(lines) for lines in split)
+    widths = [max((len(line) for line in lines), default=0) for lines in split]
+    rows = []
+    for index in range(height):
+        cells = []
+        for lines, width in zip(split, widths):
+            line = lines[index] if index < len(lines) else ""
+            cells.append(line.ljust(width))
+        rows.append((" " * gap).join(cells).rstrip())
+    return "\n".join(rows)

@@ -1,0 +1,114 @@
+"""Placement-jitter robustness studies.
+
+A heuristic whose output cost jumps under tiny placement perturbations
+is fragile in a physical-design flow (placements move late and often).
+This module measures how the bounded constructions respond to bounded
+random jitter of the sink coordinates: the paper's smooth-tradeoff
+claim (Figure 9) suggests BKRUS should degrade gracefully, which the
+jitter ablation bench (`bench_ablation_jitter.py`) quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net
+from repro.analysis.tables import mean
+
+
+def jittered(net: Net, magnitude: float, seed: int) -> Net:
+    """A copy of ``net`` with every *sink* moved by up to ``magnitude``
+    per axis (uniform); the source stays put, so ``R`` changes only
+    through the sinks.  Retries draws that collide terminals."""
+    if magnitude < 0:
+        raise InvalidParameterError(f"magnitude must be >= 0, got {magnitude}")
+    rng = np.random.default_rng(seed)
+    for _ in range(100):
+        offsets = rng.uniform(-magnitude, magnitude, size=(net.num_sinks, 2))
+        sinks = [
+            (x + float(dx), y + float(dy))
+            for (x, y), (dx, dy) in zip(net.sinks, offsets)
+        ]
+        candidate = set(sinks) | {net.source}
+        if len(candidate) == net.num_terminals:
+            return Net(net.source, sinks, metric=net.metric, name=net.name)
+    raise InvalidParameterError(
+        "could not jitter without terminal collisions; reduce magnitude"
+    )
+
+
+@dataclass(frozen=True)
+class JitterReport:
+    """Cost/radius statistics of one construction under jitter."""
+
+    magnitude: float
+    base_cost: float
+    mean_cost: float
+    max_cost: float
+    mean_radius_ratio: float
+    """Mean of (radius / jittered R): bound adherence across draws."""
+
+    @property
+    def mean_cost_ratio(self) -> float:
+        return self.mean_cost / self.base_cost
+
+    @property
+    def max_cost_ratio(self) -> float:
+        return self.max_cost / self.base_cost
+
+
+def jitter_study(
+    net: Net,
+    construct: Callable[[Net], "object"],
+    magnitudes: Sequence[float],
+    draws: int = 10,
+    seed: int = 0,
+) -> List[JitterReport]:
+    """Run ``construct`` on jittered copies of ``net`` per magnitude.
+
+    ``construct`` maps a net to any tree exposing ``cost`` and
+    ``longest_source_path()`` (every spanning algorithm here does).
+    """
+    if draws < 1:
+        raise InvalidParameterError(f"draws must be >= 1, got {draws}")
+    base = construct(net)
+    reports = []
+    for magnitude in magnitudes:
+        costs = []
+        radius_ratios = []
+        for draw in range(draws):
+            moved = jittered(net, magnitude, seed + draw)
+            tree = construct(moved)
+            costs.append(float(tree.cost))
+            radius_ratios.append(
+                float(tree.longest_source_path()) / moved.radius()
+            )
+        reports.append(
+            JitterReport(
+                magnitude=magnitude,
+                base_cost=float(base.cost),
+                mean_cost=mean(costs),
+                max_cost=max(costs),
+                mean_radius_ratio=mean(radius_ratios),
+            )
+        )
+    return reports
+
+
+def cost_sensitivity(reports: Sequence[JitterReport]) -> float:
+    """Slope proxy: worst mean-cost deviation per unit of jitter.
+
+    Zero means perfectly stable; used by the ablation bench to compare
+    algorithms' stability on the same nets.
+    """
+    worst = 0.0
+    for report in reports:
+        if report.magnitude <= 0:
+            continue
+        deviation = abs(report.mean_cost_ratio - 1.0) / report.magnitude
+        worst = max(worst, deviation)
+    return worst

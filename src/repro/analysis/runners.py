@@ -1,0 +1,101 @@
+"""Uniform dispatch over every tree-construction algorithm.
+
+Tables and the CLI address algorithms by the paper's names; this module
+maps those names to callables with the uniform signature
+``(net, eps) -> tree`` and provides a timed, report-producing runner.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net
+from repro.core.tree import RoutingTree
+from repro.algorithms.bkex import bkex
+from repro.algorithms.bkh2 import bkh2
+from repro.algorithms.bkrus import bkrus
+from repro.algorithms.bprim import bprim_vectorized
+from repro.algorithms.brbc import brbc
+from repro.algorithms.gabow import bmst_gabow
+from repro.algorithms.mst import mst
+from repro.algorithms.per_sink import bkrus_per_sink
+from repro.algorithms.prim_dijkstra import prim_dijkstra
+from repro.algorithms.spt import spt
+from repro.analysis.metrics import AnyTree, TreeReport, evaluate, timed
+from repro.steiner.bkst import bkst
+
+Runner = Callable[[Net, float], AnyTree]
+
+
+def _mst_runner(net: Net, eps: float) -> RoutingTree:
+    return mst(net)
+
+
+def _spt_runner(net: Net, eps: float) -> RoutingTree:
+    return spt(net)
+
+
+def _prim_dijkstra_runner(net: Net, eps: float) -> RoutingTree:
+    # Map eps in [0, inf) to the mixing weight: large slack -> Prim-like.
+    if math.isinf(eps):
+        return prim_dijkstra(net, 0.0)
+    return prim_dijkstra(net, 1.0 / (1.0 + eps))
+
+
+ALGORITHMS: Dict[str, Runner] = {
+    "mst": _mst_runner,
+    "spt": _spt_runner,
+    "bkrus": bkrus,
+    "bkrus_per_sink": lambda net, eps: bkrus_per_sink(net, eps),
+    "bprim": lambda net, eps: bprim_vectorized(net, eps),
+    "brbc": brbc,
+    "bkh2": lambda net, eps: bkh2(net, eps),
+    "bkex": lambda net, eps: bkex(net, eps),
+    "bmst_g": lambda net, eps: bmst_gabow(net, eps),
+    "prim_dijkstra": _prim_dijkstra_runner,
+    "bkst": lambda net, eps: bkst(net, eps),
+}
+
+HEURISTICS = ("bprim", "brbc", "bkrus", "bkh2")
+EXACT = ("bmst_g", "bkex")
+
+
+def algorithm_names() -> List[str]:
+    return sorted(ALGORITHMS)
+
+
+def get_runner(name: str) -> Runner:
+    if name not in ALGORITHMS:
+        raise InvalidParameterError(
+            f"unknown algorithm {name!r}; choose from {algorithm_names()}"
+        )
+    return ALGORITHMS[name]
+
+
+def run(
+    name: str,
+    net: Net,
+    eps: float,
+    mst_reference: Optional[float] = None,
+) -> TreeReport:
+    """Run one algorithm on one net and return its evaluated report."""
+    runner = get_runner(name)
+    tree, seconds = timed(runner, net, eps)
+    return evaluate(
+        name, net, tree, eps, mst_reference=mst_reference, cpu_seconds=seconds
+    )
+
+
+def run_many(
+    names: List[str],
+    net: Net,
+    eps: float,
+    mst_reference: Optional[float] = None,
+) -> List[TreeReport]:
+    """Run several algorithms on the same net (shared MST reference)."""
+    from repro.algorithms.mst import mst_cost
+
+    reference = mst_reference if mst_reference is not None else mst_cost(net)
+    return [run(name, net, eps, mst_reference=reference) for name in names]

@@ -1,0 +1,88 @@
+"""Statistical helpers for benchmark aggregates.
+
+The paper reports bare means over 50 random cases; with fewer cases (the
+harness default is 10) a mean without an interval can mislead.  These
+helpers add the missing rigor: t-based confidence intervals for means,
+a sign-test p-value for paired method comparisons ("A beat B on k of n
+nets"), and a small summary container the benches can print.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from scipy import stats
+
+from repro.core.exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class MeanSummary:
+    """Mean with a symmetric confidence interval."""
+
+    mean: float
+    low: float
+    high: float
+    count: int
+    confidence: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} [{self.low:.3f}, {self.high:.3f}]"
+
+
+def mean_ci(values: Sequence[float], confidence: float = 0.95) -> MeanSummary:
+    """Student-t confidence interval for the mean of ``values``.
+
+    A single value yields a degenerate interval equal to itself.
+    """
+    if not values:
+        raise InvalidParameterError("mean_ci of an empty sequence")
+    if not (0.0 < confidence < 1.0):
+        raise InvalidParameterError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return MeanSummary(mean, mean, mean, 1, confidence)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    sem = math.sqrt(variance / n)
+    half = float(stats.t.ppf(0.5 + confidence / 2.0, df=n - 1)) * sem
+    return MeanSummary(mean, mean - half, mean + half, n, confidence)
+
+
+def paired_sign_test(
+    a: Sequence[float],
+    b: Sequence[float],
+    tolerance: float = 1e-12,
+) -> Tuple[int, int, float]:
+    """Sign test for "method A beats method B" over paired runs.
+
+    Returns ``(a_wins, b_wins, p_value)`` where the two-sided p-value is
+    the binomial probability of a split at least this lopsided under
+    the null hypothesis that wins are coin flips (ties discarded).
+    """
+    if len(a) != len(b):
+        raise InvalidParameterError(
+            f"paired samples differ in length: {len(a)} vs {len(b)}"
+        )
+    a_wins = sum(1 for x, y in zip(a, b) if x < y - tolerance)
+    b_wins = sum(1 for x, y in zip(a, b) if y < x - tolerance)
+    decided = a_wins + b_wins
+    if decided == 0:
+        return 0, 0, 1.0
+    p_value = float(
+        stats.binomtest(min(a_wins, b_wins), decided, 0.5).pvalue
+    )
+    return a_wins, b_wins, p_value
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean — the right average for cost *ratios*."""
+    if not values:
+        raise InvalidParameterError("geometric_mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise InvalidParameterError("geometric_mean needs positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

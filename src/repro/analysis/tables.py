@@ -1,0 +1,100 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmark scripts print tables shaped like the paper's (same rows,
+same columns) so a reader can put them side by side; this module owns
+the formatting so every table looks alike.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(value: Cell, precision: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if math.isinf(value):
+            return "inf"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table."""
+    rendered: List[List[str]] = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(line(["-" * width for width in widths]))
+    for row in rendered:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (NaN on empty input)."""
+    cleaned = [v for v in values if not math.isnan(v)]
+    if not cleaned:
+        return float("nan")
+    return sum(cleaned) / len(cleaned)
+
+
+def maximum(values: Sequence[float]) -> float:
+    cleaned = [v for v in values if not math.isnan(v)]
+    if not cleaned:
+        return float("nan")
+    return max(cleaned)
+
+
+def minimum(values: Sequence[float]) -> float:
+    cleaned = [v for v in values if not math.isnan(v)]
+    if not cleaned:
+        return float("nan")
+    return min(cleaned)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """ASCII mini-plot of a series (used by the figure benchmarks)."""
+    cleaned = [v for v in values if not math.isnan(v) and not math.isinf(v)]
+    if not cleaned:
+        return ""
+    low, high = min(cleaned), max(cleaned)
+    span = high - low if high > low else 1.0
+    glyphs = " .:-=+*#%@"
+    out = []
+    for value in values:
+        if math.isnan(value) or math.isinf(value):
+            out.append("?")
+            continue
+        level = int((value - low) / span * (len(glyphs) - 1))
+        out.append(glyphs[level])
+    return "".join(out)

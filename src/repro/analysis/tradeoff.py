@@ -1,0 +1,167 @@
+"""Epsilon sweeps and tradeoff/ratio curves (Figures 9, 10, 12).
+
+The paper's central qualitative claim is that BKRUS exposes a *smooth,
+continuous* tradeoff between the longest path length and the total wire
+length as ``eps`` varies.  These helpers compute the raw series behind
+Figure 9 (path/cost ratio vs eps), Figure 10 (heuristic-vs-exact ratio
+curves), and Figure 12 (two-sided bound skew-vs-cost scatter).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.exceptions import InfeasibleError
+from repro.core.net import Net
+from repro.algorithms.lub import lub_bkrus
+from repro.algorithms.mst import mst_cost
+from repro.analysis.metrics import path_ratio, perf_ratio, skew_ratio
+from repro.analysis.runners import get_runner
+
+PAPER_EPS_SWEEP: Tuple[float, ...] = (
+    math.inf,
+    1.5,
+    1.0,
+    0.5,
+    0.4,
+    0.3,
+    0.2,
+    0.1,
+    0.0,
+)
+"""The eps column of Tables 2 and 3."""
+
+PAPER_EPS_SWEEP_SET4: Tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 1.0)
+"""The eps column of Table 4."""
+
+PAPER_LUB_GRID: Tuple[Tuple[float, float], ...] = tuple(
+    (eps1, eps2)
+    for eps1 in (0.0, 0.1, 0.3, 0.5, 0.7, 1.0)
+    for eps2 in (0.0, 0.1, 0.3, 0.5, 1.0, 1.5, 2.0)
+)
+"""The (eps1, eps2) grid of Table 5 / Figure 12."""
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One sweep sample: the Figure 9 pair plus the raw values."""
+
+    eps: float
+    cost: float
+    longest_path: float
+    perf_ratio: float
+    path_ratio: float
+
+
+def tradeoff_curve(
+    net: Net,
+    algorithm: str = "bkrus",
+    eps_values: Sequence[float] = PAPER_EPS_SWEEP,
+) -> List[TradeoffPoint]:
+    """Figure 9's series for one net and one algorithm."""
+    runner = get_runner(algorithm)
+    reference = mst_cost(net)
+    points = []
+    for eps in eps_values:
+        tree = runner(net, eps)
+        points.append(
+            TradeoffPoint(
+                eps=eps,
+                cost=tree.cost,
+                longest_path=float(path_ratio(tree, net) * net.radius()),
+                perf_ratio=perf_ratio(tree, net, reference),
+                path_ratio=path_ratio(tree, net),
+            )
+        )
+    return points
+
+
+def is_monotone_tradeoff(points: List[TradeoffPoint], tolerance: float = 1e-9) -> bool:
+    """Smaller eps should never make the tree cheaper (cost monotone in
+    the bound) — the smoothness property Figure 9 visualises.
+
+    Expects points ordered by decreasing eps (the paper's column order).
+    """
+    costs = [p.cost for p in points]
+    return all(b >= a - tolerance for a, b in zip(costs, costs[1:]))
+
+
+def ratio_curves(
+    nets: Sequence[Net],
+    eps_values: Sequence[float] = PAPER_EPS_SWEEP_SET4,
+    heuristics: Sequence[str] = ("bkrus", "bkh2"),
+    exact: str = "bkex",
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Figure 10's averaged curves over a set of (small) nets.
+
+    Returns series keyed ``"<name>/mst"`` and ``"<name>/<exact>"``;
+    each series is a list of ``(eps, mean ratio)`` pairs.
+    """
+    exact_runner = get_runner(exact)
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for eps in eps_values:
+        exact_costs = []
+        mst_costs = []
+        heuristic_costs: Dict[str, List[float]] = {h: [] for h in heuristics}
+        for net in nets:
+            mst_costs.append(mst_cost(net))
+            exact_costs.append(exact_runner(net, eps).cost)
+            for h in heuristics:
+                heuristic_costs[h].append(get_runner(h)(net, eps).cost)
+        count = len(nets)
+        mean_exact_over_mst = (
+            sum(e / m for e, m in zip(exact_costs, mst_costs)) / count
+        )
+        series.setdefault(f"{exact}/mst", []).append((eps, mean_exact_over_mst))
+        for h in heuristics:
+            over_mst = (
+                sum(c / m for c, m in zip(heuristic_costs[h], mst_costs)) / count
+            )
+            over_exact = (
+                sum(c / e for c, e in zip(heuristic_costs[h], exact_costs)) / count
+            )
+            series.setdefault(f"{h}/mst", []).append((eps, over_mst))
+            series.setdefault(f"{h}/{exact}", []).append((eps, over_exact))
+    return series
+
+
+@dataclass(frozen=True)
+class LubPoint:
+    """One Table 5 / Figure 12 cell."""
+
+    eps1: float
+    eps2: float
+    skew: float
+    """Longest over shortest path — the table's ``s``."""
+    cost_ratio: float
+    """Cost over MST — the table's ``r``."""
+    feasible: bool
+
+
+def lub_grid(
+    net: Net,
+    grid: Sequence[Tuple[float, float]] = PAPER_LUB_GRID,
+) -> List[LubPoint]:
+    """Sweep the (eps1, eps2) grid with LUB-BKRUS on one net."""
+    reference = mst_cost(net)
+    points = []
+    for eps1, eps2 in grid:
+        try:
+            tree = lub_bkrus(net, eps1, eps2)
+        except InfeasibleError:
+            points.append(
+                LubPoint(eps1, eps2, float("nan"), float("nan"), False)
+            )
+            continue
+        points.append(
+            LubPoint(
+                eps1,
+                eps2,
+                skew_ratio(tree),
+                tree.cost / reference,
+                True,
+            )
+        )
+    return points

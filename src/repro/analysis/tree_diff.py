@@ -1,0 +1,93 @@
+"""Structural diffs between two routing trees on the same net.
+
+When an algorithm change shifts a benchmark number, the first question
+is *which edges moved*.  :func:`diff_trees` answers it: edges only in
+either tree, the cost delta, and the per-sink path-length deltas —
+formatted by :func:`format_diff` for direct printing in regression
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+from repro.core.edges import Edge
+from repro.core.exceptions import InvalidParameterError
+from repro.core.tree import RoutingTree
+
+
+@dataclass(frozen=True)
+class TreeDiff:
+    """Difference between two trees over one net."""
+
+    removed: FrozenSet[Edge]
+    """Edges of the first tree absent from the second."""
+    added: FrozenSet[Edge]
+    """Edges of the second tree absent from the first."""
+    cost_delta: float
+    """``cost(second) - cost(first)``."""
+    path_deltas: Dict[int, float]
+    """Per-sink ``path(second) - path(first)``."""
+
+    @property
+    def identical(self) -> bool:
+        return not self.removed and not self.added
+
+    @property
+    def num_exchanged(self) -> int:
+        """Edges swapped (equal on both sides for spanning trees)."""
+        return len(self.added)
+
+    def worst_path_regression(self) -> Tuple[int, float]:
+        """``(sink, delta)`` of the most-lengthened source path."""
+        sink = max(self.path_deltas, key=lambda s: self.path_deltas[s])
+        return sink, self.path_deltas[sink]
+
+
+def diff_trees(first: RoutingTree, second: RoutingTree) -> TreeDiff:
+    """Diff two spanning trees of the same net."""
+    if first.net is not second.net and not (
+        first.net.num_terminals == second.net.num_terminals
+        and (first.net.points == second.net.points).all()
+    ):
+        raise InvalidParameterError("trees route different nets")
+    first_edges = first.edge_set()
+    second_edges = second.edge_set()
+    first_paths = first.source_path_lengths()
+    second_paths = second.source_path_lengths()
+    deltas = {
+        sink: float(second_paths[sink] - first_paths[sink])
+        for sink in range(1, first.num_terminals)
+    }
+    return TreeDiff(
+        removed=frozenset(first_edges - second_edges),
+        added=frozenset(second_edges - first_edges),
+        cost_delta=second.cost - first.cost,
+        path_deltas=deltas,
+    )
+
+
+def format_diff(diff: TreeDiff, precision: int = 2) -> str:
+    """Human-readable one-paragraph rendering of a diff."""
+    if diff.identical:
+        return "trees identical"
+    lines = [
+        f"{diff.num_exchanged} edge(s) exchanged, "
+        f"cost delta {diff.cost_delta:+.{precision}f}",
+    ]
+    for label, edges in (("-", sorted(diff.removed)), ("+", sorted(diff.added))):
+        for u, v in edges:
+            lines.append(f"  {label} ({u}, {v})")
+    moved = {
+        sink: delta
+        for sink, delta in diff.path_deltas.items()
+        if abs(delta) > 10 ** (-precision)
+    }
+    if moved:
+        rendered = ", ".join(
+            f"sink {sink}: {delta:+.{precision}f}"
+            for sink, delta in sorted(moved.items())
+        )
+        lines.append(f"  paths: {rendered}")
+    return "\n".join(lines)

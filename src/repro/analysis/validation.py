@@ -1,0 +1,89 @@
+"""Structural validation of routing trees — the invariants tests lean on.
+
+These checks are deliberately independent of the construction code: they
+recompute connectivity and path lengths from the edge list alone, so a
+bug in the incremental bookkeeping (``P``/``r`` updates, exchange
+application) cannot hide itself.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.net import Net, SOURCE
+from repro.core.tree import RoutingTree
+from repro.steiner.bkst import SteinerTree
+
+
+def check_spanning_tree(net: Net, edges: List[Tuple[int, int]]) -> List[str]:
+    """Problems with an edge list as a spanning tree of ``net`` (empty = ok)."""
+    problems: List[str] = []
+    n = net.num_terminals
+    if len(edges) != n - 1:
+        problems.append(f"expected {n - 1} edges, found {len(edges)}")
+    adjacency: List[List[int]] = [[] for _ in range(n)]
+    for u, v in edges:
+        if not (0 <= u < n and 0 <= v < n):
+            problems.append(f"edge ({u}, {v}) out of range")
+            continue
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    seen = {SOURCE}
+    stack = [SOURCE]
+    while stack:
+        node = stack.pop()
+        for neighbor in adjacency[node]:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    if len(seen) != n:
+        problems.append(f"only {len(seen)}/{n} terminals reachable from S")
+    return problems
+
+
+def check_routing_tree(tree: RoutingTree, eps: float = math.inf) -> List[str]:
+    """Full validation: spanning + bound + internal cache consistency."""
+    problems = check_spanning_tree(tree.net, list(tree.edges))
+    bound = tree.net.path_bound(eps) if math.isfinite(eps) else math.inf
+    paths = tree.source_path_lengths()
+    if math.isfinite(bound) and float(paths.max()) > bound + 1e-9:
+        problems.append(
+            f"longest path {paths.max():.6g} exceeds bound {bound:.6g}"
+        )
+    # Cross-check the path matrix against independent per-node BFS sums.
+    matrix = tree.path_matrix()
+    if not np.allclose(matrix, matrix.T):
+        problems.append("path matrix is not symmetric")
+    if not np.allclose(np.diag(matrix), 0.0):
+        problems.append("path matrix diagonal is non-zero")
+    if not np.allclose(matrix[SOURCE], paths):
+        problems.append("path matrix row S disagrees with source paths")
+    cost_from_edges = sum(
+        float(tree.net.dist[u, v]) for u, v in tree.edges
+    )
+    if not math.isclose(cost_from_edges, tree.cost, rel_tol=1e-12, abs_tol=1e-9):
+        problems.append("cached cost disagrees with edge-sum cost")
+    return problems
+
+
+def check_steiner_tree(tree: SteinerTree, eps: float = math.inf) -> List[str]:
+    """Validate a Steiner tree: connected, acyclic, terminals covered,
+    bound satisfied, degenerate (zero-length) edges absent."""
+    problems: List[str] = []
+    if not tree.is_connected_tree():
+        problems.append("not a connected acyclic cover of the terminals")
+        return problems
+    for u, v in tree.edges:
+        if tree.grid.edge_length(u, v) <= 0:
+            problems.append(f"degenerate grid edge ({u}, {v})")
+    if math.isfinite(eps) and not tree.satisfies_bound(eps):
+        problems.append("sink path exceeds the bound")
+    return problems
+
+
+def assert_valid(problems: List[str]) -> None:
+    """Raise AssertionError listing any problems (test helper)."""
+    assert not problems, "; ".join(problems)

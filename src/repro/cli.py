@@ -1,0 +1,414 @@
+"""Command-line interface: ``repro-cli``.
+
+Subcommands
+-----------
+``route``   — run one algorithm on a benchmark and print its report.
+``sweep``   — eps sweep of one algorithm on one benchmark (Figure 9 data).
+``table1``  — print the benchmark characteristics table.
+``compare`` — run several algorithms on one benchmark side by side.
+``lub``     — lower/upper bounded sweep on one benchmark (Table 5 data).
+``steiner`` — BKST on a benchmark, with an ASCII plot.
+``render``  — write an SVG of any algorithm's tree.
+``buffer``  — van Ginneken buffer insertion on a BKRUS tree.
+``table``   — regenerate one of the paper's tables (scaled defaults).
+``zeroskew`` — exact zero-skew clock tree vs the node-branching LUB tree.
+``report``  — stitch benchmarks/results/*.txt into one RESULTS.md.
+
+Examples::
+
+    repro-cli route --benchmark p3 --algorithm bkrus --eps 0.25
+    repro-cli sweep --benchmark p4 --algorithm bkrus
+    repro-cli compare --benchmark rnd10_3 --eps 0.2 \
+        --algorithms bprim,brbc,bkrus,bkh2
+    repro-cli table1 --scale 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+from repro.analysis.metrics import format_eps
+from repro.analysis.runners import algorithm_names, run, run_many
+from repro.analysis.tables import format_table
+from repro.analysis.tradeoff import lub_grid, tradeoff_curve
+from repro.core.exceptions import ReproError
+from repro.instances import registry
+from repro.instances.large import table1_row
+
+
+def _parse_eps(text: str) -> float:
+    if text.lower() in ("inf", "infinity", "none"):
+        return math.inf
+    return float(text)
+
+
+def _load_net(args: argparse.Namespace):
+    return registry.load(args.benchmark, scale=getattr(args, "scale", None))
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    net = _load_net(args)
+    report = run(args.algorithm, net, args.eps)
+    rows = [
+        ("algorithm", report.algorithm),
+        ("benchmark", report.net_name),
+        ("eps", format_eps(report.eps)),
+        ("cost", f"{report.cost:.4f}"),
+        ("longest path", f"{report.longest_path:.4f}"),
+        ("bound", f"{net.path_bound(args.eps):.4f}" if math.isfinite(args.eps) else "inf"),
+        ("perf ratio (cost/MST)", f"{report.perf_ratio:.4f}"),
+        ("path ratio (path/R)", f"{report.path_ratio:.4f}"),
+        ("cpu seconds", f"{report.cpu_seconds:.4f}"),
+    ]
+    print(format_table(["quantity", "value"], rows))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    net = _load_net(args)
+    points = tradeoff_curve(net, algorithm=args.algorithm)
+    rows = [
+        (format_eps(p.eps), p.cost, p.longest_path, p.perf_ratio, p.path_ratio)
+        for p in points
+    ]
+    print(
+        format_table(
+            ["eps", "cost", "longest path", "perf ratio", "path ratio"],
+            rows,
+            title=f"{args.algorithm} sweep on {net.name}",
+        )
+    )
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    nets = registry.special_benchmarks() + registry.large_benchmarks(
+        scale=args.scale
+    )
+    rows = [table1_row(net) for net in nets]
+    print(
+        format_table(
+            ["bench", "# of pts", "# of edges", "R", "r"],
+            rows,
+            precision=1,
+            title="Table 1: Characteristics of Benchmarks",
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    net = _load_net(args)
+    names = args.algorithms.split(",")
+    reports = run_many(names, net, args.eps)
+    rows = [
+        (r.algorithm, r.cost, r.perf_ratio, r.path_ratio, r.cpu_seconds)
+        for r in reports
+    ]
+    print(
+        format_table(
+            ["algorithm", "cost", "perf ratio", "path ratio", "cpu s"],
+            rows,
+            title=f"{net.name} at eps={format_eps(args.eps)}",
+        )
+    )
+    return 0
+
+
+def _cmd_lub(args: argparse.Namespace) -> int:
+    net = _load_net(args)
+    points = lub_grid(net)
+    rows = [
+        (
+            f"{p.eps1:.1f}",
+            f"{p.eps2:.1f}",
+            p.skew if p.feasible else None,
+            p.cost_ratio if p.feasible else None,
+        )
+        for p in points
+    ]
+    print(
+        format_table(
+            ["eps1", "eps2", "s (skew)", "r (cost/MST)"],
+            rows,
+            title=f"Lower/upper bounded BKRUS on {net.name}",
+        )
+    )
+    return 0
+
+
+def _cmd_steiner(args: argparse.Namespace) -> int:
+    from repro.algorithms.bkrus import bkrus
+    from repro.analysis.render import ascii_render
+    from repro.steiner.bkst import bkst
+
+    net = _load_net(args)
+    steiner = bkst(net, args.eps)
+    spanning = bkrus(net, args.eps)
+    saving = 100.0 * (1.0 - steiner.cost / spanning.cost)
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ("benchmark", net.name or "?"),
+                ("eps", format_eps(args.eps)),
+                ("BKST cost", f"{steiner.cost:.2f}"),
+                ("BKRUS cost", f"{spanning.cost:.2f}"),
+                ("saving %", f"{saving:.1f}"),
+                ("longest sink path", f"{steiner.longest_sink_path():.2f}"),
+            ],
+        )
+    )
+    print()
+    print(ascii_render(steiner))
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.analysis.render import save_svg
+    from repro.analysis.runners import get_runner
+
+    net = _load_net(args)
+    tree = get_runner(args.algorithm)(net, args.eps)
+    save_svg(
+        tree,
+        args.out,
+        title=f"{args.algorithm} on {net.name} (eps={format_eps(args.eps)})",
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_buffer(args: argparse.Namespace) -> int:
+    from repro.algorithms.bkrus import bkrus
+    from repro.elmore.buffering import (
+        BufferType,
+        van_ginneken,
+        worst_buffered_delay,
+    )
+    from repro.elmore.parameters import DEFAULT_PARAMETERS
+
+    net = _load_net(args)
+    tree = bkrus(net, args.eps)
+    buffer = BufferType(
+        input_capacitance=args.buffer_cap,
+        intrinsic_delay=args.buffer_delay,
+        output_resistance=args.buffer_resistance,
+    )
+    solution = van_ginneken(
+        tree, DEFAULT_PARAMETERS, buffer, max_buffers=args.max_buffers
+    )
+    achieved = worst_buffered_delay(
+        tree, DEFAULT_PARAMETERS, buffer, solution.buffered_nodes
+    )
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ("benchmark", net.name or "?"),
+                ("tree", f"bkrus eps={format_eps(args.eps)}"),
+                ("buffers inserted", len(solution.buffered_nodes)),
+                ("buffered nodes", ",".join(map(str, sorted(solution.buffered_nodes))) or "-"),
+                ("worst delay (unbuffered)", f"{-solution.unbuffered_slack:.3f}"),
+                ("worst delay (buffered)", f"{achieved:.3f}"),
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import write_report
+
+    path = write_report(args.results_dir, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_zeroskew(args: argparse.Namespace) -> int:
+    from repro.algorithms.lub import lub_bkrus
+    from repro.algorithms.mst import mst_cost
+    from repro.clock import zero_skew_tree
+    from repro.core.exceptions import InfeasibleError
+
+    net = _load_net(args)
+    reference = mst_cost(net)
+    tree = zero_skew_tree(net)
+    rows = [
+        ("benchmark", net.name or "?"),
+        ("path-branching skew", f"{tree.skew():.6f}"),
+        ("path-branching cost/MST", f"{tree.cost / reference:.3f}"),
+        ("steiner points", tree.num_steiner_points()),
+        ("snaked (detour) wire", f"{tree.detour_length():.2f}"),
+    ]
+    try:
+        node_tree = lub_bkrus(net, args.eps1, args.eps2)
+        rows.append(
+            ("node-branching skew (s)", f"{node_tree.skew_ratio():.3f}")
+        )
+        rows.append(
+            ("node-branching cost/MST", f"{node_tree.cost / reference:.3f}")
+        )
+    except InfeasibleError:
+        rows.append(
+            (f"node-branching ({args.eps1}, {args.eps2})", "infeasible")
+        )
+    print(format_table(["quantity", "value"], rows))
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    import math as _math
+
+    from repro.analysis import paper_tables as pt
+
+    number = args.number
+    if number == 1:
+        rows = pt.table1_rows(scale=args.scale if args.scale else 0.05)
+        headers = list(pt.TABLE1_HEADERS)
+    elif number == 2:
+        eps_sweep = (
+            tuple(args.eps_list)
+            if args.eps_list
+            else (_math.inf, 0.5, 0.2, 0.0)
+        )
+        raw = pt.table2_rows(eps_sweep=eps_sweep)
+        headers = list(pt.TABLE2_HEADERS)
+        rows = []
+        for name, eps, *cells in raw:
+            row = [name, eps]
+            for cell in cells:
+                row.extend(["-", "-"] if cell is None else list(cell))
+            rows.append(row)
+    elif number == 3:
+        rows = pt.table3_rows(bench_sinks=args.sinks)
+        headers = list(pt.TABLE3_HEADERS)
+    elif number == 4:
+        rows = pt.table4_rows(cases=args.cases, sizes=(5, 8, 10))
+        headers = list(pt.TABLE4_HEADERS)
+    elif number == 5:
+        rows = pt.table5_rows(bench_sinks=args.sinks)
+        headers = list(pt.TABLE5_HEADERS)
+    else:
+        print(f"error: unknown table {number}", file=sys.stderr)
+        return 1
+    print(
+        format_table(headers, rows, title=f"Table {number} (scaled defaults)")
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cli",
+        description="Bounded path length spanning/Steiner tree toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    route = sub.add_parser("route", help="run one algorithm on a benchmark")
+    route.add_argument("--benchmark", required=True)
+    route.add_argument(
+        "--algorithm", default="bkrus", choices=algorithm_names()
+    )
+    route.add_argument("--eps", type=_parse_eps, default=0.2)
+    route.add_argument("--scale", type=float, default=None)
+    route.set_defaults(func=_cmd_route)
+
+    sweep = sub.add_parser("sweep", help="eps sweep (Figure 9 data)")
+    sweep.add_argument("--benchmark", required=True)
+    sweep.add_argument(
+        "--algorithm", default="bkrus", choices=algorithm_names()
+    )
+    sweep.add_argument("--scale", type=float, default=None)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    table1 = sub.add_parser("table1", help="benchmark characteristics")
+    table1.add_argument("--scale", type=float, default=1.0)
+    table1.set_defaults(func=_cmd_table1)
+
+    compare = sub.add_parser("compare", help="algorithms side by side")
+    compare.add_argument("--benchmark", required=True)
+    compare.add_argument("--eps", type=_parse_eps, default=0.2)
+    compare.add_argument(
+        "--algorithms", default="bprim,brbc,bkrus,bkh2"
+    )
+    compare.add_argument("--scale", type=float, default=None)
+    compare.set_defaults(func=_cmd_compare)
+
+    lub = sub.add_parser("lub", help="lower/upper bound sweep (Table 5)")
+    lub.add_argument("--benchmark", required=True)
+    lub.add_argument("--scale", type=float, default=None)
+    lub.set_defaults(func=_cmd_lub)
+
+    steiner = sub.add_parser("steiner", help="BKST with an ASCII plot")
+    steiner.add_argument("--benchmark", required=True)
+    steiner.add_argument("--eps", type=_parse_eps, default=0.2)
+    steiner.add_argument("--scale", type=float, default=None)
+    steiner.set_defaults(func=_cmd_steiner)
+
+    render = sub.add_parser("render", help="write an SVG of a tree")
+    render.add_argument("--benchmark", required=True)
+    render.add_argument(
+        "--algorithm", default="bkrus", choices=algorithm_names()
+    )
+    render.add_argument("--eps", type=_parse_eps, default=0.2)
+    render.add_argument("--out", required=True)
+    render.add_argument("--scale", type=float, default=None)
+    render.set_defaults(func=_cmd_render)
+
+    buffer = sub.add_parser("buffer", help="van Ginneken buffer insertion")
+    buffer.add_argument("--benchmark", required=True)
+    buffer.add_argument("--eps", type=_parse_eps, default=0.2)
+    buffer.add_argument("--buffer-cap", type=float, default=0.02)
+    buffer.add_argument("--buffer-delay", type=float, default=0.5)
+    buffer.add_argument("--buffer-resistance", type=float, default=50.0)
+    buffer.add_argument("--max-buffers", type=int, default=None)
+    buffer.add_argument("--scale", type=float, default=None)
+    buffer.set_defaults(func=_cmd_buffer)
+
+    table = sub.add_parser(
+        "table", help="regenerate a paper table (scaled defaults)"
+    )
+    table.add_argument("--number", type=int, required=True, choices=range(1, 6))
+    table.add_argument("--cases", type=int, default=5)
+    table.add_argument("--sinks", type=int, default=24)
+    table.add_argument("--scale", type=float, default=None)
+    table.add_argument(
+        "--eps-list", type=_parse_eps, nargs="*", default=None
+    )
+    table.set_defaults(func=_cmd_table)
+
+    zeroskew = sub.add_parser(
+        "zeroskew", help="exact zero-skew clock tree comparison"
+    )
+    zeroskew.add_argument("--benchmark", required=True)
+    zeroskew.add_argument("--eps1", type=float, default=0.95)
+    zeroskew.add_argument("--eps2", type=float, default=0.0)
+    zeroskew.add_argument("--scale", type=float, default=None)
+    zeroskew.set_defaults(func=_cmd_zeroskew)
+
+    report = sub.add_parser(
+        "report", help="stitch persisted benchmark outputs into markdown"
+    )
+    report.add_argument("--results-dir", default="benchmarks/results")
+    report.add_argument("--out", default="RESULTS.md")
+    report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

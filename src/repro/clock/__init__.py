@@ -1,0 +1,14 @@
+"""Zero-skew clock tree construction (path-branching comparison point).
+
+Section 6 ends with: "many values of eps1 and eps2 lead to infeasible
+solutions since BKRUS uses node-branching technique.  Path-branching
+and Steiner-branching are more desirable."  This subpackage provides
+the path-branching comparison point: a DME-flavoured zero-skew tree
+builder (balanced recursive matching + bottom-up balance-point merging
+with wire detours), under the same linear-delay model the paper uses.
+"""
+
+from repro.clock.dme import ClockTree, zero_skew_tree
+from repro.clock.topology import balanced_topology
+
+__all__ = ["ClockTree", "zero_skew_tree", "balanced_topology"]

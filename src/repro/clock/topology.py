@@ -1,0 +1,97 @@
+"""Clock topologies: balanced recursive bipartition of the sinks.
+
+The classical zero-skew flow first fixes an abstract binary topology
+over the sinks, then embeds it (see :mod:`repro.clock.dme`).  Good
+topologies pair geometrically close sinks so that balancing costs
+little wire; we use recursive median bipartition along the wider axis
+(the standard means-and-medians heuristic), which is deterministic and
+produces well-shaped trees on every input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net
+
+
+@dataclass
+class TopologyNode:
+    """A node of the abstract clock topology.
+
+    Leaves carry a ``sink`` (net node index >= 1); internal nodes carry
+    two children.  Coordinates/lengths are assigned later by the
+    embedding.
+    """
+
+    sink: Optional[int] = None
+    left: Optional["TopologyNode"] = None
+    right: Optional["TopologyNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.sink is not None
+
+    def leaves(self) -> List[int]:
+        if self.is_leaf:
+            return [self.sink]
+        return self.left.leaves() + self.right.leaves()
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 0
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def size(self) -> int:
+        if self.is_leaf:
+            return 1
+        return 1 + self.left.size() + self.right.size()
+
+
+def balanced_topology(net: Net) -> TopologyNode:
+    """Recursive median bipartition of the sinks along the wider axis."""
+    sinks = list(range(1, net.num_terminals))
+    if not sinks:
+        raise InvalidParameterError("topology needs at least one sink")
+    points = {node: net.point(node) for node in sinks}
+
+    def build(group: Sequence[int]) -> TopologyNode:
+        if len(group) == 1:
+            return TopologyNode(sink=group[0])
+        xs = [points[node][0] for node in group]
+        ys = [points[node][1] for node in group]
+        axis = 0 if (max(xs) - min(xs)) >= (max(ys) - min(ys)) else 1
+        ordered = sorted(group, key=lambda node: (points[node][axis], node))
+        half = len(ordered) // 2
+        return TopologyNode(
+            left=build(ordered[:half]), right=build(ordered[half:])
+        )
+
+    return build(sinks)
+
+
+def pairing_quality(net: Net, root: TopologyNode) -> float:
+    """Mean geometric distance between the leaf groups merged at each
+    internal node's children — a diagnostic of topology quality."""
+    distances: List[float] = []
+
+    def centroid(node: TopologyNode) -> Tuple[float, float]:
+        leaves = node.leaves()
+        xs = [net.point(leaf)[0] for leaf in leaves]
+        ys = [net.point(leaf)[1] for leaf in leaves]
+        return (sum(xs) / len(xs), sum(ys) / len(ys))
+
+    def walk(node: TopologyNode) -> None:
+        if node.is_leaf:
+            return
+        cl, cr = centroid(node.left), centroid(node.right)
+        distances.append(abs(cl[0] - cr[0]) + abs(cl[1] - cr[1]))
+        walk(node.left)
+        walk(node.right)
+
+    walk(root)
+    if not distances:
+        return 0.0
+    return sum(distances) / len(distances)

@@ -1,0 +1,27 @@
+"""Core substrate: geometry, nets, trees, disjoint sets, forest state."""
+
+from repro.core.exceptions import (
+    AlgorithmLimitError,
+    InfeasibleError,
+    InvalidNetError,
+    InvalidParameterError,
+    ReproError,
+)
+from repro.core.geometry import Metric, distance, distance_matrix
+from repro.core.net import Net, SOURCE
+from repro.core.tree import RoutingTree, star_tree
+
+__all__ = [
+    "AlgorithmLimitError",
+    "InfeasibleError",
+    "InvalidNetError",
+    "InvalidParameterError",
+    "ReproError",
+    "Metric",
+    "distance",
+    "distance_matrix",
+    "Net",
+    "SOURCE",
+    "RoutingTree",
+    "star_tree",
+]

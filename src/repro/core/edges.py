@@ -1,0 +1,76 @@
+"""Edge streams over the complete terminal graph.
+
+The spanning-tree algorithms all consume the complete graph on the net's
+terminals.  This module materialises its edge list in the orders the
+algorithms need (Kruskal's nondecreasing weight order, arbitrary order for
+exchange enumeration) without every algorithm re-deriving index juggling.
+
+An edge is a ``(u, v)`` pair of node indices with ``u < v``; weights come
+from the net's distance matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.net import Net
+
+Edge = Tuple[int, int]
+WeightedEdge = Tuple[float, int, int]
+
+
+def all_edges(num_terminals: int) -> List[Edge]:
+    """Every ``(u, v)`` pair with ``u < v`` over ``num_terminals`` nodes."""
+    return [(u, v) for u in range(num_terminals) for v in range(u + 1, num_terminals)]
+
+
+def edge_weight(net: Net, edge: Edge) -> float:
+    """Weight (distance) of ``edge`` in ``net``."""
+    return float(net.dist[edge[0], edge[1]])
+
+
+def sorted_edges(net: Net) -> List[WeightedEdge]:
+    """Complete-graph edges as ``(weight, u, v)`` in nondecreasing weight.
+
+    Ties are broken by ``(u, v)`` to keep runs deterministic; Kruskal-style
+    algorithms are correct under any tie order, but deterministic output
+    makes the regression tests exact.
+    """
+    n = net.num_terminals
+    iu, iv = np.triu_indices(n, k=1)
+    weights = net.dist[iu, iv]
+    order = np.lexsort((iv, iu, weights))
+    return [
+        (float(weights[k]), int(iu[k]), int(iv[k]))
+        for k in order
+    ]
+
+
+def sorted_edge_arrays(net: Net) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised variant of :func:`sorted_edges`.
+
+    Returns ``(weights, us, vs)`` arrays sorted like :func:`sorted_edges`;
+    used on large benchmarks where building tuple lists dominates runtime.
+    """
+    n = net.num_terminals
+    iu, iv = np.triu_indices(n, k=1)
+    weights = net.dist[iu, iv]
+    order = np.lexsort((iv, iu, weights))
+    return weights[order], iu[order], iv[order]
+
+
+def non_tree_edges(num_terminals: int, tree_edges: Sequence[Edge]) -> Iterator[Edge]:
+    """Complete-graph edges absent from ``tree_edges`` (as ``u < v`` pairs)."""
+    in_tree = {(min(u, v), max(u, v)) for u, v in tree_edges}
+    for u in range(num_terminals):
+        for v in range(u + 1, num_terminals):
+            if (u, v) not in in_tree:
+                yield (u, v)
+
+
+def normalize(edge: Edge) -> Edge:
+    """Canonical ``u < v`` form of an edge."""
+    u, v = edge
+    return (u, v) if u < v else (v, u)

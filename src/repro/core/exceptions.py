@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch a single type at the API boundary.  More specific types
+distinguish bad user input from genuinely infeasible routing problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class InvalidNetError(ReproError):
+    """The net description is malformed (duplicate points, no sinks, ...)."""
+
+
+class InvalidParameterError(ReproError):
+    """An algorithm parameter is out of its documented domain."""
+
+
+class InfeasibleError(ReproError):
+    """No routing tree satisfies the requested path-length bounds.
+
+    Raised, for instance, by the lower/upper bounded construction of
+    Section 6 when the (eps1, eps2) combination admits no spanning tree,
+    or by exact solvers when the bound is below the direct-path radius.
+    """
+
+
+class AlgorithmLimitError(ReproError):
+    """A configured resource limit (trees enumerated, search depth,
+    wall-clock budget) was exhausted before an answer was found."""

@@ -1,0 +1,141 @@
+"""Planar geometry for routing problems.
+
+The paper places terminals on a Manhattan (L1) or Euclidean (L2) plane and
+all path-length reasoning reduces to pairwise distances between terminals.
+This module provides the two metrics, single-pair distances, and dense
+numpy distance matrices (the ``D`` array of Section 3.1).
+
+All public functions accept points as ``(x, y)`` pairs (tuples, lists, or
+2-element numpy rows).  Distances are plain Python floats or float64
+arrays; the library never mutates caller-supplied coordinates.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import InvalidParameterError
+
+Point = Tuple[float, float]
+
+
+class Metric(enum.Enum):
+    """Distance metric of the routing plane.
+
+    ``L1`` (Manhattan / rectilinear) is the metric of VLSI detailed routing
+    and of every experiment in the paper; ``L2`` (Euclidean) is supported
+    because the algorithms are metric-agnostic (Lemma 3.1 only needs the
+    triangle inequality).
+    """
+
+    L1 = "l1"
+    L2 = "l2"
+
+    @classmethod
+    def parse(cls, value: "Metric | str") -> "Metric":
+        """Coerce a user-supplied value to a :class:`Metric`.
+
+        Accepts a :class:`Metric` member, its value (``"l1"``/``"l2"``),
+        or the common aliases ``"manhattan"`` and ``"euclidean"``.
+        """
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            aliases = {
+                "l1": cls.L1,
+                "manhattan": cls.L1,
+                "rectilinear": cls.L1,
+                "l2": cls.L2,
+                "euclidean": cls.L2,
+            }
+            if lowered in aliases:
+                return aliases[lowered]
+        raise InvalidParameterError(f"unknown metric: {value!r}")
+
+
+def distance(p: Point, q: Point, metric: Metric = Metric.L1) -> float:
+    """Distance between two points under ``metric``."""
+    dx = float(p[0]) - float(q[0])
+    dy = float(p[1]) - float(q[1])
+    if metric is Metric.L1:
+        return abs(dx) + abs(dy)
+    return math.hypot(dx, dy)
+
+
+def as_point_array(points: Iterable[Point]) -> np.ndarray:
+    """Copy ``points`` into an ``(n, 2)`` float64 array, validating shape."""
+    array = np.asarray(list(points), dtype=float)
+    if array.ndim == 1 and array.size == 0:
+        return array.reshape(0, 2)
+    if array.ndim != 2 or array.shape[1] != 2:
+        raise InvalidParameterError(
+            f"points must be (x, y) pairs, got array of shape {array.shape}"
+        )
+    if not np.all(np.isfinite(array)):
+        raise InvalidParameterError("point coordinates must be finite")
+    return array
+
+
+def distance_matrix(points: Sequence[Point], metric: Metric = Metric.L1) -> np.ndarray:
+    """Dense ``(n, n)`` matrix of pairwise distances.
+
+    This is the ``D[V][V]`` array the BKRUS feasibility tests index into;
+    it is computed once per net and shared by every algorithm.
+    """
+    array = as_point_array(points)
+    if array.shape[0] == 0:
+        return np.zeros((0, 0))
+    deltas = array[:, None, :] - array[None, :, :]
+    if metric is Metric.L1:
+        return np.abs(deltas).sum(axis=2)
+    return np.sqrt((deltas ** 2).sum(axis=2))
+
+
+def bounding_box(points: Sequence[Point]) -> Tuple[float, float, float, float]:
+    """``(min_x, min_y, max_x, max_y)`` of a non-empty point set."""
+    array = as_point_array(points)
+    if array.shape[0] == 0:
+        raise InvalidParameterError("bounding_box of an empty point set")
+    min_xy = array.min(axis=0)
+    max_xy = array.max(axis=0)
+    return (float(min_xy[0]), float(min_xy[1]), float(max_xy[0]), float(max_xy[1]))
+
+
+def half_perimeter(points: Sequence[Point]) -> float:
+    """Half-perimeter wire length (HPWL) of the point set's bounding box.
+
+    A classical lower bound on Steiner tree cost for L1 routing, used by
+    the analysis module as a sanity anchor.
+    """
+    min_x, min_y, max_x, max_y = bounding_box(points)
+    return (max_x - min_x) + (max_y - min_y)
+
+
+def l_shaped_corners(p: Point, q: Point) -> Tuple[Point, Point]:
+    """The two corner candidates of an L-shaped (single-bend) p-q route.
+
+    Returns ``((q.x, p.y), (p.x, q.y))``.  When ``p`` and ``q`` share a
+    coordinate the two corners coincide with an endpoint and the route
+    degenerates to a straight segment.
+    """
+    return ((float(q[0]), float(p[1])), (float(p[0]), float(q[1])))
+
+
+def collinear_manhattan(p: Point, corner: Point, q: Point) -> bool:
+    """True if ``p -> corner -> q`` is a monotone rectilinear route.
+
+    Used to validate L-shaped path realisations on the Hanan grid.
+    """
+    on_axis = (corner[0] in (p[0], q[0])) and (corner[1] in (p[1], q[1]))
+    if not on_axis:
+        return False
+    length = (
+        distance(p, corner, Metric.L1)
+        + distance(corner, q, Metric.L1)
+    )
+    return math.isclose(length, distance(p, q, Metric.L1), rel_tol=0.0, abs_tol=1e-9)

@@ -1,0 +1,182 @@
+"""Signal nets: one source plus a set of sinks on a routing plane.
+
+Throughout the library nodes are integers.  Node ``0`` is always the
+source ``S``; nodes ``1 .. n`` are the sinks.  A :class:`Net` bundles the
+terminal coordinates, the metric, and the derived quantities every
+algorithm needs: the dense distance matrix ``D``, the SPT radius ``R``
+(distance from the source to the farthest sink — the paper's ``R``) and
+the nearest-sink distance ``r`` (reported per benchmark in Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core import geometry
+from repro.core.exceptions import InvalidNetError
+from repro.core.geometry import Metric, Point
+
+SOURCE = 0
+"""Index of the source terminal in every :class:`Net`."""
+
+
+class Net:
+    """An immutable routing net.
+
+    Parameters
+    ----------
+    source:
+        ``(x, y)`` location of the driver.
+    sinks:
+        Iterable of ``(x, y)`` sink locations; at least one is required.
+    metric:
+        Routing metric; defaults to Manhattan, as in the paper.
+    name:
+        Optional human-readable identifier (benchmark name).
+    """
+
+    def __init__(
+        self,
+        source: Point,
+        sinks: Iterable[Point],
+        metric: "Metric | str" = Metric.L1,
+        name: Optional[str] = None,
+    ) -> None:
+        self.metric = Metric.parse(metric)
+        self.name = name
+        points = [tuple(map(float, source))]
+        points.extend(tuple(map(float, sink)) for sink in sinks)
+        self._points = geometry.as_point_array(points)
+        if self.num_sinks == 0:
+            raise InvalidNetError("a net needs at least one sink")
+        self._check_distinct()
+        self._dist: Optional[np.ndarray] = None
+
+    def _check_distinct(self) -> None:
+        seen = {}
+        for index, row in enumerate(self._points):
+            key = (float(row[0]), float(row[1]))
+            if key in seen:
+                raise InvalidNetError(
+                    f"terminals {seen[key]} and {index} coincide at {key}"
+                )
+            seen[key] = index
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> np.ndarray:
+        """``(n+1, 2)`` array of terminal coordinates; row 0 is the source."""
+        return self._points
+
+    @property
+    def source(self) -> Point:
+        return (float(self._points[SOURCE, 0]), float(self._points[SOURCE, 1]))
+
+    @property
+    def sinks(self) -> List[Point]:
+        return [(float(x), float(y)) for x, y in self._points[1:]]
+
+    @property
+    def num_terminals(self) -> int:
+        """Total node count, source included (the paper's ``V``)."""
+        return int(self._points.shape[0])
+
+    @property
+    def num_sinks(self) -> int:
+        return self.num_terminals - 1
+
+    def point(self, node: int) -> Point:
+        return (float(self._points[node, 0]), float(self._points[node, 1]))
+
+    def __len__(self) -> int:
+        return self.num_terminals
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Net{label} sinks={self.num_sinks} metric={self.metric.value}"
+            f" R={self.radius():.4g}>"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def dist(self) -> np.ndarray:
+        """Dense distance matrix ``D`` (computed once, then cached)."""
+        if self._dist is None:
+            matrix = geometry.distance_matrix(self._points, self.metric)
+            matrix.setflags(write=False)
+            self._dist = matrix
+        return self._dist
+
+    def distance(self, u: int, v: int) -> float:
+        """Distance between terminals ``u`` and ``v``."""
+        return float(self.dist[u, v])
+
+    def radius(self) -> float:
+        """``R``: source-to-farthest-sink distance (worst SPT path)."""
+        return float(self.dist[SOURCE, 1:].max())
+
+    def nearest_sink_distance(self) -> float:
+        """``r``: source-to-nearest-sink distance (Table 1's ``r``)."""
+        return float(self.dist[SOURCE, 1:].min())
+
+    def path_bound(self, eps: float) -> float:
+        """The upper path-length bound ``(1 + eps) * R``.
+
+        ``eps = math.inf`` disables the bound (plain MST behaviour).
+        """
+        if eps < 0:
+            raise InvalidNetError(f"eps must be non-negative, got {eps}")
+        return (1.0 + eps) * self.radius()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(
+        cls,
+        points: Sequence[Point],
+        metric: "Metric | str" = Metric.L1,
+        name: Optional[str] = None,
+    ) -> "Net":
+        """Build a net from a flat point list whose first entry is the source."""
+        if len(points) < 2:
+            raise InvalidNetError("need a source and at least one sink")
+        return cls(points[0], points[1:], metric=metric, name=name)
+
+    def with_metric(self, metric: "Metric | str") -> "Net":
+        """A copy of this net under another metric."""
+        return Net(self.source, self.sinks, metric=metric, name=self.name)
+
+    def translated(self, dx: float, dy: float) -> "Net":
+        """A copy of this net with every terminal shifted by ``(dx, dy)``."""
+        shifted = self._points + np.asarray([dx, dy], dtype=float)
+        return Net(
+            (float(shifted[0, 0]), float(shifted[0, 1])),
+            [(float(x), float(y)) for x, y in shifted[1:]],
+            metric=self.metric,
+            name=self.name,
+        )
+
+    def scaled(self, factor: float) -> "Net":
+        """A copy of this net with coordinates multiplied by ``factor``."""
+        if factor <= 0:
+            raise InvalidNetError(f"scale factor must be positive, got {factor}")
+        scaled = self._points * float(factor)
+        return Net(
+            (float(scaled[0, 0]), float(scaled[0, 1])),
+            [(float(x), float(y)) for x, y in scaled[1:]],
+            metric=self.metric,
+            name=self.name,
+        )
+
+
+def complete_edge_count(num_terminals: int) -> int:
+    """Number of edges of the complete graph on ``num_terminals`` nodes."""
+    return num_terminals * (num_terminals - 1) // 2

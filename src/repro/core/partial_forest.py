@@ -1,0 +1,173 @@
+"""Partial-tree bookkeeping for the bounded Kruskal family (Section 3.1).
+
+BKRUS grows a forest of partial trees and must answer, for every candidate
+edge ``(u, v)``:
+
+* is ``u`` connected to ``v`` already? (condition 2)
+* what is ``path(x, y)`` inside a partial tree? — the ``P`` matrix
+* what is ``radius_t(x)``, the longest path from ``x`` inside its partial
+  tree? — the ``r`` vector
+* what would ``radius(x)`` become in the merged tree ``t_M``?
+
+:class:`PartialForest` owns these structures and implements the paper's
+``Merge`` routine (Figure 3) with numpy block updates, keeping the
+documented ``O(V^2)`` per-merge bound with a small constant.  The
+feasibility *policies* (upper bound only, lower+upper, Elmore) live with
+the algorithms; this class only supplies the primitives they share.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.disjoint_set import ListDisjointSet
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net, SOURCE
+
+
+class PartialForest:
+    """Forest state: disjoint sets plus the ``P`` matrix and ``r`` vector.
+
+    ``P[x, y]`` is the tree path length between ``x`` and ``y`` when they
+    share a partial tree and 0 otherwise (exactly the initialisation of
+    the paper's Algorithm BKRUS, lines 5-7).  ``r[x]`` is the radius of
+    ``x`` within its partial tree, i.e. the row maximum of ``P`` over the
+    component (Figure 3's invariant).
+    """
+
+    def __init__(self, net: Net) -> None:
+        self.net = net
+        n = net.num_terminals
+        self.sets = ListDisjointSet(n)
+        self.P = np.zeros((n, n))
+        self.r = np.zeros(n)
+        self._edges: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_components(self) -> int:
+        return self.sets.num_components
+
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        """Edges merged so far, in merge order."""
+        return list(self._edges)
+
+    def connected(self, u: int, v: int) -> bool:
+        return self.sets.connected(u, v)
+
+    def path(self, x: int, y: int) -> float:
+        """Tree path length between nodes of the same partial tree."""
+        return float(self.P[x, y])
+
+    def radius(self, x: int) -> float:
+        """``radius_t(x)`` within ``x``'s current partial tree."""
+        return float(self.r[x])
+
+    def members(self, node: int) -> List[int]:
+        return self.sets.members(node)
+
+    def component_contains_source(self, node: int) -> bool:
+        return self.sets.connected(node, SOURCE)
+
+    def merged_radius(self, x: int, u: int, v: int) -> float:
+        """``radius_{t_M}(x)`` if ``t_u`` and ``t_v`` merged via ``(u, v)``.
+
+        ``x`` must lie in one of the two components.  Uses the paper's
+        closed form ``max(r[x], P[x, u] + D[u, v] + r[v])`` — no actual
+        merging needed.
+        """
+        d = float(self.net.dist[u, v])
+        if self.sets.connected(x, u):
+            return max(float(self.r[x]), float(self.P[x, u]) + d + float(self.r[v]))
+        if self.sets.connected(x, v):
+            return max(float(self.r[x]), float(self.P[x, v]) + d + float(self.r[u]))
+        raise InvalidParameterError(
+            f"node {x} is in neither endpoint component of ({u}, {v})"
+        )
+
+    def merged_radii(self, u: int, v: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Vector of merged-tree radii for every node of ``t_u`` and ``t_v``.
+
+        Returns ``(nodes, radii)`` where ``nodes`` lists the members of
+        both components (``t_u`` first) and ``radii[i]`` is the radius of
+        ``nodes[i]`` in the hypothetical merged tree.
+        """
+        d = float(self.net.dist[u, v])
+        mu = np.asarray(self.sets.members_view(u), dtype=int)
+        mv = np.asarray(self.sets.members_view(v), dtype=int)
+        radii_u = np.maximum(self.r[mu], self.P[mu, u] + d + self.r[v])
+        radii_v = np.maximum(self.r[mv], self.P[mv, v] + d + self.r[u])
+        return np.concatenate([mu, mv]), np.concatenate([radii_u, radii_v])
+
+    def merged_source_paths(self, u: int, v: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Source paths of ``t_v``'s members after merging into ``t_u``.
+
+        Requires the source to lie in ``t_u``.  Returns ``(nodes, paths)``
+        where ``paths[i] = path(S, u) + D[u, v] + path(v, nodes[i])`` —
+        the final source-to-node path lengths fixed by this merge.  Used
+        by the lower-bounded construction of Section 6.
+        """
+        if not self.sets.connected(SOURCE, u):
+            raise InvalidParameterError("source must be in t_u")
+        d = float(self.net.dist[u, v])
+        mv = np.asarray(self.sets.members_view(v), dtype=int)
+        paths = float(self.P[SOURCE, u]) + d + self.P[v, mv]
+        return mv, paths
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def merge(self, u: int, v: int) -> None:
+        """Merge ``t_u`` and ``t_v`` by edge ``(u, v)`` — Figure 3's routine.
+
+        Updates the cross block of ``P`` and the radii of every member of
+        both components in ``O(|t_u| * |t_v|)`` numpy work.
+        """
+        if self.sets.connected(u, v):
+            raise InvalidParameterError(
+                f"({u}, {v}) connects nodes already in one partial tree"
+            )
+        d = float(self.net.dist[u, v])
+        mu = np.asarray(self.sets.members_view(u), dtype=int)
+        mv = np.asarray(self.sets.members_view(v), dtype=int)
+
+        cross = self.P[mu, u][:, None] + d + self.P[v, mv][None, :]
+        self.P[np.ix_(mu, mv)] = cross
+        self.P[np.ix_(mv, mu)] = cross.T
+
+        self.r[mu] = np.maximum(self.r[mu], cross.max(axis=1))
+        self.r[mv] = np.maximum(self.r[mv], cross.max(axis=0))
+
+        self.sets.union(u, v)
+        self._edges.append((u, v) if u < v else (v, u))
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by the property tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self, tolerance: float = 1e-9) -> None:
+        """Assert the Figure 3 invariants: ``r`` is the row max of ``P``
+        over each component, and ``P`` is symmetric with a zero diagonal.
+
+        Raises ``AssertionError`` on violation; intended for tests.
+        """
+        n = self.net.num_terminals
+        assert np.allclose(self.P, self.P.T, atol=tolerance), "P not symmetric"
+        assert np.allclose(np.diag(self.P), 0.0, atol=tolerance), "diag(P) != 0"
+        for component in self.sets.components():
+            idx = np.asarray(component, dtype=int)
+            block = self.P[np.ix_(idx, idx)]
+            expected_r = block.max(axis=1)
+            assert np.allclose(self.r[idx], expected_r, atol=tolerance), (
+                "r is not the row max of P over its component"
+            )
+        for node in range(n):
+            for other in range(n):
+                if not self.sets.connected(node, other) and node != other:
+                    assert self.P[node, other] == 0.0, (
+                        "P non-zero across components"
+                    )

@@ -1,0 +1,373 @@
+"""Routing trees over a net's terminals.
+
+A :class:`RoutingTree` is a spanning tree of the complete graph on a
+:class:`~repro.core.net.Net`'s terminals.  It is the common output type of
+every spanning-tree algorithm in the library (MST, SPT, BKRUS, BPRIM,
+BRBC, BMST_G, BKEX, BKH2, LUB-BKRUS) and the object the exchange-based
+solvers walk over.
+
+The class is cheap to construct (it stores only the edge list) and
+computes rooted structure — parent/depth arrays, source path lengths, the
+all-pairs path-length matrix ``P`` — lazily, caching each derived view.
+Trees are treated as immutable: the exchange algorithms create modified
+copies through :meth:`with_exchange`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.edges import Edge, normalize
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net, SOURCE
+
+
+class RoutingTree:
+    """A spanning tree of ``net``'s terminals, rooted at the source.
+
+    Parameters
+    ----------
+    net:
+        The net the tree routes.
+    edges:
+        Exactly ``V - 1`` node pairs forming a spanning tree.
+    validate:
+        When True (default) the constructor checks the edge set really is
+        a spanning tree and raises :class:`InvalidParameterError` if not.
+    """
+
+    def __init__(
+        self,
+        net: Net,
+        edges: Iterable[Edge],
+        validate: bool = True,
+    ) -> None:
+        self.net = net
+        self._edges: Tuple[Edge, ...] = tuple(normalize(edge) for edge in edges)
+        if validate:
+            self._validate()
+        self._adjacency: Optional[List[List[int]]] = None
+        self._parent: Optional[List[int]] = None
+        self._depth: Optional[List[int]] = None
+        self._source_paths: Optional[np.ndarray] = None
+        self._path_matrix: Optional[np.ndarray] = None
+        self._cost: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Construction checks
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        n = self.net.num_terminals
+        if len(self._edges) != n - 1:
+            raise InvalidParameterError(
+                f"spanning tree over {n} terminals needs {n - 1} edges, "
+                f"got {len(self._edges)}"
+            )
+        seen = set()
+        parent = list(range(n))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for u, v in self._edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise InvalidParameterError(f"edge ({u}, {v}) out of range")
+            if u == v:
+                raise InvalidParameterError(f"self-loop at node {u}")
+            if (u, v) in seen:
+                raise InvalidParameterError(f"duplicate edge ({u}, {v})")
+            seen.add((u, v))
+            ru, rv = find(u), find(v)
+            if ru == rv:
+                raise InvalidParameterError(
+                    f"edge ({u}, {v}) closes a cycle — not a tree"
+                )
+            parent[ru] = rv
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """The tree's edges as canonical ``(u, v)`` pairs with ``u < v``."""
+        return self._edges
+
+    def edge_set(self) -> frozenset:
+        return frozenset(self._edges)
+
+    def has_edge(self, edge: Edge) -> bool:
+        return normalize(edge) in set(self._edges)
+
+    @property
+    def num_terminals(self) -> int:
+        return self.net.num_terminals
+
+    @property
+    def cost(self) -> float:
+        """Total wire length — the paper's ``cost(T)``."""
+        if self._cost is None:
+            dist = self.net.dist
+            self._cost = float(sum(dist[u, v] for u, v in self._edges))
+        return self._cost
+
+    def adjacency(self) -> List[List[int]]:
+        """Adjacency lists (index = node)."""
+        if self._adjacency is None:
+            adjacency: List[List[int]] = [[] for _ in range(self.num_terminals)]
+            for u, v in self._edges:
+                adjacency[u].append(v)
+                adjacency[v].append(u)
+            self._adjacency = adjacency
+        return self._adjacency
+
+    def degree(self, node: int) -> int:
+        return len(self.adjacency()[node])
+
+    def _root_structure(self) -> Tuple[List[int], List[int]]:
+        if self._parent is None or self._depth is None:
+            n = self.num_terminals
+            parent = [-1] * n
+            depth = [0] * n
+            order = deque([SOURCE])
+            visited = [False] * n
+            visited[SOURCE] = True
+            adjacency = self.adjacency()
+            while order:
+                node = order.popleft()
+                for neighbor in adjacency[node]:
+                    if not visited[neighbor]:
+                        visited[neighbor] = True
+                        parent[neighbor] = node
+                        depth[neighbor] = depth[node] + 1
+                        order.append(neighbor)
+            self._parent = parent
+            self._depth = depth
+        return self._parent, self._depth
+
+    def parents(self) -> List[int]:
+        """Parent of each node when rooted at the source (source gets -1).
+
+        This is the paper's father array ``FA`` used by DFS_EXCHANGE.
+        """
+        return list(self._root_structure()[0])
+
+    def depths(self) -> List[int]:
+        """Hop depth of each node from the source (source gets 0)."""
+        return list(self._root_structure()[1])
+
+    def children(self) -> List[List[int]]:
+        """Child lists under the source-rooted orientation."""
+        parent, _ = self._root_structure()
+        kids: List[List[int]] = [[] for _ in range(self.num_terminals)]
+        for node, par in enumerate(parent):
+            if par >= 0:
+                kids[par].append(node)
+        return kids
+
+    def subtree_nodes(self, root: int) -> List[int]:
+        """Nodes of the subtree hanging below ``root`` (source-rooted)."""
+        kids = self.children()
+        result = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            result.append(node)
+            stack.extend(kids[node])
+        return result
+
+    # ------------------------------------------------------------------
+    # Path lengths
+    # ------------------------------------------------------------------
+    def source_path_lengths(self) -> np.ndarray:
+        """Wire length of the tree path from the source to every node.
+
+        Entry 0 (the source itself) is 0.  This is the vector the bounded
+        path-length constraints are checked against.
+        """
+        if self._source_paths is None:
+            n = self.num_terminals
+            lengths = np.zeros(n)
+            parent, _ = self._root_structure()
+            dist = self.net.dist
+            order = deque([SOURCE])
+            adjacency = self.adjacency()
+            visited = [False] * n
+            visited[SOURCE] = True
+            while order:
+                node = order.popleft()
+                for neighbor in adjacency[node]:
+                    if not visited[neighbor]:
+                        visited[neighbor] = True
+                        lengths[neighbor] = lengths[node] + dist[node, neighbor]
+                        order.append(neighbor)
+            lengths.setflags(write=False)
+            self._source_paths = lengths
+        return self._source_paths
+
+    def path_length(self, u: int, v: int) -> float:
+        """Wire length of the unique tree path between ``u`` and ``v``."""
+        if u == v:
+            return 0.0
+        if self._path_matrix is not None:
+            return float(self._path_matrix[u, v])
+        parent, depth = self._root_structure()
+        dist = self.net.dist
+        total = 0.0
+        a, b = u, v
+        while depth[a] > depth[b]:
+            total += dist[a, parent[a]]
+            a = parent[a]
+        while depth[b] > depth[a]:
+            total += dist[b, parent[b]]
+            b = parent[b]
+        while a != b:
+            total += dist[a, parent[a]] + dist[b, parent[b]]
+            a, b = parent[a], parent[b]
+        return total
+
+    def path_nodes(self, u: int, v: int) -> List[int]:
+        """Nodes on the unique ``u``-``v`` tree path, endpoints included."""
+        parent, depth = self._root_structure()
+        up_from_u: List[int] = []
+        up_from_v: List[int] = []
+        a, b = u, v
+        while depth[a] > depth[b]:
+            up_from_u.append(a)
+            a = parent[a]
+        while depth[b] > depth[a]:
+            up_from_v.append(b)
+            b = parent[b]
+        while a != b:
+            up_from_u.append(a)
+            up_from_v.append(b)
+            a, b = parent[a], parent[b]
+        return up_from_u + [a] + list(reversed(up_from_v))
+
+    def path_matrix(self) -> np.ndarray:
+        """All-pairs tree path lengths — the fully-merged ``P`` matrix."""
+        if self._path_matrix is None:
+            n = self.num_terminals
+            matrix = np.zeros((n, n))
+            adjacency = self.adjacency()
+            dist = self.net.dist
+            for start in range(n):
+                order = deque([start])
+                visited = [False] * n
+                visited[start] = True
+                while order:
+                    node = order.popleft()
+                    for neighbor in adjacency[node]:
+                        if not visited[neighbor]:
+                            visited[neighbor] = True
+                            matrix[start, neighbor] = (
+                                matrix[start, node] + dist[node, neighbor]
+                            )
+                            order.append(neighbor)
+            matrix.setflags(write=False)
+            self._path_matrix = matrix
+        return self._path_matrix
+
+    # ------------------------------------------------------------------
+    # Radius / bound queries
+    # ------------------------------------------------------------------
+    def longest_source_path(self) -> float:
+        """The tree radius at the source: ``max_sink path(S, sink)``."""
+        return float(self.source_path_lengths().max())
+
+    def shortest_source_path(self) -> float:
+        """``min_sink path(S, sink)`` — the quantity Section 6 bounds below."""
+        lengths = self.source_path_lengths()
+        return float(lengths[1:].min())
+
+    def node_radius(self, node: int) -> float:
+        """``radius_T(node)``: the longest tree path from ``node`` anywhere."""
+        return float(self.path_matrix()[node].max())
+
+    def satisfies_bound(self, eps: float, tolerance: float = 1e-9) -> bool:
+        """True if every source-sink path is within ``(1 + eps) * R``."""
+        bound = self.net.path_bound(eps)
+        return bool(self.longest_source_path() <= bound + tolerance)
+
+    def satisfies_lower_bound(self, eps1: float, tolerance: float = 1e-9) -> bool:
+        """True if every source-sink path is at least ``eps1 * R``."""
+        floor = eps1 * self.net.radius()
+        return bool(self.shortest_source_path() >= floor - tolerance)
+
+    def skew_ratio(self) -> float:
+        """Longest over shortest source-sink path (Table 5's ``s``)."""
+        shortest = self.shortest_source_path()
+        if shortest == 0.0:
+            return float("inf")
+        return self.longest_source_path() / shortest
+
+    # ------------------------------------------------------------------
+    # Modification (functional)
+    # ------------------------------------------------------------------
+    def with_exchange(
+        self, remove: Edge, add: Edge, validate: bool = True
+    ) -> "RoutingTree":
+        """A new tree with ``remove`` swapped for ``add`` (a T-exchange).
+
+        ``remove`` must be a tree edge and ``add`` a non-tree edge whose
+        endpoints are separated by deleting ``remove``; validation is on
+        by default so a malformed exchange fails loudly.  The exchange
+        search loops pass ``validate=False`` — their candidates come
+        from the cycle walk, which guarantees validity, and skipping the
+        union-find re-check is a measurable win in the hot path.
+        """
+        removed = normalize(remove)
+        added = normalize(add)
+        new_edges = [edge for edge in self._edges if edge != removed]
+        if len(new_edges) == len(self._edges):
+            raise InvalidParameterError(f"edge {remove} is not in the tree")
+        new_edges.append(added)
+        return RoutingTree(self.net, new_edges, validate=validate)
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RoutingTree):
+            return NotImplemented
+        return self.net is other.net and self.edge_set() == other.edge_set()
+
+    def __hash__(self) -> int:
+        return hash((id(self.net), self.edge_set()))
+
+    def __repr__(self) -> str:
+        return (
+            f"<RoutingTree cost={self.cost:.4g} "
+            f"radius={self.longest_source_path():.4g} "
+            f"edges={len(self._edges)}>"
+        )
+
+
+def star_tree(net: Net) -> RoutingTree:
+    """The shortest path tree of a geometric net.
+
+    On a complete graph with metric weights, the shortest source-sink path
+    is the direct edge, so the SPT is a star centred on the source.
+    """
+    return RoutingTree(net, [(SOURCE, v) for v in range(1, net.num_terminals)])
+
+
+def tree_from_parent_array(net: Net, parent: Sequence[int]) -> RoutingTree:
+    """Build a tree from a father array (entry for the source ignored)."""
+    edges = [
+        (node, par)
+        for node, par in enumerate(parent)
+        if node != SOURCE and par >= 0
+    ]
+    return RoutingTree(net, edges)
+
+
+def total_cost(net: Net, edges: Iterable[Edge]) -> float:
+    """Cost of an edge set under ``net``'s metric (no tree check)."""
+    dist = net.dist
+    return float(sum(dist[u, v] for u, v in edges))

@@ -1,0 +1,50 @@
+"""Elmore delay model and the delay-bounded BKRUS extension."""
+
+from repro.elmore.bkrus_elmore import bkrus_elmore, ElmoreTrace, elmore_tradeoff
+from repro.elmore.buffering import (
+    BufferType,
+    BufferingSolution,
+    buffered_delays,
+    van_ginneken,
+    worst_buffered_delay,
+)
+from repro.elmore.wire_sizing import (
+    SizingSolution,
+    exhaustive_wire_sizing,
+    greedy_wire_sizing,
+    sized_delays,
+    wire_area,
+    worst_sized_delay,
+)
+from repro.elmore.delay import (
+    elmore_radius,
+    point_to_point_delay,
+    rooted_elmore,
+    source_delays,
+    spt_delay_radius,
+)
+from repro.elmore.parameters import DEFAULT_PARAMETERS, ElmoreParameters
+
+__all__ = [
+    "bkrus_elmore",
+    "ElmoreTrace",
+    "elmore_tradeoff",
+    "BufferType",
+    "BufferingSolution",
+    "buffered_delays",
+    "van_ginneken",
+    "worst_buffered_delay",
+    "SizingSolution",
+    "exhaustive_wire_sizing",
+    "greedy_wire_sizing",
+    "sized_delays",
+    "wire_area",
+    "worst_sized_delay",
+    "elmore_radius",
+    "point_to_point_delay",
+    "rooted_elmore",
+    "source_delays",
+    "spt_delay_radius",
+    "DEFAULT_PARAMETERS",
+    "ElmoreParameters",
+]

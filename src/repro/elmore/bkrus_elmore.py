@@ -1,0 +1,183 @@
+"""Delay-driven BKRUS under the Elmore model (Section 3.2).
+
+Replaces geometric path length with Elmore signal propagation delay:
+
+* The target ``R`` becomes the worst driver-to-sink delay of the SPT
+  star (the paper assumes a driver strong enough that the SPT is always
+  a feasible fallback, which holds for any finite driver resistance
+  because ``R`` is *defined* on the SPT).
+* Condition (3-a): after a tentative merge of the source component, the
+  recomputed delay radius at the source must stay within
+  ``(1 + eps) * R``.
+* Condition (3-b): a source-free merged component is acceptable iff it
+  has a witness ``x`` whose *direct* wiring to the driver —
+  ``r_d (c_d + c_s d + C_x) + r_s d (c_s d / 2 + C_x) + r[x]`` with
+  ``d = dist(S, x)`` — stays within the bound.
+
+Delay radii cannot be maintained incrementally the way path lengths can
+(upstream topology changes every downstream ``C_k``), so the radii of a
+tentatively merged component are recomputed from scratch: ``O(V^2)`` per
+feasibility test, ``O(E V^2)`` overall, exactly the complexity the paper
+reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.disjoint_set import ListDisjointSet
+from repro.core.edges import sorted_edge_arrays
+from repro.core.exceptions import InfeasibleError, InvalidParameterError
+from repro.core.net import Net, SOURCE
+from repro.core.tree import RoutingTree
+from repro.elmore.delay import (
+    component_delay_radius,
+    direct_connection_delay,
+    rooted_elmore,
+    spt_delay_radius,
+)
+from repro.elmore.parameters import DEFAULT_PARAMETERS, ElmoreParameters
+
+
+@dataclass
+class ElmoreTrace:
+    """Construction record for tests and diagnostics."""
+
+    accepted: List[Tuple[int, int]] = field(default_factory=list)
+    rejected: List[Tuple[int, int]] = field(default_factory=list)
+    radius_bound: float = 0.0
+
+
+class _Components:
+    """Adjacency-per-component bookkeeping for tentative Elmore merges."""
+
+    def __init__(self, net: Net) -> None:
+        self.net = net
+        self.sets = ListDisjointSet(net.num_terminals)
+        self.adjacency: Dict[int, List[Tuple[int, float]]] = {
+            node: [] for node in range(net.num_terminals)
+        }
+
+    def merged_adjacency(
+        self, u: int, v: int
+    ) -> Dict[int, List[Tuple[int, float]]]:
+        """Adjacency of ``t_u + t_v + (u, v)`` without mutating state."""
+        members = self.sets.members_view(u) + self.sets.members_view(v)
+        length = float(self.net.dist[u, v])
+        merged = {node: list(self.adjacency[node]) for node in members}
+        merged[u].append((v, length))
+        merged[v].append((u, length))
+        return merged
+
+    def merge(self, u: int, v: int) -> None:
+        length = float(self.net.dist[u, v])
+        self.adjacency[u].append((v, length))
+        self.adjacency[v].append((u, length))
+        self.sets.union(u, v)
+
+
+def bkrus_elmore(
+    net: Net,
+    eps: float,
+    params: Optional[ElmoreParameters] = None,
+    trace: Optional[ElmoreTrace] = None,
+    tolerance: float = 1e-12,
+) -> RoutingTree:
+    """BKRUS with source-to-sink Elmore delay bounded by ``(1+eps) * R``.
+
+    ``R`` is the worst SPT delay under ``params`` (default parameters are
+    the library's 1990s academic set).  Always returns a spanning tree
+    whose Elmore delay radius satisfies the bound.
+    """
+    if eps < 0 or math.isnan(eps):
+        raise InvalidParameterError(f"eps must be >= 0, got {eps}")
+    params = params if params is not None else DEFAULT_PARAMETERS
+    radius = spt_delay_radius(net, params)
+    bound = (1.0 + eps) * radius if math.isfinite(eps) else math.inf
+    if trace is not None:
+        trace.radius_bound = bound
+
+    loads = params.loads_for(net)
+    components = _Components(net)
+    n = net.num_terminals
+    _, us, vs = sorted_edge_arrays(net)
+    merged_count = 0
+
+    for u, v in zip(us.tolist(), vs.tolist()):
+        if components.sets.connected(u, v):
+            continue
+        if _merge_feasible(net, components, u, v, bound, loads, params, tolerance):
+            components.merge(u, v)
+            merged_count += 1
+            if trace is not None:
+                trace.accepted.append((u, v))
+            if merged_count == n - 1:
+                break
+        elif trace is not None:
+            trace.rejected.append((u, v))
+
+    if merged_count != n - 1:
+        raise InfeasibleError(
+            "Elmore BKRUS failed to span the net; with R defined on the "
+            "SPT this indicates a numerical-tolerance problem"
+        )
+    return RoutingTree(net, [edge for edge in _tree_edges(components)])
+
+
+def _tree_edges(components: _Components) -> List[Tuple[int, int]]:
+    edges = []
+    for node, neighbors in components.adjacency.items():
+        for neighbor, _ in neighbors:
+            if node < neighbor:
+                edges.append((node, neighbor))
+    return edges
+
+
+def _merge_feasible(
+    net: Net,
+    components: _Components,
+    u: int,
+    v: int,
+    bound: float,
+    loads: Dict[int, float],
+    params: ElmoreParameters,
+    tolerance: float,
+) -> bool:
+    if math.isinf(bound):
+        return True
+    merged = components.merged_adjacency(u, v)
+    has_source = SOURCE in merged
+    if has_source:
+        delay, cap = rooted_elmore(merged, SOURCE, loads, params)
+        driver_term = params.driver_resistance * (
+            params.driver_capacitance + cap[SOURCE]
+        )
+        worst = max(delay.values()) + driver_term
+        return worst <= bound + tolerance
+    for x in merged:
+        r_x, cap_x = component_delay_radius(merged, x, loads, params)
+        head = direct_connection_delay(net, x, cap_x, params)
+        if head + r_x <= bound + tolerance:
+            return True
+    return False
+
+
+def elmore_tradeoff(
+    net: Net,
+    eps_values: List[float],
+    params: Optional[ElmoreParameters] = None,
+) -> List[Tuple[float, float, float]]:
+    """``(eps, cost, delay_radius)`` rows for a sweep of ``eps`` values.
+
+    The Elmore analogue of Figure 9's tradeoff curve.
+    """
+    from repro.elmore.delay import elmore_radius
+
+    params = params if params is not None else DEFAULT_PARAMETERS
+    rows = []
+    for eps in eps_values:
+        tree = bkrus_elmore(net, eps, params=params)
+        rows.append((eps, tree.cost, elmore_radius(tree, params)))
+    return rows

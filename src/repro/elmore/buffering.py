@@ -1,0 +1,332 @@
+"""Buffer insertion on routing trees (van Ginneken's algorithm).
+
+The paper's closing section names "the effects of buffering" as future
+work: once a bounded path length topology exists, inserting repeaters
+can cut the worst Elmore delay further.  This module implements the
+classical dynamic program of van Ginneken (1990) over a fixed routing
+tree:
+
+* buffers may be placed at tree nodes (sinks and internal terminals;
+  never at the source, which already has its driver);
+* each candidate solution at a node is a pair ``(C, Q)`` — downstream
+  capacitance seen from the node, and worst slack (required arrival
+  time minus accumulated delay) over the covered sinks;
+* wires and buffers transform candidates exactly as the Elmore model
+  dictates, children merge by summing ``C`` and taking the minimum
+  ``Q``, and dominated candidates (another with ``C' <= C`` and
+  ``Q' >= Q``) are pruned, keeping the frontier linear in practice.
+
+With all sink required-times zero, maximising the source slack ``q``
+minimises the worst source-to-sink delay: the achieved delay is ``-q``.
+The returned placement is verified by an independent staged evaluator,
+:func:`buffered_delays`, which the tests cross-check against plain
+:func:`repro.elmore.delay.source_delays` for the empty placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional
+
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import SOURCE
+from repro.core.tree import RoutingTree
+from repro.elmore.parameters import ElmoreParameters
+
+
+@dataclass(frozen=True)
+class BufferType:
+    """One repeater from the buffer library.
+
+    All values in the same unit system as :class:`ElmoreParameters`.
+    """
+
+    input_capacitance: float = 0.02
+    intrinsic_delay: float = 0.5
+    output_resistance: float = 50.0
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("input_capacitance", self.input_capacitance),
+            ("intrinsic_delay", self.intrinsic_delay),
+            ("output_resistance", self.output_resistance),
+        ):
+            if value < 0:
+                raise InvalidParameterError(f"{label} must be >= 0, got {value}")
+
+
+DEFAULT_BUFFER = BufferType()
+
+
+@dataclass(frozen=True)
+class BufferingSolution:
+    """Result of :func:`van_ginneken`."""
+
+    buffered_nodes: FrozenSet[int]
+    """Tree nodes carrying a buffer (each drives its subtree)."""
+    worst_slack: float
+    """``min over sinks (RAT - delay)`` at the driver output."""
+    unbuffered_slack: float
+    """The same quantity with no buffers, for the improvement delta."""
+
+    @property
+    def improvement(self) -> float:
+        return self.worst_slack - self.unbuffered_slack
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    cap: float
+    slack: float
+    buffers: FrozenSet[int] = field(default_factory=frozenset)
+
+
+def _prune(
+    candidates: List[_Candidate], budgeted: bool = False
+) -> List[_Candidate]:
+    """Keep the Pareto frontier: increasing cap must buy increasing slack.
+
+    Without a buffer budget, dominance is the classical two-dimensional
+    ``(cap, slack)`` test.  Under a budget, buffer count is a third
+    resource: a cheap-and-fast candidate using *more* buffers must not
+    evict a slightly worse one using fewer, or the budget check upstream
+    can run out of combinable options entirely.
+    """
+    if not budgeted:
+        candidates.sort(key=lambda c: (c.cap, -c.slack))
+        frontier: List[_Candidate] = []
+        best_slack = float("-inf")
+        for candidate in candidates:
+            if candidate.slack > best_slack + 1e-15:
+                frontier.append(candidate)
+                best_slack = candidate.slack
+        return frontier
+    candidates.sort(key=lambda c: (len(c.buffers), c.cap, -c.slack))
+    frontier = []
+    for candidate in candidates:
+        dominated = any(
+            len(kept.buffers) <= len(candidate.buffers)
+            and kept.cap <= candidate.cap + 1e-15
+            and kept.slack >= candidate.slack - 1e-15
+            for kept in frontier
+        )
+        if not dominated:
+            frontier.append(candidate)
+    return frontier
+
+
+def van_ginneken(
+    tree: RoutingTree,
+    params: ElmoreParameters,
+    buffer: BufferType = DEFAULT_BUFFER,
+    sink_required_times: Optional[Mapping[int, float]] = None,
+    max_buffers: Optional[int] = None,
+) -> BufferingSolution:
+    """Optimal single-buffer-type insertion on ``tree``.
+
+    Parameters
+    ----------
+    tree:
+        The routing topology (kept fixed; only buffers are added).
+    params:
+        Wire/driver parasitics.
+    buffer:
+        The repeater to insert (identical at every location).
+    sink_required_times:
+        Optional per-sink required arrival times (default all 0, which
+        makes ``-worst_slack`` the minimised worst delay).
+    max_buffers:
+        Optional cap on the total number of inserted buffers.
+    """
+    rats = dict(sink_required_times or {})
+    net = tree.net
+    rs = params.unit_resistance
+    cs = params.unit_capacitance
+
+    children = tree.children()
+    parents = tree.parents()
+
+    def node_candidates(node: int) -> List[_Candidate]:
+        # Start from the node's own load and required time.
+        if node == SOURCE:
+            base = [_Candidate(0.0, float("inf"))]
+        else:
+            base = [_Candidate(params.load(node), rats.get(node, 0.0))]
+        merged = base
+        for child in children[node]:
+            child_options = edge_candidates(child)
+            combined: List[_Candidate] = []
+            for a in merged:
+                for b in child_options:
+                    if (
+                        max_buffers is not None
+                        and len(a.buffers | b.buffers) > max_buffers
+                    ):
+                        continue
+                    combined.append(
+                        _Candidate(
+                            a.cap + b.cap,
+                            min(a.slack, b.slack),
+                            a.buffers | b.buffers,
+                        )
+                    )
+            merged = _prune(combined, budgeted=max_buffers is not None)
+        if node != SOURCE:
+            # Option: place a buffer at this node, shielding everything
+            # below it behind the buffer's input pin.
+            buffered = []
+            for candidate in merged:
+                if max_buffers is not None and len(candidate.buffers) >= max_buffers:
+                    continue
+                slack = (
+                    candidate.slack
+                    - buffer.intrinsic_delay
+                    - buffer.output_resistance * candidate.cap
+                )
+                buffered.append(
+                    _Candidate(
+                        buffer.input_capacitance,
+                        slack,
+                        candidate.buffers | {node},
+                    )
+                )
+            merged = _prune(merged + buffered, budgeted=max_buffers is not None)
+        return merged
+
+    def edge_candidates(node: int) -> List[_Candidate]:
+        # Propagate the node's candidates up the wire to its parent.
+        length = float(net.dist[node, parents[node]])
+        wire_cap = cs * length
+        options = []
+        for candidate in node_candidates(node):
+            delay = rs * length * (cs * length / 2.0 + candidate.cap)
+            options.append(
+                _Candidate(
+                    candidate.cap + wire_cap,
+                    candidate.slack - delay,
+                    candidate.buffers,
+                )
+            )
+        return _prune(options, budgeted=max_buffers is not None)
+
+    root_options = node_candidates(SOURCE)
+    best: Optional[_Candidate] = None
+    best_q = float("-inf")
+    for candidate in root_options:
+        q = candidate.slack - params.driver_resistance * (
+            params.driver_capacitance + candidate.cap
+        )
+        if q > best_q:
+            best_q = q
+            best = candidate
+    assert best is not None
+
+    unbuffered = _source_slack_without_buffers(tree, params, rats)
+    return BufferingSolution(
+        buffered_nodes=best.buffers,
+        worst_slack=best_q,
+        unbuffered_slack=unbuffered,
+    )
+
+
+def _source_slack_without_buffers(
+    tree: RoutingTree,
+    params: ElmoreParameters,
+    rats: Mapping[int, float],
+) -> float:
+    from repro.elmore.delay import source_delays
+
+    delays = source_delays(tree, params)
+    return min(
+        rats.get(node, 0.0) - float(delays[node])
+        for node in range(1, tree.num_terminals)
+    )
+
+
+def buffered_delays(
+    tree: RoutingTree,
+    params: ElmoreParameters,
+    buffer: BufferType,
+    buffered_nodes: FrozenSet[int],
+) -> Dict[int, float]:
+    """Driver-to-sink delays of ``tree`` with buffers at ``buffered_nodes``.
+
+    Independent staged evaluation: the tree splits at buffers into
+    driving stages; within each stage the Elmore sums apply, a buffer's
+    input pin loads its upstream stage, and its intrinsic delay plus
+    output-resistance term start the downstream stage.  With no buffers
+    this reduces exactly to :func:`repro.elmore.delay.source_delays`.
+    """
+    net = tree.net
+    rs = params.unit_resistance
+    cs = params.unit_capacitance
+    children = tree.children()
+    parents = tree.parents()
+
+    # Stage capacitance seen from each node: stop at buffered children.
+    stage_cap: Dict[int, float] = {}
+
+    def compute_cap(node: int) -> float:
+        total = params.load(node) if node != SOURCE else 0.0
+        if node in buffered_nodes:
+            pass  # callers see the buffer pin, handled by the parent walk
+        for child in children[node]:
+            wire = cs * float(net.dist[child, parents[child]])
+            if child in buffered_nodes:
+                total += wire + buffer.input_capacitance
+            else:
+                total += wire + compute_cap(child)
+        stage_cap[node] = total
+        return total
+
+    compute_cap(SOURCE)
+    for node in buffered_nodes:
+        compute_cap(node)
+
+    delays: Dict[int, float] = {
+        SOURCE: params.driver_resistance
+        * (params.driver_capacitance + stage_cap[SOURCE])
+    }
+
+    def downstream_cap_within_stage(node: int) -> float:
+        if node not in stage_cap:
+            compute_cap(node)
+        return stage_cap[node]
+
+    order = [SOURCE]
+    index = 0
+    while index < len(order):
+        node = order[index]
+        index += 1
+        for child in children[node]:
+            length = float(net.dist[child, node])
+            if child in buffered_nodes:
+                # Delay to the buffer's input pin, then the buffer stage.
+                wire_delay = rs * length * (
+                    cs * length / 2.0 + buffer.input_capacitance
+                )
+                at_pin = delays[node] + wire_delay
+                delays[child] = (
+                    at_pin
+                    + buffer.intrinsic_delay
+                    + buffer.output_resistance
+                    * downstream_cap_within_stage(child)
+                )
+            else:
+                wire_delay = rs * length * (
+                    cs * length / 2.0 + downstream_cap_within_stage(child)
+                )
+                delays[child] = delays[node] + wire_delay
+            order.append(child)
+    return delays
+
+
+def worst_buffered_delay(
+    tree: RoutingTree,
+    params: ElmoreParameters,
+    buffer: BufferType,
+    buffered_nodes: FrozenSet[int],
+) -> float:
+    """Worst driver-to-sink delay under a buffer placement."""
+    delays = buffered_delays(tree, params, buffer, buffered_nodes)
+    return max(delays[node] for node in range(1, tree.num_terminals))

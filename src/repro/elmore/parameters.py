@@ -1,0 +1,109 @@
+"""Electrical parameters for the Elmore delay model (Section 3.2).
+
+All values must be in mutually consistent units; the defaults use the
+mid-1990s academic set common to the clock/performance routing papers
+the reproduction compares against (e.g. Cong-Koh):
+
+* wire sheet resistance ``0.033`` ohm per micron,
+* wire sheet capacitance ``0.000234`` pF per micron,
+* driver resistance ``100`` ohm and driver capacitance ``0.1`` pF,
+* sink load capacitance ``0.01`` pF.
+
+Coordinates are then microns and delays come out in ohm*pF = ns/1000.
+Only ratios matter for the reproduced experiments, so any consistent
+scaling gives the same trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net
+
+
+@dataclass(frozen=True)
+class ElmoreParameters:
+    """Unit wire parasitics plus driver and sink load values.
+
+    Attributes
+    ----------
+    unit_resistance:
+        ``r_s`` — wire resistance per unit length.
+    unit_capacitance:
+        ``c_s`` — wire capacitance per unit length.
+    driver_resistance:
+        ``r_d`` — output resistance of the source driver.  The paper
+        requires it to be small enough that the SPT is feasible; the
+        bound ``R`` is defined from the SPT's worst delay, so any value
+        yields a well-posed problem.
+    driver_capacitance:
+        ``c_d`` — intrinsic output capacitance of the driver.
+    default_sink_load:
+        ``C_L`` applied to every sink without an explicit override.
+    sink_loads:
+        Optional per-sink overrides keyed by node index (1-based sinks).
+    """
+
+    unit_resistance: float = 0.033
+    unit_capacitance: float = 0.000234
+    driver_resistance: float = 100.0
+    driver_capacitance: float = 0.1
+    default_sink_load: float = 0.01
+    sink_loads: Dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("unit_resistance", self.unit_resistance),
+            ("unit_capacitance", self.unit_capacitance),
+            ("driver_resistance", self.driver_resistance),
+            ("driver_capacitance", self.driver_capacitance),
+            ("default_sink_load", self.default_sink_load),
+        ):
+            if value < 0:
+                raise InvalidParameterError(f"{label} must be >= 0, got {value}")
+        for node, value in self.sink_loads.items():
+            if node <= 0:
+                raise InvalidParameterError(
+                    f"sink_loads keys are sink indices (>= 1), got {node}"
+                )
+            if value < 0:
+                raise InvalidParameterError(
+                    f"sink load for node {node} must be >= 0, got {value}"
+                )
+
+    def load(self, node: int) -> float:
+        """Load capacitance at ``node`` (0 at the source)."""
+        if node == 0:
+            return 0.0
+        return self.sink_loads.get(node, self.default_sink_load)
+
+    def loads_for(self, net: Net) -> Dict[int, float]:
+        """Load capacitance for every terminal of ``net``."""
+        return {node: self.load(node) for node in range(net.num_terminals)}
+
+
+DEFAULT_PARAMETERS = ElmoreParameters()
+
+
+def scaled_parameters(
+    base: Optional[ElmoreParameters] = None,
+    wire_scale: float = 1.0,
+    driver_scale: float = 1.0,
+) -> ElmoreParameters:
+    """Convenience for sweeps: scale wire parasitics and driver strength.
+
+    ``driver_scale > 1`` models a *stronger* driver (lower resistance).
+    """
+    if wire_scale <= 0 or driver_scale <= 0:
+        raise InvalidParameterError("scale factors must be positive")
+    base = base if base is not None else DEFAULT_PARAMETERS
+    return ElmoreParameters(
+        unit_resistance=base.unit_resistance * wire_scale,
+        unit_capacitance=base.unit_capacitance * wire_scale,
+        driver_resistance=base.driver_resistance / driver_scale,
+        driver_capacitance=base.driver_capacitance,
+        default_sink_load=base.default_sink_load,
+        sink_loads=dict(base.sink_loads),
+    )

@@ -1,0 +1,225 @@
+"""Discrete wire sizing under the Elmore model (future-work item).
+
+The paper's final sentence names "wire sizing" alongside buffering as
+future research.  Given a fixed routing tree, each edge may be drawn at
+a width from a discrete set: width ``w`` divides the wire's resistance
+by ``w`` and multiplies its capacitance by ``w`` (the classical
+first-order model).  Wider wires downstream load the driver; wider
+wires upstream cut the resistance seen by everything below — the
+trade-off the optimizer navigates.
+
+Two solvers are provided:
+
+* :func:`greedy_wire_sizing` — sensitivity-driven: repeatedly widen the
+  single edge whose widening most improves the worst source-sink delay,
+  stopping when no widening helps or the area budget is exhausted.
+  This is the practical workhorse (monotone improvement by
+  construction).
+* :func:`exhaustive_wire_sizing` — brute force over all assignments,
+  for oracle testing on tiny trees.
+
+Both return a :class:`SizingSolution` with the width map, the achieved
+worst delay, and the wire area (sum of ``length * width``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.edges import Edge, normalize
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import SOURCE
+from repro.core.tree import RoutingTree
+from repro.elmore.parameters import ElmoreParameters
+
+DEFAULT_WIDTHS: Tuple[float, ...] = (1.0, 2.0, 4.0)
+"""A typical three-width library (in multiples of minimum width)."""
+
+
+@dataclass(frozen=True)
+class SizingSolution:
+    """Result of a wire-sizing run."""
+
+    widths: Mapping[Edge, float]
+    worst_delay: float
+    area: float
+    unsized_delay: float
+
+    @property
+    def improvement(self) -> float:
+        return self.unsized_delay - self.worst_delay
+
+
+def _check_widths(widths: Sequence[float]) -> List[float]:
+    cleaned = sorted(set(float(w) for w in widths))
+    if not cleaned or cleaned[0] <= 0:
+        raise InvalidParameterError(
+            f"width library must be positive and non-empty, got {widths}"
+        )
+    return cleaned
+
+
+def sized_delays(
+    tree: RoutingTree,
+    params: ElmoreParameters,
+    widths: Mapping[Edge, float],
+) -> Dict[int, float]:
+    """Driver-to-node Elmore delays with per-edge widths.
+
+    An edge of width ``w`` has resistance ``r_s * L / w`` and
+    capacitance ``c_s * L * w``; edges missing from ``widths`` default
+    to width 1 (minimum width).
+    """
+    net = tree.net
+    rs = params.unit_resistance
+    cs = params.unit_capacitance
+    children = tree.children()
+    parents = tree.parents()
+
+    def width_of(node: int) -> float:
+        return float(widths.get(normalize((node, parents[node])), 1.0))
+
+    cap: Dict[int, float] = {}
+
+    def downstream(node: int) -> float:
+        total = params.load(node) if node != SOURCE else 0.0
+        for child in children[node]:
+            length = float(net.dist[child, node])
+            total += cs * length * width_of(child) + downstream(child)
+        cap[node] = total
+        return total
+
+    downstream(SOURCE)
+    delays: Dict[int, float] = {
+        SOURCE: params.driver_resistance
+        * (params.driver_capacitance + cap[SOURCE])
+    }
+    order = [SOURCE]
+    index = 0
+    while index < len(order):
+        node = order[index]
+        index += 1
+        for child in children[node]:
+            length = float(net.dist[child, node])
+            w = width_of(child)
+            resistance = rs * length / w
+            wire_cap = cs * length * w
+            delays[child] = delays[node] + resistance * (
+                wire_cap / 2.0 + cap[child]
+            )
+            order.append(child)
+    return delays
+
+
+def worst_sized_delay(
+    tree: RoutingTree,
+    params: ElmoreParameters,
+    widths: Mapping[Edge, float],
+) -> float:
+    delays = sized_delays(tree, params, widths)
+    return max(delays[node] for node in range(1, tree.num_terminals))
+
+
+def wire_area(tree: RoutingTree, widths: Mapping[Edge, float]) -> float:
+    """Total metal area: sum of edge length times width."""
+    net = tree.net
+    return float(
+        sum(
+            net.dist[u, v] * float(widths.get((u, v), 1.0))
+            for u, v in tree.edges
+        )
+    )
+
+
+def greedy_wire_sizing(
+    tree: RoutingTree,
+    params: ElmoreParameters,
+    width_library: Sequence[float] = DEFAULT_WIDTHS,
+    max_area: Optional[float] = None,
+    tolerance: float = 1e-12,
+) -> SizingSolution:
+    """Sensitivity-driven sizing: widen the best edge until nothing helps.
+
+    Each step evaluates, for every edge not yet at maximum width, the
+    worst delay after bumping it to the next width in the library, and
+    commits the single best strictly-improving bump (respecting
+    ``max_area`` if given).  The loop is monotone in worst delay, so it
+    terminates after at most ``|edges| * |library|`` steps.
+    """
+    library = _check_widths(width_library)
+    widths: Dict[Edge, float] = {edge: library[0] for edge in tree.edges}
+    unsized = worst_sized_delay(tree, params, {})
+    current = worst_sized_delay(tree, params, widths)
+
+    def next_width(value: float) -> Optional[float]:
+        for candidate in library:
+            if candidate > value:
+                return candidate
+        return None
+
+    while True:
+        best_edge: Optional[Edge] = None
+        best_width = 0.0
+        best_delay = current
+        for edge in tree.edges:
+            bumped = next_width(widths[edge])
+            if bumped is None:
+                continue
+            trial = dict(widths)
+            trial[edge] = bumped
+            if max_area is not None and wire_area(tree, trial) > max_area:
+                continue
+            delay = worst_sized_delay(tree, params, trial)
+            if delay < best_delay - tolerance:
+                best_delay = delay
+                best_edge = edge
+                best_width = bumped
+        if best_edge is None:
+            break
+        widths[best_edge] = best_width
+        current = best_delay
+    return SizingSolution(
+        widths=dict(widths),
+        worst_delay=current,
+        area=wire_area(tree, widths),
+        unsized_delay=unsized,
+    )
+
+
+def exhaustive_wire_sizing(
+    tree: RoutingTree,
+    params: ElmoreParameters,
+    width_library: Sequence[float] = DEFAULT_WIDTHS,
+    max_area: Optional[float] = None,
+    limit: int = 200_000,
+) -> SizingSolution:
+    """Brute-force optimum over all width assignments (tiny trees only)."""
+    import itertools
+
+    library = _check_widths(width_library)
+    edges = list(tree.edges)
+    total = len(library) ** len(edges)
+    if total > limit:
+        raise InvalidParameterError(
+            f"{total} assignments exceed the exhaustive limit {limit}"
+        )
+    unsized = worst_sized_delay(tree, params, {})
+    best_widths: Optional[Dict[Edge, float]] = None
+    best_delay = float("inf")
+    for combo in itertools.product(library, repeat=len(edges)):
+        widths = dict(zip(edges, combo))
+        if max_area is not None and wire_area(tree, widths) > max_area:
+            continue
+        delay = worst_sized_delay(tree, params, widths)
+        if delay < best_delay:
+            best_delay = delay
+            best_widths = widths
+    if best_widths is None:
+        raise InvalidParameterError("area budget excludes every assignment")
+    return SizingSolution(
+        widths=best_widths,
+        worst_delay=best_delay,
+        area=wire_area(tree, best_widths),
+        unsized_delay=unsized,
+    )

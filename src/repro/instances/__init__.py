@@ -1,0 +1,65 @@
+"""Benchmark instances: special, random and large synthetic placements."""
+
+from repro.instances.registry import (
+    benchmark_names,
+    large_benchmarks,
+    load,
+    special_benchmarks,
+)
+from repro.instances.structured import (
+    bus,
+    flipflop_array,
+    hub,
+    ring,
+    two_clusters,
+)
+from repro.instances.converters import (
+    dumps_workload,
+    load_workload,
+    loads_workload,
+    save_workload,
+)
+from repro.instances.workloads import (
+    RoutedNet,
+    Workload,
+    WorkloadNet,
+    WorkloadReport,
+    compare_policies,
+    route_workload,
+    synthetic_design,
+)
+from repro.instances.random_nets import (
+    CASES_PER_SIZE,
+    NET_SIZES,
+    benchmark_set4,
+    random_net,
+    random_nets_for_size,
+)
+
+__all__ = [
+    "dumps_workload",
+    "load_workload",
+    "loads_workload",
+    "save_workload",
+    "RoutedNet",
+    "Workload",
+    "WorkloadNet",
+    "WorkloadReport",
+    "compare_policies",
+    "route_workload",
+    "synthetic_design",
+    "bus",
+    "flipflop_array",
+    "hub",
+    "ring",
+    "two_clusters",
+    "benchmark_names",
+    "large_benchmarks",
+    "load",
+    "special_benchmarks",
+    "CASES_PER_SIZE",
+    "NET_SIZES",
+    "benchmark_set4",
+    "random_net",
+    "random_nets_for_size",
+]

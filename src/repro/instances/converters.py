@@ -1,0 +1,104 @@
+"""Multi-net design serialisation (a Bookshelf-flavoured text format).
+
+Workloads need to round-trip to disk for regression suites and external
+tools.  The format keeps the Bookshelf spirit — one header line, then
+per-net blocks — while staying line-oriented and diffable::
+
+    design <name>
+    net <name> critical|normal
+      source <x> <y>
+      sink <x> <y>
+      ...
+
+Blank lines and ``#`` comments are ignored.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.core.exceptions import InvalidNetError
+from repro.core.net import Net
+from repro.instances.workloads import Workload, WorkloadNet
+
+PathLike = Union[str, Path]
+
+
+def dumps_workload(workload: Workload) -> str:
+    """Serialise a workload to the design text format."""
+    out = io.StringIO()
+    out.write(f"design {workload.name}\n")
+    for item in workload.nets:
+        flag = "critical" if item.critical else "normal"
+        out.write(f"net {item.net.name or 'unnamed'} {flag}\n")
+        sx, sy = item.net.source
+        out.write(f"  source {sx!r} {sy!r}\n")
+        for x, y in item.net.sinks:
+            out.write(f"  sink {x!r} {y!r}\n")
+    return out.getvalue()
+
+
+def loads_workload(text: str) -> Workload:
+    """Parse a workload from the design text format."""
+    name: Optional[str] = None
+    nets: List[WorkloadNet] = []
+    current_name: Optional[str] = None
+    current_critical = False
+    current_source = None
+    current_sinks: List = []
+
+    def flush() -> None:
+        nonlocal current_name, current_source, current_sinks
+        if current_name is None:
+            return
+        if current_source is None:
+            raise InvalidNetError(f"net {current_name!r} has no source")
+        nets.append(
+            WorkloadNet(
+                net=Net(current_source, current_sinks, name=current_name),
+                critical=current_critical,
+            )
+        )
+        current_name = None
+        current_source = None
+        current_sinks = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        keyword = parts[0].lower()
+        try:
+            if keyword == "design":
+                name = parts[1]
+            elif keyword == "net":
+                flush()
+                current_name = parts[1]
+                current_critical = parts[2].lower() == "critical"
+            elif keyword == "source":
+                current_source = (float(parts[1]), float(parts[2]))
+            elif keyword == "sink":
+                current_sinks.append((float(parts[1]), float(parts[2])))
+            else:
+                raise InvalidNetError(
+                    f"line {lineno}: unknown keyword {keyword!r}"
+                )
+        except (IndexError, ValueError) as exc:
+            raise InvalidNetError(
+                f"line {lineno}: malformed entry {raw!r}"
+            ) from exc
+    flush()
+    if name is None:
+        raise InvalidNetError("no design header found")
+    return Workload(name=name, nets=nets)
+
+
+def save_workload(workload: Workload, path: PathLike) -> None:
+    Path(path).write_text(dumps_workload(workload))
+
+
+def load_workload(path: PathLike) -> Workload:
+    return loads_workload(Path(path).read_text())

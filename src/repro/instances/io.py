@@ -1,0 +1,80 @@
+"""Reading and writing net placements.
+
+A tiny line-oriented format (``.pts``) keeps instances inspectable and
+diffable::
+
+    # optional comments
+    metric l1
+    source 10.0 20.0
+    sink 30.0 40.0
+    sink 50.0 60.0
+
+Key order is free except that exactly one ``source`` line must appear.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.core.exceptions import InvalidNetError
+from repro.core.geometry import Metric
+from repro.core.net import Net
+
+PathLike = Union[str, Path]
+
+
+def dumps(net: Net) -> str:
+    """Serialise a net to the ``.pts`` text format."""
+    out = io.StringIO()
+    if net.name:
+        out.write(f"# {net.name}\n")
+    out.write(f"metric {net.metric.value}\n")
+    sx, sy = net.source
+    out.write(f"source {sx!r} {sy!r}\n")
+    for x, y in net.sinks:
+        out.write(f"sink {x!r} {y!r}\n")
+    return out.getvalue()
+
+
+def loads(text: str, name: Optional[str] = None) -> Net:
+    """Parse a net from the ``.pts`` text format."""
+    metric: "Metric | str" = Metric.L1
+    source: Optional[Tuple[float, float]] = None
+    sinks: List[Tuple[float, float]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        keyword = parts[0].lower()
+        try:
+            if keyword == "metric":
+                metric = Metric.parse(parts[1])
+            elif keyword == "source":
+                if source is not None:
+                    raise InvalidNetError(f"line {lineno}: second source")
+                source = (float(parts[1]), float(parts[2]))
+            elif keyword == "sink":
+                sinks.append((float(parts[1]), float(parts[2])))
+            else:
+                raise InvalidNetError(
+                    f"line {lineno}: unknown keyword {keyword!r}"
+                )
+        except (IndexError, ValueError) as exc:
+            raise InvalidNetError(f"line {lineno}: malformed entry {raw!r}") from exc
+    if source is None:
+        raise InvalidNetError("no source line found")
+    return Net(source, sinks, metric=metric, name=name)
+
+
+def save(net: Net, path: PathLike) -> None:
+    """Write ``net`` to ``path`` in the ``.pts`` format."""
+    Path(path).write_text(dumps(net))
+
+
+def load(path: PathLike) -> Net:
+    """Read a net from a ``.pts`` file (net name = file stem)."""
+    file_path = Path(path)
+    return loads(file_path.read_text(), name=file_path.stem)

@@ -1,0 +1,88 @@
+"""Random benchmark nets — the paper's benchmark set (4).
+
+Section 7 evaluates the heuristics on "five sets of 5 to 15 sinks and 50
+random test cases for each set".  We reproduce that: uniformly random
+terminal placements in a square, seeded deterministically per (size,
+case) so every table regenerates bit-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import InvalidParameterError
+from repro.core.geometry import Metric
+from repro.core.net import Net
+
+NET_SIZES: Tuple[int, ...] = (5, 8, 10, 12, 15)
+"""Sink counts of the paper's benchmark set (4)."""
+
+CASES_PER_SIZE = 50
+"""Random cases per size in the paper's Table 4."""
+
+_REGION = 1000.0
+
+
+def random_net(
+    num_sinks: int,
+    seed: int,
+    region: float = _REGION,
+    metric: "Metric | str" = Metric.L1,
+) -> Net:
+    """One random net: a source and ``num_sinks`` sinks, uniform in a square.
+
+    The same ``(num_sinks, seed)`` pair always produces the same net.
+    Coordinates are drawn on a fine integer lattice so ties in edge
+    weights occur at realistic (nonzero) rates, as with the integer
+    benchmark coordinates of the era.
+    """
+    if num_sinks < 1:
+        raise InvalidParameterError(f"need at least one sink, got {num_sinks}")
+    if region <= 0:
+        raise InvalidParameterError(f"region must be positive, got {region}")
+    rng = np.random.default_rng((num_sinks, seed))
+    while True:
+        grid = rng.integers(0, int(region) + 1, size=(num_sinks + 1, 2))
+        points = [(float(x), float(y)) for x, y in grid]
+        if len(set(points)) == len(points):
+            break
+    return Net(
+        points[0],
+        points[1:],
+        metric=metric,
+        name=f"rnd{num_sinks}_{seed}",
+    )
+
+
+def benchmark_set4(
+    sizes: Sequence[int] = NET_SIZES,
+    cases: int = CASES_PER_SIZE,
+    metric: "Metric | str" = Metric.L1,
+) -> Iterator[Tuple[int, int, Net]]:
+    """Yield ``(num_sinks, case_index, net)`` over the whole set (4)."""
+    for size in sizes:
+        for case in range(cases):
+            yield size, case, random_net(size, case, metric=metric)
+
+
+def random_nets_for_size(
+    num_sinks: int,
+    cases: int = CASES_PER_SIZE,
+    metric: "Metric | str" = Metric.L1,
+) -> List[Net]:
+    """The ``cases`` random nets of one table row."""
+    return [random_net(num_sinks, case, metric=metric) for case in range(cases)]
+
+
+def depth_study_nets(total: int = 2750, min_sinks: int = 5, max_sinks: int = 15) -> Iterator[Net]:
+    """Nets matching the BKEX depth study population (Section 5).
+
+    The paper used 2750 random nets of 5 to 15 sinks; we spread ``total``
+    cases round-robin over the size range with fresh seeds.
+    """
+    sizes = list(range(min_sinks, max_sinks + 1))
+    for index in range(total):
+        size = sizes[index % len(sizes)]
+        yield random_net(size, 10_000 + index)

@@ -1,0 +1,69 @@
+"""Benchmark registry: every instance the experiments use, by name.
+
+Centralises instance construction so tests, benchmarks and the CLI all
+load the exact same nets.  Names follow the paper: ``p1``-``p4``
+(special), ``pr1``/``pr2`` and ``r1``-``r5`` (large synthetic
+analogues, optionally scaled), and ``rnd<V>_<case>`` (random set 4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net
+from repro.instances import large, random_nets, special
+
+SPECIAL_NAMES = ("p1", "p2", "p3", "p4")
+LARGE_NAMES = tuple(sorted(large.LARGE_SPECS))
+
+_SPECIAL: Dict[str, Callable[[], Net]] = {
+    "p1": special.p1,
+    "p2": special.p2,
+    "p3": special.p3,
+    "p4": special.p4,
+    "figure4": special.figure4_net,
+    "figure5": special.figure5_net,
+}
+
+
+def benchmark_names() -> List[str]:
+    """All loadable benchmark names (excluding the random families)."""
+    return sorted(_SPECIAL) + list(LARGE_NAMES)
+
+
+def load(name: str, scale: Optional[float] = None) -> Net:
+    """Load a benchmark by name.
+
+    ``scale`` applies only to the large benchmarks (see
+    :func:`repro.instances.large.large_benchmark`); random nets are
+    addressed as ``rnd<num_sinks>_<case>``.
+    """
+    if name in _SPECIAL:
+        if scale is not None:
+            raise InvalidParameterError(f"{name} does not take a scale")
+        return _SPECIAL[name]()
+    if name in large.LARGE_SPECS:
+        return large.large_benchmark(name, scale if scale is not None else 1.0)
+    if name.startswith("rnd"):
+        try:
+            size_part, case_part = name[3:].split("_", 1)
+            return random_nets.random_net(int(size_part), int(case_part))
+        except (ValueError, IndexError):
+            raise InvalidParameterError(
+                f"random net names look like rnd10_3, got {name!r}"
+            ) from None
+    raise InvalidParameterError(
+        f"unknown benchmark {name!r}; known: {benchmark_names()} or rnd<V>_<case>"
+    )
+
+
+def special_benchmarks() -> List[Net]:
+    """The four p* nets of Tables 2/5."""
+    return [load(name) for name in SPECIAL_NAMES]
+
+
+def large_benchmarks(scale: float = 1.0, names: Optional[List[str]] = None) -> List[Net]:
+    """The pr*/r* analogues of Tables 3/5, at the requested scale."""
+    chosen = names if names is not None else list(LARGE_NAMES)
+    return [load(name, scale=scale) for name in chosen]

@@ -1,0 +1,143 @@
+"""The special benchmarks p1-p4 and the paper's worked-example nets.
+
+The four p* benchmarks were "generated specially to test extreme
+results" (Section 7); the paper gives their geometric recipe and their
+Table 1 signature (point count, R, r), from which we reconstruct them:
+
+* **p1** — the Figure 13 adversarial family: a far-away *zigzag cluster*
+  of sinks, all at nearly the same distance from the source, arranged so
+  that hopping between neighbours overshoots the ``eps = 0`` bound.  The
+  MST is one long wire plus a short chain; the bounded tree degenerates
+  toward a star, giving ``cost(BKT)/cost(MST) -> N``.
+* **p2** — p1 plus one extra sink halfway between the source and the
+  cluster (Table 1: ``r`` drops to ~10); this is the instance where
+  BPRIM's greedy goes badly at ``eps = 0.2``.
+* **p3** — the Figure 1 configuration quoted from Cong et al.: a 4x4
+  sink grid with the source at a corner offset, scaled so ``R = 16.0``
+  and ``r = 6.1`` exactly as in Table 1.
+* **p4** — sinks scattered around a circle of diameter 20 (Figure 13
+  variant); rescaled so ``R`` matches Table 1's 10.4.
+
+Also provided: the 5-point BKRUS walkthrough of Figure 4 and the
+4-point non-optimality instance of Figure 5, as exact nets for tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.core.geometry import Metric
+from repro.core.net import Net
+
+
+def p1(cluster_size: int = 5) -> Net:
+    """Figure 13 family: distant zigzag cluster (default = paper's p1).
+
+    ``cluster_size`` scales the family for the Figure 13 study
+    (``cost(BKT)/cost(MST)`` grows like the number of sinks).
+    """
+    sinks: List[Tuple[float, float]] = []
+    spread = max(cluster_size - 1, 1)
+    for k in range(cluster_size):
+        # Zigzag: swing 0.4k off-axis with alternating sign and pull x
+        # back so that dist(S, sink_k) = 20 + 0.4 k / (n - 1) — i.e.
+        # R = 20.4 and r = 20.0 at every cluster size, matching Table 1
+        # — while neighbour hops cost ~0.4 (2k + 1), soon far beyond
+        # the eps * R slack, which forces direct wires as eps -> 0.
+        x = 20.0 - 0.4 * k + 0.4 * k / spread
+        y = 0.4 * k * (1.0 if k % 2 == 0 else -1.0)
+        sinks.append((x, y))
+    return Net((0.0, 0.0), sinks, metric=Metric.L1, name="p1")
+
+
+def p2() -> Net:
+    """p1's configuration plus a sink halfway to the cluster.
+
+    Table 1 lists 8 points for p2 against p1's 6, so the cluster here
+    carries one extra member alongside the midway sink (r = 10.0,
+    R = 20.4 as tabulated).
+    """
+    base = p1(cluster_size=6)
+    sinks = list(base.sinks)
+    sinks.insert(0, (10.0, 0.0))
+    return Net((0.0, 0.0), sinks, metric=Metric.L1, name="p2")
+
+
+def p3() -> Net:
+    """Figure 1 configuration: 4x4 sink grid, R = 16.0, r = 6.1."""
+    low, high = 3.05, 8.0
+    step = (high - low) / 3.0
+    coords = [low + i * step for i in range(4)]
+    sinks = [(x, y) for x in coords for y in coords]
+    return Net((0.0, 0.0), sinks, metric=Metric.L1, name="p3")
+
+
+def p4(num_sinks: int = 30) -> Net:
+    """Sinks scattered around a circle of diameter 20, rescaled to R=10.4.
+
+    Radii follow a deterministic pattern (a small multiplicative
+    Weyl-like sequence) so the instance is irregular but reproducible.
+    """
+    raw: List[Tuple[float, float]] = []
+    for k in range(num_sinks):
+        angle = 2.0 * math.pi * k / num_sinks
+        wobble = 0.56 + 0.44 * (((k * 7) % 10) / 10.0)
+        radius = 10.0 * wobble
+        raw.append((radius * math.cos(angle), radius * math.sin(angle)))
+    # Rescale so the farthest Manhattan distance equals Table 1's 10.4.
+    worst = max(abs(x) + abs(y) for x, y in raw)
+    scale = 10.4 / worst
+    sinks = [(x * scale, y * scale) for x, y in raw]
+    return Net((0.0, 0.0), sinks, metric=Metric.L1, name="p4")
+
+
+FIGURE4_EPS = 0.4375
+"""Slack used in the Figure 4 walkthrough (bound = 1.4375 * R = 11.5)."""
+
+
+def figure4_net() -> Net:
+    """A 5-terminal walkthrough net in the style of Figure 4 (R = 8).
+
+    With ``eps = FIGURE4_EPS`` (bound 11.5) the BKRUS scan exhibits every
+    interesting event of the paper's worked example: a far sink pair
+    merges first, the cheap sink-sink edge (a, c) is rejected for a
+    bound violation (the merged radius rides along), and the source
+    finally attaches through the intermediate sink b rather than the
+    direct edge to the farthest sink a.
+    """
+    source = (0.0, 0.0)
+    a = (6.0, 2.0)   # dist(S, a) = 8 = R
+    b = (5.0, 0.0)   # dist(S, b) = 5
+    c = (4.0, 4.0)   # dist(S, c) = 8 = R
+    d = (7.0, 0.0)   # dist(S, d) = 7
+    return Net(source, [a, b, c, d], metric=Metric.L1, name="figure4")
+
+
+FIGURE5_EPS = 8.2 / 6.5 - 1.0
+"""Slack making the bound 8.2 on :func:`figure5_net` (R = 6.5)."""
+
+
+def figure5_net() -> Net:
+    """An instance in the spirit of Figure 5: BKRUS is provably suboptimal.
+
+    With bound 8.2 (``eps = FIGURE5_EPS``), the cheapest edge (a, b)
+    passes the feasibility test and is accepted, after which both hub
+    edges (c, a) and (c, b) exceed the bound (the pair's radius rides
+    along), forcing the expensive direct edge (S, a): total cost 11.
+    Rejecting (a, b) instead would have allowed the hub tree
+    {(S, c), (c, a), (c, b)} of cost 10 — the optimum.  The exact solvers
+    recover the cost-10 tree; BKRUS cannot without backtracking.
+    """
+    source = (0.0, 0.0)
+    a = (4.75, 1.25)  # dist(S, a) = 6,   dist(c, a) = 3.5, dist(a, b) = 2
+    b = (4.0, 2.5)    # dist(S, b) = 6.5, dist(c, b) = 3.5
+    c = (1.5, 1.5)    # dist(S, c) = 3
+    return Net(source, [a, b, c], metric=Metric.L1, name="figure5")
+
+
+def figure13_family(num_sinks: int) -> Net:
+    """The p1 generator at arbitrary cluster sizes, for the Figure 13
+    study of ``cost(BKT)/cost(MST)`` growth."""
+    net = p1(cluster_size=num_sinks)
+    return Net(net.source, net.sinks, metric=net.metric, name=f"p1x{num_sinks}")

@@ -1,0 +1,125 @@
+"""Structured net families: arrays, rings, buses, hubs.
+
+Real nets are rarely uniform-random: clock networks drive regular
+flip-flop arrays, buses fan out along a line, datapaths cluster.  These
+deterministic generators complement the random set for examples, tests,
+and robustness studies — each family stresses a different aspect of the
+bounded constructions:
+
+* arrays reward trunk sharing (Steiner savings, clock LUB grids);
+* rings around an off-centre source reproduce the p4 pathology shape;
+* buses make the MST a worst-case chain for the radius bound;
+* hubs make the SPT and MST coincide (sanity anchors);
+* two-cluster nets exercise the condition (3-b) witness logic hard.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.core.exceptions import InvalidParameterError
+from repro.core.geometry import Metric
+from repro.core.net import Net
+
+
+def flipflop_array(
+    rows: int,
+    cols: int,
+    pitch: float = 10.0,
+    source_offset: Tuple[float, float] = (-20.0, -20.0),
+) -> Net:
+    """A ``rows x cols`` register array clocked from an offset corner."""
+    if rows < 1 or cols < 1:
+        raise InvalidParameterError("array needs at least one row and column")
+    if rows * cols < 1:
+        raise InvalidParameterError("empty array")
+    sinks = [
+        (float(c) * pitch, float(r) * pitch)
+        for r in range(rows)
+        for c in range(cols)
+    ]
+    return Net(
+        source_offset, sinks, metric=Metric.L1, name=f"array{rows}x{cols}"
+    )
+
+
+def ring(
+    num_sinks: int,
+    radius: float = 100.0,
+    source_at_centre: bool = True,
+) -> Net:
+    """Sinks evenly spaced on a circle (the p4 stress shape).
+
+    With the source at the centre every sink is equidistant in L2 and
+    nearly so in L1; chains around the ring burn the eps slack quickly.
+    """
+    if num_sinks < 1:
+        raise InvalidParameterError("ring needs at least one sink")
+    sinks = []
+    for k in range(num_sinks):
+        angle = 2.0 * math.pi * k / num_sinks + 0.1
+        sinks.append((radius * math.cos(angle), radius * math.sin(angle)))
+    source = (0.0, 0.0) if source_at_centre else (2.0 * radius, 0.0)
+    return Net(source, sinks, metric=Metric.L1, name=f"ring{num_sinks}")
+
+
+def bus(
+    num_sinks: int,
+    pitch: float = 25.0,
+    stub: float = 5.0,
+) -> Net:
+    """A linear bus: sinks along a line with alternating short stubs.
+
+    The MST is the chain, whose radius is ~num_sinks * pitch — the
+    configuration where the radius bound forces the most restructuring.
+    """
+    if num_sinks < 1:
+        raise InvalidParameterError("bus needs at least one sink")
+    sinks = []
+    for k in range(num_sinks):
+        y = stub if k % 2 else -stub
+        sinks.append(((k + 1) * pitch, y))
+    return Net((0.0, 0.0), sinks, metric=Metric.L1, name=f"bus{num_sinks}")
+
+
+def hub(num_sinks: int, radius: float = 50.0) -> Net:
+    """Sinks strung along the four axis spokes of the source.
+
+    Every source-to-sink path in any reasonable tree is a monotone run
+    along a spoke, so the chained MST already satisfies *every* eps
+    bound and all algorithms return cost ratio ~1 — a calibration
+    anchor for the harness.
+    """
+    if num_sinks < 1:
+        raise InvalidParameterError("hub needs at least one sink")
+    directions = [(1.0, 0.0), (0.0, 1.0), (-1.0, 0.0), (0.0, -1.0)]
+    sinks = []
+    for k in range(num_sinks):
+        dx, dy = directions[k % 4]
+        r = radius * (1.0 + k // 4)
+        sinks.append((r * dx, r * dy))
+    return Net((0.0, 0.0), sinks, metric=Metric.L1, name=f"hub{num_sinks}")
+
+
+def two_clusters(
+    per_cluster: int,
+    separation: float = 200.0,
+    spread: float = 10.0,
+) -> Net:
+    """Two tight sink clusters far from the source and each other.
+
+    Merges happen inside each cluster first (condition 3-b territory);
+    the clusters then attach to the source via their witness nodes —
+    the exact mechanics Lemma 3.1's proof walks through.
+    """
+    if per_cluster < 1:
+        raise InvalidParameterError("clusters need at least one sink each")
+    sinks: List[Tuple[float, float]] = []
+    for k in range(per_cluster):
+        jitter = spread * (k + 1) / per_cluster
+        sinks.append((separation + jitter, jitter * (-1.0) ** k))
+        sinks.append((-separation - jitter, jitter * (-1.0) ** (k + 1)))
+    return Net(
+        (0.0, 0.0), sinks, metric=Metric.L1, name=f"clusters{per_cluster}x2"
+    )

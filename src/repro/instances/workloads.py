@@ -1,0 +1,198 @@
+"""Multi-net workloads: the global-routing use case of the paper's intro.
+
+The introduction motivates BMST with performance-driven *global
+routing*: a design holds thousands of signal nets, each with one driver
+and (typically) fewer than ten sinks, and every critical net needs its
+source-sink paths bounded while total wirelength (power, area) stays
+small.  A :class:`Workload` models that: a bag of nets with criticality
+flags, routed net-by-net with any of the library's constructions.
+
+``synthetic_design`` generates a seeded random design; pin placements
+cluster around per-net centres so nets look like logic cones, not
+uniform dust.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net
+from repro.analysis.metrics import AnyTree, tree_longest_path
+from repro.algorithms.mst import mst_cost
+
+
+@dataclass(frozen=True)
+class WorkloadNet:
+    """One net of a design plus its routing policy inputs."""
+
+    net: Net
+    critical: bool = False
+    """Critical nets get the bounded construction; others get the MST."""
+
+
+@dataclass
+class Workload:
+    """A named collection of nets to route together."""
+
+    name: str
+    nets: List[WorkloadNet] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.nets)
+
+    @property
+    def critical_count(self) -> int:
+        return sum(1 for item in self.nets if item.critical)
+
+    def total_pins(self) -> int:
+        return sum(item.net.num_terminals for item in self.nets)
+
+
+def synthetic_design(
+    num_nets: int,
+    seed: int = 0,
+    sinks_low: int = 2,
+    sinks_high: int = 9,
+    critical_fraction: float = 0.3,
+    die: float = 10_000.0,
+    cone_spread: float = 800.0,
+    name: Optional[str] = None,
+) -> Workload:
+    """A seeded random design of small logic-cone-like nets.
+
+    Each net's driver sits at a random die location; its sinks cluster
+    within ``cone_spread`` of the driver (a fanout cone).  A fixed
+    fraction of nets, chosen deterministically, is marked critical.
+    """
+    if num_nets < 1:
+        raise InvalidParameterError(f"need at least one net, got {num_nets}")
+    if not (0.0 <= critical_fraction <= 1.0):
+        raise InvalidParameterError(
+            f"critical_fraction must be in [0, 1], got {critical_fraction}"
+        )
+    if sinks_low < 1 or sinks_high < sinks_low:
+        raise InvalidParameterError(
+            f"bad sink range [{sinks_low}, {sinks_high}]"
+        )
+    rng = np.random.default_rng(seed)
+    nets: List[WorkloadNet] = []
+    for index in range(num_nets):
+        sinks_n = int(rng.integers(sinks_low, sinks_high + 1))
+        while True:
+            source = rng.uniform(0.0, die, size=2)
+            offsets = rng.uniform(-cone_spread, cone_spread, size=(sinks_n, 2))
+            points = [tuple(source)] + [
+                tuple(source + offset) for offset in offsets
+            ]
+            if len(set(points)) == len(points):
+                break
+        net = Net(
+            points[0], points[1:], metric="l1", name=f"n{index}"
+        )
+        nets.append(
+            WorkloadNet(net=net, critical=(index % 100) < critical_fraction * 100)
+        )
+    return Workload(name=name or f"design{num_nets}_{seed}", nets=nets)
+
+
+@dataclass(frozen=True)
+class RoutedNet:
+    """Routing result for one net of a workload."""
+
+    name: str
+    critical: bool
+    cost: float
+    mst_reference: float
+    path_ratio: float
+    seconds: float
+
+    @property
+    def perf_ratio(self) -> float:
+        return self.cost / self.mst_reference
+
+
+@dataclass(frozen=True)
+class WorkloadReport:
+    """Aggregate routing result for a whole design."""
+
+    workload: str
+    routed: Tuple[RoutedNet, ...]
+    total_cost: float
+    total_mst_cost: float
+    worst_path_ratio: float
+    seconds: float
+
+    @property
+    def cost_overhead(self) -> float:
+        """Total wirelength overhead over the all-MST routing."""
+        return self.total_cost / self.total_mst_cost - 1.0
+
+    def critical_nets(self) -> List[RoutedNet]:
+        return [net for net in self.routed if net.critical]
+
+
+def route_workload(
+    workload: Workload,
+    construct: Callable[[Net], AnyTree],
+    critical_only: bool = True,
+) -> WorkloadReport:
+    """Route a design: critical nets through ``construct``, the rest as MSTs.
+
+    ``construct`` maps a net to any tree (spanning or Steiner); pass
+    ``critical_only=False`` to push every net through it.
+    """
+    from repro.algorithms.mst import mst
+
+    routed: List[RoutedNet] = []
+    total_cost = 0.0
+    total_reference = 0.0
+    worst_ratio = 0.0
+    start_all = time.perf_counter()
+    for item in workload.nets:
+        reference = mst_cost(item.net)
+        start = time.perf_counter()
+        if item.critical or not critical_only:
+            tree = construct(item.net)
+        else:
+            tree = mst(item.net)
+        seconds = time.perf_counter() - start
+        longest = float(tree_longest_path(tree))
+        ratio = longest / item.net.radius()
+        routed.append(
+            RoutedNet(
+                name=item.net.name or "?",
+                critical=item.critical,
+                cost=float(tree.cost),
+                mst_reference=reference,
+                path_ratio=ratio,
+                seconds=seconds,
+            )
+        )
+        total_cost += float(tree.cost)
+        total_reference += reference
+        if item.critical or not critical_only:
+            worst_ratio = max(worst_ratio, ratio)
+    return WorkloadReport(
+        workload=workload.name,
+        routed=tuple(routed),
+        total_cost=total_cost,
+        total_mst_cost=total_reference,
+        worst_path_ratio=worst_ratio,
+        seconds=time.perf_counter() - start_all,
+    )
+
+
+def compare_policies(
+    workload: Workload,
+    policies: Sequence[Tuple[str, Callable[[Net], AnyTree]]],
+) -> Dict[str, WorkloadReport]:
+    """Route the same design under several constructions."""
+    return {
+        label: route_workload(workload, construct)
+        for label, construct in policies
+    }

@@ -1,0 +1,32 @@
+"""Bounded path length Steiner routing on Hanan grids."""
+
+from repro.steiner.bkst import bkst, lub_bkst, SteinerTree
+from repro.steiner.grid_graph import GridGraph
+from repro.steiner.hanan import hanan_grid, hanan_statistics
+from repro.steiner.iterated_one_steiner import (
+    PointSteinerTree,
+    iterated_one_steiner,
+    steiner_ratio,
+)
+from repro.steiner.obstacles import (
+    Obstacle,
+    obstacle_grid,
+    obstacle_mst,
+    obstacle_spt,
+)
+
+__all__ = [
+    "bkst",
+    "lub_bkst",
+    "SteinerTree",
+    "GridGraph",
+    "hanan_grid",
+    "hanan_statistics",
+    "PointSteinerTree",
+    "iterated_one_steiner",
+    "steiner_ratio",
+    "Obstacle",
+    "obstacle_grid",
+    "obstacle_mst",
+    "obstacle_spt",
+]

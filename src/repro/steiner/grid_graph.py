@@ -1,0 +1,307 @@
+"""Rectilinear grid routing graphs.
+
+A :class:`GridGraph` is the crossing structure of a set of horizontal and
+vertical lines — the substrate of Hanan-grid Steiner construction
+(Section 3.3) and a stand-in for channel-intersection graphs, which the
+paper mentions as the alternative routing graph.
+
+Nodes are integer ids in row-major order (``id = row * num_cols + col``,
+row indexing the sorted y values).  Edges connect horizontally and
+vertically adjacent crossings and are weighted by geometric distance,
+so every distance on the graph is a rectilinear wire length.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.core.exceptions import InvalidParameterError
+
+Coordinate = Tuple[float, float]
+
+
+class GridGraph:
+    """Crossing graph of vertical lines ``xs`` and horizontal lines ``ys``."""
+
+    def __init__(self, xs: Sequence[float], ys: Sequence[float]) -> None:
+        if not xs or not ys:
+            raise InvalidParameterError("grid needs at least one x and one y")
+        self.xs = [float(x) for x in xs]
+        self.ys = [float(y) for y in ys]
+        if sorted(set(self.xs)) != self.xs or sorted(set(self.ys)) != self.ys:
+            raise InvalidParameterError("grid lines must be sorted and unique")
+        self.num_cols = len(self.xs)
+        self.num_rows = len(self.ys)
+        self._index: Dict[Coordinate, int] = {}
+        for row, y in enumerate(self.ys):
+            for col, x in enumerate(self.xs):
+                self._index[(x, y)] = row * self.num_cols + col
+        # Filled in by hanan_grid(): net node index -> grid node id.
+        self.terminal_ids: Dict[int, int] = {}
+        # Edges removed by obstacles (canonical (min, max) node pairs).
+        self._blocked: set = set()
+
+    # ------------------------------------------------------------------
+    # Identity and geometry
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.num_rows * self.num_cols
+
+    @property
+    def num_edges(self) -> int:
+        return self.num_rows * (self.num_cols - 1) + self.num_cols * (
+            self.num_rows - 1
+        )
+
+    def coordinate(self, node: int) -> Coordinate:
+        row, col = divmod(node, self.num_cols)
+        return (self.xs[col], self.ys[row])
+
+    def id_at(self, point: Coordinate) -> int:
+        key = (float(point[0]), float(point[1]))
+        if key not in self._index:
+            raise InvalidParameterError(f"{point} is not a grid crossing")
+        return self._index[key]
+
+    def row_col(self, node: int) -> Tuple[int, int]:
+        return divmod(node, self.num_cols)
+
+    def manhattan(self, a: int, b: int) -> float:
+        ax, ay = self.coordinate(a)
+        bx, by = self.coordinate(b)
+        return abs(ax - bx) + abs(ay - by)
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+    def neighbors(self, node: int) -> Iterator[Tuple[int, float]]:
+        """Adjacent crossings with edge lengths (blocked edges omitted)."""
+        row, col = divmod(node, self.num_cols)
+        candidates = []
+        if col > 0:
+            candidates.append((node - 1, self.xs[col] - self.xs[col - 1]))
+        if col + 1 < self.num_cols:
+            candidates.append((node + 1, self.xs[col + 1] - self.xs[col]))
+        if row > 0:
+            candidates.append(
+                (node - self.num_cols, self.ys[row] - self.ys[row - 1])
+            )
+        if row + 1 < self.num_rows:
+            candidates.append(
+                (node + self.num_cols, self.ys[row + 1] - self.ys[row])
+            )
+        for neighbor, length in candidates:
+            if not self.is_blocked(node, neighbor):
+                yield neighbor, length
+
+    # ------------------------------------------------------------------
+    # Obstacles
+    # ------------------------------------------------------------------
+    @property
+    def num_blocked_edges(self) -> int:
+        return len(self._blocked)
+
+    def is_blocked(self, a: int, b: int) -> bool:
+        return (min(a, b), max(a, b)) in self._blocked
+
+    def block_edge(self, a: int, b: int) -> None:
+        """Remove one grid edge (must be grid-adjacent)."""
+        row_a, col_a = divmod(a, self.num_cols)
+        row_b, col_b = divmod(b, self.num_cols)
+        adjacent = (row_a == row_b and abs(col_a - col_b) == 1) or (
+            col_a == col_b and abs(row_a - row_b) == 1
+        )
+        if not adjacent:
+            raise InvalidParameterError(f"({a}, {b}) is not a grid edge")
+        self._blocked.add((min(a, b), max(a, b)))
+
+    def unblock_edge(self, a: int, b: int) -> None:
+        self._blocked.discard((min(a, b), max(a, b)))
+
+    def add_obstacle(
+        self, min_x: float, min_y: float, max_x: float, max_y: float
+    ) -> int:
+        """Block every grid edge crossing the *open* rectangle interior.
+
+        Edges along the obstacle boundary stay routable (wires may hug
+        an obstacle), matching channel-intersection-graph semantics.
+        Returns the number of edges newly blocked.
+        """
+        if min_x > max_x or min_y > max_y:
+            raise InvalidParameterError("obstacle rectangle is inverted")
+        blocked_before = len(self._blocked)
+        for row, y in enumerate(self.ys):
+            for col in range(self.num_cols - 1):
+                if min_y < y < max_y:
+                    x1, x2 = self.xs[col], self.xs[col + 1]
+                    if x1 < max_x and x2 > min_x:
+                        node = row * self.num_cols + col
+                        self._blocked.add((node, node + 1))
+        for col, x in enumerate(self.xs):
+            for row in range(self.num_rows - 1):
+                if min_x < x < max_x:
+                    y1, y2 = self.ys[row], self.ys[row + 1]
+                    if y1 < max_y and y2 > min_y:
+                        node = row * self.num_cols + col
+                        self._blocked.add((node, node + self.num_cols))
+        return len(self._blocked) - blocked_before
+
+    def edge_length(self, a: int, b: int) -> float:
+        for neighbor, length in self.neighbors(a):
+            if neighbor == b:
+                return length
+        raise InvalidParameterError(f"({a}, {b}) is not a grid edge")
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def shortest_path_length(self, a: int, b: int) -> float:
+        """Shortest routable path length between two crossings.
+
+        Equals the Manhattan distance on an unblocked grid; with
+        obstacles present a Dijkstra search runs instead.  Returns
+        ``math.inf`` when no route exists.
+        """
+        if not self._blocked:
+            return self.manhattan(a, b)
+        dist = self.dijkstra_distances(a)
+        return dist.get(b, math.inf)
+
+    def shortest_path_nodes(self, a: int, b: int) -> List[int]:
+        """One shortest routable node walk from ``a`` to ``b``.
+
+        Raises :class:`InvalidParameterError` when ``b`` is unreachable.
+        """
+        dist: Dict[int, float] = {a: 0.0}
+        parent: Dict[int, int] = {a: -1}
+        heap: List[Tuple[float, int]] = [(0.0, a)]
+        done = set()
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node in done:
+                continue
+            if node == b:
+                break
+            done.add(node)
+            for neighbor, length in self.neighbors(node):
+                candidate = d + length
+                if neighbor not in dist or candidate < dist[neighbor] - 1e-12:
+                    dist[neighbor] = candidate
+                    parent[neighbor] = node
+                    heapq.heappush(heap, (candidate, neighbor))
+        if b not in parent and b != a:
+            raise InvalidParameterError(
+                f"no route between {a} and {b} (obstacles disconnect them)"
+            )
+        walk = [b]
+        node = b
+        while parent.get(node, -1) != -1:
+            node = parent[node]
+            walk.append(node)
+        walk.reverse()
+        return walk
+
+    def dijkstra_distances(self, source: int) -> Dict[int, float]:
+        """Reference Dijkstra over the grid (tests cross-check it against
+        :meth:`manhattan`; kept for future blocked-edge variants)."""
+        dist = {source: 0.0}
+        heap = [(0.0, source)]
+        done = set()
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node in done:
+                continue
+            done.add(node)
+            for neighbor, length in self.neighbors(node):
+                candidate = d + length
+                if neighbor not in dist or candidate < dist[neighbor] - 1e-12:
+                    dist[neighbor] = candidate
+                    heapq.heappush(heap, (candidate, neighbor))
+        return dist
+
+    def segment_nodes(self, a: int, b: int) -> List[int]:
+        """Grid nodes along the straight segment from ``a`` to ``b``.
+
+        ``a`` and ``b`` must share a row or a column; the result includes
+        both endpoints, in walking order.
+        """
+        row_a, col_a = divmod(a, self.num_cols)
+        row_b, col_b = divmod(b, self.num_cols)
+        if row_a == row_b:
+            step = 1 if col_b >= col_a else -1
+            return [
+                row_a * self.num_cols + col
+                for col in range(col_a, col_b + step, step)
+            ]
+        if col_a == col_b:
+            step = 1 if row_b >= row_a else -1
+            return [
+                row * self.num_cols + col_a
+                for row in range(row_a, row_b + step, step)
+            ]
+        raise InvalidParameterError(
+            f"nodes {a} and {b} are not axis-aligned; no straight segment"
+        )
+
+    def corner_candidates(self, a: int, b: int) -> List[int]:
+        """The (up to two) L-shape corner crossings between ``a`` and ``b``."""
+        row_a, col_a = divmod(a, self.num_cols)
+        row_b, col_b = divmod(b, self.num_cols)
+        corners = {row_a * self.num_cols + col_b, row_b * self.num_cols + col_a}
+        corners.discard(a)
+        corners.discard(b)
+        if not corners:
+            # a and b are axis-aligned: the "corner" degenerates.
+            return [a]
+        return sorted(corners)
+
+    def l_path_nodes(self, a: int, b: int, corner: int) -> List[int]:
+        """Grid nodes of the L-shaped route ``a -> corner -> b``.
+
+        Includes both endpoints once each; the corner appears once.
+        """
+        first = self.segment_nodes(a, corner)
+        second = self.segment_nodes(corner, b)
+        return first + second[1:]
+
+    def l_path_toward(
+        self, a: int, b: int, prefer_near: Coordinate
+    ) -> List[int]:
+        """The L-shaped ``a``-``b`` route whose corner is nearer ``prefer_near``.
+
+        Implements the paper's tie rule: "among the two possible L-shaped
+        paths, we choose the path whose corner is closer to the source."
+        """
+        candidates = self.corner_candidates(a, b)
+        px, py = float(prefer_near[0]), float(prefer_near[1])
+
+        def corner_key(corner: int) -> Tuple[float, int]:
+            cx, cy = self.coordinate(corner)
+            return (abs(cx - px) + abs(cy - py), corner)
+
+        corner = min(candidates, key=corner_key)
+        return self.l_path_nodes(a, b, corner)
+
+    def path_cost(self, nodes: List[int]) -> float:
+        """Total wire length of a node walk along grid edges."""
+        total = 0.0
+        for u, v in zip(nodes, nodes[1:]):
+            total += self.edge_length(u, v)
+        return total
+
+
+def path_edges(nodes: List[int]) -> List[Tuple[int, int]]:
+    """Canonical edge list ``(min, max)`` of a node walk."""
+    return [
+        (u, v) if u < v else (v, u) for u, v in zip(nodes, nodes[1:])
+    ]
+
+
+def manhattan_between(
+    grid: GridGraph, pairs: List[Tuple[int, int]]
+) -> List[Tuple[float, int, int]]:
+    """(distance, a, b) tuples for a list of grid node pairs."""
+    return [(grid.manhattan(a, b), a, b) for a, b in pairs]

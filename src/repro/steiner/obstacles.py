@@ -1,0 +1,173 @@
+"""Obstacle-aware routing substrate (channel-intersection-style graphs).
+
+Section 3.3 notes BKST can run "on a channel intersection graph or on a
+Hanan's grid graph".  Channel-intersection graphs arise when macros
+block parts of the plane: routing happens in the channels between
+obstacles, and the graph's lines are the terminal coordinates *plus*
+the obstacle boundaries.  This module builds that substrate and
+provides obstacle-aware tree constructions on it:
+
+* :func:`obstacle_grid` — the extended grid with interior edges of every
+  obstacle removed (boundary edges stay routable);
+* :func:`obstacle_spt` — the union of grid shortest paths from the
+  source (minimum-radius anchor);
+* :func:`obstacle_mst` — Kruskal over terminals with grid shortest-path
+  distances, realised as grid routes with cycle edges skipped (a
+  low-cost anchor analogous to the MST).
+
+Both return :class:`~repro.steiner.bkst.SteinerTree` objects, so all
+validation/rendering machinery applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.disjoint_set import DisjointSet
+from repro.core.exceptions import InfeasibleError, InvalidParameterError
+from repro.core.net import Net, SOURCE
+from repro.steiner.bkst import SteinerTree
+from repro.steiner.grid_graph import GridGraph
+from repro.steiner.hanan import hanan_coordinates
+
+
+@dataclass(frozen=True)
+class Obstacle:
+    """A rectangular blockage (a macro, a pre-route, a keep-out)."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise InvalidParameterError(f"inverted obstacle: {self}")
+
+    def contains_point(self, point: Tuple[float, float]) -> bool:
+        """Is ``point`` strictly inside the blockage?"""
+        return (
+            self.min_x < point[0] < self.max_x
+            and self.min_y < point[1] < self.max_y
+        )
+
+
+def obstacle_grid(net: Net, obstacles: Sequence[Obstacle]) -> GridGraph:
+    """The channel-intersection-style grid for ``net`` and ``obstacles``.
+
+    Grid lines run through every terminal coordinate and every obstacle
+    boundary, so routes can hug blockages; edges through obstacle
+    interiors are removed.  Terminals inside an obstacle are rejected.
+    """
+    points = [net.point(node) for node in range(net.num_terminals)]
+    for obstacle in obstacles:
+        for node, point in enumerate(points):
+            if obstacle.contains_point(point):
+                raise InvalidParameterError(
+                    f"terminal {node} at {point} lies inside {obstacle}"
+                )
+    xs, ys = hanan_coordinates(points)
+    extra_xs = {o.min_x for o in obstacles} | {o.max_x for o in obstacles}
+    extra_ys = {o.min_y for o in obstacles} | {o.max_y for o in obstacles}
+    grid = GridGraph(
+        sorted(set(xs) | extra_xs),
+        sorted(set(ys) | extra_ys),
+    )
+    grid.terminal_ids = {
+        node: grid.id_at(net.point(node)) for node in range(net.num_terminals)
+    }
+    for obstacle in obstacles:
+        grid.add_obstacle(
+            obstacle.min_x, obstacle.min_y, obstacle.max_x, obstacle.max_y
+        )
+    return grid
+
+
+def _route_edges(
+    grid: GridGraph,
+    walk: List[int],
+    sets: DisjointSet,
+    edges: List[Tuple[int, int]],
+) -> None:
+    for u, v in zip(walk, walk[1:]):
+        if sets.union(u, v):
+            edges.append((min(u, v), max(u, v)))
+
+
+def obstacle_spt(net: Net, obstacles: Sequence[Obstacle]) -> SteinerTree:
+    """Union of grid shortest paths from the source to every sink.
+
+    The minimum-radius construction on the blocked substrate: every
+    sink's tree path is a shortest routable path (paths to different
+    sinks share prefixes where Dijkstra's parents coincide).
+    """
+    grid = obstacle_grid(net, obstacles)
+    source_gid = grid.terminal_ids[SOURCE]
+    sets = DisjointSet(grid.num_nodes)
+    edges: List[Tuple[int, int]] = []
+    # One Dijkstra, shared parents -> a genuine shortest path tree.
+    import heapq
+
+    dist = {source_gid: 0.0}
+    parent = {source_gid: -1}
+    heap = [(0.0, source_gid)]
+    done = set()
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        done.add(node)
+        for neighbor, length in grid.neighbors(node):
+            candidate = d + length
+            if neighbor not in dist or candidate < dist[neighbor] - 1e-12:
+                dist[neighbor] = candidate
+                parent[neighbor] = node
+                heapq.heappush(heap, (candidate, neighbor))
+    for node in range(1, net.num_terminals):
+        gid = grid.terminal_ids[node]
+        if gid not in parent:
+            raise InfeasibleError(f"sink {node} is walled off by obstacles")
+        walk = [gid]
+        while parent[walk[-1]] != -1:
+            walk.append(parent[walk[-1]])
+        _route_edges(grid, walk, sets, edges)
+    return SteinerTree(net, grid, edges)
+
+
+def obstacle_mst(net: Net, obstacles: Sequence[Obstacle]) -> SteinerTree:
+    """Kruskal over terminals with shortest routable distances.
+
+    Edge weights are grid shortest-path lengths; accepted edges are
+    realised as grid routes with cycle edges skipped, so shared channel
+    segments are reused (the result is a Steiner tree, usually cheaper
+    than the sum of its pairwise routes).
+    """
+    grid = obstacle_grid(net, obstacles)
+    terminal_gids = [grid.terminal_ids[n] for n in range(net.num_terminals)]
+    pairs = []
+    for i, a in enumerate(terminal_gids):
+        for b in terminal_gids[i + 1 :]:
+            length = grid.shortest_path_length(a, b)
+            pairs.append((length, a, b))
+    pairs.sort()
+    sets = DisjointSet(grid.num_nodes)
+    edges: List[Tuple[int, int]] = []
+    for length, a, b in pairs:
+        if length == float("inf"):
+            raise InfeasibleError("obstacles disconnect the terminals")
+        if sets.connected(a, b):
+            continue
+        walk = grid.shortest_path_nodes(a, b)
+        _route_edges(grid, walk, sets, edges)
+    tree = SteinerTree(net, grid, edges)
+    if not tree.is_connected_tree():
+        raise InfeasibleError("obstacle MST failed to connect all terminals")
+    return tree
+
+
+def total_blocked_area(obstacles: Iterable[Obstacle]) -> float:
+    """Sum of obstacle areas (overlaps counted twice; diagnostic only)."""
+    return sum(
+        (o.max_x - o.min_x) * (o.max_y - o.min_y) for o in obstacles
+    )

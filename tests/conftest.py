@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.net import Net
+from repro.instances import random_nets, special
+
+
+@pytest.fixture
+def small_net() -> Net:
+    """A fixed 6-sink net used across many tests."""
+    return random_nets.random_net(6, 42)
+
+
+@pytest.fixture
+def tiny_net() -> Net:
+    """A 4-terminal net small enough for exhaustive enumeration."""
+    return Net((0.0, 0.0), [(4.0, 1.0), (1.0, 5.0), (6.0, 6.0)], name="tiny")
+
+
+@pytest.fixture
+def line_net() -> Net:
+    """Collinear terminals: degenerate geometry stress case."""
+    return Net((0.0, 0.0), [(1.0, 0.0), (2.0, 0.0), (3.0, 0.0), (4.0, 0.0)])
+
+
+@pytest.fixture
+def p1_net() -> Net:
+    return special.p1()
+
+
+@pytest.fixture
+def p3_net() -> Net:
+    return special.p3()
+
+
+@pytest.fixture(params=[5, 8, 10])
+def random_net_family(request) -> Net:
+    """A few representative random nets of different sizes."""
+    return random_nets.random_net(request.param, 7)

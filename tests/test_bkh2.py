@@ -1,0 +1,100 @@
+"""Tests for BKH2 — depth-2 exchange post-processing."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.bkex import bkex
+from repro.algorithms.bkh2 import Bkh2Stats, bkh2
+from repro.algorithms.bkrus import bkrus
+from repro.algorithms.gabow import bmst_brute_force
+from repro.algorithms.mst import mst
+from repro.core.exceptions import InvalidParameterError
+from repro.analysis.validation import assert_valid, check_routing_tree
+from repro.instances.random_nets import random_net
+from repro.instances.special import FIGURE5_EPS, figure5_net
+
+
+class TestBasics:
+    def test_negative_eps_raises(self, small_net):
+        with pytest.raises(InvalidParameterError):
+            bkh2(small_net, -0.2)
+
+    def test_infeasible_initial_raises(self, small_net):
+        bad = mst(small_net)
+        if bad.satisfies_bound(0.0):
+            pytest.skip("mst happens to satisfy eps=0 here")
+        with pytest.raises(InvalidParameterError):
+            bkh2(small_net, 0.0, initial=bad)
+
+    @pytest.mark.parametrize("eps", [0.0, 0.2, 0.5, math.inf])
+    def test_valid_and_never_worse_than_bkt(self, small_net, eps):
+        bkt = bkrus(small_net, eps)
+        polished = bkh2(small_net, eps, initial=bkt)
+        assert polished.cost <= bkt.cost + 1e-9
+        assert_valid(check_routing_tree(polished, eps))
+
+    def test_stats_populated(self):
+        net = figure5_net()
+        stats = Bkh2Stats()
+        bkh2(net, FIGURE5_EPS, stats=stats)
+        assert stats.exchanges_scanned > 0
+
+
+class TestQuality:
+    def test_figure5_recovered_by_double_exchange(self):
+        """The Figure 5 trap needs exactly a 2-exchange to escape: BKH2
+        finds the cost-10 optimum where BKRUS alone reports 11."""
+        net = figure5_net()
+        stats = Bkh2Stats()
+        tree = bkh2(net, FIGURE5_EPS, stats=stats)
+        assert tree.cost == pytest.approx(10.0)
+        assert stats.double_improvements >= 1
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        sinks=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=200),
+        eps=st.sampled_from([0.1, 0.3]),
+    )
+    def test_between_bkrus_and_optimum(self, sinks, seed, eps):
+        net = random_net(sinks, seed)
+        bkt_cost = bkrus(net, eps).cost
+        optimum = bmst_brute_force(net, eps).cost
+        cost = bkh2(net, eps).cost
+        assert optimum - 1e-9 <= cost <= bkt_cost + 1e-9
+
+    def test_usually_matches_bkex(self):
+        """Paper: BKEX at depth 2 reaches the optimum on ~97% of nets,
+        and BKH2 is the breadth-first depth-2 analogue; allow one miss
+        over 20 nets."""
+        misses = 0
+        for seed in range(20):
+            net = random_net(6, 300 + seed)
+            eps = 0.2
+            if not math.isclose(
+                bkh2(net, eps).cost, bkex(net, eps).cost, rel_tol=1e-9
+            ):
+                misses += 1
+        assert misses <= 1
+
+    def test_beam_variant_still_valid(self):
+        net = random_net(8, 2)
+        eps = 0.1
+        full = bkh2(net, eps)
+        beamed = bkh2(net, eps, level2_beam=10)
+        assert beamed.satisfies_bound(eps)
+        assert beamed.cost >= full.cost - 1e-9  # beam can only do worse
+
+    def test_mean_improvement_over_bkrus(self):
+        """Table 3's 'reduction %' column: BKH2 strictly improves BKRUS
+        somewhere on a batch of nets."""
+        improved = 0
+        for seed in range(15):
+            net = random_net(10, 400 + seed)
+            eps = 0.1
+            bkt = bkrus(net, eps)
+            if bkh2(net, eps, initial=bkt).cost < bkt.cost - 1e-9:
+                improved += 1
+        assert improved >= 1

@@ -1,0 +1,209 @@
+"""Tests for BKRUS — the paper's core heuristic (Section 3.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.bkrus import (
+    KruskalTrace,
+    bkrus,
+    bkt_cost,
+    is_rejection_permanent,
+    upper_bound_test,
+)
+from repro.algorithms.gabow import bmst_brute_force
+from repro.algorithms.mst import mst
+from repro.algorithms.spt import spt_radius
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net, SOURCE
+from repro.analysis.validation import assert_valid, check_routing_tree
+from repro.instances.random_nets import random_net
+from repro.instances.special import (
+    FIGURE4_EPS,
+    FIGURE5_EPS,
+    figure4_net,
+    figure5_net,
+    p1,
+)
+
+EPS_GRID = (0.0, 0.1, 0.3, 0.5, 1.0, math.inf)
+
+
+class TestParameterChecks:
+    def test_negative_eps_raises(self, small_net):
+        with pytest.raises(InvalidParameterError):
+            bkrus(small_net, -0.1)
+
+    def test_nan_eps_raises(self, small_net):
+        with pytest.raises(InvalidParameterError):
+            bkrus(small_net, float("nan"))
+
+
+class TestCoreGuarantees:
+    @pytest.mark.parametrize("eps", EPS_GRID)
+    def test_bound_always_satisfied(self, small_net, eps):
+        tree = bkrus(small_net, eps)
+        assert_valid(check_routing_tree(tree, eps))
+
+    def test_infinite_eps_equals_mst(self, small_net):
+        assert math.isclose(bkrus(small_net, math.inf).cost, mst(small_net).cost)
+
+    def test_cost_at_least_mst(self, small_net):
+        for eps in EPS_GRID:
+            assert bkrus(small_net, eps).cost >= mst(small_net).cost - 1e-9
+
+    def test_cost_at_most_star(self, small_net):
+        """The star is always feasible, and BKRUS's greedy never pays
+        more than connecting everything directly."""
+        star_cost = float(small_net.dist[SOURCE, 1:].sum())
+        for eps in EPS_GRID:
+            assert bkrus(small_net, eps).cost <= star_cost + 1e-9
+
+    def test_eps_zero_radius_equals_R(self, small_net):
+        tree = bkrus(small_net, 0.0)
+        assert tree.longest_source_path() <= spt_radius(small_net) + 1e-9
+
+    def test_trace_records_events(self, small_net):
+        trace = KruskalTrace()
+        tree = bkrus(small_net, 0.0, trace=trace)
+        assert len(trace.accepted) == small_net.num_terminals - 1
+        assert trace.edges_scanned >= len(trace.accepted)
+        assert set(trace.accepted) == set(
+            (min(u, v), max(u, v)) for u, v in tree.edges
+        )
+
+    def test_two_terminal_net(self):
+        net = Net((0, 0), [(3, 4)])
+        tree = bkrus(net, 0.0)
+        assert tree.edges == ((0, 1),)
+
+
+class TestLemma31:
+    """Rejected edges never become feasible again."""
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        sinks=st.integers(min_value=3, max_value=10),
+        seed=st.integers(min_value=0, max_value=300),
+        eps=st.sampled_from([0.0, 0.1, 0.25, 0.5]),
+    )
+    def test_rejections_permanent(self, sinks, seed, eps):
+        assert is_rejection_permanent(random_net(sinks, seed), eps)
+
+    def test_rejections_permanent_on_p1(self):
+        assert is_rejection_permanent(p1(), 0.0)
+        assert is_rejection_permanent(p1(), 0.2)
+
+
+class TestFeasibilityConditions:
+    def test_condition_3a_source_side(self):
+        """With S in t_u the test is path(S,u) + d + radius(v) <= bound."""
+        from repro.core.partial_forest import PartialForest
+
+        net = Net((0, 0), [(4, 0), (8, 0), (12, 0)])
+        forest = PartialForest(net)
+        forest.merge(0, 1)  # S-a: source component path(S,a) = 4
+        forest.merge(2, 3)  # b-c component with radius 4
+        # Candidate (a, b): 4 + 4 + radius(b)=4 = 12 = R exactly.
+        test = upper_bound_test(net, net.path_bound(0.0))
+        assert test(forest, 1, 2)
+        tight = upper_bound_test(net, 11.9)
+        assert not tight(forest, 1, 2)
+
+    def test_condition_3b_witness(self):
+        """Without S, feasibility needs some x with dist(S,x) +
+        radius_M(x) within the bound."""
+        from repro.core.partial_forest import PartialForest
+
+        net = Net((0, 0), [(10, 0), (11, 0), (12, 0)])
+        forest = PartialForest(net)
+        # Merge sinks 1 and 2 (d=1), then candidate (2, 3) (d=1):
+        forest.merge(1, 2)
+        # Witness 1: dist(S,1)=10, radius_M(1) = 1 + 1 = 2 -> 12 = R.
+        test = upper_bound_test(net, net.path_bound(0.0))
+        assert test(forest, 2, 3)
+        assert not upper_bound_test(net, 11.5)(forest, 2, 3)
+
+
+class TestFigure4Walkthrough:
+    def test_construction_events(self):
+        net = figure4_net()
+        assert net.radius() == 8.0
+        trace = KruskalTrace()
+        tree = bkrus(net, FIGURE4_EPS, trace=trace)
+        # The walkthrough's signature events: the sink-sink edge (a, c)
+        # is rejected for the bound, the direct edge to the farthest
+        # sink a is avoided, and the result fits within bound 11.5.
+        assert (1, 3) in trace.rejected
+        assert not tree.has_edge((0, 1))  # a attaches via b, not S
+        assert tree.satisfies_bound(FIGURE4_EPS)
+        assert tree.longest_source_path() <= 11.5 + 1e-9
+
+    def test_exact_tree_shape(self):
+        net = figure4_net()
+        tree = bkrus(net, FIGURE4_EPS)
+        # Hand-traced construction: (b,d), (a,b), (b,c), (S,b).
+        assert tree.edge_set() == {(2, 4), (1, 2), (2, 3), (0, 2)}
+        assert tree.cost == pytest.approx(15.0)
+
+
+class TestFigure5Suboptimality:
+    def test_bkrus_takes_the_trap(self):
+        net = figure5_net()
+        tree = bkrus(net, FIGURE5_EPS)
+        assert tree.has_edge((1, 2))  # the tempting cheap (a, b) edge
+        assert tree.cost == pytest.approx(11.0)
+
+    def test_exact_beats_bkrus(self):
+        net = figure5_net()
+        exact = bmst_brute_force(net, FIGURE5_EPS)
+        assert exact.cost == pytest.approx(10.0)
+        assert exact.cost < bkrus(net, FIGURE5_EPS).cost
+        # The optimum is the hub tree through c.
+        assert exact.edge_set() == {(0, 3), (1, 3), (2, 3)}
+
+
+class TestAdversarialFamily:
+    def test_p1_ratio_blows_up_at_eps_zero(self):
+        """Figure 13: cost(BKT)/cost(MST) grows with the cluster size."""
+        from repro.instances.special import figure13_family
+
+        previous = 0.0
+        for sinks in (3, 5, 8):
+            net = figure13_family(sinks)
+            ratio = bkt_cost(net, 0.0) / mst(net).cost
+            assert ratio > previous
+            previous = ratio
+        assert previous > 3.0  # strongly super-constant by 8 sinks
+
+    def test_p1_harmless_at_large_eps(self):
+        net = p1()
+        assert math.isclose(bkt_cost(net, math.inf), mst(net).cost)
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    sinks=st.integers(min_value=2, max_value=10),
+    seed=st.integers(min_value=0, max_value=400),
+    eps=st.sampled_from([0.0, 0.1, 0.2, 0.5, 1.0]),
+)
+def test_property_bound_and_spanning(sinks, seed, eps):
+    net = random_net(sinks, seed)
+    tree = bkrus(net, eps)
+    assert_valid(check_routing_tree(tree, eps))
+    assert tree.cost >= mst(net).cost - 1e-9
+
+
+def test_mean_cost_monotone_in_eps():
+    """Loosening the bound reduces BKRUS cost *on average* — the smooth
+    tradeoff of Figure 9.  (Per-net monotonicity can fail: BKRUS is a
+    heuristic and a looser bound occasionally steers the greedy into a
+    slightly worse local choice, so we assert the averaged curve.)"""
+    nets = [random_net(8, seed) for seed in range(20)]
+    eps_grid = (0.0, 0.1, 0.2, 0.5, 1.0, math.inf)
+    means = []
+    for eps in eps_grid:
+        means.append(sum(bkrus(net, eps).cost for net in nets) / len(nets))
+    for tighter, looser in zip(means, means[1:]):
+        assert looser <= tighter * 1.005

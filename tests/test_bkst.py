@@ -1,0 +1,175 @@
+"""Tests for Hanan grids, grid graphs, and BKST (Section 3.3)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.bkrus import bkrus
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net, SOURCE
+from repro.steiner.bkst import bkst
+from repro.steiner.grid_graph import GridGraph, path_edges
+from repro.steiner.hanan import hanan_coordinates, hanan_grid, hanan_statistics
+from repro.analysis.validation import assert_valid, check_steiner_tree
+from repro.instances.random_nets import random_net
+
+
+class TestHananGrid:
+    def test_coordinates_sorted_unique(self):
+        xs, ys = hanan_coordinates([(3, 1), (1, 1), (3, 5)])
+        assert xs == [1.0, 3.0]
+        assert ys == [1.0, 5.0]
+
+    def test_empty_raises(self):
+        with pytest.raises(InvalidParameterError):
+            hanan_coordinates([])
+
+    def test_terminals_are_grid_nodes(self):
+        net = random_net(6, 0)
+        grid = hanan_grid(net)
+        for node in range(net.num_terminals):
+            gid = grid.terminal_ids[node]
+            assert grid.coordinate(gid) == net.point(node)
+
+    def test_node_count(self):
+        net = Net((0, 0), [(1, 1), (2, 2)])
+        grid = hanan_grid(net)
+        assert grid.num_nodes == 9  # 3 x 3 crossings
+        assert grid.num_edges == 12
+
+    def test_statistics(self):
+        net = random_net(5, 1)
+        stats = hanan_statistics(net)
+        assert stats["terminals"] == 6
+        assert stats["nodes"] <= stats["terminals"] ** 2
+
+
+class TestGridGraph:
+    @pytest.fixture
+    def grid(self):
+        return GridGraph([0.0, 1.0, 3.0], [0.0, 2.0])
+
+    def test_unsorted_lines_raise(self):
+        with pytest.raises(InvalidParameterError):
+            GridGraph([1.0, 0.0], [0.0])
+
+    def test_id_round_trip(self, grid):
+        for node in range(grid.num_nodes):
+            assert grid.id_at(grid.coordinate(node)) == node
+
+    def test_id_at_non_crossing_raises(self, grid):
+        with pytest.raises(InvalidParameterError):
+            grid.id_at((0.5, 0.5))
+
+    def test_neighbors_and_lengths(self, grid):
+        # Node 0 = (0, 0): right neighbour at distance 1, up at 2.
+        neighbors = dict(grid.neighbors(0))
+        assert neighbors == {1: 1.0, 3: 2.0}
+
+    def test_edge_length_non_edge_raises(self, grid):
+        with pytest.raises(InvalidParameterError):
+            grid.edge_length(0, 5)
+
+    def test_manhattan_equals_dijkstra(self, grid):
+        dist = grid.dijkstra_distances(0)
+        for node in range(grid.num_nodes):
+            assert math.isclose(dist[node], grid.manhattan(0, node))
+
+    def test_segment_nodes(self, grid):
+        assert grid.segment_nodes(0, 2) == [0, 1, 2]
+        assert grid.segment_nodes(2, 0) == [2, 1, 0]
+        assert grid.segment_nodes(0, 3) == [0, 3]
+
+    def test_segment_requires_alignment(self, grid):
+        with pytest.raises(InvalidParameterError):
+            grid.segment_nodes(0, 4)
+
+    def test_corner_candidates(self, grid):
+        # 0 = (0,0), 5 = (3,2): corners at (3,0)=2 and (0,2)=3.
+        assert grid.corner_candidates(0, 5) == [2, 3]
+        # Aligned pair degenerates.
+        assert grid.corner_candidates(0, 2) == [0]
+
+    def test_l_path_nodes(self, grid):
+        nodes = grid.l_path_nodes(0, 5, 2)
+        assert nodes == [0, 1, 2, 5]
+        assert math.isclose(grid.path_cost(nodes), grid.manhattan(0, 5))
+
+    def test_l_path_toward_prefers_near_corner(self, grid):
+        # Prefer the corner near (0, 2) -> corner node 3.
+        nodes = grid.l_path_toward(0, 5, (0.0, 2.0))
+        assert 3 in nodes
+
+    def test_path_edges_helper(self):
+        assert path_edges([4, 2, 7]) == [(2, 4), (2, 7)]
+
+
+class TestBkst:
+    def test_negative_eps_raises(self, small_net):
+        with pytest.raises(InvalidParameterError):
+            bkst(small_net, -0.5)
+
+    @pytest.mark.parametrize("eps", [0.0, 0.1, 0.3, 1.0, math.inf])
+    def test_valid_bounded_steiner_tree(self, small_net, eps):
+        tree = bkst(small_net, eps)
+        assert_valid(check_steiner_tree(tree, eps))
+
+    def test_cheaper_or_equal_to_bkrus(self):
+        """The headline Steiner claim: BKST costs no more than the
+        spanning heuristics, with 5-30% savings on average."""
+        total_steiner = 0.0
+        total_spanning = 0.0
+        for seed in range(12):
+            net = random_net(8, seed)
+            eps = 0.2
+            total_steiner += bkst(net, eps).cost
+            total_spanning += bkrus(net, eps).cost
+        assert total_steiner < total_spanning
+        assert total_steiner > 0.6 * total_spanning  # sanity: not broken
+
+    def test_savings_grow_as_eps_shrinks(self):
+        """Section 7: the Steiner advantage is largest near eps = 0
+        because direct source wires get shared."""
+        nets = [random_net(8, 100 + seed) for seed in range(10)]
+
+        def mean_saving(eps):
+            ratios = [
+                bkst(net, eps).cost / bkrus(net, eps).cost for net in nets
+            ]
+            return sum(ratios) / len(ratios)
+
+        assert mean_saving(0.0) <= mean_saving(1.0) + 0.02
+
+    def test_two_terminal_direct_wire(self):
+        net = Net((0, 0), [(3, 4)])
+        tree = bkst(net, 0.0)
+        assert math.isclose(tree.cost, 7.0)
+        assert tree.is_connected_tree()
+
+    def test_collinear_terminals(self):
+        net = Net((0, 0), [(2, 0), (5, 0), (9, 0)])
+        tree = bkst(net, 0.0)
+        assert math.isclose(tree.cost, 9.0)
+
+    def test_shared_trunk_beats_spanning_star(self):
+        """Sinks stacked above each other: the Steiner tree shares the
+        vertical trunk where the spanning star pays for each wire."""
+        net = Net((0, 0), [(10, -1), (10, 1), (11, 0)])
+        steiner_cost = bkst(net, 0.0).cost
+        star_cost = float(net.dist[SOURCE, 1:].sum())
+        assert steiner_cost < star_cost
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        sinks=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=200),
+        eps=st.sampled_from([0.0, 0.2, 0.5]),
+    )
+    def test_property_valid_and_bounded(self, sinks, seed, eps):
+        net = random_net(sinks, seed)
+        tree = bkst(net, eps)
+        assert_valid(check_steiner_tree(tree, eps))
+        # Steiner never beats half the HPWL lower bound scaling; sanity
+        # floor: at least the farthest sink's direct distance.
+        assert tree.cost >= net.radius() - 1e-9

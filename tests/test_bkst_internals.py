@@ -1,0 +1,175 @@
+"""White-box tests for the BKST machinery (_GridForest, _PathRealiser).
+
+The corridor/splice logic is the subtlest code in the Steiner
+construction; these tests exercise it directly on hand-built grids
+rather than through the full algorithm.
+"""
+
+import math
+
+import pytest
+
+from repro.core.net import Net, SOURCE
+from repro.steiner.bkst import _GridForest, _PathRealiser, _route_to_source
+from repro.steiner.hanan import hanan_grid
+
+
+def make_state(net):
+    grid = hanan_grid(net)
+    source_gid = grid.terminal_ids[SOURCE]
+    forest = _GridForest(grid, source_gid)
+    terminals = set(grid.terminal_ids.values())
+    return grid, forest, terminals, source_gid
+
+
+@pytest.fixture
+def cross_net():
+    # S=(0,0) with sinks at (10,10) and (20,5): the Hanan grid is 3x3
+    # (xs 0/10/20, ys 0/5/10) and — crucially — its non-terminal
+    # crossings are genuinely fresh, so corridors have room to exist.
+    return Net((0, 0), [(10, 10), (20, 5)])
+
+
+class TestGridForest:
+    def test_merge_edge_updates_paths(self, cross_net):
+        grid, forest, terminals, source_gid = make_state(cross_net)
+        a = grid.id_at((0.0, 0.0))
+        b = grid.id_at((10.0, 0.0))
+        c = grid.id_at((20.0, 0.0))
+        assert forest.merge_edge(a, b)
+        assert forest.merge_edge(b, c)
+        assert forest.P[a, c] == pytest.approx(20.0)
+        assert forest.r[a] == pytest.approx(20.0)
+        assert forest.r[b] == pytest.approx(10.0)
+
+    def test_merge_edge_cycle_returns_false(self, cross_net):
+        grid, forest, _, _ = make_state(cross_net)
+        a = grid.id_at((0.0, 0.0))
+        b = grid.id_at((10.0, 0.0))
+        assert forest.merge_edge(a, b)
+        assert not forest.merge_edge(b, a)
+
+    def test_feasible_splice_source_side(self, cross_net):
+        grid, forest, terminals, source_gid = make_state(cross_net)
+        b = grid.id_at((10.0, 0.0))
+        forest.merge_edge(source_gid, b)
+        far = grid.id_at((10.0, 10.0))
+        # Splice from b (tree path 10) with a fresh corridor of length
+        # 10 to the far sink: path = 20; bound 20 passes, 19 fails.
+        assert forest.feasible_splice(b, far, 10.0, 20.0, 1e-9)
+        assert not forest.feasible_splice(b, far, 10.0, 19.0, 1e-9)
+
+    def test_feasible_splice_witness_case(self, cross_net):
+        grid, forest, terminals, source_gid = make_state(cross_net)
+        a = grid.id_at((10.0, 10.0))   # direct distance 20
+        b = grid.id_at((20.0, 5.0))    # direct distance 25
+        # Corridor of length 15 between the source-free singletons:
+        # witness a gives 20 + (15 + 0) = 35 <= bound 35; 34 fails.
+        assert forest.feasible_splice(a, b, 15.0, 35.0, 1e-9)
+        assert not forest.feasible_splice(a, b, 15.0, 34.0, 1e-9)
+
+    def test_lub_splice_floor_on_terminals(self, cross_net):
+        grid, forest, terminals, source_gid = make_state(cross_net)
+        b = grid.id_at((10.0, 0.0))
+        forest.merge_edge(source_gid, b)
+        far = grid.id_at((10.0, 10.0))
+        # Attaching the far sink at total path 20: floor 25 rejects it,
+        # floor 15 accepts it (upper bound loose either way).
+        assert forest.lub_feasible_splice(
+            b, far, 10.0, 15.0, 100.0, terminals, 1e-9
+        )
+        assert not forest.lub_feasible_splice(
+            b, far, 10.0, 25.0, 100.0, terminals, 1e-9
+        )
+
+    def test_lub_witness_requires_floor(self, cross_net):
+        grid, forest, terminals, source_gid = make_state(cross_net)
+        a = grid.id_at((10.0, 10.0))   # direct distance 20
+        b = grid.id_at((20.0, 5.0))    # direct distance 25
+        # Both witnesses sit below a floor of 30: merge rejected.
+        assert not forest.lub_feasible_splice(
+            a, b, 15.0, 30.0, 100.0, terminals, 1e-9
+        )
+        # Floor 22: witness b (direct 25 >= 22) legalises the merge.
+        assert forest.lub_feasible_splice(
+            a, b, 15.0, 22.0, 100.0, terminals, 1e-9
+        )
+
+
+class TestPathRealiser:
+    def _realiser(self, net, bound):
+        grid, forest, terminals, source_gid = make_state(net)
+        realiser = _PathRealiser(
+            grid,
+            forest,
+            terminals,
+            set(terminals),
+            source_gid,
+            lambda z, w, length: forest.feasible_splice(
+                z, w, length, bound, 1e-9
+            ),
+        )
+        return grid, forest, realiser
+
+    def test_corridor_between_singletons(self, cross_net):
+        grid, forest, realiser = self._realiser(cross_net, math.inf)
+        a = grid.id_at((0.0, 0.0))
+        b = grid.id_at((20.0, 5.0))
+        segment = realiser.best_corridor(a, b)
+        assert segment is not None
+        assert segment[0] == a and segment[-1] == b
+        assert grid.path_cost(segment) == pytest.approx(25.0)
+
+    def test_corridor_splices_at_existing_wiring(self, cross_net):
+        grid, forest, realiser = self._realiser(cross_net, math.inf)
+        a = grid.id_at((0.0, 0.0))
+        mid = grid.id_at((10.0, 0.0))
+        right = grid.id_at((20.0, 0.0))
+        forest.merge_edge(a, mid)
+        forest.merge_edge(mid, right)
+        far = grid.id_at((20.0, 5.0))
+        segment = realiser.best_corridor(a, far)
+        assert segment is not None
+        # The corridor must start from the existing wiring's nearest
+        # splice point (the right end of the trunk), not from a itself.
+        assert segment[0] == right
+        assert segment[-1] == far
+        assert grid.path_cost(segment) == pytest.approx(5.0)
+
+    def test_infeasible_corridor_returns_none(self, cross_net):
+        grid, forest, realiser = self._realiser(cross_net, 1.0)
+        a = grid.id_at((10.0, 10.0))
+        b = grid.id_at((20.0, 5.0))
+        assert realiser.best_corridor(a, b) is None
+
+
+class TestRouter:
+    def test_routes_around_occupied_cells(self, cross_net):
+        grid, forest, terminals, source_gid = make_state(cross_net)
+        # Lay a source trunk along the bottom edge first.
+        a = grid.id_at((0.0, 0.0))
+        mid = grid.id_at((10.0, 0.0))
+        forest.merge_edge(a, mid)
+        target = grid.id_at((10.0, 10.0))
+        walk = _route_to_source(
+            grid, forest, terminals, source_gid, target, math.inf, 1e-9
+        )
+        assert walk is not None
+        assert forest.sets.connected(walk[0], source_gid)
+        assert walk[-1] == target
+
+    def test_bound_prunes_routes(self, cross_net):
+        grid, forest, terminals, source_gid = make_state(cross_net)
+        target = grid.id_at((10.0, 10.0))
+        assert (
+            _route_to_source(
+                grid, forest, terminals, source_gid, target, 5.0, 1e-9
+            )
+            is None
+        )
+        assert (
+            _route_to_source(
+                grid, forest, terminals, source_gid, target, 20.0, 1e-9
+            )
+            is not None
+        )

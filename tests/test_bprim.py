@@ -1,0 +1,112 @@
+"""Tests for the BPRIM baseline (Cong et al.)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.bkrus import bkrus
+from repro.algorithms.bprim import bprim, bprim_vectorized, selection_schemes
+from repro.algorithms.mst import mst
+from repro.core.exceptions import InvalidParameterError
+from repro.analysis.validation import assert_valid, check_routing_tree
+from repro.instances.random_nets import random_net
+from repro.instances.special import p2, p3, p4
+
+
+class TestParameters:
+    def test_negative_eps_raises(self, small_net):
+        with pytest.raises(InvalidParameterError):
+            bprim(small_net, -1)
+
+    def test_unknown_scheme_raises(self, small_net):
+        with pytest.raises(InvalidParameterError):
+            bprim(small_net, 0.2, scheme="nope")
+
+    def test_scheme_list(self):
+        assert set(selection_schemes()) == {
+            "cheapest",
+            "shortest_path",
+            "balanced",
+        }
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("eps", [0.0, 0.1, 0.5, math.inf])
+    @pytest.mark.parametrize("scheme", ["cheapest", "shortest_path", "balanced"])
+    def test_bound_satisfied(self, small_net, eps, scheme):
+        tree = bprim(small_net, eps, scheme=scheme)
+        assert_valid(check_routing_tree(tree, eps))
+
+    def test_infinite_eps_is_prim_mst(self, small_net):
+        assert math.isclose(
+            bprim(small_net, math.inf).cost, mst(small_net).cost
+        )
+
+    def test_eps_zero_not_necessarily_star(self):
+        """At eps=0 BPRIM may still route through intermediate sinks
+        that lie on shortest paths (unlike a plain star)."""
+        from repro.core.net import Net
+
+        net = Net((0, 0), [(5, 0), (10, 0)])
+        tree = bprim(net, 0.0)
+        assert tree.satisfies_bound(0.0)
+        assert tree.cost == 10.0  # via the midpoint sink
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        sinks=st.integers(min_value=2, max_value=9),
+        seed=st.integers(min_value=0, max_value=300),
+        eps=st.sampled_from([0.0, 0.2, 0.5]),
+    )
+    def test_property_valid_tree(self, sinks, seed, eps):
+        tree = bprim(random_net(sinks, seed), eps)
+        assert_valid(check_routing_tree(tree, eps))
+
+
+class TestVectorizedAgreement:
+    @settings(deadline=None, max_examples=20)
+    @given(
+        sinks=st.integers(min_value=2, max_value=10),
+        seed=st.integers(min_value=0, max_value=300),
+        eps=st.sampled_from([0.0, 0.2, 0.5, math.inf]),
+    )
+    def test_same_cost_as_reference(self, sinks, seed, eps):
+        net = random_net(sinks, seed)
+        reference = bprim(net, eps)
+        fast = bprim_vectorized(net, eps)
+        assert math.isclose(reference.cost, fast.cost, rel_tol=1e-9)
+        assert fast.satisfies_bound(eps)
+
+    def test_vectorized_rejects_bad_scheme(self, small_net):
+        with pytest.raises(InvalidParameterError):
+            bprim_vectorized(small_net, 0.2, scheme="nope")
+
+
+class TestKnownWeaknesses:
+    """The pathologies the paper uses to motivate BKRUS."""
+
+    def test_p2_bprim_much_worse_than_bkrus(self):
+        """On p2 at eps = 0.2 the paper reports BPRIM's perf ratio far
+        above BKRUS's (1.95 vs 1.17): the midway sink seduces BPRIM into
+        long detours and far sinks fall back to direct source wires."""
+        net = p2()
+        bprim_cost = bprim(net, 0.2).cost
+        bkrus_cost = bkrus(net, 0.2).cost
+        assert bkrus_cost <= bprim_cost + 1e-9
+
+    def test_p4_circle_pathology(self):
+        """On the circular p4 configuration BPRIM pays consistently more
+        than BKRUS across the eps sweep (Table 2 shows e.g. 1.49 vs 1.27
+        at eps = 0.3): chains around the circle burn the slack and far
+        sinks fall back to expensive attachments."""
+        net = p4()
+        for eps in (0.0, 0.1, 0.2, 0.3):
+            assert bprim(net, eps).cost > bkrus(net, eps).cost * 1.02
+
+    def test_grid_bkrus_near_optimal_at_eps0(self):
+        """Figure 1's rightmost panel: the BKRUS answer on the grid has
+        all paths monotone, so its cost stays near the MST's."""
+        net = p3()
+        tree = bkrus(net, 0.0)
+        assert tree.cost / mst(net).cost < 1.5

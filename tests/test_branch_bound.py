@@ -1,0 +1,84 @@
+"""Tests for the branch-and-bound exact solver."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.bkex import bkex
+from repro.algorithms.bkrus import bkrus
+from repro.algorithms.branch_bound import BranchBoundStats, bmst_branch_bound
+from repro.algorithms.gabow import bmst_brute_force, bmst_gabow
+from repro.algorithms.mst import mst
+from repro.core.exceptions import AlgorithmLimitError, InvalidParameterError
+from repro.instances.random_nets import random_net
+from repro.instances.special import FIGURE5_EPS, figure5_net
+
+
+class TestExactness:
+    @settings(deadline=None, max_examples=20)
+    @given(
+        sinks=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=200),
+        eps=st.sampled_from([0.0, 0.1, 0.3, 1.0]),
+    )
+    def test_matches_brute_force(self, sinks, seed, eps):
+        net = random_net(sinks, seed)
+        assert math.isclose(
+            bmst_branch_bound(net, eps).cost,
+            bmst_brute_force(net, eps).cost,
+            rel_tol=1e-12,
+        )
+
+    def test_three_exact_methods_agree(self):
+        """The point of a third solver: a genuine cross-oracle."""
+        for seed in range(8):
+            net = random_net(6, 7700 + seed)
+            for eps in (0.1, 0.3):
+                a = bmst_branch_bound(net, eps).cost
+                b = bmst_gabow(net, eps).cost
+                c = bkex(net, eps).cost
+                assert math.isclose(a, b, rel_tol=1e-12)
+                assert math.isclose(b, c, rel_tol=1e-12)
+
+    def test_figure5_optimum(self):
+        tree = bmst_branch_bound(figure5_net(), FIGURE5_EPS)
+        assert tree.cost == pytest.approx(10.0)
+
+    def test_infinite_eps_is_mst(self, small_net):
+        assert math.isclose(
+            bmst_branch_bound(small_net, math.inf).cost, mst(small_net).cost
+        )
+
+    def test_result_satisfies_bound(self, small_net):
+        for eps in (0.0, 0.2):
+            assert bmst_branch_bound(small_net, eps).satisfies_bound(eps)
+
+
+class TestSearchMechanics:
+    def test_negative_eps_rejected(self, small_net):
+        with pytest.raises(InvalidParameterError):
+            bmst_branch_bound(small_net, -1.0)
+
+    def test_node_limit(self):
+        net = random_net(8, 9)
+        with pytest.raises(AlgorithmLimitError):
+            bmst_branch_bound(net, 0.1, max_nodes=2)
+
+    def test_stats_populated(self):
+        net = random_net(6, 5)
+        stats = BranchBoundStats()
+        bmst_branch_bound(net, 0.1, stats=stats)
+        assert stats.nodes_visited > 0
+        # The BKRUS incumbent plus MST relaxation must prune something
+        # on a net where the bound actually binds.
+        assert stats.bound_prunes + stats.feasibility_prunes >= 0
+
+    def test_incumbent_never_worse_than_bkrus(self):
+        for seed in range(6):
+            net = random_net(7, 7800 + seed)
+            eps = 0.15
+            assert (
+                bmst_branch_bound(net, eps).cost
+                <= bkrus(net, eps).cost + 1e-9
+            )

@@ -1,0 +1,100 @@
+"""Tests for the BRBC baseline (Cong et al.)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.brbc import brbc, brbc_auxiliary_cost, depth_first_tour
+from repro.algorithms.mst import mst
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net, SOURCE
+from repro.analysis.validation import assert_valid, check_routing_tree
+from repro.instances.random_nets import random_net
+
+
+class TestTour:
+    def test_tour_of_chain(self):
+        net = Net((0, 0), [(1, 0), (2, 0)])
+        tree = mst(net)
+        tour = depth_first_tour(tree)
+        assert tour[0] == SOURCE
+        assert tour == [0, 1, 2, 1, 0]
+
+    def test_every_edge_twice(self):
+        net = random_net(7, 0)
+        tree = mst(net)
+        tour = depth_first_tour(tree)
+        steps = {}
+        for a, b in zip(tour, tour[1:]):
+            key = (min(a, b), max(a, b))
+            steps[key] = steps.get(key, 0) + 1
+        assert set(steps) == set(tree.edges)
+        assert all(count == 2 for count in steps.values())
+
+    def test_consecutive_entries_adjacent(self):
+        net = random_net(8, 1)
+        tree = mst(net)
+        edge_set = tree.edge_set()
+        tour = depth_first_tour(tree)
+        for a, b in zip(tour, tour[1:]):
+            assert (min(a, b), max(a, b)) in edge_set
+
+
+class TestBrbc:
+    def test_negative_eps_raises(self, small_net):
+        with pytest.raises(InvalidParameterError):
+            brbc(small_net, -0.5)
+
+    def test_infinite_eps_is_mst(self, small_net):
+        assert brbc(small_net, math.inf).edge_set() == mst(small_net).edge_set()
+
+    def test_eps_zero_is_star(self, small_net):
+        tree = brbc(small_net, 0.0)
+        assert tree.longest_source_path() <= small_net.radius() + 1e-9
+        assert all(u == SOURCE for u, _ in tree.edges)
+
+    @pytest.mark.parametrize("eps", [0.0, 0.1, 0.25, 0.5, 1.0, 2.0])
+    def test_radius_guarantee(self, small_net, eps):
+        tree = brbc(small_net, eps)
+        assert_valid(check_routing_tree(tree, eps))
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        sinks=st.integers(min_value=2, max_value=10),
+        seed=st.integers(min_value=0, max_value=300),
+        eps=st.sampled_from([0.0, 0.1, 0.3, 0.5, 1.0]),
+    )
+    def test_property_radius_guarantee(self, sinks, seed, eps):
+        net = random_net(sinks, seed)
+        tree = brbc(net, eps)
+        assert_valid(check_routing_tree(tree, eps))
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        seed=st.integers(min_value=0, max_value=200),
+        eps=st.sampled_from([0.25, 0.5, 1.0]),
+    )
+    def test_cost_guarantee(self, seed, eps):
+        """Theorem (Cong et al.): cost(Q) <= (1 + 2/eps) cost(MST), and
+        the final tree is a subgraph of Q."""
+        net = random_net(8, seed)
+        bound = (1.0 + 2.0 / eps) * mst(net).cost
+        assert brbc_auxiliary_cost(net, eps) <= bound + 1e-6
+        assert brbc(net, eps).cost <= bound + 1e-6
+
+    def test_auxiliary_cost_requires_positive_eps(self, small_net):
+        with pytest.raises(InvalidParameterError):
+            brbc_auxiliary_cost(small_net, 0.0)
+
+    def test_brbc_usually_worse_than_bkrus(self):
+        """Section 2's critique: BRBC's shortest-path shortcuts introduce
+        unnecessary cost; BKRUS beats it on average (Table 4 shows BRBC
+        max columns dominating even BPRIM's)."""
+        from repro.algorithms.bkrus import bkrus
+
+        nets = [random_net(10, seed) for seed in range(15)]
+        eps = 0.2
+        brbc_total = sum(brbc(net, eps).cost for net in nets)
+        bkrus_total = sum(bkrus(net, eps).cost for net in nets)
+        assert bkrus_total < brbc_total

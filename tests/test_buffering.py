@@ -1,0 +1,166 @@
+"""Tests for van Ginneken buffer insertion (Elmore future-work item)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.bkrus import bkrus
+from repro.algorithms.mst import mst
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net
+from repro.elmore.buffering import (
+    BufferType,
+    DEFAULT_BUFFER,
+    buffered_delays,
+    van_ginneken,
+    worst_buffered_delay,
+)
+from repro.elmore.delay import source_delays
+from repro.elmore.parameters import DEFAULT_PARAMETERS
+from repro.instances.random_nets import random_net
+
+PARAMS = DEFAULT_PARAMETERS
+
+
+class TestBufferType:
+    def test_negative_values_raise(self):
+        with pytest.raises(InvalidParameterError):
+            BufferType(input_capacitance=-1)
+        with pytest.raises(InvalidParameterError):
+            BufferType(intrinsic_delay=-1)
+        with pytest.raises(InvalidParameterError):
+            BufferType(output_resistance=-1)
+
+
+class TestEvaluator:
+    def test_empty_placement_matches_source_delays(self):
+        net = random_net(7, 2)
+        tree = mst(net)
+        staged = buffered_delays(tree, PARAMS, DEFAULT_BUFFER, frozenset())
+        plain = source_delays(tree, PARAMS)
+        for node in range(net.num_terminals):
+            assert staged[node] == pytest.approx(float(plain[node]), rel=1e-9)
+
+    def test_buffer_shields_downstream_capacitance(self):
+        """A buffer at a branch point hides the long wire *below* it
+        from the driver, cutting the near sink's delay (a buffer at node
+        k drives the subtree of k; the wire into k stays upstream)."""
+        net = Net((0, 0), [(10, 0), (20, 0), (2000, 0)])
+        tree = mst(net)  # chain S - 1 - 2 - 3 with a 1980-long tail
+        without = buffered_delays(tree, PARAMS, DEFAULT_BUFFER, frozenset())
+        with_buffer = buffered_delays(
+            tree, PARAMS, DEFAULT_BUFFER, frozenset({2})
+        )
+        assert with_buffer[1] < without[1]
+
+    def test_worst_buffered_delay(self):
+        net = random_net(6, 5)
+        tree = mst(net)
+        worst = worst_buffered_delay(tree, PARAMS, DEFAULT_BUFFER, frozenset())
+        delays = source_delays(tree, PARAMS)
+        assert worst == pytest.approx(float(delays[1:].max()))
+
+
+class TestVanGinneken:
+    def test_dp_slack_matches_evaluator(self):
+        """The DP's predicted worst slack must equal the independent
+        staged evaluation of the returned placement (RATs all zero)."""
+        for seed in range(6):
+            net = random_net(8, 800 + seed)
+            tree = bkrus(net, 0.3)
+            solution = van_ginneken(tree, PARAMS, DEFAULT_BUFFER)
+            achieved = worst_buffered_delay(
+                tree, PARAMS, DEFAULT_BUFFER, solution.buffered_nodes
+            )
+            assert -solution.worst_slack == pytest.approx(achieved, rel=1e-9)
+
+    def test_never_worse_than_unbuffered(self):
+        net = random_net(9, 42)
+        tree = mst(net)
+        solution = van_ginneken(tree, PARAMS, DEFAULT_BUFFER)
+        assert solution.worst_slack >= solution.unbuffered_slack - 1e-12
+        assert solution.improvement >= -1e-12
+
+    def test_terrible_buffer_never_used(self):
+        net = random_net(8, 7)
+        tree = mst(net)
+        awful = BufferType(
+            input_capacitance=10.0, intrinsic_delay=1e9, output_resistance=1e6
+        )
+        solution = van_ginneken(tree, PARAMS, awful)
+        assert solution.buffered_nodes == frozenset()
+        assert solution.improvement == pytest.approx(0.0)
+
+    def test_free_buffer_helps_on_long_lines(self):
+        """An ideal repeater (no cost) must improve a long RC line —
+        the classical repeater-insertion result."""
+        net = Net((0, 0), [(4000, 0), (8000, 0)])
+        tree = mst(net)
+        ideal = BufferType(
+            input_capacitance=0.0, intrinsic_delay=0.0, output_resistance=1.0
+        )
+        solution = van_ginneken(tree, PARAMS, ideal)
+        assert solution.buffered_nodes
+        assert solution.improvement > 0.0
+
+    def test_max_buffers_respected(self):
+        net = Net((0, 0), [(4000, 0), (8000, 0), (12000, 0)])
+        tree = mst(net)
+        ideal = BufferType(0.0, 0.0, 1.0)
+        capped = van_ginneken(tree, PARAMS, ideal, max_buffers=1)
+        assert len(capped.buffered_nodes) <= 1
+        free = van_ginneken(tree, PARAMS, ideal)
+        assert free.worst_slack >= capped.worst_slack - 1e-12
+
+    def test_required_times_shift_slack(self):
+        net = random_net(5, 1)
+        tree = mst(net)
+        base = van_ginneken(tree, PARAMS, DEFAULT_BUFFER)
+        relaxed = van_ginneken(
+            tree,
+            PARAMS,
+            DEFAULT_BUFFER,
+            sink_required_times={node: 100.0 for node in range(1, 6)},
+        )
+        assert relaxed.worst_slack == pytest.approx(
+            base.worst_slack + 100.0, rel=1e-9
+        )
+
+    @settings(deadline=None, max_examples=12)
+    @given(
+        seed=st.integers(min_value=0, max_value=150),
+        sinks=st.integers(min_value=2, max_value=7),
+    )
+    def test_property_consistency(self, seed, sinks):
+        net = random_net(sinks, seed)
+        tree = mst(net)
+        solution = van_ginneken(tree, PARAMS, DEFAULT_BUFFER)
+        achieved = worst_buffered_delay(
+            tree, PARAMS, DEFAULT_BUFFER, solution.buffered_nodes
+        )
+        assert -solution.worst_slack == pytest.approx(achieved, rel=1e-9)
+        assert solution.worst_slack >= solution.unbuffered_slack - 1e-12
+
+
+class TestBruteForceOptimality:
+    def test_matches_exhaustive_on_tiny_trees(self):
+        """On tiny trees, enumerate every buffer subset and compare."""
+        import itertools
+
+        for seed in (3, 9):
+            net = random_net(4, seed)
+            tree = mst(net)
+            buffer = BufferType(0.005, 0.2, 30.0)
+            solution = van_ginneken(tree, PARAMS, buffer)
+            nodes = list(range(1, net.num_terminals))
+            best = math.inf
+            for r in range(len(nodes) + 1):
+                for subset in itertools.combinations(nodes, r):
+                    best = min(
+                        best,
+                        worst_buffered_delay(
+                            tree, PARAMS, buffer, frozenset(subset)
+                        ),
+                    )
+            assert -solution.worst_slack == pytest.approx(best, rel=1e-9)

@@ -1,0 +1,142 @@
+"""Tests for the repro-cli entry point."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_route_defaults(self):
+        args = build_parser().parse_args(["route", "--benchmark", "p1"])
+        assert args.algorithm == "bkrus"
+        assert args.eps == 0.2
+
+    def test_eps_inf_parsed(self):
+        args = build_parser().parse_args(
+            ["route", "--benchmark", "p1", "--eps", "inf"]
+        )
+        import math
+
+        assert math.isinf(args.eps)
+
+
+class TestCommands:
+    def test_route(self, capsys):
+        assert main(["route", "--benchmark", "p1", "--eps", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "perf ratio" in out
+        assert "bkrus" in out
+
+    def test_route_unknown_benchmark_fails_cleanly(self, capsys):
+        assert main(["route", "--benchmark", "nope"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--benchmark", "figure5"]) == 0
+        out = capsys.readouterr().out
+        assert "eps" in out
+        assert "inf" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        for name in ("p1", "p2", "p3", "p4", "pr1", "r5"):
+            assert name in out
+
+    def test_compare(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--benchmark",
+                "rnd5_0",
+                "--eps",
+                "0.3",
+                "--algorithms",
+                "mst,bkrus,bprim",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mst" in out and "bprim" in out
+
+    def test_lub(self, capsys):
+        assert main(["lub", "--benchmark", "figure5"]) == 0
+        out = capsys.readouterr().out
+        assert "eps1" in out
+        assert "-" in out  # infeasible cells render as dashes
+
+
+class TestNewCommands:
+    def test_steiner(self, capsys):
+        assert main(["steiner", "--benchmark", "rnd5_1", "--eps", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "BKST cost" in out
+        assert "S" in out  # the ASCII plot
+
+    def test_render(self, tmp_path, capsys):
+        out_file = tmp_path / "tree.svg"
+        code = main(
+            [
+                "render",
+                "--benchmark",
+                "figure5",
+                "--algorithm",
+                "mst",
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        assert out_file.read_text().startswith("<svg")
+
+    def test_buffer(self, capsys):
+        code = main(
+            ["buffer", "--benchmark", "rnd5_0", "--eps", "0.2", "--max-buffers", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "buffers inserted" in out
+        assert "worst delay (buffered)" in out
+
+
+class TestTableCommand:
+    def test_table5_small(self, capsys):
+        assert main(["table", "--number", "5", "--sinks", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out
+        assert "p1" in out
+
+    def test_table1(self, capsys):
+        assert main(["table", "--number", "1", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "p3" in out
+
+    def test_table4_tiny(self, capsys):
+        assert main(["table", "--number", "4", "--cases", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "BKST ave" in out
+
+    def test_bad_number_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "--number", "9"])
+
+
+class TestZeroskewCommand:
+    def test_zeroskew_p1(self, capsys):
+        assert main(["zeroskew", "--benchmark", "p1"]) == 0
+        out = capsys.readouterr().out
+        assert "path-branching skew" in out
+        assert "0.000000" in out
+
+    def test_zeroskew_infeasible_node_branching(self, capsys):
+        # figure5's 3 sinks rarely admit (0.99, 0.0); either outcome
+        # must render cleanly.
+        assert main(
+            ["zeroskew", "--benchmark", "figure5", "--eps1", "0.99"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "node-branching" in out

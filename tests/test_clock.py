@@ -1,0 +1,157 @@
+"""Tests for the zero-skew clock tree builder (path branching)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.mst import mst
+from repro.clock.dme import _point_along_l_path, zero_skew_tree
+from repro.clock.topology import TopologyNode, balanced_topology, pairing_quality
+from repro.core.exceptions import InvalidParameterError
+from repro.core.geometry import Metric
+from repro.core.net import Net
+from repro.instances.random_nets import random_net
+from repro.instances.special import p1
+
+
+class TestTopology:
+    def test_leaves_cover_all_sinks(self):
+        net = random_net(9, 4)
+        root = balanced_topology(net)
+        assert sorted(root.leaves()) == list(range(1, 10))
+
+    def test_balanced_depth(self):
+        net = random_net(16, 0)
+        root = balanced_topology(net)
+        assert root.depth() <= math.ceil(math.log2(16)) + 1
+
+    def test_single_sink(self):
+        net = Net((0, 0), [(5, 5)])
+        root = balanced_topology(net)
+        assert root.is_leaf and root.sink == 1
+
+    def test_size(self):
+        net = random_net(7, 1)
+        root = balanced_topology(net)
+        assert root.size() == 2 * 7 - 1  # full binary tree on 7 leaves
+
+    def test_pairing_quality_positive(self):
+        net = random_net(8, 2)
+        assert pairing_quality(net, balanced_topology(net)) > 0.0
+
+    def test_pairing_quality_leaf_zero(self):
+        net = Net((0, 0), [(1, 1)])
+        assert pairing_quality(net, balanced_topology(net)) == 0.0
+
+
+class TestPointAlongPath:
+    def test_on_first_leg(self):
+        point = _point_along_l_path((0, 0), (10, 10), 5.0, (0, 0))
+        # Corner nearer (0,0) of {(10,0),(0,10)} ties; either leg works:
+        assert abs(point[0]) + abs(point[1]) == pytest.approx(5.0)
+
+    def test_full_length_reaches_b(self):
+        point = _point_along_l_path((0, 0), (10, 10), 20.0, (0, 0))
+        assert point == pytest.approx((10.0, 10.0))
+
+    def test_zero_offset_is_a(self):
+        assert _point_along_l_path((3, 4), (9, 9), 0.0, (0, 0)) == (3, 4)
+
+
+class TestZeroSkew:
+    def test_exact_zero_skew_random(self):
+        for seed in range(8):
+            net = random_net(10, 7000 + seed)
+            tree = zero_skew_tree(net)
+            assert tree.skew() == pytest.approx(0.0, abs=1e-6)
+
+    def test_all_sinks_present(self):
+        net = random_net(9, 13)
+        delays = zero_skew_tree(net).sink_delays()
+        assert set(delays) == set(range(1, 10))
+
+    def test_cost_bounded_by_star_plus_balance(self):
+        """Zero skew never costs more than padding the star to the
+        farthest sink: n * R is a crude upper bound."""
+        net = random_net(8, 21)
+        tree = zero_skew_tree(net)
+        assert tree.cost <= net.num_sinks * net.radius() + 1e-6
+
+    def test_detour_branch_exercised(self):
+        """A fast subtree whose merge partner sits right next to it but
+        carries a big internal delay forces snaked wire (detour)."""
+        net = Net((0, 0), [(10, 0), (10, 40), (10, 19)])
+        # Pair the far-apart sinks 1 and 2 first (balanced delay 20 at
+        # their midpoint), then merge sink 3 which sits 1 unit away but
+        # has delay 0: gap 20 > distance 1, so 19 units of wire snake.
+        lopsided = TopologyNode(
+            left=TopologyNode(sink=3),
+            right=TopologyNode(
+                left=TopologyNode(sink=1), right=TopologyNode(sink=2)
+            ),
+        )
+        tree = zero_skew_tree(net, topology=lopsided)
+        assert tree.skew() == pytest.approx(0.0, abs=1e-9)
+        assert tree.detour_length() == pytest.approx(19.0)
+
+    def test_l2_rejected(self):
+        net = Net((0, 0), [(3, 4)], metric=Metric.L2)
+        with pytest.raises(InvalidParameterError):
+            zero_skew_tree(net)
+
+    def test_single_sink(self):
+        net = Net((0, 0), [(7, 3)])
+        tree = zero_skew_tree(net)
+        assert tree.skew() == 0.0
+        assert tree.cost == pytest.approx(10.0)
+
+    def test_steiner_points_counted(self):
+        net = random_net(8, 5)
+        tree = zero_skew_tree(net)
+        assert tree.num_steiner_points() == 7  # n-1 merges
+
+    def test_custom_topology_accepted(self):
+        net = Net((0, 0), [(10, 0), (0, 10), (10, 10)])
+        chain = TopologyNode(
+            left=TopologyNode(sink=1),
+            right=TopologyNode(
+                left=TopologyNode(sink=2), right=TopologyNode(sink=3)
+            ),
+        )
+        tree = zero_skew_tree(net, topology=chain)
+        assert tree.skew() == pytest.approx(0.0, abs=1e-9)
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        sinks=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=300),
+    )
+    def test_property_zero_skew(self, sinks, seed):
+        net = random_net(sinks, seed)
+        tree = zero_skew_tree(net)
+        assert tree.skew() == pytest.approx(0.0, abs=1e-6)
+        assert tree.cost >= net.radius() - 1e-9
+
+
+class TestPathBranchingClaim:
+    def test_beats_node_branching_on_p1(self):
+        """The paper's closing remark, quantified: node-branching
+        LUB-BKRUS pays ~4x MST for near-zero skew on p1; the
+        path-branching tree achieves *exact* zero skew near 1x."""
+        from repro.algorithms.lub import lub_bkrus
+
+        net = p1()
+        reference = mst(net).cost
+        node_branching = lub_bkrus(net, 0.95, 0.0)
+        path_branching = zero_skew_tree(net)
+        assert path_branching.skew() == pytest.approx(0.0, abs=1e-9)
+        assert path_branching.cost < 0.5 * node_branching.cost
+        assert path_branching.cost / reference < 1.5
+
+    def test_cheaper_than_zero_skew_star(self):
+        """The star padded to uniform length is the trivial zero-skew
+        tree; balanced merging must beat it on clustered nets."""
+        net = p1()
+        padded_star_cost = net.num_sinks * net.radius()
+        assert zero_skew_tree(net).cost < padded_star_cost

@@ -1,0 +1,69 @@
+"""Tests for workload serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import InvalidNetError
+from repro.instances.converters import (
+    dumps_workload,
+    load_workload,
+    loads_workload,
+    save_workload,
+)
+from repro.instances.workloads import synthetic_design
+
+
+class TestRoundTrip:
+    def test_in_memory(self):
+        design = synthetic_design(8, seed=5)
+        again = loads_workload(dumps_workload(design))
+        assert again.name == design.name
+        assert len(again) == len(design)
+        for left, right in zip(design.nets, again.nets):
+            assert left.critical == right.critical
+            assert np.allclose(left.net.points, right.net.points)
+
+    def test_file(self, tmp_path):
+        design = synthetic_design(4, seed=9)
+        path = tmp_path / "design.nets"
+        save_workload(design, path)
+        again = load_workload(path)
+        assert again.critical_count == design.critical_count
+
+    def test_criticality_flags_preserved(self):
+        design = synthetic_design(10, seed=1, critical_fraction=0.5)
+        again = loads_workload(dumps_workload(design))
+        assert [n.critical for n in again.nets] == [
+            n.critical for n in design.nets
+        ]
+
+
+class TestParsing:
+    def test_comments_and_blanks(self):
+        text = """
+        # header comment
+        design tiny
+
+        net n0 critical
+          source 0 0
+          sink 5 5
+        """
+        workload = loads_workload(text)
+        assert workload.name == "tiny"
+        assert workload.nets[0].critical
+
+    def test_missing_design_header(self):
+        with pytest.raises(InvalidNetError):
+            loads_workload("net n0 normal\n  source 0 0\n  sink 1 1\n")
+
+    def test_net_without_source(self):
+        with pytest.raises(InvalidNetError):
+            loads_workload("design d\nnet n0 normal\n  sink 1 1\n")
+
+    def test_unknown_keyword(self):
+        with pytest.raises(InvalidNetError):
+            loads_workload("design d\nblob 1 2\n")
+
+    def test_malformed_coordinates(self):
+        with pytest.raises(InvalidNetError):
+            loads_workload("design d\nnet n0 normal\n  source x y\n")

@@ -1,0 +1,117 @@
+"""Differential testing: every construction against every other.
+
+One hypothesis-driven suite that draws a net and checks the *relations*
+between all the library's constructions at once — the invariant web
+that holds the reproduction together.  Individual modules test each
+algorithm in isolation; this module tests their pairwise contracts.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.bkex import bkex
+from repro.algorithms.bkh2 import bkh2
+from repro.algorithms.bkrus import bkrus
+from repro.algorithms.bprim import bprim_vectorized
+from repro.algorithms.branch_bound import bmst_branch_bound
+from repro.algorithms.brbc import brbc
+from repro.algorithms.gabow import bmst_gabow
+from repro.algorithms.mst import mst
+from repro.algorithms.per_sink import bkrus_per_sink, stretch
+from repro.clock.dme import zero_skew_tree
+from repro.core.net import Net, SOURCE
+from repro.core.tree import star_tree
+from repro.steiner.bkst import bkst
+
+coordinate = st.integers(min_value=0, max_value=300)
+
+
+@st.composite
+def nets(draw, min_sinks=2, max_sinks=6):
+    count = draw(st.integers(min_value=min_sinks + 1, max_value=max_sinks + 1))
+    pts = draw(
+        st.lists(
+            st.tuples(coordinate, coordinate),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    return Net(pts[0], pts[1:])
+
+
+@settings(deadline=None, max_examples=25)
+@given(net=nets(), eps=st.sampled_from([0.0, 0.2, 0.5]))
+def test_cost_ordering_web(net, eps):
+    """The complete cost lattice on one draw:
+    MST <= exact <= {BKH2 <= BKRUS, BPRIM, BRBC} <= star-side bounds."""
+    mst_cost = mst(net).cost
+    exact = bmst_gabow(net, eps).cost
+    bkt = bkrus(net, eps)
+    polished = bkh2(net, eps, initial=bkt).cost
+    greedy = bprim_vectorized(net, eps).cost
+    star_cost = star_tree(net).cost
+
+    assert mst_cost <= exact + 1e-9
+    assert exact <= polished + 1e-9
+    assert polished <= bkt.cost + 1e-9
+    assert exact <= greedy + 1e-9
+    assert bkt.cost <= star_cost + 1e-9
+
+
+@settings(deadline=None, max_examples=15)
+@given(net=nets(max_sinks=5), eps=st.sampled_from([0.0, 0.25]))
+def test_exact_trio_agreement(net, eps):
+    a = bmst_gabow(net, eps).cost
+    b = bkex(net, eps).cost
+    c = bmst_branch_bound(net, eps).cost
+    assert math.isclose(a, b, rel_tol=1e-12)
+    assert math.isclose(b, c, rel_tol=1e-12)
+
+
+@settings(deadline=None, max_examples=20)
+@given(net=nets(), eps=st.sampled_from([0.0, 0.3, 1.0]))
+def test_per_sink_dominates_global(net, eps):
+    """The stretch bound implies the radius bound and costs >= nothing
+    less than the exact radius-bounded optimum."""
+    tight = bkrus_per_sink(net, eps)
+    assert tight.satisfies_bound(eps)
+    assert stretch(tight) <= 1.0 + eps + 1e-9
+    exact_global = bmst_gabow(net, eps).cost
+    assert tight.cost >= exact_global - 1e-9
+
+
+@settings(deadline=None, max_examples=15)
+@given(net=nets(max_sinks=5), eps=st.sampled_from([0.0, 0.3]))
+def test_steiner_never_above_star_and_bounded(net, eps):
+    steiner = bkst(net, eps)
+    star_cost = float(net.dist[SOURCE, 1:].sum())
+    assert steiner.cost <= star_cost + 1e-6
+    assert steiner.satisfies_bound(eps)
+
+
+@settings(deadline=None, max_examples=15)
+@given(net=nets())
+def test_zero_skew_vs_padded_star(net):
+    """The balanced zero-skew tree never pays more than padding every
+    direct wire out to the farthest sink (the trivial zero-skew tree)."""
+    tree = zero_skew_tree(net)
+    padded_star = net.num_sinks * net.radius()
+    assert tree.skew() == pytest.approx(0.0, abs=1e-6)
+    assert tree.cost <= padded_star + 1e-6
+
+
+@settings(deadline=None, max_examples=15)
+@given(net=nets(), eps=st.sampled_from([0.1, 0.5]))
+def test_all_bounded_methods_respect_the_same_bound(net, eps):
+    bound = net.path_bound(eps)
+    for construct in (
+        lambda n: bkrus(n, eps),
+        lambda n: bprim_vectorized(n, eps),
+        lambda n: brbc(n, eps),
+        lambda n: bkrus_per_sink(n, eps),
+    ):
+        tree = construct(net)
+        assert tree.longest_source_path() <= bound + 1e-9

@@ -1,0 +1,95 @@
+"""Determinism: identical inputs must give identical trees, always.
+
+Benchmark tables are regenerated and compared across runs and machines;
+any hidden iteration-order dependence (sets, dict order, hash seeds)
+would silently break that.  Every construction is run twice on the same
+inputs and once on a re-generated equal net, and the edge sets must
+match exactly — not just the costs.
+"""
+
+import math
+
+import pytest
+
+from repro.algorithms.bkex import bkex
+from repro.algorithms.bkh2 import bkh2
+from repro.algorithms.bkrus import bkrus
+from repro.algorithms.bprim import bprim, bprim_vectorized
+from repro.algorithms.brbc import brbc
+from repro.algorithms.gabow import bmst_gabow
+from repro.algorithms.lub import lub_bkrus
+from repro.algorithms.mst import mst
+from repro.algorithms.prim_dijkstra import prim_dijkstra
+from repro.core.exceptions import InfeasibleError
+from repro.instances.random_nets import random_net
+from repro.steiner.bkst import bkst
+
+EPS = 0.25
+
+
+def rebuilt(net):
+    """An equal net constructed afresh (new arrays, same values)."""
+    from repro.core.net import Net
+
+    return Net(net.source, net.sinks, metric=net.metric, name=net.name)
+
+
+SPANNING = [
+    ("mst", lambda n: mst(n)),
+    ("bkrus", lambda n: bkrus(n, EPS)),
+    ("bprim", lambda n: bprim(n, EPS)),
+    ("bprim_vec", lambda n: bprim_vectorized(n, EPS)),
+    ("brbc", lambda n: brbc(n, EPS)),
+    ("prim_dijkstra", lambda n: prim_dijkstra(n, 0.5)),
+    ("bkex", lambda n: bkex(n, EPS)),
+    ("bkh2", lambda n: bkh2(n, EPS)),
+    ("bmst_g", lambda n: bmst_gabow(n, EPS)),
+]
+
+
+@pytest.mark.parametrize("name,construct", SPANNING, ids=[s[0] for s in SPANNING])
+def test_spanning_determinism(name, construct):
+    net = random_net(7, 99)
+    first = construct(net)
+    second = construct(net)
+    third = construct(rebuilt(net))
+    assert first.edge_set() == second.edge_set() == third.edge_set()
+
+
+def test_bkst_determinism():
+    net = random_net(8, 55)
+    first = bkst(net, EPS)
+    second = bkst(net, EPS)
+    third = bkst(rebuilt(net), EPS)
+    assert set(first.edges) == set(second.edges) == set(third.edges)
+
+
+def test_lub_determinism():
+    net = random_net(8, 56)
+    try:
+        first = lub_bkrus(net, 0.3, 0.6)
+    except InfeasibleError:
+        pytest.skip("combination infeasible here")
+    second = lub_bkrus(net, 0.3, 0.6)
+    assert first.edge_set() == second.edge_set()
+
+
+def test_instance_generators_deterministic():
+    from repro.instances.large import large_benchmark
+    from repro.instances.special import p4
+
+    assert (p4().points == p4().points).all()
+    a = large_benchmark("pr1", scale=0.1)
+    b = large_benchmark("pr1", scale=0.1)
+    assert (a.points == b.points).all()
+
+
+def test_sweep_reports_identical():
+    """End-to-end: a full tradeoff sweep is reproducible bit-for-bit."""
+    from repro.analysis.tradeoff import tradeoff_curve
+
+    net = random_net(6, 77)
+    eps_values = (math.inf, 0.3, 0.0)
+    first = tradeoff_curve(net, eps_values=eps_values)
+    second = tradeoff_curve(net, eps_values=eps_values)
+    assert first == second

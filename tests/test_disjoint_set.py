@@ -1,0 +1,101 @@
+"""Unit tests for both disjoint-set implementations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.disjoint_set import DisjointSet, ListDisjointSet, build_from_edges
+
+IMPLEMENTATIONS = [DisjointSet, ListDisjointSet]
+
+
+@pytest.mark.parametrize("cls", IMPLEMENTATIONS)
+class TestBasics:
+    def test_initially_disjoint(self, cls):
+        dsu = cls(4)
+        assert dsu.num_components == 4
+        assert not dsu.connected(0, 1)
+        assert dsu.component_size(2) == 1
+
+    def test_union_connects(self, cls):
+        dsu = cls(4)
+        assert dsu.union(0, 1)
+        assert dsu.connected(0, 1)
+        assert dsu.num_components == 3
+        assert dsu.component_size(0) == 2
+
+    def test_union_same_returns_false(self, cls):
+        dsu = cls(3)
+        dsu.union(0, 1)
+        assert not dsu.union(1, 0)
+        assert dsu.num_components == 2
+
+    def test_transitivity(self, cls):
+        dsu = cls(5)
+        dsu.union(0, 1)
+        dsu.union(1, 2)
+        dsu.union(3, 4)
+        assert dsu.connected(0, 2)
+        assert not dsu.connected(2, 3)
+
+    def test_members(self, cls):
+        dsu = cls(5)
+        dsu.union(0, 2)
+        dsu.union(2, 4)
+        assert sorted(dsu.members(4)) == [0, 2, 4]
+        assert dsu.members(1) == [1]
+
+    def test_components_partition(self, cls):
+        dsu = cls(6)
+        dsu.union(0, 1)
+        dsu.union(2, 3)
+        comps = sorted(sorted(c) for c in dsu.components())
+        assert comps == [[0, 1], [2, 3], [4], [5]]
+
+    def test_full_merge(self, cls):
+        dsu = cls(10)
+        for i in range(9):
+            dsu.union(i, i + 1)
+        assert dsu.num_components == 1
+        assert dsu.component_size(5) == 10
+
+
+@given(
+    st.integers(min_value=2, max_value=30),
+    st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=60),
+)
+def test_implementations_agree(size, pairs):
+    """Both structures must induce the same partition under any union
+    sequence — the forest version is the oracle for the list version."""
+    forest = DisjointSet(size)
+    lists = ListDisjointSet(size)
+    for u, v in pairs:
+        u %= size
+        v %= size
+        assert forest.union(u, v) == lists.union(u, v)
+    assert forest.num_components == lists.num_components
+    for u in range(size):
+        for v in range(size):
+            assert forest.connected(u, v) == lists.connected(u, v)
+
+
+def test_members_view_is_internal():
+    dsu = ListDisjointSet(4)
+    dsu.union(0, 1)
+    view = dsu.members_view(0)
+    copy = dsu.members(0)
+    assert sorted(view) == sorted(copy)
+    copy.append(99)  # mutating the copy must not affect internals
+    assert 99 not in dsu.members(0)
+
+
+def test_build_from_edges():
+    dsu = build_from_edges(5, [(0, 1), (1, 2)])
+    assert dsu.connected(0, 2)
+    assert dsu.num_components == 3
+
+
+def test_build_from_edges_accepts_weighted_tuples():
+    dsu = build_from_edges(4, [(0, 1, 3.5), (2, 3, 1.0)])
+    assert dsu.connected(0, 1)
+    assert dsu.connected(2, 3)
+    assert not dsu.connected(0, 3)

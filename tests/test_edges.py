@@ -1,0 +1,82 @@
+"""Unit tests for repro.core.edges."""
+
+import numpy as np
+import pytest
+
+from repro.core import edges as edges_mod
+from repro.core.net import Net
+
+
+@pytest.fixture
+def net():
+    return Net((0, 0), [(1, 0), (0, 3), (5, 5)])
+
+
+class TestAllEdges:
+    def test_count(self):
+        assert len(edges_mod.all_edges(5)) == 10
+
+    def test_ordering_canonical(self):
+        for u, v in edges_mod.all_edges(6):
+            assert u < v
+
+    def test_two_nodes(self):
+        assert edges_mod.all_edges(2) == [(0, 1)]
+
+
+class TestSortedEdges:
+    def test_nondecreasing(self, net):
+        weights = [w for w, _, _ in edges_mod.sorted_edges(net)]
+        assert weights == sorted(weights)
+
+    def test_covers_all_pairs(self, net):
+        pairs = {(u, v) for _, u, v in edges_mod.sorted_edges(net)}
+        assert pairs == set(edges_mod.all_edges(net.num_terminals))
+
+    def test_weights_match_distance_matrix(self, net):
+        for w, u, v in edges_mod.sorted_edges(net):
+            assert w == net.dist[u, v]
+
+    def test_deterministic_tie_break(self):
+        # Four corners of a square: many ties; order must be stable.
+        net = Net((0, 0), [(1, 0), (0, 1), (1, 1)])
+        first = edges_mod.sorted_edges(net)
+        second = edges_mod.sorted_edges(net)
+        assert first == second
+        # Ties resolved by (u, v) lexicographically.
+        tied = [(u, v) for w, u, v in first if w == 1.0]
+        assert tied == sorted(tied)
+
+    def test_array_variant_agrees(self, net):
+        listed = edges_mod.sorted_edges(net)
+        weights, us, vs = edges_mod.sorted_edge_arrays(net)
+        assert np.allclose(weights, [w for w, _, _ in listed])
+        assert us.tolist() == [u for _, u, _ in listed]
+        assert vs.tolist() == [v for _, _, v in listed]
+
+
+class TestNonTreeEdges:
+    def test_complement(self):
+        tree = [(0, 1), (1, 2), (2, 3)]
+        rest = list(edges_mod.non_tree_edges(4, tree))
+        assert rest == [(0, 2), (0, 3), (1, 3)]
+
+    def test_handles_unnormalised_tree_edges(self):
+        rest = list(edges_mod.non_tree_edges(3, [(1, 0), (2, 1)]))
+        assert rest == [(0, 2)]
+
+    def test_counts(self):
+        n = 7
+        tree = [(i, i + 1) for i in range(n - 1)]
+        rest = list(edges_mod.non_tree_edges(n, tree))
+        assert len(rest) == n * (n - 1) // 2 - (n - 1)
+
+
+def test_normalize():
+    assert edges_mod.normalize((3, 1)) == (1, 3)
+    assert edges_mod.normalize((1, 3)) == (1, 3)
+
+
+def test_edge_weight(net):
+    assert edges_mod.edge_weight(net, (0, 1)) == 1.0
+    assert edges_mod.edge_weight(net, (0, 3)) == 10.0

@@ -1,0 +1,212 @@
+"""Tests for the Elmore delay model and delay-bounded BKRUS (Sec. 3.2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.mst import mst
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net, SOURCE
+from repro.core.tree import RoutingTree, star_tree
+from repro.elmore.bkrus_elmore import ElmoreTrace, bkrus_elmore, elmore_tradeoff
+from repro.elmore.delay import (
+    elmore_radius,
+    point_to_point_delay,
+    rooted_elmore,
+    source_delays,
+    spt_delay_radius,
+    tree_adjacency,
+)
+from repro.elmore.parameters import (
+    DEFAULT_PARAMETERS,
+    ElmoreParameters,
+    scaled_parameters,
+)
+from repro.instances.random_nets import random_net
+
+
+def reference_delay(tree: RoutingTree, params, target: int) -> float:
+    """Independent textbook Elmore evaluation for a source-rooted tree:
+    delay(S, t) = r_d (c_d + C_total) + sum over path edges of
+    r_edge * (c_edge / 2 + C_downstream)."""
+    net = tree.net
+    parents = tree.parents()
+    dist = net.dist
+
+    def downstream_cap(node: int) -> float:
+        total = params.load(node)
+        for child, par in enumerate(parents):
+            if par == node:
+                total += (
+                    params.unit_capacitance * float(dist[child, node])
+                    + downstream_cap(child)
+                )
+        return total
+
+    total_cap = downstream_cap(SOURCE)
+    delay = params.driver_resistance * (params.driver_capacitance + total_cap)
+    node = target
+    path = []
+    while node != SOURCE:
+        path.append(node)
+        node = parents[node]
+    for k in path:
+        length = float(dist[k, parents[k]])
+        resistance = params.unit_resistance * length
+        delay += resistance * (
+            params.unit_capacitance * length / 2.0 + downstream_cap(k)
+        )
+    return delay
+
+
+class TestParameters:
+    def test_defaults_positive(self):
+        p = DEFAULT_PARAMETERS
+        assert p.unit_resistance > 0 and p.unit_capacitance > 0
+
+    def test_negative_value_raises(self):
+        with pytest.raises(InvalidParameterError):
+            ElmoreParameters(unit_resistance=-1.0)
+
+    def test_sink_load_overrides(self):
+        p = ElmoreParameters(default_sink_load=0.5, sink_loads={2: 2.0})
+        assert p.load(1) == 0.5
+        assert p.load(2) == 2.0
+        assert p.load(0) == 0.0
+
+    def test_bad_sink_key_raises(self):
+        with pytest.raises(InvalidParameterError):
+            ElmoreParameters(sink_loads={0: 1.0})
+        with pytest.raises(InvalidParameterError):
+            ElmoreParameters(sink_loads={1: -1.0})
+
+    def test_scaled_parameters(self):
+        p = scaled_parameters(driver_scale=2.0)
+        assert p.driver_resistance == DEFAULT_PARAMETERS.driver_resistance / 2
+        with pytest.raises(InvalidParameterError):
+            scaled_parameters(wire_scale=0.0)
+
+
+class TestDelayEvaluation:
+    @settings(deadline=None, max_examples=20)
+    @given(
+        sinks=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=200),
+    )
+    def test_matches_reference_on_mst(self, sinks, seed):
+        net = random_net(sinks, seed)
+        tree = mst(net)
+        params = DEFAULT_PARAMETERS
+        delays = source_delays(tree, params)
+        for sink in range(1, net.num_terminals):
+            assert math.isclose(
+                delays[sink], reference_delay(tree, params, sink), rel_tol=1e-9
+            )
+
+    def test_delay_monotone_along_path(self):
+        net = Net((0, 0), [(100, 0), (200, 0), (300, 0)])
+        tree = RoutingTree(net, [(0, 1), (1, 2), (2, 3)])
+        delays = source_delays(tree, DEFAULT_PARAMETERS)
+        assert delays[1] < delays[2] < delays[3]
+
+    def test_rooted_elmore_zero_at_root(self):
+        net = random_net(5, 1)
+        tree = mst(net)
+        adjacency = tree_adjacency(tree)
+        delay, cap = rooted_elmore(
+            adjacency, SOURCE, DEFAULT_PARAMETERS.loads_for(net), DEFAULT_PARAMETERS
+        )
+        assert delay[SOURCE] == 0.0
+        assert cap[SOURCE] > 0.0
+
+    def test_missing_root_raises(self):
+        with pytest.raises(InvalidParameterError):
+            rooted_elmore({}, 0, {}, DEFAULT_PARAMETERS)
+
+    def test_point_to_point_source_includes_driver(self):
+        net = random_net(4, 2)
+        tree = mst(net)
+        params = DEFAULT_PARAMETERS
+        direct = source_delays(tree, params)
+        for sink in range(1, net.num_terminals):
+            assert math.isclose(
+                point_to_point_delay(tree, params, SOURCE, sink),
+                direct[sink],
+                rel_tol=1e-12,
+            )
+
+    def test_stronger_driver_cuts_delay(self):
+        net = random_net(6, 3)
+        tree = mst(net)
+        weak = elmore_radius(tree, DEFAULT_PARAMETERS)
+        strong = elmore_radius(tree, scaled_parameters(driver_scale=4.0))
+        assert strong < weak
+
+    def test_spt_delay_radius_is_star_radius(self):
+        net = random_net(6, 4)
+        assert math.isclose(
+            spt_delay_radius(net, DEFAULT_PARAMETERS),
+            elmore_radius(star_tree(net), DEFAULT_PARAMETERS),
+            rel_tol=1e-12,
+        )
+
+
+class TestBkrusElmore:
+    def test_negative_eps_raises(self, small_net):
+        with pytest.raises(InvalidParameterError):
+            bkrus_elmore(small_net, -1.0)
+
+    @pytest.mark.parametrize("eps", [0.0, 0.1, 0.5, 2.0])
+    def test_delay_bound_satisfied(self, small_net, eps):
+        params = DEFAULT_PARAMETERS
+        tree = bkrus_elmore(small_net, eps, params=params)
+        bound = (1.0 + eps) * spt_delay_radius(small_net, params)
+        assert elmore_radius(tree, params) <= bound + 1e-6
+
+    def test_infinite_eps_is_mst(self, small_net):
+        assert math.isclose(
+            bkrus_elmore(small_net, math.inf).cost, mst(small_net).cost
+        )
+
+    def test_trace_and_bound_recorded(self, small_net):
+        trace = ElmoreTrace()
+        bkrus_elmore(small_net, 0.2, trace=trace)
+        assert trace.radius_bound > 0
+        assert len(trace.accepted) == small_net.num_terminals - 1
+
+    @settings(deadline=None, max_examples=10)
+    @given(
+        sinks=st.integers(min_value=2, max_value=7),
+        seed=st.integers(min_value=0, max_value=100),
+        eps=st.sampled_from([0.0, 0.3, 1.0]),
+    )
+    def test_property_spanning_and_bounded(self, sinks, seed, eps):
+        net = random_net(sinks, seed)
+        params = DEFAULT_PARAMETERS
+        tree = bkrus_elmore(net, eps, params=params)
+        assert len(tree.edges) == net.num_terminals - 1
+        bound = (1.0 + eps) * spt_delay_radius(net, params)
+        assert elmore_radius(tree, params) <= bound + 1e-6
+
+    def test_tradeoff_rows(self, small_net):
+        rows = elmore_tradeoff(small_net, [0.0, 1.0])
+        assert len(rows) == 2
+        # Tight delay bound should not be cheaper than loose bound.
+        assert rows[0][1] >= rows[1][1] - 1e-9
+
+    def test_geometric_vs_delay_bound_differ(self):
+        """The Elmore-driven tree need not match the wirelength-driven
+        tree: with a resistive driver, total capacitance matters and the
+        constructions can diverge (this is the point of Section 3.2)."""
+        from repro.algorithms.bkrus import bkrus
+
+        diverged = False
+        for seed in range(10):
+            net = random_net(8, 600 + seed)
+            geometric = bkrus(net, 0.1)
+            delay_driven = bkrus_elmore(net, 0.1)
+            if geometric.edge_set() != delay_driven.edge_set():
+                diverged = True
+                break
+        assert diverged

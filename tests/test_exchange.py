@@ -1,0 +1,119 @@
+"""Tests for the T-exchange machinery (Figure 8)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.exchange import (
+    Exchange,
+    exchange_distance_upper_bound,
+    is_mst_by_exchange,
+    iter_all_exchanges,
+    iter_cycle_exchanges,
+    minimal_exchange,
+    negative_exchanges,
+)
+from repro.algorithms.mst import mst
+from repro.core.net import Net
+from repro.core.tree import RoutingTree, star_tree
+from repro.instances.random_nets import random_net
+
+
+@pytest.fixture
+def chain_net():
+    return Net((0, 0), [(1, 0), (2, 0), (3, 0)])
+
+
+@pytest.fixture
+def chain(chain_net):
+    return RoutingTree(chain_net, [(0, 1), (1, 2), (2, 3)])
+
+
+class TestCycleExchanges:
+    def test_cycle_edges_enumerated(self, chain):
+        found = list(iter_cycle_exchanges(chain, (0, 3)))
+        removed = {ex.remove for ex in found}
+        assert removed == {(0, 1), (1, 2), (2, 3)}
+        assert all(ex.add == (0, 3) for ex in found)
+
+    def test_weights(self, chain, chain_net):
+        for ex in iter_cycle_exchanges(chain, (0, 3)):
+            expected = chain_net.distance(0, 3) - chain_net.distance(*ex.remove)
+            assert math.isclose(ex.weight, expected)
+
+    def test_partial_cycle(self, chain):
+        found = list(iter_cycle_exchanges(chain, (1, 3)))
+        removed = {ex.remove for ex in found}
+        assert removed == {(1, 2), (2, 3)}
+
+    def test_walk_matches_paper_order(self, chain):
+        """The deeper endpoint retreats first: for (1, 3) the first
+        candidate removes (2, 3), then (1, 2)."""
+        found = list(iter_cycle_exchanges(chain, (1, 3)))
+        assert [ex.remove for ex in found] == [(2, 3), (1, 2)]
+
+
+class TestAllExchanges:
+    def test_count_on_star(self):
+        net = random_net(5, 0)
+        star = star_tree(net)
+        # Each non-tree edge (u, v) between sinks closes a cycle of two
+        # tree edges: count = C(5, 2) * 2 = 20.
+        assert len(list(iter_all_exchanges(star))) == 20
+
+    def test_every_exchange_applies_cleanly(self):
+        net = random_net(6, 3)
+        tree = mst(net)
+        for ex in iter_all_exchanges(tree):
+            swapped = ex.apply(tree)
+            assert math.isclose(swapped.cost, tree.cost + ex.weight, abs_tol=1e-9)
+
+    @settings(deadline=None, max_examples=15)
+    @given(seed=st.integers(min_value=0, max_value=200))
+    def test_exchange_preserves_spanning(self, seed):
+        net = random_net(6, seed)
+        tree = mst(net)
+        for ex in list(iter_all_exchanges(tree))[:10]:
+            swapped = ex.apply(tree)
+            assert len(swapped.edges) == net.num_terminals - 1
+
+
+class TestOptimalityCriteria:
+    def test_mst_has_no_negative_exchange(self):
+        net = random_net(8, 5)
+        assert is_mst_by_exchange(mst(net))
+        assert negative_exchanges(mst(net)) == []
+
+    def test_star_usually_has_negative_exchanges(self):
+        net = random_net(8, 5)
+        star = star_tree(net)
+        if not math.isclose(star.cost, mst(net).cost):
+            assert negative_exchanges(star)
+
+    def test_minimal_exchange_is_global_min(self):
+        net = random_net(6, 9)
+        star = star_tree(net)
+        minimal = minimal_exchange(star)
+        assert minimal is not None
+        assert all(
+            minimal.weight <= ex.weight + 1e-12
+            for ex in iter_all_exchanges(star)
+        )
+
+    def test_negative_sorted(self):
+        net = random_net(7, 1)
+        weights = [ex.weight for ex in negative_exchanges(star_tree(net))]
+        assert weights == sorted(weights)
+
+
+def test_exchange_distance_upper_bound():
+    net = random_net(6, 0)
+    assert exchange_distance_upper_bound(net) == 6
+
+
+def test_exchange_dataclass_fields():
+    ex = Exchange(remove=(0, 1), add=(2, 3), weight=-1.5)
+    assert ex.remove == (0, 1)
+    assert ex.add == (2, 3)
+    assert ex.weight == -1.5

@@ -1,0 +1,139 @@
+"""Failure injection: every corruption class must be caught loudly.
+
+The library's safety story rests on two layers: constructors validating
+their inputs, and :mod:`repro.analysis.validation` recomputing structure
+independently.  These tests corrupt data on purpose and assert the
+right layer objects — silence on corrupted inputs would be the bug.
+"""
+
+import pytest
+
+from repro.algorithms.mst import mst
+from repro.analysis.validation import (
+    check_routing_tree,
+    check_spanning_tree,
+    check_steiner_tree,
+)
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net
+from repro.core.partial_forest import PartialForest
+from repro.core.tree import RoutingTree
+from repro.instances.random_nets import random_net
+from repro.steiner.bkst import SteinerTree, bkst
+
+
+@pytest.fixture
+def net():
+    return random_net(6, 31)
+
+
+class TestTreeCorruption:
+    def test_dropped_edge(self, net):
+        tree = mst(net)
+        with pytest.raises(InvalidParameterError):
+            RoutingTree(net, tree.edges[:-1])
+
+    def test_duplicated_edge(self, net):
+        tree = mst(net)
+        edges = list(tree.edges[:-1]) + [tree.edges[0]]
+        with pytest.raises(InvalidParameterError):
+            RoutingTree(net, edges)
+
+    def test_cycle_injection(self, net):
+        tree = mst(net)
+        from repro.core.edges import non_tree_edges
+
+        extra = next(non_tree_edges(net.num_terminals, tree.edges))
+        # Swap a leaf edge for one that closes a cycle elsewhere.
+        edges = list(tree.edges[1:]) + [extra]
+        problems_or_error = None
+        try:
+            RoutingTree(net, edges)
+        except InvalidParameterError as exc:
+            problems_or_error = exc
+        # Either the constructor rejects it (cycle/disconnection) or —
+        # if the swap happened to keep a tree — validation stays clean.
+        if problems_or_error is None:
+            assert check_spanning_tree(net, edges) == []
+
+    def test_unvalidated_construction_caught_by_checker(self, net):
+        """validate=False skips the constructor check; the independent
+        checker must still find the problem."""
+        bad = RoutingTree(net, [(0, 1)] * (net.num_terminals - 1), validate=False)
+        problems = check_routing_tree(bad)
+        assert problems
+
+    def test_foreign_node_edge(self, net):
+        tree = mst(net)
+        edges = list(tree.edges[:-1]) + [(0, 99)]
+        with pytest.raises(InvalidParameterError):
+            RoutingTree(net, edges)
+
+
+class TestForestMisuse:
+    def test_double_merge_rejected(self, net):
+        forest = PartialForest(net)
+        forest.merge(1, 2)
+        with pytest.raises(InvalidParameterError):
+            forest.merge(2, 1)
+
+    def test_invariant_checker_detects_tampering(self, net):
+        forest = PartialForest(net)
+        forest.merge(1, 2)
+        forest.P[1, 2] += 5.0  # corrupt one path entry
+        with pytest.raises(AssertionError):
+            forest.check_invariants()
+
+    def test_radius_tampering_detected(self, net):
+        forest = PartialForest(net)
+        forest.merge(1, 2)
+        forest.r[1] = 0.0
+        with pytest.raises(AssertionError):
+            forest.check_invariants()
+
+
+class TestSteinerCorruption:
+    def test_edge_removal_detected(self, net):
+        tree = bkst(net, 0.3)
+        broken = SteinerTree(net, tree.grid, tree.edges[:-1])
+        assert not broken.is_connected_tree()
+        assert check_steiner_tree(broken)
+
+    def test_cycle_detected(self, net):
+        tree = bkst(net, 0.3)
+        # Add any grid edge between two nodes already in the tree.
+        nodes = sorted(tree.nodes())
+        extra = None
+        for node in nodes:
+            for neighbor, _ in tree.grid.neighbors(node):
+                if neighbor in tree.nodes():
+                    candidate = (min(node, neighbor), max(node, neighbor))
+                    if candidate not in tree.edges:
+                        extra = candidate
+                        break
+            if extra:
+                break
+        if extra is None:
+            pytest.skip("tree saturates its grid neighbourhood here")
+        cyclic = SteinerTree(net, tree.grid, list(tree.edges) + [extra])
+        assert not cyclic.is_connected_tree()
+
+
+class TestNetCorruption:
+    def test_non_finite_coordinates(self):
+        with pytest.raises(InvalidParameterError):
+            Net((0, 0), [(float("inf"), 1)])
+        with pytest.raises(InvalidParameterError):
+            Net((float("nan"), 0), [(1, 1)])
+
+    def test_distance_matrix_is_write_protected(self, net):
+        with pytest.raises(ValueError):
+            net.dist[0, 1] = -1.0
+
+    def test_tampered_costs_detected(self, net):
+        """Cost cache consistency: the validator recomputes from edges."""
+        tree = mst(net)
+        _ = tree.cost  # populate the cache
+        tree._cost = tree._cost + 100.0  # tamper
+        problems = check_routing_tree(tree)
+        assert any("cost" in p for p in problems)

@@ -1,0 +1,103 @@
+"""Tests for the Pareto frontier utilities."""
+
+import pytest
+
+from repro.analysis.frontier import (
+    FrontierPoint,
+    dominated_area,
+    knee_point,
+    pareto_frontier,
+)
+from repro.analysis.tradeoff import tradeoff_curve
+from repro.core.exceptions import InvalidParameterError
+from repro.instances.random_nets import random_net
+
+
+TRIPLES = [
+    (1.0, 10.0, 9.0),
+    (0.5, 11.0, 6.0),
+    (0.2, 13.0, 4.0),
+    (0.4, 14.0, 7.0),   # dominated by (0.5, 11, 6)
+    (0.0, 18.0, 4.0),   # dominated by (0.2, 13, 4): same radius, dearer
+]
+
+
+class TestFrontier:
+    def test_dominated_points_removed(self):
+        frontier = pareto_frontier(TRIPLES)
+        assert [(p.cost, p.radius) for p in frontier] == [
+            (10.0, 9.0),
+            (11.0, 6.0),
+            (13.0, 4.0),
+        ]
+
+    def test_sorted_by_cost(self):
+        frontier = pareto_frontier(TRIPLES)
+        costs = [p.cost for p in frontier]
+        assert costs == sorted(costs)
+
+    def test_empty(self):
+        assert pareto_frontier([]) == []
+
+    def test_single_point(self):
+        frontier = pareto_frontier([(0.1, 5.0, 5.0)])
+        assert len(frontier) == 1
+
+    def test_accepts_tradeoff_points(self):
+        net = random_net(7, 3)
+        points = tradeoff_curve(net)
+        frontier = pareto_frontier(points)
+        assert 1 <= len(frontier) <= len(points)
+        # Frontier radii strictly decrease along increasing cost.
+        radii = [p.radius for p in frontier]
+        assert all(b < a for a, b in zip(radii, radii[1:]))
+
+    def test_frontier_points_pass_through(self):
+        pts = [FrontierPoint(0.1, 3.0, 2.0)]
+        assert pareto_frontier(pts) == pts
+
+
+class TestDominatedArea:
+    def test_single_point_rectangle(self):
+        area = dominated_area([(0.1, 4.0, 3.0)], reference=(10.0, 8.0))
+        assert area == pytest.approx((10 - 4) * (8 - 3))
+
+    def test_staircase_additivity(self):
+        area = dominated_area(
+            [(1.0, 2.0, 6.0), (0.5, 4.0, 3.0)], reference=(10.0, 8.0)
+        )
+        assert area == pytest.approx((10 - 2) * (8 - 6) + (10 - 4) * (6 - 3))
+
+    def test_out_of_reference_clipped(self):
+        area = dominated_area([(0.1, 20.0, 3.0)], reference=(10.0, 8.0))
+        assert area == 0.0
+
+    def test_better_frontier_has_larger_area(self):
+        good = [(0.5, 5.0, 5.0)]
+        bad = [(0.5, 9.0, 7.0)]
+        ref = (10.0, 10.0)
+        assert dominated_area(good, ref) > dominated_area(bad, ref)
+
+
+class TestKnee:
+    def test_rate_zero_picks_cheapest(self):
+        knee = knee_point(TRIPLES, 0.0)
+        assert knee.cost == 10.0
+
+    def test_high_rate_picks_shortest(self):
+        knee = knee_point(TRIPLES, 100.0)
+        assert knee.radius == 4.0
+
+    def test_intermediate_rate(self):
+        # rate 1: scores 19, 17, 17 -> tie between (11,6) and (13,4);
+        # tie broken by eps (0.2 < 0.5).
+        knee = knee_point(TRIPLES, 1.0)
+        assert knee.cost in (11.0, 13.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            knee_point(TRIPLES, -1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            knee_point([], 1.0)

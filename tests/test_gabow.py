@@ -1,0 +1,145 @@
+"""Tests for BMST_G: ordered spanning-tree enumeration plus lemmas."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.bkrus import bkrus
+from repro.algorithms.gabow import (
+    bmst_brute_force,
+    bmst_gabow,
+    count_spanning_trees,
+    lemma_preprocessing,
+    spanning_trees_in_cost_order,
+)
+from repro.algorithms.mst import mst
+from repro.core.exceptions import AlgorithmLimitError, InvalidParameterError
+from repro.core.net import Net, SOURCE
+from repro.instances.random_nets import random_net
+from repro.instances.special import FIGURE5_EPS, figure5_net
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("sinks,expected", [(1, 1), (2, 3), (3, 16), (4, 125)])
+    def test_cayley_count(self, sinks, expected):
+        """A complete graph on V nodes has V^(V-2) spanning trees."""
+        net = random_net(sinks, 0)
+        assert count_spanning_trees(net) == expected
+
+    def test_nondecreasing_cost_order(self):
+        net = random_net(4, 3)
+        costs = [t.cost for t in spanning_trees_in_cost_order(net)]
+        assert costs == sorted(costs)
+        assert len(costs) == 125
+
+    def test_first_tree_is_mst(self):
+        net = random_net(5, 7)
+        first = next(spanning_trees_in_cost_order(net))
+        assert math.isclose(first.cost, mst(net).cost)
+
+    def test_no_duplicates(self):
+        net = random_net(4, 1)
+        seen = set()
+        for tree in spanning_trees_in_cost_order(net):
+            key = tree.edge_set()
+            assert key not in seen
+            seen.add(key)
+
+    def test_respects_constraints(self):
+        net = random_net(4, 2)
+        include = frozenset({(0, 1)})
+        exclude = frozenset({(2, 3)})
+        for tree in spanning_trees_in_cost_order(net, include, exclude):
+            assert tree.has_edge((0, 1))
+            assert not tree.has_edge((2, 3))
+
+    def test_max_trees_limit(self):
+        net = random_net(4, 0)
+        with pytest.raises(AlgorithmLimitError):
+            list(spanning_trees_in_cost_order(net, max_trees=10))
+
+
+class TestLemmas:
+    def test_lemma41_eliminates_dominated_edges(self):
+        # Sinks far apart, both close to S: their mutual edge is useless.
+        net = Net((0, 0), [(-10, 0), (10, 0)])
+        include, exclude = lemma_preprocessing(net, bound=100.0)
+        assert (1, 2) in exclude
+
+    def test_lemma42_eliminates_bound_breakers(self):
+        # Sinks 1 = (12, 0) and 2 = (7, 5) both sit at distance 12 from
+        # the source with dist(1, 2) = 10 (so Lemma 4.1 does not fire),
+        # and the far sink 3 = (20, 0) sets R = 20.  Both orientations
+        # cost 12 + 10 = 22 > 20, so Lemma 4.2 eliminates (1, 2).
+        net = Net((0, 0), [(12, 0), (7, 5), (20, 0)])
+        bound = net.path_bound(0.0)  # 20
+        _, exclude = lemma_preprocessing(net, bound)
+        assert (1, 2) in exclude
+
+    def test_lemma43_forces_direct_edges(self):
+        # Sink 1 is far out; every two-hop route exceeds the bound.
+        net = Net((0, 0), [(20, 0), (0, 1)])
+        bound = net.path_bound(0.0)  # 20
+        include, _ = lemma_preprocessing(net, bound)
+        assert (SOURCE, 1) in include
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        sinks=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=200),
+        eps=st.sampled_from([0.0, 0.2, 0.5]),
+    )
+    def test_lemmas_preserve_the_optimum(self, sinks, seed, eps):
+        """Filtering with the lemmas must not change the optimal cost."""
+        net = random_net(sinks, seed)
+        with_lemmas = bmst_gabow(net, eps, use_lemmas=True)
+        without = bmst_gabow(net, eps, use_lemmas=False)
+        assert math.isclose(with_lemmas.cost, without.cost, rel_tol=1e-12)
+
+
+class TestOptimality:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        sinks=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=300),
+        eps=st.sampled_from([0.0, 0.1, 0.3, 1.0]),
+    )
+    def test_matches_brute_force(self, sinks, seed, eps):
+        net = random_net(sinks, seed)
+        exact = bmst_gabow(net, eps)
+        brute = bmst_brute_force(net, eps)
+        assert math.isclose(exact.cost, brute.cost, rel_tol=1e-12)
+        assert exact.satisfies_bound(eps)
+
+    def test_eps_infinite_is_mst(self, small_net):
+        assert math.isclose(
+            bmst_gabow(small_net, math.inf).cost, mst(small_net).cost
+        )
+
+    def test_never_worse_than_bkrus(self):
+        for seed in range(10):
+            net = random_net(6, seed)
+            for eps in (0.0, 0.2, 0.5):
+                assert (
+                    bmst_gabow(net, eps).cost <= bkrus(net, eps).cost + 1e-9
+                )
+
+    def test_figure5_optimum(self):
+        net = figure5_net()
+        tree = bmst_gabow(net, FIGURE5_EPS)
+        assert tree.cost == pytest.approx(10.0)
+
+    def test_negative_eps_raises(self, small_net):
+        with pytest.raises(InvalidParameterError):
+            bmst_gabow(small_net, -0.5)
+
+    def test_limit_error_when_capped(self):
+        """On p1 the MST grossly violates eps = 0, so a one-tree cap
+        must trip the enumeration limit."""
+        from repro.instances.special import p1
+
+        net = p1()
+        assert not mst(net).satisfies_bound(0.0)
+        with pytest.raises(AlgorithmLimitError):
+            bmst_gabow(net, 0.0, max_trees=1, use_lemmas=False)

@@ -1,0 +1,151 @@
+"""Unit tests for repro.core.geometry."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import geometry
+from repro.core.exceptions import InvalidParameterError
+from repro.core.geometry import Metric
+
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+points = st.tuples(coords, coords)
+
+
+class TestMetricParse:
+    def test_members_pass_through(self):
+        assert Metric.parse(Metric.L1) is Metric.L1
+        assert Metric.parse(Metric.L2) is Metric.L2
+
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("l1", Metric.L1),
+            ("manhattan", Metric.L1),
+            ("rectilinear", Metric.L1),
+            ("L1", Metric.L1),
+            ("l2", Metric.L2),
+            ("euclidean", Metric.L2),
+            ("  Euclidean ", Metric.L2),
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert Metric.parse(alias) is expected
+
+    def test_unknown_raises(self):
+        with pytest.raises(InvalidParameterError):
+            Metric.parse("chebyshev")
+
+    def test_non_string_raises(self):
+        with pytest.raises(InvalidParameterError):
+            Metric.parse(3)
+
+
+class TestDistance:
+    def test_l1_example(self):
+        assert geometry.distance((0, 0), (3, 4), Metric.L1) == 7.0
+
+    def test_l2_example(self):
+        assert geometry.distance((0, 0), (3, 4), Metric.L2) == 5.0
+
+    def test_zero_distance(self):
+        assert geometry.distance((2.5, -1), (2.5, -1)) == 0.0
+
+    @given(points, points)
+    def test_symmetry(self, p, q):
+        for metric in Metric:
+            assert math.isclose(
+                geometry.distance(p, q, metric),
+                geometry.distance(q, p, metric),
+                rel_tol=1e-12,
+                abs_tol=1e-9,
+            )
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, p, q, r):
+        for metric in Metric:
+            direct = geometry.distance(p, r, metric)
+            detour = geometry.distance(p, q, metric) + geometry.distance(
+                q, r, metric
+            )
+            assert direct <= detour + 1e-6
+
+    @given(points, points)
+    def test_l1_dominates_l2(self, p, q):
+        assert (
+            geometry.distance(p, q, Metric.L2)
+            <= geometry.distance(p, q, Metric.L1) + 1e-9
+        )
+
+
+class TestDistanceMatrix:
+    def test_matches_pairwise(self):
+        pts = [(0, 0), (1, 2), (-3, 4), (10, -1)]
+        for metric in Metric:
+            matrix = geometry.distance_matrix(pts, metric)
+            for i, p in enumerate(pts):
+                for j, q in enumerate(pts):
+                    assert math.isclose(
+                        matrix[i, j],
+                        geometry.distance(p, q, metric),
+                        abs_tol=1e-9,
+                    )
+
+    def test_empty(self):
+        assert geometry.distance_matrix([]).shape == (0, 0)
+
+    def test_symmetric_zero_diagonal(self):
+        pts = [(1.5, 2.5), (3, 3), (0, 9)]
+        matrix = geometry.distance_matrix(pts)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(InvalidParameterError):
+            geometry.distance_matrix([(1, 2, 3)])
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidParameterError):
+            geometry.distance_matrix([(float("nan"), 0.0)])
+
+
+class TestBoundingBox:
+    def test_simple(self):
+        assert geometry.bounding_box([(1, 2), (-1, 5), (3, 0)]) == (-1, 0, 3, 5)
+
+    def test_empty_raises(self):
+        with pytest.raises(InvalidParameterError):
+            geometry.bounding_box([])
+
+    def test_half_perimeter(self):
+        assert geometry.half_perimeter([(0, 0), (3, 4)]) == 7.0
+
+
+class TestLShapes:
+    def test_corners(self):
+        c1, c2 = geometry.l_shaped_corners((0, 0), (3, 4))
+        assert c1 == (3.0, 0.0)
+        assert c2 == (0.0, 4.0)
+
+    def test_degenerate_corner(self):
+        c1, c2 = geometry.l_shaped_corners((0, 0), (3, 0))
+        assert c1 == (3.0, 0.0)
+        assert c2 == (0.0, 0.0)
+
+    def test_collinear_check(self):
+        assert geometry.collinear_manhattan((0, 0), (3, 0), (3, 4))
+        assert geometry.collinear_manhattan((0, 0), (0, 4), (3, 4))
+        assert not geometry.collinear_manhattan((0, 0), (5, 0), (3, 4))
+
+    @given(points, points)
+    def test_both_corners_realise_l1_distance(self, p, q):
+        d = geometry.distance(p, q, Metric.L1)
+        for corner in geometry.l_shaped_corners(p, q):
+            via = geometry.distance(p, corner, Metric.L1) + geometry.distance(
+                corner, q, Metric.L1
+            )
+            assert math.isclose(via, d, rel_tol=1e-9, abs_tol=1e-6)

@@ -1,0 +1,153 @@
+"""Tests for benchmark instance generators and the registry."""
+
+import pytest
+
+from repro.core.exceptions import InvalidParameterError
+from repro.instances import random_nets, registry, special
+from repro.instances.large import LARGE_SPECS, large_benchmark, table1_row
+
+
+class TestSpecial:
+    def test_p1_table1_signature(self):
+        net = special.p1()
+        assert net.num_terminals == 6
+        assert net.radius() == pytest.approx(20.4)
+        assert net.nearest_sink_distance() == pytest.approx(20.0)
+
+    def test_p2_table1_signature(self):
+        net = special.p2()
+        assert net.num_terminals == 8
+        assert net.radius() == pytest.approx(20.4)
+        assert net.nearest_sink_distance() == pytest.approx(10.0)
+
+    def test_p3_table1_signature(self):
+        net = special.p3()
+        assert net.num_terminals == 17
+        assert net.radius() == pytest.approx(16.0)
+        assert net.nearest_sink_distance() == pytest.approx(6.1)
+
+    def test_p4_table1_signature(self):
+        net = special.p4()
+        assert net.num_terminals == 31
+        assert net.radius() == pytest.approx(10.4)
+
+    def test_figure13_family_scales(self):
+        small = special.figure13_family(3)
+        big = special.figure13_family(10)
+        assert small.num_sinks == 3
+        assert big.num_sinks == 10
+
+    def test_figure_nets_consistent(self):
+        assert special.figure4_net().radius() == 8.0
+        assert special.figure5_net().radius() == pytest.approx(6.5)
+
+
+class TestRandomNets:
+    def test_deterministic(self):
+        a = random_nets.random_net(10, 3)
+        b = random_nets.random_net(10, 3)
+        assert (a.points == b.points).all()
+
+    def test_different_seeds_differ(self):
+        a = random_nets.random_net(10, 3)
+        b = random_nets.random_net(10, 4)
+        assert not (a.points == b.points).all()
+
+    def test_sizes(self):
+        for size, case, net in random_nets.benchmark_set4(sizes=[5], cases=3):
+            assert size == 5
+            assert net.num_sinks == 5
+            assert case in (0, 1, 2)
+
+    def test_invalid_params(self):
+        with pytest.raises(InvalidParameterError):
+            random_nets.random_net(0, 1)
+        with pytest.raises(InvalidParameterError):
+            random_nets.random_net(5, 1, region=-1)
+
+    def test_random_nets_for_size(self):
+        nets = random_nets.random_nets_for_size(8, cases=5)
+        assert len(nets) == 5
+        assert all(net.num_sinks == 8 for net in nets)
+
+    def test_depth_study_population(self):
+        nets = list(random_nets.depth_study_nets(total=22))
+        assert len(nets) == 22
+        sizes = {net.num_sinks for net in nets}
+        assert sizes == set(range(5, 16))
+
+
+class TestLarge:
+    def test_specs_match_paper_counts(self):
+        assert LARGE_SPECS["pr1"].num_points == 270
+        assert LARGE_SPECS["r5"].num_points == 3102
+
+    def test_full_scale_counts(self):
+        net = large_benchmark("pr1")
+        assert net.num_terminals == 270
+
+    def test_scaled_counts(self):
+        net = large_benchmark("r1", scale=0.1)
+        assert abs(net.num_terminals - (0.1 * 267 + 1)) <= 2
+
+    def test_radius_matches_table1(self):
+        for name in ("pr1", "r1"):
+            net = large_benchmark(name, scale=0.25)
+            assert net.radius() == pytest.approx(LARGE_SPECS[name].radius)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(InvalidParameterError):
+            large_benchmark("r9")
+
+    def test_bad_scale_raises(self):
+        with pytest.raises(InvalidParameterError):
+            large_benchmark("r1", scale=0.0)
+        with pytest.raises(InvalidParameterError):
+            large_benchmark("r1", scale=1.5)
+
+    def test_table1_row(self):
+        net = large_benchmark("pr1", scale=0.1)
+        name, pts, edges, radius, nearest = table1_row(net)
+        assert pts == net.num_terminals
+        assert edges == pts * (pts - 1) // 2
+        assert radius >= nearest > 0
+
+
+class TestRegistry:
+    def test_load_special(self):
+        assert registry.load("p1").name == "p1"
+
+    def test_load_figure_nets(self):
+        assert registry.load("figure5").num_sinks == 3
+
+    def test_load_large_with_scale(self):
+        net = registry.load("r2", scale=0.05)
+        assert net.num_terminals < 60
+
+    def test_load_random(self):
+        net = registry.load("rnd10_3")
+        assert net.num_sinks == 10
+
+    def test_bad_random_name(self):
+        with pytest.raises(InvalidParameterError):
+            registry.load("rndx_y")
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            registry.load("nope")
+
+    def test_scale_on_special_raises(self):
+        with pytest.raises(InvalidParameterError):
+            registry.load("p1", scale=0.5)
+
+    def test_special_benchmarks_list(self):
+        nets = registry.special_benchmarks()
+        assert [net.name for net in nets] == ["p1", "p2", "p3", "p4"]
+
+    def test_large_benchmarks_list(self):
+        nets = registry.large_benchmarks(scale=0.05, names=["pr1", "r1"])
+        assert [net.name for net in nets] == ["pr1@0.05", "r1@0.05"]
+
+    def test_benchmark_names(self):
+        names = registry.benchmark_names()
+        assert "p1" in names and "r5" in names

@@ -1,0 +1,139 @@
+"""Integration tests: cross-module flows mirroring the paper's claims.
+
+These tests run several algorithms together on shared nets and assert
+the *relationships* the paper reports — the cost ordering of Figure 11,
+the Table 2/4 dominance patterns, and the end-to-end CLI-style flows.
+"""
+
+import math
+
+import pytest
+
+from repro.algorithms.bkex import bkex
+from repro.algorithms.bkh2 import bkh2
+from repro.algorithms.bkrus import bkrus
+from repro.algorithms.bprim import bprim
+from repro.algorithms.brbc import brbc
+from repro.algorithms.gabow import bmst_gabow
+from repro.algorithms.mst import maximal_spanning_tree, mst
+from repro.core.net import SOURCE
+from repro.core.tree import star_tree
+from repro.instances.random_nets import random_net
+from repro.instances.registry import load
+from repro.steiner.bkst import bkst
+
+
+class TestFigure11Ordering:
+    """MST <= BKST* <= BMST_G = BKEX <= BKH2 <= BKRUS <= SPT <= MaxST
+    in average routing cost (BKST compared within the bounded family)."""
+
+    @pytest.fixture(scope="class")
+    def costs(self):
+        eps = 0.2
+        nets = [random_net(8, 700 + seed) for seed in range(8)]
+        sums = {
+            "mst": 0.0,
+            "bkst": 0.0,
+            "bmst_g": 0.0,
+            "bkex": 0.0,
+            "bkh2": 0.0,
+            "bkrus": 0.0,
+            "spt": 0.0,
+            "maxst": 0.0,
+        }
+        for net in nets:
+            sums["mst"] += mst(net).cost
+            sums["bkst"] += bkst(net, eps).cost
+            sums["bmst_g"] += bmst_gabow(net, eps).cost
+            sums["bkex"] += bkex(net, eps).cost
+            sums["bkh2"] += bkh2(net, eps).cost
+            sums["bkrus"] += bkrus(net, eps).cost
+            sums["spt"] += star_tree(net).cost
+            sums["maxst"] += maximal_spanning_tree(net).cost
+        return sums
+
+    def test_mst_is_floor(self, costs):
+        for name in ("bmst_g", "bkex", "bkh2", "bkrus"):
+            assert costs["mst"] <= costs[name] + 1e-6
+
+    def test_exact_methods_agree(self, costs):
+        assert costs["bmst_g"] == pytest.approx(costs["bkex"], rel=1e-9)
+
+    def test_exact_below_bkh2_below_bkrus(self, costs):
+        assert costs["bmst_g"] <= costs["bkh2"] + 1e-6
+        assert costs["bkh2"] <= costs["bkrus"] + 1e-6
+
+    def test_bkst_cheapest_of_bounded_family(self, costs):
+        assert costs["bkst"] <= costs["bkrus"] + 1e-6
+
+    def test_spt_below_maximal(self, costs):
+        assert costs["bkrus"] <= costs["spt"] + 1e-6
+        assert costs["spt"] <= costs["maxst"] + 1e-6
+
+
+class TestTable4Pattern:
+    """Average cost-over-MST ordering on random nets:
+    BKRUS <= BPRIM (the paper's headline 17-21% reductions)."""
+
+    def test_bkrus_beats_bprim_on_average(self):
+        eps = 0.2
+        total_bkrus, total_bprim = 0.0, 0.0
+        for seed in range(20):
+            net = random_net(10, 900 + seed)
+            reference = mst(net).cost
+            total_bkrus += bkrus(net, eps).cost / reference
+            total_bprim += bprim(net, eps).cost / reference
+        assert total_bkrus < total_bprim
+
+    def test_perf_ratios_decrease_with_eps(self):
+        """Table 4 rows: the ave column shrinks monotonically as eps
+        grows, for BKRUS (averaged over cases)."""
+        nets = [random_net(10, 950 + seed) for seed in range(10)]
+        refs = [mst(net).cost for net in nets]
+        previous = math.inf
+        for eps in (0.0, 0.2, 0.5, 1.0):
+            ave = sum(
+                bkrus(net, eps).cost / ref for net, ref in zip(nets, refs)
+            ) / len(nets)
+            assert ave <= previous + 1e-6
+            previous = ave
+
+    def test_at_eps1_close_to_mst(self):
+        """Table 4's eps = 1.0 rows sit within a couple of percent of
+        the MST for every method."""
+        for seed in range(8):
+            net = random_net(12, 1000 + seed)
+            ratio = bkrus(net, 1.0).cost / mst(net).cost
+            assert ratio <= 1.1
+
+
+class TestRegistryFlows:
+    def test_special_benchmark_end_to_end(self):
+        net = load("p4")
+        for eps in (0.0, 0.3):
+            tree = bkrus(net, eps)
+            assert tree.satisfies_bound(eps)
+
+    def test_scaled_large_benchmark_end_to_end(self):
+        net = load("pr1", scale=0.15)  # ~40 sinks
+        tree = bkrus(net, 0.2)
+        assert tree.satisfies_bound(0.2)
+        assert tree.cost >= mst(net).cost - 1e-6
+
+    def test_brbc_vs_bkrus_on_scaled_large(self):
+        net = load("r1", scale=0.12)
+        eps = 0.25
+        assert bkrus(net, eps).cost <= brbc(net, eps).cost + 1e-6
+
+
+class TestStarFallbackInvariant:
+    """At eps = 0 every source-sink path must equal its direct distance
+    exactly when that sink is at radius R (no slack at the boundary)."""
+
+    def test_farthest_sink_direct_at_eps0(self):
+        for seed in range(10):
+            net = random_net(9, 1100 + seed)
+            tree = bkrus(net, 0.0)
+            paths = tree.source_path_lengths()
+            farthest = int(net.dist[SOURCE].argmax())
+            assert paths[farthest] <= net.radius() + 1e-9

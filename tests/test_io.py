@@ -1,0 +1,65 @@
+"""Tests for the .pts instance serialisation."""
+
+import pytest
+
+from repro.core.exceptions import InvalidNetError
+from repro.core.geometry import Metric
+from repro.instances import io
+from repro.instances.random_nets import random_net
+
+
+class TestRoundTrip:
+    def test_dumps_loads(self):
+        net = random_net(6, 9)
+        again = io.loads(io.dumps(net))
+        assert (again.points == net.points).all()
+        assert again.metric is net.metric
+
+    def test_file_round_trip(self, tmp_path):
+        net = random_net(5, 2)
+        path = tmp_path / "case.pts"
+        io.save(net, path)
+        again = io.load(path)
+        assert (again.points == net.points).all()
+        assert again.name == "case"
+
+    def test_l2_metric_preserved(self):
+        net = random_net(4, 0, metric="l2")
+        assert io.loads(io.dumps(net)).metric is Metric.L2
+
+    def test_name_comment_emitted(self):
+        net = random_net(4, 0)
+        assert f"# {net.name}" in io.dumps(net)
+
+
+class TestParsing:
+    def test_comments_and_blanks_ignored(self):
+        text = """
+        # a comment
+        metric manhattan
+
+        source 0 0
+        sink 1 2
+        """
+        net = io.loads(text)
+        assert net.num_sinks == 1
+
+    def test_missing_source_raises(self):
+        with pytest.raises(InvalidNetError):
+            io.loads("sink 1 2\n")
+
+    def test_double_source_raises(self):
+        with pytest.raises(InvalidNetError):
+            io.loads("source 0 0\nsource 1 1\nsink 2 2\n")
+
+    def test_unknown_keyword_raises(self):
+        with pytest.raises(InvalidNetError):
+            io.loads("source 0 0\nterminal 1 1\n")
+
+    def test_malformed_coordinates_raise(self):
+        with pytest.raises(InvalidNetError):
+            io.loads("source 0 zero\nsink 1 1\n")
+
+    def test_truncated_line_raises(self):
+        with pytest.raises(InvalidNetError):
+            io.loads("source 0\nsink 1 1\n")

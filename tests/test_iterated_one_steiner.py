@@ -1,0 +1,90 @@
+"""Tests for Iterated 1-Steiner (the unbounded Steiner anchor)."""
+
+import math
+
+import pytest
+
+from repro.algorithms.mst import mst
+from repro.core.exceptions import InvalidParameterError
+from repro.core.geometry import Metric
+from repro.core.net import Net
+from repro.instances.random_nets import random_net
+from repro.steiner.bkst import bkst
+from repro.steiner.iterated_one_steiner import (
+    iterated_one_steiner,
+    steiner_ratio,
+)
+
+
+class TestClassicCases:
+    def test_cross_gains_a_steiner_point(self):
+        """Four terminals at diamond corners: the centre point saves
+        wire (the textbook 1-Steiner example)."""
+        net = Net((0, 0), [(10, 10), (10, -10), (20, 0)])
+        result = iterated_one_steiner(net)
+        assert len(result.steiner_points) >= 1
+        assert result.cost < mst(net).cost - 1e-9
+        # The optimum here is the star through (10, 0): cost 40.
+        assert result.cost == pytest.approx(40.0)
+
+    def test_l_shaped_three_terminals(self):
+        """Three corners of a rectangle: one Steiner point at the
+        fourth corner's projection gives the median junction."""
+        net = Net((0, 0), [(10, 0), (0, 10)])
+        result = iterated_one_steiner(net)
+        # MST is already optimal (cost 20, paths along the two axes);
+        # no Steiner point can improve a 3-terminal right angle whose
+        # corner is a terminal.
+        assert result.cost == pytest.approx(20.0)
+
+    def test_collinear_no_gain(self):
+        net = Net((0, 0), [(5, 0), (10, 0)])
+        result = iterated_one_steiner(net)
+        assert result.steiner_points == ()
+        assert result.cost == pytest.approx(10.0)
+
+
+class TestProperties:
+    def test_never_worse_than_mst(self):
+        for seed in range(8):
+            net = random_net(6, 9000 + seed)
+            assert iterated_one_steiner(net).cost <= mst(net).cost + 1e-9
+
+    def test_steiner_ratio_bounds(self):
+        """Hwang's theorem: the rectilinear Steiner ratio is >= 2/3."""
+        for seed in range(6):
+            net = random_net(7, 9100 + seed)
+            ratio = steiner_ratio(net)
+            assert 2.0 / 3.0 - 1e-9 <= ratio <= 1.0 + 1e-9
+
+    def test_l2_rejected(self):
+        net = Net((0, 0), [(3, 4)], metric=Metric.L2)
+        with pytest.raises(InvalidParameterError):
+            iterated_one_steiner(net)
+
+    def test_max_rounds_cap(self):
+        net = random_net(8, 42)
+        capped = iterated_one_steiner(net, max_rounds=1)
+        assert len(capped.steiner_points) <= 1
+        free = iterated_one_steiner(net)
+        assert free.cost <= capped.cost + 1e-9
+
+    def test_path_lengths_reported_for_original_sinks(self):
+        net = random_net(5, 3)
+        result = iterated_one_steiner(net)
+        paths = result.sink_path_lengths()
+        assert set(paths) == {1, 2, 3, 4, 5}
+        assert result.longest_sink_path() >= net.radius() - 1e-9
+
+
+class TestVersusBkst:
+    def test_bkst_at_loose_bound_is_competitive(self):
+        """BKST(eps=inf) has no bound pressure; it should land within
+        ~10% of the dedicated unbounded heuristic on small nets."""
+        gaps = []
+        for seed in range(6):
+            net = random_net(6, 9200 + seed)
+            unbounded = iterated_one_steiner(net).cost
+            bounded = bkst(net, math.inf).cost
+            gaps.append(bounded / unbounded)
+        assert sum(gaps) / len(gaps) <= 1.12

@@ -1,0 +1,69 @@
+"""Euclidean-metric coverage: the algorithms are metric-agnostic.
+
+The paper states the constructions work on L1 or L2 planes (Lemma 3.1's
+proof only needs the triangle inequality, strict in L2).  Most tests use
+Manhattan, the paper's experimental metric; this module runs the core
+guarantees under L2.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.bkex import bkex
+from repro.algorithms.bkrus import bkrus, is_rejection_permanent
+from repro.algorithms.bprim import bprim_vectorized
+from repro.algorithms.brbc import brbc
+from repro.algorithms.gabow import bmst_brute_force
+from repro.algorithms.mst import mst
+from repro.core.geometry import Metric
+from repro.instances.random_nets import random_net
+
+
+def l2_net(sinks, seed):
+    return random_net(sinks, seed, metric=Metric.L2)
+
+
+class TestL2Guarantees:
+    @pytest.mark.parametrize("eps", [0.0, 0.2, 0.5, math.inf])
+    def test_bkrus_bound(self, eps):
+        net = l2_net(8, 11)
+        tree = bkrus(net, eps)
+        assert tree.satisfies_bound(eps)
+        assert tree.cost >= mst(net).cost - 1e-9
+
+    def test_bkrus_infinite_eps_is_mst(self):
+        net = l2_net(9, 3)
+        assert math.isclose(bkrus(net, math.inf).cost, mst(net).cost)
+
+    @pytest.mark.parametrize("eps", [0.0, 0.3])
+    def test_baselines_bound(self, eps):
+        net = l2_net(7, 5)
+        assert bprim_vectorized(net, eps).satisfies_bound(eps)
+        assert brbc(net, eps).satisfies_bound(eps)
+
+    @settings(deadline=None, max_examples=10)
+    @given(
+        seed=st.integers(min_value=0, max_value=100),
+        eps=st.sampled_from([0.0, 0.2]),
+    )
+    def test_lemma31_holds_in_l2(self, seed, eps):
+        """Strict triangle inequality: rejection permanence holds."""
+        assert is_rejection_permanent(l2_net(6, seed), eps)
+
+    @settings(deadline=None, max_examples=10)
+    @given(
+        seed=st.integers(min_value=0, max_value=80),
+        eps=st.sampled_from([0.0, 0.2]),
+    )
+    def test_bkex_exact_in_l2(self, seed, eps):
+        net = l2_net(5, seed)
+        assert math.isclose(
+            bkex(net, eps).cost, bmst_brute_force(net, eps).cost, rel_tol=1e-12
+        )
+
+    def test_l2_vs_l1_costs_differ(self):
+        l1 = random_net(8, 21)
+        l2 = l1.with_metric(Metric.L2)
+        assert mst(l2).cost < mst(l1).cost  # L2 <= L1 pointwise, strict here

@@ -1,0 +1,94 @@
+"""Tests for the LAST construction (Khuller-Raghavachari-Young)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.last import last_cost_bound, last_stretch_bound, last_tree
+from repro.algorithms.mst import mst
+from repro.algorithms.per_sink import bkrus_per_sink, satisfies_per_sink, stretch
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net
+from repro.instances.random_nets import random_net
+
+
+class TestGuarantees:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        sinks=st.integers(min_value=2, max_value=12),
+        seed=st.integers(min_value=0, max_value=400),
+        alpha=st.sampled_from([1.1, 1.5, 2.0, 3.0]),
+    )
+    def test_stretch_and_cost_guarantees(self, sinks, seed, alpha):
+        net = random_net(sinks, seed)
+        tree = last_tree(net, alpha)
+        assert last_stretch_bound(tree, alpha)
+        assert tree.cost <= last_cost_bound(net, alpha) + 1e-6
+
+    def test_alpha_validation(self, small_net):
+        with pytest.raises(InvalidParameterError):
+            last_tree(small_net, 1.0)
+        with pytest.raises(InvalidParameterError):
+            last_tree(small_net, 0.5)
+
+    def test_alpha_inf_is_mst(self, small_net):
+        assert last_tree(small_net, math.inf).edge_set() == mst(
+            small_net
+        ).edge_set()
+
+    def test_large_alpha_approaches_mst(self, small_net):
+        assert math.isclose(
+            last_tree(small_net, 1e9).cost, mst(small_net).cost
+        )
+
+    def test_tight_alpha_approaches_star_paths(self):
+        import numpy as np
+
+        net = random_net(8, 11)
+        tree = last_tree(net, 1.0 + 1e-9)
+        assert np.allclose(tree.source_path_lengths(), net.dist[0])
+
+    def test_single_sink(self):
+        net = Net((0, 0), [(3, 4)])
+        assert last_tree(net, 1.5).edges == ((0, 1),)
+
+    def test_spanning(self, small_net):
+        tree = last_tree(small_net, 1.3)
+        assert len(tree.edges) == small_net.num_terminals - 1
+
+
+class TestVersusHeuristicPerSink:
+    def test_same_contract(self):
+        """LAST at alpha = 1 + eps satisfies the per-sink predicate used
+        by the heuristic variant."""
+        net = random_net(9, 44)
+        eps = 0.3
+        tree = last_tree(net, 1.0 + eps)
+        assert satisfies_per_sink(tree, eps)
+        assert stretch(tree) <= 1.0 + eps + 1e-9
+
+    def test_heuristic_usually_cheaper(self):
+        """The BKRUS-style per-sink heuristic has no cost guarantee but
+        typically beats LAST's provable construction on random nets."""
+        wins = 0
+        total = 10
+        for seed in range(total):
+            net = random_net(10, 60_000 + seed)
+            eps = 0.2
+            heuristic = bkrus_per_sink(net, eps).cost
+            provable = last_tree(net, 1.0 + eps).cost
+            if heuristic <= provable + 1e-9:
+                wins += 1
+        assert wins >= total // 2
+
+    def test_last_cost_guarantee_is_real_on_adversarial_family(self):
+        """On the p1 family even LAST must pay for the tight stretch,
+        but never beyond its guarantee."""
+        from repro.instances.special import p1
+
+        net = p1()
+        for alpha in (1.01, 1.2, 2.0):
+            tree = last_tree(net, alpha)
+            assert last_stretch_bound(tree, alpha)
+            assert tree.cost <= last_cost_bound(net, alpha) + 1e-6

@@ -1,0 +1,102 @@
+"""Tests for the two-sided-bound Steiner construction (LUB-BKST).
+
+The paper lists "extending this work to lower and upper bounded Steiner
+trees" as future work; this module covers our implementation of it.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.lub import lub_bkrus
+from repro.core.exceptions import InfeasibleError, InvalidParameterError
+from repro.core.net import Net
+from repro.instances.random_nets import random_net
+from repro.steiner.bkst import bkst, lub_bkst
+
+
+def assert_sink_bounds(tree, net, eps1, eps2):
+    radius = net.radius()
+    paths = tree.sink_path_lengths()
+    assert min(paths.values()) >= eps1 * radius - 1e-6
+    assert max(paths.values()) <= (1 + eps2) * radius + 1e-6
+
+
+class TestParameters:
+    def test_negative_eps_raises(self, small_net):
+        with pytest.raises(InvalidParameterError):
+            lub_bkst(small_net, -0.1, 0.5)
+        with pytest.raises(InvalidParameterError):
+            lub_bkst(small_net, 0.1, -0.5)
+
+    def test_crossed_bounds_infeasible(self, small_net):
+        with pytest.raises(InfeasibleError):
+            lub_bkst(small_net, 1.6, 0.2)
+
+
+class TestGuarantees:
+    def test_zero_floor_matches_bkst_cost(self, small_net):
+        """eps1 = 0 imposes nothing extra: same result as plain BKST."""
+        plain = bkst(small_net, 0.4)
+        two_sided = lub_bkst(small_net, 0.0, 0.4)
+        assert two_sided.cost == pytest.approx(plain.cost)
+
+    @pytest.mark.parametrize("eps1,eps2", [(0.2, 0.5), (0.4, 0.5), (0.5, 1.0)])
+    def test_bounds_respected(self, small_net, eps1, eps2):
+        try:
+            tree = lub_bkst(small_net, eps1, eps2)
+        except InfeasibleError:
+            pytest.skip("combination infeasible on this net (allowed)")
+        assert_sink_bounds(tree, small_net, eps1, eps2)
+        assert tree.is_connected_tree()
+
+    def test_floor_costs_wire(self):
+        net = random_net(9, 8)
+        base = lub_bkst(net, 0.0, 0.5).cost
+        try:
+            floored = lub_bkst(net, 0.4, 0.5).cost
+        except InfeasibleError:
+            pytest.skip("floor infeasible here")
+        assert floored >= base - 1e-9
+
+    def test_infeasible_configurations_raise(self):
+        """A sink hugging the source cannot satisfy a high floor when
+        the ceiling forbids any detour."""
+        net = Net((0, 0), [(1, 0), (100, 0)])
+        with pytest.raises(InfeasibleError):
+            lub_bkst(net, 0.9, 0.0)
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        sinks=st.integers(min_value=2, max_value=7),
+        seed=st.integers(min_value=0, max_value=150),
+        eps1=st.sampled_from([0.0, 0.2, 0.4]),
+        eps2=st.sampled_from([0.3, 0.5, 1.0]),
+    )
+    def test_property_bounds_or_infeasible(self, sinks, seed, eps1, eps2):
+        net = random_net(sinks, seed)
+        try:
+            tree = lub_bkst(net, eps1, eps2)
+        except InfeasibleError:
+            return
+        assert_sink_bounds(tree, net, eps1, eps2)
+
+
+class TestVersusSpanning:
+    def test_steiner_floor_no_more_expensive_than_spanning(self):
+        """Where both succeed, the Steiner construction should not cost
+        more than the spanning one (sharing still helps on average)."""
+        wins = comparisons = 0
+        for seed in range(8):
+            net = random_net(8, 700 + seed)
+            eps1, eps2 = 0.3, 0.6
+            try:
+                spanning = lub_bkrus(net, eps1, eps2)
+                steiner = lub_bkst(net, eps1, eps2)
+            except InfeasibleError:
+                continue
+            comparisons += 1
+            if steiner.cost <= spanning.cost + 1e-9:
+                wins += 1
+        if comparisons == 0:
+            pytest.skip("no comparable configurations in this batch")
+        assert wins >= comparisons * 0.5

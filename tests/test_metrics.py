@@ -1,0 +1,71 @@
+"""Tests for evaluation metrics and reports."""
+
+import math
+
+import pytest
+
+from repro.algorithms.bkrus import bkrus
+from repro.algorithms.mst import mst, mst_cost
+from repro.analysis import metrics
+from repro.core.net import Net
+from repro.core.tree import star_tree
+from repro.instances.random_nets import random_net
+from repro.steiner.bkst import bkst
+
+
+@pytest.fixture
+def net():
+    return random_net(7, 13)
+
+
+class TestRatios:
+    def test_mst_perf_ratio_is_one(self, net):
+        assert metrics.perf_ratio(mst(net), net) == pytest.approx(1.0)
+
+    def test_star_path_ratio_is_one(self, net):
+        assert metrics.path_ratio(star_tree(net), net) == pytest.approx(1.0)
+
+    def test_reference_short_circuits_recompute(self, net):
+        reference = mst_cost(net)
+        tree = bkrus(net, 0.2)
+        assert metrics.perf_ratio(tree, net, reference) == pytest.approx(
+            tree.cost / reference
+        )
+
+    def test_skew_of_chain(self):
+        chain_net = Net((0, 0), [(1, 0), (2, 0)])
+        from repro.core.tree import RoutingTree
+
+        chain = RoutingTree(chain_net, [(0, 1), (1, 2)])
+        assert metrics.skew_ratio(chain) == pytest.approx(2.0)
+
+    def test_steiner_tree_supported(self, net):
+        tree = bkst(net, 0.3)
+        assert metrics.perf_ratio(tree, net) > 0
+        assert metrics.path_ratio(tree, net) <= 1.3 + 1e-9
+
+
+class TestEvaluate:
+    def test_report_fields(self, net):
+        tree = bkrus(net, 0.2)
+        report = metrics.evaluate("bkrus", net, tree, 0.2, cpu_seconds=0.5)
+        assert report.algorithm == "bkrus"
+        assert report.eps == 0.2
+        assert report.cost == pytest.approx(tree.cost)
+        assert report.perf_ratio >= 1.0 - 1e-9
+        assert report.path_ratio <= 1.2 + 1e-9
+        assert report.cpu_seconds == 0.5
+        assert report.skew == pytest.approx(
+            report.longest_path / report.shortest_path
+        )
+
+    def test_timed(self):
+        value, seconds = metrics.timed(lambda x: x * 2, 21)
+        assert value == 42
+        assert seconds >= 0.0
+
+
+class TestFormatting:
+    def test_format_eps(self):
+        assert metrics.format_eps(math.inf) == "inf"
+        assert metrics.format_eps(0.25) == "0.25"

@@ -1,0 +1,137 @@
+"""Unit tests for MST construction, cross-checked against networkx."""
+
+import math
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.exchange import is_mst_by_exchange
+from repro.algorithms.mst import (
+    constrained_mst,
+    kruskal_mst,
+    maximal_spanning_tree,
+    mst,
+    mst_cost,
+    prim_mst,
+)
+from repro.core.net import Net
+from repro.instances.random_nets import random_net
+
+
+def networkx_mst_cost(net: Net) -> float:
+    graph = nx.Graph()
+    n = net.num_terminals
+    for u in range(n):
+        for v in range(u + 1, n):
+            graph.add_edge(u, v, weight=float(net.dist[u, v]))
+    tree = nx.minimum_spanning_tree(graph)
+    return sum(d["weight"] for _, _, d in tree.edges(data=True))
+
+
+class TestAgainstNetworkx:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        sinks=st.integers(min_value=2, max_value=12),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    def test_kruskal_matches_networkx_cost(self, sinks, seed):
+        net = random_net(sinks, seed)
+        assert math.isclose(
+            kruskal_mst(net).cost, networkx_mst_cost(net), rel_tol=1e-12
+        )
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        sinks=st.integers(min_value=2, max_value=12),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    def test_prim_matches_kruskal_cost(self, sinks, seed):
+        net = random_net(sinks, seed)
+        assert math.isclose(
+            prim_mst(net).cost, kruskal_mst(net).cost, rel_tol=1e-12
+        )
+
+
+class TestMstProperties:
+    def test_known_example(self):
+        net = Net((0, 0), [(1, 0), (2, 0), (10, 0)])
+        tree = mst(net)
+        assert tree.cost == 10.0
+        assert tree.edge_set() == {(0, 1), (1, 2), (2, 3)}
+
+    def test_mst_cost_helper(self):
+        net = Net((0, 0), [(1, 0), (2, 0)])
+        assert mst_cost(net) == 2.0
+
+    @settings(deadline=None, max_examples=15)
+    @given(seed=st.integers(min_value=0, max_value=200))
+    def test_no_negative_exchange(self, seed):
+        """The classical optimality criterion: an MST admits no
+        cost-reducing T-exchange."""
+        net = random_net(7, seed)
+        assert is_mst_by_exchange(mst(net))
+
+    def test_deterministic(self):
+        net = random_net(10, 3)
+        assert mst(net).edge_set() == mst(net).edge_set()
+
+    def test_two_terminals(self):
+        net = Net((0, 0), [(5, 5)])
+        assert mst(net).edges == ((0, 1),)
+
+
+class TestMaximalSpanningTree:
+    def test_dominates_mst(self):
+        net = random_net(9, 11)
+        assert maximal_spanning_tree(net).cost >= mst(net).cost
+
+    def test_is_spanning(self):
+        net = random_net(6, 0)
+        tree = maximal_spanning_tree(net)
+        assert len(tree.edges) == net.num_terminals - 1
+
+    def test_maximality_by_exchange(self):
+        """No exchange may *increase* cost on a maximal spanning tree."""
+        from repro.algorithms.exchange import iter_all_exchanges
+
+        net = random_net(6, 5)
+        tree = maximal_spanning_tree(net)
+        assert all(ex.weight <= 1e-9 for ex in iter_all_exchanges(tree))
+
+
+class TestConstrainedMst:
+    def test_no_constraints_is_mst(self):
+        net = random_net(6, 1)
+        tree = constrained_mst(net, frozenset(), frozenset())
+        assert math.isclose(tree.cost, mst(net).cost)
+
+    def test_include_forces_edge(self):
+        net = random_net(6, 1)
+        forced = (0, 5)
+        tree = constrained_mst(net, frozenset({forced}), frozenset())
+        assert tree.has_edge(forced)
+        assert tree.cost >= mst(net).cost - 1e-9
+
+    def test_exclude_removes_edge(self):
+        net = random_net(6, 1)
+        banned = mst(net).edges[0]
+        tree = constrained_mst(net, frozenset(), frozenset({banned}))
+        assert not tree.has_edge(banned)
+        assert tree.cost >= mst(net).cost - 1e-9
+
+    def test_contradictory_includes_return_none(self):
+        net = random_net(4, 0)
+        # A cycle of forced edges cannot extend to a spanning tree.
+        include = frozenset({(0, 1), (1, 2), (0, 2)})
+        assert constrained_mst(net, include, frozenset()) is None
+
+    def test_full_exclusion_returns_none(self):
+        net = Net((0, 0), [(1, 0), (2, 0)])
+        exclude = frozenset({(0, 1), (0, 2), (1, 2)})
+        assert constrained_mst(net, frozenset(), exclude) is None
+
+    def test_include_equals_tree(self):
+        net = random_net(4, 2)
+        base = mst(net)
+        tree = constrained_mst(net, frozenset(base.edges), frozenset())
+        assert tree.edge_set() == base.edge_set()

@@ -1,0 +1,127 @@
+"""Unit tests for repro.core.net."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.exceptions import InvalidNetError
+from repro.core.geometry import Metric
+from repro.core.net import Net, SOURCE, complete_edge_count
+
+coords = st.integers(min_value=-1000, max_value=1000)
+
+
+def distinct_points(min_size, max_size):
+    return st.lists(
+        st.tuples(coords, coords),
+        min_size=min_size,
+        max_size=max_size,
+        unique=True,
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        net = Net((0, 0), [(3, 4), (1, 1)])
+        assert net.num_terminals == 3
+        assert net.num_sinks == 2
+        assert net.source == (0.0, 0.0)
+        assert net.sinks == [(3.0, 4.0), (1.0, 1.0)]
+        assert len(net) == 3
+
+    def test_source_is_node_zero(self):
+        net = Net((5, 6), [(1, 2)])
+        assert net.point(SOURCE) == (5.0, 6.0)
+
+    def test_no_sinks_raises(self):
+        with pytest.raises(InvalidNetError):
+            Net((0, 0), [])
+
+    def test_duplicate_sinks_raise(self):
+        with pytest.raises(InvalidNetError):
+            Net((0, 0), [(1, 1), (1, 1)])
+
+    def test_sink_on_source_raises(self):
+        with pytest.raises(InvalidNetError):
+            Net((2, 2), [(2, 2)])
+
+    def test_from_points(self):
+        net = Net.from_points([(0, 0), (1, 0), (0, 1)])
+        assert net.num_sinks == 2
+
+    def test_from_points_too_short(self):
+        with pytest.raises(InvalidNetError):
+            Net.from_points([(0, 0)])
+
+    def test_metric_string(self):
+        net = Net((0, 0), [(3, 4)], metric="euclidean")
+        assert net.metric is Metric.L2
+        assert net.distance(0, 1) == 5.0
+
+    def test_repr_contains_name(self):
+        net = Net((0, 0), [(1, 0)], name="foo")
+        assert "foo" in repr(net)
+
+
+class TestDerived:
+    def test_distance_matrix_cached_and_readonly(self):
+        net = Net((0, 0), [(1, 0), (0, 2)])
+        d1 = net.dist
+        d2 = net.dist
+        assert d1 is d2
+        with pytest.raises(ValueError):
+            d1[0, 0] = 5.0
+
+    def test_radius_and_nearest(self):
+        net = Net((0, 0), [(1, 0), (5, 5), (2, 0)])
+        assert net.radius() == 10.0
+        assert net.nearest_sink_distance() == 1.0
+
+    def test_path_bound(self):
+        net = Net((0, 0), [(10, 0)])
+        assert net.path_bound(0.0) == 10.0
+        assert net.path_bound(0.5) == 15.0
+        assert math.isinf(net.path_bound(math.inf))
+
+    def test_path_bound_negative_raises(self):
+        net = Net((0, 0), [(10, 0)])
+        with pytest.raises(InvalidNetError):
+            net.path_bound(-0.1)
+
+    def test_l1_vs_l2_radius(self):
+        net = Net((0, 0), [(3, 4)])
+        assert net.radius() == 7.0
+        assert net.with_metric("l2").radius() == 5.0
+
+
+class TestTransforms:
+    def test_translation_preserves_distances(self):
+        net = Net((0, 0), [(3, 4), (1, 1)])
+        moved = net.translated(100, -50)
+        assert np.allclose(net.dist, moved.dist)
+        assert moved.source == (100.0, -50.0)
+
+    def test_scaling_scales_distances(self):
+        net = Net((0, 0), [(3, 4), (1, 1)])
+        doubled = net.scaled(2.0)
+        assert np.allclose(doubled.dist, 2.0 * net.dist)
+
+    def test_scale_zero_raises(self):
+        net = Net((0, 0), [(1, 1)])
+        with pytest.raises(InvalidNetError):
+            net.scaled(0.0)
+
+    @given(distinct_points(2, 8))
+    def test_radius_invariant_under_translation(self, pts):
+        net = Net(pts[0], pts[1:])
+        moved = net.translated(17.5, -3.25)
+        assert math.isclose(net.radius(), moved.radius(), abs_tol=1e-9)
+
+
+class TestEdgeCount:
+    @pytest.mark.parametrize("n,count", [(2, 1), (3, 3), (6, 15), (17, 136)])
+    def test_matches_table1(self, n, count):
+        # Table 1 lists #edges = V (V - 1) / 2 for each benchmark.
+        assert complete_edge_count(n) == count

@@ -1,0 +1,151 @@
+"""Tests for obstacle-aware grids and tree constructions."""
+
+import math
+
+import pytest
+
+from repro.core.exceptions import InfeasibleError, InvalidParameterError
+from repro.core.net import Net
+from repro.steiner.grid_graph import GridGraph
+from repro.steiner.obstacles import (
+    Obstacle,
+    obstacle_grid,
+    obstacle_mst,
+    obstacle_spt,
+    total_blocked_area,
+)
+from repro.analysis.validation import assert_valid, check_steiner_tree
+from repro.instances.random_nets import random_net
+
+
+class TestGridBlocking:
+    @pytest.fixture
+    def grid(self):
+        return GridGraph([0.0, 1.0, 2.0, 3.0], [0.0, 1.0, 2.0, 3.0])
+
+    def test_block_and_unblock(self, grid):
+        assert not grid.is_blocked(0, 1)
+        grid.block_edge(0, 1)
+        assert grid.is_blocked(0, 1)
+        assert grid.is_blocked(1, 0)
+        neighbors = dict(grid.neighbors(0))
+        assert 1 not in neighbors
+        grid.unblock_edge(1, 0)
+        assert not grid.is_blocked(0, 1)
+
+    def test_block_non_edge_raises(self, grid):
+        with pytest.raises(InvalidParameterError):
+            grid.block_edge(0, 5)
+
+    def test_obstacle_blocks_interior_only(self, grid):
+        # Rectangle covering the central cell area (0.5..2.5 both axes):
+        # interior edges die, boundary edges at rows/cols 0 and 3 live.
+        count = grid.add_obstacle(0.5, 0.5, 2.5, 2.5)
+        assert count > 0
+        # Edge along the bottom boundary (y=0) stays routable.
+        assert not grid.is_blocked(0, 1)
+        # Interior horizontal edge at y=1 between x=1 and x=2 is gone.
+        a = grid.id_at((1.0, 1.0))
+        b = grid.id_at((2.0, 1.0))
+        assert grid.is_blocked(a, b)
+
+    def test_shortest_path_detours(self, grid):
+        grid.add_obstacle(0.5, -0.5, 2.5, 2.5)
+        a = grid.id_at((0.0, 1.0))
+        b = grid.id_at((3.0, 1.0))
+        assert grid.manhattan(a, b) == 3.0
+        detour = grid.shortest_path_length(a, b)
+        assert detour > 3.0
+        walk = grid.shortest_path_nodes(a, b)
+        assert walk[0] == a and walk[-1] == b
+        assert math.isclose(grid.path_cost(walk), detour)
+
+    def test_unreachable_raises(self, grid):
+        # Wall off the left column entirely.
+        for row in range(4):
+            node = grid.id_at((0.0, float(row)))
+            right = grid.id_at((1.0, float(row)))
+            grid.block_edge(node, right)
+        a = grid.id_at((0.0, 0.0))
+        b = grid.id_at((3.0, 3.0))
+        assert grid.shortest_path_length(a, b) == math.inf
+        with pytest.raises(InvalidParameterError):
+            grid.shortest_path_nodes(a, b)
+
+    def test_inverted_rectangle_raises(self, grid):
+        with pytest.raises(InvalidParameterError):
+            grid.add_obstacle(2.0, 0.0, 1.0, 1.0)
+
+
+class TestObstacleGrid:
+    def test_lines_include_obstacle_boundaries(self):
+        net = Net((0, 0), [(10, 0), (10, 10)])
+        grid = obstacle_grid(net, [Obstacle(3, -1, 6, 4)])
+        assert 3.0 in grid.xs and 6.0 in grid.xs
+        assert -1.0 in grid.ys and 4.0 in grid.ys
+
+    def test_terminal_inside_obstacle_rejected(self):
+        net = Net((0, 0), [(5, 5)])
+        with pytest.raises(InvalidParameterError):
+            obstacle_grid(net, [Obstacle(4, 4, 6, 6)])
+
+    def test_obstacle_dataclass(self):
+        o = Obstacle(0, 0, 2, 3)
+        assert o.contains_point((1, 1))
+        assert not o.contains_point((0, 0))  # boundary is not inside
+        assert total_blocked_area([o]) == 6.0
+        with pytest.raises(InvalidParameterError):
+            Obstacle(2, 0, 0, 1)
+
+
+class TestObstacleTrees:
+    def test_spt_detours_around_block(self):
+        net = Net((0, 0), [(10, 0)])
+        wall = Obstacle(4, -5, 6, 5)
+        tree = obstacle_spt(net, [wall])
+        assert_valid(check_steiner_tree(tree))
+        # Direct distance is 10; the wall forces a 10-unit detour
+        # (up 5, across, down 5 at minimum beyond the straight run).
+        assert tree.sink_path_lengths()[1] >= 10.0 + 10.0 - 1e-9
+
+    def test_spt_paths_are_shortest_routable(self):
+        net = random_net(6, 4)
+        # A blockage placed clear of every terminal of this seeded net.
+        obstacles = [Obstacle(250, 400, 460, 650)]
+        tree = obstacle_spt(net, obstacles)
+        grid = tree.grid
+        paths = tree.sink_path_lengths()
+        for node in range(1, net.num_terminals):
+            shortest = grid.shortest_path_length(
+                grid.terminal_ids[0], grid.terminal_ids[node]
+            )
+            assert paths[node] == pytest.approx(shortest)
+
+    def test_mst_cheaper_or_equal_to_spt(self):
+        net = random_net(7, 8)
+        # A blockage placed clear of every terminal of this seeded net.
+        obstacles = [Obstacle(150, 250, 400, 500)]
+        mst_tree = obstacle_mst(net, obstacles)
+        spt_tree = obstacle_spt(net, obstacles)
+        assert_valid(check_steiner_tree(mst_tree))
+        assert mst_tree.cost <= spt_tree.cost + 1e-6
+
+    def test_no_obstacles_matches_plain_behaviour(self):
+        net = random_net(5, 3)
+        tree = obstacle_spt(net, [])
+        paths = tree.sink_path_lengths()
+        for node in range(1, net.num_terminals):
+            assert paths[node] == pytest.approx(float(net.dist[0, node]))
+
+    def test_walled_off_sink_raises(self):
+        net = Net((0, 0), [(10, 0)])
+        # A picture frame of four overlapping slabs encloses the sink
+        # completely, so no routable corridor reaches it.
+        frame = [
+            Obstacle(7, -3, 13, -1),
+            Obstacle(7, 1, 13, 3),
+            Obstacle(7, -3, 8.5, 3),
+            Obstacle(11, -3, 13, 3),
+        ]
+        with pytest.raises(InfeasibleError):
+            obstacle_spt(net, frame)

@@ -1,0 +1,171 @@
+"""Unit tests for the BKRUS Merge bookkeeping (Figure 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net
+from repro.core.partial_forest import PartialForest
+from repro.instances.random_nets import random_net
+
+
+def figure3_net() -> Net:
+    """Terminals matching the distances of the paper's Figure 3 example.
+
+    Nodes a..f sit on a line at x = 0, 2, 6, 9, 11, 13 so that
+    dist(a,b)=2, dist(b,c)=4, dist(c,d)=3, dist(c,e)=5, dist(e,f)=2;
+    a throw-away source sits far off-axis (index 0).
+    """
+    xs = [0.0, 2.0, 6.0, 9.0, 11.0, 13.0]
+    return Net((0.0, 100.0), [(x, 0.0) for x in xs])
+
+
+A, B, C, D, E, F = 1, 2, 3, 4, 5, 6
+
+
+class TestFigure3:
+    """The Merge example of Figure 3, checked value by value."""
+
+    @pytest.fixture
+    def forest(self):
+        forest = PartialForest(figure3_net())
+        forest.merge(A, B)
+        forest.merge(B, C)
+        forest.merge(C, D)
+        forest.merge(E, F)
+        return forest
+
+    def test_before_merge_state(self, forest):
+        # Left tree P rows as printed in the paper ("Before Merge").
+        assert forest.path(A, B) == 2
+        assert forest.path(A, C) == 6
+        assert forest.path(A, D) == 9
+        assert forest.path(B, C) == 4
+        assert forest.path(B, D) == 7
+        assert forest.path(C, D) == 3
+        assert forest.path(E, F) == 2
+        # Radii are the row maxima.
+        assert forest.radius(A) == 9
+        assert forest.radius(B) == 7
+        assert forest.radius(C) == 6
+        assert forest.radius(D) == 9
+        assert forest.radius(E) == 2
+        assert forest.radius(F) == 2
+        # Cross-component entries are still zero.
+        assert forest.path(A, E) == 0
+        forest.check_invariants()
+
+    def test_merged_radius_closed_form(self, forest):
+        # Before actually merging, the closed form must predict the
+        # post-merge radii (e.g. new r[a] = max(9, 6+5+2) = 13).
+        assert forest.merged_radius(A, C, E) == 13
+        assert forest.merged_radius(F, C, E) == 13
+        assert forest.merged_radius(C, C, E) == 7
+
+    def test_after_merge_matches_paper(self, forest):
+        forest.merge(C, E)
+        # "After Merge" P matrix entries from Figure 3.
+        assert forest.path(A, E) == 11
+        assert forest.path(A, F) == 13
+        assert forest.path(B, E) == 9
+        assert forest.path(B, F) == 11
+        assert forest.path(C, E) == 5
+        assert forest.path(C, F) == 7
+        assert forest.path(D, E) == 8
+        assert forest.path(D, F) == 10
+        # Radii from the figure: a..f -> 13, 11, 7, 10, 11, 13.
+        for node, radius in zip((A, B, C, D, E, F), (13, 11, 7, 10, 11, 13)):
+            assert forest.radius(node) == radius
+        forest.check_invariants()
+
+
+class TestMergeSemantics:
+    def test_merge_connected_raises(self):
+        forest = PartialForest(figure3_net())
+        forest.merge(A, B)
+        with pytest.raises(InvalidParameterError):
+            forest.merge(A, B)
+
+    def test_component_tracking(self):
+        forest = PartialForest(figure3_net())
+        assert forest.num_components == 7
+        forest.merge(A, B)
+        assert forest.num_components == 6
+        assert forest.connected(A, B)
+        assert not forest.connected(A, C)
+
+    def test_source_component_flag(self):
+        forest = PartialForest(figure3_net())
+        assert forest.component_contains_source(0)
+        assert not forest.component_contains_source(A)
+        forest.merge(0, A)
+        assert forest.component_contains_source(A)
+
+    def test_edges_recorded_in_merge_order(self):
+        forest = PartialForest(figure3_net())
+        forest.merge(A, B)
+        forest.merge(E, F)
+        assert forest.edges == [(A, B), (E, F)]
+
+    def test_merged_radius_requires_membership(self):
+        forest = PartialForest(figure3_net())
+        forest.merge(A, B)
+        forest.merge(C, D)
+        with pytest.raises(InvalidParameterError):
+            forest.merged_radius(E, A, C)
+
+    def test_merged_source_paths(self):
+        forest = PartialForest(figure3_net())
+        forest.merge(0, A)  # source component is {0, A}
+        forest.merge(C, D)
+        nodes, paths = forest.merged_source_paths(A, C)
+        net = figure3_net()
+        d_ac = net.distance(A, C)
+        lookup = dict(zip(nodes.tolist(), paths.tolist()))
+        assert lookup[C] == pytest.approx(net.distance(0, A) + d_ac)
+        assert lookup[D] == pytest.approx(net.distance(0, A) + d_ac + 3)
+
+    def test_merged_source_paths_requires_source_side(self):
+        forest = PartialForest(figure3_net())
+        with pytest.raises(InvalidParameterError):
+            forest.merged_source_paths(A, B)
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    sinks=st.integers(min_value=3, max_value=9),
+    seed=st.integers(min_value=0, max_value=300),
+)
+def test_fully_merged_forest_matches_routing_tree(sinks, seed):
+    """Merging an arbitrary spanning tree edge-by-edge must reproduce the
+    RoutingTree's independently computed path matrix and radii."""
+    net = random_net(sinks, seed)
+    from repro.algorithms.mst import mst
+
+    tree = mst(net)
+    forest = PartialForest(net)
+    for u, v in tree.edges:
+        forest.merge(u, v)
+    matrix = tree.path_matrix()
+    assert np.allclose(forest.P, matrix, atol=1e-9)
+    assert np.allclose(forest.r, matrix.max(axis=1), atol=1e-9)
+    forest.check_invariants()
+
+
+@settings(deadline=None, max_examples=20)
+@given(seed=st.integers(min_value=0, max_value=200))
+def test_invariants_hold_mid_construction(seed):
+    net = random_net(8, seed)
+    from repro.core.edges import sorted_edges
+
+    forest = PartialForest(net)
+    merged = 0
+    for _, u, v in sorted_edges(net):
+        if not forest.connected(u, v):
+            forest.merge(u, v)
+            forest.check_invariants()
+            merged += 1
+            if merged == 4:  # stop mid-way: partial forest state
+                break
+    assert forest.num_components == net.num_terminals - merged

@@ -1,0 +1,116 @@
+"""Tests for the per-sink (stretch) bounded variant."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.bkrus import bkrus
+from repro.algorithms.mst import mst
+from repro.algorithms.per_sink import (
+    bkrus_per_sink,
+    per_sink_bounds,
+    satisfies_per_sink,
+    stretch,
+)
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net, SOURCE
+from repro.core.tree import star_tree
+from repro.instances.random_nets import random_net
+
+
+class TestBounds:
+    def test_vector_shape(self):
+        net = random_net(5, 0)
+        bounds = per_sink_bounds(net, 0.5)
+        assert bounds.shape == (6,)
+        assert math.isinf(bounds[SOURCE])
+        assert np.allclose(bounds[1:], 1.5 * net.dist[SOURCE][1:])
+
+    def test_negative_eps_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            per_sink_bounds(random_net(4, 0), -0.5)
+        with pytest.raises(InvalidParameterError):
+            bkrus_per_sink(random_net(4, 0), -0.5)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("eps", [0.0, 0.1, 0.5, 1.0])
+    def test_stretch_respected(self, small_net, eps):
+        tree = bkrus_per_sink(small_net, eps)
+        assert satisfies_per_sink(tree, eps)
+        assert stretch(tree) <= 1.0 + eps + 1e-9
+
+    def test_eps_zero_is_spt_paths(self, small_net):
+        """Every sink pinned to its direct distance — SPT path lengths
+        (though the tree may route through on-path sinks)."""
+        tree = bkrus_per_sink(small_net, 0.0)
+        assert np.allclose(
+            tree.source_path_lengths(), small_net.dist[SOURCE]
+        )
+
+    def test_eps_inf_is_mst(self, small_net):
+        assert math.isclose(
+            bkrus_per_sink(small_net, math.inf).cost, mst(small_net).cost
+        )
+
+    def test_implies_global_bound(self, small_net):
+        """A per-sink tree is automatically a global-radius tree at the
+        same eps (take the farthest sink)."""
+        for eps in (0.0, 0.2, 0.5):
+            tree = bkrus_per_sink(small_net, eps)
+            assert tree.satisfies_bound(eps)
+
+    def test_stricter_than_global(self):
+        """Per-sink costs at least as much as the global-bound tree on
+        average (it is the tighter policy)."""
+        total_per_sink = total_global = 0.0
+        for seed in range(10):
+            net = random_net(9, 8000 + seed)
+            eps = 0.2
+            total_per_sink += bkrus_per_sink(net, eps).cost
+            total_global += bkrus(net, eps).cost
+        assert total_per_sink >= total_global - 1e-6
+
+    def test_cost_between_mst_and_star(self, small_net):
+        star_cost = star_tree(small_net).cost
+        for eps in (0.0, 0.3, 1.0):
+            cost = bkrus_per_sink(small_net, eps).cost
+            assert mst(small_net).cost - 1e-9 <= cost <= star_cost + 1e-9
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        sinks=st.integers(min_value=2, max_value=9),
+        seed=st.integers(min_value=0, max_value=300),
+        eps=st.sampled_from([0.0, 0.2, 0.5, 1.0]),
+    )
+    def test_property_stretch_and_spanning(self, sinks, seed, eps):
+        net = random_net(sinks, seed)
+        tree = bkrus_per_sink(net, eps)
+        assert len(tree.edges) == net.num_terminals - 1
+        assert satisfies_per_sink(tree, eps)
+
+
+class TestStretchMetric:
+    def test_star_stretch_is_one(self, small_net):
+        assert stretch(star_tree(small_net)) == pytest.approx(1.0)
+
+    def test_chain_stretch(self):
+        net = Net((0, 0), [(10, 0), (10, 2)])
+        from repro.core.tree import RoutingTree
+
+        chain = RoutingTree(net, [(0, 1), (1, 2)])
+        # Sink 2: path 12 vs direct 12 -> stretch 1 (monotone);
+        # make it non-monotone to see stretch > 1:
+        detour = RoutingTree(net, [(0, 2), (2, 1)])
+        # Sink 1: path 12 + 2 = 14 vs direct 10 -> stretch 1.4.
+        assert stretch(chain) == pytest.approx(1.0)
+        assert stretch(detour) == pytest.approx(1.4)
+
+    def test_minimal_feasible_eps(self, small_net):
+        tree = bkrus_per_sink(small_net, 0.3)
+        eps_min = stretch(tree) - 1.0
+        assert satisfies_per_sink(tree, eps_min + 1e-9)
+        if eps_min > 1e-6:
+            assert not satisfies_per_sink(tree, eps_min - 1e-6)

@@ -1,0 +1,96 @@
+"""Tests for the wire-crossing (planarity) analysis."""
+
+import pytest
+
+from repro.algorithms.bkrus import bkrus
+from repro.algorithms.mst import mst
+from repro.analysis.planarity import (
+    crossing_count,
+    crossing_pairs,
+    crossing_report,
+    l_realisation,
+    segments_intersect,
+)
+from repro.core.net import Net
+from repro.core.tree import RoutingTree, star_tree
+from repro.instances.random_nets import random_net
+
+
+class TestSegments:
+    def test_intersect_cross(self):
+        assert segments_intersect(((0, 0), (10, 0)), ((5, -5), (5, 5)))
+
+    def test_no_intersect(self):
+        assert not segments_intersect(((0, 0), (10, 0)), ((0, 1), (10, 1)))
+
+    def test_touching_endpoint_counts_geometrically(self):
+        assert segments_intersect(((0, 0), (5, 0)), ((5, 0), (5, 5)))
+
+    def test_collinear_overlap(self):
+        assert segments_intersect(((0, 0), (10, 0)), ((5, 0), (15, 0)))
+        assert not segments_intersect(((0, 0), (4, 0)), ((5, 0), (15, 0)))
+
+    def test_l_realisation_degenerate(self):
+        net = Net((0, 0), [(5, 0), (5, 5)])
+        # Edge (0, 1) is axis-aligned: one segment.
+        assert len(l_realisation(net, 0, 1)) == 1
+        # Edge (0, 2) needs a bend: two segments.
+        assert len(l_realisation(net, 0, 2)) == 2
+
+    def test_l_realisation_corner_near_source(self):
+        net = Net((0, 0), [(10, 10), (1, 1)])
+        segments = l_realisation(net, 1, 2)
+        # Both corner candidates, (1, 10) and (10, 1), tie in source
+        # distance; the chosen corner must be one of them.
+        corners = {segments[0][1], segments[1][0]}
+        assert corners <= {(1.0, 10.0), (10.0, 1.0)}
+
+
+class TestCrossings:
+    def test_star_cross_layout(self):
+        """Four sinks at the compass points wired directly: no crossings."""
+        net = Net((0, 0), [(10, 0), (0, 10), (-10, 0), (0, -10)])
+        assert crossing_count(star_tree(net)) == 0
+
+    def test_forced_crossing(self):
+        """A horizontal and a vertical wire between disjoint terminal
+        pairs cross exactly once."""
+        net = Net((0, 0), [(0, 5), (6, 5), (5, 0), (5, 8)])
+        tree = RoutingTree(net, [(0, 1), (1, 2), (0, 3), (3, 4)])
+        # Edge (1,2) runs along y=5 for x in [0,6]; edge (3,4) rises
+        # along x=5 for y in [0,8]: they cross at (5,5).  Every other
+        # contact is at a shared tree node and therefore excluded.
+        assert crossing_pairs(tree) == [(1, 3)]
+        assert crossing_count(tree) == 1
+
+    def test_adjacent_edges_excluded(self):
+        """Edges sharing a node never count as crossings."""
+        net = Net((0, 0), [(10, 0), (10, 10)])
+        tree = RoutingTree(net, [(0, 1), (1, 2)])
+        assert crossing_count(tree) == 0
+
+    def test_pairs_are_sorted_unique(self):
+        net = random_net(8, 9)
+        pairs = crossing_pairs(bkrus(net, 0.2))
+        assert pairs == sorted(set(pairs))
+        assert all(a < b for a, b in pairs)
+
+    def test_report_rows(self):
+        net = random_net(7, 3)
+        rows = crossing_report(
+            [("mst", mst(net)), ("star", star_tree(net))]
+        )
+        assert [row[0] for row in rows] == ["mst", "star"]
+        for _, count, per_edge in rows:
+            assert count >= 0
+            assert per_edge == pytest.approx(count / net.num_sinks)
+
+    def test_mst_usually_planar_er_than_star(self):
+        """Local trees cross less than source-centred stars on average —
+        the motivation for the paper's planarity future work."""
+        total_mst = total_star = 0
+        for seed in range(10):
+            net = random_net(10, 6000 + seed)
+            total_mst += crossing_count(mst(net))
+            total_star += crossing_count(star_tree(net))
+        assert total_mst <= total_star

@@ -1,0 +1,65 @@
+"""Tests for the Prim-Dijkstra tradeoff baseline (Alpert et al.)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.mst import mst
+from repro.algorithms.prim_dijkstra import prim_dijkstra, prim_dijkstra_sweep
+from repro.algorithms.spt import spt
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import SOURCE
+from repro.instances.random_nets import random_net
+
+
+class TestEndpoints:
+    def test_c_zero_is_mst_cost(self, small_net):
+        assert math.isclose(prim_dijkstra(small_net, 0.0).cost, mst(small_net).cost)
+
+    def test_c_one_is_spt(self, small_net):
+        tree = prim_dijkstra(small_net, 1.0)
+        # Dijkstra on a metric complete graph: every path length equals
+        # the direct distance (the tree may route through intermediate
+        # nodes lying exactly on shortest paths).
+        assert np.allclose(
+            tree.source_path_lengths(), small_net.dist[SOURCE]
+        )
+        assert tree.longest_source_path() == spt(small_net).longest_source_path()
+
+    def test_out_of_range_raises(self, small_net):
+        with pytest.raises(InvalidParameterError):
+            prim_dijkstra(small_net, -0.1)
+        with pytest.raises(InvalidParameterError):
+            prim_dijkstra(small_net, 1.1)
+
+
+class TestTradeoff:
+    @settings(deadline=None, max_examples=20)
+    @given(
+        seed=st.integers(min_value=0, max_value=200),
+        c=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_cost_between_mst_and_star(self, seed, c):
+        net = random_net(8, seed)
+        tree = prim_dijkstra(net, c)
+        star_cost = float(net.dist[SOURCE, 1:].sum())
+        assert mst(net).cost - 1e-9 <= tree.cost <= star_cost + 1e-9
+
+    def test_radius_trend(self):
+        """Average radius should not increase as c grows toward SPT."""
+        nets = [random_net(10, seed) for seed in range(10)]
+        values = [0.0, 0.5, 1.0]
+        mean_radius = []
+        for c in values:
+            mean_radius.append(
+                sum(prim_dijkstra(net, c).longest_source_path() for net in nets)
+                / len(nets)
+            )
+        assert mean_radius[0] >= mean_radius[1] >= mean_radius[2]
+
+    def test_sweep_helper(self, small_net):
+        rows = prim_dijkstra_sweep(small_net, [0.0, 1.0])
+        assert [c for c, _ in rows] == [0.0, 1.0]
+        assert rows[0][1].cost <= rows[1][1].cost + 1e-9

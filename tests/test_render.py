@@ -1,0 +1,82 @@
+"""Tests for ASCII/SVG rendering."""
+
+import xml.etree.ElementTree as ET
+
+from repro.algorithms.bkrus import bkrus
+from repro.algorithms.mst import mst
+from repro.analysis.render import ascii_render, save_svg, side_by_side, svg_render
+from repro.core.net import Net
+from repro.instances.random_nets import random_net
+from repro.steiner.bkst import bkst
+
+
+class TestAscii:
+    def test_contains_source_and_sinks(self):
+        net = random_net(6, 1)
+        art = ascii_render(mst(net))
+        assert "S" in art
+        assert art.count("o") >= 1
+
+    def test_dimensions(self):
+        net = random_net(5, 2)
+        art = ascii_render(mst(net), width=30, height=10)
+        lines = art.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 30 for line in lines)
+
+    def test_wires_drawn(self):
+        net = Net((0, 0), [(10, 0)])
+        art = ascii_render(mst(net), width=20, height=3)
+        assert "#" in art
+
+    def test_steiner_tree_rendered(self):
+        net = random_net(6, 3)
+        art = ascii_render(bkst(net, 0.3))
+        assert "S" in art and "#" in art
+
+    def test_degenerate_line_net(self):
+        net = Net((0, 0), [(1, 0), (2, 0)])
+        art = ascii_render(mst(net), width=10, height=2)
+        assert "S" in art
+
+
+class TestSvg:
+    def test_well_formed_xml(self):
+        net = random_net(7, 4)
+        document = svg_render(bkrus(net, 0.2), title="test")
+        root = ET.fromstring(document)
+        assert root.tag.endswith("svg")
+
+    def test_element_counts(self):
+        net = random_net(5, 0)
+        document = svg_render(mst(net), labels=True)
+        root = ET.fromstring(document)
+        ns = "{http://www.w3.org/2000/svg}"
+        circles = root.findall(f"{ns}circle")
+        lines = root.findall(f"{ns}line")
+        texts = root.findall(f"{ns}text")
+        assert len(circles) == net.num_terminals
+        assert len(texts) == net.num_terminals
+        assert len(lines) >= net.num_terminals - 1
+
+    def test_no_labels(self):
+        net = random_net(4, 0)
+        document = svg_render(mst(net), labels=False)
+        assert "<text" not in document
+
+    def test_save_svg(self, tmp_path):
+        net = random_net(4, 1)
+        path = tmp_path / "tree.svg"
+        save_svg(mst(net), str(path))
+        assert path.read_text().startswith("<svg")
+
+
+class TestSideBySide:
+    def test_joins_blocks(self):
+        merged = side_by_side(["ab\ncd", "XY"])
+        lines = merged.splitlines()
+        assert lines[0] == "ab    XY"
+        assert lines[1] == "cd"
+
+    def test_empty_blocks(self):
+        assert side_by_side(["", ""]) == ""

@@ -1,0 +1,59 @@
+"""Tests for the results-report collector."""
+
+import pytest
+
+from repro.analysis.report import collect_results, write_report
+from repro.core.exceptions import InvalidParameterError
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "table1.txt").write_text("TABLE ONE CONTENT\n")
+    (tmp_path / "figure9.txt").write_text("FIGURE NINE CONTENT\n")
+    (tmp_path / "custom_study.txt").write_text("CUSTOM CONTENT\n")
+    return tmp_path
+
+
+class TestCollect:
+    def test_sections_in_order(self, results_dir):
+        report = collect_results(results_dir)
+        table_pos = report.index("Table 1")
+        figure_pos = report.index("Figure 9")
+        custom_pos = report.index("custom_study")
+        assert table_pos < figure_pos < custom_pos
+
+    def test_content_embedded(self, results_dir):
+        report = collect_results(results_dir)
+        assert "TABLE ONE CONTENT" in report
+        assert "CUSTOM CONTENT" in report
+
+    def test_missing_sections_listed(self, results_dir):
+        report = collect_results(results_dir)
+        assert "Not yet regenerated" in report
+        assert "Table 4" in report  # a known-but-missing section
+
+    def test_custom_title(self, results_dir):
+        report = collect_results(results_dir, title="My run")
+        assert report.startswith("# My run")
+
+    def test_bad_directory_raises(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            collect_results(tmp_path / "nope")
+
+
+class TestWrite:
+    def test_writes_file(self, results_dir, tmp_path):
+        out = tmp_path / "RESULTS.md"
+        path = write_report(results_dir, out)
+        assert path == out
+        assert out.read_text().startswith("# Reproduction results")
+
+    def test_cli_report(self, results_dir, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "R.md"
+        code = main(
+            ["report", "--results-dir", str(results_dir), "--out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()

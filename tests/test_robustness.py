@@ -1,0 +1,77 @@
+"""Tests for the jitter robustness utilities."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bkrus import bkrus
+from repro.analysis.robustness import (
+    JitterReport,
+    cost_sensitivity,
+    jitter_study,
+    jittered,
+)
+from repro.core.exceptions import InvalidParameterError
+from repro.instances.random_nets import random_net
+
+
+class TestJittered:
+    def test_zero_magnitude_is_identity(self):
+        net = random_net(6, 0)
+        moved = jittered(net, 0.0, seed=1)
+        assert np.allclose(moved.points, net.points)
+
+    def test_source_fixed_sinks_move(self):
+        net = random_net(6, 0)
+        moved = jittered(net, 5.0, seed=1)
+        assert moved.source == net.source
+        assert not np.allclose(moved.points[1:], net.points[1:])
+
+    def test_bounded_displacement(self):
+        net = random_net(8, 2)
+        magnitude = 7.0
+        moved = jittered(net, magnitude, seed=3)
+        deltas = np.abs(moved.points[1:] - net.points[1:])
+        assert deltas.max() <= magnitude + 1e-9
+
+    def test_deterministic_per_seed(self):
+        net = random_net(5, 1)
+        a = jittered(net, 3.0, seed=9)
+        b = jittered(net, 3.0, seed=9)
+        assert np.allclose(a.points, b.points)
+
+    def test_negative_magnitude_raises(self):
+        with pytest.raises(InvalidParameterError):
+            jittered(random_net(4, 0), -1.0, seed=0)
+
+
+class TestStudy:
+    def test_report_shape(self):
+        net = random_net(6, 4)
+        reports = jitter_study(
+            net, lambda n: bkrus(n, 0.3), magnitudes=(0.0, 5.0), draws=3
+        )
+        assert [r.magnitude for r in reports] == [0.0, 5.0]
+        zero = reports[0]
+        # Zero jitter: every draw equals the base tree.
+        assert zero.mean_cost_ratio == pytest.approx(1.0)
+        assert zero.max_cost_ratio == pytest.approx(1.0)
+
+    def test_radius_ratio_respects_bound(self):
+        net = random_net(7, 6)
+        reports = jitter_study(
+            net, lambda n: bkrus(n, 0.2), magnitudes=(10.0,), draws=5
+        )
+        assert reports[0].mean_radius_ratio <= 1.2 + 1e-9
+
+    def test_draws_validated(self):
+        net = random_net(4, 0)
+        with pytest.raises(InvalidParameterError):
+            jitter_study(net, lambda n: bkrus(n, 0.2), (1.0,), draws=0)
+
+    def test_cost_sensitivity(self):
+        reports = [
+            JitterReport(0.0, 100.0, 100.0, 100.0, 1.0),
+            JitterReport(10.0, 100.0, 105.0, 110.0, 1.0),
+        ]
+        assert cost_sensitivity(reports) == pytest.approx(0.05 / 10.0)
+        assert cost_sensitivity(reports[:1]) == 0.0

@@ -1,0 +1,75 @@
+"""Tests for the uniform algorithm dispatch layer."""
+
+import math
+
+import pytest
+
+from repro.analysis import runners
+from repro.core.exceptions import InvalidParameterError
+from repro.instances.random_nets import random_net
+
+
+class TestRegistry:
+    def test_all_names_present(self):
+        names = runners.algorithm_names()
+        for expected in (
+            "mst",
+            "spt",
+            "bkrus",
+            "bprim",
+            "brbc",
+            "bkh2",
+            "bkex",
+            "bmst_g",
+            "prim_dijkstra",
+            "bkst",
+        ):
+            assert expected in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(InvalidParameterError):
+            runners.get_runner("magic")
+
+
+class TestRun:
+    def test_run_produces_report(self):
+        net = random_net(6, 2)
+        report = runners.run("bkrus", net, 0.2)
+        assert report.algorithm == "bkrus"
+        assert report.path_ratio <= 1.2 + 1e-9
+        assert report.cpu_seconds >= 0.0
+
+    def test_every_algorithm_respects_bound(self):
+        """All bounded constructions keep path ratio within 1 + eps
+        (mst/spt/prim_dijkstra are unbounded anchors and exempt)."""
+        net = random_net(6, 2)
+        eps = 0.3
+        for name in runners.algorithm_names():
+            report = runners.run(name, net, eps)
+            if name in ("mst", "prim_dijkstra"):
+                continue
+            assert report.path_ratio <= 1.0 + eps + 1e-9, name
+
+    def test_run_many_shares_reference(self):
+        net = random_net(5, 1)
+        reports = runners.run_many(["mst", "bkrus"], net, 0.5)
+        assert reports[0].perf_ratio == pytest.approx(1.0)
+        assert reports[1].perf_ratio >= 1.0 - 1e-9
+
+    def test_exact_never_above_heuristics(self):
+        net = random_net(6, 11)
+        eps = 0.2
+        exact = runners.run("bmst_g", net, eps)
+        for name in ("bkrus", "bkh2", "bprim", "brbc"):
+            assert exact.cost <= runners.run(name, net, eps).cost + 1e-9
+
+    def test_prim_dijkstra_mapping(self):
+        """eps = inf maps to pure Prim, eps = 0 to pure Dijkstra."""
+        net = random_net(6, 7)
+        from repro.algorithms.mst import mst_cost
+
+        assert runners.run("prim_dijkstra", net, math.inf).cost == pytest.approx(
+            mst_cost(net)
+        )
+        spt_like = runners.run("prim_dijkstra", net, 0.0)
+        assert spt_like.path_ratio == pytest.approx(1.0)

@@ -1,0 +1,103 @@
+"""Unit tests for shortest path trees and the Dijkstra helper."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.spt import (
+    dijkstra,
+    shortest_path_tree_of_graph,
+    spt,
+    spt_radius,
+)
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net, SOURCE
+from repro.instances.random_nets import random_net
+
+
+class TestSptStar:
+    def test_star_shape(self):
+        net = random_net(6, 0)
+        tree = spt(net)
+        assert all(u == SOURCE for u, _ in tree.edges)
+
+    def test_paths_are_direct_distances(self):
+        net = random_net(8, 1)
+        tree = spt(net)
+        assert np.allclose(tree.source_path_lengths(), net.dist[SOURCE])
+
+    def test_radius(self):
+        net = Net((0, 0), [(1, 2), (10, 10)])
+        assert spt_radius(net) == 20.0
+        assert spt(net).longest_source_path() == 20.0
+
+    def test_spt_minimises_radius(self):
+        """No spanning tree can have a smaller radius than the SPT."""
+        from repro.algorithms.mst import mst
+
+        net = random_net(7, 3)
+        assert mst(net).longest_source_path() >= spt_radius(net) - 1e-9
+
+
+class TestDijkstra:
+    def test_line_graph(self):
+        adjacency = {0: [(1, 1.0)], 1: [(0, 1.0), (2, 2.0)], 2: [(1, 2.0)]}
+        dist, parent = dijkstra(adjacency, 0)
+        assert dist == {0: 0.0, 1: 1.0, 2: 3.0}
+        assert parent[2] == 1
+
+    def test_prefers_shorter_route(self):
+        adjacency = {
+            0: [(1, 10.0), (2, 1.0)],
+            1: [(0, 10.0), (2, 1.0)],
+            2: [(0, 1.0), (1, 1.0)],
+        }
+        dist, parent = dijkstra(adjacency, 0)
+        assert dist[1] == 2.0
+        assert parent[1] == 2
+
+    def test_unreachable_nodes_absent(self):
+        adjacency = {0: [(1, 1.0)], 1: [(0, 1.0)], 2: []}
+        dist, _ = dijkstra(adjacency, 0)
+        assert 2 not in dist
+
+    def test_negative_weight_raises(self):
+        adjacency = {0: [(1, -1.0)], 1: [(0, -1.0)]}
+        with pytest.raises(InvalidParameterError):
+            dijkstra(adjacency, 0)
+
+
+class TestSptOfGraph:
+    def test_spt_of_mst_is_mst(self):
+        """The SPT of a tree is the tree itself."""
+        from repro.algorithms.mst import mst
+
+        net = random_net(7, 4)
+        base = mst(net)
+        adjacency = {i: [] for i in range(net.num_terminals)}
+        for u, v in base.edges:
+            w = float(net.dist[u, v])
+            adjacency[u].append((v, w))
+            adjacency[v].append((u, w))
+        rebuilt = shortest_path_tree_of_graph(net, adjacency)
+        assert rebuilt.edge_set() == base.edge_set()
+
+    def test_disconnected_graph_raises(self):
+        net = random_net(4, 0)
+        adjacency = {0: [(1, 1.0)], 1: [(0, 1.0)]}
+        with pytest.raises(InvalidParameterError):
+            shortest_path_tree_of_graph(net, adjacency)
+
+    def test_shortcut_graph_reduces_radius(self):
+        """Adding a direct source edge must cap that node's path at the
+        direct distance (the BRBC mechanism)."""
+        net = Net((0, 0), [(1, 0), (2, 0), (10, 0)])
+        adjacency = {i: [] for i in range(4)}
+        chain = [(0, 1), (1, 2), (2, 3)]
+        for u, v in chain:
+            w = float(net.dist[u, v])
+            adjacency[u].append((v, w))
+            adjacency[v].append((u, w))
+        # Chain alone: path to node 3 is 10; add a shortcut of length 10
+        # to node 3 — same; shortcut to node 2 shortens nothing (2 < 10).
+        tree = shortest_path_tree_of_graph(net, adjacency)
+        assert tree.longest_source_path() == 10.0

@@ -1,0 +1,103 @@
+"""Tests for the statistical helpers."""
+
+import pytest
+
+from repro.analysis.statistics import (
+    MeanSummary,
+    geometric_mean,
+    mean_ci,
+    paired_sign_test,
+)
+from repro.core.exceptions import InvalidParameterError
+
+
+class TestMeanCi:
+    def test_interval_contains_mean(self):
+        summary = mean_ci([1.0, 2.0, 3.0, 4.0])
+        assert summary.low <= summary.mean <= summary.high
+        assert summary.count == 4
+
+    def test_single_value_degenerate(self):
+        summary = mean_ci([5.0])
+        assert summary.low == summary.mean == summary.high == 5.0
+
+    def test_constant_series_zero_width(self):
+        summary = mean_ci([2.0, 2.0, 2.0])
+        assert summary.high - summary.low == pytest.approx(0.0)
+
+    def test_wider_at_higher_confidence(self):
+        values = [1.0, 2.0, 3.0, 5.0, 8.0]
+        narrow = mean_ci(values, confidence=0.80)
+        wide = mean_ci(values, confidence=0.99)
+        assert (wide.high - wide.low) > (narrow.high - narrow.low)
+
+    def test_known_interval(self):
+        # n=2, values 0 and 2: mean 1, sem 1, t(0.975, df=1) ~ 12.706.
+        summary = mean_ci([0.0, 2.0], confidence=0.95)
+        assert summary.mean == pytest.approx(1.0)
+        assert summary.high == pytest.approx(1.0 + 12.706, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            mean_ci([])
+        with pytest.raises(InvalidParameterError):
+            mean_ci([1.0], confidence=1.5)
+
+    def test_str(self):
+        text = str(MeanSummary(1.0, 0.9, 1.1, 10, 0.95))
+        assert "[0.900, 1.100]" in text
+
+
+class TestSignTest:
+    def test_clear_winner(self):
+        a = [1.0] * 10
+        b = [2.0] * 10
+        wins_a, wins_b, p = paired_sign_test(a, b)
+        assert wins_a == 10 and wins_b == 0
+        assert p < 0.01
+
+    def test_coin_flip(self):
+        a = [1.0, 2.0, 1.0, 2.0]
+        b = [2.0, 1.0, 2.0, 1.0]
+        wins_a, wins_b, p = paired_sign_test(a, b)
+        assert wins_a == wins_b == 2
+        assert p == pytest.approx(1.0)
+
+    def test_all_ties(self):
+        wins_a, wins_b, p = paired_sign_test([1.0, 1.0], [1.0, 1.0])
+        assert (wins_a, wins_b, p) == (0, 0, 1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            paired_sign_test([1.0], [1.0, 2.0])
+
+    def test_on_real_algorithms(self):
+        """BKRUS vs BPRIM over paired nets: BKRUS should win clearly."""
+        from repro.algorithms.bkrus import bkrus
+        from repro.algorithms.bprim import bprim_vectorized
+        from repro.instances.random_nets import random_net
+
+        bkrus_costs, bprim_costs = [], []
+        for seed in range(12):
+            net = random_net(10, 20_000 + seed)
+            bkrus_costs.append(bkrus(net, 0.1).cost)
+            bprim_costs.append(bprim_vectorized(net, 0.1).cost)
+        wins_a, wins_b, p = paired_sign_test(bkrus_costs, bprim_costs)
+        assert wins_a > wins_b
+
+
+class TestGeometricMean:
+    def test_known(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_ratios_symmetry(self):
+        """gm(x) * gm(1/x) == 1 — why it is right for ratios."""
+        values = [1.2, 0.8, 1.5]
+        inverted = [1.0 / v for v in values]
+        assert geometric_mean(values) * geometric_mean(inverted) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            geometric_mean([])
+        with pytest.raises(InvalidParameterError):
+            geometric_mean([1.0, -1.0])

@@ -1,0 +1,102 @@
+"""Tests for the structured net families and their expected stress modes."""
+
+import math
+
+import pytest
+
+from repro.algorithms.bkrus import bkrus
+from repro.algorithms.mst import mst
+from repro.algorithms.spt import spt_radius
+from repro.core.exceptions import InvalidParameterError
+from repro.instances.structured import bus, flipflop_array, hub, ring, two_clusters
+from repro.steiner.bkst import bkst
+
+
+class TestGenerators:
+    def test_array_counts(self):
+        net = flipflop_array(3, 4)
+        assert net.num_sinks == 12
+        assert net.name == "array3x4"
+
+    def test_array_validation(self):
+        with pytest.raises(InvalidParameterError):
+            flipflop_array(0, 4)
+
+    def test_ring_counts(self):
+        assert ring(9).num_sinks == 9
+        assert ring(5, source_at_centre=False).source == (200.0, 0.0)
+
+    def test_bus_counts(self):
+        net = bus(6)
+        assert net.num_sinks == 6
+        assert net.radius() == pytest.approx(6 * 25.0 + 5.0)
+
+    def test_hub_counts(self):
+        assert hub(7).num_sinks == 7
+
+    def test_two_clusters_counts(self):
+        assert two_clusters(4).num_sinks == 8
+
+    @pytest.mark.parametrize("factory", [ring, bus, hub])
+    def test_zero_sinks_rejected(self, factory):
+        with pytest.raises(InvalidParameterError):
+            factory(0)
+
+
+class TestStressModes:
+    def test_bus_chain_radius_collapses_under_bound(self):
+        """On a bus the MST is the chain with a huge radius; eps = 0
+        must bring the radius down to R (direct stubs appear)."""
+        net = bus(12)
+        chain = mst(net)
+        assert chain.longest_source_path() > 1.3 * net.radius()
+        bounded = bkrus(net, 0.0)
+        assert bounded.longest_source_path() <= net.radius() + 1e-9
+
+    def test_hub_all_ratios_one(self):
+        """On a hub the star is the MST: every eps gives ratio ~1."""
+        net = hub(8)
+        reference = mst(net).cost
+        for eps in (0.0, 0.5, math.inf):
+            assert bkrus(net, eps).cost / reference <= 1.01
+
+    def test_ring_cost_rises_with_tight_bound(self):
+        net = ring(12)
+        loose = bkrus(net, math.inf).cost
+        tight = bkrus(net, 0.0).cost
+        assert tight > loose
+
+    def test_array_steiner_no_worse(self):
+        """On a monotone array the grid MST is already Steiner-optimal:
+        BKST must tie it, not beat it (Steiner ratio 1 on such grids)."""
+        net = flipflop_array(3, 3, pitch=20.0)
+        eps = 0.5
+        assert bkst(net, eps).cost <= bkrus(net, eps).cost + 1e-9
+
+    def test_far_cluster_steiner_sharing(self):
+        """The Figure 13 cluster is where sharing pays: at eps = 0 the
+        spanning tree degenerates to direct wires (~5x MST) while BKST
+        shares one trunk and branches near the cluster."""
+        from repro.instances.special import p1
+
+        net = p1()
+        steiner = bkst(net, 0.0).cost
+        spanning = bkrus(net, 0.0).cost
+        assert steiner < 0.5 * spanning
+
+    def test_two_clusters_witness_mechanics(self):
+        """Clusters merge internally before any source connection —
+        i.e. condition (3-b) must fire — and the result meets the bound."""
+        from repro.algorithms.bkrus import KruskalTrace
+
+        net = two_clusters(4)
+        trace = KruskalTrace()
+        tree = bkrus(net, 0.1, trace=trace)
+        assert tree.satisfies_bound(0.1)
+        # The first accepted merges are sink-sink (no source involvement).
+        first_u, first_v = trace.accepted[0]
+        assert first_u != 0 and first_v != 0
+
+    def test_spt_radius_definition_on_array(self):
+        net = flipflop_array(2, 2)
+        assert spt_radius(net) == net.radius()

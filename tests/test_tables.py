@@ -1,0 +1,79 @@
+"""Tests for text-table rendering helpers."""
+
+import math
+
+from repro.analysis import tables
+
+
+class TestFormatCell:
+    def test_string_passthrough(self):
+        assert tables.format_cell("abc") == "abc"
+
+    def test_none_is_dash(self):
+        assert tables.format_cell(None) == "-"
+
+    def test_nan_is_dash(self):
+        assert tables.format_cell(float("nan")) == "-"
+
+    def test_inf(self):
+        assert tables.format_cell(math.inf) == "inf"
+
+    def test_float_precision(self):
+        assert tables.format_cell(1.23456, precision=2) == "1.23"
+
+    def test_int(self):
+        assert tables.format_cell(7) == "7"
+
+    def test_bool(self):
+        assert tables.format_cell(True) == "yes"
+        assert tables.format_cell(False) == "no"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = tables.format_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines same width
+
+    def test_title(self):
+        out = tables.format_table(["x"], [[1]], title="Hello")
+        assert out.splitlines()[0] == "Hello"
+        assert out.splitlines()[1] == "====="
+
+    def test_empty_rows(self):
+        out = tables.format_table(["x", "y"], [])
+        assert "x" in out and "y" in out
+
+
+class TestAggregates:
+    def test_mean(self):
+        assert tables.mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_skips_nan(self):
+        assert tables.mean([1.0, float("nan"), 3.0]) == 2.0
+
+    def test_mean_empty_is_nan(self):
+        assert math.isnan(tables.mean([]))
+
+    def test_min_max(self):
+        assert tables.maximum([1.0, 5.0, float("nan")]) == 5.0
+        assert tables.minimum([1.0, 5.0, float("nan")]) == 1.0
+        assert math.isnan(tables.maximum([float("nan")]))
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = tables.sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_constant_series(self):
+        assert tables.sparkline([2.0, 2.0]) == "  "
+
+    def test_nan_marked(self):
+        assert "?" in tables.sparkline([0.0, float("nan"), 1.0])
+
+    def test_empty(self):
+        assert tables.sparkline([]) == ""

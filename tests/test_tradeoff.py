@@ -1,0 +1,87 @@
+"""Tests for the sweep/curve helpers behind Figures 9, 10 and 12."""
+
+import math
+
+import pytest
+
+from repro.analysis import tradeoff
+from repro.instances.random_nets import random_net
+from repro.instances.special import p4
+
+
+class TestTradeoffCurve:
+    def test_paper_grid_lengths(self):
+        assert len(tradeoff.PAPER_EPS_SWEEP) == 9
+        assert tradeoff.PAPER_EPS_SWEEP[0] == math.inf
+        assert tradeoff.PAPER_EPS_SWEEP[-1] == 0.0
+
+    def test_curve_points(self):
+        net = random_net(8, 21)
+        points = tradeoff.tradeoff_curve(net, eps_values=(math.inf, 0.2, 0.0))
+        assert [p.eps for p in points] == [math.inf, 0.2, 0.0]
+        # eps = inf -> MST: perf ratio exactly 1.
+        assert points[0].perf_ratio == pytest.approx(1.0)
+        # path ratio never exceeds 1 + eps.
+        assert points[1].path_ratio <= 1.2 + 1e-9
+        assert points[2].path_ratio <= 1.0 + 1e-9
+
+    def test_p4_curve_monotone(self):
+        """On p4 the averaged BKRUS tradeoff is cleanly monotone."""
+        points = tradeoff.tradeoff_curve(p4())
+        assert tradeoff.is_monotone_tradeoff(points)
+
+    def test_monotone_helper_detects_violation(self):
+        pts = [
+            tradeoff.TradeoffPoint(1.0, 10.0, 1.0, 1.0, 1.0),
+            tradeoff.TradeoffPoint(0.5, 9.0, 1.0, 1.0, 1.0),
+        ]
+        assert not tradeoff.is_monotone_tradeoff(pts)
+
+
+class TestRatioCurves:
+    def test_series_keys_and_shapes(self):
+        nets = [random_net(5, seed) for seed in range(3)]
+        series = tradeoff.ratio_curves(nets, eps_values=(0.2, 1.0))
+        assert set(series) == {
+            "bkex/mst",
+            "bkrus/mst",
+            "bkrus/bkex",
+            "bkh2/mst",
+            "bkh2/bkex",
+        }
+        for curve in series.values():
+            assert [eps for eps, _ in curve] == [0.2, 1.0]
+
+    def test_heuristic_over_exact_at_least_one(self):
+        nets = [random_net(6, 50 + seed) for seed in range(4)]
+        series = tradeoff.ratio_curves(nets, eps_values=(0.2,))
+        for key in ("bkrus/bkex", "bkh2/bkex"):
+            for _, ratio in series[key]:
+                assert ratio >= 1.0 - 1e-9
+
+    def test_bkh2_never_above_bkrus(self):
+        nets = [random_net(6, 80 + seed) for seed in range(4)]
+        series = tradeoff.ratio_curves(nets, eps_values=(0.1, 0.3))
+        for (eps_a, bkh2_ratio), (eps_b, bkrus_ratio) in zip(
+            series["bkh2/mst"], series["bkrus/mst"]
+        ):
+            assert eps_a == eps_b
+            assert bkh2_ratio <= bkrus_ratio + 1e-9
+
+
+class TestLubGrid:
+    def test_grid_shape(self):
+        assert len(tradeoff.PAPER_LUB_GRID) == 6 * 7
+
+    def test_points_cover_feasible_and_infeasible(self):
+        net = random_net(8, 33)
+        points = tradeoff.lub_grid(net, grid=[(0.0, 0.5), (0.95, 0.0)])
+        assert points[0].feasible
+        assert points[0].cost_ratio >= 1.0 - 1e-9
+        # The second combination is tight and typically infeasible; in
+        # either case the point must be well-formed.
+        second = points[1]
+        if second.feasible:
+            assert second.skew <= (1.0 / 0.95) + 1e-6
+        else:
+            assert math.isnan(second.cost_ratio)

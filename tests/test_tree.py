@@ -1,0 +1,196 @@
+"""Unit tests for repro.core.tree (RoutingTree)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net, SOURCE
+from repro.core.tree import (
+    RoutingTree,
+    star_tree,
+    total_cost,
+    tree_from_parent_array,
+)
+from repro.instances.random_nets import random_net
+
+
+@pytest.fixture
+def net():
+    # S=(0,0), a=(2,0), b=(2,3), c=(5,3)
+    return Net((0, 0), [(2, 0), (2, 3), (5, 3)])
+
+
+@pytest.fixture
+def chain(net):
+    return RoutingTree(net, [(0, 1), (1, 2), (2, 3)])
+
+
+class TestValidation:
+    def test_wrong_edge_count(self, net):
+        with pytest.raises(InvalidParameterError):
+            RoutingTree(net, [(0, 1)])
+
+    def test_cycle_detected(self, net):
+        with pytest.raises(InvalidParameterError):
+            RoutingTree(net, [(0, 1), (1, 2), (0, 2)])
+
+    def test_self_loop(self, net):
+        with pytest.raises(InvalidParameterError):
+            RoutingTree(net, [(0, 1), (1, 1), (2, 3)])
+
+    def test_out_of_range(self, net):
+        with pytest.raises(InvalidParameterError):
+            RoutingTree(net, [(0, 1), (1, 2), (3, 4)])
+
+    def test_duplicate_edge(self, net):
+        with pytest.raises(InvalidParameterError):
+            RoutingTree(net, [(0, 1), (1, 0), (2, 3)])
+
+    def test_edges_normalised(self, net):
+        tree = RoutingTree(net, [(1, 0), (2, 1), (3, 2)])
+        assert all(u < v for u, v in tree.edges)
+
+
+class TestStructure:
+    def test_cost(self, chain):
+        assert chain.cost == 2 + 3 + 3
+
+    def test_parents_rooted_at_source(self, chain):
+        parents = chain.parents()
+        assert parents[SOURCE] == -1
+        assert parents[1] == 0
+        assert parents[2] == 1
+        assert parents[3] == 2
+
+    def test_depths(self, chain):
+        assert chain.depths() == [0, 1, 2, 3]
+
+    def test_children(self, chain):
+        assert chain.children() == [[1], [2], [3], []]
+
+    def test_subtree_nodes(self, chain):
+        assert sorted(chain.subtree_nodes(2)) == [2, 3]
+        assert sorted(chain.subtree_nodes(0)) == [0, 1, 2, 3]
+
+    def test_degree(self, chain):
+        assert chain.degree(0) == 1
+        assert chain.degree(1) == 2
+
+    def test_has_edge(self, chain):
+        assert chain.has_edge((1, 0))
+        assert not chain.has_edge((0, 3))
+
+
+class TestPathLengths:
+    def test_source_path_lengths(self, chain):
+        assert np.allclose(chain.source_path_lengths(), [0, 2, 5, 8])
+
+    def test_path_length_pairwise(self, chain):
+        assert chain.path_length(1, 3) == 6.0
+        assert chain.path_length(3, 1) == 6.0
+        assert chain.path_length(2, 2) == 0.0
+
+    def test_path_matrix_consistency(self, chain):
+        matrix = chain.path_matrix()
+        for u in range(4):
+            for v in range(4):
+                assert math.isclose(
+                    matrix[u, v], chain.path_length(u, v), abs_tol=1e-9
+                )
+
+    def test_path_nodes(self, chain):
+        assert chain.path_nodes(0, 3) == [0, 1, 2, 3]
+        assert chain.path_nodes(3, 0) == [3, 2, 1, 0]
+        assert chain.path_nodes(1, 1) == [1]
+
+    def test_path_nodes_through_branch(self, net):
+        tree = RoutingTree(net, [(0, 1), (1, 2), (1, 3)])
+        assert tree.path_nodes(2, 3) == [2, 1, 3]
+
+    def test_longest_and_shortest(self, chain):
+        assert chain.longest_source_path() == 8.0
+        assert chain.shortest_source_path() == 2.0
+
+    def test_node_radius(self, chain):
+        assert chain.node_radius(0) == 8.0
+        assert chain.node_radius(3) == 8.0
+        assert chain.node_radius(1) == 6.0
+
+
+class TestBounds:
+    def test_satisfies_bound(self, chain, net):
+        # R = dist(S, c) = 8; chain radius 8 -> eps 0 ok.
+        assert net.radius() == 8.0
+        assert chain.satisfies_bound(0.0)
+
+    def test_violates_bound(self, net):
+        tree = RoutingTree(net, [(0, 3), (3, 2), (2, 1)])
+        # Path to sink 1 via 3 and 2 is 8 + 3 + 3 = 14 > 8.
+        assert not tree.satisfies_bound(0.0)
+        assert tree.satisfies_bound(1.0)
+
+    def test_lower_bound_and_skew(self, chain):
+        assert chain.satisfies_lower_bound(0.25)  # 2 >= 0.25 * 8
+        assert not chain.satisfies_lower_bound(0.5)
+        assert chain.skew_ratio() == 4.0
+
+
+class TestExchange:
+    def test_exchange_produces_valid_tree(self, chain):
+        swapped = chain.with_exchange((2, 3), (0, 3))
+        assert swapped.has_edge((0, 3))
+        assert not swapped.has_edge((2, 3))
+        assert len(swapped.edges) == 3
+
+    def test_exchange_missing_edge_raises(self, chain):
+        with pytest.raises(InvalidParameterError):
+            chain.with_exchange((0, 3), (1, 3))
+
+    def test_bad_exchange_creates_cycle_and_raises(self, chain):
+        with pytest.raises(InvalidParameterError):
+            chain.with_exchange((0, 1), (2, 3))  # (2,3) already present
+
+
+class TestHelpers:
+    def test_star_tree(self, net):
+        star = star_tree(net)
+        assert star.longest_source_path() == net.radius()
+        assert all(u == SOURCE for u, _ in star.edges)
+
+    def test_tree_from_parent_array(self, net, chain):
+        rebuilt = tree_from_parent_array(net, chain.parents())
+        assert rebuilt == chain
+
+    def test_total_cost(self, net, chain):
+        assert total_cost(net, chain.edges) == chain.cost
+
+    def test_equality_and_hash(self, net, chain):
+        same = RoutingTree(net, [(2, 3), (1, 2), (0, 1)])
+        assert same == chain
+        assert hash(same) == hash(chain)
+        other = RoutingTree(net, [(0, 1), (0, 2), (0, 3)])
+        assert other != chain
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    sinks=st.integers(min_value=2, max_value=9),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_star_path_lengths_equal_direct_distances(sinks, seed):
+    net = random_net(sinks, seed)
+    star = star_tree(net)
+    assert np.allclose(star.source_path_lengths(), net.dist[SOURCE])
+
+
+@settings(deadline=None, max_examples=20)
+@given(seed=st.integers(min_value=0, max_value=200))
+def test_path_matrix_row_source_matches_source_paths(seed):
+    net = random_net(7, seed)
+    from repro.algorithms.mst import mst
+
+    tree = mst(net)
+    assert np.allclose(tree.path_matrix()[SOURCE], tree.source_path_lengths())

@@ -1,0 +1,70 @@
+"""Tests for structural tree diffs."""
+
+import pytest
+
+from repro.algorithms.bkrus import bkrus
+from repro.algorithms.mst import mst
+from repro.analysis.tree_diff import diff_trees, format_diff
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net
+from repro.instances.random_nets import random_net
+
+
+@pytest.fixture
+def net():
+    return random_net(7, 17)
+
+
+class TestDiff:
+    def test_identical(self, net):
+        diff = diff_trees(mst(net), mst(net))
+        assert diff.identical
+        assert diff.cost_delta == 0.0
+        assert format_diff(diff) == "trees identical"
+
+    def test_exchange_detected(self, net):
+        base = mst(net)
+        from repro.algorithms.exchange import iter_all_exchanges
+
+        exchange = next(iter_all_exchanges(base))
+        swapped = exchange.apply(base)
+        diff = diff_trees(base, swapped)
+        assert diff.removed == frozenset({exchange.remove})
+        assert diff.added == frozenset({exchange.add})
+        assert diff.cost_delta == pytest.approx(exchange.weight)
+        assert diff.num_exchanged == 1
+
+    def test_mst_vs_bounded(self, net):
+        base = mst(net)
+        bounded = bkrus(net, 0.0)
+        diff = diff_trees(base, bounded)
+        assert diff.cost_delta >= -1e-9  # the bound can only add wire
+        sink, delta = diff.worst_path_regression()
+        # Tightening the bound shortens the worst paths: the "worst
+        # regression" should be non-positive unless trees are identical.
+        if not diff.identical:
+            assert min(diff.path_deltas.values()) < 0
+
+    def test_different_nets_rejected(self):
+        a = random_net(5, 0)
+        b = random_net(5, 1)
+        with pytest.raises(InvalidParameterError):
+            diff_trees(mst(a), mst(b))
+
+    def test_equal_valued_distinct_net_objects_allowed(self):
+        a = random_net(5, 3)
+        b = random_net(5, 3)  # same seed: identical coordinates
+        diff = diff_trees(mst(a), mst(b))
+        assert diff.identical
+
+
+class TestFormat:
+    def test_lists_edges_and_paths(self, net):
+        base = mst(net)
+        bounded = bkrus(net, 0.0)
+        diff = diff_trees(base, bounded)
+        if diff.identical:
+            pytest.skip("mst already satisfies eps=0 here")
+        text = format_diff(diff)
+        assert "edge(s) exchanged" in text
+        assert "+ (" in text and "- (" in text

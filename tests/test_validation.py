@@ -1,0 +1,65 @@
+"""Tests for the independent tree validators."""
+
+import math
+
+import pytest
+
+from repro.algorithms.mst import mst
+from repro.analysis import validation
+from repro.core.net import Net
+from repro.core.tree import RoutingTree
+from repro.instances.random_nets import random_net
+from repro.steiner.bkst import bkst
+
+
+class TestSpanningCheck:
+    def test_valid_tree_passes(self):
+        net = random_net(6, 0)
+        assert validation.check_spanning_tree(net, list(mst(net).edges)) == []
+
+    def test_wrong_count_reported(self):
+        net = random_net(4, 0)
+        problems = validation.check_spanning_tree(net, [(0, 1)])
+        assert any("expected" in p for p in problems)
+
+    def test_disconnected_reported(self):
+        net = random_net(3, 0)
+        problems = validation.check_spanning_tree(net, [(1, 2), (2, 3)])
+        assert any("reachable" in p for p in problems)
+
+    def test_out_of_range_reported(self):
+        net = random_net(3, 0)
+        problems = validation.check_spanning_tree(net, [(0, 9), (1, 2), (2, 3)])
+        assert any("out of range" in p for p in problems)
+
+
+class TestRoutingTreeCheck:
+    def test_clean_tree(self):
+        net = random_net(6, 1)
+        assert validation.check_routing_tree(mst(net), math.inf) == []
+
+    def test_bound_violation_reported(self):
+        net = Net((0, 0), [(1, 0), (10, 0)])
+        detour = RoutingTree(net, [(0, 2), (2, 1)])
+        problems = validation.check_routing_tree(detour, 0.0)
+        assert any("exceeds bound" in p for p in problems)
+
+    def test_assert_valid_raises(self):
+        with pytest.raises(AssertionError):
+            validation.assert_valid(["boom"])
+        validation.assert_valid([])  # no-op on success
+
+
+class TestSteinerCheck:
+    def test_clean_steiner(self):
+        net = random_net(5, 3)
+        tree = bkst(net, 0.2)
+        assert validation.check_steiner_tree(tree, 0.2) == []
+
+    def test_bound_violation_reported(self):
+        net = random_net(5, 3)
+        tree = bkst(net, 1.0)
+        # Check against a bound tighter than the construction used: it
+        # may or may not fail, but the validator must answer coherently.
+        problems = validation.check_steiner_tree(tree, 0.0)
+        assert (problems == []) == tree.satisfies_bound(0.0)

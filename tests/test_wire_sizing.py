@@ -1,0 +1,143 @@
+"""Tests for discrete wire sizing under Elmore delay."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.mst import mst
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net
+from repro.elmore.delay import source_delays
+from repro.elmore.parameters import DEFAULT_PARAMETERS, scaled_parameters
+from repro.elmore.wire_sizing import (
+    exhaustive_wire_sizing,
+    greedy_wire_sizing,
+    sized_delays,
+    wire_area,
+    worst_sized_delay,
+)
+from repro.instances.random_nets import random_net
+
+PARAMS = DEFAULT_PARAMETERS
+# Widening a wire trades its resistance against capacitance seen by the
+# driver: it only pays when the wire resistance rivals the driver's.
+# STRONG uses a 20x driver so upstream widening is clearly profitable.
+STRONG = scaled_parameters(driver_scale=20.0)
+
+
+class TestSizedDelays:
+    def test_unit_widths_match_plain_elmore(self):
+        net = random_net(7, 5)
+        tree = mst(net)
+        sized = sized_delays(tree, PARAMS, {})
+        plain = source_delays(tree, PARAMS)
+        for node in range(net.num_terminals):
+            assert sized[node] == pytest.approx(float(plain[node]), rel=1e-9)
+
+    def test_widening_the_long_feeder_helps_downstream(self):
+        """Widening a resistive feeder wire speeds everything below it
+        (resistance drops 2x, its own cap counts half upstream)."""
+        net = Net((0, 0), [(5000, 0), (10000, 0)])
+        tree = mst(net)
+        base = worst_sized_delay(tree, STRONG, {})
+        widened = worst_sized_delay(tree, STRONG, {(0, 1): 4.0})
+        assert widened < base
+
+    def test_widening_a_leaf_stub_hurts(self):
+        """Widening the last tiny stub adds capacitance with no
+        resistance to hide: worst delay must not improve."""
+        net = Net((0, 0), [(5000, 0), (5010, 0)])
+        tree = mst(net)
+        base = worst_sized_delay(tree, PARAMS, {})
+        widened = worst_sized_delay(tree, PARAMS, {(1, 2): 4.0})
+        assert widened >= base - 1e-12
+
+    def test_wire_area(self):
+        net = Net((0, 0), [(10, 0), (10, 5)])
+        tree = mst(net)
+        assert wire_area(tree, {}) == pytest.approx(15.0)
+        assert wire_area(tree, {(0, 1): 2.0}) == pytest.approx(25.0)
+
+
+class TestGreedy:
+    def test_never_worse_than_unsized(self):
+        net = random_net(8, 3)
+        tree = mst(net)
+        solution = greedy_wire_sizing(tree, PARAMS)
+        assert solution.worst_delay <= solution.unsized_delay + 1e-12
+        assert solution.improvement >= -1e-12
+
+    def test_solution_is_self_consistent(self):
+        net = random_net(6, 9)
+        tree = mst(net)
+        solution = greedy_wire_sizing(tree, PARAMS)
+        assert solution.worst_delay == pytest.approx(
+            worst_sized_delay(tree, PARAMS, solution.widths), rel=1e-12
+        )
+        assert solution.area == pytest.approx(
+            wire_area(tree, solution.widths), rel=1e-12
+        )
+
+    def test_area_budget_respected(self):
+        net = Net((0, 0), [(5000, 0), (5010, 0)])
+        tree = mst(net)
+        min_area = wire_area(tree, {})
+        solution = greedy_wire_sizing(tree, PARAMS, max_area=min_area)
+        assert solution.area <= min_area + 1e-9
+        assert all(w == 1.0 for w in solution.widths.values())
+
+    def test_long_feeder_gets_widened(self):
+        net = Net((0, 0), [(8000, 0), (16000, 0), (16010, 0)])
+        tree = mst(net)
+        solution = greedy_wire_sizing(tree, STRONG)
+        assert solution.widths[(0, 1)] > 1.0
+        assert solution.improvement > 0.0
+
+    def test_bad_library_rejected(self):
+        net = random_net(4, 0)
+        with pytest.raises(InvalidParameterError):
+            greedy_wire_sizing(mst(net), PARAMS, width_library=[])
+        with pytest.raises(InvalidParameterError):
+            greedy_wire_sizing(mst(net), PARAMS, width_library=[0.0, 1.0])
+
+
+class TestExhaustiveOracle:
+    def test_limit_guard(self):
+        net = random_net(12, 0)
+        with pytest.raises(InvalidParameterError):
+            exhaustive_wire_sizing(mst(net), PARAMS, limit=10)
+
+    @settings(deadline=None, max_examples=10)
+    @given(seed=st.integers(min_value=0, max_value=100))
+    def test_greedy_close_to_optimal_on_tiny_trees(self, seed):
+        """Greedy is not guaranteed optimal, but on 4-terminal trees
+        with a 2-width library it should land within a few percent of
+        the exhaustive optimum (and never below it)."""
+        net = random_net(3, seed).scaled(20.0)  # physically large wires
+        tree = mst(net)
+        library = (1.0, 3.0)
+        greedy = greedy_wire_sizing(tree, PARAMS, width_library=library)
+        exact = exhaustive_wire_sizing(tree, PARAMS, width_library=library)
+        assert greedy.worst_delay >= exact.worst_delay - 1e-9
+        assert greedy.worst_delay <= exact.worst_delay * 1.05 + 1e-9
+
+    def test_exhaustive_respects_area(self):
+        net = Net((0, 0), [(3000, 0)])
+        tree = mst(net)
+        tight = wire_area(tree, {})
+        solution = exhaustive_wire_sizing(
+            tree, PARAMS, width_library=(1.0, 2.0), max_area=tight
+        )
+        assert solution.area <= tight + 1e-9
+
+
+class TestCombinedWithTopology:
+    def test_sizing_on_bounded_tree(self):
+        """Wire sizing composes with the bounded construction: the
+        topology keeps the radius bound, sizing cuts the delay."""
+        from repro.algorithms.bkrus import bkrus
+
+        net = random_net(8, 77).scaled(10.0)
+        tree = bkrus(net, 0.2)
+        solution = greedy_wire_sizing(tree, PARAMS)
+        assert tree.satisfies_bound(0.2)  # geometry untouched
+        assert solution.worst_delay <= solution.unsized_delay + 1e-12

@@ -1,0 +1,121 @@
+"""Tests for the multi-net workload layer."""
+
+import pytest
+
+from repro.algorithms.bkrus import bkrus
+from repro.core.exceptions import InvalidParameterError
+from repro.instances.workloads import (
+    Workload,
+    WorkloadNet,
+    compare_policies,
+    route_workload,
+    synthetic_design,
+)
+from repro.instances.random_nets import random_net
+from repro.steiner.bkst import bkst
+
+
+class TestSyntheticDesign:
+    def test_counts_and_determinism(self):
+        a = synthetic_design(20, seed=7)
+        b = synthetic_design(20, seed=7)
+        assert len(a) == 20
+        assert a.name == b.name
+        for left, right in zip(a.nets, b.nets):
+            assert (left.net.points == right.net.points).all()
+            assert left.critical == right.critical
+
+    def test_sink_range_respected(self):
+        design = synthetic_design(30, seed=1, sinks_low=3, sinks_high=5)
+        for item in design.nets:
+            assert 3 <= item.net.num_sinks <= 5
+
+    def test_critical_fraction(self):
+        design = synthetic_design(100, seed=2, critical_fraction=0.25)
+        assert design.critical_count == 25
+
+    def test_cones_are_local(self):
+        design = synthetic_design(10, seed=3, cone_spread=100.0)
+        for item in design.nets:
+            assert item.net.radius() <= 200.0 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            synthetic_design(0)
+        with pytest.raises(InvalidParameterError):
+            synthetic_design(5, critical_fraction=1.5)
+        with pytest.raises(InvalidParameterError):
+            synthetic_design(5, sinks_low=4, sinks_high=2)
+
+    def test_total_pins(self):
+        design = synthetic_design(5, seed=0, sinks_low=2, sinks_high=2)
+        assert design.total_pins() == 5 * 3
+
+
+class TestRouting:
+    @pytest.fixture(scope="class")
+    def design(self):
+        return synthetic_design(15, seed=11, sinks_high=6)
+
+    def test_report_totals(self, design):
+        report = route_workload(design, lambda net: bkrus(net, 0.2))
+        assert len(report.routed) == 15
+        assert report.total_cost == pytest.approx(
+            sum(net.cost for net in report.routed)
+        )
+        assert report.total_cost >= report.total_mst_cost - 1e-6
+        assert report.cost_overhead >= -1e-9
+
+    def test_critical_nets_bounded(self, design):
+        eps = 0.2
+        report = route_workload(design, lambda net: bkrus(net, eps))
+        assert report.worst_path_ratio <= 1.0 + eps + 1e-9
+        for net in report.critical_nets():
+            assert net.path_ratio <= 1.0 + eps + 1e-9
+
+    def test_non_critical_get_mst(self, design):
+        report = route_workload(design, lambda net: bkrus(net, 0.0))
+        for net in report.routed:
+            if not net.critical:
+                assert net.perf_ratio == pytest.approx(1.0)
+
+    def test_route_everything(self, design):
+        report = route_workload(
+            design, lambda net: bkrus(net, 0.1), critical_only=False
+        )
+        for net in report.routed:
+            assert net.path_ratio <= 1.1 + 1e-9
+
+    def test_steiner_policy_supported(self, design):
+        report = route_workload(design, lambda net: bkst(net, 0.2))
+        assert report.worst_path_ratio <= 1.2 + 1e-9
+
+    def test_compare_policies(self, design):
+        reports = compare_policies(
+            design,
+            [
+                ("tight", lambda net: bkrus(net, 0.0)),
+                ("loose", lambda net: bkrus(net, 1.0)),
+            ],
+        )
+        assert set(reports) == {"tight", "loose"}
+        # Tighter bounds cannot reduce total wirelength.
+        assert (
+            reports["tight"].total_cost >= reports["loose"].total_cost - 1e-6
+        )
+        assert (
+            reports["tight"].worst_path_ratio
+            <= reports["loose"].worst_path_ratio + 1e-9
+        )
+
+    def test_manual_workload(self):
+        workload = Workload(
+            name="manual",
+            nets=[
+                WorkloadNet(random_net(4, 1), critical=True),
+                WorkloadNet(random_net(5, 2), critical=False),
+            ],
+        )
+        report = route_workload(workload, lambda net: bkrus(net, 0.3))
+        assert report.workload == "manual"
+        assert len(report.routed) == 2
