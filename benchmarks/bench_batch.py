@@ -1,0 +1,77 @@
+"""Batch engine study: serial vs parallel execution of one job grid.
+
+Not a paper table — infrastructure evidence for the batch experiment
+engine (`repro.analysis.batch`).  One grid of 10 random nets x 3
+algorithms x 2 eps values runs three ways:
+
+* serially (``n_jobs=1``),
+* through a 4-worker process pool (``n_jobs=4``),
+* serially again with the distance-matrix cache disabled.
+
+Asserted: the three runs produce identical reports (timing aside) in
+identical row order, and every job succeeded.  The recorded table shows
+the wall-clock times; on a multi-core machine the parallel run must
+beat serial (asserted only when the host has >= 2 CPUs — a single-core
+host can only demonstrate identity, not speedup).
+"""
+
+import os
+
+from repro.analysis.batch import expand_grid, reports_identical, run_batch
+from repro.analysis.tables import format_table
+from repro.core.geometry import configure_distance_cache, distance_cache_info
+from repro.instances.random_nets import random_net
+
+from conftest import emit
+
+ALGORITHMS = ("bkrus", "bprim", "brbc")
+EPS_VALUES = (0.1, 0.5)
+NETS = [random_net(30, 900 + seed) for seed in range(10)]
+N_JOBS = 4
+
+
+def build_batch_study():
+    jobs = expand_grid(NETS, ALGORITHMS, EPS_VALUES)
+    serial = run_batch(jobs, n_jobs=1)
+    parallel = run_batch(jobs, n_jobs=N_JOBS)
+    configure_distance_cache(enabled=False)
+    try:
+        uncached = run_batch(jobs, n_jobs=1)
+    finally:
+        configure_distance_cache(enabled=True)
+    return jobs, serial, parallel, uncached
+
+
+def test_batch_serial_vs_parallel(benchmark, results_dir):
+    jobs, serial, parallel, uncached = benchmark.pedantic(
+        build_batch_study, rounds=1
+    )
+    cache = distance_cache_info()
+    speedup = serial.wall_seconds / max(parallel.wall_seconds, 1e-12)
+    rows = [
+        ("jobs", len(jobs)),
+        ("serial wall s", f"{serial.wall_seconds:.3f}"),
+        (f"parallel wall s (n_jobs={N_JOBS})", f"{parallel.wall_seconds:.3f}"),
+        ("serial (cache off) wall s", f"{uncached.wall_seconds:.3f}"),
+        ("speedup x", f"{speedup:.2f}"),
+        ("host cpus", os.cpu_count()),
+        ("fell back to serial", parallel.fell_back_to_serial),
+        ("cache hits / misses", f"{cache.hits} / {cache.misses}"),
+    ]
+    text = format_table(
+        ["quantity", "value"],
+        rows,
+        title=f"Batch engine: {len(NETS)} nets x {len(ALGORITHMS)} algorithms "
+        f"x {len(EPS_VALUES)} eps",
+    )
+    emit(results_dir, "batch_engine.txt", text)
+
+    assert not serial.failures and not parallel.failures
+    assert not uncached.failures
+    # Parallelism and caching must not change a single report or row.
+    assert reports_identical(serial, parallel)
+    assert reports_identical(serial, uncached)
+    # On real multi-core hardware the pool must win outright.
+    cpus = os.cpu_count() or 1
+    if cpus >= 2 and not parallel.fell_back_to_serial:
+        assert parallel.wall_seconds < serial.wall_seconds

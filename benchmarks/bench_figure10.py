@@ -4,6 +4,10 @@ The paper plots cost(BKRUS)/cost(MST), cost(BKEX)/cost(MST),
 cost(BKRUS)/cost(BKEX) and cost(BKH2)/cost(BKEX) across the eps sweep:
 the heuristics hug the exact curve (within ~2% for BKH2) and all
 curves decay toward 1 as eps loosens.
+
+The underlying net x eps x algorithm grid runs through the batch engine
+(`repro.analysis.batch`); set ``REPRO_BENCH_JOBS>1`` to fan it out over
+worker processes — the curves are identical either way.
 """
 
 from repro.analysis.tables import format_table
@@ -16,12 +20,12 @@ EPS_SWEEP = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 1.0)
 NETS = [random_net(8, 40 + seed) for seed in range(10)]
 
 
-def build_figure10():
-    return ratio_curves(NETS, eps_values=EPS_SWEEP)
+def build_figure10(n_jobs: int = 1):
+    return ratio_curves(NETS, eps_values=EPS_SWEEP, n_jobs=n_jobs)
 
 
-def test_figure10(benchmark, results_dir):
-    series = benchmark.pedantic(build_figure10, rounds=1)
+def test_figure10(benchmark, results_dir, bench_jobs):
+    series = benchmark.pedantic(build_figure10, args=(bench_jobs,), rounds=1)
     rows = []
     for index, eps in enumerate(EPS_SWEEP):
         rows.append(

@@ -8,49 +8,56 @@ Paper chart (low cost -> high cost):
 beats pin-to-pin wiring.)  We regenerate the chart as a sorted table of
 average cost ratios at eps = 0.2 over a batch of random nets and assert
 every pairwise ordering the chart draws.
+
+The registry methods run as one job grid through the batch engine
+(``REPRO_BENCH_JOBS>1`` fans them out over processes without changing
+any average); MaxST is not a registry algorithm and stays inline.
 """
 
-from repro.algorithms.bkex import bkex
-from repro.algorithms.bkh2 import bkh2
-from repro.algorithms.bkrus import bkrus
-from repro.algorithms.bprim import bprim_vectorized
-from repro.algorithms.brbc import brbc
 from repro.algorithms.mst import maximal_spanning_tree, mst_cost
+from repro.analysis.batch import expand_grid, run_batch
 from repro.analysis.tables import format_table
-from repro.core.tree import star_tree
 from repro.instances.random_nets import random_net
-from repro.steiner.bkst import bkst
 
 from conftest import emit
 
 EPS = 0.2
 NETS = [random_net(8, 60 + seed) for seed in range(10)]
 
+# registry name -> chart label
+CHART = {
+    "mst": "MST",
+    "bkst": "BKST",
+    "bkex": "BMST_G = BKEX",
+    "bkh2": "BKH2",
+    "bkrus": "BKRUS",
+    "bprim": "BPRIM",
+    "brbc": "BRBC",
+    "spt": "SPT",
+}
 
-def build_figure11():
+
+def build_figure11(n_jobs: int = 1):
+    result = run_batch(
+        expand_grid(NETS, list(CHART), [EPS]), n_jobs=n_jobs
+    )
+    assert not result.failures, result.failures
     sums = {}
-
-    def add(name, value):
-        sums[name] = sums.get(name, 0.0) + value
-
+    for record in result.records:
+        label = CHART[record.algorithm]
+        sums[label] = sums.get(label, 0.0) + record.report.perf_ratio
     for net in NETS:
         reference = mst_cost(net)
-        add("MST", 1.0)
-        add("BKST", bkst(net, EPS).cost / reference)
-        exact = bkex(net, EPS).cost
-        add("BMST_G = BKEX", exact / reference)
-        add("BKH2", bkh2(net, EPS).cost / reference)
-        add("BKRUS", bkrus(net, EPS).cost / reference)
-        add("BPRIM", bprim_vectorized(net, EPS).cost / reference)
-        add("BRBC", brbc(net, EPS).cost / reference)
-        add("SPT", star_tree(net).cost / reference)
-        add("MaxST", maximal_spanning_tree(net).cost / reference)
+        sums["MaxST"] = (
+            sums.get("MaxST", 0.0)
+            + maximal_spanning_tree(net).cost / reference
+        )
     count = len(NETS)
     return {name: total / count for name, total in sums.items()}
 
 
-def test_figure11(benchmark, results_dir):
-    averages = benchmark.pedantic(build_figure11, rounds=1)
+def test_figure11(benchmark, results_dir, bench_jobs):
+    averages = benchmark.pedantic(build_figure11, args=(bench_jobs,), rounds=1)
     ordered = sorted(averages.items(), key=lambda item: item[1])
     text = format_table(
         ["method", "ave cost/MST"],

@@ -12,6 +12,8 @@ Environment knobs (all optional):
   benchmarks of Table 3 (default 48).
 * ``REPRO_BENCH_FULL``   — set to 1 to run the large benchmarks at full
   paper scale (hours of CPU; off by default).
+* ``REPRO_BENCH_JOBS``   — worker processes for the batch-engine-backed
+  modules (default 1 = serial; results are identical either way).
 """
 
 from __future__ import annotations
@@ -43,6 +45,11 @@ def bench_sinks() -> int:
 @pytest.fixture(scope="session")
 def bench_full() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_jobs() -> int:
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 def emit(results_dir: Path, name: str, text: str) -> None:

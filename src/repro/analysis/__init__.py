@@ -1,5 +1,14 @@
 """Evaluation metrics, sweeps, table formatting and validation."""
 
+from repro.analysis.batch import (
+    BatchResult,
+    JobRecord,
+    JobSpec,
+    expand_grid,
+    reports_identical,
+    run_batch,
+    strip_timing,
+)
 from repro.analysis.metrics import (
     TreeReport,
     evaluate,
@@ -30,6 +39,13 @@ from repro.analysis.tradeoff import (
 )
 
 __all__ = [
+    "BatchResult",
+    "JobRecord",
+    "JobSpec",
+    "expand_grid",
+    "reports_identical",
+    "run_batch",
+    "strip_timing",
     "TreeReport",
     "evaluate",
     "path_ratio",

@@ -1,0 +1,319 @@
+"""Parallel batch experiment engine.
+
+Every table and figure of the paper boils down to the same workload
+shape: a grid of ``(net, algorithm, eps)`` jobs, each producing one
+:class:`~repro.analysis.metrics.TreeReport`.  This module makes that
+shape a first-class object:
+
+* :func:`expand_grid` builds the job list (net-major, then eps, then
+  algorithm — the row order of the paper's tables);
+* :func:`run_batch` executes it, either serially or fanned out over a
+  ``concurrent.futures.ProcessPoolExecutor``, and returns the records in
+  job order regardless of completion order;
+* each :class:`JobRecord` carries its own wall-clock time and, on
+  failure, the exception — a slow or crashing configuration shows up as
+  a row, never as a lost result.
+
+Job specs are plain picklable dataclasses (algorithms are addressed by
+registry *name*, nets ship coordinates only — see ``Net.__getstate__``),
+so the same spec list runs unchanged under ``n_jobs=1`` and ``n_jobs=N``.
+Parallel execution must not change results: records come back in
+submission order and the only fields that may differ are the timing
+ones (compare with :func:`strip_timing` / :func:`reports_identical`).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net
+from repro.analysis.metrics import AnyTree, TreeReport, format_eps
+
+__all__ = [
+    "JobSpec",
+    "JobRecord",
+    "BatchResult",
+    "expand_grid",
+    "execute_job",
+    "run_batch",
+    "strip_timing",
+    "reports_identical",
+]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One experiment: run ``algorithm`` on ``net`` at ``eps``.
+
+    ``mst_reference`` (the net's MST cost) may be precomputed so every
+    algorithm on the same net shares one reference; left ``None`` it is
+    computed inside the job.
+    """
+
+    algorithm: str
+    net: Net
+    eps: float
+    mst_reference: Optional[float] = None
+
+    def describe(self) -> str:
+        return (
+            f"{self.algorithm} on {self.net.name or '?'} "
+            f"eps={format_eps(self.eps)}"
+        )
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Outcome of one job: a report or an error, plus its wall time."""
+
+    index: int
+    algorithm: str
+    net_name: str
+    eps: float
+    report: Optional[TreeReport]
+    wall_seconds: float
+    error: Optional[str] = None
+    tree: Optional[AnyTree] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """All job records (in job order) plus whole-batch accounting."""
+
+    records: Tuple[JobRecord, ...]
+    n_jobs: int
+    wall_seconds: float
+    fell_back_to_serial: bool = False
+
+    @property
+    def reports(self) -> List[TreeReport]:
+        """Reports of the successful jobs, in job order."""
+        return [r.report for r in self.records if r.ok and r.report is not None]
+
+    @property
+    def failures(self) -> List[JobRecord]:
+        return [r for r in self.records if not r.ok]
+
+    @property
+    def job_seconds(self) -> float:
+        """Summed per-job wall time (the serial-equivalent cost)."""
+        return sum(r.wall_seconds for r in self.records)
+
+    def rows(self) -> List[tuple]:
+        """Table rows: one per job, failures rendered in place."""
+        rows = []
+        for r in self.records:
+            if r.ok and r.report is not None:
+                rows.append(
+                    (
+                        r.net_name,
+                        r.algorithm,
+                        format_eps(r.eps),
+                        r.report.cost,
+                        r.report.perf_ratio,
+                        r.report.path_ratio,
+                        r.report.cpu_seconds,
+                        r.wall_seconds,
+                        "ok",
+                    )
+                )
+            else:
+                rows.append(
+                    (
+                        r.net_name,
+                        r.algorithm,
+                        format_eps(r.eps),
+                        None,
+                        None,
+                        None,
+                        None,
+                        r.wall_seconds,
+                        (r.error or "failed").splitlines()[0][:60],
+                    )
+                )
+        return rows
+
+
+def expand_grid(
+    nets: Sequence[Net],
+    algorithms: Sequence[str],
+    eps_values: Sequence[float],
+    share_mst_reference: bool = True,
+) -> List[JobSpec]:
+    """The full ``net x eps x algorithm`` job list, in table row order.
+
+    With ``share_mst_reference`` (default) the MST cost of each net is
+    computed once here and stamped on every one of its jobs, so perf
+    ratios across algorithms divide by the identical reference and the
+    MST is not re-solved per job.
+    """
+    from repro.algorithms.mst import mst_cost
+
+    names = list(algorithms)
+    if not names:
+        raise InvalidParameterError("expand_grid needs at least one algorithm")
+    # Validate names eagerly: a typo should fail at grid-build time, not
+    # inside a worker process.
+    from repro.analysis.runners import get_runner
+
+    for name in names:
+        get_runner(name)
+    jobs: List[JobSpec] = []
+    for net in nets:
+        reference = mst_cost(net) if share_mst_reference else None
+        for eps in eps_values:
+            for name in names:
+                jobs.append(
+                    JobSpec(
+                        algorithm=name,
+                        net=net,
+                        eps=eps,
+                        mst_reference=reference,
+                    )
+                )
+    return jobs
+
+
+def _run_spec(spec: JobSpec) -> Tuple[TreeReport, AnyTree]:
+    from repro.analysis.metrics import evaluate, timed
+    from repro.analysis.runners import get_runner
+
+    runner = get_runner(spec.algorithm)
+    tree, seconds = timed(runner, spec.net, spec.eps)
+    report = evaluate(
+        spec.algorithm,
+        spec.net,
+        tree,
+        spec.eps,
+        mst_reference=spec.mst_reference,
+        cpu_seconds=seconds,
+    )
+    return report, tree
+
+
+def execute_job(
+    indexed_spec: Tuple[int, JobSpec], keep_tree: bool = False
+) -> JobRecord:
+    """Run one job, never raising: failures become error records.
+
+    Module-level (not a closure) so it pickles into worker processes.
+    """
+    index, spec = indexed_spec
+    start = time.perf_counter()
+    try:
+        report, tree = _run_spec(spec)
+        return JobRecord(
+            index=index,
+            algorithm=spec.algorithm,
+            net_name=spec.net.name or "?",
+            eps=spec.eps,
+            report=report,
+            wall_seconds=time.perf_counter() - start,
+            tree=tree if keep_tree else None,
+        )
+    except Exception as exc:  # noqa: BLE001 — the record IS the handler
+        detail = traceback.format_exception_only(type(exc), exc)[-1].strip()
+        return JobRecord(
+            index=index,
+            algorithm=spec.algorithm,
+            net_name=spec.net.name or "?",
+            eps=spec.eps,
+            report=None,
+            wall_seconds=time.perf_counter() - start,
+            error=detail,
+        )
+
+
+def _execute_job_with_tree(indexed_spec: Tuple[int, JobSpec]) -> JobRecord:
+    return execute_job(indexed_spec, keep_tree=True)
+
+
+def run_batch(
+    jobs: Sequence[JobSpec],
+    n_jobs: int = 1,
+    keep_trees: bool = False,
+    chunksize: int = 1,
+) -> BatchResult:
+    """Execute ``jobs`` and return their records in job order.
+
+    ``n_jobs=1`` runs serially in-process.  ``n_jobs>1`` fans out over a
+    process pool (``fork`` start method where available, so workers
+    inherit the warm distance-matrix cache); if the pool cannot be
+    created or dies, the remaining work falls back to the serial path
+    and the result is flagged ``fell_back_to_serial``.
+
+    ``keep_trees`` attaches the constructed tree to each record (costs
+    one pickle per tree when parallel) — the validation oracles in
+    ``analysis.validation`` need the tree, not just the report.
+    """
+    if n_jobs < 1:
+        raise InvalidParameterError(f"n_jobs must be >= 1, got {n_jobs}")
+    specs = list(enumerate(jobs))
+    start = time.perf_counter()
+    worker = _execute_job_with_tree if keep_trees else execute_job
+    fell_back = False
+    records: List[JobRecord]
+    if n_jobs == 1 or not specs:
+        records = [worker(spec) for spec in specs]
+    else:
+        try:
+            context = None
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=n_jobs, mp_context=context
+            ) as pool:
+                # Executor.map preserves input order: parallel completion
+                # order can never reorder the rows.
+                records = list(
+                    pool.map(worker, specs, chunksize=max(1, chunksize))
+                )
+        except Exception:
+            # Pool creation or transport failure (sandboxed environment,
+            # broken worker): the jobs themselves never raise, so retry
+            # everything serially rather than losing the batch.
+            fell_back = True
+            records = [worker(spec) for spec in specs]
+    return BatchResult(
+        records=tuple(records),
+        n_jobs=n_jobs,
+        wall_seconds=time.perf_counter() - start,
+        fell_back_to_serial=fell_back,
+    )
+
+
+def strip_timing(report: TreeReport) -> TreeReport:
+    """The report with its timing column neutralised, for comparisons."""
+    return replace(report, cpu_seconds=0.0)
+
+
+def reports_identical(first: BatchResult, second: BatchResult) -> bool:
+    """True when both batches produced the same rows in the same order.
+
+    Timing fields are ignored — they are the only thing allowed to vary
+    between serial and parallel execution of the same job list.
+    """
+    if len(first.records) != len(second.records):
+        return False
+    for a, b in zip(first.records, second.records):
+        if (a.algorithm, a.net_name, a.error) != (b.algorithm, b.net_name, b.error):
+            return False
+        if a.eps != b.eps and not (math.isnan(a.eps) and math.isnan(b.eps)):
+            return False
+        if (a.report is None) != (b.report is None):
+            return False
+        if a.report is not None and b.report is not None:
+            if strip_timing(a.report) != strip_timing(b.report):
+                return False
+    return True

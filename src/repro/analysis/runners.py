@@ -29,12 +29,41 @@ from repro.steiner.bkst import bkst
 Runner = Callable[[Net, float], AnyTree]
 
 
+# Every registry entry is a named module-level function (never a lambda):
+# the batch engine ships jobs across process boundaries, and pickle can
+# only address module-level names.
+
+
 def _mst_runner(net: Net, eps: float) -> RoutingTree:
     return mst(net)
 
 
 def _spt_runner(net: Net, eps: float) -> RoutingTree:
     return spt(net)
+
+
+def _bkrus_per_sink_runner(net: Net, eps: float) -> RoutingTree:
+    return bkrus_per_sink(net, eps)
+
+
+def _bprim_runner(net: Net, eps: float) -> RoutingTree:
+    return bprim_vectorized(net, eps)
+
+
+def _bkh2_runner(net: Net, eps: float) -> RoutingTree:
+    return bkh2(net, eps)
+
+
+def _bkex_runner(net: Net, eps: float) -> RoutingTree:
+    return bkex(net, eps)
+
+
+def _bmst_gabow_runner(net: Net, eps: float) -> RoutingTree:
+    return bmst_gabow(net, eps)
+
+
+def _bkst_runner(net: Net, eps: float):
+    return bkst(net, eps)
 
 
 def _prim_dijkstra_runner(net: Net, eps: float) -> RoutingTree:
@@ -48,14 +77,14 @@ ALGORITHMS: Dict[str, Runner] = {
     "mst": _mst_runner,
     "spt": _spt_runner,
     "bkrus": bkrus,
-    "bkrus_per_sink": lambda net, eps: bkrus_per_sink(net, eps),
-    "bprim": lambda net, eps: bprim_vectorized(net, eps),
+    "bkrus_per_sink": _bkrus_per_sink_runner,
+    "bprim": _bprim_runner,
     "brbc": brbc,
-    "bkh2": lambda net, eps: bkh2(net, eps),
-    "bkex": lambda net, eps: bkex(net, eps),
-    "bmst_g": lambda net, eps: bmst_gabow(net, eps),
+    "bkh2": _bkh2_runner,
+    "bkex": _bkex_runner,
+    "bmst_g": _bmst_gabow_runner,
     "prim_dijkstra": _prim_dijkstra_runner,
-    "bkst": lambda net, eps: bkst(net, eps),
+    "bkst": _bkst_runner,
 }
 
 HEURISTICS = ("bprim", "brbc", "bkrus", "bkh2")
@@ -93,9 +122,31 @@ def run_many(
     net: Net,
     eps: float,
     mst_reference: Optional[float] = None,
+    n_jobs: int = 1,
 ) -> List[TreeReport]:
-    """Run several algorithms on the same net (shared MST reference)."""
-    from repro.algorithms.mst import mst_cost
+    """Run several algorithms on the same net (shared MST reference).
 
+    ``n_jobs > 1`` fans the runs out through the batch engine
+    (:mod:`repro.analysis.batch`); results are identical to the serial
+    path up to the timing columns.
+    """
+    from repro.algorithms.mst import mst_cost
+    from repro.analysis.batch import JobSpec, run_batch
+
+    for name in names:
+        get_runner(name)  # fail fast on typos, as the serial path always did
     reference = mst_reference if mst_reference is not None else mst_cost(net)
-    return [run(name, net, eps, mst_reference=reference) for name in names]
+    if n_jobs == 1:
+        return [run(name, net, eps, mst_reference=reference) for name in names]
+    jobs = [
+        JobSpec(algorithm=name, net=net, eps=eps, mst_reference=reference)
+        for name in names
+    ]
+    result = run_batch(jobs, n_jobs=n_jobs)
+    failures = result.failures
+    if failures:
+        summary = "; ".join(
+            f"{r.algorithm}: {r.error}" for r in failures
+        )
+        raise RuntimeError(f"{len(failures)} batch job(s) failed: {summary}")
+    return result.reports

@@ -93,23 +93,38 @@ def ratio_curves(
     eps_values: Sequence[float] = PAPER_EPS_SWEEP_SET4,
     heuristics: Sequence[str] = ("bkrus", "bkh2"),
     exact: str = "bkex",
+    n_jobs: int = 1,
 ) -> Dict[str, List[Tuple[float, float]]]:
     """Figure 10's averaged curves over a set of (small) nets.
 
     Returns series keyed ``"<name>/mst"`` and ``"<name>/<exact>"``;
-    each series is a list of ``(eps, mean ratio)`` pairs.
+    each series is a list of ``(eps, mean ratio)`` pairs.  The underlying
+    ``net x eps x algorithm`` grid runs through the batch engine, so
+    ``n_jobs > 1`` fans it out over worker processes without changing
+    the curves.
     """
-    exact_runner = get_runner(exact)
+    from repro.analysis.batch import expand_grid, run_batch
+
+    jobs = expand_grid(
+        nets, [exact, *heuristics], eps_values, share_mst_reference=False
+    )
+    result = run_batch(jobs, n_jobs=n_jobs)
+    if result.failures:
+        first = result.failures[0]
+        raise RuntimeError(
+            f"{len(result.failures)} ratio-curve job(s) failed, first: "
+            f"{first.algorithm} on {first.net_name}: {first.error}"
+        )
+    costs: Dict[Tuple[float, str], List[float]] = {}
+    for record in result.records:
+        costs.setdefault((record.eps, record.algorithm), []).append(
+            record.report.cost
+        )
+    mst_costs = [mst_cost(net) for net in nets]
     series: Dict[str, List[Tuple[float, float]]] = {}
     for eps in eps_values:
-        exact_costs = []
-        mst_costs = []
-        heuristic_costs: Dict[str, List[float]] = {h: [] for h in heuristics}
-        for net in nets:
-            mst_costs.append(mst_cost(net))
-            exact_costs.append(exact_runner(net, eps).cost)
-            for h in heuristics:
-                heuristic_costs[h].append(get_runner(h)(net, eps).cost)
+        exact_costs = costs[(eps, exact)]
+        heuristic_costs = {h: costs[(eps, h)] for h in heuristics}
         count = len(nets)
         mean_exact_over_mst = (
             sum(e / m for e, m in zip(exact_costs, mst_costs)) / count

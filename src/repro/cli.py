@@ -3,6 +3,8 @@
 Subcommands
 -----------
 ``route``   — run one algorithm on a benchmark and print its report.
+``batch``   — benchmarks x algorithms x eps grid through the parallel
+              batch engine (``--n-jobs``), with per-job timing rows.
 ``sweep``   — eps sweep of one algorithm on one benchmark (Figure 9 data).
 ``table1``  — print the benchmark characteristics table.
 ``compare`` — run several algorithms on one benchmark side by side.
@@ -17,6 +19,8 @@ Subcommands
 Examples::
 
     repro-cli route --benchmark p3 --algorithm bkrus --eps 0.25
+    repro-cli batch --benchmarks p1,p2,p3 --algorithms mst,bkrus,bprim \
+        --eps-list 0.1 0.2 inf --n-jobs 4
     repro-cli sweep --benchmark p4 --algorithm bkrus
     repro-cli compare --benchmark rnd10_3 --eps 0.2 \
         --algorithms bprim,brbc,bkrus,bkh2
@@ -65,6 +69,54 @@ def _cmd_route(args: argparse.Namespace) -> int:
     ]
     print(format_table(["quantity", "value"], rows))
     return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.analysis.batch import expand_grid, run_batch
+    from repro.core.geometry import distance_cache_info
+
+    nets = [
+        registry.load(name.strip(), scale=args.scale)
+        for name in args.benchmarks.split(",")
+        if name.strip()
+    ]
+    algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+    eps_values = args.eps_list if args.eps_list else [0.2]
+    jobs = expand_grid(nets, algorithms, eps_values)
+    result = run_batch(jobs, n_jobs=args.n_jobs)
+    print(
+        format_table(
+            [
+                "bench",
+                "algorithm",
+                "eps",
+                "cost",
+                "perf ratio",
+                "path ratio",
+                "cpu s",
+                "wall s",
+                "status",
+            ],
+            result.rows(),
+            title=f"Batch: {len(jobs)} jobs over {len(nets)} benchmark(s), "
+            f"n_jobs={result.n_jobs}"
+            + (" (fell back to serial)" if result.fell_back_to_serial else ""),
+        )
+    )
+    cache = distance_cache_info()
+    print(
+        f"\n{len(result.reports)}/{len(jobs)} jobs ok in "
+        f"{result.wall_seconds:.3f}s wall "
+        f"({result.job_seconds:.3f}s summed job time); "
+        f"distance cache: {cache.hits} hits / {cache.misses} misses"
+    )
+    for record in result.failures:
+        print(
+            f"FAILED [{record.index}] {record.algorithm} on "
+            f"{record.net_name} eps={format_eps(record.eps)}: {record.error}",
+            file=sys.stderr,
+        )
+    return 1 if result.failures else 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -316,6 +368,28 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--eps", type=_parse_eps, default=0.2)
     route.add_argument("--scale", type=float, default=None)
     route.set_defaults(func=_cmd_route)
+
+    batch = sub.add_parser(
+        "batch", help="job grid through the parallel batch engine"
+    )
+    batch.add_argument(
+        "--benchmarks", required=True, help="comma-separated benchmark names"
+    )
+    batch.add_argument(
+        "--algorithms",
+        default="bprim,brbc,bkrus,bkh2",
+        help="comma-separated algorithm names",
+    )
+    batch.add_argument(
+        "--eps-list",
+        type=_parse_eps,
+        nargs="*",
+        default=None,
+        help="eps values of the grid (default: 0.2)",
+    )
+    batch.add_argument("--n-jobs", type=int, default=1)
+    batch.add_argument("--scale", type=float, default=None)
+    batch.set_defaults(func=_cmd_batch)
 
     sweep = sub.add_parser("sweep", help="eps sweep (Figure 9 data)")
     sweep.add_argument("--benchmark", required=True)

@@ -13,8 +13,12 @@ arrays; the library never mutates caller-supplied coordinates.
 from __future__ import annotations
 
 import enum
+import hashlib
 import math
-from typing import Iterable, Sequence, Tuple
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -94,6 +98,148 @@ def distance_matrix(points: Sequence[Point], metric: Metric = Metric.L1) -> np.n
     if metric is Metric.L1:
         return np.abs(deltas).sum(axis=2)
     return np.sqrt((deltas ** 2).sum(axis=2))
+
+
+# ----------------------------------------------------------------------
+# Shared distance-matrix cache
+# ----------------------------------------------------------------------
+#
+# Batch sweeps run several algorithms and eps values over the same point
+# sets, and every fresh :class:`~repro.core.net.Net` instance (rebuilt
+# nets, unpickled job specs in worker processes) would otherwise redo the
+# O(n^2) matrix.  The cache is process-local, LRU-bounded and keyed on a
+# digest of the raw coordinate bytes plus the metric, so equal point sets
+# share one read-only matrix.
+
+
+@dataclass(frozen=True)
+class DistanceCacheInfo:
+    """Snapshot of the shared distance-matrix cache counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+    enabled: bool
+
+
+class DistanceMatrixCache:
+    """LRU cache of dense distance matrices, safe to share across threads.
+
+    Cached matrices are marked read-only before they are handed out, so
+    several nets (and algorithms) may hold the same array without any
+    aliasing hazard.
+    """
+
+    def __init__(self, maxsize: int = 32) -> None:
+        if maxsize < 1:
+            raise InvalidParameterError(
+                f"cache maxsize must be >= 1, got {maxsize}"
+            )
+        self.maxsize = maxsize
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[Tuple[str, int, str], np.ndarray]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def key(array: np.ndarray, metric: Metric) -> Tuple[str, int, str]:
+        digest = hashlib.sha256(np.ascontiguousarray(array).tobytes())
+        return (metric.value, int(array.shape[0]), digest.hexdigest())
+
+    def matrix(self, points: Sequence[Point], metric: Metric) -> np.ndarray:
+        """The distance matrix of ``points``, from cache when possible."""
+        array = as_point_array(points)
+        if not self.enabled:
+            matrix = distance_matrix(array, metric)
+            matrix.setflags(write=False)
+            return matrix
+        key = self.key(array, metric)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return cached
+            self.misses += 1
+        # Compute outside the lock; a racing duplicate compute is harmless.
+        matrix = distance_matrix(array, metric)
+        matrix.setflags(write=False)
+        with self._lock:
+            self._entries[key] = matrix
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return matrix
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = self.evictions = 0
+
+    def info(self) -> DistanceCacheInfo:
+        with self._lock:
+            return DistanceCacheInfo(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                size=len(self._entries),
+                maxsize=self.maxsize,
+                enabled=self.enabled,
+            )
+
+
+_SHARED_CACHE = DistanceMatrixCache()
+
+
+def shared_distance_matrix(
+    points: Sequence[Point], metric: Metric = Metric.L1
+) -> np.ndarray:
+    """Like :func:`distance_matrix` but served from the shared LRU cache.
+
+    The returned array is read-only; callers needing a private mutable
+    copy should ``.copy()`` it.
+    """
+    return _SHARED_CACHE.matrix(points, metric)
+
+
+def distance_cache_info() -> DistanceCacheInfo:
+    """Hit/miss/eviction counters of the shared cache."""
+    return _SHARED_CACHE.info()
+
+
+def clear_distance_cache() -> None:
+    """Drop all cached matrices and reset the counters."""
+    _SHARED_CACHE.clear()
+
+
+def configure_distance_cache(
+    maxsize: Optional[int] = None, enabled: Optional[bool] = None
+) -> DistanceCacheInfo:
+    """Resize or toggle the shared cache; returns the new state.
+
+    Shrinking ``maxsize`` evicts oldest entries immediately.  Disabling
+    leaves existing entries in place (they are ignored until re-enabled).
+    """
+    with _SHARED_CACHE._lock:
+        if maxsize is not None:
+            if maxsize < 1:
+                raise InvalidParameterError(
+                    f"cache maxsize must be >= 1, got {maxsize}"
+                )
+            _SHARED_CACHE.maxsize = maxsize
+            while len(_SHARED_CACHE._entries) > maxsize:
+                _SHARED_CACHE._entries.popitem(last=False)
+                _SHARED_CACHE.evictions += 1
+        if enabled is not None:
+            _SHARED_CACHE.enabled = bool(enabled)
+    return _SHARED_CACHE.info()
 
 
 def bounding_box(points: Sequence[Point]) -> Tuple[float, float, float, float]:

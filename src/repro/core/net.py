@@ -107,12 +107,26 @@ class Net:
     # ------------------------------------------------------------------
     @property
     def dist(self) -> np.ndarray:
-        """Dense distance matrix ``D`` (computed once, then cached)."""
+        """Dense distance matrix ``D`` (memoised per net, shared per points).
+
+        The matrix comes from :func:`repro.core.geometry.shared_distance_matrix`,
+        so distinct :class:`Net` instances over equal point sets (rebuilt
+        nets, batch-job copies in worker processes) share one read-only
+        array instead of recomputing it.
+        """
         if self._dist is None:
-            matrix = geometry.distance_matrix(self._points, self.metric)
-            matrix.setflags(write=False)
-            self._dist = matrix
+            self._dist = geometry.shared_distance_matrix(
+                self._points, self.metric
+            )
         return self._dist
+
+    def __getstate__(self) -> dict:
+        # Ship coordinates, not the O(n^2) matrix: the receiving process
+        # rebuilds (or cache-hits) it locally, keeping pickled job specs
+        # small for the batch engine.
+        state = dict(self.__dict__)
+        state["_dist"] = None
+        return state
 
     def distance(self, u: int, v: int) -> float:
         """Distance between terminals ``u`` and ``v``."""

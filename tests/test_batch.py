@@ -1,0 +1,219 @@
+"""Batch engine tests: randomized invariants, parallel identity, failures.
+
+The invariant oracle is ``analysis.validation``: every algorithm in the
+registry, on seeded random nets, must return a structurally valid tree
+that satisfies the eps path-length bound — and the batch engine must
+report exactly the same thing whether it ran serially or over a process
+pool.
+"""
+
+import math
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import runners
+from repro.analysis.batch import (
+    JobSpec,
+    expand_grid,
+    reports_identical,
+    run_batch,
+    strip_timing,
+)
+from repro.analysis.validation import (
+    assert_valid,
+    check_routing_tree,
+    check_steiner_tree,
+)
+from repro.core.exceptions import AlgorithmLimitError, InvalidParameterError
+from repro.instances.random_nets import random_net
+from repro.steiner.bkst import SteinerTree
+
+# mst and prim_dijkstra are unbounded anchors: they may exceed the eps
+# bound by design, so their trees are validated with the bound disabled.
+UNBOUNDED = {"mst", "prim_dijkstra"}
+
+EPS_CHOICES = (0.0, 0.1, 0.3, 0.6, 1.0, math.inf)
+
+
+def validate_tree(tree, eps: float) -> None:
+    if isinstance(tree, SteinerTree):
+        assert_valid(check_steiner_tree(tree, eps))
+    else:
+        assert_valid(check_routing_tree(tree, eps))
+
+
+# ----------------------------------------------------------------------
+# Property-based invariant suite
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(runners.ALGORITHMS))
+@settings(
+    max_examples=6,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    num_sinks=st.integers(min_value=4, max_value=7),
+    seed=st.integers(min_value=0, max_value=99_999),
+    eps=st.sampled_from(EPS_CHOICES),
+)
+def test_every_algorithm_valid_and_bounded(name, num_sinks, seed, eps):
+    """The paper's contract, fuzzed: valid tree, bound respected."""
+    net = random_net(num_sinks, seed)
+    try:
+        tree = runners.ALGORITHMS[name](net, eps)
+    except AlgorithmLimitError:
+        return  # exact solver budget exceeded: allowed, not a wrong tree
+    validate_tree(tree, math.inf if name in UNBOUNDED else eps)
+
+
+@settings(max_examples=4, deadline=None, derandomize=True)
+@given(
+    seed=st.integers(min_value=0, max_value=99_999),
+    eps=st.sampled_from((0.1, 0.4, 1.0)),
+)
+def test_invariants_hold_under_serial_and_parallel(seed, eps):
+    """The oracle, run through the engine both ways on the same grid."""
+    nets = [random_net(5, seed), random_net(6, seed + 1)]
+    names = ["bkrus", "bprim", "brbc", "bkh2", "bkst", "spt"]
+    jobs = expand_grid(nets, names, [eps])
+    serial = run_batch(jobs, n_jobs=1, keep_trees=True)
+    parallel = run_batch(jobs, n_jobs=2, keep_trees=True)
+    assert reports_identical(serial, parallel)
+    for result in (serial, parallel):
+        assert not result.failures
+        for record in result.records:
+            assert record.tree is not None
+            validate_tree(record.tree, record.eps)
+
+
+# ----------------------------------------------------------------------
+# Engine mechanics
+# ----------------------------------------------------------------------
+
+
+class TestExpandGrid:
+    def test_row_order_is_net_eps_algorithm(self):
+        nets = [random_net(4, 1), random_net(4, 2)]
+        jobs = expand_grid(nets, ["mst", "spt"], [0.1, 0.5])
+        key = [(j.net.name, j.eps, j.algorithm) for j in jobs]
+        assert key == [
+            ("rnd4_1", 0.1, "mst"),
+            ("rnd4_1", 0.1, "spt"),
+            ("rnd4_1", 0.5, "mst"),
+            ("rnd4_1", 0.5, "spt"),
+            ("rnd4_2", 0.1, "mst"),
+            ("rnd4_2", 0.1, "spt"),
+            ("rnd4_2", 0.5, "mst"),
+            ("rnd4_2", 0.5, "spt"),
+        ]
+
+    def test_shared_reference_stamped(self):
+        from repro.algorithms.mst import mst_cost
+
+        net = random_net(5, 3)
+        jobs = expand_grid([net], ["mst", "bkrus"], [0.2])
+        assert all(j.mst_reference == mst_cost(net) for j in jobs)
+
+    def test_unknown_algorithm_fails_at_build_time(self):
+        with pytest.raises(InvalidParameterError):
+            expand_grid([random_net(4, 1)], ["nope"], [0.2])
+
+    def test_empty_algorithms_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            expand_grid([random_net(4, 1)], [], [0.2])
+
+
+class TestRunBatch:
+    def test_records_in_job_order_with_indices(self):
+        jobs = expand_grid(
+            [random_net(5, 8), random_net(5, 9)], ["mst", "bkrus"], [0.3]
+        )
+        result = run_batch(jobs, n_jobs=2)
+        assert [r.index for r in result.records] == list(range(len(jobs)))
+        assert [r.algorithm for r in result.records] == [
+            j.algorithm for j in jobs
+        ]
+
+    def test_n_jobs_validated(self):
+        with pytest.raises(InvalidParameterError):
+            run_batch([], n_jobs=0)
+
+    def test_empty_batch(self):
+        result = run_batch([], n_jobs=4)
+        assert result.records == () and result.reports == []
+
+    def test_failure_becomes_record_not_crash(self, monkeypatch):
+        def _boom(net, eps):
+            raise ValueError("injected failure")
+
+        monkeypatch.setitem(runners.ALGORITHMS, "boom", _boom)
+        jobs = [
+            JobSpec(algorithm="boom", net=random_net(4, 5), eps=0.2),
+            JobSpec(algorithm="mst", net=random_net(4, 5), eps=0.2),
+        ]
+        result = run_batch(jobs, n_jobs=1)
+        assert len(result.failures) == 1
+        failed = result.records[0]
+        assert not failed.ok
+        assert "injected failure" in failed.error
+        assert failed.wall_seconds >= 0.0
+        assert result.records[1].ok
+        # Failures render as table rows, not exceptions.
+        assert len(result.rows()) == 2
+        assert result.rows()[0][-1].startswith("ValueError")
+
+    def test_per_job_timing_recorded(self):
+        result = run_batch(
+            expand_grid([random_net(6, 21)], ["bkrus"], [0.2]), n_jobs=1
+        )
+        record = result.records[0]
+        assert record.wall_seconds > 0.0
+        assert record.report.cpu_seconds <= record.wall_seconds + 1e-9
+        assert result.job_seconds >= record.wall_seconds
+
+    def test_strip_timing_neutralises_only_timing(self):
+        report = run_batch(
+            expand_grid([random_net(5, 4)], ["bkrus"], [0.2])
+        ).reports[0]
+        stripped = strip_timing(report)
+        assert stripped.cpu_seconds == 0.0
+        assert stripped.cost == report.cost
+        assert stripped.perf_ratio == report.perf_ratio
+
+
+# ----------------------------------------------------------------------
+# Acceptance sweep: >= 8 nets x >= 3 algorithms, serial vs parallel
+# ----------------------------------------------------------------------
+
+SWEEP_NETS = [random_net(12, 700 + seed) for seed in range(8)]
+SWEEP_ALGOS = ["bkrus", "bprim", "brbc"]
+
+
+def test_sweep_parallel_reports_identical():
+    jobs = expand_grid(SWEEP_NETS, SWEEP_ALGOS, [0.2])
+    serial = run_batch(jobs, n_jobs=1)
+    parallel = run_batch(jobs, n_jobs=4)
+    assert len(serial.records) == 24
+    assert not serial.failures and not parallel.failures
+    assert reports_identical(serial, parallel)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="parallel speedup needs >= 2 CPUs (identity is asserted above)",
+)
+def test_sweep_parallel_faster_than_serial():
+    # Heavier nets so construction dominates the pool's startup cost.
+    nets = [random_net(40, 800 + seed) for seed in range(8)]
+    jobs = expand_grid(nets, SWEEP_ALGOS, [0.1])
+    serial = run_batch(jobs, n_jobs=1)
+    parallel = run_batch(jobs, n_jobs=4)
+    assert reports_identical(serial, parallel)
+    if not parallel.fell_back_to_serial:
+        assert parallel.wall_seconds < serial.wall_seconds

@@ -35,6 +35,31 @@ class TestCommands:
         assert main(["route", "--benchmark", "nope"]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_batch(self, capsys):
+        code = main(
+            [
+                "batch",
+                "--benchmarks",
+                "p1,p2",
+                "--algorithms",
+                "mst,bkrus",
+                "--eps-list",
+                "0.1",
+                "0.5",
+                "--n-jobs",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "8 jobs" in out
+        assert "distance cache" in out
+        assert out.count("ok") >= 8
+
+    def test_batch_unknown_algorithm_fails_cleanly(self, capsys):
+        assert main(["batch", "--benchmarks", "p1", "--algorithms", "nope"]) == 1
+        assert "error:" in capsys.readouterr().err
+
     def test_sweep(self, capsys):
         assert main(["sweep", "--benchmark", "figure5"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,166 @@
+"""The shared distance-matrix cache: accounting, LRU bound, exactness."""
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analysis import runners
+from repro.core.geometry import (
+    Metric,
+    clear_distance_cache,
+    configure_distance_cache,
+    distance_cache_info,
+    distance_matrix,
+    shared_distance_matrix,
+)
+from repro.core.net import Net
+from repro.instances.random_nets import random_net
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Each test starts from an empty, default-sized, enabled cache."""
+    clear_distance_cache()
+    configure_distance_cache(maxsize=32, enabled=True)
+    yield
+    clear_distance_cache()
+    configure_distance_cache(maxsize=32, enabled=True)
+
+
+def points_of(seed: int, n: int = 6):
+    rng = np.random.default_rng(seed)
+    return [tuple(map(float, row)) for row in rng.integers(0, 100, (n, 2))]
+
+
+class TestAccounting:
+    def test_miss_then_hit(self):
+        pts = points_of(1)
+        first = shared_distance_matrix(pts, Metric.L1)
+        info = distance_cache_info()
+        assert (info.hits, info.misses) == (0, 1)
+        second = shared_distance_matrix(list(pts), Metric.L1)
+        info = distance_cache_info()
+        assert (info.hits, info.misses) == (1, 1)
+        assert second is first  # literally the same shared array
+
+    def test_metric_is_part_of_the_key(self):
+        pts = points_of(2)
+        shared_distance_matrix(pts, Metric.L1)
+        shared_distance_matrix(pts, Metric.L2)
+        info = distance_cache_info()
+        assert info.misses == 2 and info.hits == 0
+
+    def test_clear_resets_counters_and_entries(self):
+        shared_distance_matrix(points_of(3), Metric.L1)
+        clear_distance_cache()
+        info = distance_cache_info()
+        assert (info.hits, info.misses, info.evictions, info.size) == (
+            0,
+            0,
+            0,
+            0,
+        )
+
+    def test_returned_matrix_is_read_only(self):
+        matrix = shared_distance_matrix(points_of(4), Metric.L1)
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 1.0
+
+
+class TestLruBound:
+    def test_eviction_at_the_bound(self):
+        configure_distance_cache(maxsize=2)
+        for seed in (10, 11, 12):
+            shared_distance_matrix(points_of(seed), Metric.L1)
+        info = distance_cache_info()
+        assert info.size == 2
+        assert info.evictions == 1
+        # The oldest entry (seed 10) was evicted: touching it misses again.
+        shared_distance_matrix(points_of(10), Metric.L1)
+        assert distance_cache_info().misses == 4
+
+    def test_lru_order_follows_recency(self):
+        configure_distance_cache(maxsize=2)
+        shared_distance_matrix(points_of(20), Metric.L1)
+        shared_distance_matrix(points_of(21), Metric.L1)
+        shared_distance_matrix(points_of(20), Metric.L1)  # refresh 20
+        shared_distance_matrix(points_of(22), Metric.L1)  # evicts 21
+        hits_before = distance_cache_info().hits
+        shared_distance_matrix(points_of(20), Metric.L1)
+        assert distance_cache_info().hits == hits_before + 1
+
+    def test_shrinking_maxsize_evicts_immediately(self):
+        for seed in range(4):
+            shared_distance_matrix(points_of(30 + seed), Metric.L1)
+        info = configure_distance_cache(maxsize=1)
+        assert info.size == 1 and info.evictions == 3
+
+    def test_invalid_maxsize_rejected(self):
+        from repro.core.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            configure_distance_cache(maxsize=0)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("metric", [Metric.L1, Metric.L2])
+    def test_bit_identical_with_caching_on_and_off(self, metric):
+        pts = points_of(40, n=12)
+        reference = distance_matrix(pts, metric)
+        cached = shared_distance_matrix(pts, metric)
+        configure_distance_cache(enabled=False)
+        uncached = shared_distance_matrix(pts, metric)
+        assert cached.tobytes() == reference.tobytes()
+        assert uncached.tobytes() == reference.tobytes()
+        assert np.array_equal(cached, uncached)
+
+    @pytest.mark.parametrize("metric", ["l1", "l2"])
+    def test_net_dist_identical_with_caching_on_and_off(self, metric):
+        cached_net = random_net(9, 77, metric=metric)
+        cached = cached_net.dist.copy()
+        configure_distance_cache(enabled=False)
+        uncached = random_net(9, 77, metric=metric).dist.copy()
+        assert cached.tobytes() == uncached.tobytes()
+
+
+class TestSweepIntegration:
+    def test_multi_eps_sweep_over_one_net_hits_the_cache(self):
+        """The acceptance scenario: one net, several eps values, fresh
+        Net instances per job (as benchmark loops build them) — every
+        instance after the first must hit, and the matrices must equal
+        the uncached computation exactly."""
+        eps_sweep = (0.0, 0.1, 0.2, 0.5, 1.0)
+        reference = distance_matrix(random_net(10, 3).points, Metric.L1)
+        clear_distance_cache()
+        reports = []
+        for eps in eps_sweep:
+            net = random_net(10, 3)  # a fresh instance, same points
+            assert net.dist.tobytes() == reference.tobytes()
+            reports.append(runners.run("bkrus", net, eps))
+        info = distance_cache_info()
+        assert info.hits >= len(eps_sweep) - 1
+        assert info.misses == 1
+        assert len(reports) == len(eps_sweep)
+
+    def test_rebuilt_nets_share_one_matrix(self):
+        first = random_net(8, 5)
+        second = Net(first.source, first.sinks, metric=first.metric)
+        assert first.dist is second.dist
+
+    def test_pickled_net_recomputes_through_cache(self):
+        net = random_net(8, 6)
+        _ = net.dist  # populate
+        clone = pickle.loads(pickle.dumps(net))
+        assert clone._dist is None  # matrix never travels in the pickle
+        hits_before = distance_cache_info().hits
+        assert clone.dist.tobytes() == net.dist.tobytes()
+        assert distance_cache_info().hits == hits_before + 1
+
+    def test_disabled_cache_still_correct_for_algorithms(self):
+        configure_distance_cache(enabled=False)
+        net = random_net(7, 9)
+        report = runners.run("bkrus", net, 0.3)
+        assert math.isfinite(report.cost)
+        assert distance_cache_info().enabled is False

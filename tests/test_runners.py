@@ -1,6 +1,7 @@
 """Tests for the uniform algorithm dispatch layer."""
 
 import math
+import pickle
 
 import pytest
 
@@ -29,6 +30,25 @@ class TestRegistry:
     def test_unknown_name_raises(self):
         with pytest.raises(InvalidParameterError):
             runners.get_runner("magic")
+
+    def test_every_entry_round_trips_through_pickle(self):
+        """Batch jobs cross process boundaries, so every registry entry
+        must be a module-level callable pickle can address — a lambda
+        here would only fail later, inside a worker."""
+        for name, runner in runners.ALGORITHMS.items():
+            clone = pickle.loads(pickle.dumps(runner))
+            assert clone is runner, name
+
+    def test_job_specs_round_trip_through_pickle(self):
+        from repro.analysis.batch import JobSpec
+
+        net = random_net(5, 77)
+        for name in runners.algorithm_names():
+            spec = JobSpec(algorithm=name, net=net, eps=0.2)
+            clone = pickle.loads(pickle.dumps(spec))
+            assert clone.algorithm == name
+            assert clone.eps == spec.eps
+            assert (clone.net.points == net.points).all()
 
 
 class TestRun:
