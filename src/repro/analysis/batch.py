@@ -71,7 +71,12 @@ class JobSpec:
 
 @dataclass(frozen=True)
 class JobRecord:
-    """Outcome of one job: a report or an error, plus its wall time."""
+    """Outcome of one job: a report or an error, plus its wall time.
+
+    Failures carry the exception class name (``error_type``) and the
+    full formatted traceback (``traceback``) so a batch report alone is
+    enough to diagnose them — no re-run needed.
+    """
 
     index: int
     algorithm: str
@@ -81,6 +86,8 @@ class JobRecord:
     wall_seconds: float
     error: Optional[str] = None
     tree: Optional[AnyTree] = None
+    error_type: Optional[str] = None
+    traceback: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -222,8 +229,12 @@ def execute_job(
             wall_seconds=time.perf_counter() - start,
             tree=tree if keep_tree else None,
         )
+    # lint: allow-broad-except(job isolation — every failure must become a record, never a crash)
     except Exception as exc:  # noqa: BLE001 — the record IS the handler
         detail = traceback.format_exception_only(type(exc), exc)[-1].strip()
+        formatted = "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
         return JobRecord(
             index=index,
             algorithm=spec.algorithm,
@@ -232,6 +243,8 @@ def execute_job(
             report=None,
             wall_seconds=time.perf_counter() - start,
             error=detail,
+            error_type=type(exc).__name__,
+            traceback=formatted,
         )
 
 
@@ -279,6 +292,7 @@ def run_batch(
                 records = list(
                     pool.map(worker, specs, chunksize=max(1, chunksize))
                 )
+        # lint: allow-broad-except(pool/transport failure of any kind must fall back to the serial path)
         except Exception:
             # Pool creation or transport failure (sandboxed environment,
             # broken worker): the jobs themselves never raise, so retry

@@ -37,7 +37,10 @@ class TreeReport:
 
     @property
     def skew(self) -> float:
-        if self.shortest_path == 0.0:
+        # Exact zero is the division-by-zero sentinel: path lengths are
+        # sums of non-negative distances, so 0.0 occurs only for the
+        # degenerate no-wire case, never by rounding.
+        if self.shortest_path == 0.0:  # lint: disable=R002 (exact-zero division guard)
             return float("inf")
         return self.longest_path / self.shortest_path
 
@@ -72,7 +75,9 @@ def path_ratio(tree: AnyTree, net: Net) -> float:
 def skew_ratio(tree: AnyTree) -> float:
     """Longest over shortest source-sink path (Table 5's ``s``)."""
     shortest = tree_shortest_path(tree)
-    if shortest == 0.0:
+    # Exact-zero division guard; see TreeReport.skew for why 0.0 cannot
+    # arise from rounding here.
+    if shortest == 0.0:  # lint: disable=R002 (exact-zero division guard)
         return float("inf")
     return tree_longest_path(tree) / shortest
 

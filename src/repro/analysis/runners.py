@@ -96,11 +96,23 @@ def algorithm_names() -> List[str]:
 
 
 def get_runner(name: str) -> Runner:
+    """The registry entry for ``name``, contract-wrapped when enabled.
+
+    With ``REPRO_CHECK_INVARIANTS=1`` the returned callable re-validates
+    its output tree (spanning, bound, path-matrix symmetry, cost) and
+    raises ``ContractViolationError`` on any breach; otherwise the raw
+    registry function is returned untouched.
+    """
     if name not in ALGORITHMS:
         raise InvalidParameterError(
             f"unknown algorithm {name!r}; choose from {algorithm_names()}"
         )
-    return ALGORITHMS[name]
+    runner = ALGORITHMS[name]
+    from repro.devtools.contracts import checked, contracts_enabled
+
+    if contracts_enabled():
+        return checked(runner, algorithm=name)
+    return runner
 
 
 def run(

@@ -84,6 +84,21 @@ def check_steiner_tree(tree: SteinerTree, eps: float = math.inf) -> List[str]:
     return problems
 
 
+def check_tree(tree, eps: float = math.inf) -> List[str]:
+    """Dispatch to the right validator for any registry output type.
+
+    This is the single entry point the contract layer
+    (:mod:`repro.devtools.contracts`) uses: spanning trees go through
+    :func:`check_routing_tree`, Steiner trees through
+    :func:`check_steiner_tree`, and anything else is itself a problem.
+    """
+    if isinstance(tree, RoutingTree):
+        return check_routing_tree(tree, eps)
+    if isinstance(tree, SteinerTree):
+        return check_steiner_tree(tree, eps)
+    return [f"unknown tree type {type(tree).__name__!r}"]
+
+
 def assert_valid(problems: List[str]) -> None:
     """Raise AssertionError listing any problems (test helper)."""
     assert not problems, "; ".join(problems)

@@ -14,6 +14,7 @@ Subcommands
 ``buffer``  — van Ginneken buffer insertion on a BKRUS tree.
 ``table``   — regenerate one of the paper's tables (scaled defaults).
 ``zeroskew`` — exact zero-skew clock tree vs the node-branching LUB tree.
+``lint``    — project-specific static analysis (rules R001-R005).
 ``report``  — stitch benchmarks/results/*.txt into one RESULTS.md.
 
 Examples::
@@ -116,6 +117,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"{record.net_name} eps={format_eps(record.eps)}: {record.error}",
             file=sys.stderr,
         )
+        if record.traceback:
+            print(record.traceback, file=sys.stderr)
     return 1 if result.failures else 0
 
 
@@ -270,6 +273,15 @@ def _cmd_buffer(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools import lint as lint_module
+
+    argv: List[str] = list(args.paths)
+    if args.select:
+        argv = ["--select", args.select] + argv
+    return lint_module.main(argv)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -463,6 +475,20 @@ def build_parser() -> argparse.ArgumentParser:
     zeroskew.add_argument("--eps2", type=float, default=0.0)
     zeroskew.add_argument("--scale", type=float, default=None)
     zeroskew.set_defaults(func=_cmd_zeroskew)
+
+    lint = sub.add_parser(
+        "lint", help="project-specific static analysis (repro-lint)"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    lint.add_argument(
+        "--select", default=None, help="comma-separated rule ids to run"
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     report = sub.add_parser(
         "report", help="stitch persisted benchmark outputs into markdown"

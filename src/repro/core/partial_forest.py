@@ -168,6 +168,9 @@ class PartialForest:
         for node in range(n):
             for other in range(n):
                 if not self.sets.connected(node, other) and node != other:
-                    assert self.P[node, other] == 0.0, (
+                    # Cross-component entries are initialised to exactly
+                    # 0.0 and never written until the components merge,
+                    # so any non-zero bit pattern is corruption.
+                    assert self.P[node, other] == 0.0, (  # lint: disable=R002 (exact-zero untouched-entry sentinel)
                         "P non-zero across components"
                     )

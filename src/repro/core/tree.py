@@ -302,7 +302,11 @@ class RoutingTree:
     def skew_ratio(self) -> float:
         """Longest over shortest source-sink path (Table 5's ``s``)."""
         shortest = self.shortest_source_path()
-        if shortest == 0.0:
+        # Exact zero is the division-by-zero sentinel: a path length is a
+        # sum of strictly positive inter-terminal distances (terminals
+        # are distinct by Net's constructor), so 0.0 never arises from
+        # rounding — only from a degenerate metric.
+        if shortest == 0.0:  # lint: disable=R002 (exact-zero division guard)
             return float("inf")
         return self.longest_source_path() / shortest
 

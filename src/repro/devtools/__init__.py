@@ -1,0 +1,44 @@
+"""Developer-facing correctness tooling: ``repro-lint`` + runtime contracts.
+
+Two complementary layers keep the algorithm invariants machine-checked:
+
+* :mod:`repro.devtools.lint` — an AST-based static analyser with the
+  project-specific rules R001-R005 (seeded randomness, float equality,
+  picklable registry entries, frozen-by-convention core objects, broad
+  exception handlers).  Run it as ``repro-lint``, ``repro-cli lint`` or
+  ``python -m repro.devtools.lint``.
+* :mod:`repro.devtools.contracts` — a ``@checked`` post-condition
+  wrapper around every registry algorithm, activated by
+  ``REPRO_CHECK_INVARIANTS=1`` and free when off.
+
+See ``docs/development.md`` for the full rule catalogue and pragmas.
+
+Submodules are loaded lazily (PEP 562) so ``python -m
+repro.devtools.lint`` does not import the package's own target first.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "ALL_RULES": "repro.devtools.rules",
+    "Rule": "repro.devtools.rules",
+    "Violation": "repro.devtools.rules",
+    "lint_source": "repro.devtools.lint",
+    "run_paths": "repro.devtools.lint",
+    "BOUND_GUARANTEED": "repro.devtools.contracts",
+    "ContractViolationError": "repro.devtools.contracts",
+    "checked": "repro.devtools.contracts",
+    "checked_algorithms": "repro.devtools.contracts",
+    "contracts_enabled": "repro.devtools.contracts",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    if name in _EXPORTS:
+        import importlib
+
+        module = importlib.import_module(_EXPORTS[name])
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

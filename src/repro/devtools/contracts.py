@@ -1,0 +1,125 @@
+"""Runtime post-condition contracts for the algorithm registry.
+
+Setting ``REPRO_CHECK_INVARIANTS=1`` turns every algorithm dispatched
+through :func:`repro.analysis.runners.get_runner` (and therefore
+``run``/``run_many``/the batch engine) into an instrumented version that
+re-validates its own output with the independent checkers of
+:mod:`repro.analysis.validation`:
+
+* the tree spans all terminals (connectivity recomputed from the edges),
+* the longest source path stays within ``(1 + eps) * R`` for every
+  algorithm that promises the bound (:data:`BOUND_GUARANTEED`),
+* the all-pairs path matrix is symmetric with a zero diagonal — the
+  fully-merged analogue of ``PartialForest.P``'s Figure 3 invariant,
+* the cached cost equals the sum of edge lengths.
+
+A violation raises :class:`ContractViolationError` at the call site that
+produced the bad tree, instead of surfacing later as a wrong table cell.
+With the variable unset the dispatch path is untouched (``get_runner``
+returns the raw registry entry), so the mode is free when off.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+import os
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.exceptions import ReproError
+
+__all__ = [
+    "ENV_VAR",
+    "BOUND_GUARANTEED",
+    "ContractViolationError",
+    "contracts_enabled",
+    "check_algorithm_output",
+    "checked",
+    "checked_algorithms",
+]
+
+ENV_VAR = "REPRO_CHECK_INVARIANTS"
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+BOUND_GUARANTEED = frozenset(
+    {
+        "spt",
+        "bkrus",
+        "bkrus_per_sink",
+        "bprim",
+        "brbc",
+        "bkh2",
+        "bkex",
+        "bmst_g",
+        "bkst",
+    }
+)
+"""Algorithms whose output must satisfy ``path <= (1 + eps) * R``.
+
+``mst`` and ``prim_dijkstra`` are unbounded anchors: their trees are
+still structurally validated, but against an infinite bound.
+"""
+
+
+class ContractViolationError(ReproError):
+    """An algorithm's output failed its post-condition checks."""
+
+    def __init__(self, algorithm: str, problems: List[str]) -> None:
+        self.algorithm = algorithm
+        self.problems = list(problems)
+        super().__init__(
+            f"contract violation in {algorithm!r}: " + "; ".join(self.problems)
+        )
+
+
+def contracts_enabled() -> bool:
+    """True when ``REPRO_CHECK_INVARIANTS`` is set to a truthy value."""
+    return os.environ.get(ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+def check_algorithm_output(
+    algorithm: str, net: Any, eps: float, tree: Any
+) -> List[str]:
+    """All post-condition problems with ``tree`` (empty list = ok)."""
+    # Imported lazily: contracts sit below the analysis layer in the
+    # import graph and must not create a cycle at module load.
+    from repro.analysis.validation import check_tree
+
+    effective_eps = eps if algorithm in BOUND_GUARANTEED else math.inf
+    return check_tree(tree, effective_eps)
+
+
+def checked(
+    func: Callable[..., Any], algorithm: Optional[str] = None
+) -> Callable[..., Any]:
+    """Wrap ``(net, eps) -> tree`` with post-condition checking.
+
+    The checks only run when :func:`contracts_enabled` is true at call
+    time, so a wrapper built once can serve both modes; the off-path
+    costs a single environment lookup.
+    """
+    name = algorithm or getattr(func, "__name__", "<anonymous>")
+
+    @functools.wraps(func)
+    def wrapper(net: Any, eps: float, *args: Any, **kwargs: Any) -> Any:
+        tree = func(net, eps, *args, **kwargs)
+        if contracts_enabled():
+            problems = check_algorithm_output(name, net, eps, tree)
+            if problems:
+                raise ContractViolationError(name, problems)
+        return tree
+
+    wrapper.__contract_algorithm__ = name  # type: ignore[attr-defined]
+    return wrapper
+
+
+def checked_algorithms() -> Dict[str, Callable[..., Any]]:
+    """The full registry with every entry wrapped by :func:`checked`.
+
+    For tests and benchmarks that want instrumented runners regardless
+    of the environment variable, pair with a monkeypatched ``ENV_VAR``
+    or call the wrappers under ``REPRO_CHECK_INVARIANTS=1``.
+    """
+    from repro.analysis.runners import ALGORITHMS
+
+    return {name: checked(func, algorithm=name) for name, func in ALGORITHMS.items()}

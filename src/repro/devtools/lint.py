@@ -1,0 +1,231 @@
+"""``repro-lint`` — the project's static analysis gate.
+
+Runs the AST rules of :mod:`repro.devtools.rules` over Python trees and
+reports violations as ``path:line:col: R00X message`` lines, exiting
+non-zero when anything fires.  Three entry points share this module:
+
+* the console script ``repro-lint``,
+* ``python -m repro.devtools.lint``,
+* the CLI subcommand ``repro-cli lint``.
+
+Suppression pragmas
+-------------------
+``# lint: disable=R002`` (optionally with a parenthesised reason)
+    suppresses the named rule(s) on that physical line or the line below
+    when placed on its own line.
+``# lint: disable-file=R004``
+    suppresses the rule(s) for the whole file.
+``# lint: allow-broad-except(reason)``
+    the R005-specific pragma; the reason is mandatory — an empty one
+    leaves the violation standing.
+
+Directories named ``lint_fixtures`` are skipped by the file walker: they
+hold deliberately broken modules the linter's own test suite checks the
+rules against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import re
+import sys
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.devtools.rules import ALL_RULES, Rule, Violation
+
+__all__ = [
+    "Suppressions",
+    "collect_suppressions",
+    "iter_python_files",
+    "lint_source",
+    "lint_file",
+    "run_paths",
+    "main",
+]
+
+EXCLUDED_DIR_NAMES = frozenset(
+    {
+        ".git",
+        "__pycache__",
+        ".hypothesis",
+        ".pytest_cache",
+        "build",
+        "dist",
+        "results",
+        "lint_fixtures",
+    }
+)
+
+_DISABLE_RE = re.compile(
+    r"#\s*lint:\s*(disable|disable-file)\s*=\s*([A-Z][0-9]{3}(?:\s*,\s*[A-Z][0-9]{3})*)"
+)
+_BROAD_EXCEPT_RE = re.compile(r"#\s*lint:\s*allow-broad-except\(([^)]*)\)")
+
+
+@dataclass
+class Suppressions:
+    """Which rules are silenced where, parsed from a file's comments."""
+
+    file_level: Set[str] = field(default_factory=set)
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def add(self, line: int, rule: str) -> None:
+        self.by_line.setdefault(line, set()).add(rule)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        if rule in self.file_level:
+            return True
+        if rule in self.by_line.get(line, ()):
+            return True
+        # A pragma on its own line guards the statement below it.
+        return rule in self.by_line.get(line - 1, ())
+
+
+def collect_suppressions(source: str) -> Suppressions:
+    """Parse the ``# lint:`` pragmas out of ``source``'s comments."""
+    suppressions = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        line = token.start[0]
+        for match in _DISABLE_RE.finditer(token.string):
+            rules = {r.strip() for r in match.group(2).split(",")}
+            if match.group(1) == "disable-file":
+                suppressions.file_level.update(rules)
+            else:
+                for rule in rules:
+                    suppressions.add(line, rule)
+        for match in _BROAD_EXCEPT_RE.finditer(token.string):
+            if match.group(1).strip():
+                suppressions.add(line, "R005")
+    return suppressions
+
+
+def lint_source(
+    source: str,
+    filename: str,
+    rules: Optional[Sequence[Rule]] = None,
+    respect_scope: bool = True,
+) -> List[Violation]:
+    """Lint one source string; ``filename`` drives per-rule scoping."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=filename,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule="R000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    suppressions = collect_suppressions(source)
+    violations: List[Violation] = []
+    for rule in rules if rules is not None else ALL_RULES:
+        if respect_scope and not rule.applies_to(filename):
+            continue
+        for violation in rule.check(tree, filename):
+            if not suppressions.suppressed(violation.rule, violation.line):
+                violations.append(violation)
+    violations.sort(key=lambda v: (v.line, v.col, v.rule))
+    return violations
+
+
+def lint_file(
+    path: Path, rules: Optional[Sequence[Rule]] = None
+) -> List[Violation]:
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, str(path), rules=rules)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths``, skipping excluded directories."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for candidate in sorted(path.rglob("*.py")):
+            if any(part in EXCLUDED_DIR_NAMES for part in candidate.parts):
+                continue
+            yield candidate
+
+
+def run_paths(
+    paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
+) -> List[Violation]:
+    """Lint every Python file under ``paths`` and return all violations."""
+    violations: List[Violation] = []
+    for path in iter_python_files(paths):
+        violations.extend(lint_file(path, rules=rules))
+    return violations
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in ALL_RULES:
+        scope = "src/repro only" if rule.library_only else "all linted trees"
+        lines.append(f"{rule.id}  {rule.title}  [{scope}]")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Project-specific static analysis for the repro library "
+        "(rules R001-R005; see docs/development.md).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    rules: Optional[Sequence[Rule]] = None
+    if args.select:
+        wanted = {r.strip().upper() for r in args.select.split(",") if r.strip()}
+        unknown = wanted - {rule.id for rule in ALL_RULES}
+        if unknown:
+            print(f"error: unknown rule(s): {sorted(unknown)}", file=sys.stderr)
+            return 2
+        rules = [rule for rule in ALL_RULES if rule.id in wanted]
+    try:
+        violations = run_paths(args.paths, rules=rules)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"repro-lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,382 @@
+"""The project-specific lint rules behind ``repro-lint``.
+
+Each rule is a small AST visitor producing :class:`Violation` records.
+The rules encode conventions that plain pytest only notices once they
+break at runtime — see ``docs/development.md`` for the catalogue, the
+rationale of each rule and the suppression pragmas.
+
+Rules marked ``library_only`` apply to files inside the ``repro``
+package (any path with a ``repro`` directory component); the remaining
+rules also police ``tests/`` and ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import PurePath
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+__all__ = ["Violation", "Rule", "ALL_RULES", "is_library_path"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding: where it is, which rule fired, and why."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def is_library_path(filename: str) -> bool:
+    """True for files inside the ``repro`` package (``src/repro/**``)."""
+    return "repro" in PurePath(filename.replace("\\", "/")).parts
+
+
+def _dotted_chain(node: ast.AST) -> Tuple[str, ...]:
+    """``a.b.c`` as ``("a", "b", "c")``; empty tuple if not a plain chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``title`` and implement check()."""
+
+    id: str = "R000"
+    title: str = ""
+    library_only: bool = False
+
+    def applies_to(self, filename: str) -> bool:
+        return not self.library_only or is_library_path(filename)
+
+    def check(self, tree: ast.Module, filename: str) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, node: ast.AST, filename: str, message: str) -> Violation:
+        return Violation(
+            path=filename,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            message=message,
+        )
+
+
+class UnseededRandomRule(Rule):
+    """R001 — all randomness must flow through an explicit rng/seed.
+
+    Module-level RNG state (``random.random()``, ``np.random.rand()``)
+    makes algorithm output depend on call order, which breaks the
+    determinism contract every construction in this library promises.
+    Allowed: constructing explicit generators (``np.random.default_rng``,
+    ``random.Random``) that take the seed as an argument.
+    """
+
+    id = "R001"
+    title = "unseeded random/np.random call"
+    library_only = True
+
+    ALLOWED_NUMPY = frozenset(
+        {"default_rng", "Generator", "BitGenerator", "SeedSequence", "PCG64", "Philox"}
+    )
+    ALLOWED_STDLIB = frozenset({"Random"})
+
+    def check(self, tree: ast.Module, filename: str) -> Iterator[Violation]:
+        aliases: Dict[str, Tuple[str, ...]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    target = tuple(alias.name.split("."))
+                    if target[0] in ("random", "numpy"):
+                        aliases[alias.asname or target[0]] = target
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                module = tuple(node.module.split("."))
+                for alias in node.names:
+                    full = module + (alias.name,)
+                    if full == ("numpy", "random"):
+                        aliases[alias.asname or alias.name] = full
+                        continue
+                    if module == ("random",) and alias.name not in self.ALLOWED_STDLIB:
+                        yield self.violation(
+                            node,
+                            filename,
+                            f"from random import {alias.name}: pass an "
+                            "explicit rng/seed instead of module-level state",
+                        )
+                    elif (
+                        module == ("numpy", "random")
+                        and alias.name not in self.ALLOWED_NUMPY
+                    ):
+                        yield self.violation(
+                            node,
+                            filename,
+                            f"from numpy.random import {alias.name}: use "
+                            "numpy.random.default_rng(seed) and pass the rng",
+                        )
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _dotted_chain(node.func)
+            if not chain or chain[0] not in aliases:
+                continue
+            full = aliases[chain[0]] + chain[1:]
+            if full[:1] == ("random",) and len(full) == 2:
+                if full[1] not in self.ALLOWED_STDLIB:
+                    yield self.violation(
+                        node,
+                        filename,
+                        f"unseeded call random.{full[1]}(): route randomness "
+                        "through an explicit rng/seed parameter",
+                    )
+            elif full[:2] == ("numpy", "random") and len(full) == 3:
+                if full[2] not in self.ALLOWED_NUMPY:
+                    yield self.violation(
+                        node,
+                        filename,
+                        f"unseeded call np.random.{full[2]}(): use "
+                        "np.random.default_rng(seed) and pass the rng",
+                    )
+
+
+class FloatEqualityRule(Rule):
+    """R002 — no ``==``/``!=`` against float expressions.
+
+    Geometric quantities accumulate rounding; exact comparison is almost
+    always a latent bug.  Use ``math.isclose``/``np.isclose`` or, where
+    exact zero is a genuine sentinel (division guards, untouched matrix
+    entries), suppress with ``# lint: disable=R002 (why exact is right)``.
+    """
+
+    id = "R002"
+    title = "float equality comparison"
+    library_only = True
+
+    @staticmethod
+    def _is_float_expr(node: ast.AST) -> bool:
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            node = node.operand
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "float"
+        ):
+            return True
+        return False
+
+    def check(self, tree: ast.Module, filename: str) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            left = node.left
+            for op, right in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                    self._is_float_expr(left) or self._is_float_expr(right)
+                ):
+                    yield self.violation(
+                        node,
+                        filename,
+                        "float equality: use math.isclose(...) or mark an "
+                        "exact-zero sentinel with `# lint: disable=R002 (reason)`",
+                    )
+                left = right
+
+
+class RegistryPicklableRule(Rule):
+    """R003 — every ``ALGORITHMS`` entry must be a named module-level callable.
+
+    The batch engine ships jobs across process boundaries; pickle can
+    only address module-level names, so a lambda or closure in the
+    registry fails later, inside a worker, with an opaque error.
+    """
+
+    id = "R003"
+    title = "non-picklable registry entry"
+    library_only = False
+
+    REGISTRY_NAMES = frozenset({"ALGORITHMS"})
+
+    @staticmethod
+    def _module_level_callables(tree: ast.Module) -> Set[str]:
+        names: Set[str] = set()
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(node.name)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    names.add(alias.asname or alias.name.split(".")[0])
+        return names
+
+    def _check_value(
+        self, value: ast.AST, filename: str, module_names: Set[str], at_module_level: bool
+    ) -> Iterator[Violation]:
+        if isinstance(value, ast.Lambda):
+            yield self.violation(
+                value,
+                filename,
+                "lambda in ALGORITHMS is not picklable; define a named "
+                "module-level runner function",
+            )
+        elif isinstance(value, ast.Call):
+            yield self.violation(
+                value,
+                filename,
+                "computed callable in ALGORITHMS (closure/partial) is not "
+                "picklable; define a named module-level runner function",
+            )
+        elif isinstance(value, ast.Name):
+            if at_module_level and value.id not in module_names:
+                yield self.violation(
+                    value,
+                    filename,
+                    f"ALGORITHMS entry {value.id!r} is not a module-level "
+                    "def/import; pickle cannot address it",
+                )
+
+    def check(self, tree: ast.Module, filename: str) -> Iterator[Violation]:
+        module_names = self._module_level_callables(tree)
+        module_statements = set(map(id, tree.body))
+        for node in ast.walk(tree):
+            targets: List[ast.AST] = []
+            value = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None:
+                continue
+            at_top = id(node) in module_statements
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in self.REGISTRY_NAMES
+                    and isinstance(value, ast.Dict)
+                ):
+                    for entry in value.values:
+                        yield from self._check_value(
+                            entry, filename, module_names, at_top
+                        )
+                elif (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in self.REGISTRY_NAMES
+                ):
+                    yield from self._check_value(value, filename, module_names, at_top)
+
+
+class FrozenCoreObjectsRule(Rule):
+    """R004 — ``Net``/``Tree``/forest attributes are frozen by convention.
+
+    Algorithms share these objects (and their cached views) freely;
+    mutating them outside their defining module silently corrupts every
+    other holder.  The rule flags attribute assignment on variables whose
+    name marks them as nets/trees/forests (``net``, ``tree``, ``*_net``,
+    ``*_tree``, ``forest``, ``steiner``) anywhere except the modules that
+    define those classes.  Deliberate tampering in corruption tests must
+    carry ``# lint: disable=R004 (reason)``.
+    """
+
+    id = "R004"
+    title = "mutation of frozen-by-convention core object"
+    library_only = False
+
+    DEFINING_MODULES = (
+        "core/net.py",
+        "core/tree.py",
+        "core/partial_forest.py",
+        "steiner/bkst.py",
+        "steiner/grid_graph.py",
+    )
+    _BASE = re.compile(r"(?:.*_)?(net|tree|forest|steiner)$")
+
+    def applies_to(self, filename: str) -> bool:
+        normalized = filename.replace("\\", "/")
+        return not any(normalized.endswith(m) for m in self.DEFINING_MODULES)
+
+    def _base_matches(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return bool(self._BASE.match(node.id))
+        if isinstance(node, ast.Attribute):
+            return node.attr in ("net", "tree", "forest")
+        return False
+
+    def _flag_target(self, target: ast.AST, filename: str) -> Iterator[Violation]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._flag_target(element, filename)
+        elif isinstance(target, ast.Attribute) and self._base_matches(target.value):
+            yield self.violation(
+                target,
+                filename,
+                f"mutates attribute {target.attr!r} of a Net/Tree object "
+                "outside its defining module; these are shared and frozen "
+                "by convention",
+            )
+
+    def check(self, tree: ast.Module, filename: str) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield from self._flag_target(target, filename)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                yield from self._flag_target(node.target, filename)
+
+
+class BroadExceptRule(Rule):
+    """R005 — no bare/broad ``except`` without a justification pragma.
+
+    A blanket handler hides infeasibility errors and genuine bugs alike.
+    Where swallowing everything is the point (job isolation, fallbacks),
+    annotate with ``# lint: allow-broad-except(reason)``.
+    """
+
+    id = "R005"
+    title = "broad exception handler"
+    library_only = True
+
+    BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+    def _is_broad(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.BROAD_NAMES
+        if isinstance(node, ast.Attribute):
+            return node.attr in self.BROAD_NAMES
+        if isinstance(node, ast.Tuple):
+            return any(self._is_broad(element) for element in node.elts)
+        return False
+
+    def check(self, tree: ast.Module, filename: str) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None or self._is_broad(node.type):
+                label = "bare except" if node.type is None else "broad except"
+                yield self.violation(
+                    node,
+                    filename,
+                    f"{label}: catch a specific exception or annotate with "
+                    "`# lint: allow-broad-except(reason)`",
+                )
+
+
+ALL_RULES: Sequence[Rule] = (
+    UnseededRandomRule(),
+    FloatEqualityRule(),
+    RegistryPicklableRule(),
+    FrozenCoreObjectsRule(),
+    BroadExceptRule(),
+)

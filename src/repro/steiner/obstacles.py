@@ -21,6 +21,7 @@ validation/rendering machinery applies.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
@@ -154,7 +155,7 @@ def obstacle_mst(net: Net, obstacles: Sequence[Obstacle]) -> SteinerTree:
     sets = DisjointSet(grid.num_nodes)
     edges: List[Tuple[int, int]] = []
     for length, a, b in pairs:
-        if length == float("inf"):
+        if math.isinf(length):
             raise InfeasibleError("obstacles disconnect the terminals")
         if sets.connected(a, b):
             continue

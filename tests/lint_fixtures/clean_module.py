@@ -1,0 +1,28 @@
+"""Fixture: idiomatic code none of the rules should flag."""
+
+import math
+
+import numpy as np
+
+
+def _runner(net, eps):
+    return net, eps
+
+
+ALGORITHMS = {"good": _runner}
+
+
+def sample(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    return float(rng.uniform())
+
+
+def close(x: float) -> bool:
+    return math.isclose(x, 1.0, rel_tol=0.0, abs_tol=1e-9)
+
+
+def narrow():
+    try:
+        return 1
+    except ValueError:
+        return None

@@ -1,0 +1,23 @@
+"""Fixture: seeded R001 violations (unseeded module-level randomness).
+
+Never imported — read as text by tests/test_lint.py and linted under a
+pretend ``src/repro/...`` path so the library-scoped rules apply.
+"""
+
+import random
+
+import numpy as np
+from random import randint  # R001: module-level state smuggled in
+
+
+def jitter() -> float:
+    return random.random()  # R001: unseeded stdlib call
+
+
+def noise():
+    return np.random.rand(3)  # R001: legacy global numpy RNG
+
+
+def ok(seed: int):
+    rng = np.random.default_rng(seed)  # allowed: explicit generator
+    return rng.uniform(size=3), randint

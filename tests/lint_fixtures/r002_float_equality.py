@@ -1,0 +1,21 @@
+"""Fixture: seeded R002 violations (float equality comparisons)."""
+
+import math
+
+
+def exact_compare(x: float) -> bool:
+    return x == 0.5  # R002
+
+
+def exact_not_equal(x: float) -> bool:
+    return x != -1.0  # R002
+
+
+def cast_compare(x: str) -> bool:
+    return float(x) == float("0.25")  # R002
+
+
+def ok(x: float) -> bool:
+    if x == 3:  # int comparison: not flagged
+        return True
+    return math.isclose(x, 0.5, rel_tol=0.0, abs_tol=1e-9)

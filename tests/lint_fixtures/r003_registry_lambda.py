@@ -1,0 +1,21 @@
+"""Fixture: seeded R003 violations (non-picklable registry entries)."""
+
+
+def _named_runner(net, eps):
+    return None
+
+
+def _make_runner(flag):
+    def inner(net, eps):
+        return flag
+
+    return inner
+
+
+ALGORITHMS = {
+    "good": _named_runner,
+    "lam": lambda net, eps: None,  # R003: lambda
+    "made": _make_runner(True),  # R003: closure factory call
+}
+
+ALGORITHMS["late_lam"] = lambda net, eps: 0  # R003: lambda via subscript

@@ -1,0 +1,24 @@
+"""Fixture: seeded R004 violations (mutating frozen-by-convention objects)."""
+
+
+def corrupt_cost(tree):
+    tree._cost = 0.0  # R004
+
+
+def rename(net):
+    net.name = "evil"  # R004
+
+
+def bump(spanning_tree):
+    spanning_tree.cost += 1.0  # R004 (augmented assignment)
+
+
+def nested(record):
+    record.tree.net = None  # R004 (attribute base ending in .tree)
+
+
+def ok(tree):
+    edges = list(tree.edges)  # reading is fine
+    local_copy = {"cost": 0.0}
+    local_copy["cost"] = 1.0  # plain dict: not flagged
+    return edges

@@ -1,0 +1,36 @@
+"""Fixture: seeded R005 violations (broad exception handlers)."""
+
+
+def bare():
+    try:
+        return 1
+    except:  # R005: bare
+        return None
+
+
+def broad():
+    try:
+        return 1
+    except Exception:  # R005: broad
+        return None
+
+
+def broad_tuple():
+    try:
+        return 1
+    except (ValueError, Exception):  # R005: Exception hides in the tuple
+        return None
+
+
+def empty_reason():
+    try:
+        return 1
+    except Exception:  # lint: allow-broad-except()  <- empty reason: still R005
+        return None
+
+
+def ok():
+    try:
+        return 1
+    except ValueError:
+        return None

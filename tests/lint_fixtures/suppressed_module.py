@@ -1,0 +1,33 @@
+"""Fixture: every violation carries a pragma — must lint clean.
+
+Exercises same-line pragmas, line-above pragmas, the R005-specific
+``allow-broad-except(reason)`` form, and file-level suppression.
+"""
+
+# lint: disable-file=R001
+
+import random
+
+HITS = random.random()  # silenced by the file-level R001 pragma
+
+
+def guarded(x: float) -> bool:
+    return x == 0.0  # lint: disable=R002 (exact-zero sentinel for the fixture)
+
+
+def guarded_above(x: float) -> bool:
+    # lint: disable=R002
+    return x != 1.0
+
+
+def tampered(tree):
+    # lint: disable=R004 (fixture demonstrates the line-above pragma)
+    tree._cost = 0.0
+
+
+def isolated():
+    try:
+        return 1
+    # lint: allow-broad-except(fixture demonstrates the R005 pragma)
+    except Exception:
+        return None

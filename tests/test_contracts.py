@@ -1,0 +1,172 @@
+"""Tests for the runtime contract layer (REPRO_CHECK_INVARIANTS).
+
+The contract mode must (a) stay completely out of the way when off,
+(b) pass every genuine algorithm, and (c) reject deliberately corrupted
+trees — the whole point of an instrumented mode is that corruption
+surfaces at the producing call site.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms.mst import mst
+from repro.analysis import runners
+from repro.analysis.batch import JobSpec, run_batch
+from repro.core.net import Net
+from repro.core.tree import RoutingTree
+from repro.devtools.contracts import (
+    BOUND_GUARANTEED,
+    ENV_VAR,
+    ContractViolationError,
+    check_algorithm_output,
+    checked,
+    checked_algorithms,
+    contracts_enabled,
+)
+from repro.instances.random_nets import random_net
+
+
+@pytest.fixture
+def contracts_on(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "1")
+
+
+@pytest.fixture
+def contracts_off(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+
+
+def _detour_net() -> Net:
+    """Source, a near sink and a far sink: routing 1 via 2 breaks eps=0."""
+    return Net((0.0, 0.0), [(1.0, 0.0), (10.0, 0.0)], name="detour")
+
+
+def _detour_runner(net: Net, eps: float) -> RoutingTree:
+    return RoutingTree(net, [(0, 2), (2, 1)])
+
+
+def _corrupt_cost_runner(net: Net, eps: float) -> RoutingTree:
+    tree = mst(net)
+    tree.cost  # materialise the cache before tampering
+    # lint: disable=R004 (deliberate corruption — the contract must catch it)
+    tree._cost = tree._cost + 100.0
+    return tree
+
+
+def _asymmetric_matrix_runner(net: Net, eps: float) -> RoutingTree:
+    tree = mst(net)
+    matrix = tree.path_matrix().copy()
+    matrix[0, 1] += 7.0  # break symmetry in the cached view
+    # lint: disable=R004 (deliberate corruption — the contract must catch it)
+    tree._path_matrix = matrix
+    return tree
+
+
+class TestEnabledSwitch:
+    def test_off_by_default(self, contracts_off):
+        assert not contracts_enabled()
+
+    @pytest.mark.parametrize("value", ["1", "true", "YES", " on "])
+    def test_truthy_values(self, monkeypatch, value):
+        monkeypatch.setenv(ENV_VAR, value)
+        assert contracts_enabled()
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "off"])
+    def test_falsy_values(self, monkeypatch, value):
+        monkeypatch.setenv(ENV_VAR, value)
+        assert not contracts_enabled()
+
+    def test_get_runner_untouched_when_off(self, contracts_off):
+        assert runners.get_runner("mst") is runners.ALGORITHMS["mst"]
+
+    def test_get_runner_wrapped_when_on(self, contracts_on):
+        wrapped = runners.get_runner("bkrus")
+        assert wrapped is not runners.ALGORITHMS["bkrus"]
+        assert wrapped.__contract_algorithm__ == "bkrus"
+
+
+class TestContractsPassGenuineAlgorithms:
+    def test_run_all_algorithms_under_contracts(self, contracts_on):
+        net = random_net(6, 42)
+        for name in runners.algorithm_names():
+            report = runners.run(name, net, 0.3)
+            assert report.algorithm == name
+
+    def test_checked_algorithms_registry(self, contracts_on):
+        net = random_net(5, 7)
+        instrumented = checked_algorithms()
+        assert set(instrumented) == set(runners.ALGORITHMS)
+        tree = instrumented["bkrus"](net, 0.2)
+        assert tree.satisfies_bound(0.2)
+
+
+class TestContractsCatchCorruption:
+    def test_corrupted_cost_rejected(self, contracts_on):
+        wrapped = checked(_corrupt_cost_runner, algorithm="mst")
+        with pytest.raises(ContractViolationError, match="cost"):
+            wrapped(random_net(5, 3), math.inf)
+
+    def test_asymmetric_path_matrix_rejected(self, contracts_on):
+        wrapped = checked(_asymmetric_matrix_runner, algorithm="mst")
+        with pytest.raises(ContractViolationError, match="symmetric"):
+            wrapped(random_net(5, 3), math.inf)
+
+    def test_bound_violation_rejected_for_promising_algorithm(self, contracts_on):
+        assert "bkrus" in BOUND_GUARANTEED
+        wrapped = checked(_detour_runner, algorithm="bkrus")
+        with pytest.raises(ContractViolationError, match="bound"):
+            wrapped(_detour_net(), 0.0)
+
+    def test_unbounded_algorithms_not_bound_checked(self, contracts_on):
+        assert "mst" not in BOUND_GUARANTEED
+        wrapped = checked(_detour_runner, algorithm="mst")
+        tree = wrapped(_detour_net(), 0.0)  # structurally valid: no raise
+        assert len(tree.edges) == 2
+
+    def test_non_tree_output_rejected(self, contracts_on):
+        problems = check_algorithm_output("mst", _detour_net(), math.inf, object())
+        assert problems and "unknown tree type" in problems[0]
+
+    def test_corruption_ignored_when_off(self, contracts_off):
+        wrapped = checked(_corrupt_cost_runner, algorithm="mst")
+        tree = wrapped(random_net(5, 3), math.inf)  # no checks, no raise
+        assert tree is not None
+
+    def test_error_message_names_algorithm_and_problems(self, contracts_on):
+        wrapped = checked(_detour_runner, algorithm="bkrus")
+        with pytest.raises(ContractViolationError) as excinfo:
+            wrapped(_detour_net(), 0.0)
+        assert excinfo.value.algorithm == "bkrus"
+        assert excinfo.value.problems
+
+
+class TestBatchIntegration:
+    def test_contract_failure_becomes_diagnosable_record(
+        self, contracts_on, monkeypatch
+    ):
+        monkeypatch.setitem(runners.ALGORITHMS, "corrupt", _corrupt_cost_runner)
+        spec = JobSpec(algorithm="corrupt", net=random_net(5, 3), eps=math.inf)
+        result = run_batch([spec], n_jobs=1)
+        (record,) = result.records
+        assert not record.ok
+        assert record.error_type == "ContractViolationError"
+        assert "contract violation" in record.error
+        assert "ContractViolationError" in record.traceback
+
+    def test_ordinary_failure_record_carries_type_and_traceback(self):
+        def _boom(net, eps):
+            raise ValueError("exploded in the runner")
+
+        import repro.analysis.runners as runners_module
+
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setitem(runners_module.ALGORITHMS, "boom", _boom)
+            spec = JobSpec(algorithm="boom", net=random_net(4, 1), eps=0.2)
+            result = run_batch([spec], n_jobs=1)
+        (record,) = result.records
+        assert record.error_type == "ValueError"
+        assert "exploded in the runner" in record.error
+        assert "test_contracts.py" in record.traceback

@@ -134,6 +134,7 @@ class TestNetCorruption:
         """Cost cache consistency: the validator recomputes from edges."""
         tree = mst(net)
         _ = tree.cost  # populate the cache
+        # lint: disable=R004 (deliberate corruption — the test proves the validator sees it)
         tree._cost = tree._cost + 100.0  # tamper
         problems = check_routing_tree(tree)
         assert any("cost" in p for p in problems)

@@ -1,0 +1,181 @@
+"""Self-tests for repro-lint: every rule must fire on its fixture.
+
+The fixture modules in ``tests/lint_fixtures/`` contain seeded
+violations; they are read as text (never imported) and linted under a
+pretend ``src/repro/...`` path so the library-scoped rules apply.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import (
+    EXCLUDED_DIR_NAMES,
+    collect_suppressions,
+    iter_python_files,
+    lint_source,
+    main,
+    run_paths,
+)
+from repro.devtools.rules import ALL_RULES, is_library_path
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def lint_fixture(name: str, filename: str = None):
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    pretend = filename or f"src/repro/_fixtures_/{name}"
+    return lint_source(source, pretend)
+
+
+class TestRulesFireOnFixtures:
+    def test_r001_unseeded_random(self):
+        violations = lint_fixture("r001_unseeded_random.py")
+        assert {v.rule for v in violations} == {"R001"}
+        assert len(violations) == 3
+        messages = " ".join(v.message for v in violations)
+        assert "random.random" in messages
+        assert "np.random.rand" in messages
+        assert "randint" in messages
+
+    def test_r002_float_equality(self):
+        violations = lint_fixture("r002_float_equality.py")
+        assert {v.rule for v in violations} == {"R002"}
+        assert len(violations) == 3
+
+    def test_r003_registry_entries(self):
+        violations = lint_fixture("r003_registry_lambda.py")
+        assert {v.rule for v in violations} == {"R003"}
+        assert len(violations) == 3
+        messages = " ".join(v.message for v in violations)
+        assert "lambda" in messages
+        assert "closure" in messages or "partial" in messages
+
+    def test_r004_core_mutation(self):
+        violations = lint_fixture("r004_mutation.py")
+        assert {v.rule for v in violations} == {"R004"}
+        assert len(violations) == 4
+        attributes = " ".join(v.message for v in violations)
+        assert "_cost" in attributes
+        assert "name" in attributes
+
+    def test_r005_broad_except(self):
+        violations = lint_fixture("r005_broad_except.py")
+        assert {v.rule for v in violations} == {"R005"}
+        # bare, broad, tuple-hidden, and the empty-reason pragma.
+        assert len(violations) == 4
+
+    def test_clean_module_passes(self):
+        assert lint_fixture("clean_module.py") == []
+
+    def test_violations_point_at_real_lines(self):
+        source = (FIXTURES / "r002_float_equality.py").read_text().splitlines()
+        for violation in lint_fixture("r002_float_equality.py"):
+            assert "==" in source[violation.line - 1] or "!=" in source[violation.line - 1]
+
+
+class TestSuppression:
+    def test_suppressed_module_is_clean(self):
+        assert lint_fixture("suppressed_module.py") == []
+
+    def test_pragma_parser_reads_all_forms(self):
+        source = (FIXTURES / "suppressed_module.py").read_text(encoding="utf-8")
+        suppressions = collect_suppressions(source)
+        assert "R001" in suppressions.file_level
+        assert any("R002" in rules for rules in suppressions.by_line.values())
+        assert any("R005" in rules for rules in suppressions.by_line.values())
+
+    def test_empty_reason_does_not_suppress(self):
+        source = (
+            "try:\n"
+            "    pass\n"
+            "except Exception:  # lint: allow-broad-except()\n"
+            "    pass\n"
+        )
+        violations = lint_source(source, "src/repro/x.py")
+        assert [v.rule for v in violations] == ["R005"]
+
+    def test_same_line_disable(self):
+        source = "x = 1.0 == y  # lint: disable=R002\n"
+        assert lint_source(source, "src/repro/x.py") == []
+
+    def test_unrelated_rule_pragma_does_not_suppress(self):
+        source = "x = 1.0 == y  # lint: disable=R001\n"
+        assert [v.rule for v in lint_source(source, "src/repro/x.py")] == ["R002"]
+
+
+class TestScoping:
+    def test_library_only_rules_skip_tests_tree(self):
+        # The R001 fixture has only library-scoped violations, so under a
+        # tests/ path nothing fires.
+        violations = lint_fixture(
+            "r001_unseeded_random.py", filename="tests/fixture.py"
+        )
+        assert violations == []
+
+    def test_r004_applies_outside_library(self):
+        violations = lint_fixture("r004_mutation.py", filename="tests/fixture.py")
+        assert {v.rule for v in violations} == {"R004"}
+
+    def test_is_library_path(self):
+        assert is_library_path("src/repro/core/net.py")
+        assert not is_library_path("tests/test_net.py")
+        assert not is_library_path("benchmarks/bench_table2.py")
+
+    def test_defining_modules_exempt_from_r004(self):
+        source = "def f(tree):\n    tree._cost = None\n"
+        assert lint_source(source, "src/repro/core/tree.py") == []
+        assert lint_source(source, "src/repro/analysis/other.py") != []
+
+
+class TestDriver:
+    def test_syntax_error_reported_not_raised(self):
+        violations = lint_source("def broken(:\n", "src/repro/x.py")
+        assert [v.rule for v in violations] == ["R000"]
+
+    def test_walker_skips_fixture_directory(self):
+        files = list(iter_python_files([str(REPO_ROOT / "tests")]))
+        assert files, "walker found no test files"
+        assert not any("lint_fixtures" in str(f) for f in files)
+        assert "lint_fixtures" in EXCLUDED_DIR_NAMES
+
+    def test_repo_tree_is_lint_clean(self):
+        """The acceptance gate: the library, tests and benchmarks pass."""
+        paths = [str(REPO_ROOT / p) for p in ("src", "tests", "benchmarks")]
+        violations = run_paths(paths)
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+    def test_main_exit_codes(self, capsys):
+        assert main([str(FIXTURES / "clean_module.py")]) == 0
+        assert main([str(FIXTURES / "r004_mutation.py")]) == 1
+        out = capsys.readouterr().out
+        assert "R004" in out
+
+    def test_main_select_filters_rules(self, capsys):
+        assert main(["--select", "R002", str(FIXTURES / "r004_mutation.py")]) == 0
+        assert main(["--select", "R004", str(FIXTURES / "r004_mutation.py")]) == 1
+        capsys.readouterr()
+
+    def test_main_rejects_unknown_rule(self, capsys):
+        assert main(["--select", "R999", "src"]) == 2
+        capsys.readouterr()
+
+    def test_main_missing_path(self, capsys):
+        assert main([str(REPO_ROOT / "no_such_dir")]) == 2
+        capsys.readouterr()
+
+    def test_list_rules_covers_catalogue(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.id in out
+
+    def test_cli_subcommand_wires_through(self, capsys):
+        from repro.cli import main as cli_main
+
+        code = cli_main(["lint", str(FIXTURES / "r004_mutation.py")])
+        assert code == 1
+        assert "R004" in capsys.readouterr().out

@@ -5,9 +5,10 @@ import math
 import pytest
 
 from repro.algorithms.mst import mst
-from repro.analysis import validation
+from repro.analysis import runners, validation
 from repro.core.net import Net
 from repro.core.tree import RoutingTree
+from repro.devtools.contracts import BOUND_GUARANTEED
 from repro.instances.random_nets import random_net
 from repro.steiner.bkst import bkst
 
@@ -63,3 +64,34 @@ class TestSteinerCheck:
         # may or may not fail, but the validator must answer coherently.
         problems = validation.check_steiner_tree(tree, 0.0)
         assert (problems == []) == tree.satisfies_bound(0.0)
+
+
+class TestEveryRegistryAlgorithm:
+    """Direct validation coverage for every ``ALGORITHMS`` entry.
+
+    Until now validation was only exercised indirectly (through
+    algorithm-specific tests); this pins the contract the runtime
+    checker (:mod:`repro.devtools.contracts`) relies on: every registry
+    entry produces a tree the independent validators accept.
+    """
+
+    EPS = 0.3
+
+    @pytest.fixture(scope="class")
+    def shared_net(self) -> Net:
+        return random_net(6, 42)
+
+    @pytest.mark.parametrize("name", sorted(runners.ALGORITHMS))
+    def test_output_validates(self, shared_net, name):
+        tree = runners.ALGORITHMS[name](shared_net, self.EPS)
+        eps = self.EPS if name in BOUND_GUARANTEED else math.inf
+        problems = validation.check_tree(tree, eps)
+        assert problems == [], f"{name}: " + "; ".join(problems)
+
+    def test_check_tree_dispatches_steiner(self, shared_net):
+        tree = bkst(shared_net, self.EPS)
+        assert validation.check_tree(tree, self.EPS) == []
+
+    def test_check_tree_rejects_foreign_objects(self):
+        problems = validation.check_tree(object())
+        assert problems and "unknown tree type" in problems[0]
