@@ -19,14 +19,16 @@ rule, as in the paper's DFS_EXCHANGE).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.edges import non_tree_edges
 from repro.core.exceptions import InvalidParameterError
 from repro.core.net import Net
 from repro.core.tree import RoutingTree
 from repro.algorithms.bkrus import bkrus
+from repro.observability import span, tracing_active
+from repro.observability.trace import Span
 
 
 @dataclass
@@ -37,6 +39,16 @@ class BkexStats:
     """Times a cheaper feasible tree replaced the root."""
     exchanges_tried: int = 0
     max_depth_reached: int = 0
+    depth_histogram: Dict[int, int] = field(default_factory=dict)
+    """Exchanges examined per sequence depth (1 = first exchange)."""
+
+    def publish(self, target: Span) -> None:
+        """Emit these totals as counters on an open span."""
+        target.incr("bkex.exchanges_tried", self.exchanges_tried)
+        target.incr("bkex.improvements", self.iterations)
+        target.incr("bkex.max_depth", self.max_depth_reached)
+        for depth in sorted(self.depth_histogram):
+            target.incr(f"bkex.depth.{depth}", self.depth_histogram[depth])
 
 
 def _candidate_exchanges(tree: RoutingTree):
@@ -97,8 +109,10 @@ def _dfs_exchange(
         for (remove, add), diff in candidates:
             if stats is not None:
                 stats.exchanges_tried += 1
-                stats.max_depth_reached = max(
-                    stats.max_depth_reached, len(stack)
+                depth = len(stack)
+                stats.max_depth_reached = max(stats.max_depth_reached, depth)
+                stats.depth_histogram[depth] = (
+                    stats.depth_histogram.get(depth, 0) + 1
                 )
             if diff + weight_sum >= -tolerance:
                 continue
@@ -160,9 +174,22 @@ def bkex(
     def is_feasible(candidate: RoutingTree) -> bool:
         return candidate.longest_source_path() <= bound + tolerance
 
-    return exchange_descent(
-        tree, is_feasible, max_depth=max_depth, stats=stats, tolerance=tolerance
-    )
+    # Under an active trace session, fill a (caller's or throwaway)
+    # stats object and publish its totals on the ``bkex`` span.
+    local_stats = stats
+    if local_stats is None and tracing_active():
+        local_stats = BkexStats()
+    with span("bkex") as bkex_span:
+        result = exchange_descent(
+            tree,
+            is_feasible,
+            max_depth=max_depth,
+            stats=local_stats,
+            tolerance=tolerance,
+        )
+        if bkex_span is not None and local_stats is not None:
+            local_stats.publish(bkex_span)
+    return result
 
 
 def exchange_descent(

@@ -26,6 +26,8 @@ from repro.core.net import Net
 from repro.core.tree import RoutingTree
 from repro.algorithms.bkrus import bkrus
 from repro.algorithms.exchange import Exchange, iter_all_exchanges
+from repro.observability import span, tracing_active
+from repro.observability.trace import Span
 
 
 @dataclass
@@ -35,6 +37,12 @@ class Bkh2Stats:
     single_improvements: int = 0
     double_improvements: int = 0
     exchanges_scanned: int = 0
+
+    def publish(self, target: Span) -> None:
+        """Emit these totals as counters on an open span."""
+        target.incr("bkh2.exchanges_scanned", self.exchanges_scanned)
+        target.incr("bkh2.single_improvements", self.single_improvements)
+        target.incr("bkh2.double_improvements", self.double_improvements)
 
 
 def _best_single(
@@ -122,13 +130,22 @@ def bkh2(
     def is_feasible(candidate: RoutingTree) -> bool:
         return candidate.longest_source_path() <= bound + tolerance
 
-    return depth2_descent(
-        tree,
-        is_feasible,
-        level2_beam=level2_beam,
-        stats=stats,
-        tolerance=tolerance,
-    )
+    # Under an active trace session, fill a (caller's or throwaway)
+    # stats object and publish its totals on the ``bkh2`` span.
+    local_stats = stats
+    if local_stats is None and tracing_active():
+        local_stats = Bkh2Stats()
+    with span("bkh2") as bkh2_span:
+        result = depth2_descent(
+            tree,
+            is_feasible,
+            level2_beam=level2_beam,
+            stats=local_stats,
+            tolerance=tolerance,
+        )
+        if bkh2_span is not None and local_stats is not None:
+            local_stats.publish(bkh2_span)
+    return result
 
 
 def depth2_descent(

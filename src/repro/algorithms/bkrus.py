@@ -33,6 +33,8 @@ from repro.core.net import Net, SOURCE
 from repro.core.partial_forest import PartialForest
 from repro.core.edges import sorted_edge_arrays
 from repro.core.tree import RoutingTree
+from repro.observability import record, span, tracing_active
+from repro.observability.trace import Span
 
 FeasibilityTest = Callable[[PartialForest, int, int], bool]
 """Signature of a merge-feasibility policy: (forest, u, v) -> accept?"""
@@ -50,6 +52,23 @@ class KruskalTrace:
     accepted: List[Tuple[int, int]] = field(default_factory=list)
     rejected: List[Tuple[int, int]] = field(default_factory=list)
     edges_scanned: int = 0
+    merge_sizes: List[Tuple[int, int]] = field(default_factory=list)
+    """Sizes of the two components joined by each accepted merge,
+    recorded *before* the merge, in merge order."""
+
+    def publish(self, target: Span) -> None:
+        """Emit this trace's totals as counters on an open span."""
+        target.incr("bkrus.edges_scanned", self.edges_scanned)
+        target.incr("bkrus.merges", len(self.accepted))
+        target.incr("bkrus.bound_rejections", len(self.rejected))
+        if self.merge_sizes:
+            target.incr(
+                "bkrus.largest_merge", max(a + b for a, b in self.merge_sizes)
+            )
+            target.record(
+                "bkrus.merge_component_sizes",
+                [list(pair) for pair in self.merge_sizes],
+            )
 
 
 def upper_bound_test(
@@ -100,6 +119,13 @@ def bounded_kruskal(
         if forest.connected(u, v):
             continue
         if feasible(forest, u, v):
+            if trace is not None:
+                trace.merge_sizes.append(
+                    (
+                        forest.sets.component_size(u),
+                        forest.sets.component_size(v),
+                    )
+                )
             forest.merge(u, v)
             merged += 1
             if trace is not None:
@@ -142,7 +168,17 @@ def bkrus(
         raise InvalidParameterError(f"eps must be >= 0, got {eps}")
     bound = net.path_bound(eps) if math.isfinite(eps) else math.inf
     test = upper_bound_test(net, bound, tolerance)
-    forest = bounded_kruskal(net, test, trace=trace)
+    # Self-instrumentation: under an active trace session a KruskalTrace
+    # is always filled (the caller's, or a throwaway) and its totals are
+    # published as counters on the ``bkrus`` span.  With tracing off the
+    # only cost is this None check — the scan itself is unchanged.
+    local_trace = trace
+    if local_trace is None and tracing_active():
+        local_trace = KruskalTrace()
+    with span("bkrus") as bkrus_span:
+        forest = bounded_kruskal(net, test, trace=local_trace)
+        if bkrus_span is not None and local_trace is not None:
+            local_trace.publish(bkrus_span)
     if forest.num_components != 1:
         raise InfeasibleError(
             "BKRUS failed to span the net — this indicates a broken "

@@ -42,6 +42,7 @@ from repro.core.exceptions import (
 from repro.core.net import Net, SOURCE
 from repro.core.tree import RoutingTree
 from repro.algorithms.mst import constrained_mst
+from repro.observability import incr, span, tracing_active
 
 
 def lemma_preprocessing(
@@ -59,6 +60,7 @@ def lemma_preprocessing(
     n = net.num_terminals
     exclude: Set[Edge] = set()
     include: Set[Edge] = set()
+    traced = tracing_active()
 
     for a in range(1, n):
         for b in range(a + 1, n):
@@ -68,6 +70,8 @@ def lemma_preprocessing(
                 dist[SOURCE, b]
             ) + tolerance:
                 exclude.add((a, b))
+                if traced:
+                    incr("bmst_g.lemma41_pruned")
                 continue
             # Lemma 4.2: either orientation would break the bound.
             if (
@@ -75,6 +79,8 @@ def lemma_preprocessing(
                 and float(dist[SOURCE, b]) + w_ab > bound + tolerance
             ):
                 exclude.add((a, b))
+                if traced:
+                    incr("bmst_g.lemma42_pruned")
 
     for a in range(1, n):
         two_hop_all_violate = all(
@@ -86,6 +92,8 @@ def lemma_preprocessing(
             include.add((SOURCE, a))
         elif n == 2:
             include.add((SOURCE, a))
+    if traced:
+        incr("bmst_g.lemma43_forced", len(include))
 
     return frozenset(include), frozenset(exclude)
 
@@ -178,15 +186,23 @@ def bmst_gabow(
     if eps < 0 or math.isnan(eps):
         raise InvalidParameterError(f"eps must be >= 0, got {eps}")
     bound = net.path_bound(eps) if math.isfinite(eps) else math.inf
-    include: FrozenSet[Edge] = frozenset()
-    exclude: FrozenSet[Edge] = frozenset()
-    if use_lemmas and math.isfinite(bound):
-        include, exclude = lemma_preprocessing(net, bound, tolerance)
-    found_any = False
-    for tree in spanning_trees_in_cost_order(net, include, exclude, max_trees):
-        found_any = True
-        if tree.longest_source_path() <= bound + tolerance:
-            return tree
+    with span("bmst_g"):
+        include: FrozenSet[Edge] = frozenset()
+        exclude: FrozenSet[Edge] = frozenset()
+        if use_lemmas and math.isfinite(bound):
+            with span("bmst_g.lemmas"):
+                include, exclude = lemma_preprocessing(net, bound, tolerance)
+        traced = tracing_active()
+        found_any = False
+        with span("bmst_g.enumeration"):
+            for tree in spanning_trees_in_cost_order(
+                net, include, exclude, max_trees
+            ):
+                found_any = True
+                if traced:
+                    incr("bmst_g.trees_enumerated")
+                if tree.longest_source_path() <= bound + tolerance:
+                    return tree
     if not found_any:
         raise InfeasibleError(
             "constraints admit no spanning tree (lemma filter removed too much?)"

@@ -24,17 +24,22 @@ ones (compare with :func:`strip_timing` / :func:`reports_identical`).
 
 from __future__ import annotations
 
+import cProfile
+import functools
 import math
 import multiprocessing
+import os
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.exceptions import InvalidParameterError
 from repro.core.net import Net
 from repro.analysis.metrics import AnyTree, TreeReport, format_eps
+from repro.observability import merge_totals, start_trace
 
 __all__ = [
     "JobSpec",
@@ -88,6 +93,10 @@ class JobRecord:
     tree: Optional[AnyTree] = None
     error_type: Optional[str] = None
     traceback: Optional[str] = None
+    trace_summary: Optional[Dict[str, Any]] = None
+    """When the job ran under tracing: ``{"counters": {...}, "root": span
+    dict}`` (see :mod:`repro.observability.export`).  Plain dicts pickle
+    across the worker boundary; ``None`` when tracing was off."""
 
     @property
     def ok(self) -> bool:
@@ -116,6 +125,21 @@ class BatchResult:
     def job_seconds(self) -> float:
         """Summed per-job wall time (the serial-equivalent cost)."""
         return sum(r.wall_seconds for r in self.records)
+
+    def counter_totals(self) -> Dict[str, float]:
+        """Algorithm counters summed across every traced job.
+
+        Empty when the batch ran without tracing.  Note the caveat in
+        ``docs/observability.md``: max-semantics counters
+        (``bkrus.largest_merge``, ``bkex.max_depth``) are *summed* here
+        like everything else — read them per job when the distinction
+        matters.
+        """
+        return merge_totals(
+            r.trace_summary.get("counters", {})
+            for r in self.records
+            if r.trace_summary is not None
+        )
 
     def rows(self) -> List[tuple]:
         """Table rows: one per job, failures rendered in place."""
@@ -209,17 +233,58 @@ def _run_spec(spec: JobSpec) -> Tuple[TreeReport, AnyTree]:
     return report, tree
 
 
+def _env_flag(name: str) -> bool:
+    """True when env var ``name`` is set to anything but '' or '0'."""
+    return os.environ.get(name, "") not in ("", "0")
+
+
+def _profile_target(index: int, spec: JobSpec) -> Path:
+    """Where the ``REPRO_PROFILE=1`` hook writes this job's ``.prof``."""
+    directory = Path(os.environ.get("REPRO_PROFILE_DIR", "profiles"))
+    directory.mkdir(parents=True, exist_ok=True)
+    net = (spec.net.name or "net").replace("/", "_")
+    return directory / f"job{index:04d}_{spec.algorithm}_{net}.prof"
+
+
+def _session_summary(session) -> Dict[str, Any]:
+    return {
+        "counters": session.counter_totals(),
+        "root": session.root.to_dict(),
+    }
+
+
 def execute_job(
-    indexed_spec: Tuple[int, JobSpec], keep_tree: bool = False
+    indexed_spec: Tuple[int, JobSpec],
+    keep_tree: bool = False,
+    trace: bool = False,
 ) -> JobRecord:
     """Run one job, never raising: failures become error records.
 
     Module-level (not a closure) so it pickles into worker processes.
+
+    ``trace=True`` (or ``REPRO_TRACE=1`` in the environment) runs the
+    job inside a :class:`~repro.observability.trace.TraceSession` and
+    attaches the counters and span tree as ``trace_summary`` — also on
+    failure records, which keep whatever spans closed before the raise.
+    ``REPRO_PROFILE=1`` additionally runs the job under :mod:`cProfile`
+    and writes ``<REPRO_PROFILE_DIR>/jobNNNN_<algo>_<net>.prof``.
     """
     index, spec = indexed_spec
+    trace_on = trace or _env_flag("REPRO_TRACE")
+    session = start_trace(f"job:{spec.describe()}") if trace_on else None
+    profiler = cProfile.Profile() if _env_flag("REPRO_PROFILE") else None
     start = time.perf_counter()
     try:
-        report, tree = _run_spec(spec)
+        if session is not None:
+            with session:
+                if profiler is not None:
+                    report, tree = profiler.runcall(_run_spec, spec)
+                else:
+                    report, tree = _run_spec(spec)
+        elif profiler is not None:
+            report, tree = profiler.runcall(_run_spec, spec)
+        else:
+            report, tree = _run_spec(spec)
         return JobRecord(
             index=index,
             algorithm=spec.algorithm,
@@ -228,6 +293,7 @@ def execute_job(
             report=report,
             wall_seconds=time.perf_counter() - start,
             tree=tree if keep_tree else None,
+            trace_summary=_session_summary(session) if session else None,
         )
     # lint: allow-broad-except(job isolation — every failure must become a record, never a crash)
     except Exception as exc:  # noqa: BLE001 — the record IS the handler
@@ -245,11 +311,11 @@ def execute_job(
             error=detail,
             error_type=type(exc).__name__,
             traceback=formatted,
+            trace_summary=_session_summary(session) if session else None,
         )
-
-
-def _execute_job_with_tree(indexed_spec: Tuple[int, JobSpec]) -> JobRecord:
-    return execute_job(indexed_spec, keep_tree=True)
+    finally:
+        if profiler is not None:
+            profiler.dump_stats(str(_profile_target(index, spec)))
 
 
 def run_batch(
@@ -257,6 +323,7 @@ def run_batch(
     n_jobs: int = 1,
     keep_trees: bool = False,
     chunksize: int = 1,
+    trace: bool = False,
 ) -> BatchResult:
     """Execute ``jobs`` and return their records in job order.
 
@@ -269,12 +336,18 @@ def run_batch(
     ``keep_trees`` attaches the constructed tree to each record (costs
     one pickle per tree when parallel) — the validation oracles in
     ``analysis.validation`` need the tree, not just the report.
+
+    ``trace`` runs every job under a trace session; each record carries
+    its own ``trace_summary`` and :meth:`BatchResult.counter_totals`
+    aggregates the counters across workers.
     """
     if n_jobs < 1:
         raise InvalidParameterError(f"n_jobs must be >= 1, got {n_jobs}")
     specs = list(enumerate(jobs))
     start = time.perf_counter()
-    worker = _execute_job_with_tree if keep_trees else execute_job
+    # functools.partial of a module-level function pickles, so one worker
+    # covers every (keep_trees, trace) combination.
+    worker = functools.partial(execute_job, keep_tree=keep_trees, trace=trace)
     fell_back = False
     records: List[JobRecord]
     if n_jobs == 1 or not specs:
@@ -317,11 +390,21 @@ def reports_identical(first: BatchResult, second: BatchResult) -> bool:
 
     Timing fields are ignored — they are the only thing allowed to vary
     between serial and parallel execution of the same job list.
+
+    Failures are matched by ``error_type`` (the exception class name),
+    not the formatted message: messages legitimately embed memory
+    addresses, pids and platform-specific paths that differ across the
+    fork boundary, so comparing raw ``error`` strings flagged identical
+    serial/parallel failures as different.
     """
     if len(first.records) != len(second.records):
         return False
     for a, b in zip(first.records, second.records):
-        if (a.algorithm, a.net_name, a.error) != (b.algorithm, b.net_name, b.error):
+        if (a.algorithm, a.net_name, a.error_type) != (
+            b.algorithm,
+            b.net_name,
+            b.error_type,
+        ):
             return False
         if a.eps != b.eps and not (math.isnan(a.eps) and math.isnan(b.eps)):
             return False

@@ -14,6 +14,8 @@ Subcommands
 ``buffer``  — van Ginneken buffer insertion on a BKRUS tree.
 ``table``   — regenerate one of the paper's tables (scaled defaults).
 ``zeroskew`` — exact zero-skew clock tree vs the node-branching LUB tree.
+``trace``   — run one job under the span tracer and print the span tree
+              with algorithm counters (optionally exporting JSONL).
 ``lint``    — project-specific static analysis (rules R001-R005).
 ``report``  — stitch benchmarks/results/*.txt into one RESULTS.md.
 
@@ -275,6 +277,53 @@ def _cmd_buffer(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.batch import JobSpec, execute_job
+    from repro.observability import describe, render_span_tree, span_from_dict
+    from repro.observability.export import job_trace_entry, write_jsonl
+
+    net = _load_net(args)
+    spec = JobSpec(algorithm=args.algorithm, net=net, eps=args.eps)
+    record = execute_job((0, spec), trace=True)
+    summary = record.trace_summary or {}
+    if record.ok and record.report is not None:
+        print(
+            f"{record.algorithm} on {record.net_name} "
+            f"eps={format_eps(record.eps)}: cost={record.report.cost:.4f} "
+            f"longest path={record.report.longest_path:.4f} "
+            f"({record.wall_seconds:.4f}s)"
+        )
+    else:
+        print(
+            f"{record.algorithm} on {record.net_name} "
+            f"eps={format_eps(record.eps)} FAILED: {record.error}",
+            file=sys.stderr,
+        )
+    root = summary.get("root")
+    if root is not None:
+        print()
+        print(render_span_tree(span_from_dict(root)))
+    counters = summary.get("counters", {})
+    if counters:
+        print()
+        rows = []
+        for name in sorted(counters):
+            spec_info = describe(name)
+            rows.append(
+                (
+                    name,
+                    f"{counters[name]:g}",
+                    spec_info.unit if spec_info else "?",
+                    spec_info.description if spec_info else "(undeclared)",
+                )
+            )
+        print(format_table(["counter", "value", "unit", "meaning"], rows))
+    if args.jsonl:
+        path = write_jsonl(args.jsonl, [job_trace_entry(record)])
+        print(f"\nwrote {path}")
+    return 0 if record.ok else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools import lint as lint_module
 
@@ -475,6 +524,18 @@ def build_parser() -> argparse.ArgumentParser:
     zeroskew.add_argument("--eps2", type=float, default=0.0)
     zeroskew.add_argument("--scale", type=float, default=None)
     zeroskew.set_defaults(func=_cmd_zeroskew)
+
+    trace = sub.add_parser(
+        "trace", help="run one traced job and print its span tree"
+    )
+    trace.add_argument("algorithm", choices=algorithm_names())
+    trace.add_argument("--benchmark", default="p1")
+    trace.add_argument("--eps", type=_parse_eps, default=0.2)
+    trace.add_argument("--scale", type=float, default=None)
+    trace.add_argument(
+        "--jsonl", default=None, help="also write the trace as one JSONL line"
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     lint = sub.add_parser(
         "lint", help="project-specific static analysis (repro-lint)"

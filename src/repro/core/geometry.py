@@ -272,12 +272,26 @@ def l_shaped_corners(p: Point, q: Point) -> Tuple[Point, Point]:
     return ((float(q[0]), float(p[1])), (float(p[0]), float(q[1])))
 
 
+def _matches_either(value: float, a: float, b: float) -> bool:
+    """Tolerant version of ``value in (a, b)`` for float coordinates.
+
+    Exact tuple membership breaks on coordinates that went through
+    arithmetic (scaling, Hanan-grid construction): a corner 1 ulp off
+    its endpoint is still the same geometric point.
+    """
+    return math.isclose(
+        value, a, rel_tol=1e-9, abs_tol=1e-9
+    ) or math.isclose(value, b, rel_tol=1e-9, abs_tol=1e-9)
+
+
 def collinear_manhattan(p: Point, corner: Point, q: Point) -> bool:
     """True if ``p -> corner -> q`` is a monotone rectilinear route.
 
     Used to validate L-shaped path realisations on the Hanan grid.
     """
-    on_axis = (corner[0] in (p[0], q[0])) and (corner[1] in (p[1], q[1]))
+    on_axis = _matches_either(
+        float(corner[0]), float(p[0]), float(q[0])
+    ) and _matches_either(float(corner[1]), float(p[1]), float(q[1]))
     if not on_axis:
         return False
     length = (

@@ -10,6 +10,7 @@ the nearest-sink distance ``r`` (reported per benchmark in Table 1).
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -144,7 +145,13 @@ class Net:
         """The upper path-length bound ``(1 + eps) * R``.
 
         ``eps = math.inf`` disables the bound (plain MST behaviour).
+        NaN is rejected explicitly: ``nan < 0`` is False, so without the
+        check a NaN eps sailed through and poisoned every downstream
+        bound comparison (``x <= nan`` is always False, silently marking
+        every tree infeasible).
         """
+        if math.isnan(eps):
+            raise InvalidNetError("eps must not be NaN")
         if eps < 0:
             raise InvalidNetError(f"eps must be non-negative, got {eps}")
         return (1.0 + eps) * self.radius()

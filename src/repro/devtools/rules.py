@@ -152,12 +152,19 @@ class UnseededRandomRule(Rule):
 
 
 class FloatEqualityRule(Rule):
-    """R002 — no ``==``/``!=`` against float expressions.
+    """R002 — no ``==``/``!=``/``in`` against float expressions.
 
     Geometric quantities accumulate rounding; exact comparison is almost
-    always a latent bug.  Use ``math.isclose``/``np.isclose`` or, where
-    exact zero is a genuine sentinel (division guards, untouched matrix
-    entries), suppress with ``# lint: disable=R002 (why exact is right)``.
+    always a latent bug.  This includes membership tests — ``x in (0.5,
+    1.5)`` is a chain of exact ``==`` in disguise (the bug behind the
+    ``collinear_manhattan`` corner test).  Use
+    ``math.isclose``/``np.isclose`` or, where exact zero is a genuine
+    sentinel (division guards, untouched matrix entries), suppress with
+    ``# lint: disable=R002 (why exact is right)``.
+
+    Limitation: only float *literals* and ``float(...)`` calls are
+    recognised — ``corner[0] in (p[0], q[0])`` on variables needs type
+    information an AST rule does not have.
     """
 
     id = "R002"
@@ -178,6 +185,15 @@ class FloatEqualityRule(Rule):
             return True
         return False
 
+    @classmethod
+    def _is_float_membership(cls, left: ast.AST, right: ast.AST) -> bool:
+        """True for ``x in (...)`` where a float is on either side."""
+        if cls._is_float_expr(left):
+            return True
+        if isinstance(right, (ast.Tuple, ast.List, ast.Set)):
+            return any(cls._is_float_expr(element) for element in right.elts)
+        return False
+
     def check(self, tree: ast.Module, filename: str) -> Iterator[Violation]:
         for node in ast.walk(tree):
             if not isinstance(node, ast.Compare):
@@ -192,6 +208,16 @@ class FloatEqualityRule(Rule):
                         filename,
                         "float equality: use math.isclose(...) or mark an "
                         "exact-zero sentinel with `# lint: disable=R002 (reason)`",
+                    )
+                elif isinstance(op, (ast.In, ast.NotIn)) and (
+                    self._is_float_membership(left, right)
+                ):
+                    yield self.violation(
+                        node,
+                        filename,
+                        "float membership test is exact equality in disguise: "
+                        "compare with math.isclose(...) per element or mark "
+                        "with `# lint: disable=R002 (reason)`",
                     )
                 left = right
 

@@ -1,0 +1,65 @@
+"""Observability layer: span tracing, algorithm counters, JSONL export.
+
+Three pieces, all opt-in and free when unused:
+
+* :mod:`repro.observability.trace` — contextvar-scoped nested spans
+  with wall times and counters (``with start_trace(): ...``);
+* :mod:`repro.observability.counters` — the typed catalogue of every
+  counter the instrumented algorithms emit, plus cross-worker merging;
+* :mod:`repro.observability.export` — one-line-per-job JSONL
+  round-tripping of traced batch runs.
+
+The batch engine (``run_batch(..., trace=True)``) and the
+``repro-cli trace`` subcommand are the main consumers; see
+``docs/observability.md`` for the guide.
+"""
+
+from repro.observability.counters import (
+    COUNTERS,
+    CounterSpec,
+    describe,
+    known_counter_names,
+    merge_totals,
+)
+from repro.observability.export import (
+    entry_span_tree,
+    iter_jsonl,
+    job_trace_entry,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.observability.trace import (
+    Span,
+    TraceSession,
+    current_session,
+    incr,
+    record,
+    render_span_tree,
+    span,
+    span_from_dict,
+    start_trace,
+    tracing_active,
+)
+
+__all__ = [
+    "COUNTERS",
+    "CounterSpec",
+    "Span",
+    "TraceSession",
+    "current_session",
+    "describe",
+    "entry_span_tree",
+    "incr",
+    "iter_jsonl",
+    "job_trace_entry",
+    "known_counter_names",
+    "merge_totals",
+    "read_jsonl",
+    "record",
+    "render_span_tree",
+    "span",
+    "span_from_dict",
+    "start_trace",
+    "tracing_active",
+    "write_jsonl",
+]

@@ -1,0 +1,169 @@
+"""Typed counter catalogue for the instrumented algorithms.
+
+The tracer (:mod:`repro.observability.trace`) accepts any counter name,
+but the counters the *library itself* emits are declared here so that
+analysis code, docs and tests agree on their names, units and meaning.
+:func:`describe` resolves dynamic families (``bkex.depth.3``) through
+their registered prefix.
+
+Counter totals travel as plain ``Dict[str, float]`` (JSON-friendly and
+trivially mergeable across batch workers); :func:`merge_totals` is the
+one aggregation primitive the batch engine needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional
+
+__all__ = [
+    "CounterSpec",
+    "COUNTERS",
+    "describe",
+    "known_counter_names",
+    "merge_totals",
+]
+
+
+@dataclass(frozen=True)
+class CounterSpec:
+    """Declaration of one counter the library emits."""
+
+    name: str
+    unit: str
+    description: str
+    prefix: bool = False
+    """True when ``name`` declares a dynamic family (``bkex.depth.``)."""
+
+
+_SPECS: List[CounterSpec] = [
+    # BKRUS — the bounded Kruskal scan (Section 3.1).
+    CounterSpec(
+        "bkrus.edges_scanned",
+        "edges",
+        "candidate edges popped from the sorted stream",
+    ),
+    CounterSpec(
+        "bkrus.merges", "merges", "edges accepted and merged into the forest"
+    ),
+    CounterSpec(
+        "bkrus.bound_rejections",
+        "edges",
+        "edges rejected by the (3-a)/(3-b) feasibility test",
+    ),
+    CounterSpec(
+        "bkrus.largest_merge",
+        "nodes",
+        "size of the largest component pair joined by one merge",
+    ),
+    # BMST_G — ordered enumeration plus the Section 4 lemmas.
+    CounterSpec(
+        "bmst_g.trees_enumerated",
+        "trees",
+        "spanning trees generated before the first feasible one",
+    ),
+    CounterSpec(
+        "bmst_g.lemma41_pruned",
+        "edges",
+        "sink-sink edges eliminated by Lemma 4.1 (source-dominated)",
+    ),
+    CounterSpec(
+        "bmst_g.lemma42_pruned",
+        "edges",
+        "edges eliminated by Lemma 4.2 (both orientations over bound)",
+    ),
+    CounterSpec(
+        "bmst_g.lemma43_forced",
+        "edges",
+        "direct source edges forced by Lemma 4.3",
+    ),
+    # BKEX — negative-sum exchange DFS (Section 5).
+    CounterSpec(
+        "bkex.exchanges_tried",
+        "exchanges",
+        "T-exchanges examined by DFS_EXCHANGE",
+    ),
+    CounterSpec(
+        "bkex.improvements",
+        "trees",
+        "negative-sum sequences that reached a cheaper feasible tree",
+    ),
+    CounterSpec(
+        "bkex.max_depth", "exchanges", "deepest exchange sequence explored"
+    ),
+    CounterSpec(
+        "bkex.depth.",
+        "exchanges",
+        "exchanges examined at sequence depth N (histogram family)",
+        prefix=True,
+    ),
+    # BKH2 — depth-2 exchange polish (Section 5).
+    CounterSpec(
+        "bkh2.exchanges_scanned",
+        "exchanges",
+        "exchanges examined across both search levels",
+    ),
+    CounterSpec(
+        "bkh2.single_improvements",
+        "trees",
+        "improving single exchanges applied",
+    ),
+    CounterSpec(
+        "bkh2.double_improvements",
+        "trees",
+        "improving exchange pairs applied",
+    ),
+    # BKST — Steiner construction on the Hanan grid (Section 3.3).
+    CounterSpec(
+        "bkst.grid_nodes", "nodes", "Hanan grid size of the construction"
+    ),
+    CounterSpec(
+        "bkst.pairs_tried",
+        "pairs",
+        "active-sink pairs popped from the closest-pair heap",
+    ),
+    CounterSpec(
+        "bkst.steiner_merges",
+        "merges",
+        "grid corridors realised and merged into the tree",
+    ),
+    CounterSpec(
+        "bkst.bound_rejections",
+        "pairs",
+        "pairs rejected by the splice feasibility test",
+    ),
+    CounterSpec(
+        "bkst.restarts",
+        "attempts",
+        "construction restarts with stranded sinks pre-wired",
+    ),
+]
+
+COUNTERS: Dict[str, CounterSpec] = {spec.name: spec for spec in _SPECS}
+
+
+def known_counter_names() -> List[str]:
+    """The declared (non-prefix) counter names, sorted."""
+    return sorted(spec.name for spec in _SPECS if not spec.prefix)
+
+
+def describe(name: str) -> Optional[CounterSpec]:
+    """The spec for ``name``, resolving dynamic families by prefix."""
+    spec = COUNTERS.get(name)
+    if spec is not None:
+        return spec
+    for candidate in _SPECS:
+        if candidate.prefix and name.startswith(candidate.name):
+            return candidate
+    return None
+
+
+def merge_totals(
+    totals: Iterable[Mapping[str, float]],
+) -> Dict[str, float]:
+    """Sum counter dicts — the batch engine's cross-worker aggregation."""
+    merged: Dict[str, float] = {}
+    for mapping in totals:
+        for name, value in mapping.items():
+            merged[name] = merged.get(name, 0) + value
+    return merged

@@ -1,0 +1,110 @@
+"""JSONL export of traced runs.
+
+One line per traced job, strict JSON (``allow_nan=False`` — non-finite
+``eps`` values are stringified), so the files are greppable, stream
+parseable, and loadable by any downstream tool.  The schema per line::
+
+    {
+      "index": 0, "algorithm": "bkrus", "net": "p1", "eps": 0.2,
+      "ok": true, "wall_seconds": 0.012,
+      "counters": {"bkrus.edges_scanned": 276, ...},
+      "spans": {"name": "...", "wall_seconds": ..., "children": [...]}
+    }
+
+``eps`` is a number when finite and the strings ``"inf"`` / ``"nan"``
+otherwise.  :func:`read_jsonl` round-trips both back to floats.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Union
+
+from repro.observability.trace import Span, span_from_dict
+
+__all__ = [
+    "job_trace_entry",
+    "entry_span_tree",
+    "write_jsonl",
+    "iter_jsonl",
+    "read_jsonl",
+]
+
+
+def _encode_eps(eps: float) -> Union[float, str]:
+    if math.isinf(eps):
+        return "inf" if eps > 0 else "-inf"
+    if math.isnan(eps):
+        return "nan"
+    return float(eps)
+
+
+def _decode_eps(value: Union[float, str]) -> float:
+    if isinstance(value, str):
+        return float(value)
+    return float(value)
+
+
+def job_trace_entry(record: Any) -> Dict[str, Any]:
+    """The JSONL line (as a dict) for one batch :class:`JobRecord`.
+
+    Accepts any object with the record's field names (duck-typed so the
+    observability layer does not import the batch engine).  Jobs that
+    ran without tracing produce an entry with empty counters/spans.
+    """
+    summary = getattr(record, "trace_summary", None) or {}
+    entry: Dict[str, Any] = {
+        "index": record.index,
+        "algorithm": record.algorithm,
+        "net": record.net_name,
+        "eps": _encode_eps(record.eps),
+        "ok": record.ok,
+        "wall_seconds": record.wall_seconds,
+        "counters": dict(summary.get("counters", {})),
+        "spans": summary.get("root"),
+    }
+    if not record.ok:
+        entry["error_type"] = record.error_type
+        entry["error"] = record.error
+    return entry
+
+
+def entry_span_tree(entry: Dict[str, Any]) -> "Span | None":
+    """Rebuild the :class:`Span` tree of one parsed JSONL entry."""
+    payload = entry.get("spans")
+    if payload is None:
+        return None
+    return span_from_dict(payload)
+
+
+def write_jsonl(
+    path: Union[str, Path], entries: Iterable[Dict[str, Any]]
+) -> Path:
+    """Write ``entries`` one-per-line; returns the path written."""
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as handle:
+        for entry in entries:
+            handle.write(
+                json.dumps(entry, allow_nan=False, sort_keys=True) + "\n"
+            )
+    return target
+
+
+def iter_jsonl(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
+    """Yield parsed entries from a JSONL trace file, skipping blank lines."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            if "eps" in entry:
+                entry["eps"] = _decode_eps(entry["eps"])
+            yield entry
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """All entries of a JSONL trace file, in file order."""
+    return list(iter_jsonl(path))

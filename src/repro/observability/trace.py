@@ -1,0 +1,308 @@
+"""Contextvar-based span tracer for the algorithm layer.
+
+The algorithms of this library are measured constantly (every table of
+the paper is a timing/quality grid) but their *internals* — edges
+scanned, exchanges explored, lemma prunings applied — were invisible.
+This module records them as a tree of named **spans**:
+
+* a span has a name, a wall-clock duration, a monotonically increasing
+  start index (so span order is reconstructible even when durations
+  collapse to zero on coarse clocks), typed counters, and children;
+* spans nest through an ordinary ``with`` statement and propagate
+  across threads/``contextvars`` boundaries the way ``decimal`` context
+  does — each :class:`TraceSession` is carried by a ``ContextVar``;
+* **zero overhead when disabled**: with no active session,
+  :func:`span` returns a shared no-op context manager and
+  :func:`tracing_active` is a single ``ContextVar.get`` — no
+  allocation, no timestamping, no branching inside the algorithms' hot
+  loops (instrumentation sites guard themselves with
+  ``tracing_active()``).
+
+Typical use::
+
+    from repro.observability import start_trace, span, incr
+
+    with start_trace("bkrus on p1") as session:
+        tree = bkrus(net, 0.2)          # algorithms self-instrument
+    print(render_span_tree(session.root))
+    totals = session.counter_totals()   # {"bkrus.edges_scanned": ...}
+
+Serialisation: :meth:`Span.to_dict` / :func:`span_from_dict` round-trip
+through plain JSON-compatible dicts; the JSONL export lives in
+:mod:`repro.observability.export`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "TraceSession",
+    "tracing_active",
+    "current_session",
+    "start_trace",
+    "span",
+    "incr",
+    "record",
+    "span_from_dict",
+    "render_span_tree",
+]
+
+
+@dataclass
+class Span:
+    """One named region of work inside a trace.
+
+    ``index`` is the session-wide start order (0 for the root); together
+    with ``start_seconds`` (relative to the session start) it gives a
+    total monotonic ordering of spans even on clocks too coarse to
+    separate them by time.
+    """
+
+    name: str
+    index: int = 0
+    start_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    counters: Dict[str, float] = field(default_factory=dict)
+    records: Dict[str, List[Any]] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    def incr(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` to counter ``name`` on this span."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def record(self, name: str, value: Any) -> None:
+        """Append ``value`` to the event list ``name`` on this span.
+
+        Values must be JSON-serialisable for the export layer; the
+        tracer itself does not inspect them.
+        """
+        self.records.setdefault(name, []).append(value)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first in start order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def counter_totals(self) -> Dict[str, float]:
+        """Counters summed over this span and all descendants."""
+        totals: Dict[str, float] = {}
+        for node in self.walk():
+            for name, value in node.counters.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-compatible representation (see :func:`span_from_dict`)."""
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "index": self.index,
+            "start_seconds": self.start_seconds,
+            "wall_seconds": self.wall_seconds,
+        }
+        if self.counters:
+            payload["counters"] = dict(self.counters)
+        if self.records:
+            payload["records"] = {k: list(v) for k, v in self.records.items()}
+        if self.children:
+            payload["children"] = [child.to_dict() for child in self.children]
+        return payload
+
+
+def span_from_dict(payload: Dict[str, Any]) -> Span:
+    """Rebuild a :class:`Span` tree from :meth:`Span.to_dict` output."""
+    return Span(
+        name=str(payload["name"]),
+        index=int(payload.get("index", 0)),
+        start_seconds=float(payload.get("start_seconds", 0.0)),
+        wall_seconds=float(payload.get("wall_seconds", 0.0)),
+        counters=dict(payload.get("counters", {})),
+        records={k: list(v) for k, v in payload.get("records", {}).items()},
+        children=[span_from_dict(c) for c in payload.get("children", [])],
+    )
+
+
+class TraceSession:
+    """One activation of the tracer: a root span plus the open-span stack."""
+
+    def __init__(self, name: str = "trace") -> None:
+        self.root = Span(name=name, index=0)
+        self._stack: List[Span] = [self.root]
+        self._next_index = 1
+        self._origin = time.perf_counter()
+        self._token = None
+
+    @property
+    def current(self) -> Span:
+        """The innermost open span (the root when none is open)."""
+        return self._stack[-1]
+
+    def counter_totals(self) -> Dict[str, float]:
+        return self.root.counter_totals()
+
+    # ------------------------------------------------------------------
+    # Span lifecycle (used by _SpanContext; not public API)
+    # ------------------------------------------------------------------
+    def _open(self, name: str) -> Span:
+        child = Span(
+            name=name,
+            index=self._next_index,
+            start_seconds=time.perf_counter() - self._origin,
+        )
+        self._next_index += 1
+        self.current.children.append(child)
+        self._stack.append(child)
+        return child
+
+    def _close(self, opened: Span) -> None:
+        opened.wall_seconds = (
+            time.perf_counter() - self._origin - opened.start_seconds
+        )
+        # Pop back to (and including) the opened span; tolerates a
+        # caller forgetting to close an inner span inside a ``finally``.
+        while len(self._stack) > 1:
+            top = self._stack.pop()
+            if top is opened:
+                break
+
+    # ------------------------------------------------------------------
+    # Activation
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "TraceSession":
+        self._token = _SESSION.set(self)
+        self._origin = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.root.wall_seconds = time.perf_counter() - self._origin
+        if self._token is not None:
+            _SESSION.reset(self._token)
+            self._token = None
+        return False
+
+
+_SESSION: ContextVar[Optional[TraceSession]] = ContextVar(
+    "repro_trace_session", default=None
+)
+
+
+def tracing_active() -> bool:
+    """True when a :class:`TraceSession` is active in this context.
+
+    Hot instrumentation sites call this once per phase (not per loop
+    iteration) and skip all bookkeeping when it is False.
+    """
+    return _SESSION.get() is not None
+
+
+def current_session() -> Optional[TraceSession]:
+    """The active session, or None when tracing is disabled."""
+    return _SESSION.get()
+
+
+def start_trace(name: str = "trace") -> TraceSession:
+    """A fresh session to activate with ``with``::
+
+        with start_trace("job") as session:
+            ...
+    """
+    return TraceSession(name)
+
+
+class _NullContext:
+    """Shared do-nothing context manager — the disabled-tracing fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL = _NullContext()
+
+
+class _SpanContext:
+    __slots__ = ("_session", "_name", "_span")
+
+    def __init__(self, session: TraceSession, name: str) -> None:
+        self._session = session
+        self._name = name
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._span = self._session._open(self._name)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._span is not None:
+            self._session._close(self._span)
+        return False
+
+
+def span(name: str):
+    """Open a named child span of the current one (no-op when disabled)."""
+    session = _SESSION.get()
+    if session is None:
+        return _NULL
+    return _SpanContext(session, name)
+
+
+def incr(name: str, amount: float = 1) -> None:
+    """Add ``amount`` to counter ``name`` on the current span (no-op off)."""
+    session = _SESSION.get()
+    if session is not None:
+        session.current.incr(name, amount)
+
+
+def record(name: str, value: Any) -> None:
+    """Append ``value`` to event list ``name`` on the current span (no-op off)."""
+    session = _SESSION.get()
+    if session is not None:
+        session.current.record(name, value)
+
+
+def render_span_tree(root: Span, precision: int = 4) -> str:
+    """Pretty-print a span tree with counters and record summaries.
+
+    Produces the ``repro-cli trace`` output::
+
+        job: bkrus on p1 eps=0.20  [0.0123s]
+        `- bkrus  [0.0121s]
+             bkrus.bound_rejections = 14
+             bkrus.edges_scanned = 276
+    """
+    lines: List[str] = []
+
+    def emit(node: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+        connector = "" if is_root else ("`- " if is_last else "|- ")
+        lines.append(
+            f"{prefix}{connector}{node.name}  "
+            f"[{node.wall_seconds:.{precision}f}s]"
+        )
+        child_prefix = prefix if is_root else prefix + ("   " if is_last else "|  ")
+        detail_prefix = child_prefix + "     "
+        for key in sorted(node.counters):
+            value = node.counters[key]
+            rendered = f"{value:g}"
+            lines.append(f"{detail_prefix}{key} = {rendered}")
+        for key in sorted(node.records):
+            values = node.records[key]
+            lines.append(f"{detail_prefix}{key}: {len(values)} value(s)")
+        for position, child in enumerate(node.children):
+            emit(
+                child,
+                child_prefix,
+                position == len(node.children) - 1,
+                False,
+            )
+
+    emit(root, "", True, True)
+    return "\n".join(lines)

@@ -43,6 +43,7 @@ import numpy as np
 from repro.core.disjoint_set import ListDisjointSet
 from repro.core.exceptions import InfeasibleError, InvalidParameterError
 from repro.core.net import Net, SOURCE
+from repro.observability import incr, span, tracing_active
 from repro.steiner.grid_graph import GridGraph
 from repro.steiner.hanan import hanan_grid
 
@@ -364,7 +365,22 @@ def bkst(
     bound = net.path_bound(eps) if math.isfinite(eps) else math.inf
 
     prewire: Set[int] = set()
-    for _ in range(net.num_terminals + 1):
+    traced = tracing_active()
+    with span("bkst"):
+        return _bkst_attempts(net, bound, prewire, tolerance, traced)
+
+
+def _bkst_attempts(
+    net: Net,
+    bound: float,
+    prewire: Set[int],
+    tolerance: float,
+    traced: bool,
+) -> SteinerTree:
+    """The restart loop of :func:`bkst` (split out for span scoping)."""
+    for attempt in range(net.num_terminals + 1):
+        if traced and attempt > 0:
+            incr("bkst.restarts")
         tree, stranded = _build(net, bound, prewire, tolerance, lower=0.0)
         if tree is not None:
             if not tree.is_connected_tree():
@@ -407,6 +423,12 @@ def _build(
     forest = _GridForest(grid, source_gid)
     terminals = set(grid.terminal_ids.values())
     active: Set[int] = set(terminals)
+    # Grid size / pair / merge counters, summed over construction
+    # attempts when the prewire loop restarts.  A single flag check per
+    # build keeps the untraced path free of bookkeeping.
+    traced = tracing_active()
+    if traced:
+        incr("bkst.grid_nodes", grid.num_nodes)
 
     if lower > 0.0:
         def splice_feasible(z: int, w: int, length: float) -> bool:
@@ -429,6 +451,8 @@ def _build(
     )
 
     def merge_path(nodes: List[int]) -> None:
+        if traced:
+            incr("bkst.steiner_merges")
         newly_active = [node for node in nodes if node not in active]
         for u, v in zip(nodes, nodes[1:]):
             forest.merge_edge(u, v)
@@ -476,7 +500,11 @@ def _build(
         _, _, a, b = heapq.heappop(heap)
         if forest.connected(a, b):
             continue
+        if traced:
+            incr("bkst.pairs_tried")
         if not splice_feasible(a, b, grid.manhattan(a, b)):
+            if traced:
+                incr("bkst.bound_rejections")
             continue
         segment = realiser.best_corridor(a, b)
         if segment is None:

@@ -1,0 +1,22 @@
+"""Seeded R002 membership violations: float in-tuple tests are exact
+equality chains in disguise (the ``collinear_manhattan`` corner bug)."""
+
+
+def corner_on_axis(x):
+    return x in (0.5, 1.5)
+
+
+def not_on_axis(y):
+    return y not in [0.0, 2.0]
+
+
+def float_call_left(p, q, corner):
+    return float(corner) in (p, q)
+
+
+def integer_membership_is_fine(k):
+    return k in (0, 1, 2)
+
+
+def string_membership_is_fine(name):
+    return name in ("inf", "nan")

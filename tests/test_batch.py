@@ -188,6 +188,107 @@ class TestRunBatch:
 
 
 # ----------------------------------------------------------------------
+# Tracing through the engine
+# ----------------------------------------------------------------------
+
+
+class TestBatchTracing:
+    def test_untraced_records_have_no_summary(self):
+        result = run_batch(expand_grid([random_net(5, 11)], ["bkrus"], [0.2]))
+        assert result.records[0].trace_summary is None
+        assert result.counter_totals() == {}
+
+    def test_traced_records_carry_counters_and_spans(self):
+        jobs = expand_grid([random_net(5, 11)], ["bkrus", "bkh2"], [0.2])
+        result = run_batch(jobs, trace=True)
+        for record in result.records:
+            summary = record.trace_summary
+            assert summary is not None
+            assert summary["counters"].get("bkrus.merges", 0) > 0
+            assert summary["root"]["name"].startswith("job:")
+        totals = result.counter_totals()
+        assert totals["bkrus.merges"] == sum(
+            r.trace_summary["counters"]["bkrus.merges"] for r in result.records
+        )
+
+    def test_traced_counters_survive_the_fork_boundary(self):
+        jobs = expand_grid(
+            [random_net(5, 11), random_net(6, 12)], ["bkrus"], [0.2]
+        )
+        serial = run_batch(jobs, n_jobs=1, trace=True)
+        parallel = run_batch(jobs, n_jobs=2, trace=True)
+        assert reports_identical(serial, parallel)
+        assert serial.counter_totals() == parallel.counter_totals()
+
+    def test_repro_trace_env_enables_tracing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        result = run_batch(expand_grid([random_net(5, 11)], ["bkrus"], [0.2]))
+        assert result.records[0].trace_summary is not None
+
+    def test_profile_hook_writes_prof_files(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        monkeypatch.setenv("REPRO_PROFILE_DIR", str(tmp_path))
+        run_batch(expand_grid([random_net(5, 11)], ["bkrus"], [0.2]))
+        produced = list(tmp_path.glob("job0000_bkrus_*.prof"))
+        assert len(produced) == 1
+        import pstats
+
+        stats = pstats.Stats(str(produced[0]))
+        assert stats.total_calls > 0
+
+
+# ----------------------------------------------------------------------
+# Failure comparison semantics (error_type, not the formatted message)
+# ----------------------------------------------------------------------
+
+
+class TestFailureComparison:
+    def test_failures_match_across_the_fork_boundary(self):
+        # eps=-1 raises InvalidParameterError deterministically inside
+        # the worker; serial and parallel runs must compare identical.
+        jobs = [
+            JobSpec(algorithm="bkrus", net=random_net(4, 5), eps=-1.0),
+            JobSpec(algorithm="mst", net=random_net(4, 5), eps=0.2),
+        ]
+        serial = run_batch(jobs, n_jobs=1)
+        parallel = run_batch(jobs, n_jobs=2)
+        assert serial.records[0].error_type == "InvalidParameterError"
+        assert parallel.records[0].error_type == "InvalidParameterError"
+        assert reports_identical(serial, parallel)
+
+    def test_unstable_messages_same_class_compare_identical(self, monkeypatch):
+        # Regression: reports_identical compared raw error strings, so
+        # messages embedding run-specific state (addresses, pids, open
+        # ports) flagged identical serial/parallel failures as
+        # different.  Same exception class + same row must now match.
+        def _unstable_boom(net, eps):
+            raise ValueError(f"failed at 0x{id(object()):x}")
+
+        monkeypatch.setitem(runners.ALGORITHMS, "boom", _unstable_boom)
+        jobs = [JobSpec(algorithm="boom", net=random_net(4, 5), eps=0.2)]
+        first = run_batch(jobs, n_jobs=1)
+        second = run_batch(jobs, n_jobs=1)
+        assert first.records[0].error_type == "ValueError"
+        assert reports_identical(first, second)
+
+    def test_different_error_classes_do_not_compare_identical(
+        self, monkeypatch
+    ):
+        def _type_a(net, eps):
+            raise ValueError("boom")
+
+        def _type_b(net, eps):
+            raise KeyError("boom")
+
+        net = random_net(4, 5)
+        monkeypatch.setitem(runners.ALGORITHMS, "boom", _type_a)
+        first = run_batch([JobSpec(algorithm="boom", net=net, eps=0.2)])
+        monkeypatch.setitem(runners.ALGORITHMS, "boom", _type_b)
+        second = run_batch([JobSpec(algorithm="boom", net=net, eps=0.2)])
+        assert not reports_identical(first, second)
+
+
+# ----------------------------------------------------------------------
 # Acceptance sweep: >= 8 nets x >= 3 algorithms, serial vs parallel
 # ----------------------------------------------------------------------
 

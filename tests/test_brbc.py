@@ -46,6 +46,13 @@ class TestBrbc:
         with pytest.raises(InvalidParameterError):
             brbc(small_net, -0.5)
 
+    def test_nan_eps_raises(self, small_net):
+        # Regression companion to Net.path_bound's NaN guard: NaN slips
+        # past `eps < 0` (always False), so the entry point must reject
+        # it explicitly rather than build a NaN detour bound.
+        with pytest.raises(InvalidParameterError):
+            brbc(small_net, math.nan)
+
     def test_infinite_eps_is_mst(self, small_net):
         assert brbc(small_net, math.inf).edge_set() == mst(small_net).edge_set()
 

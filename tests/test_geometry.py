@@ -141,6 +141,28 @@ class TestLShapes:
         assert geometry.collinear_manhattan((0, 0), (0, 4), (3, 4))
         assert not geometry.collinear_manhattan((0, 0), (5, 0), (3, 4))
 
+    def test_collinear_tolerates_one_ulp_corner(self):
+        # Regression: the corner check used exact tuple membership
+        # (`corner[0] in (p[0], q[0])`), so a corner coordinate 1 ulp
+        # off its endpoint — the normal outcome of scaling arithmetic —
+        # failed a geometrically valid route.
+        x = 3.3
+        x_ulp = math.nextafter(x, math.inf)
+        assert x_ulp != x
+        assert geometry.collinear_manhattan((0, 0), (x_ulp, 0), (x, 4))
+        assert geometry.collinear_manhattan((0.1, 0.2), (0.1, 4.0), (7.7, math.nextafter(4.0, 0.0)))
+        # A corner clearly off both axes still fails.
+        assert not geometry.collinear_manhattan((0, 0), (1.5, 0), (3, 4))
+
+    def test_collinear_scaled_third_survives(self):
+        # 0.3 * 11 accumulates rounding; the route through the exact
+        # Hanan corner must still validate after scaling.
+        s = 0.3
+        p = (0 * s, 0 * s)
+        q = (11 * s, 7 * s)
+        corner = (11 * s, 0 * s)
+        assert geometry.collinear_manhattan(p, corner, q)
+
     @given(points, points)
     def test_both_corners_realise_l1_distance(self, p, q):
         d = geometry.distance(p, q, Metric.L1)

@@ -46,6 +46,15 @@ class TestRulesFireOnFixtures:
         assert {v.rule for v in violations} == {"R002"}
         assert len(violations) == 3
 
+    def test_r002_float_membership(self):
+        violations = lint_fixture("r002_float_in_tuple.py")
+        assert {v.rule for v in violations} == {"R002"}
+        # `in` with float literals, `not in` with a float list, and a
+        # float(...) call on the left; int/str membership stays legal.
+        assert len(violations) == 3
+        messages = " ".join(v.message for v in violations)
+        assert "membership" in messages
+
     def test_r003_registry_entries(self):
         violations = lint_fixture("r003_registry_lambda.py")
         assert {v.rule for v in violations} == {"R003"}

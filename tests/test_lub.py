@@ -42,6 +42,15 @@ class TestBounds:
         with pytest.raises(InfeasibleError):
             resolve_bounds(small_net, 1.5, 0.2)  # 1.5 R > 1.2 R
 
+    def test_nan_eps_raises(self, small_net):
+        # Regression companion to Net.path_bound's NaN guard: the lub
+        # entry point must reject NaN itself (`nan < 0` is False) and
+        # never reach bound arithmetic with it.
+        with pytest.raises(InvalidParameterError):
+            lub_bkrus(small_net, math.nan, 0.2)
+        with pytest.raises(InvalidParameterError):
+            lub_bkrus(small_net, 0.2, math.nan)
+
 
 class TestLubBkrus:
     def test_zero_lower_reduces_to_bkrus(self, small_net):

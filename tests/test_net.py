@@ -90,6 +90,14 @@ class TestDerived:
         with pytest.raises(InvalidNetError):
             net.path_bound(-0.1)
 
+    def test_path_bound_nan_raises(self):
+        # Regression: `nan < 0` is False, so NaN slipped past the
+        # negativity guard and produced a NaN bound — against which
+        # every `<=` test fails, silently marking all trees infeasible.
+        net = Net((0, 0), [(10, 0)])
+        with pytest.raises(InvalidNetError):
+            net.path_bound(math.nan)
+
     def test_l1_vs_l2_radius(self):
         net = Net((0, 0), [(3, 4)])
         assert net.radius() == 7.0

@@ -1,0 +1,317 @@
+"""Observability layer tests: tracer, counters, export, and the two
+load-bearing properties — tracing never changes algorithm output, and
+the published BKRUS counters equal the KruskalTrace ground truth."""
+
+import json
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import runners
+from repro.core.exceptions import AlgorithmLimitError
+from repro.instances.random_nets import random_net
+from repro.observability import (
+    COUNTERS,
+    describe,
+    entry_span_tree,
+    iter_jsonl,
+    job_trace_entry,
+    known_counter_names,
+    merge_totals,
+    read_jsonl,
+    render_span_tree,
+    span,
+    span_from_dict,
+    start_trace,
+    tracing_active,
+    write_jsonl,
+)
+from repro.observability.trace import _NULL, Span
+
+
+# ----------------------------------------------------------------------
+# Tracer core
+# ----------------------------------------------------------------------
+
+
+class TestSpan:
+    def test_incr_and_record(self):
+        node = Span(name="x")
+        node.incr("a")
+        node.incr("a", 2)
+        node.record("events", {"k": 1})
+        assert node.counters == {"a": 3}
+        assert node.records == {"events": [{"k": 1}]}
+
+    def test_counter_totals_sum_descendants(self):
+        root = Span(name="root")
+        child = Span(name="child")
+        root.children.append(child)
+        root.incr("a", 1)
+        child.incr("a", 2)
+        child.incr("b", 5)
+        assert root.counter_totals() == {"a": 3, "b": 5}
+
+    def test_dict_round_trip(self):
+        root = Span(name="root", index=0, wall_seconds=1.5)
+        child = Span(name="child", index=1, start_seconds=0.5)
+        child.incr("n", 7)
+        child.record("sizes", [1, 2])
+        root.children.append(child)
+        rebuilt = span_from_dict(root.to_dict())
+        assert rebuilt.to_dict() == root.to_dict()
+        assert rebuilt.children[0].counters == {"n": 7}
+
+
+class TestSession:
+    def test_disabled_is_inert(self):
+        assert not tracing_active()
+        assert span("anything") is _NULL
+        with span("anything") as opened:
+            assert opened is None
+
+    def test_activation_scopes_with_the_context(self):
+        assert not tracing_active()
+        with start_trace("t"):
+            assert tracing_active()
+        assert not tracing_active()
+
+    def test_nesting_and_monotone_indices(self):
+        with start_trace("t") as session:
+            with span("outer"):
+                with span("inner"):
+                    pass
+            with span("sibling"):
+                pass
+        root = session.root
+        assert [c.name for c in root.children] == ["outer", "sibling"]
+        assert root.children[0].children[0].name == "inner"
+        indices = [node.index for node in root.walk()]
+        assert indices == sorted(indices) == list(range(len(indices)))
+
+    def test_wall_times_nest(self):
+        with start_trace("t") as session:
+            with span("child"):
+                pass
+        child = session.root.children[0]
+        assert 0.0 <= child.wall_seconds <= session.root.wall_seconds
+
+    def test_exception_still_closes_spans(self):
+        with pytest.raises(RuntimeError):
+            with start_trace("t") as session:
+                with span("child"):
+                    raise RuntimeError("boom")
+        assert not tracing_active()
+        assert session.root.children[0].name == "child"
+        assert session.root.wall_seconds >= 0.0
+
+    def test_sessions_do_not_leak_between_activations(self):
+        with start_trace("a") as first:
+            with span("only-in-a"):
+                pass
+        with start_trace("b") as second:
+            pass
+        assert first.root.children and not second.root.children
+
+    def test_render_span_tree_shows_counters(self):
+        with start_trace("job") as session:
+            with span("bkrus") as node:
+                node.incr("bkrus.merges", 4)
+                node.record("sizes", [1, 2])
+        text = render_span_tree(session.root)
+        assert "job" in text and "bkrus" in text
+        assert "bkrus.merges = 4" in text
+        assert "sizes: 1 value(s)" in text
+
+
+# ----------------------------------------------------------------------
+# Counter catalogue
+# ----------------------------------------------------------------------
+
+
+class TestCounterCatalogue:
+    def test_known_names_are_sorted_and_declared(self):
+        names = known_counter_names()
+        assert names == sorted(names)
+        assert "bkrus.edges_scanned" in names
+        assert all(not COUNTERS[n].prefix for n in names)
+
+    def test_describe_resolves_prefix_family(self):
+        spec = describe("bkex.depth.3")
+        assert spec is not None and spec.prefix
+        assert describe("bkrus.merges").unit == "merges"
+        assert describe("no.such.counter") is None
+
+    def test_merge_totals(self):
+        merged = merge_totals([{"a": 1, "b": 2}, {"a": 3}, {}])
+        assert merged == {"a": 4, "b": 2}
+        assert merge_totals([]) == {}
+
+
+# ----------------------------------------------------------------------
+# JSONL export
+# ----------------------------------------------------------------------
+
+
+class _FakeRecord:
+    def __init__(self, eps, ok=True, trace_summary=None):
+        self.index = 0
+        self.algorithm = "bkrus"
+        self.net_name = "p1"
+        self.eps = eps
+        self.ok = ok
+        self.wall_seconds = 0.01
+        self.trace_summary = trace_summary
+        self.error = None if ok else "boom"
+        self.error_type = None if ok else "ValueError"
+
+
+class TestExport:
+    def test_entry_shape(self):
+        with start_trace("job") as session:
+            with span("bkrus") as node:
+                node.incr("bkrus.merges", 2)
+        summary = {
+            "counters": session.counter_totals(),
+            "root": session.root.to_dict(),
+        }
+        entry = job_trace_entry(_FakeRecord(0.2, trace_summary=summary))
+        assert entry["counters"] == {"bkrus.merges": 2}
+        tree = entry_span_tree(entry)
+        assert tree is not None and tree.children[0].name == "bkrus"
+
+    def test_untraced_entry_has_empty_counters(self):
+        entry = job_trace_entry(_FakeRecord(0.2))
+        assert entry["counters"] == {} and entry["spans"] is None
+
+    def test_failure_entry_keeps_error_type(self):
+        entry = job_trace_entry(_FakeRecord(0.2, ok=False))
+        assert entry["error_type"] == "ValueError"
+
+    @pytest.mark.parametrize("eps", [0.2, math.inf, -math.inf, math.nan])
+    def test_jsonl_round_trips_nonfinite_eps(self, tmp_path, eps):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, [job_trace_entry(_FakeRecord(eps))])
+        # The file itself is strict JSON (json.loads must accept every
+        # line without allow_nan extensions).
+        for line in path.read_text().splitlines():
+            json.loads(line)
+        (entry,) = read_jsonl(path)
+        if math.isnan(eps):
+            assert math.isnan(entry["eps"])
+        else:
+            assert entry["eps"] == eps
+
+    def test_iter_jsonl_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, [job_trace_entry(_FakeRecord(0.2))])
+        path.write_text(path.read_text() + "\n\n")
+        assert len(list(iter_jsonl(path))) == 1
+
+
+# ----------------------------------------------------------------------
+# Properties: tracing is output-invariant; counters match ground truth
+# ----------------------------------------------------------------------
+
+
+def _fingerprint(tree):
+    """Output identity: cost plus the exact edge/topology payload."""
+    edges = getattr(tree, "edges", None)
+    return (type(tree).__name__, tree.cost, edges)
+
+
+@pytest.mark.parametrize("name", sorted(runners.ALGORITHMS))
+@settings(
+    max_examples=3,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    num_sinks=st.integers(min_value=4, max_value=6),
+    seed=st.integers(min_value=0, max_value=9_999),
+    eps=st.sampled_from((0.1, 0.4, math.inf)),
+)
+def test_tracing_never_changes_results(name, num_sinks, seed, eps):
+    """Every registry algorithm returns the identical tree traced or not."""
+    net = random_net(num_sinks, seed)
+    runner = runners.ALGORITHMS[name]
+    try:
+        plain = runner(net, eps)
+    except AlgorithmLimitError:
+        return
+    with start_trace("property"):
+        traced = runner(net, eps)
+    assert not tracing_active()
+    assert _fingerprint(plain) == _fingerprint(traced)
+
+
+@settings(max_examples=10, deadline=None, derandomize=True)
+@given(
+    num_sinks=st.integers(min_value=4, max_value=8),
+    seed=st.integers(min_value=0, max_value=9_999),
+    eps=st.sampled_from((0.0, 0.2, 0.6, math.inf)),
+)
+def test_bkrus_counters_equal_kruskal_trace(num_sinks, seed, eps):
+    """Published span counters == the KruskalTrace the caller observes."""
+    from repro.algorithms.bkrus import KruskalTrace, bkrus
+
+    net = random_net(num_sinks, seed)
+    trace = KruskalTrace()
+    with start_trace("property") as session:
+        bkrus(net, eps, trace=trace)
+    totals = session.counter_totals()
+    assert totals["bkrus.edges_scanned"] == trace.edges_scanned
+    assert totals["bkrus.merges"] == len(trace.accepted)
+    assert totals["bkrus.bound_rejections"] == len(trace.rejected)
+    assert totals["bkrus.largest_merge"] == max(
+        a + b for a, b in trace.merge_sizes
+    )
+
+
+def test_emitted_counters_are_declared():
+    """Every counter the instrumented algorithms emit is in the
+    catalogue (prefix families included) — names in code and docs agree."""
+    net = random_net(7, 3)
+    with start_trace("audit") as session:
+        for name in sorted(runners.ALGORITHMS):
+            try:
+                runners.ALGORITHMS[name](net, 0.2)
+            except AlgorithmLimitError:
+                pass
+    undeclared = [
+        name for name in session.counter_totals() if describe(name) is None
+    ]
+    assert undeclared == []
+
+
+# ----------------------------------------------------------------------
+# CLI subcommand
+# ----------------------------------------------------------------------
+
+
+class TestTraceCli:
+    def test_trace_prints_span_tree_and_counters(self, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "bkrus", "--benchmark", "p1"]) == 0
+        out = capsys.readouterr().out
+        assert "bkrus" in out
+        assert "bkrus.merges" in out
+        assert "bkrus.bound_rejections" in out
+
+    def test_trace_writes_parseable_jsonl(self, capsys, tmp_path):
+        from repro.cli import main
+
+        target = tmp_path / "out.jsonl"
+        code = main(
+            ["trace", "bkh2", "--benchmark", "p1", "--jsonl", str(target)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        (entry,) = read_jsonl(target)
+        assert entry["ok"] and entry["algorithm"] == "bkh2"
+        assert entry["counters"]["bkh2.exchanges_scanned"] > 0
+        assert entry_span_tree(entry) is not None

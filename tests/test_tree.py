@@ -137,6 +137,17 @@ class TestBounds:
         assert not chain.satisfies_lower_bound(0.5)
         assert chain.skew_ratio() == 4.0
 
+    def test_satisfies_bound_rejects_nan(self, chain):
+        # Regression: satisfies_bound delegates to Net.path_bound with
+        # no guard of its own; a NaN eps used to yield a NaN bound and
+        # a silent False instead of an error.
+        import math
+
+        from repro.core.exceptions import InvalidNetError
+
+        with pytest.raises(InvalidNetError):
+            chain.satisfies_bound(math.nan)
+
 
 class TestExchange:
     def test_exchange_produces_valid_tree(self, chain):
