@@ -23,12 +23,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.edges import non_tree_edges
-from repro.core.exceptions import InvalidParameterError
+from repro.core.exceptions import BudgetExhaustedError, InvalidParameterError
 from repro.core.net import Net
 from repro.core.tree import RoutingTree
 from repro.algorithms.bkrus import bkrus
 from repro.observability import span, tracing_active
 from repro.observability.trace import Span
+from repro.runtime.budget import Budget, active_budget
 
 
 @dataclass
@@ -76,6 +77,7 @@ def _dfs_exchange(
     max_depth: Optional[int],
     stats: Optional[BkexStats],
     tolerance: float,
+    budget: Optional[Budget] = None,
 ) -> Optional[RoutingTree]:
     """The paper's DFS_EXCHANGE, run iteratively with an explicit stack.
 
@@ -107,6 +109,8 @@ def _dfs_exchange(
         tree, weight_sum, candidates = stack[-1]
         advanced = False
         for (remove, add), diff in candidates:
+            if budget is not None:
+                budget.checkpoint()
             if stats is not None:
                 stats.exchanges_tried += 1
                 depth = len(stack)
@@ -118,13 +122,13 @@ def _dfs_exchange(
                 continue
             candidate = tree.with_exchange(remove, add, validate=False)
             signature = candidate.edge_set()
-            budget = remaining(len(stack))
-            if explored.get(signature, -1.0) >= budget:
+            depth_left = remaining(len(stack))
+            if explored.get(signature, -1.0) >= depth_left:
                 continue
             if is_feasible(candidate):
                 return candidate
-            if budget > 0:
-                explored[signature] = budget
+            if depth_left > 0:
+                explored[signature] = depth_left
                 stack.append(
                     (candidate, diff + weight_sum, _candidate_exchanges(candidate))
                 )
@@ -142,6 +146,7 @@ def bkex(
     max_depth: Optional[int] = None,
     stats: Optional[BkexStats] = None,
     tolerance: float = 1e-9,
+    budget: Optional[Budget] = None,
 ) -> RoutingTree:
     """Optimal (or depth-limited) BMST via negative-sum exchanges.
 
@@ -160,9 +165,17 @@ def bkex(
         speed exactly as in the paper's depth study.
     stats:
         Optional :class:`BkexStats` to fill in.
+    budget:
+        Optional :class:`~repro.runtime.Budget`; defaults to the ambient
+        one (:func:`~repro.runtime.active_budget`).  BKEX always holds a
+        feasible tree (the current root), so on exhaustion it returns
+        that incumbent instead of raising — anytime semantics; callers
+        can inspect ``budget.exhausted`` for honesty.
     """
     if eps < 0 or math.isnan(eps):
         raise InvalidParameterError(f"eps must be >= 0, got {eps}")
+    if budget is None:
+        budget = active_budget()
     bound = net.path_bound(eps) if math.isfinite(eps) else math.inf
     tree = initial if initial is not None else bkrus(net, eps)
     if tree.longest_source_path() > bound + tolerance:
@@ -186,6 +199,7 @@ def bkex(
             max_depth=max_depth,
             stats=local_stats,
             tolerance=tolerance,
+            budget=budget,
         )
         if bkex_span is not None and local_stats is not None:
             local_stats.publish(bkex_span)
@@ -198,15 +212,25 @@ def exchange_descent(
     max_depth: Optional[int] = None,
     stats: Optional[BkexStats] = None,
     tolerance: float = 1e-9,
+    budget: Optional[Budget] = None,
 ) -> RoutingTree:
     """Iterate negative-sum-exchange search under a custom feasibility.
 
     The generalised engine behind :func:`bkex`; the lower+upper bounded
     solver of Section 6 plugs in a two-sided predicate.  ``tree`` must
     already satisfy ``is_feasible``.
+
+    ``tree`` is a feasible incumbent throughout, so budget exhaustion is
+    absorbed here: the current root is returned as the anytime answer
+    (``budget.exhausted`` stays set for the caller to inspect).
     """
     while True:
-        better = _dfs_exchange(tree, is_feasible, max_depth, stats, tolerance)
+        try:
+            better = _dfs_exchange(
+                tree, is_feasible, max_depth, stats, tolerance, budget
+            )
+        except BudgetExhaustedError:
+            return tree
         if better is None:
             return tree
         assert better.cost < tree.cost, "negative-sum exchange must reduce cost"

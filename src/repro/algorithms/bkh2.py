@@ -21,13 +21,14 @@ import math
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from repro.core.exceptions import InvalidParameterError
+from repro.core.exceptions import BudgetExhaustedError, InvalidParameterError
 from repro.core.net import Net
 from repro.core.tree import RoutingTree
 from repro.algorithms.bkrus import bkrus
 from repro.algorithms.exchange import Exchange, iter_all_exchanges
 from repro.observability import span, tracing_active
 from repro.observability.trace import Span
+from repro.runtime.budget import Budget, active_budget
 
 
 @dataclass
@@ -50,11 +51,14 @@ def _best_single(
     is_feasible: Callable[[RoutingTree], bool],
     tolerance: float,
     stats: Optional[Bkh2Stats],
+    budget: Optional[Budget] = None,
 ) -> Optional[RoutingTree]:
     """Cheapest feasible tree one negative exchange away, or None."""
     best: Optional[RoutingTree] = None
     best_weight = -tolerance
     for ex in iter_all_exchanges(tree):
+        if budget is not None:
+            budget.checkpoint()
         if stats is not None:
             stats.exchanges_scanned += 1
         if ex.weight >= best_weight:
@@ -72,6 +76,7 @@ def _best_double(
     tolerance: float,
     level2_beam: Optional[int],
     stats: Optional[Bkh2Stats],
+    budget: Optional[Budget] = None,
 ) -> Optional[RoutingTree]:
     """Cheapest feasible tree two exchanges away with negative sum."""
     first_moves: List[Exchange] = sorted(
@@ -84,6 +89,8 @@ def _best_double(
     for first in first_moves:
         intermediate = first.apply(tree)
         for second in iter_all_exchanges(intermediate):
+            if budget is not None:
+                budget.checkpoint()
             if stats is not None:
                 stats.exchanges_scanned += 1
             total = first.weight + second.weight
@@ -103,6 +110,7 @@ def bkh2(
     level2_beam: Optional[int] = None,
     stats: Optional[Bkh2Stats] = None,
     tolerance: float = 1e-9,
+    budget: Optional[Budget] = None,
 ) -> RoutingTree:
     """BKRUS followed by repeated best 1- or 2-exchange improvements.
 
@@ -117,9 +125,16 @@ def bkh2(
     level2_beam:
         Optional cap on first-exchange candidates in the double-exchange
         level (sorted by weight); ``None`` searches exhaustively.
+    budget:
+        Optional :class:`~repro.runtime.Budget`; defaults to the ambient
+        one (:func:`~repro.runtime.active_budget`).  BKH2 always holds a
+        feasible tree, so on exhaustion it returns the current incumbent
+        (anytime semantics); callers can inspect ``budget.exhausted``.
     """
     if eps < 0 or math.isnan(eps):
         raise InvalidParameterError(f"eps must be >= 0, got {eps}")
+    if budget is None:
+        budget = active_budget()
     bound = net.path_bound(eps) if math.isfinite(eps) else math.inf
     tree = initial if initial is not None else bkrus(net, eps)
     if tree.longest_source_path() > bound + tolerance:
@@ -142,6 +157,7 @@ def bkh2(
             level2_beam=level2_beam,
             stats=local_stats,
             tolerance=tolerance,
+            budget=budget,
         )
         if bkh2_span is not None and local_stats is not None:
             local_stats.publish(bkh2_span)
@@ -154,21 +170,31 @@ def depth2_descent(
     level2_beam: Optional[int] = None,
     stats: Optional[Bkh2Stats] = None,
     tolerance: float = 1e-9,
+    budget: Optional[Budget] = None,
 ) -> RoutingTree:
     """Iterate best 1-/2-exchange improvements under a custom feasibility.
 
     The generalised engine behind :func:`bkh2`; the lower+upper bounded
     solver of Section 6 plugs in a two-sided predicate.  ``tree`` must
     already satisfy ``is_feasible``.
+
+    ``tree`` is a feasible incumbent throughout, so budget exhaustion is
+    absorbed here: the latest incumbent is returned as the anytime
+    answer (``budget.exhausted`` stays set for the caller to inspect).
     """
     while True:
-        single = _best_single(tree, is_feasible, tolerance, stats)
-        if single is not None:
-            if stats is not None:
-                stats.single_improvements += 1
-            tree = single
-            continue
-        double = _best_double(tree, is_feasible, tolerance, level2_beam, stats)
+        try:
+            single = _best_single(tree, is_feasible, tolerance, stats, budget)
+            if single is not None:
+                if stats is not None:
+                    stats.single_improvements += 1
+                tree = single
+                continue
+            double = _best_double(
+                tree, is_feasible, tolerance, level2_beam, stats, budget
+            )
+        except BudgetExhaustedError:
+            return tree
         if double is not None:
             if stats is not None:
                 stats.double_improvements += 1

@@ -30,12 +30,17 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.edges import sorted_edges
-from repro.core.exceptions import AlgorithmLimitError, InvalidParameterError
+from repro.core.exceptions import (
+    AlgorithmLimitError,
+    BudgetExhaustedError,
+    InvalidParameterError,
+)
 from repro.core.net import Net
 from repro.core.partial_forest import PartialForest
 from repro.core.tree import RoutingTree
 from repro.algorithms.bkrus import bkrus, upper_bound_test
 from repro.algorithms.mst import constrained_mst
+from repro.runtime.budget import Budget, active_budget
 
 
 @dataclass
@@ -54,14 +59,23 @@ def bmst_branch_bound(
     max_nodes: Optional[int] = 2_000_000,
     stats: Optional[BranchBoundStats] = None,
     tolerance: float = 1e-9,
+    budget: Optional[Budget] = None,
 ) -> RoutingTree:
     """Optimal BMST by depth-first branch and bound.
 
     Raises :class:`AlgorithmLimitError` when ``max_nodes`` search nodes
     are expanded without proving optimality.
+
+    ``budget`` (defaulting to the ambient
+    :func:`~repro.runtime.active_budget`) is checkpointed once per
+    search node.  The incumbent is seeded with the always-feasible BKRUS
+    tree, so exhaustion returns the best incumbent found so far (anytime
+    semantics) rather than raising; ``budget.exhausted`` records it.
     """
     if eps < 0 or math.isnan(eps):
         raise InvalidParameterError(f"eps must be >= 0, got {eps}")
+    if budget is None:
+        budget = active_budget()
     bound = net.path_bound(eps) if math.isfinite(eps) else math.inf
     feasible_merge = upper_bound_test(net, bound, tolerance)
 
@@ -81,6 +95,8 @@ def bmst_branch_bound(
     ) -> None:
         nonlocal incumbent_cost, best_edges
         counter["nodes"] += 1
+        if budget is not None:
+            budget.checkpoint()
         if stats is not None:
             stats.nodes_visited += 1
         if max_nodes is not None and counter["nodes"] > max_nodes:
@@ -142,6 +158,11 @@ def bmst_branch_bound(
             forest.merge(a, b)
         return forest
 
-    search(0, PartialForest(net), [], frozenset())
+    try:
+        search(0, PartialForest(net), [], frozenset())
+    except BudgetExhaustedError:
+        # The BKRUS-seeded incumbent is always feasible: return it as
+        # the anytime answer instead of surfacing the exhaustion.
+        pass
     assert best_edges is not None
     return RoutingTree(net, best_edges)

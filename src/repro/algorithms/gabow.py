@@ -43,6 +43,7 @@ from repro.core.net import Net, SOURCE
 from repro.core.tree import RoutingTree
 from repro.algorithms.mst import constrained_mst
 from repro.observability import incr, span, tracing_active
+from repro.runtime.budget import Budget, active_budget
 
 
 def lemma_preprocessing(
@@ -103,6 +104,7 @@ def spanning_trees_in_cost_order(
     include: FrozenSet[Edge] = frozenset(),
     exclude: FrozenSet[Edge] = frozenset(),
     max_trees: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> Iterator[RoutingTree]:
     """Yield spanning trees in nondecreasing cost order.
 
@@ -111,6 +113,11 @@ def spanning_trees_in_cost_order(
     branches into children that each pin down one more of its free edges.
     Every spanning tree consistent with the root constraints is produced
     exactly once.
+
+    ``budget`` checkpoints once per child-partition MST (the dominant
+    cost of each expansion); exhaustion raises
+    :class:`~repro.core.exceptions.BudgetExhaustedError` out of the
+    generator.
     """
     root = constrained_mst(net, include, exclude)
     if root is None:
@@ -129,6 +136,8 @@ def spanning_trees_in_cost_order(
         free_edges = [edge for edge in tree.edges if edge not in inc]
         pinned: Set[Edge] = set(inc)
         for edge in free_edges:
+            if budget is not None:
+                budget.checkpoint()
             child_exclude = frozenset(exc | {edge})
             child_include = frozenset(pinned)
             child = constrained_mst(net, child_include, child_exclude)
@@ -159,6 +168,7 @@ def bmst_gabow(
     max_trees: Optional[int] = 200_000,
     use_lemmas: bool = True,
     tolerance: float = 1e-9,
+    budget: Optional[Budget] = None,
 ) -> RoutingTree:
     """Optimal bounded path length MST by ordered enumeration (BMST_G).
 
@@ -172,6 +182,12 @@ def bmst_gabow(
         Enumeration cap; ``None`` removes it (exponential worst case).
     use_lemmas:
         Apply the Lemma 4.1-4.3 filters (always sound; big speedups).
+    budget:
+        Optional :class:`~repro.runtime.Budget`; defaults to the ambient
+        one (:func:`~repro.runtime.active_budget`).  BMST_G stops at the
+        *first* feasible tree, so it holds no feasible incumbent while
+        searching — exhaustion raises ``BudgetExhaustedError`` and a
+        fallback chain must supply the anytime answer.
 
     Raises
     ------
@@ -181,10 +197,13 @@ def bmst_gabow(
         always feasible, but guards lemma/constraint interactions).
     AlgorithmLimitError
         If ``max_trees`` trees were enumerated without finding a
-        feasible one.
+        feasible one, or (as :class:`BudgetExhaustedError`) when the
+        budget expired first.
     """
     if eps < 0 or math.isnan(eps):
         raise InvalidParameterError(f"eps must be >= 0, got {eps}")
+    if budget is None:
+        budget = active_budget()
     bound = net.path_bound(eps) if math.isfinite(eps) else math.inf
     with span("bmst_g"):
         include: FrozenSet[Edge] = frozenset()
@@ -196,7 +215,7 @@ def bmst_gabow(
         found_any = False
         with span("bmst_g.enumeration"):
             for tree in spanning_trees_in_cost_order(
-                net, include, exclude, max_trees
+                net, include, exclude, max_trees, budget=budget
             ):
                 found_any = True
                 if traced:

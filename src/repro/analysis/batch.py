@@ -31,15 +31,18 @@ import multiprocessing
 import os
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, replace
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.exceptions import InvalidParameterError
+from repro.core.exceptions import InvalidParameterError, WorkerCrashError
 from repro.core.net import Net
 from repro.analysis.metrics import AnyTree, TreeReport, format_eps
 from repro.observability import merge_totals, start_trace
+from repro.runtime import chaos
+from repro.runtime.solve import FallbackPolicy
 
 __all__ = [
     "JobSpec",
@@ -60,18 +63,39 @@ class JobSpec:
     ``mst_reference`` (the net's MST cost) may be precomputed so every
     algorithm on the same net shares one reference; left ``None`` it is
     computed inside the job.
+
+    The three runtime fields opt the job into the deadline/budget layer
+    (:mod:`repro.runtime`): ``budget_seconds``/``max_nodes`` arm a
+    :class:`~repro.runtime.Budget` around the single algorithm;
+    ``policy`` runs the whole fallback ladder instead (its own limits
+    win; spec-level limits fill in the ones it leaves ``None``).  All
+    three default to off, keeping legacy specs byte-identical.
     """
 
     algorithm: str
     net: Net
     eps: float
     mst_reference: Optional[float] = None
+    budget_seconds: Optional[float] = None
+    max_nodes: Optional[int] = None
+    policy: Optional[FallbackPolicy] = None
 
     def describe(self) -> str:
         return (
             f"{self.algorithm} on {self.net.name or '?'} "
             f"eps={format_eps(self.eps)}"
         )
+
+    def effective_policy(self) -> Optional[FallbackPolicy]:
+        """The fallback policy with spec-level limits filled in."""
+        if self.policy is None:
+            return None
+        policy = self.policy
+        if policy.deadline_seconds is None and self.budget_seconds is not None:
+            policy = replace(policy, deadline_seconds=self.budget_seconds)
+        if policy.max_nodes is None and self.max_nodes is not None:
+            policy = replace(policy, max_nodes=self.max_nodes)
+        return policy
 
 
 @dataclass(frozen=True)
@@ -97,6 +121,13 @@ class JobRecord:
     """When the job ran under tracing: ``{"counters": {...}, "root": span
     dict}`` (see :mod:`repro.observability.export`).  Plain dicts pickle
     across the worker boundary; ``None`` when tracing was off."""
+    attempts: int = 1
+    """How many times the engine ran this job (1 = no retries)."""
+    budget_exhausted: bool = False
+    """True when a budget tripped and the result is an anytime answer."""
+    fallback_used: Optional[str] = None
+    """Ladder entry that produced the tree when it differs from the
+    requested algorithm; ``None`` for direct answers."""
 
     @property
     def ok(self) -> bool:
@@ -111,6 +142,11 @@ class BatchResult:
     n_jobs: int
     wall_seconds: float
     fell_back_to_serial: bool = False
+    batch_counters: Dict[str, float] = field(default_factory=dict)
+    """Engine-level accounting (``batch.retries``,
+    ``batch.pool_rebuilds``, ``batch.timeouts``) — recorded by the
+    scheduler in the parent process, so it is populated even when the
+    jobs themselves ran untraced."""
 
     @property
     def reports(self) -> List[TreeReport]:
@@ -129,17 +165,21 @@ class BatchResult:
     def counter_totals(self) -> Dict[str, float]:
         """Algorithm counters summed across every traced job.
 
-        Empty when the batch ran without tracing.  Note the caveat in
-        ``docs/observability.md``: max-semantics counters
-        (``bkrus.largest_merge``, ``bkex.max_depth``) are *summed* here
-        like everything else — read them per job when the distinction
-        matters.
+        Engine-level ``batch.*`` counters are merged in on top, so a
+        traced batch reports solver counters and scheduler accounting in
+        one place.  Note the caveat in ``docs/observability.md``:
+        max-semantics counters (``bkrus.largest_merge``,
+        ``bkex.max_depth``) are *summed* here like everything else —
+        read them per job when the distinction matters.
         """
-        return merge_totals(
+        totals = merge_totals(
             r.trace_summary.get("counters", {})
             for r in self.records
             if r.trace_summary is not None
         )
+        for name, value in self.batch_counters.items():
+            totals[name] = totals.get(name, 0) + value
+        return totals
 
     def rows(self) -> List[tuple]:
         """Table rows: one per job, failures rendered in place."""
@@ -181,6 +221,9 @@ def expand_grid(
     algorithms: Sequence[str],
     eps_values: Sequence[float],
     share_mst_reference: bool = True,
+    budget_seconds: Optional[float] = None,
+    max_nodes: Optional[int] = None,
+    use_fallback: bool = False,
 ) -> List[JobSpec]:
     """The full ``net x eps x algorithm`` job list, in table row order.
 
@@ -188,6 +231,10 @@ def expand_grid(
     computed once here and stamped on every one of its jobs, so perf
     ratios across algorithms divide by the identical reference and the
     MST is not re-solved per job.
+
+    ``budget_seconds``/``max_nodes`` stamp a per-job budget on every
+    spec; ``use_fallback`` additionally arms each algorithm's
+    conventional fallback ladder (:data:`repro.runtime.solve.DEFAULT_CHAINS`).
     """
     from repro.algorithms.mst import mst_cost
 
@@ -197,6 +244,7 @@ def expand_grid(
     # Validate names eagerly: a typo should fail at grid-build time, not
     # inside a worker process.
     from repro.analysis.runners import get_runner
+    from repro.runtime.solve import default_policy
 
     for name in names:
         get_runner(name)
@@ -211,15 +259,55 @@ def expand_grid(
                         net=net,
                         eps=eps,
                         mst_reference=reference,
+                        budget_seconds=budget_seconds,
+                        max_nodes=max_nodes,
+                        policy=default_policy(name) if use_fallback else None,
                     )
                 )
     return jobs
 
 
-def _run_spec(spec: JobSpec) -> Tuple[TreeReport, AnyTree]:
+def _run_spec(spec: JobSpec) -> Tuple[TreeReport, AnyTree, bool, Optional[str]]:
+    """Solve one spec; returns (report, tree, budget_exhausted, fallback).
+
+    Legacy specs (no budget fields) take the direct runner path; specs
+    carrying budget limits or a policy go through the runtime layer and
+    surface its anytime metadata.
+    """
     from repro.analysis.metrics import evaluate, timed
     from repro.analysis.runners import get_runner
+    from repro.runtime.budget import Budget
+    from repro.runtime.solve import run_with_budget
+    from repro.runtime.solve import solve as runtime_solve
 
+    policy = spec.effective_policy()
+    if policy is not None:
+        start = time.perf_counter()
+        partial = runtime_solve(spec.net, spec.eps, policy)
+        seconds = time.perf_counter() - start
+        report = evaluate(
+            spec.algorithm,
+            spec.net,
+            partial.tree,
+            spec.eps,
+            mst_reference=spec.mst_reference,
+            cpu_seconds=seconds,
+        )
+        return report, partial.tree, partial.exhausted, partial.fallback_used
+    if spec.budget_seconds is not None or spec.max_nodes is not None:
+        budget = Budget(seconds=spec.budget_seconds, max_nodes=spec.max_nodes)
+        start = time.perf_counter()
+        partial = run_with_budget(spec.algorithm, spec.net, spec.eps, budget)
+        seconds = time.perf_counter() - start
+        report = evaluate(
+            spec.algorithm,
+            spec.net,
+            partial.tree,
+            spec.eps,
+            mst_reference=spec.mst_reference,
+            cpu_seconds=seconds,
+        )
+        return report, partial.tree, partial.exhausted, None
     runner = get_runner(spec.algorithm)
     tree, seconds = timed(runner, spec.net, spec.eps)
     report = evaluate(
@@ -230,7 +318,7 @@ def _run_spec(spec: JobSpec) -> Tuple[TreeReport, AnyTree]:
         mst_reference=spec.mst_reference,
         cpu_seconds=seconds,
     )
-    return report, tree
+    return report, tree, False, None
 
 
 def _env_flag(name: str) -> bool:
@@ -257,10 +345,19 @@ def execute_job(
     indexed_spec: Tuple[int, JobSpec],
     keep_tree: bool = False,
     trace: bool = False,
+    attempt: int = 1,
 ) -> JobRecord:
     """Run one job, never raising: failures become error records.
 
     Module-level (not a closure) so it pickles into worker processes.
+
+    ``attempt`` is stamped on the record so retried jobs are auditable.
+    The one exception to never-raise is chaos *infrastructure* injection
+    (:func:`repro.runtime.chaos.inject_infrastructure`), which runs
+    before the isolation handler on purpose: a crash injection must take
+    the worker process down exactly like a segfault (in a serial batch
+    it raises :class:`~repro.core.exceptions.WorkerCrashError` for the
+    engine to catch instead).
 
     ``trace=True`` (or ``REPRO_TRACE=1`` in the environment) runs the
     job inside a :class:`~repro.observability.trace.TraceSession` and
@@ -270,21 +367,24 @@ def execute_job(
     and writes ``<REPRO_PROFILE_DIR>/jobNNNN_<algo>_<net>.prof``.
     """
     index, spec = indexed_spec
+    chaos.inject_infrastructure(index, attempt)
     trace_on = trace or _env_flag("REPRO_TRACE")
     session = start_trace(f"job:{spec.describe()}") if trace_on else None
     profiler = cProfile.Profile() if _env_flag("REPRO_PROFILE") else None
     start = time.perf_counter()
     try:
+        chaos.inject_failure(index, attempt)
         if session is not None:
             with session:
                 if profiler is not None:
-                    report, tree = profiler.runcall(_run_spec, spec)
+                    outcome = profiler.runcall(_run_spec, spec)
                 else:
-                    report, tree = _run_spec(spec)
+                    outcome = _run_spec(spec)
         elif profiler is not None:
-            report, tree = profiler.runcall(_run_spec, spec)
+            outcome = profiler.runcall(_run_spec, spec)
         else:
-            report, tree = _run_spec(spec)
+            outcome = _run_spec(spec)
+        report, tree, budget_exhausted, fallback_used = outcome
         return JobRecord(
             index=index,
             algorithm=spec.algorithm,
@@ -294,6 +394,9 @@ def execute_job(
             wall_seconds=time.perf_counter() - start,
             tree=tree if keep_tree else None,
             trace_summary=_session_summary(session) if session else None,
+            attempts=attempt,
+            budget_exhausted=budget_exhausted,
+            fallback_used=fallback_used,
         )
     # lint: allow-broad-except(job isolation — every failure must become a record, never a crash)
     except Exception as exc:  # noqa: BLE001 — the record IS the handler
@@ -312,10 +415,164 @@ def execute_job(
             error_type=type(exc).__name__,
             traceback=formatted,
             trace_summary=_session_summary(session) if session else None,
+            attempts=attempt,
         )
     finally:
         if profiler is not None:
             profiler.dump_stats(str(_profile_target(index, spec)))
+
+
+def _bump(counters: Dict[str, float], name: str, value: float = 1) -> None:
+    counters[name] = counters.get(name, 0) + value
+
+
+def _failure_record(
+    index: int,
+    spec: JobSpec,
+    attempt: int,
+    message: str,
+    error_type: str = "WorkerCrashError",
+) -> JobRecord:
+    """Parent-synthesised failure for a job whose worker never answered."""
+    return JobRecord(
+        index=index,
+        algorithm=spec.algorithm,
+        net_name=spec.net.name or "?",
+        eps=spec.eps,
+        report=None,
+        wall_seconds=0.0,
+        error=message,
+        error_type=error_type,
+        attempts=attempt,
+    )
+
+
+def _make_pool(n_jobs: int) -> ProcessPoolExecutor:
+    """A fresh worker pool (``fork`` where available, so workers inherit
+    the warm distance-matrix cache)."""
+    context = None
+    if "fork" in multiprocessing.get_all_start_methods():
+        context = multiprocessing.get_context("fork")
+    return ProcessPoolExecutor(max_workers=n_jobs, mp_context=context)
+
+
+def _run_serial(
+    specs: Sequence[Tuple[int, JobSpec]],
+    worker: Callable[..., JobRecord],
+    max_attempts: int,
+    counters: Dict[str, float],
+) -> Dict[int, JobRecord]:
+    """In-process execution with the same retry accounting as the pool.
+
+    ``execute_job`` only raises for chaos crash injection (which in a
+    worker process would have killed the process); the serial engine
+    retries it like the pool path requeues after a rebuild, so serial
+    and parallel runs of a chaotic batch produce identical records.
+    """
+    records: Dict[int, JobRecord] = {}
+    for index, spec in specs:
+        attempt = 1
+        while True:
+            try:
+                records[index] = worker((index, spec), attempt=attempt)
+                break
+            except WorkerCrashError as exc:
+                if attempt >= max_attempts:
+                    records[index] = _failure_record(
+                        index, spec, attempt, str(exc)
+                    )
+                    break
+                attempt += 1
+                _bump(counters, "batch.retries")
+    return records
+
+
+def _run_parallel(
+    specs: Sequence[Tuple[int, JobSpec]],
+    worker: Callable[..., JobRecord],
+    n_jobs: int,
+    max_attempts: int,
+    job_timeout: Optional[float],
+    retry_backoff: float,
+    counters: Dict[str, float],
+) -> Dict[int, JobRecord]:
+    """Submit-based scheduling with broken-pool recovery.
+
+    A dead worker (segfault, OOM kill, chaos ``os._exit``) surfaces as
+    ``BrokenProcessPool`` on *every* in-flight future, with no way to
+    tell which job killed it.  The engine therefore charges an attempt
+    to every unfinished job, requeues the ones under ``max_attempts``,
+    rebuilds the pool after an exponential backoff, and resumes.  A
+    genuinely poisoned job burns through its attempts and becomes a
+    failure record; innocent bystanders succeed on retry.  ``job_timeout``
+    is a *stall backstop*: if no job completes within it, the pool is
+    presumed hung and recycled the same way (cooperative deadlines via
+    ``JobSpec.budget_seconds`` are the precise mechanism — this guards
+    against jobs that never reach a checkpoint).
+    """
+    records: Dict[int, JobRecord] = {}
+    queue = deque(specs)
+    attempts: Dict[int, int] = {index: 0 for index, _ in specs}
+    futures: Dict[Any, Tuple[int, JobSpec]] = {}
+    pool = _make_pool(n_jobs)
+    rebuilds = 0
+    try:
+        while queue or futures:
+            while queue:
+                index, spec = queue.popleft()
+                attempts[index] += 1
+                future = pool.submit(
+                    worker, (index, spec), attempt=attempts[index]
+                )
+                futures[future] = (index, spec)
+            done, _ = wait(
+                futures, timeout=job_timeout, return_when=FIRST_COMPLETED
+            )
+            broken = not done
+            if broken:
+                _bump(counters, "batch.timeouts")
+            for future in done:
+                index, spec = futures.pop(future)
+                try:
+                    records[index] = future.result()
+                # lint: allow-broad-except(a future that raises means the pool transport died — recover, never crash the batch)
+                except Exception as exc:  # noqa: BLE001
+                    broken = True
+                    if attempts[index] >= max_attempts:
+                        records[index] = _failure_record(
+                            index,
+                            spec,
+                            attempts[index],
+                            f"worker died running this job "
+                            f"{attempts[index]} time(s): {exc}",
+                        )
+                    else:
+                        queue.append((index, spec))
+                        _bump(counters, "batch.retries")
+            if broken:
+                rebuilds += 1
+                _bump(counters, "batch.pool_rebuilds")
+                unfinished = list(futures.values())
+                futures.clear()
+                pool.shutdown(wait=False, cancel_futures=True)
+                for index, spec in unfinished:
+                    if attempts[index] >= max_attempts:
+                        records[index] = _failure_record(
+                            index,
+                            spec,
+                            attempts[index],
+                            f"worker pool broke or stalled while this job "
+                            f"was in flight ({attempts[index]} attempt(s))",
+                        )
+                    else:
+                        queue.append((index, spec))
+                        _bump(counters, "batch.retries")
+                if queue:
+                    time.sleep(min(retry_backoff * (2 ** (rebuilds - 1)), 5.0))
+                pool = _make_pool(n_jobs)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return records
 
 
 def run_batch(
@@ -324,14 +581,31 @@ def run_batch(
     keep_trees: bool = False,
     chunksize: int = 1,
     trace: bool = False,
+    max_attempts: int = 3,
+    job_timeout: Optional[float] = None,
+    retry_backoff: float = 0.1,
 ) -> BatchResult:
     """Execute ``jobs`` and return their records in job order.
 
     ``n_jobs=1`` runs serially in-process.  ``n_jobs>1`` fans out over a
-    process pool (``fork`` start method where available, so workers
-    inherit the warm distance-matrix cache); if the pool cannot be
-    created or dies, the remaining work falls back to the serial path
-    and the result is flagged ``fell_back_to_serial``.
+    process pool; a worker crash (``BrokenProcessPool``) no longer loses
+    the batch: the pool is rebuilt after an exponential backoff
+    (``retry_backoff`` doubling per rebuild) and every unfinished job is
+    requeued with its attempt count incremented, up to ``max_attempts``
+    per job — after which the job becomes a failure record and the rest
+    of the batch proceeds.  If the pool cannot be created at all
+    (sandboxed environments), the whole batch falls back to the serial
+    path and the result is flagged ``fell_back_to_serial``.
+
+    ``job_timeout`` (seconds) is a stall backstop: when *no* job
+    completes within it, the pool is presumed hung and recycled with the
+    same requeue accounting.  It is ignored on the serial path, which
+    cannot preempt a running job — use ``JobSpec.budget_seconds`` for
+    cooperative per-job deadlines there.
+
+    ``chunksize`` is retained for API compatibility; the fault-tolerant
+    scheduler submits jobs individually so a crash invalidates one
+    job's attempt, not a chunk's.
 
     ``keep_trees`` attaches the constructed tree to each record (costs
     one pickle per tree when parallel) — the validation oracles in
@@ -339,44 +613,61 @@ def run_batch(
 
     ``trace`` runs every job under a trace session; each record carries
     its own ``trace_summary`` and :meth:`BatchResult.counter_totals`
-    aggregates the counters across workers.
+    aggregates the counters across workers (plus the engine's own
+    ``batch.*`` counters, which are recorded with or without tracing).
     """
     if n_jobs < 1:
         raise InvalidParameterError(f"n_jobs must be >= 1, got {n_jobs}")
+    if max_attempts < 1:
+        raise InvalidParameterError(
+            f"max_attempts must be >= 1, got {max_attempts}"
+        )
+    if job_timeout is not None and job_timeout <= 0:
+        raise InvalidParameterError(
+            f"job_timeout must be > 0, got {job_timeout}"
+        )
+    if retry_backoff < 0:
+        raise InvalidParameterError(
+            f"retry_backoff must be >= 0, got {retry_backoff}"
+        )
     specs = list(enumerate(jobs))
     start = time.perf_counter()
     # functools.partial of a module-level function pickles, so one worker
     # covers every (keep_trees, trace) combination.
     worker = functools.partial(execute_job, keep_tree=keep_trees, trace=trace)
     fell_back = False
-    records: List[JobRecord]
+    counters: Dict[str, float] = {}
+    records_by_index: Dict[int, JobRecord]
     if n_jobs == 1 or not specs:
-        records = [worker(spec) for spec in specs]
+        records_by_index = _run_serial(specs, worker, max_attempts, counters)
     else:
         try:
-            context = None
-            if "fork" in multiprocessing.get_all_start_methods():
-                context = multiprocessing.get_context("fork")
-            with ProcessPoolExecutor(
-                max_workers=n_jobs, mp_context=context
-            ) as pool:
-                # Executor.map preserves input order: parallel completion
-                # order can never reorder the rows.
-                records = list(
-                    pool.map(worker, specs, chunksize=max(1, chunksize))
-                )
-        # lint: allow-broad-except(pool/transport failure of any kind must fall back to the serial path)
+            records_by_index = _run_parallel(
+                specs,
+                worker,
+                n_jobs,
+                max_attempts,
+                job_timeout,
+                retry_backoff,
+                counters,
+            )
+        # lint: allow-broad-except(pool creation/transport failure of any kind must fall back to the serial path)
         except Exception:
-            # Pool creation or transport failure (sandboxed environment,
-            # broken worker): the jobs themselves never raise, so retry
-            # everything serially rather than losing the batch.
+            # Pool creation failure or an unrecoverable transport error:
+            # the jobs themselves never raise, so retry everything
+            # serially rather than losing the batch.
             fell_back = True
-            records = [worker(spec) for spec in specs]
+            counters = {}
+            records_by_index = _run_serial(
+                specs, worker, max_attempts, counters
+            )
+    records = [records_by_index[index] for index, _ in specs]
     return BatchResult(
         records=tuple(records),
         n_jobs=n_jobs,
         wall_seconds=time.perf_counter() - start,
         fell_back_to_serial=fell_back,
+        batch_counters=counters,
     )
 
 

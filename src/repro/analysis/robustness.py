@@ -15,19 +15,25 @@ from typing import Callable, List, Sequence
 
 import numpy as np
 
-from repro.core.exceptions import InvalidParameterError
+from repro.core.exceptions import InvalidParameterError, JitterCollisionError
 from repro.core.net import Net
 from repro.analysis.tables import mean
 
 
-def jittered(net: Net, magnitude: float, seed: int) -> Net:
+def jittered(net: Net, magnitude: float, seed: int, attempts: int = 100) -> Net:
     """A copy of ``net`` with every *sink* moved by up to ``magnitude``
     per axis (uniform); the source stays put, so ``R`` changes only
-    through the sinks.  Retries draws that collide terminals."""
+    through the sinks.  Retries draws that collide terminals, up to
+    ``attempts`` times, then raises
+    :class:`~repro.core.exceptions.JitterCollisionError` (a dedicated
+    type, so sweeps can catch collision exhaustion without masking
+    genuine parameter errors)."""
     if magnitude < 0:
         raise InvalidParameterError(f"magnitude must be >= 0, got {magnitude}")
+    if attempts < 1:
+        raise InvalidParameterError(f"attempts must be >= 1, got {attempts}")
     rng = np.random.default_rng(seed)
-    for _ in range(100):
+    for _ in range(attempts):
         offsets = rng.uniform(-magnitude, magnitude, size=(net.num_sinks, 2))
         sinks = [
             (x + float(dx), y + float(dy))
@@ -36,8 +42,10 @@ def jittered(net: Net, magnitude: float, seed: int) -> Net:
         candidate = set(sinks) | {net.source}
         if len(candidate) == net.num_terminals:
             return Net(net.source, sinks, metric=net.metric, name=net.name)
-    raise InvalidParameterError(
-        "could not jitter without terminal collisions; reduce magnitude"
+    raise JitterCollisionError(
+        f"could not jitter magnitude={magnitude:.6g} without terminal "
+        f"collisions after {attempts} attempts; reduce the magnitude or "
+        f"raise attempts"
     )
 
 

@@ -7,8 +7,12 @@ maps those names to callables with the uniform signature
 
 from __future__ import annotations
 
+import functools
 import math
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from repro.runtime.solve import FallbackPolicy
 
 from repro.core.exceptions import InvalidParameterError
 from repro.core.net import Net
@@ -95,8 +99,24 @@ def algorithm_names() -> List[str]:
     return sorted(ALGORITHMS)
 
 
-def get_runner(name: str) -> Runner:
+def _policy_runner(policy: "FallbackPolicy", net: Net, eps: float) -> AnyTree:
+    """Module-level body of policy-armed runners (picklable via partial)."""
+    from repro.runtime.solve import solve
+
+    return solve(net, eps, policy).tree
+
+
+def get_runner(name: str, policy: "Optional[FallbackPolicy]" = None) -> Runner:
     """The registry entry for ``name``, contract-wrapped when enabled.
+
+    With ``policy`` the returned callable keeps the uniform
+    ``(net, eps) -> tree`` signature but walks the fallback ladder
+    (:func:`repro.runtime.solve.solve`) instead of calling the single
+    algorithm: on budget exhaustion the tree comes from the best ladder
+    entry that answered.  ``name`` must head the chain, so that the
+    runner is still honestly "the ``name`` runner".  Callers that need
+    the anytime metadata (exhausted flag, producing entry) should call
+    :func:`repro.runtime.solve.solve` directly.
 
     With ``REPRO_CHECK_INVARIANTS=1`` the returned callable re-validates
     its output tree (spanning, bound, path-matrix symmetry, cost) and
@@ -107,7 +127,23 @@ def get_runner(name: str) -> Runner:
         raise InvalidParameterError(
             f"unknown algorithm {name!r}; choose from {algorithm_names()}"
         )
-    runner = ALGORITHMS[name]
+    if policy is not None and policy.chain[0] != name:
+        raise InvalidParameterError(
+            f"policy chain {policy.chain} does not start with {name!r}"
+        )
+    runner: Runner
+    if policy is not None:
+        for entry in policy.chain:
+            if entry not in ALGORITHMS:
+                raise InvalidParameterError(
+                    f"unknown algorithm {entry!r} in fallback chain; "
+                    f"choose from {algorithm_names()}"
+                )
+        # functools.partial of a module-level function stays picklable,
+        # matching the registry's named-function rule (R003).
+        runner = functools.partial(_policy_runner, policy)
+    else:
+        runner = ALGORITHMS[name]
     from repro.devtools.contracts import checked, contracts_enabled
 
     if contracts_enabled():

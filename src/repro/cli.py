@@ -3,8 +3,11 @@
 Subcommands
 -----------
 ``route``   — run one algorithm on a benchmark and print its report.
+``solve``   — run one algorithm under a deadline/node budget with an
+              optional fallback chain; prints the anytime outcome.
 ``batch``   — benchmarks x algorithms x eps grid through the parallel
-              batch engine (``--n-jobs``), with per-job timing rows.
+              batch engine (``--n-jobs``), with per-job timing rows and
+              optional per-job budgets (``--deadline``, ``--fallback``).
 ``sweep``   — eps sweep of one algorithm on one benchmark (Figure 9 data).
 ``table1``  — print the benchmark characteristics table.
 ``compare`` — run several algorithms on one benchmark side by side.
@@ -16,7 +19,7 @@ Subcommands
 ``zeroskew`` — exact zero-skew clock tree vs the node-branching LUB tree.
 ``trace``   — run one job under the span tracer and print the span tree
               with algorithm counters (optionally exporting JSONL).
-``lint``    — project-specific static analysis (rules R001-R005).
+``lint``    — project-specific static analysis (rules R001-R006).
 ``report``  — stitch benchmarks/results/*.txt into one RESULTS.md.
 
 Examples::
@@ -37,7 +40,7 @@ import math
 import sys
 from typing import List, Optional
 
-from repro.analysis.metrics import format_eps
+from repro.analysis.metrics import format_eps, tree_longest_path
 from repro.analysis.runners import algorithm_names, run, run_many
 from repro.analysis.tables import format_table
 from repro.analysis.tradeoff import lub_grid, tradeoff_curve
@@ -74,6 +77,57 @@ def _cmd_route(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.runtime.budget import Budget
+    from repro.runtime.solve import default_policy, run_with_budget, solve
+
+    net = _load_net(args)
+    if args.fallback:
+        policy = default_policy(
+            args.algorithm,
+            deadline_seconds=args.deadline,
+            max_nodes=args.max_nodes,
+        )
+        chain = " -> ".join(policy.chain)
+        result = solve(net, args.eps, policy)
+    else:
+        # A one-entry chain through solve() would drop the deadline (the
+        # final entry is the always-finishes safety net), so the plain
+        # budgeted path goes through run_with_budget instead.
+        chain = args.algorithm
+        budget = Budget(seconds=args.deadline, max_nodes=args.max_nodes)
+        result = run_with_budget(args.algorithm, net, args.eps, budget)
+    tree = result.tree
+    rows = [
+        ("benchmark", net.name or "?"),
+        ("eps", format_eps(args.eps)),
+        ("chain", chain),
+        ("requested algorithm", result.algorithm),
+        ("produced by", result.produced_by),
+        ("budget exhausted", "yes" if result.exhausted else "no"),
+        ("fallback used", "yes" if result.fallback_used else "no"),
+        ("cost", f"{tree.cost:.4f}"),
+        ("longest path", f"{tree_longest_path(tree):.4f}"),
+        (
+            "bound",
+            f"{net.path_bound(args.eps):.4f}"
+            if math.isfinite(args.eps)
+            else "inf",
+        ),
+        ("checkpoints", result.checkpoints),
+        ("elapsed s", f"{result.elapsed_seconds:.4f}"),
+    ]
+    for attempt in result.attempts:
+        rows.append(
+            (
+                f"attempt: {attempt.algorithm}",
+                f"{attempt.outcome} ({attempt.elapsed_seconds:.4f}s)",
+            )
+        )
+    print(format_table(["quantity", "value"], rows))
+    return 0
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.analysis.batch import expand_grid, run_batch
     from repro.core.geometry import distance_cache_info
@@ -85,8 +139,21 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     ]
     algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
     eps_values = args.eps_list if args.eps_list else [0.2]
-    jobs = expand_grid(nets, algorithms, eps_values)
-    result = run_batch(jobs, n_jobs=args.n_jobs)
+    jobs = expand_grid(
+        nets,
+        algorithms,
+        eps_values,
+        budget_seconds=args.deadline,
+        max_nodes=args.max_nodes,
+        use_fallback=args.fallback,
+    )
+    result = run_batch(
+        jobs,
+        n_jobs=args.n_jobs,
+        max_attempts=args.max_attempts,
+        job_timeout=args.job_timeout,
+        retry_backoff=args.retry_backoff,
+    )
     print(
         format_table(
             [
@@ -113,6 +180,19 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"({result.job_seconds:.3f}s summed job time); "
         f"distance cache: {cache.hits} hits / {cache.misses} misses"
     )
+    exhausted = sum(1 for r in result.records if r.budget_exhausted)
+    retried = sum(1 for r in result.records if r.attempts > 1)
+    fallbacks = [r for r in result.records if r.fallback_used]
+    if exhausted or retried or fallbacks:
+        print(
+            f"budgets exhausted: {exhausted}; jobs retried: {retried}; "
+            f"fallbacks used: {len(fallbacks)}"
+        )
+    for record in fallbacks:
+        print(
+            f"  [{record.index}] {record.algorithm} on {record.net_name} "
+            f"eps={format_eps(record.eps)} -> {record.fallback_used}"
+        )
     for record in result.failures:
         print(
             f"FAILED [{record.index}] {record.algorithm} on "
@@ -430,6 +510,34 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--scale", type=float, default=None)
     route.set_defaults(func=_cmd_route)
 
+    solve = sub.add_parser(
+        "solve", help="budgeted solve with an optional fallback chain"
+    )
+    solve.add_argument("--benchmark", required=True)
+    solve.add_argument(
+        "--algorithm", default="bmst_g", choices=algorithm_names()
+    )
+    solve.add_argument("--eps", type=_parse_eps, default=0.2)
+    solve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds (monotonic)",
+    )
+    solve.add_argument(
+        "--max-nodes",
+        type=int,
+        default=None,
+        help="cooperative checkpoint budget (search-node cap)",
+    )
+    solve.add_argument(
+        "--fallback",
+        action="store_true",
+        help="on budget exhaustion, fall back down the default chain",
+    )
+    solve.add_argument("--scale", type=float, default=None)
+    solve.set_defaults(func=_cmd_solve)
+
     batch = sub.add_parser(
         "batch", help="job grid through the parallel batch engine"
     )
@@ -450,6 +558,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--n-jobs", type=int, default=1)
     batch.add_argument("--scale", type=float, default=None)
+    batch.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-job wall-clock budget in seconds",
+    )
+    batch.add_argument(
+        "--max-nodes",
+        type=int,
+        default=None,
+        help="per-job cooperative checkpoint budget",
+    )
+    batch.add_argument(
+        "--fallback",
+        action="store_true",
+        help="give budgeted jobs a default fallback chain",
+    )
+    batch.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="retries per job after worker crashes (default: 3)",
+    )
+    batch.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="stall backstop: rebuild the pool if no job finishes "
+        "within this many seconds",
+    )
+    batch.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.1,
+        help="base sleep before a pool rebuild (doubles per rebuild)",
+    )
     batch.set_defaults(func=_cmd_batch)
 
     sweep = sub.add_parser("sweep", help="eps sweep (Figure 9 data)")

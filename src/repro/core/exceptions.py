@@ -32,3 +32,55 @@ class InfeasibleError(ReproError):
 class AlgorithmLimitError(ReproError):
     """A configured resource limit (trees enumerated, search depth,
     wall-clock budget) was exhausted before an answer was found."""
+
+
+class BudgetExhaustedError(AlgorithmLimitError):
+    """A :class:`repro.runtime.Budget` expired before the solver finished.
+
+    Raised by ``Budget.checkpoint()`` inside solver hot loops.  Solvers
+    that hold a feasible incumbent catch it and return that incumbent
+    (anytime semantics, with ``Budget.exhausted`` left ``True``); solvers
+    with nothing feasible to return let it propagate so a fallback chain
+    can take over.  ``reason`` is ``"deadline"`` or ``"nodes"``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        reason: str = "deadline",
+        checkpoints: int = 0,
+        elapsed_seconds: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.checkpoints = checkpoints
+        self.elapsed_seconds = elapsed_seconds
+
+
+class JitterCollisionError(ReproError):
+    """Placement jitter could not avoid terminal collisions.
+
+    Raised by :func:`repro.analysis.robustness.jittered` when every
+    retry draw placed two terminals on the same point — a property of
+    the magnitude/net combination, not an invalid parameter.
+    """
+
+
+class WorkerCrashError(ReproError):
+    """A batch worker process died while (or before) running a job.
+
+    Synthesised by the batch engine for jobs that were in flight when a
+    ``BrokenProcessPool`` was detected and that exhausted their retry
+    allowance, and by the chaos harness when crash injection runs in a
+    serial (in-process) batch where killing the worker would kill the
+    caller.
+    """
+
+
+class JobTimeoutError(ReproError):
+    """A batch job exceeded the engine's wall-clock backstop.
+
+    The cooperative path is :class:`BudgetExhaustedError` (the solver
+    notices its own deadline); this error is the *non-cooperative*
+    backstop for jobs that stop making progress entirely.
+    """

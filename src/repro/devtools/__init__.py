@@ -3,10 +3,10 @@
 Two complementary layers keep the algorithm invariants machine-checked:
 
 * :mod:`repro.devtools.lint` — an AST-based static analyser with the
-  project-specific rules R001-R005 (seeded randomness, float equality,
+  project-specific rules R001-R006 (seeded randomness, float equality,
   picklable registry entries, frozen-by-convention core objects, broad
-  exception handlers).  Run it as ``repro-lint``, ``repro-cli lint`` or
-  ``python -m repro.devtools.lint``.
+  exception handlers, wall-clock timing).  Run it as ``repro-lint``,
+  ``repro-cli lint`` or ``python -m repro.devtools.lint``.
 * :mod:`repro.devtools.contracts` — a ``@checked`` post-condition
   wrapper around every registry algorithm, activated by
   ``REPRO_CHECK_INVARIANTS=1`` and free when off.

@@ -186,7 +186,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="Project-specific static analysis for the repro library "
-        "(rules R001-R005; see docs/development.md).",
+        "(rules R001-R006; see docs/development.md).",
     )
     parser.add_argument(
         "paths",

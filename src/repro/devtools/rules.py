@@ -399,10 +399,60 @@ class BroadExceptRule(Rule):
                 )
 
 
+class WallClockRule(Rule):
+    """R006 — durations and deadlines must use ``time.monotonic()``.
+
+    ``time.time()`` follows the wall clock, which NTP and the operator
+    can step backwards or forwards at any moment; a deadline or elapsed
+    measurement built on it can fire immediately, never, or go negative.
+    The runtime budget layer (:mod:`repro.runtime.budget`) is built on
+    ``time.monotonic()``, and library code measuring spans already uses
+    ``perf_counter``; this rule keeps it that way.  Code that genuinely
+    needs calendar time (log timestamps, file names) should annotate
+    with ``# lint: disable=R006 (reason)``.
+    """
+
+    id = "R006"
+    title = "wall-clock time.time() used for duration/deadline"
+    library_only = True
+
+    def check(self, tree: ast.Module, filename: str) -> Iterator[Violation]:
+        time_aliases: Set[str] = set()
+        direct_aliases: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "time":
+                        direct_aliases.add(alias.asname or "time")
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _dotted_chain(node.func)
+            flagged = (
+                len(chain) == 2
+                and chain[0] in time_aliases
+                and chain[1] == "time"
+            ) or (len(chain) == 1 and chain[0] in direct_aliases)
+            if flagged:
+                yield self.violation(
+                    node,
+                    filename,
+                    "time.time() is wall-clock and can step backwards: use "
+                    "time.monotonic() for deadlines/durations (or "
+                    "time.perf_counter() for fine timing); calendar "
+                    "timestamps need `# lint: disable=R006 (reason)`",
+                )
+
+
 ALL_RULES: Sequence[Rule] = (
     UnseededRandomRule(),
     FloatEqualityRule(),
     RegistryPicklableRule(),
     FrozenCoreObjectsRule(),
     BroadExceptRule(),
+    WallClockRule(),
 )

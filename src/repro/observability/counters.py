@@ -137,6 +137,39 @@ _SPECS: List[CounterSpec] = [
         "attempts",
         "construction restarts with stranded sinks pre-wired",
     ),
+    # Runtime layer — budgets and fallback chains (repro.runtime).
+    CounterSpec(
+        "budget.checkpoints",
+        "checkpoints",
+        "cooperative cancellation checkpoints spent by budgeted solvers",
+    ),
+    CounterSpec(
+        "budget.exhausted",
+        "budgets",
+        "budgets that tripped (deadline or node cap) before completion",
+    ),
+    CounterSpec(
+        "budget.fallbacks",
+        "attempts",
+        "fallback-chain entries abandoned in favour of the next one",
+    ),
+    # Batch engine — scheduler accounting (recorded in the parent
+    # process, so present even on untraced runs).
+    CounterSpec(
+        "batch.retries",
+        "jobs",
+        "job attempts requeued after a worker crash or pool stall",
+    ),
+    CounterSpec(
+        "batch.pool_rebuilds",
+        "pools",
+        "worker pools recycled after breaking or stalling",
+    ),
+    CounterSpec(
+        "batch.timeouts",
+        "stalls",
+        "job_timeout windows that elapsed with no job completing",
+    ),
 ]
 
 COUNTERS: Dict[str, CounterSpec] = {spec.name: spec for spec in _SPECS}

@@ -1,0 +1,52 @@
+"""Deadline/budget execution layer: cooperative cancellation, anytime
+results, fallback chains, and fault injection.
+
+The exact solvers of this library are exponential in the worst case
+(BMST is NP-complete); this package is what lets a production sweep run
+them anyway:
+
+* :mod:`repro.runtime.budget` — :class:`Budget` (monotonic wall-clock
+  deadline + search-node cap) checked cooperatively inside every solver
+  hot loop, with ambient propagation through a ``ContextVar``;
+* :mod:`repro.runtime.solve` — :class:`FallbackPolicy` quality ladders
+  and the :func:`solve` walker returning :class:`PartialResult`
+  (anytime semantics: always a feasible tree, plus honesty about
+  whether a budget tripped and which ladder entry produced it);
+* :mod:`repro.runtime.chaos` — deterministic injection of worker
+  crashes, slow jobs and mid-run exceptions, so the batch engine's
+  recovery paths are testable.
+
+See ``docs/robustness.md`` for the guide.
+"""
+
+from repro.runtime.budget import Budget, active_budget, use_budget
+from repro.runtime.chaos import (
+    ChaosInjectedError,
+    ChaosPolicy,
+    install as install_chaos,
+    installed as chaos_installed,
+)
+from repro.runtime.solve import (
+    Attempt,
+    FallbackPolicy,
+    PartialResult,
+    default_policy,
+    run_with_budget,
+    solve,
+)
+
+__all__ = [
+    "Attempt",
+    "Budget",
+    "ChaosInjectedError",
+    "ChaosPolicy",
+    "FallbackPolicy",
+    "PartialResult",
+    "active_budget",
+    "chaos_installed",
+    "default_policy",
+    "install_chaos",
+    "run_with_budget",
+    "solve",
+    "use_budget",
+]

@@ -1,0 +1,219 @@
+"""Cooperative wall-clock / node budgets for the exact solvers.
+
+BMST is NP-complete (Section 4 of the paper) and both exact methods —
+BMST_G's ordered spanning-tree enumeration and BKEX's negative-sum
+exchange DFS — are exponential in the worst case.  A production sweep
+cannot let one adversarial ``(net, eps)`` pair stall the run, so every
+search loop in this library accepts a :class:`Budget`: a monotonic
+wall-clock deadline plus a cap on search nodes (trees enumerated,
+exchanges tried, branch-and-bound nodes, Steiner pairs popped).
+
+Design constraints, in order:
+
+* **The hot loop stays hot.**  ``checkpoint()`` is one integer
+  increment, one integer compare for the node cap, and — only every
+  ``check_stride`` calls — one ``time.monotonic()`` read for the
+  deadline.  An unlimited budget never touches the clock.
+* **Monotonic time only.**  Deadlines are computed from
+  ``time.monotonic()`` (never ``time.time()``, which jumps under NTP
+  adjustments — lint rule R006 enforces this library-wide).
+* **Ambient propagation.**  Budgets flow to solvers either explicitly
+  (the ``budget=`` keyword) or ambiently through a ``ContextVar`` set
+  by :func:`use_budget`, so the uniform ``(net, eps)`` runner signature
+  of the registry stays unchanged and budgets survive the
+  fork-at-submit boundary of the batch engine.
+
+On exhaustion ``checkpoint()`` raises
+:class:`~repro.core.exceptions.BudgetExhaustedError` and keeps raising
+on every later call; solvers holding a feasible incumbent catch it once
+at their top level and return the incumbent (anytime semantics — the
+caller reads ``budget.exhausted`` to learn the result is partial).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Iterator, Optional
+
+from repro.core.exceptions import BudgetExhaustedError, InvalidParameterError
+
+__all__ = [
+    "Budget",
+    "active_budget",
+    "use_budget",
+]
+
+
+class Budget:
+    """A monotonic deadline plus a search-node cap, checked cooperatively.
+
+    Parameters
+    ----------
+    seconds:
+        Wall-clock allowance from *now* (the constructor arms the
+        deadline immediately); ``None`` disables the time limit.
+    max_nodes:
+        Cap on ``checkpoint()`` calls — the solver-agnostic unit of
+        search effort; ``None`` disables the node limit.
+    check_stride:
+        How many checkpoints between clock reads.  The node cap is
+        checked on every call regardless.
+    clock:
+        Injection point for tests; must be monotonic.  Defaults to
+        ``time.monotonic``.
+    """
+
+    __slots__ = (
+        "deadline_seconds",
+        "max_nodes",
+        "check_stride",
+        "checkpoints",
+        "exhausted_reason",
+        "_clock",
+        "_started",
+        "_deadline",
+        "_next_clock_check",
+    )
+
+    def __init__(
+        self,
+        seconds: Optional[float] = None,
+        max_nodes: Optional[int] = None,
+        check_stride: int = 64,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if seconds is not None and (seconds < 0 or math.isnan(seconds)):
+            raise InvalidParameterError(
+                f"budget seconds must be >= 0, got {seconds}"
+            )
+        if max_nodes is not None and max_nodes < 0:
+            raise InvalidParameterError(
+                f"budget max_nodes must be >= 0, got {max_nodes}"
+            )
+        if check_stride < 1:
+            raise InvalidParameterError(
+                f"check_stride must be >= 1, got {check_stride}"
+            )
+        self.deadline_seconds = seconds
+        self.max_nodes = max_nodes
+        self.check_stride = check_stride
+        self.checkpoints = 0
+        self.exhausted_reason: Optional[str] = None
+        self._clock = clock
+        self._started = clock()
+        self._deadline = None if seconds is None else self._started + seconds
+        self._next_clock_check = check_stride
+
+    @classmethod
+    def unlimited(cls) -> "Budget":
+        """A budget that never expires (counts checkpoints only)."""
+        return cls(seconds=None, max_nodes=None)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def limited(self) -> bool:
+        """True when either limit is armed."""
+        return self._deadline is not None or self.max_nodes is not None
+
+    @property
+    def exhausted(self) -> bool:
+        """True once any limit has tripped (sticky)."""
+        return self.exhausted_reason is not None
+
+    def elapsed_seconds(self) -> float:
+        return self._clock() - self._started
+
+    def remaining_seconds(self) -> float:
+        """Seconds until the deadline (``inf`` without one, floored at 0)."""
+        if self._deadline is None:
+            return math.inf
+        return max(0.0, self._deadline - self._clock())
+
+    # ------------------------------------------------------------------
+    # The hot-loop call
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Count one unit of search work; raise when the budget is gone.
+
+        Called inside solver hot loops — one increment and one compare
+        per call, plus a clock read every ``check_stride`` calls.
+        """
+        self.checkpoints += 1
+        if self.exhausted_reason is not None:
+            self._raise()
+        if self.max_nodes is not None and self.checkpoints > self.max_nodes:
+            self.exhausted_reason = "nodes"
+            self._raise()
+        if self._deadline is not None and self.checkpoints >= self._next_clock_check:
+            self._next_clock_check = self.checkpoints + self.check_stride
+            if self._clock() >= self._deadline:
+                self.exhausted_reason = "deadline"
+                self._raise()
+
+    def _raise(self) -> None:
+        reason = self.exhausted_reason or "deadline"
+        if reason == "nodes":
+            detail = f"node budget of {self.max_nodes} checkpoints spent"
+        else:
+            detail = (
+                f"deadline of {self.deadline_seconds:.6g}s passed after "
+                f"{self.checkpoints} checkpoints"
+            )
+        raise BudgetExhaustedError(
+            f"budget exhausted: {detail}",
+            reason=reason,
+            checkpoints=self.checkpoints,
+            elapsed_seconds=self.elapsed_seconds(),
+        )
+
+    def __repr__(self) -> str:
+        limits = []
+        if self.deadline_seconds is not None:
+            limits.append(f"seconds={self.deadline_seconds:.6g}")
+        if self.max_nodes is not None:
+            limits.append(f"max_nodes={self.max_nodes}")
+        state = self.exhausted_reason or "live"
+        return (
+            f"<Budget {' '.join(limits) or 'unlimited'} "
+            f"checkpoints={self.checkpoints} {state}>"
+        )
+
+
+_ACTIVE: ContextVar[Optional[Budget]] = ContextVar(
+    "repro_active_budget", default=None
+)
+
+
+def active_budget() -> Optional[Budget]:
+    """The ambient budget of the current context, or None.
+
+    Budget-aware solvers resolve this **once** at entry (never per loop
+    iteration): ``budget = budget if budget is not None else
+    active_budget()``.
+    """
+    return _ACTIVE.get()
+
+
+@contextmanager
+def use_budget(budget: Optional[Budget]) -> Iterator[Optional[Budget]]:
+    """Install ``budget`` as the ambient budget for the enclosed block.
+
+    Lets callers impose a budget through the uniform ``(net, eps)``
+    runner signature::
+
+        budget = Budget(seconds=0.5)
+        with use_budget(budget):
+            tree = get_runner("bkex")(net, eps)
+        if budget.exhausted:
+            ...  # tree is the best-so-far feasible incumbent
+    """
+    token = _ACTIVE.set(budget)
+    try:
+        yield budget
+    finally:
+        _ACTIVE.reset(token)

@@ -1,0 +1,194 @@
+"""Deterministic fault injection for the batch engine's recovery paths.
+
+Recovery code that only runs when a worker segfaults is recovery code
+that has never run.  This harness makes the three production failure
+modes reproducible on demand, keyed by **job index** so every run
+injects exactly the same faults:
+
+* **worker crash** — the worker process exits hard (``os._exit``),
+  which the parent observes as a ``BrokenProcessPool``; in a serial
+  batch (no worker to kill without killing the caller) the same
+  injection raises :class:`~repro.core.exceptions.WorkerCrashError`
+  instead, so the job becomes a failure record rather than a dead test
+  run;
+* **slow job** — the worker sleeps before solving, long enough to trip
+  the engine's stall backstop or a per-job deadline;
+* **mid-run exception** — :class:`ChaosInjectedError` is raised from
+  inside the solver call, exercising the failure-record path.
+
+Injections are gated on the *attempt* number (default: first attempt
+only), so a crashed or slow job succeeds when the engine requeues it —
+which is exactly the accounting the recovery tests need to observe.
+
+The policy crosses the worker boundary through the ``REPRO_CHAOS``
+environment variable (JSON), inherited at pool creation; install one
+with :func:`install` or the :func:`installed` context manager before
+calling ``run_batch``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.core.exceptions import (
+    InvalidParameterError,
+    ReproError,
+    WorkerCrashError,
+)
+
+__all__ = [
+    "CHAOS_ENV_VAR",
+    "ChaosInjectedError",
+    "ChaosPolicy",
+    "active_policy",
+    "clear",
+    "inject_failure",
+    "inject_infrastructure",
+    "install",
+    "installed",
+]
+
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+#: Exit status of chaos-crashed workers; distinctive in worker logs.
+CRASH_EXIT_CODE = 86
+
+
+class ChaosInjectedError(ReproError):
+    """The deliberate mid-run failure raised by ``fail_jobs`` injection."""
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Which job indices fail, and how.
+
+    All three channels are keyed by the batch job index (the
+    ``JobRecord.index`` / ``JobSpec`` position), making injection a pure
+    function of ``(index, attempt)`` — deterministic across runs and
+    start methods.
+    """
+
+    crash_jobs: Tuple[int, ...] = ()
+    """Jobs whose worker process dies hard (``BrokenProcessPool``)."""
+    slow_jobs: Tuple[int, ...] = ()
+    """Jobs that sleep ``slow_seconds`` before solving."""
+    fail_jobs: Tuple[int, ...] = ()
+    """Jobs that raise :class:`ChaosInjectedError` mid-run."""
+    slow_seconds: float = 0.5
+    only_first_attempt: bool = True
+    """Inject only on attempt 1, so requeued jobs succeed."""
+
+    def __post_init__(self) -> None:
+        if self.slow_seconds < 0:
+            raise InvalidParameterError(
+                f"slow_seconds must be >= 0, got {self.slow_seconds}"
+            )
+
+    def triggers(self, index: int, attempt: int) -> bool:
+        """Would *any* channel fire for this (index, attempt)?"""
+        if self.only_first_attempt and attempt > 1:
+            return False
+        return (
+            index in self.crash_jobs
+            or index in self.slow_jobs
+            or index in self.fail_jobs
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosPolicy":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise InvalidParameterError(
+                f"malformed {CHAOS_ENV_VAR} policy: {exc}"
+            ) from exc
+        return cls(
+            crash_jobs=tuple(payload.get("crash_jobs", ())),
+            slow_jobs=tuple(payload.get("slow_jobs", ())),
+            fail_jobs=tuple(payload.get("fail_jobs", ())),
+            slow_seconds=float(payload.get("slow_seconds", 0.5)),
+            only_first_attempt=bool(payload.get("only_first_attempt", True)),
+        )
+
+
+def install(policy: ChaosPolicy) -> None:
+    """Arm ``policy`` via the environment (inherited by future workers)."""
+    os.environ[CHAOS_ENV_VAR] = policy.to_json()
+
+
+def clear() -> None:
+    """Disarm chaos injection."""
+    os.environ.pop(CHAOS_ENV_VAR, None)
+
+
+@contextmanager
+def installed(policy: ChaosPolicy) -> Iterator[ChaosPolicy]:
+    """``install`` for the enclosed block, restoring the previous state."""
+    previous = os.environ.get(CHAOS_ENV_VAR)
+    install(policy)
+    try:
+        yield policy
+    finally:
+        if previous is None:
+            clear()
+        else:
+            os.environ[CHAOS_ENV_VAR] = previous
+
+
+def active_policy() -> Optional[ChaosPolicy]:
+    """The armed policy, parsed from the environment; None when disarmed."""
+    raw = os.environ.get(CHAOS_ENV_VAR)
+    if not raw:
+        return None
+    return ChaosPolicy.from_json(raw)
+
+
+def _in_worker_process() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+def inject_infrastructure(index: int, attempt: int) -> None:
+    """Crash/slow injection, called by ``execute_job`` before solving.
+
+    Runs *outside* the job's failure-isolation ``try`` so a crash takes
+    the worker down exactly like a segfault would.  Crashing a serial
+    batch would kill the caller's process, so in-process execution
+    raises :class:`WorkerCrashError` instead (still outside the
+    isolation handler: serial callers see the engine synthesise the
+    failure record, matching the parallel accounting).
+    """
+    policy = active_policy()
+    if policy is None:
+        return
+    if policy.only_first_attempt and attempt > 1:
+        return
+    if index in policy.crash_jobs:
+        if _in_worker_process():
+            os._exit(CRASH_EXIT_CODE)
+        raise WorkerCrashError(
+            f"chaos crash injection for job {index} (serial mode)"
+        )
+    if index in policy.slow_jobs:
+        time.sleep(policy.slow_seconds)
+
+
+def inject_failure(index: int, attempt: int) -> None:
+    """Mid-run exception injection, called from inside the solver path."""
+    policy = active_policy()
+    if policy is None:
+        return
+    if policy.only_first_attempt and attempt > 1:
+        return
+    if index in policy.fail_jobs:
+        raise ChaosInjectedError(
+            f"chaos failure injection for job {index} (attempt {attempt})"
+        )

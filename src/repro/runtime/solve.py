@@ -1,0 +1,294 @@
+"""Anytime solving: budgets, fallback chains, partial results.
+
+This module is the policy layer above :mod:`repro.runtime.budget`.  The
+budget gives a single solver a deadline; real deployments need the next
+step — *what to do when the deadline hits*.  Following the anytime
+framing of Cong–Kahng–Robins (BRBC's tunable cost/radius knob), the
+answer here is a declarative quality ladder: try the exact method under
+the budget, fall down to successively cheaper heuristics, and always
+come back with a feasible tree plus honest metadata about how it was
+obtained.
+
+* :class:`FallbackPolicy` — the ladder (``bmst_g -> bkh2 -> bkrus``),
+  plus the shared deadline and per-attempt node cap.  Plain frozen
+  dataclass: picklable, so batch job specs can carry one across the
+  worker boundary.
+* :class:`PartialResult` — tree + ``exhausted`` flag + which ladder
+  entry produced it + per-attempt outcomes.
+* :func:`run_with_budget` — one solver under one budget, returned as a
+  :class:`PartialResult`.
+* :func:`solve` — the ladder walker used by ``repro-cli solve`` and the
+  batch engine.
+
+The final ladder entry runs **without** a deadline: the whole point of
+ending a chain with a near-linear heuristic (BKRUS, BPRIM) is that the
+safety net must be allowed to finish, otherwise an aggressive deadline
+could leave the caller with nothing.  Node caps still apply to it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.exceptions import (
+    AlgorithmLimitError,
+    InfeasibleError,
+    InvalidParameterError,
+)
+from repro.core.net import Net
+from repro.observability import incr, tracing_active
+from repro.runtime.budget import Budget, use_budget
+
+__all__ = [
+    "Attempt",
+    "FallbackPolicy",
+    "PartialResult",
+    "default_policy",
+    "run_with_budget",
+    "solve",
+]
+
+#: Conventional quality ladders per exact solver: each step is strictly
+#: cheaper and the last step is a near-linear construction that cannot
+#: meaningfully exhaust a budget.
+DEFAULT_CHAINS = {
+    "bmst_g": ("bmst_g", "bkh2", "bkrus"),
+    "bkex": ("bkex", "bkh2", "bkrus"),
+    "bkh2": ("bkh2", "bkrus"),
+    "bkst": ("bkst", "bkrus"),
+}
+
+
+@dataclass(frozen=True)
+class FallbackPolicy:
+    """A quality ladder with its budget configuration.
+
+    ``chain`` lists registry names in descending quality order; the
+    first entry is the preferred algorithm.  ``deadline_seconds`` is the
+    **total** wall allowance across the chain (each attempt gets what is
+    left), armed when :func:`solve` starts; ``max_nodes`` caps each
+    attempt's checkpoints individually.  Frozen and picklable so batch
+    ``JobSpec``s can ship one to worker processes.
+    """
+
+    chain: Tuple[str, ...]
+    deadline_seconds: Optional[float] = None
+    max_nodes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.chain:
+            raise InvalidParameterError("FallbackPolicy needs a non-empty chain")
+        if self.deadline_seconds is not None and self.deadline_seconds < 0:
+            raise InvalidParameterError(
+                f"deadline_seconds must be >= 0, got {self.deadline_seconds}"
+            )
+        if self.max_nodes is not None and self.max_nodes < 0:
+            raise InvalidParameterError(
+                f"max_nodes must be >= 0, got {self.max_nodes}"
+            )
+
+    def describe(self) -> str:
+        limits = []
+        if self.deadline_seconds is not None:
+            limits.append(f"deadline={self.deadline_seconds:.6g}s")
+        if self.max_nodes is not None:
+            limits.append(f"max_nodes={self.max_nodes}")
+        suffix = f" [{', '.join(limits)}]" if limits else ""
+        return " -> ".join(self.chain) + suffix
+
+
+def default_policy(
+    algorithm: str,
+    deadline_seconds: Optional[float] = None,
+    max_nodes: Optional[int] = None,
+) -> FallbackPolicy:
+    """The conventional ladder for ``algorithm`` (itself, when none)."""
+    chain = DEFAULT_CHAINS.get(algorithm, (algorithm,))
+    return FallbackPolicy(
+        chain=chain, deadline_seconds=deadline_seconds, max_nodes=max_nodes
+    )
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One ladder step: which algorithm, and how it ended.
+
+    ``outcome`` is ``"ok"`` (finished inside the budget), ``"partial"``
+    (returned a feasible incumbent with the budget exhausted), or the
+    exception class name that ended the attempt without a tree
+    (``"BudgetExhaustedError"``, ``"AlgorithmLimitError"``, ...).
+    """
+
+    algorithm: str
+    outcome: str
+    checkpoints: int = 0
+    elapsed_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class PartialResult:
+    """The anytime contract: a tree plus honesty about how it was won.
+
+    ``tree`` is always feasible for the requested bound when present.
+    ``exhausted`` is True when any budget tripped along the way — either
+    the producing solver returned its best-so-far incumbent, or an
+    earlier ladder entry ran out and a fallback produced the tree.
+    """
+
+    algorithm: str
+    """The requested (first-chain) algorithm."""
+    produced_by: str
+    """The ladder entry whose tree this is."""
+    tree: object
+    exhausted: bool
+    attempts: Tuple[Attempt, ...] = field(default_factory=tuple)
+    checkpoints: int = 0
+    """Checkpoints spent across every attempt."""
+    elapsed_seconds: float = 0.0
+
+    @property
+    def fallback_used(self) -> Optional[str]:
+        """The producing entry when it differs from the request, else None."""
+        if self.produced_by != self.algorithm:
+            return self.produced_by
+        return None
+
+
+def run_with_budget(
+    algorithm: str,
+    net: Net,
+    eps: float,
+    budget: Budget,
+) -> PartialResult:
+    """Run one registry algorithm under ``budget``.
+
+    Returns a :class:`PartialResult` whose ``exhausted`` flag reports
+    whether the solver finished or handed back its best-so-far
+    incumbent.  Raises
+    :class:`~repro.core.exceptions.BudgetExhaustedError` when the
+    solver had nothing feasible to return (e.g. BMST_G's enumeration
+    never reaches a feasible tree before the deadline).
+    """
+    from repro.analysis.runners import get_runner
+
+    runner = get_runner(algorithm)
+    with use_budget(budget):
+        tree = runner(net, eps)
+    _publish_budget(budget)
+    return PartialResult(
+        algorithm=algorithm,
+        produced_by=algorithm,
+        tree=tree,
+        exhausted=budget.exhausted,
+        attempts=(
+            Attempt(
+                algorithm=algorithm,
+                outcome="partial" if budget.exhausted else "ok",
+                checkpoints=budget.checkpoints,
+                elapsed_seconds=budget.elapsed_seconds(),
+            ),
+        ),
+        checkpoints=budget.checkpoints,
+        elapsed_seconds=budget.elapsed_seconds(),
+    )
+
+
+def _publish_budget(budget: Budget) -> None:
+    """Emit the budget's counters onto the active trace session."""
+    if not tracing_active():
+        return
+    incr("budget.checkpoints", budget.checkpoints)
+    if budget.exhausted:
+        incr("budget.exhausted")
+
+
+def solve(
+    net: Net,
+    eps: float,
+    policy: FallbackPolicy,
+) -> PartialResult:
+    """Walk the fallback ladder until some entry yields a feasible tree.
+
+    Every entry except the last runs under a :class:`Budget` holding
+    the *remaining* share of ``policy.deadline_seconds`` plus the
+    per-attempt ``policy.max_nodes`` cap; the final entry keeps the node
+    cap but drops the deadline so the safety net always completes.  An
+    entry that returns a tree ends the walk (anytime solvers return
+    their best-so-far incumbent on exhaustion, which is already the
+    right ladder answer); an entry that raises
+    ``BudgetExhaustedError``/``AlgorithmLimitError``/``InfeasibleError``
+    hands over to the next.  Anything else (bad parameters, genuine
+    bugs) propagates.
+
+    Raises :class:`~repro.core.exceptions.InfeasibleError` when every
+    entry failed — possible only for chains whose last entry can itself
+    fail, since budgets never apply a deadline to it.
+    """
+    from repro.analysis.runners import get_runner
+
+    for name in policy.chain:
+        get_runner(name)  # fail fast on typos before spending the deadline
+    started = time.monotonic()
+    deadline_at = (
+        None
+        if policy.deadline_seconds is None
+        else started + policy.deadline_seconds
+    )
+    attempts = []
+    total_checkpoints = 0
+    traced = tracing_active()
+    last_index = len(policy.chain) - 1
+    for index, name in enumerate(policy.chain):
+        if index == last_index:
+            seconds = None
+        elif deadline_at is None:
+            seconds = None
+        else:
+            seconds = max(0.0, deadline_at - time.monotonic())
+        budget = Budget(seconds=seconds, max_nodes=policy.max_nodes)
+        runner = get_runner(name)
+        try:
+            with use_budget(budget):
+                tree = runner(net, eps)
+        except (AlgorithmLimitError, InfeasibleError) as exc:
+            total_checkpoints += budget.checkpoints
+            attempts.append(
+                Attempt(
+                    algorithm=name,
+                    outcome=type(exc).__name__,
+                    checkpoints=budget.checkpoints,
+                    elapsed_seconds=budget.elapsed_seconds(),
+                )
+            )
+            _publish_budget(budget)
+            if traced:
+                incr("budget.fallbacks")
+            continue
+        total_checkpoints += budget.checkpoints
+        attempts.append(
+            Attempt(
+                algorithm=name,
+                outcome="partial" if budget.exhausted else "ok",
+                checkpoints=budget.checkpoints,
+                elapsed_seconds=budget.elapsed_seconds(),
+            )
+        )
+        _publish_budget(budget)
+        exhausted = budget.exhausted or any(
+            a.outcome != "ok" for a in attempts[:-1]
+        )
+        return PartialResult(
+            algorithm=policy.chain[0],
+            produced_by=name,
+            tree=tree,
+            exhausted=exhausted,
+            attempts=tuple(attempts),
+            checkpoints=total_checkpoints,
+            elapsed_seconds=time.monotonic() - started,
+        )
+    outcomes = ", ".join(f"{a.algorithm}: {a.outcome}" for a in attempts)
+    raise InfeasibleError(
+        f"every fallback chain entry failed ({outcomes})"
+    )

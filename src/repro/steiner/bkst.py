@@ -44,6 +44,7 @@ from repro.core.disjoint_set import ListDisjointSet
 from repro.core.exceptions import InfeasibleError, InvalidParameterError
 from repro.core.net import Net, SOURCE
 from repro.observability import incr, span, tracing_active
+from repro.runtime.budget import Budget, active_budget
 from repro.steiner.grid_graph import GridGraph
 from repro.steiner.hanan import hanan_grid
 
@@ -342,6 +343,7 @@ def bkst(
     net: Net,
     eps: float,
     tolerance: float = 1e-9,
+    budget: Optional[Budget] = None,
 ) -> SteinerTree:
     """Construct a bounded path length Steiner tree on the Hanan grid.
 
@@ -359,15 +361,24 @@ def bkst(
     prewired sink always satisfies the bound, and each restart strictly
     grows the prewire set, guaranteeing termination (the all-prewired
     limit is the SPT-like star, feasible for every ``eps >= 0``).
+
+    ``budget`` (defaulting to the ambient
+    :func:`~repro.runtime.active_budget`) is checkpointed once per pair
+    pop during construction.  A partial Steiner construction is not a
+    tree, so exhaustion propagates as
+    :class:`~repro.core.exceptions.BudgetExhaustedError` — a fallback
+    chain must supply the anytime answer.
     """
     if eps < 0 or math.isnan(eps):
         raise InvalidParameterError(f"eps must be >= 0, got {eps}")
+    if budget is None:
+        budget = active_budget()
     bound = net.path_bound(eps) if math.isfinite(eps) else math.inf
 
     prewire: Set[int] = set()
     traced = tracing_active()
     with span("bkst"):
-        return _bkst_attempts(net, bound, prewire, tolerance, traced)
+        return _bkst_attempts(net, bound, prewire, tolerance, traced, budget)
 
 
 def _bkst_attempts(
@@ -376,12 +387,15 @@ def _bkst_attempts(
     prewire: Set[int],
     tolerance: float,
     traced: bool,
+    budget: Optional[Budget] = None,
 ) -> SteinerTree:
     """The restart loop of :func:`bkst` (split out for span scoping)."""
     for attempt in range(net.num_terminals + 1):
         if traced and attempt > 0:
             incr("bkst.restarts")
-        tree, stranded = _build(net, bound, prewire, tolerance, lower=0.0)
+        tree, stranded = _build(
+            net, bound, prewire, tolerance, lower=0.0, budget=budget
+        )
         if tree is not None:
             if not tree.is_connected_tree():
                 raise InfeasibleError(
@@ -407,6 +421,7 @@ def _build(
     prewire: Set[int],
     tolerance: float,
     lower: float = 0.0,
+    budget: Optional[Budget] = None,
 ) -> "Tuple[SteinerTree | None, Set[int]]":
     """One BKST construction attempt.
 
@@ -497,6 +512,8 @@ def _build(
         return all(forest.connected(source_gid, t) for t in terminals)
 
     while heap and not all_terminals_connected():
+        if budget is not None:
+            budget.checkpoint()
         _, _, a, b = heapq.heappop(heap)
         if forest.connected(a, b):
             continue

@@ -1,0 +1,34 @@
+"""Fixture: seeded R006 violations (wall-clock time for durations)."""
+
+import time
+import time as clock
+from time import time as now
+from time import monotonic, perf_counter
+
+
+def deadline_from_wall_clock():
+    return time.time() + 5.0  # R006: deadline on the wall clock
+
+
+def elapsed_via_alias():
+    start = clock.time()  # R006: aliased module, still wall clock
+    return clock.time() - start  # R006
+
+
+def elapsed_via_from_import():
+    start = now()  # R006: from time import time as now
+    return now() - start  # R006
+
+
+def suppressed_timestamp():
+    return time.time()  # lint: disable=R006 (log timestamp needs calendar time)
+
+
+def ok_monotonic():
+    start = monotonic()
+    return monotonic() - start
+
+
+def ok_perf_counter():
+    start = perf_counter()
+    return time.perf_counter() - start

@@ -1,0 +1,166 @@
+"""Fault-tolerant batch engine tests, driven by the chaos harness.
+
+Everything here injects failures through :mod:`repro.runtime.chaos` —
+worker crashes (``BrokenProcessPool`` in parallel mode, synthesized
+``WorkerCrashError`` records in serial mode), slow jobs tripping the
+stall backstop, and mid-solve exceptions — then asserts the engine's
+recovery accounting: zero lost jobs, honest ``attempts`` counts, and
+``batch.*`` counters in ``counter_totals()``.
+
+The closing test is the acceptance sweep from the robustness issue: a
+20-job batch with a forced worker crash and one job whose deadline is
+guaranteed to trip, which must come back complete, with the budgeted
+job flagged ``budget_exhausted`` and rescued by its fallback chain.
+"""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.batch import expand_grid, run_batch
+from repro.instances.random_nets import random_net
+from repro.runtime import chaos
+from repro.runtime.solve import default_policy
+
+# bmst_g on this (net, eps) pair enumerates 77 spanning trees before the
+# first feasible one, so a zero deadline deterministically trips at the
+# first strided clock read (checkpoint 64) — no wall-clock sensitivity.
+HARD_NET_SINKS = 8
+HARD_NET_SEED = 42
+HARD_EPS = 0.01
+
+
+def small_jobs(count: int, num_sinks: int = 5):
+    """``count`` quick heterogeneous jobs over two seeded nets."""
+    nets = [random_net(num_sinks, seed) for seed in (1, 2)]
+    algorithms = ["bkrus", "bprim", "bkh2", "brbc", "mst"]
+    jobs = expand_grid(nets, algorithms, [0.2, 0.5])
+    assert len(jobs) >= count
+    return jobs[:count]
+
+
+class TestSerialRecovery:
+    def test_crashed_job_is_retried_and_succeeds(self):
+        jobs = small_jobs(4)
+        with chaos.installed(chaos.ChaosPolicy(crash_jobs=(1,))):
+            result = run_batch(jobs, n_jobs=1)
+        assert not result.failures
+        assert [r.attempts for r in result.records] == [1, 2, 1, 1]
+        assert result.batch_counters.get("batch.retries") == 1
+
+    def test_persistent_crash_becomes_failure_record(self):
+        jobs = small_jobs(3)
+        policy = chaos.ChaosPolicy(crash_jobs=(0,), only_first_attempt=False)
+        with chaos.installed(policy):
+            result = run_batch(jobs, n_jobs=1, max_attempts=2)
+        record = result.records[0]
+        assert not record.ok
+        assert record.error_type == "WorkerCrashError"
+        assert record.attempts == 2
+        assert result.batch_counters.get("batch.retries") == 1
+        # The other jobs are untouched.
+        assert all(r.ok and r.attempts == 1 for r in result.records[1:])
+
+    def test_injected_exception_is_isolated(self):
+        jobs = small_jobs(3)
+        with chaos.installed(chaos.ChaosPolicy(fail_jobs=(2,))):
+            result = run_batch(jobs, n_jobs=1)
+        record = result.records[2]
+        assert not record.ok
+        assert record.error_type == "ChaosInjectedError"
+        assert all(r.ok for r in result.records[:2])
+
+
+class TestParallelRecovery:
+    def test_broken_pool_is_rebuilt_and_jobs_requeued(self):
+        jobs = small_jobs(6)
+        with chaos.installed(chaos.ChaosPolicy(crash_jobs=(2,))):
+            result = run_batch(jobs, n_jobs=2, retry_backoff=0.01)
+        assert len(result.records) == len(jobs)
+        assert not result.fell_back_to_serial
+        assert not result.failures  # zero lost jobs
+        assert result.records[2].attempts >= 2
+        assert result.batch_counters.get("batch.pool_rebuilds", 0) >= 1
+        assert result.batch_counters.get("batch.retries", 0) >= 1
+
+    def test_stall_backstop_recycles_the_pool(self):
+        jobs = small_jobs(4)
+        policy = chaos.ChaosPolicy(slow_jobs=(0,), slow_seconds=3.0)
+        with chaos.installed(policy):
+            result = run_batch(
+                jobs, n_jobs=2, job_timeout=0.5, retry_backoff=0.01
+            )
+        assert not result.failures
+        assert result.records[0].attempts >= 2
+        assert result.batch_counters.get("batch.timeouts", 0) >= 1
+        assert result.batch_counters.get("batch.pool_rebuilds", 0) >= 1
+
+    def test_max_attempts_validated(self):
+        jobs = small_jobs(1)
+        with pytest.raises(Exception):
+            run_batch(jobs, max_attempts=0)
+
+
+class TestAcceptanceSweep:
+    """The issue's end-to-end criterion, verbatim."""
+
+    def test_twenty_job_chaos_sweep_loses_nothing(self):
+        nets = [random_net(6, seed) for seed in (1, 2)]
+        jobs = expand_grid(
+            nets, ["bkrus", "bprim", "bkh2"], [0.2, 0.5]
+        )  # 12 quick jobs
+        hard_net = random_net(HARD_NET_SINKS, HARD_NET_SEED)
+        jobs += expand_grid(
+            [hard_net], ["bkrus", "bprim", "brbc", "bkh2"], [0.2, 0.5]
+        )[:7]
+        # Job 19: a deadline guaranteed to trip, rescued by the ladder.
+        budgeted = expand_grid([hard_net], ["bmst_g"], [HARD_EPS])[0]
+        budgeted = replace(
+            budgeted,
+            policy=default_policy("bmst_g", deadline_seconds=0.0),
+        )
+        jobs.append(budgeted)
+        assert len(jobs) == 20
+
+        policy = chaos.ChaosPolicy(crash_jobs=(3,))  # forced worker crash
+        with chaos.installed(policy):
+            result = run_batch(
+                jobs, n_jobs=2, trace=True, retry_backoff=0.01
+            )
+
+        # Zero lost jobs: every record present and successful.
+        assert len(result.records) == 20
+        assert [r.index for r in result.records] == list(range(20))
+        assert not result.failures
+        assert result.records[3].attempts >= 2
+
+        # The deadline-tripped job came back as an anytime answer from
+        # the fallback chain, still satisfying the eps bound.
+        record = result.records[19]
+        assert record.ok
+        assert record.budget_exhausted
+        assert record.fallback_used in ("bkh2", "bkrus")
+        bound = hard_net.path_bound(HARD_EPS)
+        assert record.report.longest_path <= bound + 1e-9
+
+        # Checkpoint and retry accounting is visible in one place.
+        totals = result.counter_totals()
+        assert totals.get("budget.checkpoints", 0) > 0
+        assert totals.get("budget.exhausted", 0) >= 1
+        assert totals.get("budget.fallbacks", 0) >= 1
+        assert totals.get("batch.retries", 0) >= 1
+        assert totals.get("batch.pool_rebuilds", 0) >= 1
+
+
+def test_chaos_disarmed_outside_context():
+    """The harness must leave no residue: a plain batch after a chaotic
+    one sees no injections and no retry accounting."""
+    jobs = small_jobs(2)
+    with chaos.installed(chaos.ChaosPolicy(crash_jobs=(0,))):
+        run_batch(jobs, n_jobs=1)
+    result = run_batch(jobs, n_jobs=1)
+    assert not result.failures
+    assert result.batch_counters == {}
+    assert all(r.attempts == 1 for r in result.records)
+    assert math.isfinite(result.wall_seconds)

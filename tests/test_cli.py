@@ -60,6 +60,72 @@ class TestCommands:
         assert main(["batch", "--benchmarks", "p1", "--algorithms", "nope"]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_batch_budget_flags(self, capsys):
+        code = main(
+            [
+                "batch",
+                "--benchmarks",
+                "p1",
+                "--algorithms",
+                "bkh2,bkrus",
+                "--eps-list",
+                "0.2",
+                "--deadline",
+                "5.0",
+                "--fallback",
+                "--max-attempts",
+                "2",
+                "--retry-backoff",
+                "0.01",
+            ]
+        )
+        assert code == 0
+        assert "2 jobs" in capsys.readouterr().out
+
+    def test_solve(self, capsys):
+        assert main(["solve", "--benchmark", "p1", "--algorithm", "bkh2"]) == 0
+        out = capsys.readouterr().out
+        assert "produced by" in out
+        assert "attempt: bkh2" in out
+        assert "budget exhausted" in out
+
+    def test_solve_fallback_rescues_starved_budget(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--benchmark",
+                "p4",
+                "--algorithm",
+                "bmst_g",
+                "--eps",
+                "0.01",
+                "--max-nodes",
+                "3",
+                "--fallback",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bmst_g -> bkh2 -> bkrus" in out
+        assert "BudgetExhaustedError" in out
+
+    def test_solve_exhausted_without_fallback_fails_cleanly(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--benchmark",
+                "p4",
+                "--algorithm",
+                "bmst_g",
+                "--eps",
+                "0.01",
+                "--max-nodes",
+                "3",
+            ]
+        )
+        assert code == 1
+        assert "budget exhausted" in capsys.readouterr().err
+
     def test_sweep(self, capsys):
         assert main(["sweep", "--benchmark", "figure5"]) == 0
         out = capsys.readouterr().out

@@ -77,6 +77,23 @@ class TestRulesFireOnFixtures:
         # bare, broad, tuple-hidden, and the empty-reason pragma.
         assert len(violations) == 4
 
+    def test_r006_wall_clock(self):
+        violations = lint_fixture("r006_wall_clock.py")
+        assert {v.rule for v in violations} == {"R006"}
+        # plain time.time, two aliased-module calls, and two calls
+        # through `from time import time as now`; the pragma'd calendar
+        # timestamp and the monotonic/perf_counter uses stay legal.
+        assert len(violations) == 5
+        assert [v.line for v in violations] == [10, 14, 15, 19, 20]
+        messages = " ".join(v.message for v in violations)
+        assert "time.monotonic" in messages
+
+    def test_r006_skips_tests_tree(self):
+        violations = lint_fixture(
+            "r006_wall_clock.py", filename="tests/fixture.py"
+        )
+        assert violations == []
+
     def test_clean_module_passes(self):
         assert lint_fixture("clean_module.py") == []
 

@@ -10,8 +10,26 @@ from repro.analysis.robustness import (
     jitter_study,
     jittered,
 )
-from repro.core.exceptions import InvalidParameterError
+from repro.core.exceptions import (
+    InvalidParameterError,
+    JitterCollisionError,
+    ReproError,
+)
+from repro.core.net import Net
 from repro.instances.random_nets import random_net
+
+
+class CollidingRng:
+    """Fake generator whose offsets land sink 0 exactly on sink 1."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def uniform(self, low, high, size):
+        self.calls += 1
+        offsets = np.zeros(size)
+        offsets[0] = (1.0, 0.0)
+        return offsets
 
 
 class TestJittered:
@@ -42,6 +60,30 @@ class TestJittered:
     def test_negative_magnitude_raises(self):
         with pytest.raises(InvalidParameterError):
             jittered(random_net(4, 0), -1.0, seed=0)
+
+    def test_attempts_validated(self):
+        with pytest.raises(InvalidParameterError):
+            jittered(random_net(4, 0), 1.0, seed=0, attempts=0)
+
+    def test_collision_exhaustion_raises_dedicated_error(self, monkeypatch):
+        net = Net((0.0, 0.0), [(1.0, 0.0), (2.0, 0.0)])
+        rng = CollidingRng()
+        monkeypatch.setattr(
+            "repro.analysis.robustness.np.random.default_rng",
+            lambda seed: rng,
+        )
+        with pytest.raises(JitterCollisionError) as excinfo:
+            jittered(net, 1.5, seed=0, attempts=7)
+        assert rng.calls == 7  # the attempts knob bounds the retry loop
+        message = str(excinfo.value)
+        assert "magnitude=1.5" in message
+        assert "7 attempts" in message
+
+    def test_collision_error_is_a_repro_error(self):
+        # Sweeps catch ReproError; collision exhaustion must be under it
+        # while staying distinguishable from parameter mistakes.
+        assert issubclass(JitterCollisionError, ReproError)
+        assert not issubclass(JitterCollisionError, InvalidParameterError)
 
 
 class TestStudy:

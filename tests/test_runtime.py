@@ -1,0 +1,438 @@
+"""Deadline/budget execution layer tests.
+
+Three layers are covered here:
+
+* :mod:`repro.runtime.budget` — the cooperative :class:`Budget` itself
+  (validation, node cap, fake-clock deadlines, strided clock reads,
+  ambient ContextVar propagation);
+* the solvers' anytime contract — an **unlimited** budget must be
+  tree-identical to running without one (fuzzed over every registry
+  algorithm), and an exhausted budget must yield either a feasible
+  partial tree or a clean :class:`BudgetExhaustedError`, never a
+  bound-violating tree;
+* :mod:`repro.runtime.solve` — fallback ladders, partial-result
+  metadata, and :mod:`repro.runtime.chaos` policy plumbing.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.branch_bound import bmst_branch_bound
+from repro.analysis import runners
+from repro.analysis.validation import (
+    assert_valid,
+    check_routing_tree,
+    check_steiner_tree,
+)
+from repro.core.exceptions import (
+    AlgorithmLimitError,
+    BudgetExhaustedError,
+    InfeasibleError,
+    InvalidParameterError,
+)
+from repro.instances.random_nets import random_net
+from repro.runtime import chaos
+from repro.runtime.budget import Budget, active_budget, use_budget
+from repro.runtime.solve import (
+    FallbackPolicy,
+    PartialResult,
+    default_policy,
+    run_with_budget,
+    solve,
+)
+from repro.steiner.bkst import SteinerTree
+
+UNBOUNDED = {"mst", "prim_dijkstra"}
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock for deterministic deadline tests."""
+
+    def __init__(self, start: float = 100.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def edge_identity(tree):
+    if isinstance(tree, SteinerTree):
+        return set(tree.edges)
+    return tree.edge_set()
+
+
+def validate_tree(tree, eps: float) -> None:
+    if isinstance(tree, SteinerTree):
+        assert_valid(check_steiner_tree(tree, eps))
+    else:
+        assert_valid(check_routing_tree(tree, eps))
+
+
+# ----------------------------------------------------------------------
+# Budget unit tests
+# ----------------------------------------------------------------------
+
+
+class TestBudget:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Budget(seconds=-1.0)
+        with pytest.raises(InvalidParameterError):
+            Budget(seconds=float("nan"))
+        with pytest.raises(InvalidParameterError):
+            Budget(max_nodes=-1)
+        with pytest.raises(InvalidParameterError):
+            Budget(check_stride=0)
+
+    def test_unlimited_never_trips(self):
+        budget = Budget.unlimited()
+        for _ in range(10_000):
+            budget.checkpoint()
+        assert budget.checkpoints == 10_000
+        assert not budget.exhausted
+        assert not budget.limited
+        assert budget.remaining_seconds() == math.inf
+
+    def test_unlimited_never_reads_clock(self):
+        clock = FakeClock()
+        reads = []
+
+        def counting_clock():
+            reads.append(1)
+            return clock()
+
+        budget = Budget(clock=counting_clock)
+        baseline = len(reads)  # constructor arms _started
+        for _ in range(500):
+            budget.checkpoint()
+        assert len(reads) == baseline
+
+    def test_node_cap_trips_and_sticks(self):
+        budget = Budget(max_nodes=3)
+        for _ in range(3):
+            budget.checkpoint()
+        assert not budget.exhausted
+        with pytest.raises(BudgetExhaustedError) as excinfo:
+            budget.checkpoint()
+        assert excinfo.value.reason == "nodes"
+        assert excinfo.value.checkpoints == 4
+        assert budget.exhausted
+        # Sticky: every later checkpoint keeps raising.
+        with pytest.raises(BudgetExhaustedError):
+            budget.checkpoint()
+
+    def test_deadline_trips_via_fake_clock(self):
+        clock = FakeClock()
+        budget = Budget(seconds=1.0, check_stride=1, clock=clock)
+        budget.checkpoint()
+        clock.advance(2.0)
+        with pytest.raises(BudgetExhaustedError) as excinfo:
+            budget.checkpoint()
+        assert excinfo.value.reason == "deadline"
+        assert budget.exhausted
+        assert budget.remaining_seconds() == 0.0
+        assert budget.elapsed_seconds() == pytest.approx(2.0)
+
+    def test_deadline_checked_only_every_stride(self):
+        clock = FakeClock()
+        budget = Budget(seconds=1.0, check_stride=10, clock=clock)
+        clock.advance(5.0)  # already past the deadline...
+        for _ in range(9):
+            budget.checkpoint()  # ...but the clock is not read yet
+        assert not budget.exhausted
+        with pytest.raises(BudgetExhaustedError):
+            budget.checkpoint()  # 10th call reads the clock
+
+    def test_zero_budgets(self):
+        with pytest.raises(BudgetExhaustedError):
+            Budget(max_nodes=0).checkpoint()
+        clock = FakeClock()
+        budget = Budget(seconds=0.0, check_stride=1, clock=clock)
+        with pytest.raises(BudgetExhaustedError):
+            budget.checkpoint()
+
+    def test_repr_mentions_limits(self):
+        text = repr(Budget(seconds=1.5, max_nodes=10))
+        assert "seconds=1.5" in text
+        assert "max_nodes=10" in text
+        assert "live" in text
+
+    def test_ambient_contextvar(self):
+        assert active_budget() is None
+        outer = Budget(max_nodes=5)
+        inner = Budget(max_nodes=7)
+        with use_budget(outer):
+            assert active_budget() is outer
+            with use_budget(inner):
+                assert active_budget() is inner
+            assert active_budget() is outer
+        assert active_budget() is None
+
+    def test_ambient_reset_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_budget(Budget.unlimited()):
+                raise RuntimeError("boom")
+        assert active_budget() is None
+
+
+# ----------------------------------------------------------------------
+# Anytime solver contract
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(runners.ALGORITHMS))
+@settings(
+    max_examples=4,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    num_sinks=st.integers(min_value=4, max_value=7),
+    seed=st.integers(min_value=0, max_value=99_999),
+    eps=st.sampled_from((0.0, 0.2, 1.0, math.inf)),
+)
+def test_unlimited_budget_is_identity(name, num_sinks, seed, eps):
+    """An infinite budget must not change any algorithm's output tree."""
+    net = random_net(num_sinks, seed)
+    runner = runners.ALGORITHMS[name]
+    try:
+        bare = runner(net, eps)
+    except AlgorithmLimitError:
+        bare = None
+    budget = Budget.unlimited()
+    with use_budget(budget):
+        try:
+            budgeted = runner(net, eps)
+        except AlgorithmLimitError:
+            budgeted = None
+    assert not budget.exhausted
+    if bare is None:
+        assert budgeted is None
+    else:
+        assert edge_identity(bare) == edge_identity(budgeted)
+
+
+@pytest.mark.parametrize("name", sorted(runners.ALGORITHMS))
+@pytest.mark.parametrize("max_nodes", [1, 5])
+def test_exhausted_budget_partial_or_clean_error(name, max_nodes):
+    """A starved budget yields a feasible partial tree or a clean raise."""
+    net = random_net(7, 11)
+    eps = 0.2
+    budget = Budget(max_nodes=max_nodes)
+    with use_budget(budget):
+        try:
+            tree = runners.ALGORITHMS[name](net, eps)
+        except BudgetExhaustedError as exc:
+            assert exc.reason == "nodes"
+            assert budget.exhausted
+            return
+        except AlgorithmLimitError:
+            return  # solver's own limit, unrelated to the budget
+    # Finished or returned an anytime incumbent: either way the tree
+    # must be valid and satisfy the bound.
+    validate_tree(tree, math.inf if name in UNBOUNDED else eps)
+
+
+def test_branch_bound_anytime_incumbent():
+    """bmst_branch_bound returns its BKRUS-seeded incumbent on exhaustion."""
+    net = random_net(7, 3)
+    budget = Budget(max_nodes=2)
+    tree = bmst_branch_bound(net, 0.2, budget=budget)
+    assert budget.exhausted
+    validate_tree(tree, 0.2)
+
+
+def test_explicit_budget_beats_ambient():
+    net = random_net(5, 1)
+    explicit = Budget.unlimited()
+    ambient = Budget(max_nodes=1)
+    with use_budget(ambient):
+        runners.ALGORITHMS["bkh2"](net, 0.2)
+    # The ambient budget was starved, so it must have been the one used.
+    assert ambient.checkpoints > 0
+    with use_budget(ambient):
+        from repro.algorithms.bkh2 import bkh2
+
+        bkh2(net, 0.2, budget=explicit)
+    assert explicit.checkpoints > 0
+    assert not explicit.exhausted
+
+
+# ----------------------------------------------------------------------
+# Fallback policies and anytime results
+# ----------------------------------------------------------------------
+
+
+class TestFallbackPolicy:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            FallbackPolicy(chain=())
+        with pytest.raises(InvalidParameterError):
+            FallbackPolicy(chain=("bkrus",), deadline_seconds=-1.0)
+        with pytest.raises(InvalidParameterError):
+            FallbackPolicy(chain=("bkrus",), max_nodes=-1)
+
+    def test_default_policy_chains(self):
+        assert default_policy("bmst_g").chain == ("bmst_g", "bkh2", "bkrus")
+        assert default_policy("bkh2").chain == ("bkh2", "bkrus")
+        # Algorithms without a conventional ladder fall back to themselves.
+        assert default_policy("bkrus").chain == ("bkrus",)
+
+    def test_describe(self):
+        policy = FallbackPolicy(
+            chain=("bmst_g", "bkrus"), deadline_seconds=2.0, max_nodes=10
+        )
+        text = policy.describe()
+        assert "bmst_g -> bkrus" in text
+        assert "deadline=2" in text
+        assert "max_nodes=10" in text
+
+    def test_policy_is_picklable(self):
+        import pickle
+
+        policy = default_policy("bmst_g", deadline_seconds=1.0)
+        assert pickle.loads(pickle.dumps(policy)) == policy
+
+
+class TestSolve:
+    def test_unknown_chain_entry_fails_fast(self, small_net):
+        with pytest.raises(InvalidParameterError):
+            solve(small_net, 0.2, FallbackPolicy(chain=("nope",)))
+
+    def test_no_budget_first_entry_wins(self, small_net):
+        result = solve(small_net, 0.2, default_policy("bkh2"))
+        assert result.produced_by == "bkh2"
+        assert result.fallback_used is None
+        assert not result.exhausted
+        assert [a.outcome for a in result.attempts] == ["ok"]
+        validate_tree(result.tree, 0.2)
+
+    def test_starved_first_entry_falls_back(self):
+        net = random_net(8, 5)
+        policy = default_policy("bmst_g", max_nodes=2)
+        result = solve(net, 0.01, policy)
+        assert result.algorithm == "bmst_g"
+        assert result.produced_by in ("bkh2", "bkrus")
+        assert result.fallback_used == result.produced_by
+        assert result.exhausted
+        assert result.attempts[0].algorithm == "bmst_g"
+        assert result.attempts[0].outcome == "BudgetExhaustedError"
+        validate_tree(result.tree, 0.01)
+
+    def test_final_entry_ignores_deadline(self):
+        # A deadline of zero starves every entry except the last, which
+        # must still finish: the safety net never runs out of time.
+        # (This net makes bmst_g spend > check_stride checkpoints, so
+        # the strided clock read actually fires and trips the deadline.)
+        net = random_net(8, 42)
+        policy = FallbackPolicy(
+            chain=("bmst_g", "bkrus"), deadline_seconds=0.0
+        )
+        result = solve(net, 0.01, policy)
+        assert result.produced_by == "bkrus"
+        assert result.exhausted
+        assert result.attempts[0].outcome == "BudgetExhaustedError"
+        validate_tree(result.tree, 0.01)
+
+    def test_run_with_budget_reports_partial(self):
+        net = random_net(8, 5)
+        budget = Budget(max_nodes=3)
+        result = run_with_budget("bkh2", net, 0.01, budget)
+        assert isinstance(result, PartialResult)
+        assert result.produced_by == "bkh2"
+        assert result.exhausted
+        assert result.attempts[0].outcome == "partial"
+        assert result.checkpoints == budget.checkpoints
+        validate_tree(result.tree, 0.01)
+
+    def test_run_with_budget_raises_without_incumbent(self):
+        net = random_net(8, 5)
+        with pytest.raises(BudgetExhaustedError):
+            run_with_budget("bmst_g", net, 0.01, Budget(max_nodes=1))
+
+    def test_infeasible_when_every_entry_fails(self):
+        # lub-style infeasibility is hard to force here; starve a chain
+        # whose final entry is an exact method with a node cap instead.
+        net = random_net(8, 42)
+        policy = FallbackPolicy(chain=("bmst_g",), max_nodes=1)
+        with pytest.raises(InfeasibleError):
+            solve(net, 0.01, policy)
+
+
+# ----------------------------------------------------------------------
+# Chaos policy plumbing
+# ----------------------------------------------------------------------
+
+
+class TestChaosPolicy:
+    def test_json_roundtrip(self):
+        policy = chaos.ChaosPolicy(
+            crash_jobs=(3,),
+            slow_jobs=(1, 4),
+            fail_jobs=(2,),
+            slow_seconds=0.25,
+            only_first_attempt=False,
+        )
+        assert chaos.ChaosPolicy.from_json(policy.to_json()) == policy
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            chaos.ChaosPolicy.from_json("{not json")
+
+    def test_negative_slow_seconds_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            chaos.ChaosPolicy(slow_seconds=-0.1)
+
+    def test_triggers_gated_on_attempt(self):
+        policy = chaos.ChaosPolicy(crash_jobs=(0,))
+        assert policy.triggers(0, 1)
+        assert not policy.triggers(0, 2)
+        assert not policy.triggers(1, 1)
+        always = chaos.ChaosPolicy(fail_jobs=(2,), only_first_attempt=False)
+        assert always.triggers(2, 5)
+
+    def test_installed_restores_environment(self):
+        assert chaos.active_policy() is None
+        with chaos.installed(chaos.ChaosPolicy(fail_jobs=(1,))):
+            assert chaos.active_policy().fail_jobs == (1,)
+            with chaos.installed(chaos.ChaosPolicy(fail_jobs=(9,))):
+                assert chaos.active_policy().fail_jobs == (9,)
+            assert chaos.active_policy().fail_jobs == (1,)
+        assert chaos.active_policy() is None
+
+    def test_inject_failure_raises_for_armed_job(self):
+        with chaos.installed(chaos.ChaosPolicy(fail_jobs=(7,))):
+            chaos.inject_failure(6, 1)  # other jobs untouched
+            chaos.inject_failure(7, 2)  # retry attempt untouched
+            with pytest.raises(chaos.ChaosInjectedError):
+                chaos.inject_failure(7, 1)
+
+    def test_serial_crash_raises_instead_of_exiting(self):
+        from repro.core.exceptions import WorkerCrashError
+
+        with chaos.installed(chaos.ChaosPolicy(crash_jobs=(0,))):
+            with pytest.raises(WorkerCrashError):
+                chaos.inject_infrastructure(0, 1)
+
+
+# ----------------------------------------------------------------------
+# PartialResult metadata
+# ----------------------------------------------------------------------
+
+
+def test_partial_result_fallback_property():
+    direct = PartialResult(
+        algorithm="bkh2", produced_by="bkh2", tree=None, exhausted=False
+    )
+    assert direct.fallback_used is None
+    fell = PartialResult(
+        algorithm="bmst_g", produced_by="bkrus", tree=None, exhausted=True
+    )
+    assert fell.fallback_used == "bkrus"
