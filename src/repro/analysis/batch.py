@@ -35,12 +35,18 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.exceptions import InvalidParameterError, WorkerCrashError
 from repro.core.net import Net
 from repro.analysis.metrics import AnyTree, TreeReport, format_eps
 from repro.observability import merge_totals, start_trace
+from repro.persistence.store import (
+    STORE_ENV_VAR,
+    ResultStore,
+    cacheable,
+    store_from_env,
+)
 from repro.runtime import chaos
 from repro.runtime.solve import FallbackPolicy
 
@@ -128,6 +134,11 @@ class JobRecord:
     fallback_used: Optional[str] = None
     """Ladder entry that produced the tree when it differs from the
     requested algorithm; ``None`` for direct answers."""
+    cache_hit: bool = False
+    """True when the result came from the persistent result store
+    (:mod:`repro.persistence`) instead of the solver.  ``report`` keeps
+    the cold run's ``cpu_seconds``; ``wall_seconds`` is this replay's
+    (tiny) lookup time."""
 
     @property
     def ok(self) -> bool:
@@ -196,7 +207,7 @@ class BatchResult:
                         r.report.path_ratio,
                         r.report.cpu_seconds,
                         r.wall_seconds,
-                        "ok",
+                        "cached" if r.cache_hit else "ok",
                     )
                 )
             else:
@@ -341,11 +352,25 @@ def _session_summary(session) -> Dict[str, Any]:
     }
 
 
+def _resolve_store(store_path: Optional[str]) -> Optional[ResultStore]:
+    """The result store this job should consult, if any.
+
+    An explicit ``store_path`` (threaded through the worker partial by
+    ``run_batch``) wins; otherwise the ``REPRO_RESULT_STORE`` env knob —
+    inherited across the fork boundary — arms the store in workers whose
+    parent never passed one.
+    """
+    if store_path:
+        return ResultStore(store_path)
+    return store_from_env()
+
+
 def execute_job(
     indexed_spec: Tuple[int, JobSpec],
     keep_tree: bool = False,
     trace: bool = False,
     attempt: int = 1,
+    store_path: Optional[str] = None,
 ) -> JobRecord:
     """Run one job, never raising: failures become error records.
 
@@ -365,15 +390,42 @@ def execute_job(
     failure records, which keep whatever spans closed before the raise.
     ``REPRO_PROFILE=1`` additionally runs the job under :mod:`cProfile`
     and writes ``<REPRO_PROFILE_DIR>/jobNNNN_<algo>_<net>.prof``.
+
+    ``store_path`` (or ``REPRO_RESULT_STORE``) arms the persistent
+    result store: deterministic specs (no budget, no policy — see
+    :func:`repro.persistence.cacheable`) are answered from the store
+    when possible (``cache_hit=True``, solver never runs, no trace
+    session is opened) and written back after a cold solve.  Chaos
+    injection still fires before the lookup, so fault-tolerance tests
+    behave identically with a warm store.
     """
     index, spec = indexed_spec
     chaos.inject_infrastructure(index, attempt)
     trace_on = trace or _env_flag("REPRO_TRACE")
+    store = _resolve_store(store_path)
     session = start_trace(f"job:{spec.describe()}") if trace_on else None
     profiler = cProfile.Profile() if _env_flag("REPRO_PROFILE") else None
     start = time.perf_counter()
     try:
         chaos.inject_failure(index, attempt)
+        if store is not None and cacheable(spec):
+            cached = store.load(spec)
+            if cached is not None:
+                report, tree = cached
+                return JobRecord(
+                    index=index,
+                    algorithm=spec.algorithm,
+                    net_name=spec.net.name or "?",
+                    eps=spec.eps,
+                    report=report,
+                    wall_seconds=time.perf_counter() - start,
+                    tree=tree if keep_tree else None,
+                    trace_summary=(
+                        _session_summary(session) if session else None
+                    ),
+                    attempts=attempt,
+                    cache_hit=True,
+                )
         if session is not None:
             with session:
                 if profiler is not None:
@@ -385,6 +437,9 @@ def execute_job(
         else:
             outcome = _run_spec(spec)
         report, tree, budget_exhausted, fallback_used = outcome
+        if store is not None and cacheable(spec):
+            # Never raises; an unwritable store costs nothing but reuse.
+            store.store(spec, report, tree)
         return JobRecord(
             index=index,
             algorithm=spec.algorithm,
@@ -584,6 +639,7 @@ def run_batch(
     max_attempts: int = 3,
     job_timeout: Optional[float] = None,
     retry_backoff: float = 0.1,
+    store: Optional[Union[ResultStore, str, Path]] = None,
 ) -> BatchResult:
     """Execute ``jobs`` and return their records in job order.
 
@@ -615,6 +671,16 @@ def run_batch(
     its own ``trace_summary`` and :meth:`BatchResult.counter_totals`
     aggregates the counters across workers (plus the engine's own
     ``batch.*`` counters, which are recorded with or without tracing).
+
+    ``store`` (a :class:`~repro.persistence.ResultStore`, or a directory
+    path for one) makes the sweep *resumable*: deterministic jobs whose
+    content address is already present are answered without running the
+    solver (``JobRecord.cache_hit``) and cold results are written back,
+    so re-running an interrupted or repeated sweep only pays for the
+    jobs it has never seen.  Leaving ``store=None`` still honours the
+    ``REPRO_RESULT_STORE`` environment variable (the knob crosses the
+    fork boundary, arming pool workers too).  Parent-side accounting
+    lands in ``batch.store_hits`` / ``batch.store_misses``.
     """
     if n_jobs < 1:
         raise InvalidParameterError(f"n_jobs must be >= 1, got {n_jobs}")
@@ -632,9 +698,17 @@ def run_batch(
         )
     specs = list(enumerate(jobs))
     start = time.perf_counter()
+    if store is None:
+        store_root: Optional[str] = None
+    elif isinstance(store, (str, Path)):
+        store_root = str(store)
+    else:
+        store_root = str(store.root)
     # functools.partial of a module-level function pickles, so one worker
-    # covers every (keep_trees, trace) combination.
-    worker = functools.partial(execute_job, keep_tree=keep_trees, trace=trace)
+    # covers every (keep_trees, trace, store) combination.
+    worker = functools.partial(
+        execute_job, keep_tree=keep_trees, trace=trace, store_path=store_root
+    )
     fell_back = False
     counters: Dict[str, float] = {}
     records_by_index: Dict[int, JobRecord]
@@ -662,6 +736,18 @@ def run_batch(
                 specs, worker, max_attempts, counters
             )
     records = [records_by_index[index] for index, _ in specs]
+    store_armed = store_root is not None or bool(
+        os.environ.get(STORE_ENV_VAR, "").strip()
+    )
+    if store_armed and specs:
+        hits = sum(1 for r in records if r.cache_hit)
+        misses = sum(
+            1
+            for (_, spec), r in zip(specs, records)
+            if cacheable(spec) and not r.cache_hit
+        )
+        _bump(counters, "batch.store_hits", hits)
+        _bump(counters, "batch.store_misses", misses)
     return BatchResult(
         records=tuple(records),
         n_jobs=n_jobs,

@@ -1,0 +1,607 @@
+"""Machine-readable benchmark regression harness (``repro-bench``).
+
+The ``benchmarks/`` tree reproduces the paper's tables and writes
+free-text ``.txt`` files — good for reading, useless for tracking the
+codebase's performance trajectory.  This module is the machine-readable
+counterpart: a curated suite of seeded, timed workloads whose results
+are written as schema-versioned ``BENCH_<suite>.json`` records that CI
+archives per commit and a comparator diffs run-over-run.
+
+Design points:
+
+* every case is **seeded and deterministic** — the work is identical
+  run-over-run, so wall-time deltas measure the code, not the inputs;
+* each case runs ``repeats`` times inside a trace session; the record
+  keeps the full wall-time list, the best (min — the noise-robust
+  statistic) and the mean, plus the observability counter totals, so a
+  "got slower" diff can immediately distinguish *doing more work*
+  (counters moved) from *doing the same work slower* (counters flat);
+* records carry an environment fingerprint; the comparator warns when
+  baseline and current were produced on different environments;
+* the comparator (:func:`compare_bench_records`) is noise-tolerant:
+  only a best-wall-time regression beyond ``tolerance`` (default +25%)
+  flags a case, and the CLI exits non-zero only under
+  ``--fail-on-regress`` — CI wires it as a non-blocking check.
+
+The JSON layout is versioned by :data:`BENCH_SCHEMA_VERSION` and
+validated by :func:`validate_bench_record`; see ``docs/benchmarks.md``
+for the schema reference and the baseline workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import platform
+import sys
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.metrics import timed, tree_longest_path
+from repro.core.exceptions import InvalidParameterError
+from repro.observability import start_trace
+from repro.observability.export import read_json, write_json
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchCase",
+    "SUITES",
+    "suite_names",
+    "environment_fingerprint",
+    "run_suite",
+    "validate_bench_record",
+    "CaseDelta",
+    "BenchComparison",
+    "compare_bench_records",
+    "format_comparison",
+    "write_bench_record",
+    "load_bench_record",
+    "main",
+]
+
+BENCH_SCHEMA_VERSION = 1
+"""Bumped on any breaking change to the record layout; the comparator
+refuses to diff records of different schema versions."""
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One timed workload: a named, seeded, deterministic callable.
+
+    ``runner`` takes no arguments and returns a flat dict of numeric
+    result values ("work proof": costs, row counts).  They are recorded
+    alongside the timing so a perf diff also reveals *result* drift.
+    """
+
+    name: str
+    description: str
+    runner: Callable[[], Dict[str, float]]
+
+
+# ----------------------------------------------------------------------
+# The curated workloads
+# ----------------------------------------------------------------------
+#
+# Sizes are chosen so the quick suite finishes in tens of seconds on a
+# laptop while each case still runs long enough (>= ~0.1 s) to time
+# meaningfully.  Cases cover the hot paths a perf PR is most likely to
+# touch: the BKRUS merge kernel, the exchange polish, the Steiner
+# construction, the exact enumerator, and the batch engine itself.
+
+
+def _bkrus_kernel() -> Dict[str, float]:
+    """BKRUS on mid-size nets — the O(V^2) merge kernel's throughput."""
+    from repro.algorithms.bkrus import bkrus
+    from repro.instances.random_nets import random_net
+
+    total_cost = 0.0
+    longest = 0.0
+    for seed in (11, 12, 13, 14, 15, 16):
+        tree = bkrus(random_net(192, seed), 0.25)
+        total_cost += tree.cost
+        longest = max(longest, tree_longest_path(tree))
+    return {"total_cost": total_cost, "longest_path": longest}
+
+
+def _bkrus_large() -> Dict[str, float]:
+    """One large BKRUS instance — scaling of the merge kernel."""
+    from repro.algorithms.bkrus import bkrus
+    from repro.instances.random_nets import random_net
+
+    tree = bkrus(random_net(384, 21), 0.2)
+    return {"cost": tree.cost, "longest_path": tree_longest_path(tree)}
+
+
+def _bkh2_polish() -> Dict[str, float]:
+    """BKH2's two-level exchange search on a 12-sink net."""
+    from repro.algorithms.bkh2 import bkh2
+    from repro.instances.random_nets import random_net
+
+    tree = bkh2(random_net(12, 31), 0.2)
+    return {"cost": tree.cost, "longest_path": tree_longest_path(tree)}
+
+
+def _bkst_steiner() -> Dict[str, float]:
+    """BKST on the Hanan grid — corridor realisation and splicing."""
+    from repro.instances.random_nets import random_net
+    from repro.steiner.bkst import bkst
+
+    total_cost = 0.0
+    for seed in (41, 42, 43, 44, 45, 46):
+        total_cost += bkst(random_net(24, seed), 0.2).cost
+    return {"total_cost": total_cost}
+
+
+def _gabow_enumerator() -> Dict[str, float]:
+    """BMST_G's ordered spanning-tree enumeration on tight bounds."""
+    from repro.algorithms.gabow import bmst_gabow
+    from repro.instances.random_nets import random_net
+
+    total_cost = 0.0
+    longest = 0.0
+    for seed in (51, 52, 54):
+        tree = bmst_gabow(random_net(10, seed), 0.02)
+        total_cost += tree.cost
+        longest = max(longest, tree_longest_path(tree))
+    return {"total_cost": total_cost, "longest_path": longest}
+
+
+def _batch_engine() -> Dict[str, float]:
+    """Serial batch-engine throughput over a small grid (engine overhead
+    plus the cheap construction heuristics)."""
+    from repro.analysis.batch import expand_grid, run_batch
+    from repro.instances.random_nets import random_net
+
+    nets = [random_net(48, seed) for seed in (61, 62, 63)]
+    jobs = expand_grid(
+        nets, ["mst", "bkrus", "bprim", "brbc"], [0.1, 0.3, 0.5]
+    )
+    result = run_batch(jobs)
+    if result.failures:  # pragma: no cover - deterministic suite
+        raise RuntimeError(f"{len(result.failures)} bench batch job(s) failed")
+    return {
+        "jobs": float(len(result.records)),
+        "total_cost": sum(r.cost for r in result.reports),
+    }
+
+
+def _workload_routing() -> Dict[str, float]:
+    """Route a synthetic 60-net design (the global-routing use case)."""
+    from repro.algorithms.bkrus import bkrus
+    from repro.instances.workloads import route_workload, synthetic_design
+
+    design = synthetic_design(200, seed=71)
+    report = route_workload(design, lambda net: bkrus(net, 0.25))
+    return {
+        "total_cost": report.total_cost,
+        "worst_path_ratio": report.worst_path_ratio,
+    }
+
+
+_QUICK: Tuple[BenchCase, ...] = (
+    BenchCase("bkrus_kernel", "BKRUS merge kernel, 6 x 192-sink nets", _bkrus_kernel),
+    BenchCase("bkh2_polish", "BKH2 exchange polish, 12-sink net", _bkh2_polish),
+    BenchCase("bkst_steiner", "BKST Hanan-grid construction, 6 x 24 sinks", _bkst_steiner),
+    BenchCase("gabow_enumerator", "BMST_G enumeration, 3 x 10 sinks eps=0.02", _gabow_enumerator),
+    BenchCase("batch_engine", "serial batch engine, 36-job grid over 48-sink nets", _batch_engine),
+)
+
+_FULL: Tuple[BenchCase, ...] = _QUICK + (
+    BenchCase("bkrus_large", "BKRUS merge kernel, 384-sink net", _bkrus_large),
+    BenchCase("workload_routing", "synthetic 200-net design routed with BKRUS", _workload_routing),
+)
+
+SUITES: Dict[str, Tuple[BenchCase, ...]] = {
+    "quick": _QUICK,
+    "full": _FULL,
+}
+
+
+def suite_names() -> List[str]:
+    return sorted(SUITES)
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+
+
+def environment_fingerprint() -> Dict[str, Any]:
+    """Where this record was produced — enough to spot apples-vs-oranges
+    comparisons, not enough to identify a user."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 0,
+        "numpy": np.__version__,
+    }
+
+
+def _run_case(case: BenchCase, repeats: int) -> Dict[str, Any]:
+    walls: List[float] = []
+    counters: Dict[str, float] = {}
+    values: Dict[str, float] = {}
+    for _ in range(repeats):
+        with start_trace(f"bench:{case.name}") as session:
+            values, seconds = timed(case.runner)
+        walls.append(seconds)
+        counters = session.counter_totals()
+    return {
+        "name": case.name,
+        "description": case.description,
+        "repeats": repeats,
+        "wall_seconds": walls,
+        "wall_seconds_best": min(walls),
+        "wall_seconds_mean": sum(walls) / len(walls),
+        "counters": counters,
+        "values": {k: float(v) for k, v in values.items()},
+    }
+
+
+def run_suite(
+    suite: str = "quick",
+    repeats: int = 3,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run one suite and return its schema-versioned record (a dict).
+
+    ``progress`` (e.g. ``print``) is called with a one-line message per
+    case so long suites are not silent.
+    """
+    if suite not in SUITES:
+        raise InvalidParameterError(
+            f"unknown bench suite {suite!r}; choose from {suite_names()}"
+        )
+    if repeats < 1:
+        raise InvalidParameterError(f"repeats must be >= 1, got {repeats}")
+    cases = []
+    for case in SUITES[suite]:
+        result = _run_case(case, repeats)
+        cases.append(result)
+        if progress is not None:
+            progress(
+                f"  {case.name}: best {result['wall_seconds_best']:.3f}s "
+                f"over {repeats} repeat(s)"
+            )
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "suite": suite,
+        "created_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "repeats": repeats,
+        "environment": environment_fingerprint(),
+        "cases": cases,
+    }
+
+
+# ----------------------------------------------------------------------
+# Schema validation
+# ----------------------------------------------------------------------
+
+_RECORD_KEYS = {
+    "schema_version": int,
+    "suite": str,
+    "created_utc": str,
+    "repeats": int,
+    "environment": dict,
+    "cases": list,
+}
+
+_CASE_KEYS = {
+    "name": str,
+    "description": str,
+    "repeats": int,
+    "wall_seconds": list,
+    "wall_seconds_best": (int, float),
+    "wall_seconds_mean": (int, float),
+    "counters": dict,
+    "values": dict,
+}
+
+
+def validate_bench_record(record: Any) -> List[str]:
+    """Schema problems of ``record``, as human-readable strings.
+
+    An empty list means the record is a valid ``BENCH_*.json`` document
+    of the current schema version.
+    """
+    problems: List[str] = []
+    if not isinstance(record, dict):
+        return [f"record must be a JSON object, got {type(record).__name__}"]
+    for key, expected in _RECORD_KEYS.items():
+        if key not in record:
+            problems.append(f"missing top-level key {key!r}")
+        elif not isinstance(record[key], expected):
+            problems.append(
+                f"{key!r} must be {expected!r}, "
+                f"got {type(record[key]).__name__}"
+            )
+    if problems:
+        return problems
+    if record["schema_version"] != BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {record['schema_version']} != "
+            f"{BENCH_SCHEMA_VERSION} (current)"
+        )
+    seen = set()
+    for position, case in enumerate(record["cases"]):
+        label = f"cases[{position}]"
+        if not isinstance(case, dict):
+            problems.append(f"{label} must be an object")
+            continue
+        for key, expected in _CASE_KEYS.items():
+            if key not in case:
+                problems.append(f"{label} missing key {key!r}")
+            elif not isinstance(case[key], expected):
+                problems.append(f"{label}.{key} has the wrong type")
+        name = case.get("name")
+        if isinstance(name, str):
+            if name in seen:
+                problems.append(f"duplicate case name {name!r}")
+            seen.add(name)
+        walls = case.get("wall_seconds")
+        if isinstance(walls, list):
+            if not walls:
+                problems.append(f"{label}.wall_seconds is empty")
+            for value in walls:
+                if not isinstance(value, (int, float)) or not value >= 0:
+                    problems.append(
+                        f"{label}.wall_seconds has a non-timing entry"
+                    )
+                    break
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CaseDelta:
+    """One case's baseline-vs-current timing."""
+
+    name: str
+    baseline_seconds: float
+    current_seconds: float
+    tolerance: float
+
+    @property
+    def ratio(self) -> float:
+        # Exact zero only for a degenerate sub-resolution timing; treat
+        # as "no baseline signal" rather than dividing by it.
+        if self.baseline_seconds == 0.0:  # lint: disable=R002 (exact-zero division guard)
+            return 1.0
+        return self.current_seconds / self.baseline_seconds
+
+    @property
+    def regressed(self) -> bool:
+        return self.ratio > 1.0 + self.tolerance
+
+    @property
+    def improved(self) -> bool:
+        return self.ratio < 1.0 - self.tolerance
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """The result of diffing two bench records."""
+
+    tolerance: float
+    deltas: Tuple[CaseDelta, ...]
+    missing: Tuple[str, ...]
+    """Cases present in the baseline but absent from the current run."""
+    added: Tuple[str, ...]
+    """Cases new in the current run (no baseline to compare against)."""
+    environment_matches: bool
+
+    @property
+    def regressions(self) -> List[CaseDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        """True when no compared case regressed beyond the tolerance."""
+        return not self.regressions and not self.missing
+
+
+def compare_bench_records(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    tolerance: float = 0.25,
+) -> BenchComparison:
+    """Diff two bench records case-by-case, noise-tolerantly.
+
+    Compares the best (minimum) wall time of each case — the statistic
+    least sensitive to scheduler noise — and flags a regression only
+    beyond ``tolerance`` (0.25 = +25%).  Records must share the current
+    schema version; suite membership may differ (renamed or new cases
+    surface as ``missing``/``added``, never as a crash).
+    """
+    if tolerance < 0:
+        raise InvalidParameterError(
+            f"tolerance must be >= 0, got {tolerance}"
+        )
+    for label, record in (("baseline", baseline), ("current", current)):
+        problems = validate_bench_record(record)
+        if problems:
+            raise InvalidParameterError(
+                f"invalid {label} bench record: {problems[0]}"
+            )
+    baseline_cases = {c["name"]: c for c in baseline["cases"]}
+    current_cases = {c["name"]: c for c in current["cases"]}
+    deltas = tuple(
+        CaseDelta(
+            name=name,
+            baseline_seconds=float(
+                baseline_cases[name]["wall_seconds_best"]
+            ),
+            current_seconds=float(current_cases[name]["wall_seconds_best"]),
+            tolerance=tolerance,
+        )
+        for name in baseline_cases
+        if name in current_cases
+    )
+    return BenchComparison(
+        tolerance=tolerance,
+        deltas=deltas,
+        missing=tuple(
+            sorted(set(baseline_cases) - set(current_cases))
+        ),
+        added=tuple(sorted(set(current_cases) - set(baseline_cases))),
+        environment_matches=(
+            baseline.get("environment") == current.get("environment")
+        ),
+    )
+
+
+def format_comparison(comparison: BenchComparison) -> str:
+    """Human-readable comparison table plus a one-line verdict."""
+    from repro.analysis.tables import format_table
+
+    rows = []
+    for delta in comparison.deltas:
+        if delta.regressed:
+            verdict = "REGRESSED"
+        elif delta.improved:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        rows.append(
+            (
+                delta.name,
+                f"{delta.baseline_seconds:.4f}",
+                f"{delta.current_seconds:.4f}",
+                f"{delta.ratio:.2f}x",
+                verdict,
+            )
+        )
+    for name in comparison.missing:
+        rows.append((name, "-", "missing", "-", "MISSING"))
+    for name in comparison.added:
+        rows.append((name, "new", "-", "-", "new case"))
+    lines = [
+        format_table(
+            ["case", "baseline s", "current s", "ratio", "verdict"],
+            rows,
+            title=(
+                f"Bench comparison (tolerance "
+                f"+{comparison.tolerance:.0%} on best wall time)"
+            ),
+        )
+    ]
+    if not comparison.environment_matches:
+        lines.append(
+            "note: baseline and current were recorded on different "
+            "environments; timing ratios are indicative only"
+        )
+    if comparison.ok:
+        lines.append("verdict: OK — no case regressed beyond tolerance")
+    else:
+        names = [d.name for d in comparison.regressions]
+        names += [f"{name} (missing)" for name in comparison.missing]
+        lines.append(f"verdict: REGRESSED — {', '.join(names)}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# I/O + CLI
+# ----------------------------------------------------------------------
+
+
+def write_bench_record(
+    path: "str | Path", record: Dict[str, Any]
+) -> Path:
+    """Validate then write ``record`` as strict JSON; returns the path."""
+    problems = validate_bench_record(record)
+    if problems:
+        raise InvalidParameterError(
+            f"refusing to write invalid bench record: {problems[0]}"
+        )
+    return write_json(path, record)
+
+
+def load_bench_record(path: "str | Path") -> Dict[str, Any]:
+    """Load and validate one ``BENCH_*.json`` record."""
+    record = read_json(path)
+    problems = validate_bench_record(record)
+    if problems:
+        raise InvalidParameterError(
+            f"invalid bench record {path}: {problems[0]}"
+        )
+    return record
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="seeded perf suites writing BENCH_<suite>.json records",
+    )
+    parser.add_argument(
+        "--suite", default="quick", choices=suite_names(),
+        help="which curated suite to run (default: quick)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed repeats per case; best-of is the headline (default: 3)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="output record path (default: BENCH_<suite>.json)",
+    )
+    parser.add_argument(
+        "--compare", default=None, metavar="BASELINE.json",
+        help="diff the fresh record against a baseline record",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed best-wall-time growth before a case counts as "
+        "regressed (default: 0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--fail-on-regress", action="store_true",
+        help="exit 1 when the comparison finds a regression "
+        "(default: report only — the CI check is non-blocking)",
+    )
+    parser.add_argument(
+        "--list-cases", action="store_true",
+        help="list the suite's cases and exit without running them",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(
+        list(argv) if argv is not None else None
+    )
+    if args.list_cases:
+        for case in SUITES[args.suite]:
+            print(f"{case.name}: {case.description}")
+        return 0
+    print(f"running bench suite {args.suite!r} ({args.repeats} repeat(s))")
+    record = run_suite(args.suite, repeats=args.repeats, progress=print)
+    out = args.out or f"BENCH_{args.suite}.json"
+    path = write_bench_record(out, record)
+    print(f"wrote {path}")
+    if args.compare is None:
+        return 0
+    baseline = load_bench_record(args.compare)
+    comparison = compare_bench_records(
+        baseline, record, tolerance=args.tolerance
+    )
+    print()
+    print(format_comparison(comparison))
+    if args.fail_on_regress and not comparison.ok:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -171,12 +171,18 @@ def run_many(
     eps: float,
     mst_reference: Optional[float] = None,
     n_jobs: int = 1,
+    store=None,
 ) -> List[TreeReport]:
     """Run several algorithms on the same net (shared MST reference).
 
     ``n_jobs > 1`` fans the runs out through the batch engine
     (:mod:`repro.analysis.batch`); results are identical to the serial
     path up to the timing columns.
+
+    ``store`` (a :class:`~repro.persistence.ResultStore` or directory
+    path) routes the runs through the batch engine even at ``n_jobs=1``
+    so already-computed results are replayed from the persistent store
+    instead of re-solved — see ``run_batch(store=...)``.
     """
     from repro.algorithms.mst import mst_cost
     from repro.analysis.batch import JobSpec, run_batch
@@ -184,13 +190,13 @@ def run_many(
     for name in names:
         get_runner(name)  # fail fast on typos, as the serial path always did
     reference = mst_reference if mst_reference is not None else mst_cost(net)
-    if n_jobs == 1:
+    if n_jobs == 1 and store is None:
         return [run(name, net, eps, mst_reference=reference) for name in names]
     jobs = [
         JobSpec(algorithm=name, net=net, eps=eps, mst_reference=reference)
         for name in names
     ]
-    result = run_batch(jobs, n_jobs=n_jobs)
+    result = run_batch(jobs, n_jobs=n_jobs, store=store)
     failures = result.failures
     if failures:
         summary = "; ".join(

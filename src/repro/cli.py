@@ -19,6 +19,9 @@ Subcommands
 ``zeroskew`` — exact zero-skew clock tree vs the node-branching LUB tree.
 ``trace``   — run one job under the span tracer and print the span tree
               with algorithm counters (optionally exporting JSONL).
+``bench``   — seeded perf suite writing a machine-readable
+              ``BENCH_<suite>.json`` record, with baseline comparison
+              (``--compare BASELINE.json --tolerance 0.25``).
 ``lint``    — project-specific static analysis (rules R001-R006).
 ``report``  — stitch benchmarks/results/*.txt into one RESULTS.md.
 
@@ -153,6 +156,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts,
         job_timeout=args.job_timeout,
         retry_backoff=args.retry_backoff,
+        store=args.store,
     )
     print(
         format_table(
@@ -180,6 +184,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"({result.job_seconds:.3f}s summed job time); "
         f"distance cache: {cache.hits} hits / {cache.misses} misses"
     )
+    store_hits = result.batch_counters.get("batch.store_hits")
+    if store_hits is not None:
+        print(
+            f"result store: {store_hits:g} hits / "
+            f"{result.batch_counters.get('batch.store_misses', 0):g} "
+            f"cold solves"
+        )
     exhausted = sum(1 for r in result.records if r.budget_exhausted)
     retried = sum(1 for r in result.records if r.attempts > 1)
     fallbacks = [r for r in result.records if r.fallback_used]
@@ -404,6 +415,28 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if record.ok else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis import bench as bench_module
+
+    argv: List[str] = [
+        "--suite",
+        args.suite,
+        "--repeats",
+        str(args.repeats),
+        "--tolerance",
+        str(args.tolerance),
+    ]
+    if args.out:
+        argv += ["--out", args.out]
+    if args.compare:
+        argv += ["--compare", args.compare]
+    if args.fail_on_regress:
+        argv.append("--fail-on-regress")
+    if args.list_cases:
+        argv.append("--list-cases")
+    return bench_module.main(argv)
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools import lint as lint_module
 
@@ -594,6 +627,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.1,
         help="base sleep before a pool rebuild (doubles per rebuild)",
     )
+    batch.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persistent result store directory: already-computed jobs "
+        "replay from it instead of re-solving (REPRO_RESULT_STORE works "
+        "too)",
+    )
     batch.set_defaults(func=_cmd_batch)
 
     sweep = sub.add_parser("sweep", help="eps sweep (Figure 9 data)")
@@ -680,6 +721,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--jsonl", default=None, help="also write the trace as one JSONL line"
     )
     trace.set_defaults(func=_cmd_trace)
+
+    bench = sub.add_parser(
+        "bench",
+        help="seeded perf suite writing a BENCH_<suite>.json record",
+    )
+    from repro.analysis.bench import suite_names
+
+    bench.add_argument("--suite", default="quick", choices=suite_names())
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument(
+        "--out",
+        default=None,
+        help="record path (default: BENCH_<suite>.json)",
+    )
+    bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE.json",
+        help="diff the fresh record against a baseline record",
+    )
+    bench.add_argument("--tolerance", type=float, default=0.25)
+    bench.add_argument("--fail-on-regress", action="store_true")
+    bench.add_argument(
+        "--list-cases",
+        action="store_true",
+        help="list the suite's cases without running them",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     lint = sub.add_parser(
         "lint", help="project-specific static analysis (repro-lint)"

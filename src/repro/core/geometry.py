@@ -122,6 +122,10 @@ class DistanceCacheInfo:
     size: int
     maxsize: int
     enabled: bool
+    races: int = 0
+    """Duplicate computes that lost the insert race: two threads missed
+    on the same key concurrently, both computed, and the loser adopted
+    the winner's entry instead of overwriting it."""
 
 
 class DistanceMatrixCache:
@@ -142,6 +146,7 @@ class DistanceMatrixCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.races = 0
         self._entries: "OrderedDict[Tuple[str, int, str], np.ndarray]" = (
             OrderedDict()
         )
@@ -167,21 +172,64 @@ class DistanceMatrixCache:
                 self._entries.move_to_end(key)
                 return cached
             self.misses += 1
-        # Compute outside the lock; a racing duplicate compute is harmless.
+        # Compute outside the lock; a racing duplicate compute costs one
+        # redundant O(n^2) pass but never corrupts the cache.
         matrix = distance_matrix(array, metric)
         matrix.setflags(write=False)
         with self._lock:
+            winner = self._entries.get(key)
+            if winner is not None:
+                # Another thread inserted while we computed.  Keep the
+                # winner's array (other callers may already hold it) and
+                # record the lost race instead of silently overwriting.
+                self.races += 1
+                self._entries.move_to_end(key)
+                return winner
             self._entries[key] = matrix
             self._entries.move_to_end(key)
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+            self._evict_over_capacity_locked()
         return matrix
+
+    def _evict_over_capacity_locked(self) -> None:
+        """Drop LRU entries past ``maxsize``; caller must hold ``_lock``.
+
+        The single owner of eviction accounting: every path that can
+        shrink the cache (insert overflow, ``configure`` shrink) funnels
+        through here, so ``evictions`` counts each dropped entry exactly
+        once.
+        """
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def configure(
+        self,
+        maxsize: Optional[int] = None,
+        enabled: Optional[bool] = None,
+    ) -> DistanceCacheInfo:
+        """Resize or toggle the cache under its own lock; returns new state.
+
+        Shrinking ``maxsize`` evicts oldest entries immediately (counted
+        in ``evictions`` like any other eviction).  Disabling leaves
+        existing entries in place; they are ignored until re-enabled.
+        """
+        if maxsize is not None and maxsize < 1:
+            raise InvalidParameterError(
+                f"cache maxsize must be >= 1, got {maxsize}"
+            )
+        with self._lock:
+            if maxsize is not None:
+                self.maxsize = maxsize
+                self._evict_over_capacity_locked()
+            if enabled is not None:
+                self.enabled = bool(enabled)
+        return self.info()
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self.hits = self.misses = self.evictions = 0
+            self.races = 0
 
     def info(self) -> DistanceCacheInfo:
         with self._lock:
@@ -192,6 +240,7 @@ class DistanceMatrixCache:
                 size=len(self._entries),
                 maxsize=self.maxsize,
                 enabled=self.enabled,
+                races=self.races,
             )
 
 
@@ -227,19 +276,7 @@ def configure_distance_cache(
     Shrinking ``maxsize`` evicts oldest entries immediately.  Disabling
     leaves existing entries in place (they are ignored until re-enabled).
     """
-    with _SHARED_CACHE._lock:
-        if maxsize is not None:
-            if maxsize < 1:
-                raise InvalidParameterError(
-                    f"cache maxsize must be >= 1, got {maxsize}"
-                )
-            _SHARED_CACHE.maxsize = maxsize
-            while len(_SHARED_CACHE._entries) > maxsize:
-                _SHARED_CACHE._entries.popitem(last=False)
-                _SHARED_CACHE.evictions += 1
-        if enabled is not None:
-            _SHARED_CACHE.enabled = bool(enabled)
-    return _SHARED_CACHE.info()
+    return _SHARED_CACHE.configure(maxsize=maxsize, enabled=enabled)
 
 
 def bounding_box(points: Sequence[Point]) -> Tuple[float, float, float, float]:

@@ -112,8 +112,14 @@ class PartialForest:
         the final source-to-node path lengths fixed by this merge.  Used
         by the lower-bounded construction of Section 6.
         """
+        if self.sets.connected(u, v):
+            raise InvalidParameterError(
+                f"({u}, {v}) connects nodes already in one partial tree"
+            )
         if not self.sets.connected(SOURCE, u):
-            raise InvalidParameterError("source must be in t_u")
+            raise InvalidParameterError(
+                f"source must be in t_u; it is not in node {u}'s component"
+            )
         d = float(self.net.dist[u, v])
         mv = np.asarray(self.sets.members_view(v), dtype=int)
         paths = float(self.P[SOURCE, u]) + d + self.P[v, mv]

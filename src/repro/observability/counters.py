@@ -170,6 +170,18 @@ _SPECS: List[CounterSpec] = [
         "stalls",
         "job_timeout windows that elapsed with no job completing",
     ),
+    CounterSpec(
+        "batch.store_hits",
+        "jobs",
+        "jobs answered from the persistent result store without "
+        "running the solver",
+    ),
+    CounterSpec(
+        "batch.store_misses",
+        "jobs",
+        "cacheable jobs the armed result store could not answer "
+        "(cold solves, written back afterwards)",
+    ),
 ]
 
 COUNTERS: Dict[str, CounterSpec] = {spec.name: spec for spec in _SPECS}

@@ -30,6 +30,8 @@ __all__ = [
     "write_jsonl",
     "iter_jsonl",
     "read_jsonl",
+    "write_json",
+    "read_json",
 ]
 
 
@@ -90,6 +92,27 @@ def write_jsonl(
                 json.dumps(entry, allow_nan=False, sort_keys=True) + "\n"
             )
     return target
+
+
+def write_json(path: Union[str, Path], payload: Any) -> Path:
+    """Write one strict-JSON document (``allow_nan=False``, sorted keys,
+    indented) — the format of the ``BENCH_*.json`` perf records.
+
+    Strictness is the point: a NaN or Infinity smuggled into a record
+    would parse in Python but break every other JSON consumer, so the
+    writer rejects it at export time.
+    """
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, allow_nan=False, sort_keys=True, indent=2)
+        handle.write("\n")
+    return target
+
+
+def read_json(path: Union[str, Path]) -> Any:
+    """Load one JSON document written by :func:`write_json`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)
 
 
 def iter_jsonl(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:

@@ -1,0 +1,24 @@
+"""Persistence layer: the content-addressed batch result store.
+
+See :mod:`repro.persistence.store` for the design; the batch engine
+integration lives in :mod:`repro.analysis.batch` (``run_batch(store=)``
+and the ``REPRO_RESULT_STORE`` environment knob).
+"""
+
+from repro.persistence.store import (
+    STORE_ENV_VAR,
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    StoreStats,
+    cacheable,
+    store_from_env,
+)
+
+__all__ = [
+    "STORE_ENV_VAR",
+    "STORE_SCHEMA_VERSION",
+    "ResultStore",
+    "StoreStats",
+    "cacheable",
+    "store_from_env",
+]

@@ -1,0 +1,306 @@
+"""Content-addressed, resumable result store for batch sweeps.
+
+A sweep over ``nets x algorithms x eps`` is re-run constantly: after an
+interrupt, after an unrelated code change, with one more eps value
+appended.  Every algorithm in the registry is a deterministic pure
+function of ``(net, eps)``, so a job's result is fully determined by its
+inputs — which makes it content-addressable.  :class:`ResultStore` keys
+each job by a SHA-256 digest of the net's raw coordinate bytes, the
+metric, the algorithm name, the eps value, the shared MST reference and
+the store schema version; a warm store answers repeated jobs without
+touching the solver.
+
+Entries are self-checking: the payload (the pickled
+``{"report": TreeReport, "tree": AnyTree}`` dict) is stored behind a
+JSON header that carries its own SHA-256.  A truncated, bit-flipped or
+schema-incompatible entry is *detected and recomputed*, never served —
+corruption degrades to a cache miss, not a wrong answer.
+
+Only deterministic jobs are cacheable: specs carrying a budget
+(``budget_seconds``/``max_nodes``) or a fallback policy produce
+timing-dependent anytime answers and always bypass the store (see
+:func:`cacheable`).
+
+The batch engine consults the store through ``run_batch(store=...)`` or
+the ``REPRO_RESULT_STORE`` environment variable — the env knob crosses
+the fork boundary, so pool workers open the same store directory as the
+parent.  Writes are atomic (temp file + ``os.replace``), making
+concurrent workers racing on one key safe: the last writer wins with a
+complete entry, and every entry for a key encodes the same result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import struct
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.exceptions import InvalidParameterError
+
+if TYPE_CHECKING:
+    from repro.analysis.batch import JobSpec
+    from repro.analysis.metrics import AnyTree, TreeReport
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "STORE_ENV_VAR",
+    "StoreStats",
+    "ResultStore",
+    "cacheable",
+    "store_from_env",
+]
+
+STORE_SCHEMA_VERSION = 1
+"""Bumped whenever the key derivation or payload layout changes; old
+entries then simply miss (their header schema no longer matches)."""
+
+STORE_ENV_VAR = "REPRO_RESULT_STORE"
+"""When set to a directory path, the batch engine consults a store
+rooted there even if ``run_batch`` was not handed one explicitly."""
+
+_MAGIC = "repro-result-store"
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Snapshot of one :class:`ResultStore`'s accounting counters."""
+
+    hits: int
+    misses: int
+    writes: int
+    corrupt: int
+    """Entries that failed the checksum/schema check and were discarded
+    (each also counts as a miss — the job is recomputed)."""
+
+
+def cacheable(spec: "JobSpec") -> bool:
+    """True when ``spec``'s result is a pure function of its inputs.
+
+    Budgeted and policy-armed jobs return anytime answers that depend on
+    wall-clock timing; caching them would replay one run's luck forever.
+    """
+    return (
+        spec.budget_seconds is None
+        and spec.max_nodes is None
+        and spec.policy is None
+    )
+
+
+class ResultStore:
+    """Filesystem-backed content-addressed cache of batch job results.
+
+    ``root`` is created on first use.  Entries live two levels deep
+    (``<root>/<key[:2]>/<key>.res``) so large sweeps do not produce one
+    directory with tens of thousands of files.
+
+    The class is safe for concurrent use by independent processes (each
+    opens its own instance over the shared directory); per-instance
+    counters are process-local.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.corrupt = 0
+
+    # ------------------------------------------------------------------
+    # Keying
+    # ------------------------------------------------------------------
+    @staticmethod
+    def spec_key(spec: "JobSpec") -> str:
+        """SHA-256 content address of one job spec.
+
+        Folds in everything the solvers see: the raw coordinate bytes
+        (row 0 is the source, so terminal order is significant), the
+        metric, the algorithm name, eps, the MST reference the report
+        divides by, and the store schema version.  Floats are hashed as
+        their IEEE-754 bytes — ``inf`` is representable, and two eps
+        values hash equal iff they compare equal.
+        """
+        if not cacheable(spec):
+            raise InvalidParameterError(
+                f"job {spec.describe()!r} carries a budget or policy and "
+                "is not cacheable"
+            )
+        digest = hashlib.sha256()
+        digest.update(f"{_MAGIC}:v{STORE_SCHEMA_VERSION}".encode())
+        digest.update(spec.net.metric.value.encode())
+        points = np.ascontiguousarray(spec.net.points)
+        digest.update(str(points.shape).encode())
+        digest.update(points.tobytes())
+        digest.update(spec.algorithm.encode())
+        digest.update(struct.pack("<d", spec.eps))
+        if spec.mst_reference is None:
+            digest.update(b"ref:none")
+        else:
+            digest.update(b"ref:" + struct.pack("<d", spec.mst_reference))
+        return digest.hexdigest()
+
+    def _entry_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.res"
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def load(self, spec: "JobSpec") -> "Optional[Tuple[TreeReport, AnyTree]]":
+        """The stored ``(report, tree)`` of ``spec``, or ``None`` on miss.
+
+        Never raises: unreadable, truncated, checksum-failing or
+        schema-mismatched entries are deleted (best effort), counted in
+        ``corrupt``, and reported as a miss so the caller recomputes.
+        """
+        path = self._entry_path(self.spec_key(spec))
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        payload = self._verify(blob)
+        if payload is None:
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return payload["report"], payload["tree"]
+
+    @staticmethod
+    def _verify(blob: bytes) -> Optional[Dict[str, Any]]:
+        """Decode one entry file; ``None`` on any corruption."""
+        newline = blob.find(b"\n")
+        if newline < 0:
+            return None
+        try:
+            header = json.loads(blob[:newline].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(header, dict):
+            return None
+        if header.get("schema") != STORE_SCHEMA_VERSION:
+            return None
+        body = blob[newline + 1 :]
+        if header.get("payload_bytes") != len(body):
+            return None
+        if hashlib.sha256(body).hexdigest() != header.get("payload_sha256"):
+            return None
+        try:
+            payload = pickle.loads(body)
+        # lint: allow-broad-except(a corrupt pickle can raise nearly anything; corruption must degrade to a miss)
+        except Exception:  # noqa: BLE001
+            return None
+        if (
+            not isinstance(payload, dict)
+            or "report" not in payload
+            or "tree" not in payload
+        ):
+            return None
+        return payload
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def store(
+        self, spec: "JobSpec", report: "TreeReport", tree: "AnyTree"
+    ) -> bool:
+        """Persist one finished job; returns False on I/O failure.
+
+        The tree is always stored (even when the batch ran with
+        ``keep_trees=False``) so a later replay can serve either mode.
+        Writes go through a same-directory temp file and ``os.replace``,
+        which is atomic on POSIX — racing workers cannot interleave.
+        """
+        key = self.spec_key(spec)
+        body = pickle.dumps(
+            {"report": report, "tree": tree}, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        header = json.dumps(
+            {
+                "schema": STORE_SCHEMA_VERSION,
+                "key": key,
+                "algorithm": spec.algorithm,
+                "net": spec.net.name or "?",
+                "payload_bytes": len(body),
+                "payload_sha256": hashlib.sha256(body).hexdigest(),
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        path = self._entry_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle, temp_name = tempfile.mkstemp(
+                dir=str(path.parent), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(handle, "wb") as stream:
+                    stream.write(header)
+                    stream.write(b"\n")
+                    stream.write(body)
+                os.replace(temp_name, path)
+            # lint: allow-broad-except(cleanup-and-reraise: the temp file must not leak on any failure)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        self.writes += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> StoreStats:
+        return StoreStats(
+            hits=self.hits,
+            misses=self.misses,
+            writes=self.writes,
+            corrupt=self.corrupt,
+        )
+
+    def entry_paths(self) -> Iterator[Path]:
+        """Every entry file currently on disk, in no particular order."""
+        if not self.root.is_dir():
+            return iter(())
+        return self.root.glob("*/*.res")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entry_paths())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self.entry_paths()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def store_from_env() -> Optional[ResultStore]:
+    """The store named by ``REPRO_RESULT_STORE``, or ``None`` when unset.
+
+    This is how worker processes rejoin the parent's store: the env var
+    is inherited across the fork/spawn boundary, so ``execute_job`` can
+    resolve the same directory without the store object being pickled.
+    """
+    root = os.environ.get(STORE_ENV_VAR, "").strip()
+    if not root:
+        return None
+    return ResultStore(root)

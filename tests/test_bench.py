@@ -1,0 +1,297 @@
+"""The benchmark regression harness: schema, comparator, CLI plumbing.
+
+The curated suites themselves are too slow for unit tests; these tests
+exercise the machinery with synthetic records and a stubbed one-case
+suite, so the schema contract and the noise-tolerant comparator are
+pinned without paying benchmark wall time.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import bench
+from repro.analysis.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchCase,
+    CaseDelta,
+    compare_bench_records,
+    environment_fingerprint,
+    format_comparison,
+    load_bench_record,
+    run_suite,
+    suite_names,
+    validate_bench_record,
+    write_bench_record,
+)
+from repro.core.exceptions import InvalidParameterError
+
+
+def synthetic_record(case_times, suite="quick", environment=None):
+    """A schema-valid record with the given {name: best_seconds} map."""
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "suite": suite,
+        "created_utc": "2026-01-01T00:00:00+00:00",
+        "repeats": 3,
+        "environment": environment or {"python": "3.11", "machine": "x"},
+        "cases": [
+            {
+                "name": name,
+                "description": f"synthetic {name}",
+                "repeats": 3,
+                "wall_seconds": [seconds, seconds * 1.1, seconds * 1.2],
+                "wall_seconds_best": seconds,
+                "wall_seconds_mean": seconds * 1.1,
+                "counters": {"algo.steps": 100.0},
+                "values": {"cost": 42.0},
+            }
+            for name, seconds in case_times.items()
+        ],
+    }
+
+
+@pytest.fixture(autouse=True)
+def tiny_suite(monkeypatch):
+    """Replace the curated suites with one instant case, so tests that
+    go through ``run_suite``/``main`` finish in milliseconds."""
+
+    def instant():
+        return {"work": 1.0}
+
+    monkeypatch.setitem(
+        bench.SUITES, "quick", (BenchCase("instant", "no-op case", instant),)
+    )
+
+
+class TestValidation:
+    def test_valid_record_has_no_problems(self):
+        assert validate_bench_record(synthetic_record({"a": 0.1})) == []
+
+    def test_non_dict_rejected(self):
+        assert validate_bench_record([1, 2]) != []
+
+    @pytest.mark.parametrize(
+        "key", ["schema_version", "suite", "created_utc", "repeats",
+                "environment", "cases"]
+    )
+    def test_missing_top_level_key(self, key):
+        record = synthetic_record({"a": 0.1})
+        del record[key]
+        problems = validate_bench_record(record)
+        assert any(key in problem for problem in problems)
+
+    def test_wrong_schema_version(self):
+        record = synthetic_record({"a": 0.1})
+        record["schema_version"] = BENCH_SCHEMA_VERSION + 1
+        assert validate_bench_record(record) != []
+
+    def test_case_missing_key(self):
+        record = synthetic_record({"a": 0.1})
+        del record["cases"][0]["wall_seconds_best"]
+        problems = validate_bench_record(record)
+        assert any("wall_seconds_best" in problem for problem in problems)
+
+    def test_duplicate_case_names(self):
+        record = synthetic_record({"a": 0.1})
+        record["cases"].append(dict(record["cases"][0]))
+        problems = validate_bench_record(record)
+        assert any("duplicate" in problem for problem in problems)
+
+    def test_negative_timing_rejected(self):
+        record = synthetic_record({"a": 0.1})
+        record["cases"][0]["wall_seconds"] = [-1.0]
+        assert validate_bench_record(record) != []
+
+    def test_empty_wall_seconds_rejected(self):
+        record = synthetic_record({"a": 0.1})
+        record["cases"][0]["wall_seconds"] = []
+        assert validate_bench_record(record) != []
+
+
+class TestComparator:
+    def test_within_tolerance_is_ok(self):
+        baseline = synthetic_record({"a": 0.100})
+        current = synthetic_record({"a": 0.115})
+        comparison = compare_bench_records(baseline, current, tolerance=0.25)
+        assert comparison.ok
+        assert not comparison.deltas[0].regressed
+        assert not comparison.deltas[0].improved
+
+    def test_regression_beyond_tolerance(self):
+        comparison = compare_bench_records(
+            synthetic_record({"a": 0.100}),
+            synthetic_record({"a": 0.140}),
+            tolerance=0.25,
+        )
+        assert not comparison.ok
+        assert [d.name for d in comparison.regressions] == ["a"]
+
+    def test_improvement_flagged_not_failing(self):
+        comparison = compare_bench_records(
+            synthetic_record({"a": 0.100}),
+            synthetic_record({"a": 0.050}),
+            tolerance=0.25,
+        )
+        assert comparison.ok
+        assert comparison.deltas[0].improved
+
+    def test_missing_case_fails_added_does_not(self):
+        comparison = compare_bench_records(
+            synthetic_record({"a": 0.1, "b": 0.1}),
+            synthetic_record({"a": 0.1, "c": 0.1}),
+        )
+        assert comparison.missing == ("b",)
+        assert comparison.added == ("c",)
+        assert not comparison.ok  # a silently dropped case is a failure
+
+    def test_zero_baseline_does_not_divide(self):
+        comparison = compare_bench_records(
+            synthetic_record({"a": 0.0}), synthetic_record({"a": 0.5})
+        )
+        delta = comparison.deltas[0]
+        assert delta.ratio == pytest.approx(1.0)
+        assert not delta.regressed
+
+    def test_environment_mismatch_is_reported(self):
+        comparison = compare_bench_records(
+            synthetic_record({"a": 0.1}, environment={"machine": "x"}),
+            synthetic_record({"a": 0.1}, environment={"machine": "y"}),
+        )
+        assert not comparison.environment_matches
+        assert "different" in format_comparison(comparison)
+
+    def test_invalid_record_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            compare_bench_records({"nope": 1}, synthetic_record({"a": 0.1}))
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            compare_bench_records(
+                synthetic_record({"a": 0.1}),
+                synthetic_record({"a": 0.1}),
+                tolerance=-0.1,
+            )
+
+    def test_format_mentions_each_verdict(self):
+        comparison = compare_bench_records(
+            synthetic_record({"slow": 0.1, "fast": 0.1, "gone": 0.1}),
+            synthetic_record({"slow": 0.2, "fast": 0.05, "new": 0.1}),
+            tolerance=0.25,
+        )
+        text = format_comparison(comparison)
+        assert "REGRESSED" in text
+        assert "improved" in text
+        assert "MISSING" in text
+        assert "new case" in text
+
+
+class TestCaseDelta:
+    def test_ratio_arithmetic(self):
+        delta = CaseDelta("x", baseline_seconds=0.2, current_seconds=0.3,
+                          tolerance=0.25)
+        assert delta.ratio == pytest.approx(1.5)
+        assert delta.regressed and not delta.improved
+
+
+class TestHarness:
+    def test_run_suite_produces_valid_record(self):
+        record = run_suite("quick", repeats=2)
+        assert validate_bench_record(record) == []
+        assert record["suite"] == "quick"
+        assert record["repeats"] == 2
+        (case,) = record["cases"]
+        assert case["name"] == "instant"
+        assert len(case["wall_seconds"]) == 2
+        assert case["values"] == {"work": 1.0}
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            run_suite("nope")
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            run_suite("quick", repeats=0)
+
+    def test_progress_callback_called_per_case(self):
+        lines = []
+        run_suite("quick", repeats=1, progress=lines.append)
+        assert len(lines) == 1 and "instant" in lines[0]
+
+    def test_environment_fingerprint_keys(self):
+        fingerprint = environment_fingerprint()
+        for key in ("python", "platform", "machine", "cpu_count", "numpy"):
+            assert key in fingerprint
+
+    def test_suite_names_include_quick_and_full(self):
+        assert "quick" in suite_names() and "full" in suite_names()
+
+
+class TestIO:
+    def test_write_then_load_round_trips(self, tmp_path):
+        record = synthetic_record({"a": 0.1})
+        path = write_bench_record(tmp_path / "BENCH_quick.json", record)
+        assert load_bench_record(path) == record
+        # Strict JSON: parseable by the stdlib with no float surprises.
+        parsed = json.loads(path.read_text())
+        assert parsed["schema_version"] == BENCH_SCHEMA_VERSION
+
+    def test_write_refuses_invalid_record(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            write_bench_record(tmp_path / "bad.json", {"nope": 1})
+        assert not (tmp_path / "bad.json").exists()
+
+    def test_load_refuses_invalid_file(self, tmp_path):
+        target = tmp_path / "bad.json"
+        target.write_text('{"schema_version": 999}')
+        with pytest.raises(InvalidParameterError):
+            load_bench_record(target)
+
+
+class TestCli:
+    def test_main_writes_record(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_quick.json"
+        code = bench.main(["--suite", "quick", "--repeats", "1",
+                           "--out", str(out)])
+        assert code == 0
+        assert validate_bench_record(json.loads(out.read_text())) == []
+        assert "wrote" in capsys.readouterr().out
+
+    def test_main_compare_ok(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        first = bench.main(["--repeats", "1", "--out", str(baseline)])
+        assert first == 0
+        out = tmp_path / "current.json"
+        code = bench.main([
+            "--repeats", "1", "--out", str(out),
+            "--compare", str(baseline), "--tolerance", "100",
+            "--fail-on-regress",
+        ])
+        assert code == 0
+        assert "Bench comparison" in capsys.readouterr().out
+
+    def test_main_fail_on_regress(self, tmp_path):
+        baseline_record = synthetic_record({"instant": 1e-9})
+        baseline = tmp_path / "baseline.json"
+        write_bench_record(baseline, baseline_record)
+        code = bench.main([
+            "--repeats", "1", "--out", str(tmp_path / "current.json"),
+            "--compare", str(baseline), "--tolerance", "0.0",
+            "--fail-on-regress",
+        ])
+        # The stub case cannot beat a 1ns baseline: regression, exit 1.
+        assert code == 1
+
+    def test_regress_is_non_blocking_by_default(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        write_bench_record(baseline, synthetic_record({"instant": 1e-9}))
+        code = bench.main([
+            "--repeats", "1", "--out", str(tmp_path / "current.json"),
+            "--compare", str(baseline), "--tolerance", "0.0",
+        ])
+        assert code == 0
+
+    def test_list_cases(self, capsys):
+        code = bench.main(["--suite", "quick", "--list-cases"])
+        assert code == 0
+        assert "instant" in capsys.readouterr().out

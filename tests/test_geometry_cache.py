@@ -2,12 +2,15 @@
 
 import math
 import pickle
+import threading
 
 import numpy as np
 import pytest
 
 from repro.analysis import runners
+from repro.core import geometry
 from repro.core.geometry import (
+    DistanceMatrixCache,
     Metric,
     clear_distance_cache,
     configure_distance_cache,
@@ -102,6 +105,118 @@ class TestLruBound:
 
         with pytest.raises(InvalidParameterError):
             configure_distance_cache(maxsize=0)
+
+
+class TestRaceAccounting:
+    """Two threads missing on one key: the loser must adopt the winner's
+    entry (and be counted in ``races``), never overwrite it."""
+
+    def test_lost_insert_race_is_counted_not_overwritten(self, monkeypatch):
+        cache = DistanceMatrixCache(maxsize=8)
+        barrier = threading.Barrier(2)
+        original = geometry.distance_matrix
+
+        def synchronized(array, metric):
+            result = original(array, metric)
+            # Hold both threads here so BOTH have missed and computed
+            # before EITHER reaches the insert section.
+            barrier.wait(timeout=10)
+            return result
+
+        monkeypatch.setattr(geometry, "distance_matrix", synchronized)
+        pts = points_of(50)
+        results = []
+
+        def worker():
+            results.append(cache.matrix(pts, Metric.L1))
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+
+        info = cache.info()
+        assert (info.hits, info.misses, info.races) == (0, 2, 1)
+        assert info.size == 1
+        # Both callers hold the SAME array: the race loser returned the
+        # winner's entry instead of its private duplicate.
+        assert len(results) == 2
+        assert results[0] is results[1]
+
+    def test_race_free_path_never_counts_races(self):
+        cache = DistanceMatrixCache(maxsize=4)
+        for seed in (60, 61, 60):
+            cache.matrix(points_of(seed), Metric.L1)
+        info = cache.info()
+        assert info.races == 0
+        assert (info.hits, info.misses) == (1, 2)
+
+    def test_clear_resets_races(self):
+        cache = DistanceMatrixCache()
+        cache.races = 3  # simulate prior races without threading
+        cache.clear()
+        assert cache.info().races == 0
+
+    def test_shared_cache_info_reports_races(self):
+        assert distance_cache_info().races == 0
+
+
+class TestConfigureMethod:
+    """``configure()`` is the single owner of resize/toggle mutation; the
+    module-level helper just delegates to it."""
+
+    def test_returns_fresh_info(self):
+        cache = DistanceMatrixCache(maxsize=4)
+        info = cache.configure(maxsize=2, enabled=False)
+        assert info.maxsize == 2
+        assert info.enabled is False
+        assert info.races == 0
+
+    def test_shrink_evicts_with_single_owner_accounting(self):
+        cache = DistanceMatrixCache(maxsize=8)
+        for seed in range(5):
+            cache.matrix(points_of(70 + seed), Metric.L1)
+        info = cache.configure(maxsize=2)
+        assert info.size == 2
+        assert info.evictions == 3
+        # Growing back does not resurrect entries or double-count.
+        info = cache.configure(maxsize=8)
+        assert info.size == 2
+        assert info.evictions == 3
+
+    def test_invalid_maxsize_rejected_before_mutation(self):
+        from repro.core.exceptions import InvalidParameterError
+
+        cache = DistanceMatrixCache(maxsize=4)
+        cache.matrix(points_of(80), Metric.L1)
+        with pytest.raises(InvalidParameterError):
+            cache.configure(maxsize=0)
+        info = cache.info()
+        assert info.maxsize == 4 and info.size == 1
+
+    def test_module_helper_delegates(self, monkeypatch):
+        """configure_distance_cache must go through the cache's own
+        configure() — not reach into its lock and entries."""
+        calls = {}
+        original = DistanceMatrixCache.configure
+
+        def spy(self, maxsize=None, enabled=None):
+            calls["args"] = (maxsize, enabled)
+            return original(self, maxsize=maxsize, enabled=enabled)
+
+        monkeypatch.setattr(DistanceMatrixCache, "configure", spy)
+        info = configure_distance_cache(maxsize=16, enabled=True)
+        assert calls["args"] == (16, True)
+        assert info.maxsize == 16
+
+    def test_toggle_preserves_entries(self):
+        cache = DistanceMatrixCache(maxsize=4)
+        first = cache.matrix(points_of(90), Metric.L1)
+        cache.configure(enabled=False)
+        assert cache.info().size == 1  # entries kept, just ignored
+        cache.configure(enabled=True)
+        assert cache.matrix(points_of(90), Metric.L1) is first
 
 
 class TestExactness:

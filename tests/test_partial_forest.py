@@ -131,6 +131,20 @@ class TestMergeSemantics:
         with pytest.raises(InvalidParameterError):
             forest.merged_source_paths(A, B)
 
+    def test_merged_source_paths_source_in_t_v_raises(self):
+        # The source sits in t_v (the absorbed side) — the method's
+        # contract puts it in t_u, so this must raise, not mislabel.
+        forest = PartialForest(figure3_net())
+        forest.merge(0, A)
+        with pytest.raises(InvalidParameterError):
+            forest.merged_source_paths(C, A)
+
+    def test_merged_source_paths_connected_endpoints_raise(self):
+        forest = PartialForest(figure3_net())
+        forest.merge(0, A)
+        with pytest.raises(InvalidParameterError):
+            forest.merged_source_paths(0, A)
+
 
 @settings(deadline=None, max_examples=30)
 @given(
@@ -151,6 +165,58 @@ def test_fully_merged_forest_matches_routing_tree(sinks, seed):
     assert np.allclose(forest.P, matrix, atol=1e-9)
     assert np.allclose(forest.r, matrix.max(axis=1), atol=1e-9)
     forest.check_invariants()
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    sinks=st.integers(min_value=4, max_value=9),
+    seed=st.integers(min_value=0, max_value=200),
+    merges=st.integers(min_value=0, max_value=6),
+)
+def test_merged_source_paths_matches_brute_force(sinks, seed, merges):
+    """Cross-check the closed form against an explicit graph traversal.
+
+    Build an arbitrary partial forest, pick a source-side ``u`` and an
+    outside ``v``, and verify ``merged_source_paths`` against path
+    lengths walked edge-by-edge over the forest's actual edges plus the
+    hypothetical ``(u, v)`` bridge."""
+    net = random_net(sinks, seed)
+    from repro.core.edges import sorted_edges
+
+    forest = PartialForest(net)
+    done = 0
+    for _, u, v in sorted_edges(net):
+        if done >= merges:
+            break
+        if not forest.connected(u, v):
+            forest.merge(u, v)
+            done += 1
+
+    source_members = set(forest.members(0))
+    outside = [x for x in range(net.num_terminals) if x not in source_members]
+    if not outside:
+        return  # every terminal already joined the source component
+    u = max(source_members)
+    v = outside[0]
+
+    nodes, paths = forest.merged_source_paths(u, v)
+    assert set(nodes.tolist()) == set(forest.members(v))
+
+    adjacency = {}
+    for a, b in forest.edges + [(u, v)]:
+        weight = float(net.dist[a, b])
+        adjacency.setdefault(a, []).append((b, weight))
+        adjacency.setdefault(b, []).append((a, weight))
+    lengths = {0: 0.0}
+    stack = [0]
+    while stack:
+        node = stack.pop()
+        for neighbor, weight in adjacency.get(node, []):
+            if neighbor not in lengths:
+                lengths[neighbor] = lengths[node] + weight
+                stack.append(neighbor)
+    for node, path in zip(nodes.tolist(), paths.tolist()):
+        assert path == pytest.approx(lengths[node], abs=1e-9)
 
 
 @settings(deadline=None, max_examples=20)

@@ -1,0 +1,276 @@
+"""The content-addressed result store and its batch-engine wiring.
+
+Covers the resumability contract end to end: keys are sensitive to every
+solver-visible input, corruption is detected and recomputed (never
+served), warm sweeps perform zero solver recomputations, and the
+``REPRO_RESULT_STORE`` environment knob arms workers across the fork
+boundary.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.batch import JobSpec, run_batch
+from repro.analysis.runners import ALGORITHMS
+from repro.core.exceptions import InvalidParameterError
+from repro.instances.random_nets import random_net
+from repro.persistence import (
+    STORE_ENV_VAR,
+    ResultStore,
+    StoreStats,
+    cacheable,
+    store_from_env,
+)
+from repro.runtime import FallbackPolicy
+
+
+def spec_of(seed: int = 7, algorithm: str = "bkrus", eps: float = 0.3, **kwargs):
+    return JobSpec(algorithm=algorithm, net=random_net(6, seed), eps=eps, **kwargs)
+
+
+def tree_shape(tree):
+    """Comparable identity of a tree: its edge set and exact cost."""
+    return (tuple(sorted(tree.edges)), tree.cost)
+
+
+class TestCacheability:
+    def test_plain_spec_is_cacheable(self):
+        assert cacheable(spec_of())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"budget_seconds": 1.0},
+            {"max_nodes": 100},
+            {"policy": FallbackPolicy(chain=("bkrus", "mst"))},
+        ],
+    )
+    def test_budgeted_or_policy_specs_are_not(self, kwargs):
+        assert not cacheable(spec_of(**kwargs))
+
+    def test_spec_key_rejects_uncacheable(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            ResultStore(tmp_path).spec_key(spec_of(budget_seconds=1.0))
+
+
+class TestKeying:
+    def test_key_is_deterministic_across_instances(self, tmp_path):
+        assert ResultStore.spec_key(spec_of()) == ResultStore.spec_key(spec_of())
+
+    def test_key_sensitive_to_every_input(self):
+        base = ResultStore.spec_key(spec_of())
+        assert ResultStore.spec_key(spec_of(algorithm="bprim")) != base
+        assert ResultStore.spec_key(spec_of(eps=0.31)) != base
+        assert ResultStore.spec_key(spec_of(seed=8)) != base
+        assert ResultStore.spec_key(spec_of(mst_reference=123.0)) != base
+        l2 = JobSpec("bkrus", random_net(6, 7, metric="l2"), 0.3)
+        assert ResultStore.spec_key(l2) != base
+
+    def test_infinite_eps_is_representable(self):
+        key = ResultStore.spec_key(spec_of(eps=float("inf")))
+        assert len(key) == 64
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = spec_of()
+        result = run_batch([spec], keep_trees=True)
+        record = result.records[0]
+        assert store.load(spec) is None  # cold
+        assert store.store(spec, record.report, record.tree)
+        loaded = store.load(spec)
+        assert loaded is not None
+        report, tree = loaded
+        assert report.cost == record.report.cost
+        assert report.longest_path == record.report.longest_path
+        assert tree_shape(tree) == tree_shape(record.tree)
+        assert store.stats() == StoreStats(hits=1, misses=1, writes=1, corrupt=0)
+        assert len(store) == 1
+
+    def test_clear_removes_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = spec_of()
+        record = run_batch([spec], keep_trees=True).records[0]
+        store.store(spec, record.report, record.tree)
+        assert store.clear() == 1
+        assert len(store) == 0
+        assert store.load(spec) is None
+
+
+class TestCorruption:
+    """Corrupt entries must be detected, counted, deleted — never served."""
+
+    @pytest.fixture
+    def populated(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = spec_of()
+        record = run_batch([spec], keep_trees=True).records[0]
+        store.store(spec, record.report, record.tree)
+        (entry,) = store.entry_paths()
+        return store, spec, entry
+
+    def corrupt_and_check(self, store, spec, entry, blob: bytes):
+        entry.write_bytes(blob)
+        assert store.load(spec) is None
+        assert store.stats().corrupt == 1
+        assert not entry.exists()  # deleted, not left to fail again
+        # A recompute-and-store then serves cleanly.
+        record = run_batch([spec], keep_trees=True).records[0]
+        store.store(spec, record.report, record.tree)
+        assert store.load(spec) is not None
+
+    def test_flipped_payload_byte(self, populated):
+        store, spec, entry = populated
+        blob = bytearray(entry.read_bytes())
+        blob[-1] ^= 0xFF
+        self.corrupt_and_check(store, spec, entry, bytes(blob))
+
+    def test_truncated_payload(self, populated):
+        store, spec, entry = populated
+        self.corrupt_and_check(store, spec, entry, entry.read_bytes()[:-10])
+
+    def test_garbage_header(self, populated):
+        store, spec, entry = populated
+        self.corrupt_and_check(store, spec, entry, b"not json\n" + b"\x00" * 16)
+
+    def test_header_without_newline(self, populated):
+        store, spec, entry = populated
+        self.corrupt_and_check(store, spec, entry, b"\x80\x04garbage")
+
+    def test_schema_mismatch_misses(self, populated):
+        store, spec, entry = populated
+        blob = entry.read_bytes()
+        newline = blob.find(b"\n")
+        import json
+
+        header = json.loads(blob[:newline])
+        header["schema"] = 999
+        patched = json.dumps(header, sort_keys=True).encode() + blob[newline:]
+        self.corrupt_and_check(store, spec, entry, patched)
+
+
+class TestBatchWiring:
+    def grid(self, nets=2, eps_values=(0.1, 0.4), algorithms=("mst", "bkrus")):
+        jobs = []
+        for seed in range(nets):
+            net = random_net(5, 100 + seed)
+            for algorithm in algorithms:
+                for eps in eps_values:
+                    jobs.append(JobSpec(algorithm, net, eps))
+        return jobs
+
+    def test_warm_store_answers_without_solving(self, tmp_path):
+        store_root = tmp_path / "store"
+        jobs = self.grid()
+        cold = run_batch(jobs, store=store_root, keep_trees=True)
+        assert not any(r.cache_hit for r in cold.records)
+        warm = run_batch(jobs, store=store_root, keep_trees=True)
+        assert all(r.cache_hit for r in warm.records)
+        for before, after in zip(cold.records, warm.records):
+            assert before.report.cost == after.report.cost
+            assert tree_shape(before.tree) == tree_shape(after.tree)
+
+    def test_twenty_job_warm_sweep_zero_recompute(self, tmp_path):
+        """The acceptance criterion: a 20-job sweep re-run against a warm
+        store performs zero solver recomputations, visible both in the
+        per-record ``cache_hit`` flags and the ``batch.*`` counters."""
+        jobs = self.grid(
+            nets=2, eps_values=(0.1, 0.4), algorithms=("mst", "spt", "bkrus",
+                                                       "bprim", "brbc")
+        )
+        assert len(jobs) == 20
+        cold = run_batch(jobs, store=tmp_path)
+        assert cold.counter_totals()["batch.store_misses"] == 20
+        warm = run_batch(jobs, store=tmp_path)
+        totals = warm.counter_totals()
+        assert sum(r.cache_hit for r in warm.records) == 20
+        assert totals["batch.store_hits"] == 20
+        assert totals["batch.store_misses"] == 0
+
+    def test_store_accepts_path_string(self, tmp_path):
+        jobs = self.grid(nets=1)
+        run_batch(jobs, store=str(tmp_path))
+        warm = run_batch(jobs, store=str(tmp_path))
+        assert all(r.cache_hit for r in warm.records)
+
+    def test_uncacheable_jobs_bypass_the_store(self, tmp_path):
+        spec = spec_of(budget_seconds=30.0)
+        run_batch([spec], store=tmp_path)
+        assert len(ResultStore(tmp_path)) == 0
+        warm = run_batch([spec], store=tmp_path)
+        assert not warm.records[0].cache_hit
+
+    def test_cached_rows_are_labelled(self, tmp_path):
+        jobs = self.grid(nets=1)
+        run_batch(jobs, store=tmp_path)
+        warm = run_batch(jobs, store=tmp_path)
+        assert all(row[-1] == "cached" for row in warm.rows())
+
+
+class TestEnvKnob:
+    def test_store_from_env_unset(self, monkeypatch):
+        monkeypatch.delenv(STORE_ENV_VAR, raising=False)
+        assert store_from_env() is None
+        monkeypatch.setenv(STORE_ENV_VAR, "   ")
+        assert store_from_env() is None
+
+    def test_env_var_arms_serial_batch(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path))
+        jobs = [spec_of(seed=55)]
+        run_batch(jobs)
+        warm = run_batch(jobs)
+        assert warm.records[0].cache_hit
+
+    def test_explicit_store_beats_env(self, tmp_path, monkeypatch):
+        env_root = tmp_path / "env"
+        explicit_root = tmp_path / "explicit"
+        monkeypatch.setenv(STORE_ENV_VAR, str(env_root))
+        run_batch([spec_of(seed=56)], store=explicit_root)
+        assert len(ResultStore(explicit_root)) == 1
+        assert not env_root.exists() or len(ResultStore(env_root)) == 0
+
+
+class TestParallelWarmStore:
+    def test_workers_rejoin_store_across_fork_boundary(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path))
+        jobs = [
+            JobSpec(algorithm, random_net(5, 200), eps)
+            for algorithm in ("mst", "bkrus")
+            for eps in (0.1, 0.3)
+        ]
+        cold = run_batch(jobs, n_jobs=2)
+        warm = run_batch(jobs, n_jobs=2)
+        if cold.fell_back_to_serial or warm.fell_back_to_serial:
+            pytest.skip("process pool unavailable in this environment")
+        assert all(r.cache_hit for r in warm.records)
+
+
+@settings(deadline=None, max_examples=10)
+@given(
+    algorithm=st.sampled_from(sorted(ALGORITHMS)),
+    seed=st.integers(min_value=0, max_value=50),
+    eps=st.sampled_from([0.0, 0.1, 0.5, 2.0, float("inf")]),
+)
+def test_cache_hit_replay_is_identical_to_cold_run(algorithm, seed, eps, tmp_path_factory):
+    """Property: for ANY registry algorithm, a warm-store replay returns a
+    tree and report identical to the cold run — the store never changes
+    an answer, only skips recomputing it."""
+    root = tmp_path_factory.mktemp("store")
+    spec = JobSpec(algorithm, random_net(5, seed), eps)
+    cold = run_batch([spec], store=root, keep_trees=True).records[0]
+    warm = run_batch([spec], store=root, keep_trees=True).records[0]
+    assert cold.ok and warm.ok
+    assert not cold.cache_hit and warm.cache_hit
+    assert warm.report.cost == cold.report.cost
+    assert warm.report.longest_path == cold.report.longest_path
+    assert warm.report.perf_ratio == cold.report.perf_ratio
+    assert tree_shape(warm.tree) == tree_shape(cold.tree)
+
+
+def test_store_env_var_name_is_stable():
+    """The knob is documented API; renaming it breaks users' scripts."""
+    assert STORE_ENV_VAR == "REPRO_RESULT_STORE"
+    assert os.environ.get("___repro_never_set___") is None  # monkeypatch hygiene
