@@ -107,6 +107,55 @@ def _bkrus_kernel() -> Dict[str, float]:
     return {"total_cost": total_cost, "longest_path": longest}
 
 
+def _bkrus_np_kernel() -> Dict[str, float]:
+    """The vectorized BKRUS backend on the same nets as bkrus_kernel.
+
+    One batched scan covers all six nets; the metric values must equal
+    ``bkrus_kernel``'s exactly (the backends are tree-identical), so a
+    drift between the two cases' values is itself a regression signal.
+    """
+    from repro.algorithms.bkrus_np import bkrus_np_many
+    from repro.instances.random_nets import random_net
+
+    nets = [random_net(192, seed) for seed in (11, 12, 13, 14, 15, 16)]
+    total_cost = 0.0
+    longest = 0.0
+    for tree in bkrus_np_many(nets, 0.25):
+        total_cost += tree.cost
+        longest = max(longest, tree_longest_path(tree))
+    return {"total_cost": total_cost, "longest_path": longest}
+
+
+def _bkrus_backend_speedup() -> Dict[str, float]:
+    """Reference vs numpy BKRUS on one workload, timed side by side.
+
+    Records the live in-run ratio so the speedup claim is paired (same
+    machine state for both backends) instead of diffed across bench
+    records taken at different times.
+    """
+    import time
+
+    from repro.algorithms.bkrus import bkrus
+    from repro.algorithms.bkrus_np import bkrus_np_many
+    from repro.instances.random_nets import random_net
+
+    nets = [random_net(192, seed) for seed in (11, 12, 13, 14, 15, 16)]
+    t0 = time.perf_counter()
+    reference = [bkrus(net, 0.25) for net in nets]
+    t1 = time.perf_counter()
+    vectorized = bkrus_np_many(nets, 0.25)
+    t2 = time.perf_counter()
+    if [t.cost for t in reference] != [t.cost for t in vectorized]:
+        raise RuntimeError("backend trees diverged in the speedup bench")
+    reference_s = t1 - t0
+    numpy_s = t2 - t1
+    return {
+        "reference_s": reference_s,
+        "numpy_s": numpy_s,
+        "speedup": reference_s / numpy_s,
+    }
+
+
 def _bkrus_large() -> Dict[str, float]:
     """One large BKRUS instance — scaling of the merge kernel."""
     from repro.algorithms.bkrus import bkrus
@@ -133,6 +182,17 @@ def _bkst_steiner() -> Dict[str, float]:
     total_cost = 0.0
     for seed in (41, 42, 43, 44, 45, 46):
         total_cost += bkst(random_net(24, seed), 0.2).cost
+    return {"total_cost": total_cost}
+
+
+def _bkst_np_steiner() -> Dict[str, float]:
+    """The vectorized BKST backend on the same nets as bkst_steiner."""
+    from repro.instances.random_nets import random_net
+    from repro.steiner.bkst_np import bkst_np
+
+    total_cost = 0.0
+    for seed in (41, 42, 43, 44, 45, 46):
+        total_cost += bkst_np(random_net(24, seed), 0.2).cost
     return {"total_cost": total_cost}
 
 
@@ -184,8 +244,11 @@ def _workload_routing() -> Dict[str, float]:
 
 _QUICK: Tuple[BenchCase, ...] = (
     BenchCase("bkrus_kernel", "BKRUS merge kernel, 6 x 192-sink nets", _bkrus_kernel),
+    BenchCase("bkrus_np_kernel", "vectorized BKRUS backend, same 6 x 192-sink nets", _bkrus_np_kernel),
+    BenchCase("bkrus_backend_speedup", "reference vs numpy BKRUS, paired in-run timing", _bkrus_backend_speedup),
     BenchCase("bkh2_polish", "BKH2 exchange polish, 12-sink net", _bkh2_polish),
     BenchCase("bkst_steiner", "BKST Hanan-grid construction, 6 x 24 sinks", _bkst_steiner),
+    BenchCase("bkst_np_steiner", "vectorized BKST backend, same 6 x 24-sink nets", _bkst_np_steiner),
     BenchCase("gabow_enumerator", "BMST_G enumeration, 3 x 10 sinks eps=0.02", _gabow_enumerator),
     BenchCase("batch_engine", "serial batch engine, 36-job grid over 48-sink nets", _batch_engine),
 )

@@ -14,12 +14,14 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 if TYPE_CHECKING:
     from repro.runtime.solve import FallbackPolicy
 
+from repro.core.backends import use_numpy
 from repro.core.exceptions import InvalidParameterError
 from repro.core.net import Net
 from repro.core.tree import RoutingTree
 from repro.algorithms.bkex import bkex
 from repro.algorithms.bkh2 import bkh2
 from repro.algorithms.bkrus import bkrus
+from repro.algorithms.bkrus_np import bkrus_np
 from repro.algorithms.bprim import bprim_vectorized
 from repro.algorithms.brbc import brbc
 from repro.algorithms.gabow import bmst_gabow
@@ -29,6 +31,7 @@ from repro.algorithms.prim_dijkstra import prim_dijkstra
 from repro.algorithms.spt import spt
 from repro.analysis.metrics import AnyTree, TreeReport, evaluate, timed
 from repro.steiner.bkst import bkst
+from repro.steiner.bkst_np import bkst_np
 
 Runner = Callable[[Net, float], AnyTree]
 
@@ -66,8 +69,25 @@ def _bmst_gabow_runner(net: Net, eps: float) -> RoutingTree:
     return bmst_gabow(net, eps)
 
 
+def _bkrus_runner(net: Net, eps: float) -> RoutingTree:
+    # Honors the REPRO_BACKEND knob; outputs are backend-identical.
+    if use_numpy():
+        return bkrus_np(net, eps)
+    return bkrus(net, eps)
+
+
+def _bkrus_np_runner(net: Net, eps: float) -> RoutingTree:
+    return bkrus_np(net, eps)
+
+
 def _bkst_runner(net: Net, eps: float):
+    if use_numpy():
+        return bkst_np(net, eps)
     return bkst(net, eps)
+
+
+def _bkst_np_runner(net: Net, eps: float):
+    return bkst_np(net, eps)
 
 
 def _prim_dijkstra_runner(net: Net, eps: float) -> RoutingTree:
@@ -80,7 +100,8 @@ def _prim_dijkstra_runner(net: Net, eps: float) -> RoutingTree:
 ALGORITHMS: Dict[str, Runner] = {
     "mst": _mst_runner,
     "spt": _spt_runner,
-    "bkrus": bkrus,
+    "bkrus": _bkrus_runner,
+    "bkrus_np": _bkrus_np_runner,
     "bkrus_per_sink": _bkrus_per_sink_runner,
     "bprim": _bprim_runner,
     "brbc": brbc,
@@ -89,6 +110,7 @@ ALGORITHMS: Dict[str, Runner] = {
     "bmst_g": _bmst_gabow_runner,
     "prim_dijkstra": _prim_dijkstra_runner,
     "bkst": _bkst_runner,
+    "bkst_np": _bkst_np_runner,
 }
 
 HEURISTICS = ("bprim", "brbc", "bkrus", "bkh2")

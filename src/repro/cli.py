@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
 from typing import List, Optional
 
@@ -47,6 +48,7 @@ from repro.analysis.metrics import format_eps, tree_longest_path
 from repro.analysis.runners import algorithm_names, run, run_many
 from repro.analysis.tables import format_table
 from repro.analysis.tradeoff import lub_grid, tradeoff_curve
+from repro.core.backends import BACKEND_ENV_VAR, BACKENDS
 from repro.core.exceptions import ReproError
 from repro.instances import registry
 from repro.instances.large import table1_row
@@ -532,6 +534,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-cli",
         description="Bounded path length spanning/Steiner tree toolkit",
     )
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=None,
+        help=(
+            "kernel backend for backend-aware algorithms (sets "
+            f"{BACKEND_ENV_VAR}; inherited by batch worker processes)"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     route = sub.add_parser("route", help="run one algorithm on a benchmark")
@@ -777,6 +788,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "backend", None):
+        # Environment, not a parameter: the knob must survive the fork
+        # into batch workers and reach call-time backend dispatch.
+        os.environ[BACKEND_ENV_VAR] = args.backend
     try:
         return args.func(args)
     except ReproError as exc:

@@ -1,0 +1,87 @@
+"""Kernel backend selection: pure-Python reference vs numpy blocks.
+
+The repository keeps two implementations of its hot construction
+kernels (BKRUS merge bookkeeping, BKST grid loops):
+
+* ``reference`` — the pure-Python oracles, always available, written to
+  mirror the paper line by line.
+* ``numpy`` — block-vectorized rewrites proven tree-identical by the
+  differential harness (``tests/test_backends_differential.py``).
+
+Selection is three-layered, weakest to strongest:
+
+1. default (``reference``),
+2. the ``REPRO_BACKEND`` environment variable — read at *call* time so
+   the choice crosses the batch engine's fork boundary with the
+   inherited environment,
+3. explicit algorithm names (``bkrus_np``, ``bkst_np``) which force the
+   numpy kernel regardless of the environment.
+
+Because both backends produce identical trees, the backend never
+participates in result-store keys: :func:`canonical_algorithm` folds
+variant names onto their reference spelling before hashing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+from repro.core.exceptions import InvalidParameterError
+
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+REFERENCE = "reference"
+NUMPY = "numpy"
+BACKENDS = (REFERENCE, NUMPY)
+
+# Variant algorithm name -> reference name whose outputs (and therefore
+# store keys) it shares.
+_CANONICAL: Dict[str, str] = {
+    "bkrus_np": "bkrus",
+    "bkst_np": "bkst",
+}
+
+
+def normalize_backend(name: str) -> str:
+    """Validate and canonicalize a backend name (case-insensitive)."""
+    folded = name.strip().lower()
+    if folded in ("", "default"):
+        return REFERENCE
+    if folded in ("np", "vectorized"):
+        return NUMPY
+    if folded not in BACKENDS:
+        raise InvalidParameterError(
+            f"unknown backend {name!r}; choose from {list(BACKENDS)}"
+        )
+    return folded
+
+
+def active_backend() -> str:
+    """The backend selected by the environment, default ``reference``.
+
+    Read lazily on every call — worker processes inherit the parent's
+    environment, so one ``REPRO_BACKEND=numpy`` in the driver reaches
+    every forked job without further plumbing.
+    """
+    return normalize_backend(os.environ.get(BACKEND_ENV_VAR, REFERENCE))
+
+
+def use_numpy() -> bool:
+    """True when the ambient backend is the vectorized one."""
+    return active_backend() == NUMPY
+
+
+def canonical_algorithm(name: str) -> str:
+    """The registry name whose results ``name`` reproduces exactly.
+
+    Backend-variant names fold onto their reference algorithm so cache
+    keys, BENCH schema rows, and comparison tables treat the backends
+    as the same (identical-output) algorithm.
+    """
+    return _CANONICAL.get(name, name)
+
+
+def backend_of_algorithm(name: str) -> str:
+    """Which backend an explicit registry name pins, if any."""
+    return NUMPY if name in _CANONICAL else REFERENCE

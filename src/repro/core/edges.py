@@ -20,6 +20,20 @@ from repro.core.net import Net
 Edge = Tuple[int, int]
 WeightedEdge = Tuple[float, int, int]
 
+_TRIU_CACHE: dict = {}
+
+
+def _triu(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Cached ``np.triu_indices(n, k=1)`` — benchmark sweeps rebuild the
+    same-sized edge streams hundreds of times.  Callers must not mutate
+    the returned arrays (every use below fancy-indexes fresh copies)."""
+    cached = _TRIU_CACHE.get(n)
+    if cached is None:
+        if len(_TRIU_CACHE) > 32:
+            _TRIU_CACHE.clear()
+        cached = _TRIU_CACHE[n] = np.triu_indices(n, k=1)
+    return cached
+
 
 def all_edges(num_terminals: int) -> List[Edge]:
     """Every ``(u, v)`` pair with ``u < v`` over ``num_terminals`` nodes."""
@@ -31,6 +45,24 @@ def edge_weight(net: Net, edge: Edge) -> float:
     return float(net.dist[edge[0], edge[1]])
 
 
+def _kruskal_order(
+    weights: np.ndarray, iu: np.ndarray, iv: np.ndarray
+) -> np.ndarray:
+    """Sort permutation: nondecreasing weight, ties broken by ``(u, v)``.
+
+    The triu edge stream is already in ``(u, v)``-lexicographic order, so
+    a *stable* weight sort reproduces ``lexsort((iv, iu, weights))``
+    exactly.  Non-negative IEEE doubles compare identically to their
+    raw-bit unsigned integers, which lets the stable sort run as a radix
+    sort; the lexsort fallback only exists for (unused) negative weights.
+    """
+    if weights.dtype == np.float64 and (
+        weights.size == 0 or weights[weights.argmin()] >= 0.0
+    ):
+        return np.argsort(weights.view(np.uint64), kind="stable")
+    return np.lexsort((iv, iu, weights))
+
+
 def sorted_edges(net: Net) -> List[WeightedEdge]:
     """Complete-graph edges as ``(weight, u, v)`` in nondecreasing weight.
 
@@ -39,9 +71,9 @@ def sorted_edges(net: Net) -> List[WeightedEdge]:
     makes the regression tests exact.
     """
     n = net.num_terminals
-    iu, iv = np.triu_indices(n, k=1)
+    iu, iv = _triu(n)
     weights = net.dist[iu, iv]
-    order = np.lexsort((iv, iu, weights))
+    order = _kruskal_order(weights, iu, iv)
     return [
         (float(weights[k]), int(iu[k]), int(iv[k]))
         for k in order
@@ -55,9 +87,9 @@ def sorted_edge_arrays(net: Net) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     used on large benchmarks where building tuple lists dominates runtime.
     """
     n = net.num_terminals
-    iu, iv = np.triu_indices(n, k=1)
+    iu, iv = _triu(n)
     weights = net.dist[iu, iv]
-    order = np.lexsort((iv, iu, weights))
+    order = _kruskal_order(weights, iu, iv)
     return weights[order], iu[order], iv[order]
 
 

@@ -45,6 +45,7 @@ BOUND_GUARANTEED = frozenset(
     {
         "spt",
         "bkrus",
+        "bkrus_np",
         "bkrus_per_sink",
         "bprim",
         "brbc",
@@ -52,6 +53,7 @@ BOUND_GUARANTEED = frozenset(
         "bkex",
         "bmst_g",
         "bkst",
+        "bkst_np",
     }
 )
 """Algorithms whose output must satisfy ``path <= (1 + eps) * R``.

@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.backends import canonical_algorithm
 from repro.core.exceptions import InvalidParameterError
 
 if TYPE_CHECKING:
@@ -126,6 +127,11 @@ class ResultStore:
         divides by, and the store schema version.  Floats are hashed as
         their IEEE-754 bytes — ``inf`` is representable, and two eps
         values hash equal iff they compare equal.
+
+        The algorithm name is hashed in its *canonical* spelling:
+        backend variants (``bkrus_np`` et al.) produce identical trees,
+        so a result computed under one backend is a warm hit under any
+        other.
         """
         if not cacheable(spec):
             raise InvalidParameterError(
@@ -138,7 +144,7 @@ class ResultStore:
         points = np.ascontiguousarray(spec.net.points)
         digest.update(str(points.shape).encode())
         digest.update(points.tobytes())
-        digest.update(spec.algorithm.encode())
+        digest.update(canonical_algorithm(spec.algorithm).encode())
         digest.update(struct.pack("<d", spec.eps))
         if spec.mst_reference is None:
             digest.update(b"ref:none")

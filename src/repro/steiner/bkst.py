@@ -173,6 +173,30 @@ class _GridForest:
     def in_source_component(self, a: int) -> bool:
         return self.sets.connected(a, self.source)
 
+    def pair_distances(self, node: int, others: Sequence[int]) -> List[float]:
+        """Grid distances from ``node`` to each of ``others``.
+
+        Backend hook: the reference walks the scalar ``manhattan``;
+        the numpy forest overrides this with one vectorized gather
+        (elementwise-identical floats).
+        """
+        manhattan = self.grid.manhattan
+        return [manhattan(node, other) for other in others]
+
+    def unconnected_filter(
+        self, node: int, candidates: Sequence[int]
+    ) -> List[int]:
+        """Members of ``candidates`` not yet connected to ``node``, in
+        the given order, with ``node`` itself dropped.
+
+        Backend hook: the numpy forest answers with one component-label
+        gather instead of per-candidate union-find lookups.
+        """
+        connected = self.connected
+        return [
+            c for c in candidates if c != node and not connected(node, c)
+        ]
+
     def merge_edge(self, u: int, v: int) -> bool:
         """Union two components via a single grid edge; False on cycle."""
         if self.sets.connected(u, v):
@@ -388,13 +412,15 @@ def _bkst_attempts(
     tolerance: float,
     traced: bool,
     budget: Optional[Budget] = None,
+    forest_cls: type = _GridForest,
 ) -> SteinerTree:
     """The restart loop of :func:`bkst` (split out for span scoping)."""
     for attempt in range(net.num_terminals + 1):
         if traced and attempt > 0:
             incr("bkst.restarts")
         tree, stranded = _build(
-            net, bound, prewire, tolerance, lower=0.0, budget=budget
+            net, bound, prewire, tolerance, lower=0.0, budget=budget,
+            forest_cls=forest_cls,
         )
         if tree is not None:
             if not tree.is_connected_tree():
@@ -422,6 +448,7 @@ def _build(
     tolerance: float,
     lower: float = 0.0,
     budget: Optional[Budget] = None,
+    forest_cls: type = _GridForest,
 ) -> "Tuple[SteinerTree | None, Set[int]]":
     """One BKST construction attempt.
 
@@ -435,7 +462,7 @@ def _build(
     """
     grid = hanan_grid(net)
     source_gid = grid.terminal_ids[SOURCE]
-    forest = _GridForest(grid, source_gid)
+    forest = forest_cls(grid, source_gid)
     terminals = set(grid.terminal_ids.values())
     active: Set[int] = set(terminals)
     # Grid size / pair / merge counters, summed over construction
@@ -460,6 +487,12 @@ def _build(
     def push_pair(a: int, b: int) -> None:
         heapq.heappush(heap, (grid.manhattan(a, b), next(counter), a, b))
 
+    def push_pairs(node: int, others: List[int]) -> None:
+        """Batched ``push_pair`` — one vectorizable distance gather, the
+        same heap entries in the same counter order."""
+        for other, dist in zip(others, forest.pair_distances(node, others)):
+            heapq.heappush(heap, (dist, next(counter), node, other))
+
     deferred: List[Tuple[int, int]] = []
     realiser = _PathRealiser(
         grid, forest, terminals, active, source_gid, splice_feasible
@@ -473,9 +506,7 @@ def _build(
             forest.merge_edge(u, v)
         for node in newly_active:
             active.add(node)
-            for other in active:
-                if other != node and not forest.connected(node, other):
-                    push_pair(node, other)
+            push_pairs(node, forest.unconnected_filter(node, list(active)))
         # Retry pairs that were blocked by foreign components.
         while deferred:
             da, db = deferred.pop()
@@ -504,14 +535,17 @@ def _build(
         return None, stranded | prewire
 
     for a in active:
-        for b in active:
-            if a < b and not forest.connected(a, b):
-                push_pair(a, b)
+        push_pairs(
+            a, [b for b in active if a < b and not forest.connected(a, b)]
+        )
 
     def all_terminals_connected() -> bool:
         return all(forest.connected(source_gid, t) for t in terminals)
 
-    while heap and not all_terminals_connected():
+    # Connectivity only changes on a merge, so the spanning test runs
+    # once up front and again after each merge instead of per pop.
+    spanning = all_terminals_connected()
+    while heap and not spanning:
         if budget is not None:
             budget.checkpoint()
         _, _, a, b = heapq.heappop(heap)
@@ -528,6 +562,7 @@ def _build(
             deferred.append((a, b))
         else:
             merge_path(segment)
+            spanning = all_terminals_connected()
 
     if not all_terminals_connected():
         if lower > 0.0:

@@ -1,0 +1,131 @@
+"""Vectorized BKST backend — identical trees, numpy inner loops.
+
+The construction driver (pair heap, corridor realisation, restart loop)
+is shared with :mod:`repro.steiner.bkst`; this module only swaps in a
+:class:`_GridForestNP` whose hot paths — the per-node source-distance
+table and the batched pair-distance gathers feeding the heap — run as
+numpy array operations over the grid's cached coordinate vectors.
+
+Every replaced loop computes elementwise-identical IEEE floats (the
+same subtract/abs/add per element, only batched), and heap entries are
+pushed in the same counter order, so the pop sequence, the feasibility
+decisions, and the final tree match the reference bit for bit.  The
+differential harness in ``tests/test_backends_differential.py`` holds
+the two backends to that claim.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net
+from repro.observability import span, tracing_active
+from repro.runtime.budget import Budget, active_budget
+from repro.steiner.bkst import SteinerTree, _bkst_attempts, _GridForest
+from repro.steiner.grid_graph import GridGraph
+
+
+_SMALL = 12
+"""Below this many candidates the scalar loop beats array dispatch."""
+
+
+class _GridForestNP(_GridForest):
+    """BKRUS-style grid bookkeeping with vectorized distance kernels.
+
+    On top of the base class, a node-indexed component-label array
+    (``comp_arr[x]`` is x's current union-find root) turns the hot
+    "which candidates are still foreign?" filter into one gather; it is
+    maintained by relabeling the absorbed side of each union, which the
+    merge already holds as an array.
+    """
+
+    def __init__(self, grid: GridGraph, source_gid: int) -> None:
+        super().__init__(grid, source_gid)
+        xv, yv = grid.node_coordinate_arrays()
+        # Same |x - sx| + |y - sy| per node as the base class loop, in
+        # one fused pass over the cached coordinate vectors.
+        sx, sy = grid.coordinate(source_gid)
+        self.source_dist = np.abs(xv - sx) + np.abs(yv - sy)
+        self.comp_arr = np.arange(grid.num_nodes, dtype=np.int64)
+
+    def pair_distances(self, node: int, others: Sequence[int]) -> List[float]:
+        if len(others) < _SMALL:
+            return super().pair_distances(node, others)
+        return self.grid.manhattan_many(node, others).tolist()
+
+    def unconnected_filter(
+        self, node: int, candidates: Sequence[int]
+    ) -> List[int]:
+        if len(candidates) < _SMALL:
+            return super().unconnected_filter(node, candidates)
+        comp = self.comp_arr
+        cand = np.fromiter(
+            candidates, dtype=np.int64, count=len(candidates)
+        )
+        return cand[comp[cand] != comp[node]].tolist()
+
+    def merge_edge(self, u: int, v: int) -> bool:
+        """Base-class merge plus the component-label maintenance.
+
+        Same array expressions as :meth:`_GridForest.merge_edge` — the
+        P/r updates must stay float-identical — with broadcast indexing
+        in place of ``np.ix_`` and a relabel of the absorbed side.
+        """
+        sets = self.sets
+        comp = self.comp_arr
+        root_u = comp[u]
+        root_v = comp[v]
+        if root_u == root_v:
+            return False
+        d = self.grid.edge_length(u, v)
+        mu = np.asarray(sets.members_view(u), dtype=np.int64)
+        mv = np.asarray(sets.members_view(v), dtype=np.int64)
+        P = self.P
+        cross = P[mu, u][:, None] + d + P[v, mv][None, :]
+        P[mu[:, None], mv[None, :]] = cross
+        P[mv[:, None], mu[None, :]] = cross.T
+        self.r[mu] = np.maximum(self.r[mu], cross.max(axis=1))
+        self.r[mv] = np.maximum(self.r[mv], cross.max(axis=0))
+        sets.union(u, v)
+        root = sets.find(u)
+        if root == root_u:
+            comp[mv] = root
+        else:
+            comp[mu] = root
+        self.edges.append((u, v) if u < v else (v, u))
+        return True
+
+
+def bkst_np(
+    net: Net,
+    eps: float,
+    tolerance: float = 1e-9,
+    budget: Optional[Budget] = None,
+) -> SteinerTree:
+    """Vectorized twin of :func:`repro.steiner.bkst.bkst`.
+
+    Same tree, same trace counters, same exceptions; see the module
+    docstring for the exactness argument.
+    """
+    if eps < 0 or math.isnan(eps):
+        raise InvalidParameterError(f"eps must be >= 0, got {eps}")
+    if budget is None:
+        budget = active_budget()
+    bound = net.path_bound(eps) if math.isfinite(eps) else math.inf
+
+    prewire: Set[int] = set()
+    traced = tracing_active()
+    with span("bkst"):
+        return _bkst_attempts(
+            net, bound, prewire, tolerance, traced, budget,
+            forest_cls=_GridForestNP,
+        )
+
+
+def bkst_np_cost(net: Net, eps: float) -> float:
+    """Cost of the vectorized-backend BKST tree for ``(net, eps)``."""
+    return bkst_np(net, eps).cost

@@ -15,7 +15,9 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.exceptions import InvalidParameterError
 
@@ -42,6 +44,8 @@ class GridGraph:
         self.terminal_ids: Dict[int, int] = {}
         # Edges removed by obstacles (canonical (min, max) node pairs).
         self._blocked: set = set()
+        # Lazily built per-node coordinate arrays (node id -> x / y).
+        self._node_xy: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Identity and geometry
@@ -73,6 +77,25 @@ class GridGraph:
         ax, ay = self.coordinate(a)
         bx, by = self.coordinate(b)
         return abs(ax - bx) + abs(ay - by)
+
+    def node_coordinate_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-node coordinate vectors ``(x, y)``, node-id indexed.
+
+        Built once and cached — the grid's lines are immutable.  Callers
+        must not mutate the returned arrays.
+        """
+        if self._node_xy is None:
+            xv = np.tile(np.asarray(self.xs, dtype=np.float64), self.num_rows)
+            yv = np.repeat(np.asarray(self.ys, dtype=np.float64), self.num_cols)
+            self._node_xy = (xv, yv)
+        return self._node_xy
+
+    def manhattan_many(self, node: int, others: Sequence[int]) -> np.ndarray:
+        """``manhattan(node, o)`` for every ``o`` — elementwise identical
+        to the scalar method (same subtract/abs/add operations)."""
+        xv, yv = self.node_coordinate_arrays()
+        idx = np.asarray(others, dtype=np.int64)
+        return np.abs(xv[idx] - xv[node]) + np.abs(yv[idx] - yv[node])
 
     # ------------------------------------------------------------------
     # Adjacency
@@ -133,23 +156,37 @@ class GridGraph:
         if min_x > max_x or min_y > max_y:
             raise InvalidParameterError("obstacle rectangle is inverted")
         blocked_before = len(self._blocked)
-        for row, y in enumerate(self.ys):
-            for col in range(self.num_cols - 1):
-                if min_y < y < max_y:
-                    x1, x2 = self.xs[col], self.xs[col + 1]
-                    if x1 < max_x and x2 > min_x:
-                        node = row * self.num_cols + col
-                        self._blocked.add((node, node + 1))
-        for col, x in enumerate(self.xs):
-            for row in range(self.num_rows - 1):
-                if min_x < x < max_x:
-                    y1, y2 = self.ys[row], self.ys[row + 1]
-                    if y1 < max_y and y2 > min_y:
-                        node = row * self.num_cols + col
-                        self._blocked.add((node, node + self.num_cols))
+        xs = np.asarray(self.xs)
+        ys = np.asarray(self.ys)
+        ncols = self.num_cols
+        # Horizontal edges: rows strictly inside the y-range crossed with
+        # column intervals overlapping the x-range.
+        rows = np.flatnonzero((min_y < ys) & (ys < max_y))
+        cols = np.flatnonzero((xs[:-1] < max_x) & (xs[1:] > min_x))
+        if rows.size and cols.size:
+            nodes = (rows[:, None] * ncols + cols[None, :]).ravel()
+            self._blocked.update(
+                zip(nodes.tolist(), (nodes + 1).tolist())
+            )
+        # Vertical edges, symmetrically.
+        vcols = np.flatnonzero((min_x < xs) & (xs < max_x))
+        vrows = np.flatnonzero((ys[:-1] < max_y) & (ys[1:] > min_y))
+        if vcols.size and vrows.size:
+            nodes = (vrows[:, None] * ncols + vcols[None, :]).ravel()
+            self._blocked.update(
+                zip(nodes.tolist(), (nodes + ncols).tolist())
+            )
         return len(self._blocked) - blocked_before
 
     def edge_length(self, a: int, b: int) -> float:
+        if not self._blocked:
+            row_a, col_a = divmod(a, self.num_cols)
+            row_b, col_b = divmod(b, self.num_cols)
+            if row_a == row_b and abs(col_a - col_b) == 1:
+                return abs(self.xs[col_a] - self.xs[col_b])
+            if col_a == col_b and abs(row_a - row_b) == 1:
+                return abs(self.ys[row_a] - self.ys[row_b])
+            raise InvalidParameterError(f"({a}, {b}) is not a grid edge")
         for neighbor, length in self.neighbors(a):
             if neighbor == b:
                 return length
@@ -286,7 +323,27 @@ class GridGraph:
         return self.l_path_nodes(a, b, corner)
 
     def path_cost(self, nodes: List[int]) -> float:
-        """Total wire length of a node walk along grid edges."""
+        """Total wire length of a node walk along grid edges.
+
+        On an unblocked grid the per-edge lengths come from one
+        vectorized coordinate gather; the running sum stays sequential
+        (Python ``sum``) so the float result is identical to the
+        edge-at-a-time loop.
+        """
+        if not self._blocked and len(nodes) > 16:
+            idx = np.asarray(nodes, dtype=np.int64)
+            rows, cols = np.divmod(idx, self.num_cols)
+            hops = np.abs(rows[1:] - rows[:-1]) + np.abs(cols[1:] - cols[:-1])
+            if not (hops == 1).all():
+                raise InvalidParameterError("walk leaves the grid edges")
+            xv, yv = self.node_coordinate_arrays()
+            px = xv[idx]
+            py = yv[idx]
+            lengths = np.abs(px[1:] - px[:-1]) + np.abs(py[1:] - py[:-1])
+            total = 0.0
+            for length in lengths.tolist():
+                total += length
+            return total
         total = 0.0
         for u, v in zip(nodes, nodes[1:]):
             total += self.edge_length(u, v)

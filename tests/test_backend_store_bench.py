@@ -1,0 +1,95 @@
+"""Backends stay invisible to the result store and the bench schema.
+
+The store contract: a result computed under one backend is a warm hit
+when queried under any other, because backend variants are
+tree-identical (:mod:`tests.test_backends_differential`) and
+:func:`repro.core.backends.canonical_algorithm` folds their names
+before hashing.  The bench contract: the kernel-comparison cases are
+ordinary schema-valid cases, so ``repro-bench`` records carrying them
+validate and compare like any other.
+"""
+
+import pytest
+
+from repro.analysis import bench
+from repro.analysis.batch import JobSpec, run_batch
+from repro.analysis.bench import BenchCase, run_suite, validate_bench_record
+from repro.analysis.runners import ALGORITHMS
+from repro.core.backends import canonical_algorithm
+from repro.instances.random_nets import random_net
+from repro.persistence import ResultStore
+
+
+def spec_of(algorithm: str, seed: int = 7, eps: float = 0.3) -> JobSpec:
+    return JobSpec(algorithm=algorithm, net=random_net(6, seed), eps=eps)
+
+
+class TestBackendAgnosticKeys:
+    def test_every_variant_keys_like_its_reference(self):
+        variants = [
+            name for name in ALGORITHMS if canonical_algorithm(name) != name
+        ]
+        assert variants, "registry lost its backend variants"
+        for name in variants:
+            assert ResultStore.spec_key(spec_of(name)) == ResultStore.spec_key(
+                spec_of(canonical_algorithm(name))
+            )
+
+    def test_distinct_algorithms_still_key_apart(self):
+        assert ResultStore.spec_key(spec_of("bkrus")) != ResultStore.spec_key(
+            spec_of("bprim")
+        )
+
+    def test_eps_still_keys_apart_within_one_backend(self):
+        assert ResultStore.spec_key(spec_of("bkrus_np", eps=0.3)) != (
+            ResultStore.spec_key(spec_of("bkrus_np", eps=0.4))
+        )
+
+    def test_warm_hit_across_backends(self, tmp_path):
+        """Compute under the reference name, hit under the variant."""
+        store = ResultStore(tmp_path)
+        cold = run_batch([spec_of("bkrus")], store=store, keep_trees=True)
+        assert len(store) == 1
+        warm = run_batch([spec_of("bkrus_np")], store=store, keep_trees=True)
+        assert len(store) == 1  # nothing recomputed, nothing rewritten
+        (cold_record,), (warm_record,) = cold.records, warm.records
+        assert not cold_record.cache_hit
+        assert warm_record.cache_hit
+        assert warm_record.tree.edges == cold_record.tree.edges
+        assert warm_record.report.cost == cold_record.report.cost
+
+    def test_load_answers_variant_query_directly(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_batch([spec_of("bkst")], store=store)
+        loaded = store.load(spec_of("bkst_np"))
+        assert loaded is not None
+        report, tree = loaded
+        assert report.algorithm == "bkst"
+        assert tree.is_connected_tree()
+
+
+class TestBenchBackendCases:
+    def test_kernel_cases_registered_in_quick_suite(self):
+        names = {case.name for case in bench.SUITES["quick"]}
+        assert {
+            "bkrus_np_kernel",
+            "bkrus_backend_speedup",
+            "bkst_np_steiner",
+        } <= names
+
+    def test_record_with_backend_cases_validates(self, monkeypatch):
+        """A record carrying exactly the new cases is schema-valid and
+        the paired-speedup case reports a positive ratio."""
+        backend_cases = tuple(
+            case
+            for case in bench.SUITES["quick"]
+            if case.name
+            in {"bkrus_np_kernel", "bkrus_backend_speedup", "bkst_np_steiner"}
+        )
+        monkeypatch.setitem(bench.SUITES, "quick", backend_cases)
+        record = run_suite("quick", repeats=1)
+        assert validate_bench_record(record) == []
+        by_name = {case["name"]: case for case in record["cases"]}
+        speedup = by_name["bkrus_backend_speedup"]["values"]
+        assert speedup["speedup"] > 0
+        assert speedup["reference_s"] > speedup["numpy_s"] > 0

@@ -1,0 +1,240 @@
+"""Differential proof that the vectorized backends equal the reference.
+
+The numpy kernels (``bkrus_np``, ``bkst_np``) promise *identical*
+output — not merely equivalent cost, but the same edge tuple in the
+same order, the same IEEE-754 wirelength, the same per-sink path
+lengths, and the same scan trace.  That promise is what lets the
+result store fold backend variants onto one cache key
+(:func:`repro.core.backends.canonical_algorithm`), so this suite
+asserts exact equality (``==``), never approximate closeness.
+
+Three layers of evidence:
+
+* **differential** — hypothesis-drawn nets through both backends, over
+  both metrics and the full eps range (``0.0`` forces SPT-like radii,
+  ``inf`` reduces BKRUS to plain Kruskal);
+* **metamorphic** — integer coordinate translation must leave the tree
+  bit-identical, and sink relabeling must commute with construction
+  when edge weights are distinct (the scan order is then label-free);
+* **dispatch** — the ``REPRO_BACKEND`` knob and the explicit ``*_np``
+  registry names must reach the same kernels, and every variant pair
+  in the registry must agree on a fixed instance.
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.algorithms.bkrus import KruskalTrace, bkrus
+from repro.algorithms.bkrus_np import bkrus_np, bkrus_np_many
+from repro.analysis.runners import ALGORITHMS
+from repro.core.backends import (
+    BACKEND_ENV_VAR,
+    NUMPY,
+    backend_of_algorithm,
+    canonical_algorithm,
+)
+from repro.core.geometry import Metric
+from repro.core.net import Net
+from repro.steiner.bkst import bkst
+from repro.steiner.bkst_np import bkst_np
+
+coordinate = st.integers(min_value=0, max_value=300)
+
+# inf exercises the pure-Kruskal degeneration, 0.0 the tightest bound.
+EPS_VALUES = (0.0, 0.2, 0.5, math.inf)
+
+
+@st.composite
+def nets(draw, min_sinks=2, max_sinks=6, metric=Metric.L1):
+    count = draw(st.integers(min_value=min_sinks + 1, max_value=max_sinks + 1))
+    pts = draw(
+        st.lists(
+            st.tuples(coordinate, coordinate),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    return Net(pts[0], pts[1:], metric=metric)
+
+
+def assert_identical_spanning(reference, vectorized):
+    """Same edges in the same order, same floats everywhere."""
+    assert vectorized.edges == reference.edges
+    assert vectorized.cost == reference.cost
+    assert (
+        vectorized.source_path_lengths().tolist()
+        == reference.source_path_lengths().tolist()
+    )
+
+
+def assert_identical_steiner(reference, vectorized):
+    assert vectorized.edges == reference.edges
+    assert vectorized.cost == reference.cost
+    assert vectorized.sink_path_lengths() == reference.sink_path_lengths()
+
+
+# ----------------------------------------------------------------------
+# Differential: BKRUS
+# ----------------------------------------------------------------------
+
+
+@settings(deadline=None, max_examples=40)
+@given(net=nets(), eps=st.sampled_from(EPS_VALUES))
+def test_bkrus_backends_identical_l1(net, eps):
+    assert_identical_spanning(bkrus(net, eps), bkrus_np(net, eps))
+
+
+@settings(deadline=None, max_examples=25)
+@given(net=nets(metric=Metric.L2), eps=st.sampled_from(EPS_VALUES))
+def test_bkrus_backends_identical_l2(net, eps):
+    assert_identical_spanning(bkrus(net, eps), bkrus_np(net, eps))
+
+
+@settings(deadline=None, max_examples=25)
+@given(net=nets(max_sinks=8), eps=st.sampled_from(EPS_VALUES))
+def test_bkrus_traces_identical(net, eps):
+    """Not just the tree: the whole scan history must match."""
+    ref_trace, vec_trace = KruskalTrace(), KruskalTrace()
+    reference = bkrus(net, eps, trace=ref_trace)
+    vectorized = bkrus_np(net, eps, trace=vec_trace)
+    assert_identical_spanning(reference, vectorized)
+    assert vec_trace.accepted == ref_trace.accepted
+    assert vec_trace.rejected == ref_trace.rejected
+    assert vec_trace.edges_scanned == ref_trace.edges_scanned
+    assert vec_trace.merge_sizes == ref_trace.merge_sizes
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    batch=st.lists(nets(), min_size=1, max_size=4),
+    eps=st.sampled_from(EPS_VALUES),
+)
+def test_bkrus_np_many_matches_sequential(batch, eps):
+    """The lockstep batch scan equals one-net-at-a-time construction."""
+    batched = bkrus_np_many(batch, eps)
+    for net, tree in zip(batch, batched):
+        assert_identical_spanning(bkrus(net, eps), tree)
+
+
+def test_bkrus_single_sink():
+    net = Net((0, 0), [(7, 3)])
+    assert_identical_spanning(bkrus(net, 0.0), bkrus_np(net, 0.0))
+
+
+@pytest.mark.parametrize("eps", EPS_VALUES)
+def test_bkrus_collinear_manhattan_ties(eps):
+    """Equidistant collinear sinks exercise the stable tie-break path."""
+    net = Net((10, 10), [(10, 20), (20, 10), (10, 0), (0, 10), (15, 15)])
+    assert_identical_spanning(bkrus(net, eps), bkrus_np(net, eps))
+
+
+# ----------------------------------------------------------------------
+# Differential: BKST
+# ----------------------------------------------------------------------
+
+
+@settings(deadline=None, max_examples=20)
+@given(net=nets(max_sinks=5), eps=st.sampled_from(EPS_VALUES))
+def test_bkst_backends_identical(net, eps):
+    assert_identical_steiner(bkst(net, eps), bkst_np(net, eps))
+
+
+def test_bkst_single_sink():
+    net = Net((0, 0), [(4, 9)])
+    assert_identical_steiner(bkst(net, 0.0), bkst_np(net, 0.0))
+
+
+# ----------------------------------------------------------------------
+# Metamorphic: translation and relabeling
+# ----------------------------------------------------------------------
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    net=nets(),
+    eps=st.sampled_from(EPS_VALUES),
+    dx=st.integers(min_value=-500, max_value=500),
+    dy=st.integers(min_value=-500, max_value=500),
+)
+def test_translation_leaves_tree_bit_identical(net, eps, dx, dy):
+    """Integer translation preserves every pairwise distance exactly,
+    so both backends must return the very same edge list and cost."""
+    shifted = Net(
+        (net.source[0] + dx, net.source[1] + dy),
+        [(x + dx, y + dy) for x, y in net.sinks],
+        metric=net.metric,
+    )
+    base = bkrus_np(net, eps)
+    moved = bkrus_np(shifted, eps)
+    assert moved.edges == base.edges
+    assert moved.cost == base.cost
+    assert_identical_spanning(bkrus(shifted, eps), moved)
+
+
+@settings(deadline=None, max_examples=20)
+@given(net=nets(min_sinks=3), eps=st.sampled_from(EPS_VALUES), data=st.data())
+def test_sink_relabeling_equivariance(net, eps, data):
+    """With all pairwise distances distinct, the scan order is a pure
+    function of geometry, so construction commutes with relabeling."""
+    dist = net.dist
+    n = net.num_terminals
+    weights = sorted(dist[u, v] for u in range(n) for v in range(u + 1, n))
+    assume(all(a != b for a, b in zip(weights, weights[1:])))
+
+    perm = data.draw(st.permutations(range(net.num_sinks)))
+    relabeled = Net(
+        net.source, [net.sinks[p] for p in perm], metric=net.metric
+    )
+    # old sink index (1 + perm[j]) now answers to new index (1 + j)
+    old_to_new = {0: 0}
+    for j, p in enumerate(perm):
+        old_to_new[1 + p] = 1 + j
+
+    base = bkrus_np(net, eps)
+    permuted = bkrus_np(relabeled, eps)
+    mapped = {
+        tuple(sorted((old_to_new[u], old_to_new[v]))) for u, v in base.edges
+    }
+    assert set(permuted.edges) == mapped
+    assert permuted.cost == pytest.approx(base.cost, abs=1e-9)
+    assert_identical_spanning(bkrus(relabeled, eps), permuted)
+
+
+# ----------------------------------------------------------------------
+# Dispatch: env knob, explicit names, full registry
+# ----------------------------------------------------------------------
+
+_FIXED_NET = Net((0, 0), [(30, 5), (12, 40), (55, 21), (8, 8), (41, 33)])
+
+
+@pytest.mark.parametrize("name", ["bkrus", "bkst"])
+def test_env_knob_selects_numpy_kernel(monkeypatch, name):
+    """`REPRO_BACKEND=numpy` reroutes the reference names, and the
+    rerouted output is indistinguishable from the default."""
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    reference = ALGORITHMS[name](_FIXED_NET, 0.25)
+    monkeypatch.setenv(BACKEND_ENV_VAR, NUMPY)
+    vectorized = ALGORITHMS[name](_FIXED_NET, 0.25)
+    assert vectorized.edges == reference.edges
+    assert vectorized.cost == reference.cost
+
+
+def test_every_registry_variant_matches_its_reference(monkeypatch):
+    """Every backend-variant name in the registry reproduces its
+    canonical algorithm exactly (the property the store key relies on)."""
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    variants = [
+        name
+        for name in ALGORITHMS
+        if canonical_algorithm(name) != name
+    ]
+    assert variants, "registry lost its backend variants"
+    for name in variants:
+        assert backend_of_algorithm(name) == NUMPY
+        reference = ALGORITHMS[canonical_algorithm(name)](_FIXED_NET, 0.3)
+        vectorized = ALGORITHMS[name](_FIXED_NET, 0.3)
+        assert vectorized.edges == reference.edges
+        assert vectorized.cost == reference.cost

@@ -1,0 +1,155 @@
+"""Brute-force cross-checks of the 3-a/3-b feasibility predicates.
+
+The vectorized kernel's correctness rests on the merged-radius closed
+form ``max(r[x], P[x, u] + D[u, v] + r[other])`` (Lemma 3.1's
+bookkeeping).  This module re-derives every quantity with the dumbest
+possible per-node loops — path lengths by tree walks nowhere, just raw
+``P`` lookups and Python ``max`` over explicit member lists — and
+replays full Kruskal scans asserting that, at *every* scanned edge, the
+naive decision, the standalone predicates
+(:func:`repro.algorithms.bkrus_np.condition_3a` / ``condition_3b``),
+and the reference's own ``upper_bound_test`` all agree.  A final check
+confirms the batched kernel's accept/reject trace matches the naive
+replay decision-for-decision.
+
+Degenerate inputs get explicit cases: a single sink (no 3-b ever
+fires), collinear Manhattan ties (equal-weight edges stress the stable
+scan order the predicates are evaluated in), and zero-slack eps.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.bkrus import KruskalTrace, upper_bound_test
+from repro.algorithms.bkrus_np import bkrus_np, condition_3a, condition_3b
+from repro.core.edges import sorted_edge_arrays
+from repro.core.net import SOURCE, Net
+from repro.core.partial_forest import PartialForest
+
+coordinate = st.integers(min_value=0, max_value=120)
+
+
+@st.composite
+def nets(draw, min_sinks=2, max_sinks=7):
+    count = draw(st.integers(min_value=min_sinks + 1, max_value=max_sinks + 1))
+    pts = draw(
+        st.lists(
+            st.tuples(coordinate, coordinate),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    return Net(pts[0], pts[1:])
+
+
+def naive_3a(forest, u, v, bound, tolerance):
+    """(3-a) with the source-holding side resolved by a member scan."""
+    d = float(forest.net.dist[u, v])
+    if SOURCE in forest.members(u):
+        return forest.path(SOURCE, u) + d + forest.radius(v) <= bound + tolerance
+    return forest.path(SOURCE, v) + d + forest.radius(u) <= bound + tolerance
+
+
+def naive_3b(forest, u, v, bound, tolerance):
+    """(3-b) by explicit per-witness loops, no vector closed form."""
+    d = float(forest.net.dist[u, v])
+    for x, anchor, far in [
+        (x, u, v) for x in forest.members(u)
+    ] + [(x, v, u) for x in forest.members(v)]:
+        own = max(
+            float(forest.P[x, y]) for y in forest.members(anchor)
+        )
+        across = float(forest.P[x, anchor]) + d + max(
+            float(forest.P[far, z]) for z in forest.members(far)
+        )
+        merged_radius = max(own, across)
+        if float(forest.net.dist[SOURCE, x]) + merged_radius <= bound + tolerance:
+            return True
+    return False
+
+
+def replay_decisions(net, eps, tolerance=1e-9):
+    """Run the reference scan; yield each cross-checked decision."""
+    bound = net.path_bound(eps) if math.isfinite(eps) else math.inf
+    reference_test = upper_bound_test(net, bound, tolerance)
+    forest = PartialForest(net)
+    _, us, vs = sorted_edge_arrays(net)
+    decisions = []
+    for u, v in zip(us.tolist(), vs.tolist()):
+        if forest.connected(u, v):
+            continue
+        source_side = forest.component_contains_source(
+            u
+        ) or forest.component_contains_source(v)
+        if source_side:
+            naive = naive_3a(forest, u, v, bound, tolerance)
+            predicate = condition_3a(
+                forest,
+                u if forest.component_contains_source(u) else v,
+                v if forest.component_contains_source(u) else u,
+                bound,
+                tolerance,
+            )
+        else:
+            naive = naive_3b(forest, u, v, bound, tolerance)
+            predicate = condition_3b(forest, u, v, bound, tolerance)
+        assert predicate == naive, (
+            f"predicate disagrees with naive loop at edge ({u}, {v})"
+        )
+        assert reference_test(forest, u, v) == naive
+        decisions.append(((u, v), naive))
+        if naive:
+            forest.merge(u, v)
+        if forest.num_components == 1:
+            break
+    return decisions
+
+
+@settings(deadline=None, max_examples=30)
+@given(net=nets(), eps=st.sampled_from([0.0, 0.1, 0.3, 0.7, math.inf]))
+def test_predicates_match_naive_loops(net, eps):
+    replay_decisions(net, eps)
+
+
+@settings(deadline=None, max_examples=20)
+@given(net=nets(), eps=st.sampled_from([0.0, 0.2, 0.5]))
+def test_kernel_trace_matches_naive_replay(net, eps):
+    """The batched kernel takes exactly the naive replay's decisions."""
+    decisions = replay_decisions(net, eps)
+    trace = KruskalTrace()
+    bkrus_np(net, eps, trace=trace)
+    assert trace.accepted == [edge for edge, ok in decisions if ok]
+    # The kernel only logs *genuine* rejections (Lemma 3.1 prunes edges
+    # whose endpoints later connect), so its reject list is a subset.
+    naive_rejects = {edge for edge, ok in decisions if not ok}
+    assert set(trace.rejected) <= naive_rejects
+
+
+def test_single_sink_never_reaches_3b():
+    """One sink -> one edge -> the source side always holds; 3-b is
+    unreachable and the tree is the direct edge at any eps."""
+    net = Net((0, 0), [(9, 2)])
+    decisions = replay_decisions(net, 0.0)
+    assert decisions == [((0, 1), True)]
+    assert bkrus_np(net, 0.0).edges == ((0, 1),)
+
+
+@pytest.mark.parametrize("eps", [0.0, 0.25, math.inf])
+def test_collinear_manhattan_ties(eps):
+    """Many equal Manhattan weights: ties must not desynchronize the
+    predicates from the naive loops at any point of the scan."""
+    net = Net((0, 0), [(1, 0), (2, 0), (3, 0), (0, 1), (0, 2), (1, 1), (2, 1)])
+    replay_decisions(net, eps)
+
+
+def test_zero_bound_tolerance_edge():
+    """Bound exactly met (slack 0): both sides must accept via the
+    tolerance guard, not float luck."""
+    net = Net((0, 0), [(4, 0), (8, 0)])
+    # eps=0: bound == 8 == direct distance to the far sink; the chain
+    # 0-(4,0)-(8,0) meets it with equality.
+    decisions = replay_decisions(net, 0.0)
+    assert all(ok for _, ok in decisions)

@@ -1,0 +1,75 @@
+"""Golden-output regression fixtures for the backend pairs.
+
+``tests/golden/`` holds committed trees produced by the pure-Python
+reference solvers on fixed seeded nets.  Both backends must keep
+reproducing every fixture *exactly* — edges, cost, and the bound-side
+path length — so an accidental semantic change in either kernel (or in
+anything they share: distance tables, the edge sort, the grid graph)
+fails here even if the two backends drift in unison.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.algorithms.bkrus import bkrus
+from repro.algorithms.bkrus_np import bkrus_np
+from repro.core.net import Net
+from repro.steiner.bkst import bkst
+from repro.steiner.bkst_np import bkst_np
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def load_golden_cases():
+    """Every committed fixture, decoded and net-reconstructed."""
+    cases = []
+    for path in sorted(GOLDEN_DIR.glob("*.json")):
+        record = json.loads(path.read_text())
+        record["net"] = Net(
+            tuple(record["source"]),
+            [tuple(sink) for sink in record["sinks"]],
+            metric=record["metric"],
+        )
+        record["eps_value"] = (
+            math.inf if record["eps"] == "inf" else float(record["eps"])
+        )
+        record["expected_edges"] = tuple(
+            tuple(edge) for edge in record["edges"]
+        )
+        cases.append(record)
+    return cases
+
+
+_CASES = load_golden_cases()
+_SOLVERS = {
+    "bkrus": {"reference": bkrus, "numpy": bkrus_np},
+    "bkst": {"reference": bkst, "numpy": bkst_np},
+}
+
+
+def test_fixture_inventory():
+    """Both algorithms are pinned, and eps spans tight to unbounded."""
+    algorithms = {case["algorithm"] for case in _CASES}
+    assert algorithms == {"bkrus", "bkst"}
+    bkrus_eps = {
+        case["eps_value"] for case in _CASES if case["algorithm"] == "bkrus"
+    }
+    assert 0.0 in bkrus_eps and math.inf in bkrus_eps
+
+
+@pytest.mark.parametrize(
+    "case", _CASES, ids=[case["name"] + "_eps" + str(case["eps"]) for case in _CASES]
+)
+@pytest.mark.parametrize("backend", ["reference", "numpy"])
+def test_golden_tree_reproduced(case, backend):
+    solver = _SOLVERS[case["algorithm"]][backend]
+    tree = solver(case["net"], case["eps_value"])
+    assert tree.edges == case["expected_edges"]
+    assert tree.cost == case["cost"]
+    if case["algorithm"] == "bkrus":
+        assert float(tree.longest_source_path()) == case["longest_source_path"]
+    else:
+        assert tree.longest_sink_path() == case["longest_sink_path"]
