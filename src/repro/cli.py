@@ -22,7 +22,8 @@ Subcommands
 ``bench``   — seeded perf suite writing a machine-readable
               ``BENCH_<suite>.json`` record, with baseline comparison
               (``--compare BASELINE.json --tolerance 0.25``).
-``lint``    — project-specific static analysis (rules R001-R006).
+``lint``    — project-specific static analysis (file-local rules
+              R001-R006 plus whole-program rules R101-R105).
 ``report``  — stitch benchmarks/results/*.txt into one RESULTS.md.
 
 Examples::
@@ -442,10 +443,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools import lint as lint_module
 
-    argv: List[str] = list(args.paths)
-    if args.select:
-        argv = ["--select", args.select] + argv
-    return lint_module.main(argv)
+    if args.list_rules:
+        return lint_module.main(["--list-rules"])
+    argv: List[str] = []
+    if args.rules:
+        argv += ["--rules", args.rules]
+    if args.format != "text":
+        argv += ["--format", args.format]
+    if args.output:
+        argv += ["--output", args.output]
+    if args.jobs != 1:
+        argv += ["--jobs", str(args.jobs)]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    return lint_module.main(argv + list(args.paths))
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -771,7 +786,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src tests benchmarks)",
     )
     lint.add_argument(
-        "--select", default=None, help="comma-separated rule ids to run"
+        "--select",
+        "--rules",
+        dest="rules",
+        default=None,
+        help="comma-separated rule ids to run, e.g. R101,R103",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue (both phases) and exit",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--output", default=None, help="write rendered output to this file"
+    )
+    lint.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="process-pool width for the per-file phase (default: serial)",
+    )
+    lint.add_argument("--baseline", default=None, help="baseline file path")
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline and report every violation",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from current findings",
     )
     lint.set_defaults(func=_cmd_lint)
 

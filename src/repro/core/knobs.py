@@ -1,0 +1,81 @@
+"""The declared environment-knob table — every ``REPRO_*`` variable.
+
+The library reads a handful of environment variables; each one crosses
+process boundaries (fork-inherited into batch workers) and changes
+behaviour at a distance, so they are all declared here, in one place,
+with their semantics.  The cross-module lint rule R104
+(:mod:`repro.devtools.xrules`) compares every ``os.environ`` /
+``os.getenv`` read of a ``REPRO_*`` name in ``src/repro`` against this
+table: an undeclared read fails CI, as does a declared knob nothing
+reads any more.
+
+To add a knob: declare it here first, then read it — preferably through
+a named module-level constant (``STORE_ENV_VAR``-style) next to the
+code it configures, and document it in ``docs/development.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["Knob", "KNOBS", "declared_knobs"]
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One declared environment variable: name, default and meaning."""
+
+    name: str
+    default: str
+    description: str
+
+
+KNOBS: Tuple[Knob, ...] = (
+    Knob(
+        "REPRO_BACKEND",
+        "reference",
+        "Kernel backend for dispatching algorithms: 'reference' or "
+        "'numpy'; read at call time by repro.core.backends.",
+    ),
+    Knob(
+        "REPRO_CHECK_INVARIANTS",
+        "",
+        "Truthy values wrap every registry algorithm with the runtime "
+        "post-condition contracts of repro.devtools.contracts.",
+    ),
+    Knob(
+        "REPRO_RESULT_STORE",
+        "",
+        "Directory of the persistent result store; arms replay-from-"
+        "store in batch workers (repro.persistence.store).",
+    ),
+    Knob(
+        "REPRO_CHAOS",
+        "",
+        "JSON-encoded ChaosPolicy injected into batch jobs for fault-"
+        "tolerance testing (repro.runtime.chaos).",
+    ),
+    Knob(
+        "REPRO_TRACE",
+        "",
+        "Set to anything but ''/'0' to run each batch job inside a "
+        "TraceSession and attach its span tree to the record.",
+    ),
+    Knob(
+        "REPRO_PROFILE",
+        "",
+        "Set to anything but ''/'0' to run each batch job under "
+        "cProfile and write a per-job .prof file.",
+    ),
+    Knob(
+        "REPRO_PROFILE_DIR",
+        "profiles",
+        "Directory REPRO_PROFILE writes its per-job .prof files into.",
+    ),
+)
+
+
+def declared_knobs() -> Dict[str, Knob]:
+    """The table as a ``name -> Knob`` mapping."""
+    return {knob.name: knob for knob in KNOBS}

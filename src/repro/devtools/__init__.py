@@ -2,10 +2,14 @@
 
 Two complementary layers keep the algorithm invariants machine-checked:
 
-* :mod:`repro.devtools.lint` — an AST-based static analyser with the
-  project-specific rules R001-R006 (seeded randomness, float equality,
+* :mod:`repro.devtools.lint` — a two-phase AST-based static analyser:
+  the file-local rules R001-R006 (seeded randomness, float equality,
   picklable registry entries, frozen-by-convention core objects, broad
-  exception handlers, wall-clock timing).  Run it as ``repro-lint``,
+  exception handlers, wall-clock timing) plus the whole-program rules
+  R101-R105 of :mod:`repro.devtools.xrules` (registry/contract drift,
+  counter hygiene, budget-checkpoint coverage, env-knob discipline,
+  backend parity), run over the project index built by
+  :mod:`repro.devtools.project`.  Run it as ``repro-lint``,
   ``repro-cli lint`` or ``python -m repro.devtools.lint``.
 * :mod:`repro.devtools.contracts` — a ``@checked`` post-condition
   wrapper around every registry algorithm, activated by
@@ -25,7 +29,12 @@ _EXPORTS = {
     "Violation": "repro.devtools.rules",
     "lint_source": "repro.devtools.lint",
     "run_paths": "repro.devtools.lint",
+    "CROSS_RULES": "repro.devtools.xrules",
+    "run_cross_rules": "repro.devtools.xrules",
+    "ProjectIndex": "repro.devtools.project",
+    "build_index": "repro.devtools.project",
     "BOUND_GUARANTEED": "repro.devtools.contracts",
+    "UNBOUNDED": "repro.devtools.contracts",
     "ContractViolationError": "repro.devtools.contracts",
     "checked": "repro.devtools.contracts",
     "checked_algorithms": "repro.devtools.contracts",

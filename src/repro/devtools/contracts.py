@@ -31,6 +31,7 @@ from repro.core.exceptions import ReproError
 __all__ = [
     "ENV_VAR",
     "BOUND_GUARANTEED",
+    "UNBOUNDED",
     "ContractViolationError",
     "contracts_enabled",
     "check_algorithm_output",
@@ -56,10 +57,16 @@ BOUND_GUARANTEED = frozenset(
         "bkst_np",
     }
 )
-"""Algorithms whose output must satisfy ``path <= (1 + eps) * R``.
+"""Algorithms whose output must satisfy ``path <= (1 + eps) * R``."""
 
-``mst`` and ``prim_dijkstra`` are unbounded anchors: their trees are
-still structurally validated, but against an infinite bound.
+UNBOUNDED = frozenset({"mst", "prim_dijkstra"})
+"""Unbounded anchors: their trees are still structurally validated, but
+against an infinite bound.
+
+Together with :data:`BOUND_GUARANTEED` this must classify every
+``ALGORITHMS`` entry exactly once — the cross-module lint rule R101
+enforces the partition, so a new registry entry fails CI until it is
+added to one of the two sets.
 """
 
 

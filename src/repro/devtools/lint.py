@@ -1,18 +1,34 @@
-"""``repro-lint`` — the project's static analysis gate.
+"""``repro-lint`` — the project's two-phase static analysis gate.
 
-Runs the AST rules of :mod:`repro.devtools.rules` over Python trees and
-reports violations as ``path:line:col: R00X message`` lines, exiting
-non-zero when anything fires.  Three entry points share this module:
+Phase 1 runs the file-local AST rules of :mod:`repro.devtools.rules`
+(R001-R006) over every Python file, optionally across a process pool
+(``--jobs N``).  Phase 2 builds the whole-program index of
+:mod:`repro.devtools.project` over the ``repro`` package and runs the
+cross-module rules of :mod:`repro.devtools.xrules` (R101-R105) on it.
+Three entry points share this module:
 
 * the console script ``repro-lint``,
 * ``python -m repro.devtools.lint``,
 * the CLI subcommand ``repro-cli lint``.
 
+Output formats (``--format``): ``text`` (default,
+``path:line:col: RXXX message`` lines), ``json`` (versioned document
+with a summary), and ``sarif`` (SARIF 2.1.0 for GitHub code scanning).
+``--output FILE`` redirects the rendered document.
+
+Baseline: with ``--baseline FILE`` (default: the committed
+``src/repro/devtools/lint_baseline.json`` when present) known
+violations are absorbed and only *new* findings fail the run —
+``--update-baseline`` rewrites the file from the current findings.
+``--no-baseline`` shows everything.
+
 Suppression pragmas
 -------------------
-``# lint: disable=R002`` (optionally with a parenthesised reason)
-    suppresses the named rule(s) on that physical line or the line below
-    when placed on its own line.
+``# lint: disable=R00X`` / ``# lint: disable=R10X`` (optionally with a
+parenthesised reason)
+    suppresses the named rule(s) on that physical line, on the whole
+    multi-line statement the pragma trails, or on the line below when
+    placed on its own line.
 ``# lint: disable-file=R004``
     suppresses the rule(s) for the whole file.
 ``# lint: allow-broad-except(reason)``
@@ -28,15 +44,20 @@ from __future__ import annotations
 
 import argparse
 import ast
-import io
-import re
+import json
 import sys
-import tokenize
-from dataclasses import dataclass, field
+import time
+from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.devtools.rules import ALL_RULES, Rule, Violation
+from repro.devtools.rules import (
+    ALL_RULES,
+    Rule,
+    Suppressions,
+    Violation,
+    collect_suppressions,
+)
 
 __all__ = [
     "Suppressions",
@@ -45,6 +66,7 @@ __all__ = [
     "lint_source",
     "lint_file",
     "run_paths",
+    "collect_file_violations",
     "main",
 ]
 
@@ -61,53 +83,8 @@ EXCLUDED_DIR_NAMES = frozenset(
     }
 )
 
-_DISABLE_RE = re.compile(
-    r"#\s*lint:\s*(disable|disable-file)\s*=\s*([A-Z][0-9]{3}(?:\s*,\s*[A-Z][0-9]{3})*)"
-)
-_BROAD_EXCEPT_RE = re.compile(r"#\s*lint:\s*allow-broad-except\(([^)]*)\)")
-
-
-@dataclass
-class Suppressions:
-    """Which rules are silenced where, parsed from a file's comments."""
-
-    file_level: Set[str] = field(default_factory=set)
-    by_line: Dict[int, Set[str]] = field(default_factory=dict)
-
-    def add(self, line: int, rule: str) -> None:
-        self.by_line.setdefault(line, set()).add(rule)
-
-    def suppressed(self, rule: str, line: int) -> bool:
-        if rule in self.file_level:
-            return True
-        if rule in self.by_line.get(line, ()):
-            return True
-        # A pragma on its own line guards the statement below it.
-        return rule in self.by_line.get(line - 1, ())
-
-
-def collect_suppressions(source: str) -> Suppressions:
-    """Parse the ``# lint:`` pragmas out of ``source``'s comments."""
-    suppressions = Suppressions()
-    try:
-        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
-    except (tokenize.TokenError, IndentationError, SyntaxError):
-        return suppressions
-    for token in tokens:
-        if token.type != tokenize.COMMENT:
-            continue
-        line = token.start[0]
-        for match in _DISABLE_RE.finditer(token.string):
-            rules = {r.strip() for r in match.group(2).split(",")}
-            if match.group(1) == "disable-file":
-                suppressions.file_level.update(rules)
-            else:
-                for rule in rules:
-                    suppressions.add(line, rule)
-        for match in _BROAD_EXCEPT_RE.finditer(token.string):
-            if match.group(1).strip():
-                suppressions.add(line, "R005")
-    return suppressions
+DEFAULT_PATHS = ["src", "tests", "benchmarks"]
+BASELINE_FILENAME = "lint_baseline.json"
 
 
 def lint_source(
@@ -129,7 +106,7 @@ def lint_source(
                 message=f"syntax error: {exc.msg}",
             )
         ]
-    suppressions = collect_suppressions(source)
+    suppressions = collect_suppressions(source, tree)
     violations: List[Violation] = []
     for rule in rules if rules is not None else ALL_RULES:
         if respect_scope and not rule.applies_to(filename):
@@ -164,67 +141,295 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
             yield candidate
 
 
-def run_paths(
-    paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
+def _lint_file_task(payload: Tuple[str, Optional[Tuple[str, ...]]]) -> List[Violation]:
+    """Process-pool work unit: lint one file under a rule-id selection."""
+    path, rule_ids = payload
+    rules: Optional[Sequence[Rule]] = None
+    if rule_ids is not None:
+        rules = [rule for rule in ALL_RULES if rule.id in rule_ids]
+    return lint_file(Path(path), rules=rules)
+
+
+def collect_file_violations(
+    files: Sequence[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    jobs: int = 1,
 ) -> List[Violation]:
-    """Lint every Python file under ``paths`` and return all violations."""
-    violations: List[Violation] = []
-    for path in iter_python_files(paths):
-        violations.extend(lint_file(path, rules=rules))
+    """Phase 1 over ``files``; ``jobs > 1`` fans out per-file work.
+
+    Files are independent, so the pool needs no coordination; results
+    come back in submission order and the output is identical to the
+    serial pass.
+    """
+    if jobs <= 1 or len(files) < 2:
+        violations: List[Violation] = []
+        for path in files:
+            violations.extend(lint_file(path, rules=rules))
+        return violations
+    rule_ids: Optional[Tuple[str, ...]] = None
+    if rules is not None:
+        rule_ids = tuple(rule.id for rule in rules)
+    payloads = [(str(path), rule_ids) for path in files]
+    violations = []
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        for result in pool.map(_lint_file_task, payloads, chunksize=8):
+            violations.extend(result)
     return violations
 
 
-def _list_rules() -> str:
-    lines = []
+def run_paths(
+    paths: Iterable[str],
+    rules: Optional[Sequence[Rule]] = None,
+    jobs: int = 1,
+) -> List[Violation]:
+    """Lint every Python file under ``paths`` (file-local rules only)."""
+    return collect_file_violations(list(iter_python_files(paths)), rules, jobs)
+
+
+# ----------------------------------------------------------------------
+# Rule selection across both phases
+# ----------------------------------------------------------------------
+
+
+def _cross_rules():
+    from repro.devtools.xrules import CROSS_RULES
+
+    return CROSS_RULES
+
+
+def _catalogue() -> List[Tuple[str, str, str, str]]:
+    """``(id, title, kind, scope)`` for every rule of both phases."""
+    rows = []
     for rule in ALL_RULES:
         scope = "src/repro only" if rule.library_only else "all linted trees"
-        lines.append(f"{rule.id}  {rule.title}  [{scope}]")
-    return "\n".join(lines)
+        rows.append((rule.id, rule.title, "file-local", scope))
+    for rule in _cross_rules():
+        rows.append((rule.id, rule.title, "cross-module", "src/repro"))
+    return rows
+
+
+def _list_rules() -> str:
+    rows = _catalogue()
+    width = max(len(title) for _, title, _, _ in rows)
+    return "\n".join(
+        f"{rule_id}  {title:<{width}}  [{kind}; {scope}]"
+        for rule_id, title, kind, scope in rows
+    )
+
+
+def _rule_meta() -> List[Tuple[str, str, str]]:
+    """SARIF rule metadata: id, title, first docstring paragraph."""
+    meta: List[Tuple[str, str, str]] = [
+        ("R000", "syntax error", "The file does not parse.")
+    ]
+    for rule in list(ALL_RULES) + list(_cross_rules()):
+        doc = (type(rule).__doc__ or rule.title or "").strip()
+        first = doc.split("\n\n")[0].replace("\n", " ").strip()
+        meta.append((rule.id, rule.title, first))
+    return meta
+
+
+def _select_rules(
+    selection: Optional[str],
+) -> Tuple[Optional[List[Rule]], Optional[List], Optional[str]]:
+    """Resolve ``--rules`` into per-phase rule lists.
+
+    Returns ``(file_rules, cross_rules, error)``; ``None`` lists mean
+    "all rules of that phase".
+    """
+    if not selection:
+        return None, None, None
+    wanted = {r.strip().upper() for r in selection.split(",") if r.strip()}
+    known_file = {rule.id: rule for rule in ALL_RULES}
+    known_cross = {rule.id: rule for rule in _cross_rules()}
+    unknown = wanted - set(known_file) - set(known_cross)
+    if unknown:
+        return None, None, f"unknown rule(s): {sorted(unknown)}"
+    file_rules = [known_file[i] for i in sorted(wanted & set(known_file))]
+    cross_rules = [known_cross[i] for i in sorted(wanted & set(known_cross))]
+    return file_rules, cross_rules, None
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+
+def _default_baseline_path(project_root: Optional[Path]) -> Optional[Path]:
+    if project_root is None:
+        return None
+    candidate = project_root / "devtools" / BASELINE_FILENAME
+    return candidate if candidate.is_file() else None
+
+
+def _emit(document: str, output: Optional[str]) -> None:
+    if output:
+        Path(output).write_text(document + "\n", encoding="utf-8")
+    else:
+        print(document)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="Project-specific static analysis for the repro library "
-        "(rules R001-R006; see docs/development.md).",
+        "(file-local rules R001-R006 plus cross-module rules R101-R105; "
+        "see docs/development.md).",
     )
     parser.add_argument(
         "paths",
         nargs="*",
-        default=["src", "tests", "benchmarks"],
+        default=DEFAULT_PATHS,
         help="files or directories to lint (default: src tests benchmarks)",
     )
     parser.add_argument(
         "--select",
+        "--rules",
+        dest="select",
         default=None,
-        help="comma-separated rule ids to run (default: all)",
+        help="comma-separated rule ids to run, e.g. R101,R103 (default: all)",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
+    parser.add_argument(
+        "--format",
+        dest="format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the rendered output to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="process-pool width for the per-file phase (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file of known violations (default: the committed "
+        "src/repro/devtools/lint_baseline.json when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file and report every violation",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--no-cross",
+        action="store_true",
+        help="skip phase 2 (the cross-module rules R101-R105)",
+    )
     args = parser.parse_args(argv)
+
     if args.list_rules:
         print(_list_rules())
         return 0
-    rules: Optional[Sequence[Rule]] = None
+
+    file_rules, cross_rules, error = _select_rules(args.select)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    run_file_phase = file_rules is None or bool(file_rules)
+    run_cross_phase = (cross_rules is None or bool(cross_rules)) and not args.no_cross
     if args.select:
-        wanted = {r.strip().upper() for r in args.select.split(",") if r.strip()}
-        unknown = wanted - {rule.id for rule in ALL_RULES}
-        if unknown:
-            print(f"error: unknown rule(s): {sorted(unknown)}", file=sys.stderr)
-            return 2
-        rules = [rule for rule in ALL_RULES if rule.id in wanted]
+        # An explicit selection runs exactly the named rules.
+        run_file_phase = bool(file_rules)
+        run_cross_phase = bool(cross_rules) and not args.no_cross
+
     try:
-        violations = run_paths(args.paths, rules=rules)
+        files = list(iter_python_files(args.paths))
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    for violation in violations:
-        print(violation.render())
-    if violations:
-        print(f"repro-lint: {len(violations)} violation(s)", file=sys.stderr)
-        return 1
-    return 0
+
+    violations: List[Violation] = []
+    if run_file_phase:
+        started = time.perf_counter()
+        violations.extend(
+            collect_file_violations(files, file_rules, jobs=max(args.jobs, 1))
+        )
+        if args.jobs > 1:
+            elapsed = max(time.perf_counter() - started, 1e-9)
+            print(
+                f"repro-lint: phase 1 checked {len(files)} files in "
+                f"{elapsed:.2f}s ({len(files) / elapsed:.0f} files/s, "
+                f"jobs={args.jobs})",
+                file=sys.stderr,
+            )
+
+    from repro.devtools.project import build_index, find_project_root
+
+    project_root = find_project_root(args.paths)
+    if run_cross_phase and project_root is not None:
+        from repro.devtools.xrules import run_cross_rules
+
+        index = build_index(project_root)
+        violations.extend(run_cross_rules(index, cross_rules))
+
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+
+    from repro.devtools import reporting
+
+    baseline_path: Optional[Path] = (
+        Path(args.baseline) if args.baseline else _default_baseline_path(project_root)
+    )
+    if args.update_baseline:
+        target = baseline_path
+        if target is None:
+            if project_root is None:
+                print(
+                    "error: --update-baseline needs --baseline PATH or a "
+                    "discoverable project root",
+                    file=sys.stderr,
+                )
+                return 2
+            target = project_root / "devtools" / BASELINE_FILENAME
+        reporting.write_baseline(violations, target)
+        print(
+            f"repro-lint: wrote baseline with {len(violations)} "
+            f"violation(s) to {target}",
+            file=sys.stderr,
+        )
+        return 0
+
+    baseline = None
+    if baseline_path is not None and not args.no_baseline:
+        try:
+            baseline = reporting.load_baseline(baseline_path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: unreadable baseline {baseline_path}: {exc}", file=sys.stderr)
+            return 2
+    new, baselined = reporting.split_by_baseline(violations, baseline)
+
+    if args.format == "json":
+        _emit(reporting.violations_to_json(new, baselined, len(files)), args.output)
+    elif args.format == "sarif":
+        sarif = reporting.violations_to_sarif(new, _rule_meta())
+        _emit(json.dumps(sarif, indent=2), args.output)
+    else:
+        lines = "\n".join(v.render() for v in new)
+        if lines:
+            _emit(lines, args.output)
+        elif args.output:
+            _emit("", args.output)
+    if new or baselined:
+        summary = f"repro-lint: {len(new)} violation(s)"
+        if baseline is not None:
+            summary += f" ({len(baselined)} baselined)"
+        print(summary, file=sys.stderr)
+    return 1 if new else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,709 @@
+"""Phase 1 of the whole-program analyzer: the project index.
+
+``repro-lint``'s file-local rules (R001-R006) see one module at a time;
+the cross-module rules (R101-R105, :mod:`repro.devtools.xrules`) need a
+view of the whole ``src/repro`` tree at once.  This module builds that
+view:
+
+* a :class:`ModuleInfo` per module — AST, import/alias map, module-level
+  string constants, functions/methods, pragma suppressions;
+* a best-effort **call graph** over project-internal functions (name and
+  ``self.``-method resolution through the alias maps), plus the fixpoint
+  set of *checkpointing* functions (those that reach a
+  ``Budget.checkpoint()`` call) and the set of functions **reachable**
+  from the algorithm registry;
+* **extraction sets** the rules compare against each other:
+
+  - ``ALGORITHMS`` registry entries (name -> runner),
+  - ``BOUND_GUARANTEED`` / ``UNBOUNDED`` contract classifications,
+  - ``CounterSpec`` declarations and every ``incr``/``_bump`` emission,
+  - the ``_CANONICAL`` backend-name map,
+  - ``Knob`` declarations and every ``REPRO_*`` environment read.
+
+Everything here is AST-level — no project module is ever imported — so
+the index builds identically for the real tree and for the seeded
+fixture tree under ``tests/lint_fixtures/xproject/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.devtools.rules import Suppressions, collect_suppressions
+
+__all__ = [
+    "SourceRef",
+    "RegistryEntry",
+    "CounterDecl",
+    "CounterEmission",
+    "EnvRead",
+    "KnobDecl",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "build_index",
+    "find_project_root",
+]
+
+_KNOB_NAME_RE = re.compile(r"^REPRO_[A-Z0-9_]+$")
+
+_EXCLUDED_DIR_NAMES = frozenset(
+    {".git", "__pycache__", ".hypothesis", ".pytest_cache", "build", "dist"}
+)
+
+
+@dataclass(frozen=True)
+class SourceRef:
+    """Where an extracted fact lives: module, file path and position."""
+
+    module: str
+    path: str
+    line: int
+    col: int = 0
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One ``ALGORITHMS`` entry: registry name plus its resolved runner."""
+
+    name: str
+    target: Optional[str]  # qualified function name, when resolvable
+    ref: SourceRef
+
+
+@dataclass(frozen=True)
+class CounterDecl:
+    """One ``CounterSpec(...)`` declaration in the counter catalogue."""
+
+    name: str
+    prefix: bool
+    ref: SourceRef
+
+
+@dataclass(frozen=True)
+class CounterEmission:
+    """One ``incr(...)``/``_bump(...)`` call with a literal counter name.
+
+    ``dynamic`` marks f-string names (``f"bkex.depth.{d}"``) whose
+    literal head must match a declared prefix family.
+    """
+
+    name: str
+    dynamic: bool
+    ref: SourceRef
+
+
+@dataclass(frozen=True)
+class EnvRead:
+    """One resolved ``REPRO_*`` environment-knob occurrence."""
+
+    name: str
+    ref: SourceRef
+
+
+@dataclass(frozen=True)
+class KnobDecl:
+    """One ``Knob(...)`` declaration in the declared-knobs table."""
+
+    name: str
+    ref: SourceRef
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, with its resolved project-internal calls."""
+
+    qualname: str  # "repro.pkg.mod.func" or "repro.pkg.mod.Cls.func"
+    module: str
+    name: str
+    class_name: Optional[str]
+    node: ast.AST
+    calls: Set[str] = field(default_factory=set)
+    has_checkpoint_call: bool = False
+
+
+@dataclass
+class ModuleInfo:
+    """Per-module symbol table: AST, aliases, constants, functions."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    source: str
+    aliases: Dict[str, str] = field(default_factory=dict)
+    constants: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    suppressions: Suppressions = field(default_factory=Suppressions)
+
+
+def _dotted_chain(node: ast.AST) -> Tuple[str, ...]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def _str_const(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _fstring_head(node: ast.JoinedStr) -> str:
+    """The literal head of an f-string, up to the first interpolation."""
+    head: List[str] = []
+    for value in node.values:
+        literal = _str_const(value)
+        if literal is None:
+            break
+        head.append(literal)
+    return "".join(head)
+
+
+class ProjectIndex:
+    """The phase-1 product: modules, call graph and extraction sets."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.modules_by_path: Dict[str, ModuleInfo] = {}
+        # Extraction sets (filled by build_index).
+        self.algorithms: Dict[str, RegistryEntry] = {}
+        self.bound_guaranteed: Dict[str, SourceRef] = {}
+        self.unbounded: Dict[str, SourceRef] = {}
+        self.counters: Dict[str, CounterDecl] = {}
+        self.counter_emissions: List[CounterEmission] = []
+        self.canonical: Dict[str, Tuple[str, SourceRef]] = {}
+        self.knobs: Dict[str, KnobDecl] = {}
+        self.env_reads: List[EnvRead] = []
+        # Call-graph products.
+        self.checkpointing: Set[str] = set()
+        self.reachable: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Name resolution
+    # ------------------------------------------------------------------
+    def function_by_qualname(self, qualname: str) -> Optional[FunctionInfo]:
+        module, _, local = qualname.rpartition(".")
+        info = self.modules.get(module)
+        if info is not None and local in info.functions:
+            return info.functions[local]
+        # Two-level split for Class.method qualnames.
+        module2, _, cls = module.rpartition(".")
+        info = self.modules.get(module2)
+        if info is not None:
+            return info.functions.get(f"{cls}.{local}")
+        return None
+
+    def resolve_string(self, module: ModuleInfo, name: str) -> Optional[str]:
+        """Resolve ``name`` to a module-level string constant, following
+        one level of ``from x import CONST`` indirection."""
+        if name in module.constants:
+            return module.constants[name]
+        dotted = module.aliases.get(name)
+        if dotted is None:
+            return None
+        owner, _, const = dotted.rpartition(".")
+        other = self.modules.get(owner)
+        if other is not None:
+            return other.constants.get(const)
+        return None
+
+    def resolve_call_targets(
+        self, module: ModuleInfo, func: Optional[FunctionInfo], node: ast.Call
+    ) -> List[str]:
+        """Project-internal functions a ``Call`` node may dispatch to.
+
+        Best-effort static resolution: plain names through the local
+        symbol table and import aliases, ``self.method`` through the
+        enclosing class, and — as a fallback for attribute calls on
+        arbitrary objects — any same-module function/method sharing the
+        attribute name.  Unresolvable calls return an empty list.
+        """
+        chain = _dotted_chain(node.func)
+        if not chain:
+            return []
+        head, rest = chain[0], chain[1:]
+        if not rest:
+            if head in module.functions:
+                return [module.functions[head].qualname]
+            dotted = module.aliases.get(head)
+            if dotted is not None:
+                target = self.function_by_qualname(dotted)
+                if target is not None:
+                    return [target.qualname]
+            return []
+        if head == "self" and func is not None and func.class_name:
+            local = f"{func.class_name}.{rest[0]}"
+            if len(rest) == 1 and local in module.functions:
+                return [module.functions[local].qualname]
+        dotted = module.aliases.get(head)
+        if dotted is not None:
+            target = self.function_by_qualname(".".join((dotted,) + rest))
+            if target is not None:
+                return [target.qualname]
+            return []
+        # obj.method(...): fall back to same-module bare-name matching so
+        # helper objects (forests, scan lanes) keep the graph connected.
+        attr = rest[-1]
+        matches = [
+            info.qualname
+            for info in module.functions.values()
+            if info.name == attr and info.class_name is not None
+        ]
+        return matches
+
+
+# ----------------------------------------------------------------------
+# Module parsing
+# ----------------------------------------------------------------------
+
+
+def _module_name(root: Path, path: Path) -> str:
+    relative = path.relative_to(root.parent)
+    parts = list(relative.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _collect_aliases(module_name: str, tree: ast.Module) -> Dict[str, str]:
+    aliases: Dict[str, str] = {}
+    package = module_name.rpartition(".")[0]
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    top = alias.name.split(".")[0]
+                    aliases[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = package.split(".") if package else []
+                base_parts = base_parts[: len(base_parts) - (node.level - 1)]
+                if node.module:
+                    base_parts.append(node.module)
+                base = ".".join(base_parts)
+            else:
+                base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                target = f"{base}.{alias.name}" if base else alias.name
+                aliases[alias.asname or alias.name] = target
+    return aliases
+
+
+def _collect_constants(tree: ast.Module) -> Dict[str, str]:
+    constants: Dict[str, str] = {}
+    for node in tree.body:
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        if isinstance(target, ast.Name) and value is not None:
+            literal = _str_const(value)
+            if literal is not None:
+                constants[target.id] = literal
+    return constants
+
+
+def _collect_functions(info: ModuleInfo) -> None:
+    for node in info.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions[node.name] = FunctionInfo(
+                qualname=f"{info.name}.{node.name}",
+                module=info.name,
+                name=node.name,
+                class_name=None,
+                node=node,
+            )
+        elif isinstance(node, ast.ClassDef):
+            for member in node.body:
+                if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    local = f"{node.name}.{member.name}"
+                    info.functions[local] = FunctionInfo(
+                        qualname=f"{info.name}.{local}",
+                        module=info.name,
+                        name=member.name,
+                        class_name=node.name,
+                        node=member,
+                    )
+
+
+def is_checkpoint_call(node: ast.Call) -> bool:
+    """True for ``budget.checkpoint()`` / ``checkpoint()`` shaped calls."""
+    chain = _dotted_chain(node.func)
+    return bool(chain) and chain[-1] == "checkpoint"
+
+
+def _link_calls(index: ProjectIndex) -> None:
+    for module in index.modules.values():
+        for func in module.functions.values():
+            for node in ast.walk(func.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if is_checkpoint_call(node):
+                    func.has_checkpoint_call = True
+                    continue
+                func.calls.update(
+                    index.resolve_call_targets(module, func, node)
+                )
+
+
+def _checkpointing_fixpoint(index: ProjectIndex) -> Set[str]:
+    """Functions that reach a ``checkpoint()`` call through the graph."""
+    checkpointing = {
+        func.qualname
+        for module in index.modules.values()
+        for func in module.functions.values()
+        if func.has_checkpoint_call
+    }
+    changed = True
+    while changed:
+        changed = False
+        for module in index.modules.values():
+            for func in module.functions.values():
+                if func.qualname in checkpointing:
+                    continue
+                if func.calls & checkpointing:
+                    checkpointing.add(func.qualname)
+                    changed = True
+    return checkpointing
+
+
+def _reachable_from_registry(index: ProjectIndex) -> Set[str]:
+    frontier = [
+        entry.target for entry in index.algorithms.values() if entry.target
+    ]
+    seen: Set[str] = set()
+    while frontier:
+        qualname = frontier.pop()
+        if qualname in seen:
+            continue
+        seen.add(qualname)
+        func = index.function_by_qualname(qualname)
+        if func is None:
+            continue
+        frontier.extend(func.calls - seen)
+    return seen
+
+
+# ----------------------------------------------------------------------
+# Extraction sets
+# ----------------------------------------------------------------------
+
+
+def _ref(module: ModuleInfo, node: ast.AST) -> SourceRef:
+    return SourceRef(
+        module=module.name,
+        path=module.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+    )
+
+
+def _string_set_elements(value: ast.expr) -> List[ast.Constant]:
+    """String elements of ``frozenset({...})`` / ``set(...)`` / ``{...}``."""
+    container: Optional[ast.expr] = None
+    if isinstance(value, ast.Call):
+        chain = _dotted_chain(value.func)
+        if chain and chain[-1] in ("frozenset", "set") and value.args:
+            container = value.args[0]
+    elif isinstance(value, (ast.Set, ast.Tuple, ast.List)):
+        container = value
+    if not isinstance(container, (ast.Set, ast.Tuple, ast.List)):
+        return []
+    return [
+        element
+        for element in container.elts
+        if isinstance(element, ast.Constant) and isinstance(element.value, str)
+    ]
+
+
+def _extract_registry(index: ProjectIndex, module: ModuleInfo) -> None:
+    def entry_target(value: ast.expr) -> Optional[str]:
+        if isinstance(value, ast.Name):
+            if value.id in module.functions:
+                return module.functions[value.id].qualname
+            dotted = module.aliases.get(value.id)
+            if dotted is not None:
+                target = index.function_by_qualname(dotted)
+                if target is not None:
+                    return target.qualname
+                return dotted
+        return None
+
+    for node in ast.walk(module.tree):
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = list(node.targets), node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "ALGORITHMS"
+                and isinstance(value, ast.Dict)
+            ):
+                for key, entry in zip(value.keys, value.values):
+                    name = _str_const(key) if key is not None else None
+                    if name is None:
+                        continue
+                    index.algorithms[name] = RegistryEntry(
+                        name=name,
+                        target=entry_target(entry),
+                        ref=_ref(module, key),
+                    )
+            elif (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "ALGORITHMS"
+            ):
+                name = _str_const(target.slice)
+                if name is not None:
+                    index.algorithms[name] = RegistryEntry(
+                        name=name,
+                        target=entry_target(value),
+                        ref=_ref(module, target),
+                    )
+
+
+def _extract_contracts(index: ProjectIndex, module: ModuleInfo) -> None:
+    for node in module.tree.body:
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        if not isinstance(target, ast.Name) or value is None:
+            continue
+        if target.id in ("BOUND_GUARANTEED", "UNBOUNDED"):
+            into = (
+                index.bound_guaranteed
+                if target.id == "BOUND_GUARANTEED"
+                else index.unbounded
+            )
+            for element in _string_set_elements(value):
+                into[element.value] = _ref(module, element)
+        elif target.id in ("_CANONICAL", "CANONICAL") and isinstance(
+            value, ast.Dict
+        ):
+            for key, entry in zip(value.keys, value.values):
+                name = _str_const(key) if key is not None else None
+                variant = _str_const(entry)
+                if name is not None and variant is not None:
+                    index.canonical[name] = (variant, _ref(module, key))
+
+
+def _extract_counters(index: ProjectIndex, module: ModuleInfo) -> None:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _dotted_chain(node.func)
+        if not chain:
+            continue
+        if chain[-1] == "CounterSpec" and node.args:
+            name = _str_const(node.args[0])
+            if name is None:
+                continue
+            prefix = False
+            if len(node.args) >= 4:
+                arg = node.args[3]
+                prefix = isinstance(arg, ast.Constant) and bool(arg.value)
+            for keyword in node.keywords:
+                if keyword.arg == "prefix":
+                    prefix = (
+                        isinstance(keyword.value, ast.Constant)
+                        and bool(keyword.value.value)
+                    )
+            index.counters[name] = CounterDecl(
+                name=name, prefix=prefix, ref=_ref(module, node)
+            )
+        elif chain[-1] == "Knob" and node.args:
+            name = _str_const(node.args[0])
+            if name is not None:
+                index.knobs[name] = KnobDecl(name=name, ref=_ref(module, node))
+
+
+_EMITTER_NAMES = frozenset({"incr", "_bump"})
+
+
+def _extract_emissions(index: ProjectIndex, module: ModuleInfo) -> None:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _dotted_chain(node.func)
+        if not chain or chain[-1] not in _EMITTER_NAMES:
+            continue
+        for arg in node.args:
+            literal = _str_const(arg)
+            if literal is not None:
+                index.counter_emissions.append(
+                    CounterEmission(
+                        name=literal, dynamic=False, ref=_ref(module, node)
+                    )
+                )
+                break
+            if isinstance(arg, ast.JoinedStr):
+                head = _fstring_head(arg)
+                if head:
+                    index.counter_emissions.append(
+                        CounterEmission(
+                            name=head, dynamic=True, ref=_ref(module, node)
+                        )
+                    )
+                break
+
+
+def _extract_env_reads(index: ProjectIndex, module: ModuleInfo) -> None:
+    """Every ``REPRO_*`` knob occurrence in ``module``.
+
+    Three shapes count: ``os.environ[...]`` subscripts (read or write),
+    ``os.environ.get/pop/setdefault`` and ``os.getenv`` calls, and —
+    to catch helper indirection like ``_env_flag("REPRO_TRACE")`` — any
+    literal ``REPRO_*`` string passed as a call argument.  Names are
+    resolved through module-level constants (``os.environ.get(ENV_VAR)``)
+    including one ``from x import CONST`` hop.
+    """
+    declares_knobs = any(
+        knob.ref.module == module.name for knob in index.knobs.values()
+    )
+
+    def knob_name(node: ast.expr) -> Optional[str]:
+        literal = _str_const(node)
+        if literal is None and isinstance(node, ast.Name):
+            literal = index.resolve_string(module, node.id)
+        if literal is not None and _KNOB_NAME_RE.match(literal):
+            return literal
+        return None
+
+    seen: Set[Tuple[int, str]] = set()
+
+    def add(node: ast.AST, name: str) -> None:
+        key = (getattr(node, "lineno", 1), name)
+        if key in seen:
+            return
+        seen.add(key)
+        index.env_reads.append(EnvRead(name=name, ref=_ref(module, node)))
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Subscript):
+            chain = _dotted_chain(node.value)
+            if chain[-2:] == ("os", "environ") or chain == ("environ",):
+                name = knob_name(node.slice)
+                if name is not None:
+                    add(node, name)
+        elif isinstance(node, ast.Call):
+            chain = _dotted_chain(node.func)
+            is_env_call = (
+                len(chain) >= 2
+                and chain[-2:] in (("environ", "get"), ("environ", "pop"), ("environ", "setdefault"))
+            ) or chain[-2:] == ("os", "getenv")
+            if is_env_call and node.args:
+                name = knob_name(node.args[0])
+                if name is not None:
+                    add(node, name)
+                    continue
+            if declares_knobs or (chain and chain[-1] == "Knob"):
+                # The declaration table itself is not a use site.
+                continue
+            for arg in node.args:
+                literal = _str_const(arg)
+                if literal is not None and _KNOB_NAME_RE.match(literal):
+                    add(node, literal)
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+
+def iter_project_files(root: Path) -> List[Path]:
+    """Every ``.py`` file of the project tree under ``root``, sorted."""
+    files = []
+    for candidate in sorted(root.rglob("*.py")):
+        if any(part in _EXCLUDED_DIR_NAMES for part in candidate.parts):
+            continue
+        files.append(candidate)
+    return files
+
+
+def build_index(root: Path) -> ProjectIndex:
+    """Parse every module under ``root`` and build the project index.
+
+    ``root`` is the package directory itself (``src/repro`` or a fixture
+    tree's ``.../src/repro``); module names are derived relative to its
+    parent, so the package name is preserved.
+    """
+    root = Path(root)
+    index = ProjectIndex(root)
+    for path in iter_project_files(root):
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError:
+            continue  # file-local phase reports R000 for these
+        name = _module_name(root, path)
+        module = ModuleInfo(
+            name=name,
+            path=str(path),
+            tree=tree,
+            source=source,
+            aliases=_collect_aliases(name, tree),
+            constants=_collect_constants(tree),
+            suppressions=collect_suppressions(source, tree),
+        )
+        _collect_functions(module)
+        index.modules[name] = module
+        index.modules_by_path[str(path)] = module
+    # Knob declarations must exist before env-read extraction (the
+    # declaring module is exempt from literal-mention gathering).
+    for module in index.modules.values():
+        _extract_counters(index, module)
+    for module in index.modules.values():
+        _extract_registry(index, module)
+        _extract_contracts(index, module)
+        _extract_emissions(index, module)
+        _extract_env_reads(index, module)
+    _link_calls(index)
+    index.checkpointing = _checkpointing_fixpoint(index)
+    index.reachable = _reachable_from_registry(index)
+    return index
+
+
+def find_project_root(paths: Iterable[str]) -> Optional[Path]:
+    """Locate the ``repro`` package directory implied by ``paths``.
+
+    Accepts the package directory itself, a parent holding it (``src``),
+    or any file/directory inside it; returns None when no candidate has
+    an ``__init__.py`` (fixture invocations on loose files stay
+    file-local only).
+    """
+    for raw in paths:
+        path = Path(raw)
+        candidates: List[Path] = []
+        if path.is_dir():
+            candidates.append(path / "repro")
+            candidates.append(path)
+        start = path if path.is_dir() else path.parent
+        candidates.extend(ancestor for ancestor in [start, *start.parents])
+        for candidate in candidates:
+            if candidate.name == "repro" and (candidate / "__init__.py").is_file():
+                return candidate
+    return None

@@ -1,0 +1,237 @@
+"""Machine-readable lint output and the suppression baseline.
+
+Three output formats share one violation list:
+
+* ``text`` — the classic ``path:line:col: RXXX message`` lines;
+* ``json`` — a versioned object with violations and a summary, stable
+  enough for scripting (CI pipes it through ``json.tool``);
+* ``sarif`` — SARIF 2.1.0 for GitHub code scanning
+  (``github/codeql-action/upload-sarif``).
+
+The **baseline** (``src/repro/devtools/lint_baseline.json``) lets new
+rules land repo-wide without a big-bang cleanup: known violations are
+recorded as ``(path, rule, message) -> count`` entries, and a lint run
+fails only on findings *not* absorbed by the baseline.  Entries are
+line-number-free so unrelated edits do not invalidate them; an edit
+that adds an Nth identical violation to a file still fails.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.devtools.rules import Violation
+
+__all__ = [
+    "normalize_path",
+    "baseline_key",
+    "load_baseline",
+    "make_baseline",
+    "write_baseline",
+    "split_by_baseline",
+    "violations_to_json",
+    "violations_to_sarif",
+]
+
+BASELINE_VERSION = 1
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_ANCHORS = ("src/", "tests/", "benchmarks/")
+
+BaselineKey = Tuple[str, str, str]
+
+
+def normalize_path(path: str) -> str:
+    """A repo-root-relative posix path, for line-stable baseline keys.
+
+    Violations may carry absolute paths (API calls from tests) or
+    relative ones (CI runs from the repo root); anchoring on the first
+    ``src/``/``tests/``/``benchmarks/`` component makes both spell the
+    same key.
+    """
+    posix = str(path).replace("\\", "/")
+    best: Optional[int] = None
+    for anchor in _ANCHORS:
+        index = posix.find(anchor)
+        while index != -1:
+            if index == 0 or posix[index - 1] == "/":
+                best = index if best is None else min(best, index)
+                break
+            index = posix.find(anchor, index + 1)
+    if best is not None:
+        return posix[best:]
+    return posix.lstrip("./")
+
+
+def baseline_key(violation: Violation) -> BaselineKey:
+    return (normalize_path(violation.path), violation.rule, violation.message)
+
+
+def make_baseline(violations: Iterable[Violation]) -> Dict[BaselineKey, int]:
+    return dict(Counter(baseline_key(v) for v in violations))
+
+
+def write_baseline(
+    violations: Sequence[Violation], path: Path
+) -> Dict[BaselineKey, int]:
+    """Serialise the baseline for ``violations`` to ``path`` (sorted)."""
+    baseline = make_baseline(violations)
+    entries = [
+        {"path": key[0], "rule": key[1], "message": key[2], "count": count}
+        for key, count in sorted(baseline.items())
+    ]
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "repro-lint",
+        "entries": entries,
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return baseline
+
+
+def load_baseline(path: Path) -> Dict[BaselineKey, int]:
+    """Parse a baseline file into its ``key -> allowed count`` map."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {version!r} in {path} "
+            f"(expected {BASELINE_VERSION}); regenerate with "
+            "--update-baseline"
+        )
+    baseline: Dict[BaselineKey, int] = {}
+    for entry in payload.get("entries", []):
+        key = (entry["path"], entry["rule"], entry["message"])
+        baseline[key] = int(entry.get("count", 1))
+    return baseline
+
+
+def split_by_baseline(
+    violations: Sequence[Violation],
+    baseline: Optional[Mapping[BaselineKey, int]],
+) -> Tuple[List[Violation], List[Violation]]:
+    """``(new, baselined)`` — the first ``count`` matches are absorbed."""
+    if not baseline:
+        return list(violations), []
+    remaining = dict(baseline)
+    new: List[Violation] = []
+    absorbed: List[Violation] = []
+    for violation in violations:
+        key = baseline_key(violation)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            absorbed.append(violation)
+        else:
+            new.append(violation)
+    return new, absorbed
+
+
+# ----------------------------------------------------------------------
+# JSON / SARIF rendering
+# ----------------------------------------------------------------------
+
+
+def _violation_dict(violation: Violation) -> Dict[str, object]:
+    return {
+        "path": normalize_path(violation.path),
+        "line": violation.line,
+        "col": violation.col,
+        "rule": violation.rule,
+        "message": violation.message,
+    }
+
+
+def violations_to_json(
+    new: Sequence[Violation],
+    baselined: Sequence[Violation],
+    files_checked: int,
+) -> str:
+    """The ``--format json`` document (new findings only, plus summary)."""
+    payload = {
+        "version": 1,
+        "tool": "repro-lint",
+        "summary": {
+            "files_checked": files_checked,
+            "new": len(new),
+            "baselined": len(baselined),
+        },
+        "violations": [_violation_dict(v) for v in new],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def violations_to_sarif(
+    new: Sequence[Violation],
+    rule_meta: Sequence[Tuple[str, str, str]],
+    tool_version: str = "1.0.0",
+) -> Dict[str, object]:
+    """A SARIF 2.1.0 log of the new (non-baselined) findings.
+
+    ``rule_meta`` is ``(id, title, help_text)`` for the full catalogue;
+    rules are always listed so code scanning can render empty runs.
+    """
+    known = {meta[0] for meta in rule_meta}
+    extra = sorted(
+        {v.rule for v in new if v.rule not in known}
+    )
+    rules = [
+        {
+            "id": rule_id,
+            "name": rule_id,
+            "shortDescription": {"text": title or rule_id},
+            "fullDescription": {"text": help_text or title or rule_id},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id, title, help_text in list(rule_meta)
+        + [(rule_id, "", "") for rule_id in extra]
+    ]
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results = [
+        {
+            "ruleId": violation.rule,
+            "ruleIndex": rule_index[violation.rule],
+            "level": "error",
+            "message": {"text": f"{violation.rule}: {violation.message}"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": normalize_path(violation.path),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": violation.line,
+                            "startColumn": max(violation.col, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        for violation in new
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/development"
+                        ),
+                        "version": tool_version,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "columnKind": "unicodeCodePoints",
+            }
+        ],
+    }

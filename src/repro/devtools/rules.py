@@ -13,12 +13,21 @@ rules also police ``tests/`` and ``benchmarks/``.
 from __future__ import annotations
 
 import ast
+import io
 import re
-from dataclasses import dataclass
+import tokenize
+from dataclasses import dataclass, field
 from pathlib import PurePath
-from typing import Dict, Iterator, List, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-__all__ = ["Violation", "Rule", "ALL_RULES", "is_library_path"]
+__all__ = [
+    "Violation",
+    "Rule",
+    "ALL_RULES",
+    "is_library_path",
+    "Suppressions",
+    "collect_suppressions",
+]
 
 
 @dataclass(frozen=True)
@@ -38,6 +47,105 @@ class Violation:
 def is_library_path(filename: str) -> bool:
     """True for files inside the ``repro`` package (``src/repro/**``)."""
     return "repro" in PurePath(filename.replace("\\", "/")).parts
+
+
+_DISABLE_RE = re.compile(
+    r"#\s*lint:\s*(disable|disable-file)\s*=\s*([A-Z][0-9]{3}(?:\s*,\s*[A-Z][0-9]{3})*)"
+)
+_BROAD_EXCEPT_RE = re.compile(r"#\s*lint:\s*allow-broad-except\(([^)]*)\)")
+
+# Compound statements own whole blocks: expanding a trailing pragma to
+# their full extent would silently silence entire function bodies, so
+# extent expansion applies to simple (block-less) statements only.
+_SIMPLE_STMTS = (
+    ast.Assign,
+    ast.AugAssign,
+    ast.AnnAssign,
+    ast.Expr,
+    ast.Return,
+    ast.Raise,
+    ast.Assert,
+    ast.Delete,
+    ast.Import,
+    ast.ImportFrom,
+    ast.Global,
+    ast.Nonlocal,
+)
+
+
+@dataclass
+class Suppressions:
+    """Which rules are silenced where, parsed from a file's comments."""
+
+    file_level: Set[str] = field(default_factory=set)
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def add(self, line: int, rule: str) -> None:
+        self.by_line.setdefault(line, set()).add(rule)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        if rule in self.file_level:
+            return True
+        if rule in self.by_line.get(line, ()):
+            return True
+        # A pragma on its own line guards the statement below it.
+        return rule in self.by_line.get(line - 1, ())
+
+
+def _statement_extents(tree: ast.Module) -> List[Tuple[int, int]]:
+    """``(lineno, end_lineno)`` for every multi-line simple statement."""
+    extents: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, _SIMPLE_STMTS):
+            continue
+        end = getattr(node, "end_lineno", None)
+        if end is not None and end > node.lineno:
+            extents.append((node.lineno, end))
+    return extents
+
+
+def collect_suppressions(
+    source: str, tree: Optional[ast.Module] = None
+) -> Suppressions:
+    """Parse the ``# lint:`` pragmas out of ``source``'s comments.
+
+    With ``tree`` (the parsed module) given, a pragma trailing any
+    physical line of a multi-line *simple* statement covers the whole
+    statement extent — a ``# lint: disable=R002`` after the closing
+    bracket of a three-line list suppresses violations reported on all
+    three lines, not just the one carrying the comment.
+    """
+    suppressions = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        line = token.start[0]
+        for match in _DISABLE_RE.finditer(token.string):
+            rules = {r.strip() for r in match.group(2).split(",")}
+            if match.group(1) == "disable-file":
+                suppressions.file_level.update(rules)
+            else:
+                for rule in rules:
+                    suppressions.add(line, rule)
+        for match in _BROAD_EXCEPT_RE.finditer(token.string):
+            if match.group(1).strip():
+                suppressions.add(line, "R005")
+    if tree is not None and suppressions.by_line:
+        # Key line-level pragmas by statement extent: a pragma landing
+        # anywhere inside a multi-line statement guards every physical
+        # line of that statement.
+        extents = _statement_extents(tree)
+        for line, rules in list(suppressions.by_line.items()):
+            for low, high in extents:
+                if low <= line <= high:
+                    for covered in range(low, high + 1):
+                        for rule in rules:
+                            suppressions.add(covered, rule)
+    return suppressions
 
 
 def _dotted_chain(node: ast.AST) -> Tuple[str, ...]:

@@ -1,0 +1,387 @@
+"""Cross-module lint rules R101-R105 over the project index.
+
+Where R001-R006 (:mod:`repro.devtools.rules`) police one file at a time,
+these rules compare *extraction sets* pulled from different modules by
+:mod:`repro.devtools.project` — the conventions that hold the subsystems
+together and that no single-file pass can see:
+
+* **R101** — the algorithm registry, the contract classification
+  (``BOUND_GUARANTEED``/``UNBOUNDED``) and the backend canonical-name
+  map must agree exactly: no orphans on any side.
+* **R102** — every counter the code emits is declared in the typed
+  catalogue, and every declared (non-prefix) counter is emitted
+  somewhere: no rogue and no dead counters.
+* **R103** — every loop reachable from a registry algorithm must spend a
+  ``Budget.checkpoint()`` (directly or through a callee), keeping every
+  algorithm deadline-cooperative by construction.
+* **R104** — every ``REPRO_*`` environment read goes through the
+  declared-knobs table (:mod:`repro.core.knobs`), so knobs are
+  documented and provably cross the fork boundary.
+* **R105** — public functions in ``*_np.py`` backend modules mirror the
+  signatures of their reference twins, keeping the backend seam honest.
+
+All rules respect the standard pragmas on the violation's line
+(``# lint: disable=R103 (reason)``); see ``docs/development.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from repro.devtools.project import (
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+    SourceRef,
+    is_checkpoint_call,
+)
+from repro.devtools.rules import Violation
+
+__all__ = ["CrossRule", "CROSS_RULES", "run_cross_rules"]
+
+
+class CrossRule:
+    """Base class for whole-program rules: check a :class:`ProjectIndex`."""
+
+    id: str = "R100"
+    title: str = ""
+
+    def check(self, index: ProjectIndex) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, ref: SourceRef, message: str) -> Violation:
+        return Violation(
+            path=ref.path, line=ref.line, col=ref.col, rule=self.id,
+            message=message,
+        )
+
+
+class RegistryContractDriftRule(CrossRule):
+    """R101 — registry, contract table and canonical map must agree.
+
+    Every ``ALGORITHMS`` entry must be classified (``BOUND_GUARANTEED``
+    or ``UNBOUNDED``), every backend variant (``*_np``) must be known to
+    ``core/backends.canonical_algorithm``, and — vice versa — every
+    classified or canonical name must exist in the registry.  A new
+    algorithm from the related literature cannot land half-wired: the
+    drift is caught before the first test runs.
+    """
+
+    id = "R101"
+    title = "registry/contract/canonical-map drift"
+
+    def check(self, index: ProjectIndex) -> Iterator[Violation]:
+        if not index.algorithms:
+            return
+        classified = set(index.bound_guaranteed) | set(index.unbounded)
+        for name in sorted(index.algorithms):
+            entry = index.algorithms[name]
+            if name not in classified:
+                yield self.violation(
+                    entry.ref,
+                    f"registry algorithm {name!r} is not classified in "
+                    "BOUND_GUARANTEED or UNBOUNDED (devtools/contracts.py); "
+                    "every registered algorithm must declare its bound "
+                    "contract",
+                )
+            if name.endswith("_np") and name not in index.canonical:
+                yield self.violation(
+                    entry.ref,
+                    f"backend variant {name!r} has no entry in the "
+                    "canonical-name map (core/backends._CANONICAL); result "
+                    "store keys would diverge between backends",
+                )
+        for name in sorted(index.bound_guaranteed):
+            if name not in index.algorithms:
+                yield self.violation(
+                    index.bound_guaranteed[name],
+                    f"BOUND_GUARANTEED entry {name!r} is not a registered "
+                    "algorithm (orphan contract entry)",
+                )
+        for name in sorted(index.unbounded):
+            if name not in index.algorithms:
+                yield self.violation(
+                    index.unbounded[name],
+                    f"UNBOUNDED entry {name!r} is not a registered "
+                    "algorithm (orphan contract entry)",
+                )
+        for name in sorted(set(index.bound_guaranteed) & set(index.unbounded)):
+            yield self.violation(
+                index.unbounded[name],
+                f"{name!r} is classified both BOUND_GUARANTEED and "
+                "UNBOUNDED; pick one",
+            )
+        for name in sorted(index.canonical):
+            target, ref = index.canonical[name]
+            if name not in index.algorithms:
+                yield self.violation(
+                    ref,
+                    f"canonical-name map key {name!r} is not a registered "
+                    "algorithm",
+                )
+            if target not in index.algorithms:
+                yield self.violation(
+                    ref,
+                    f"canonical-name map target {target!r} (for {name!r}) "
+                    "is not a registered algorithm",
+                )
+
+
+class CounterHygieneRule(CrossRule):
+    """R102 — emitted counters and the typed catalogue must agree.
+
+    A counter bumped under a name the catalogue does not declare is
+    invisible to analysis code and docs; a declared counter nothing
+    emits is dead weight that misleads both.  Dynamic families
+    (f-string names) must match a declared ``prefix=True`` family.
+    """
+
+    id = "R102"
+    title = "counter emitted/declared drift"
+
+    def check(self, index: ProjectIndex) -> Iterator[Violation]:
+        if not index.counters:
+            return
+        prefixes = [
+            decl.name for decl in index.counters.values() if decl.prefix
+        ]
+
+        def declared(name: str, dynamic: bool) -> bool:
+            if not dynamic and name in index.counters:
+                return not index.counters[name].prefix
+            return any(name.startswith(prefix) for prefix in prefixes)
+
+        for emission in index.counter_emissions:
+            if not declared(emission.name, emission.dynamic):
+                shape = "dynamic counter family" if emission.dynamic else "counter"
+                yield self.violation(
+                    emission.ref,
+                    f"{shape} {emission.name!r} is not declared in the "
+                    "counter catalogue (observability/counters.py); declare "
+                    "a CounterSpec or fix the name",
+                )
+        emitted_names = {e.name for e in index.counter_emissions}
+        for name in sorted(index.counters):
+            decl = index.counters[name]
+            if decl.prefix:
+                used = any(e.name.startswith(name) for e in index.counter_emissions)
+            else:
+                used = name in emitted_names
+            if not used:
+                yield self.violation(
+                    decl.ref,
+                    f"declared counter {name!r} is never emitted anywhere "
+                    "in the library (dead counter); remove the CounterSpec "
+                    "or emit it",
+                )
+
+
+class BudgetCheckpointRule(CrossRule):
+    """R103 — loops reachable from registry algorithms must checkpoint.
+
+    The deadline/budget runtime only works if every hot loop spends
+    ``Budget.checkpoint()`` often enough to notice exhaustion; a single
+    checkpoint-free loop makes its whole algorithm non-cooperative.  The
+    rule walks every function reachable from an ``ALGORITHMS`` entry and
+    flags ``for``/``while`` loops with no checkpoint in their body or in
+    any (statically resolvable) callee.  Genuinely bounded or exempt
+    loops take ``# lint: disable=R103 (reason)`` on the loop line.
+    """
+
+    id = "R103"
+    title = "checkpoint-free loop reachable from the registry"
+
+    _LOOPS = (ast.For, ast.AsyncFor, ast.While)
+    _SKIP = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def check(self, index: ProjectIndex) -> Iterator[Violation]:
+        if not index.algorithms:
+            return
+        for qualname in sorted(index.reachable):
+            func = index.function_by_qualname(qualname)
+            if func is None:
+                continue
+            module = index.modules[func.module]
+            yield from self._scan(index, module, func, func.node)
+
+    def _scan(
+        self,
+        index: ProjectIndex,
+        module: ModuleInfo,
+        func: FunctionInfo,
+        node: ast.AST,
+    ) -> Iterator[Violation]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, self._SKIP):
+                continue  # nested defs run on their own call paths
+            if isinstance(child, self._LOOPS):
+                if self._covered(index, module, func, child):
+                    # The loop checkpoints; nested loops still need to.
+                    yield from self._scan(index, module, func, child)
+                else:
+                    kind = "while" if isinstance(child, ast.While) else "for"
+                    yield self.violation(
+                        SourceRef(
+                            module=module.name,
+                            path=module.path,
+                            line=child.lineno,
+                            col=child.col_offset + 1,
+                        ),
+                        f"{kind} loop in {func.qualname} (reachable from "
+                        "the algorithm registry) never calls "
+                        "Budget.checkpoint(); add a checkpoint or annotate "
+                        "with `# lint: disable=R103 (reason)`",
+                    )
+                    # Do not descend: one finding per uncovered loop nest.
+            else:
+                yield from self._scan(index, module, func, child)
+
+    @staticmethod
+    def _covered(
+        index: ProjectIndex,
+        module: ModuleInfo,
+        func: FunctionInfo,
+        loop: ast.AST,
+    ) -> bool:
+        for node in ast.walk(loop):
+            if not isinstance(node, ast.Call):
+                continue
+            if is_checkpoint_call(node):
+                return True
+            targets = index.resolve_call_targets(module, func, node)
+            if any(target in index.checkpointing for target in targets):
+                return True
+        return False
+
+
+class EnvKnobRule(CrossRule):
+    """R104 — ``REPRO_*`` reads must go through the declared-knobs table.
+
+    Environment knobs cross the fork boundary into batch workers via the
+    inherited environment; an undeclared knob is undocumented, invisible
+    to ``repro-lint --list-rules``-style tooling, and easy to misspell
+    silently.  Declaring it in :mod:`repro.core.knobs` is one line.
+    """
+
+    id = "R104"
+    title = "undeclared REPRO_* environment knob"
+
+    def check(self, index: ProjectIndex) -> Iterator[Violation]:
+        for read in index.env_reads:
+            if read.name not in index.knobs:
+                yield self.violation(
+                    read.ref,
+                    f"environment knob {read.name!r} is not declared in the "
+                    "knobs table (repro/core/knobs.py); declare it so it is "
+                    "documented and provably crosses the fork boundary",
+                )
+        used = {read.name for read in index.env_reads}
+        for name in sorted(index.knobs):
+            if name not in used:
+                yield self.violation(
+                    index.knobs[name].ref,
+                    f"declared knob {name!r} is never read anywhere in the "
+                    "library (dead knob); remove the declaration or wire it "
+                    "up",
+                )
+
+
+class BackendParityRule(CrossRule):
+    """R105 — ``*_np`` backend modules mirror their reference signatures.
+
+    The multi-backend registry only stays drop-in if ``bkrus_np`` keeps
+    exactly ``bkrus``'s signature (argument names, order, defaults).
+    Public functions of a ``X_np`` module are matched to ``X``'s
+    function of the same name with the ``_np`` segment removed; np-only
+    helpers with no reference twin are exempt.
+    """
+
+    id = "R105"
+    title = "backend signature drift vs reference module"
+
+    def check(self, index: ProjectIndex) -> Iterator[Violation]:
+        for name in sorted(index.modules):
+            if not name.endswith("_np"):
+                continue
+            module = index.modules[name]
+            reference = index.modules.get(name[: -len("_np")])
+            if reference is None:
+                continue
+            for local, func in sorted(module.functions.items()):
+                if func.class_name is not None or func.name.startswith("_"):
+                    continue
+                mirror_name = func.name.replace("_np", "", 1)
+                mirror = reference.functions.get(mirror_name)
+                if mirror is None or mirror.class_name is not None:
+                    continue
+                ours = _signature_text(func.node)
+                theirs = _signature_text(mirror.node)
+                if ours != theirs:
+                    yield self.violation(
+                        SourceRef(
+                            module=module.name,
+                            path=module.path,
+                            line=func.node.lineno,
+                            col=func.node.col_offset + 1,
+                        ),
+                        f"signature of {func.name}({ours}) drifts from its "
+                        f"reference twin {reference.name}.{mirror_name}"
+                        f"({theirs}); backend variants must mirror the "
+                        "reference signature exactly",
+                    )
+
+
+def _signature_text(node: ast.AST) -> str:
+    """Canonical ``name=default`` signature text, annotations ignored."""
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return ""
+    args = node.args
+    parts: List[str] = []
+    positional = list(args.posonlyargs) + list(args.args)
+    pad: List[Optional[ast.expr]] = [None] * (
+        len(positional) - len(args.defaults)
+    ) + list(args.defaults)
+    for arg, default in zip(positional, pad):
+        if default is None:
+            parts.append(arg.arg)
+        else:
+            parts.append(f"{arg.arg}={ast.unparse(default)}")
+    if args.vararg is not None:
+        parts.append(f"*{args.vararg.arg}")
+    elif args.kwonlyargs:
+        parts.append("*")
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is None:
+            parts.append(arg.arg)
+        else:
+            parts.append(f"{arg.arg}={ast.unparse(default)}")
+    if args.kwarg is not None:
+        parts.append(f"**{args.kwarg.arg}")
+    return ", ".join(parts)
+
+
+CROSS_RULES: Sequence[CrossRule] = (
+    RegistryContractDriftRule(),
+    CounterHygieneRule(),
+    BudgetCheckpointRule(),
+    EnvKnobRule(),
+    BackendParityRule(),
+)
+
+
+def run_cross_rules(
+    index: ProjectIndex, rules: Optional[Sequence[CrossRule]] = None
+) -> List[Violation]:
+    """Run phase 2 over ``index``, honouring per-module pragmas."""
+    violations: List[Violation] = []
+    for rule in rules if rules is not None else CROSS_RULES:
+        for violation in rule.check(index):
+            module = index.modules_by_path.get(violation.path)
+            if module is not None and module.suppressions.suppressed(
+                violation.rule, violation.line
+            ):
+                continue
+            violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations

@@ -1,0 +1,73 @@
+"""Fixture algorithms seeding exactly one firing of R102, R103 and R104.
+
+Each violation has a suppressed twin right next to it, so the tests can
+assert both that the rule fires and that the pragma silences it.
+"""
+
+import os
+
+from repro.observability.counters import incr
+
+
+def looping(net, eps):
+    """Reachable as ``looper``; its loop never checkpoints -> R103."""
+    total = 0
+    for edge in net:
+        incr("alg.steps")
+        total += edge
+    return total
+
+
+def looping_suppressed(net, eps):
+    """Reachable as ``polite``; same loop, pragma on the loop line."""
+    total = 0
+    for edge in net:  # lint: disable=R103 (fixture: bounded by construction)
+        total += edge
+    return total
+
+
+def looping_checkpointed(net, eps, budget=None):
+    """Reachable as ``safe``; the loop spends a checkpoint directly."""
+    total = 0
+    for edge in net:
+        if budget is not None:
+            budget.checkpoint()
+        total += edge
+    return total
+
+
+def _drain(budget):
+    if budget is not None:
+        budget.checkpoint()
+
+
+def looping_via_helper(net, eps, budget=None):
+    """Reachable as ``helper``; covered transitively through ``_drain``."""
+    total = 0
+    for edge in net:
+        _drain(budget)
+        total += edge
+    return total
+
+
+def emit_rogue_counters():
+    incr("alg.rogue")
+    incr("alg.rogue2")  # lint: disable=R102 (fixture: suppressed rogue counter)
+
+
+def read_env_knobs():
+    raw = os.environ["REPRO_X"]
+    raw += os.environ["REPRO_Y"]  # lint: disable=R104 (fixture: suppressed raw read)
+    return raw + os.environ.get("REPRO_ALG", "")
+
+
+def solve(net, eps):
+    return net
+
+
+def frobnicate(net, eps, tolerance=1e-9):
+    return tolerance
+
+
+def wobble(net, eps):
+    return net

@@ -1,0 +1,13 @@
+"""Fixture numpy backend: one mirrored signature, one drifted -> R105."""
+
+
+def solve(net, eps):
+    return net
+
+
+def frobnicate(net, eps, tol=0.1):
+    return tol
+
+
+def wobble(net, eps, extra=None):  # lint: disable=R105 (fixture: suppressed drift)
+    return extra

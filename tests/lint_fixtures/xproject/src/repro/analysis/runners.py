@@ -1,0 +1,32 @@
+"""Fixture registry: one clean entry, one orphan, one suppressed orphan.
+
+``ghost`` is deliberately missing from the contract classification so
+R101 fires on exactly this line; ``ghost2`` is the same drift with the
+suppression pragma.
+"""
+
+from repro.algorithms.alg import (
+    looping,
+    looping_checkpointed,
+    looping_suppressed,
+    looping_via_helper,
+)
+
+
+def _mst_runner(net, eps):
+    return net
+
+
+ALGORITHMS = {
+    "mst": _mst_runner,
+    "ghost": _mst_runner,
+    "looper": looping,
+    "polite": looping_suppressed,
+    "safe": looping_checkpointed,
+    "helper": looping_via_helper,
+}
+
+# A trailing pragma inside the dict literal above would cover the whole
+# multi-line statement (see collect_suppressions), so the suppressed
+# drift twin registers on its own line.
+ALGORITHMS["ghost2"] = _mst_runner  # lint: disable=R101 (fixture: suppressed twin of ghost)

@@ -1,0 +1,3 @@
+"""Fixture backend map: no ``*_np`` registry entries, so it is empty."""
+
+_CANONICAL = {}

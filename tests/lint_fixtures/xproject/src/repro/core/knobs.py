@@ -1,0 +1,13 @@
+"""Fixture declared-knobs table: only ``REPRO_ALG`` is legitimate."""
+
+
+class Knob:
+    def __init__(self, name, default, description):
+        self.name = name
+        self.default = default
+        self.description = description
+
+
+KNOBS = (
+    Knob("REPRO_ALG", "", "the one declared fixture knob"),
+)

@@ -1,0 +1,5 @@
+"""Fixture contract classification: ``ghost``/``ghost2`` are missing."""
+
+BOUND_GUARANTEED = frozenset({"mst", "looper", "polite", "safe", "helper"})
+
+UNBOUNDED = frozenset()

@@ -1,0 +1,19 @@
+"""Fixture counter catalogue: one live counter, one suppressed dead one."""
+
+
+class CounterSpec:
+    def __init__(self, name, kind, description, prefix=False):
+        self.name = name
+        self.kind = kind
+        self.description = description
+        self.prefix = prefix
+
+
+CATALOGUE = (
+    CounterSpec("alg.steps", "int", "loop iterations"),
+    CounterSpec("alg.dead", "int", "never emitted"),  # lint: disable=R102 (fixture: suppressed dead counter)
+)
+
+
+def incr(name, amount=1):
+    return (name, amount)

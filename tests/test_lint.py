@@ -132,6 +132,37 @@ class TestSuppression:
         source = "x = 1.0 == y  # lint: disable=R001\n"
         assert [v.rule for v in lint_source(source, "src/repro/x.py")] == ["R002"]
 
+    def test_trailing_pragma_covers_whole_multiline_statement(self):
+        # The violations sit on lines 2 and 3; the pragma trails the
+        # closing bracket on line 4.  The statement extent covers all of
+        # them (regression: only line 4 used to be suppressed).
+        source = (
+            "values = (\n"
+            "    1.0 == x,\n"
+            "    2.0 == y,\n"
+            ")  # lint: disable=R002 (exact sentinel tuple)\n"
+        )
+        assert lint_source(source, "src/repro/x.py") == []
+
+    def test_pragma_inside_multiline_statement_covers_it_too(self):
+        source = (
+            "values = (\n"
+            "    1.0 == x,  # lint: disable=R002 (exact sentinel tuple)\n"
+            "    2.0 == y,\n"
+            ")\n"
+        )
+        assert lint_source(source, "src/repro/x.py") == []
+
+    def test_pragma_on_compound_statement_does_not_leak_into_body(self):
+        # Extent expansion is for simple statements only: a pragma on a
+        # `for` header must not silence the whole loop body.
+        source = (
+            "for i in items:  # lint: disable=R002 (header only)\n"
+            "    x = 1\n"
+            "    y = 1.0 == x\n"
+        )
+        assert [v.rule for v in lint_source(source, "src/repro/x.py")] == ["R002"]
+
 
 class TestScoping:
     def test_library_only_rules_skip_tests_tree(self):
@@ -205,3 +236,35 @@ class TestDriver:
         code = cli_main(["lint", str(FIXTURES / "r004_mutation.py")])
         assert code == 1
         assert "R004" in capsys.readouterr().out
+
+    def test_cli_list_rules_covers_both_phases(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "R001" in out and "R101" in out and "R105" in out
+        assert "file-local" in out and "cross-module" in out
+
+
+class TestParallelPhase:
+    def test_jobs_matches_serial(self, tmp_path):
+        for i in range(6):
+            (tmp_path / f"mod{i}.py").write_text(
+                "import time\n\n"
+                "def f():\n"
+                f"    x = {i}.0 == 1.0\n"
+                "    return time.time()\n",
+                encoding="utf-8",
+            )
+        # Outside src/repro only R004 applies, so pretend-path via
+        # run_paths keeps rule scoping identical in both runs.
+        serial = run_paths([str(tmp_path)], jobs=1)
+        parallel = run_paths([str(tmp_path)], jobs=3)
+        assert serial == parallel
+
+    def test_main_jobs_reports_throughput(self, tmp_path, capsys):
+        for i in range(2):
+            (tmp_path / f"mod{i}.py").write_text("x = 1\n", encoding="utf-8")
+        assert main(["--jobs", "2", str(tmp_path)]) == 0
+        err = capsys.readouterr().err
+        assert "files/s" in err

@@ -1,0 +1,326 @@
+"""Tests for the whole-program phase: index, R101-R105, formats, baseline.
+
+Two subject trees:
+
+* ``tests/lint_fixtures/xproject/`` — a seeded miniature project where
+  every cross-module rule fires **exactly once** and every firing has a
+  pragma-suppressed twin right next to it;
+* the real ``src/repro`` tree — which must be clean modulo the committed
+  baseline, and must *become* dirty when any contract entry or counter
+  declaration is deleted from its index (drift detection is the point).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import main, run_paths
+from repro.devtools.project import build_index, find_project_root
+from repro.devtools.reporting import (
+    load_baseline,
+    normalize_path,
+    split_by_baseline,
+    write_baseline,
+)
+from repro.devtools.rules import Violation
+from repro.devtools.xrules import CROSS_RULES, run_cross_rules
+
+REPO_ROOT = Path(__file__).parent.parent
+XPROJECT = Path(__file__).parent / "lint_fixtures" / "xproject"
+XPROJECT_SRC = XPROJECT / "src"
+
+
+@pytest.fixture(scope="module")
+def fixture_index():
+    return build_index(XPROJECT_SRC / "repro")
+
+
+@pytest.fixture(scope="module")
+def repo_index():
+    return build_index(REPO_ROOT / "src" / "repro")
+
+
+class TestProjectRootDiscovery:
+    def test_finds_fixture_root_from_src_dir(self):
+        root = find_project_root([str(XPROJECT_SRC)])
+        assert root == XPROJECT_SRC / "repro"
+
+    def test_finds_real_root_from_default_paths(self):
+        root = find_project_root([str(REPO_ROOT / "src")])
+        assert root == REPO_ROOT / "src" / "repro"
+
+    def test_loose_fixture_file_has_no_root(self):
+        loose = Path(__file__).parent / "lint_fixtures" / "clean_module.py"
+        assert find_project_root([str(loose)]) is None
+
+
+class TestFixtureIndex:
+    def test_registry_extraction(self, fixture_index):
+        assert set(fixture_index.algorithms) == {
+            "mst", "ghost", "ghost2", "looper", "polite", "safe", "helper",
+        }
+        looper = fixture_index.algorithms["looper"]
+        assert looper.target == "repro.algorithms.alg.looping"
+
+    def test_contract_extraction(self, fixture_index):
+        assert set(fixture_index.bound_guaranteed) == {
+            "mst", "looper", "polite", "safe", "helper",
+        }
+        assert fixture_index.unbounded == {}
+
+    def test_counters_and_knobs(self, fixture_index):
+        assert set(fixture_index.counters) == {"alg.steps", "alg.dead"}
+        assert set(fixture_index.knobs) == {"REPRO_ALG"}
+
+    def test_checkpoint_fixpoint_is_transitive(self, fixture_index):
+        # _drain checkpoints directly; looping_via_helper only through it.
+        assert "repro.algorithms.alg._drain" in fixture_index.checkpointing
+        assert (
+            "repro.algorithms.alg.looping_via_helper"
+            in fixture_index.checkpointing
+        )
+        assert "repro.algorithms.alg.looping" not in fixture_index.checkpointing
+
+    def test_reachability_from_registry(self, fixture_index):
+        assert "repro.algorithms.alg.looping" in fixture_index.reachable
+        # emit_rogue_counters is never registered, so not reachable.
+        assert (
+            "repro.algorithms.alg.emit_rogue_counters"
+            not in fixture_index.reachable
+        )
+
+
+class TestCrossRulesOnFixtureTree:
+    """Each R10x rule fires exactly once, and its twin is suppressed."""
+
+    @pytest.fixture(scope="class")
+    def violations(self):
+        return run_cross_rules(build_index(XPROJECT_SRC / "repro"))
+
+    def test_each_rule_fires_exactly_once(self, violations):
+        fired = sorted(v.rule for v in violations)
+        assert fired == ["R101", "R102", "R103", "R104", "R105"]
+
+    def test_r101_orphan_registry_entry(self, violations):
+        [v] = [v for v in violations if v.rule == "R101"]
+        assert "'ghost'" in v.message
+        assert v.path.endswith("runners.py")
+
+    def test_r102_undeclared_counter(self, violations):
+        [v] = [v for v in violations if v.rule == "R102"]
+        assert "'alg.rogue'" in v.message
+
+    def test_r103_checkpoint_free_loop(self, violations):
+        [v] = [v for v in violations if v.rule == "R103"]
+        assert "looping" in v.message
+        assert "checkpoint" in v.message
+
+    def test_r104_undeclared_env_read(self, violations):
+        [v] = [v for v in violations if v.rule == "R104"]
+        assert "'REPRO_X'" in v.message
+
+    def test_r105_signature_drift(self, violations):
+        [v] = [v for v in violations if v.rule == "R105"]
+        assert "frobnicate" in v.message
+        assert "tolerance=1e-09" in v.message
+
+    def test_suppressed_twins_stay_silent(self, violations):
+        text = " ".join(v.message for v in violations)
+        assert "ghost2" not in text  # R101 pragma
+        assert "alg.rogue2" not in text  # R102 pragma
+        assert "alg.dead" not in text  # R102 dead-counter pragma
+        assert "looping_suppressed" not in text  # R103 pragma
+        assert "REPRO_Y" not in text  # R104 pragma
+        assert "wobble" not in text  # R105 pragma
+        # and the genuinely clean constructs do not fire either:
+        assert "looping_checkpointed" not in text
+        assert "looping_via_helper" not in text
+        assert "REPRO_ALG" not in text
+        assert "solve" not in text
+
+    def test_rule_selection(self):
+        index = build_index(XPROJECT_SRC / "repro")
+        only_r101 = run_cross_rules(
+            index, [r for r in CROSS_RULES if r.id == "R101"]
+        )
+        assert [v.rule for v in only_r101] == ["R101"]
+
+
+class TestDriverOnFixtureTree:
+    def test_main_reports_all_five(self, capsys):
+        code = main(["--no-baseline", str(XPROJECT_SRC)])
+        assert code == 1
+        out = capsys.readouterr().out
+        for rule in ("R101", "R102", "R103", "R104", "R105"):
+            assert rule in out
+
+    def test_main_rules_selection(self, capsys):
+        assert main(["--rules", "R101", str(XPROJECT_SRC)]) == 1
+        out = capsys.readouterr().out
+        assert "R101" in out
+        assert "R103" not in out
+        assert main(["--rules", "R105", str(XPROJECT_SRC)]) == 1
+        capsys.readouterr()
+
+    def test_json_format_document(self, tmp_path, capsys):
+        target = tmp_path / "lint.json"
+        code = main(
+            ["--format", "json", "--output", str(target), str(XPROJECT_SRC)]
+        )
+        capsys.readouterr()
+        assert code == 1
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert payload["tool"] == "repro-lint"
+        assert payload["summary"]["new"] == 5
+        assert {v["rule"] for v in payload["violations"]} == {
+            "R101", "R102", "R103", "R104", "R105",
+        }
+
+    def test_sarif_format_required_fields(self, tmp_path, capsys):
+        target = tmp_path / "lint.sarif"
+        code = main(
+            ["--format", "sarif", "--output", str(target), str(XPROJECT_SRC)]
+        )
+        capsys.readouterr()
+        assert code == 1
+        doc = json.loads(target.read_text(encoding="utf-8"))
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-2.1.0.json")
+        run = doc["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert {r["id"] for r in driver["rules"]} >= {
+            "R001", "R101", "R102", "R103", "R104", "R105",
+        }
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+        assert len(run["results"]) == 5
+        for result in run["results"]:
+            assert driver["rules"][result["ruleIndex"]]["id"] == result["ruleId"]
+            assert result["message"]["text"]
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"]
+            assert location["region"]["startLine"] >= 1
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(["--update-baseline", "--baseline", str(baseline), str(XPROJECT_SRC)])
+            == 0
+        )
+        assert (
+            main(["--baseline", str(baseline), str(XPROJECT_SRC)]) == 0
+        )
+        # --no-baseline still shows everything.
+        assert (
+            main(["--no-baseline", "--baseline", str(baseline), str(XPROJECT_SRC)])
+            == 1
+        )
+        capsys.readouterr()
+
+
+class TestRepoTreeGate:
+    """The real tree is clean modulo the committed baseline."""
+
+    def test_repo_clean_with_committed_baseline(self, capsys):
+        paths = [str(REPO_ROOT / p) for p in ("src", "tests", "benchmarks")]
+        code = main(paths)
+        captured = capsys.readouterr()
+        assert code == 0, captured.out
+
+    def test_repo_extraction_sets_are_populated(self, repo_index):
+        assert set(repo_index.algorithms) >= {
+            "mst", "spt", "bkrus", "bkrus_np", "bkst", "bkst_np",
+        }
+        assert set(repo_index.unbounded) == {"mst", "prim_dijkstra"}
+        assert repo_index.canonical["bkrus_np"][0] == "bkrus"
+        assert len(repo_index.counters) >= 20
+        assert set(repo_index.knobs) == {
+            "REPRO_BACKEND",
+            "REPRO_CHAOS",
+            "REPRO_CHECK_INVARIANTS",
+            "REPRO_PROFILE",
+            "REPRO_PROFILE_DIR",
+            "REPRO_RESULT_STORE",
+            "REPRO_TRACE",
+        }
+
+    def test_deleting_any_contract_entry_trips_r101(self, repo_index):
+        r101 = [r for r in CROSS_RULES if r.id == "R101"]
+        assert run_cross_rules(repo_index, r101) == []
+        for table in (repo_index.bound_guaranteed, repo_index.unbounded):
+            for name in list(table):
+                ref = table.pop(name)
+                try:
+                    fired = run_cross_rules(repo_index, r101)
+                    assert any(
+                        v.rule == "R101" and f"{name!r}" in v.message
+                        for v in fired
+                    ), f"deleting {name!r} did not trip R101"
+                finally:
+                    table[name] = ref
+
+    def test_deleting_any_counter_decl_trips_r102(self, repo_index):
+        r102 = [r for r in CROSS_RULES if r.id == "R102"]
+        assert run_cross_rules(repo_index, r102) == []
+        for name in list(repo_index.counters):
+            decl = repo_index.counters.pop(name)
+            try:
+                fired = run_cross_rules(repo_index, r102)
+                assert any(v.rule == "R102" for v in fired), (
+                    f"deleting counter {name!r} did not trip R102"
+                )
+            finally:
+                repo_index.counters[name] = decl
+
+    def test_file_rules_stay_clean_without_baseline(self):
+        # The baseline only carries cross-module findings; the file-local
+        # phase must pass bare.
+        paths = [str(REPO_ROOT / p) for p in ("src", "tests", "benchmarks")]
+        violations = run_paths(paths)
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+
+class TestBaselineMechanics:
+    def _violation(self, line: int, message: str = "m") -> Violation:
+        return Violation(
+            path="src/repro/x.py", line=line, col=1, rule="R103", message=message
+        )
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([self._violation(3), self._violation(9, "other")], path)
+        baseline = load_baseline(path)
+        assert baseline[("src/repro/x.py", "R103", "m")] == 1
+        assert baseline[("src/repro/x.py", "R103", "other")] == 1
+
+    def test_line_numbers_do_not_invalidate(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([self._violation(3)], path)
+        new, absorbed = split_by_baseline(
+            [self._violation(300)], load_baseline(path)
+        )
+        assert new == [] and len(absorbed) == 1
+
+    def test_extra_identical_violation_still_fails(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([self._violation(3)], path)
+        new, absorbed = split_by_baseline(
+            [self._violation(3), self._violation(4)], load_baseline(path)
+        )
+        assert len(new) == 1 and len(absorbed) == 1
+
+    def test_absolute_and_relative_paths_share_keys(self):
+        absolute = str(REPO_ROOT / "src" / "repro" / "core" / "net.py")
+        assert normalize_path(absolute) == "src/repro/core/net.py"
+        assert normalize_path("src/repro/core/net.py") == "src/repro/core/net.py"
+        assert normalize_path("./tests/test_x.py") == "tests/test_x.py"
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError):
+            load_baseline(path)
