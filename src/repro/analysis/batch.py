@@ -557,9 +557,13 @@ def _run_parallel(
     ``BrokenProcessPool`` on *every* in-flight future, with no way to
     tell which job killed it.  The engine therefore charges an attempt
     to every unfinished job, requeues the ones under ``max_attempts``,
-    rebuilds the pool after an exponential backoff, and resumes.  A
-    genuinely poisoned job burns through its attempts and becomes a
-    failure record; innocent bystanders succeed on retry.  ``job_timeout``
+    rebuilds the pool after an exponential backoff, and resumes.  The
+    backoff exponent tracks *consecutive* broken rounds, not lifetime
+    rebuilds: any round that completes futures without a break resets
+    it, so one flaky period early in a long sweep does not permanently
+    inflate every later recovery pause toward the cap.  A genuinely
+    poisoned job burns through its attempts and becomes a failure
+    record; innocent bystanders succeed on retry.  ``job_timeout``
     is a *stall backstop*: if no job completes within it, the pool is
     presumed hung and recycled the same way (cooperative deadlines via
     ``JobSpec.budget_seconds`` are the precise mechanism — this guards
@@ -571,6 +575,7 @@ def _run_parallel(
     futures: Dict[Any, Tuple[int, JobSpec]] = {}
     pool = _make_pool(n_jobs)
     rebuilds = 0
+    consecutive_rebuilds = 0
     try:
         while queue or futures:
             while queue:
@@ -606,6 +611,7 @@ def _run_parallel(
                         _bump(counters, "batch.retries")
             if broken:
                 rebuilds += 1
+                consecutive_rebuilds += 1
                 _bump(counters, "batch.pool_rebuilds")
                 unfinished = list(futures.values())
                 futures.clear()
@@ -623,8 +629,15 @@ def _run_parallel(
                         queue.append((index, spec))
                         _bump(counters, "batch.retries")
                 if queue:
-                    time.sleep(min(retry_backoff * (2 ** (rebuilds - 1)), 5.0))
+                    time.sleep(
+                        min(
+                            retry_backoff * (2 ** (consecutive_rebuilds - 1)),
+                            5.0,
+                        )
+                    )
                 pool = _make_pool(n_jobs)
+            else:
+                consecutive_rebuilds = 0
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
     return records
@@ -646,7 +659,8 @@ def run_batch(
     ``n_jobs=1`` runs serially in-process.  ``n_jobs>1`` fans out over a
     process pool; a worker crash (``BrokenProcessPool``) no longer loses
     the batch: the pool is rebuilt after an exponential backoff
-    (``retry_backoff`` doubling per rebuild) and every unfinished job is
+    (``retry_backoff`` doubling per *consecutive* rebuild, resetting
+    after a clean round of completions) and every unfinished job is
     requeued with its attempt count incremented, up to ``max_attempts``
     per job — after which the job becomes a failure record and the rest
     of the batch proceeds.  If the pool cannot be created at all

@@ -229,6 +229,102 @@ def _batch_engine() -> Dict[str, float]:
     }
 
 
+def _serve_latency() -> Dict[str, float]:
+    """Load-generate against a live ``repro-serve`` daemon.
+
+    Spins a real daemon (ephemeral port, 2 pool workers, fresh result
+    store) on a background thread and fires 40 requests over 8 distinct
+    24-sink nets: one concurrent warm-up round of distinct nets (all
+    store misses), then four concurrent rounds of repeats (all store
+    hits) — so the measured p50/p99 and saturation throughput cover the
+    full serving stack including the memoization tier.  The store is
+    recreated per run, keeping the work identical run-over-run
+    (``cache_hits`` is deterministically 32).
+    """
+    import asyncio
+    import json
+    import tempfile
+    import time
+
+    from repro.instances.random_nets import random_net
+    from repro.serve.daemon import ServeConfig, ServerThread
+
+    bodies = [
+        {
+            "points": [
+                [float(x), float(y)] for x, y in random_net(24, seed).points
+            ],
+            "eps": 0.25,
+            "algorithm": "bkrus",
+            "name": f"bench_{seed}",
+        }
+        for seed in range(80, 88)
+    ]
+
+    async def call(port: int, body: Dict[str, Any]) -> Tuple[float, bool]:
+        start = time.perf_counter()
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        data = json.dumps(body).encode("utf-8")
+        writer.write(
+            b"POST /solve HTTP/1.1\r\nHost: bench\r\n"
+            + f"Content-Length: {len(data)}\r\n".encode("latin-1")
+            + b"Connection: close\r\n\r\n"
+            + data
+        )
+        await writer.drain()
+        status_line = await reader.readline()
+        if int(status_line.split()[1]) != 200:
+            raise RuntimeError(f"serve_latency got {status_line!r}")
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = line.decode("latin-1").partition(":")
+            if key.strip().lower() == "content-length":
+                length = int(value)
+        payload = json.loads(await reader.readexactly(length))
+        writer.close()
+        return time.perf_counter() - start, bool(payload["cache_hit"])
+
+    async def load(port: int) -> Tuple[List[float], int]:
+        latencies: List[float] = []
+        hits = 0
+        # Round 1: distinct nets, concurrently — no store-key races.
+        for _ in range(1):
+            outcomes = await asyncio.gather(
+                *(call(port, body) for body in bodies)
+            )
+            latencies += [seconds for seconds, _ in outcomes]
+            hits += sum(1 for _, hit in outcomes if hit)
+        # Rounds 2-5: repeats, concurrently — the memoization tier.
+        for _ in range(4):
+            outcomes = await asyncio.gather(
+                *(call(port, body) for body in bodies)
+            )
+            latencies += [seconds for seconds, _ in outcomes]
+            hits += sum(1 for _, hit in outcomes if hit)
+        return latencies, hits
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as root:
+        config = ServeConfig(
+            port=0, workers=2, store=f"{root}/store", trace=False
+        )
+        with ServerThread(config) as handle:
+            start = time.perf_counter()
+            latencies, hits = asyncio.run(load(handle.port))
+            elapsed = time.perf_counter() - start
+    ordered = sorted(latencies)
+    count = len(ordered)
+    return {
+        "requests": float(count),
+        "cache_hits": float(hits),
+        "p50_ms": ordered[count // 2] * 1000.0,
+        "p99_ms": ordered[min(count - 1, (count * 99) // 100)] * 1000.0,
+        "throughput_rps": count / elapsed,
+    }
+
+
 def _workload_routing() -> Dict[str, float]:
     """Route a synthetic 60-net design (the global-routing use case)."""
     from repro.algorithms.bkrus import bkrus
@@ -251,6 +347,7 @@ _QUICK: Tuple[BenchCase, ...] = (
     BenchCase("bkst_np_steiner", "vectorized BKST backend, same 6 x 24-sink nets", _bkst_np_steiner),
     BenchCase("gabow_enumerator", "BMST_G enumeration, 3 x 10 sinks eps=0.02", _gabow_enumerator),
     BenchCase("batch_engine", "serial batch engine, 36-job grid over 48-sink nets", _batch_engine),
+    BenchCase("serve_latency", "live repro-serve daemon, 40 requests (8 cold + 32 store hits), p50/p99 + throughput", _serve_latency),
 )
 
 _FULL: Tuple[BenchCase, ...] = _QUICK + (

@@ -25,6 +25,9 @@ Subcommands
 ``lint``    — project-specific static analysis (file-local rules
               R001-R006 plus whole-program rules R101-R105).
 ``report``  — stitch benchmarks/results/*.txt into one RESULTS.md.
+``serve``   — long-running routing-as-a-service daemon (HTTP/JSON over
+              a persistent worker pool; also installed as
+              ``repro-serve``; see docs/serving.md).
 
 Examples::
 
@@ -463,6 +466,21 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_module.main(argv + list(args.paths))
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.daemon import ServeConfig, serve_forever
+
+    config = ServeConfig.from_env(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        store=args.store,
+        max_queue=args.max_queue,
+        log_path=args.log,
+        trace=False if args.no_trace else None,
+    )
+    return serve_forever(config)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import write_report
 
@@ -831,6 +849,35 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--results-dir", default="benchmarks/results")
     report.add_argument("--out", default="RESULTS.md")
     report.set_defaults(func=_cmd_report)
+
+    serve = sub.add_parser(
+        "serve", help="long-running routing-as-a-service daemon"
+    )
+    serve.add_argument("--host", default=None)
+    serve.add_argument(
+        "--port", type=int, default=None, help="TCP port, 0 for ephemeral"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, help="solver pool size"
+    )
+    serve.add_argument(
+        "--store", default=None, help="result-store directory (memo tier)"
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help="in-flight request cap before 503",
+    )
+    serve.add_argument(
+        "--log", default=None, help="per-request JSONL log path"
+    )
+    serve.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="skip per-request trace sessions in workers",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

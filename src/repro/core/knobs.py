@@ -73,6 +73,24 @@ KNOBS: Tuple[Knob, ...] = (
         "profiles",
         "Directory REPRO_PROFILE writes its per-job .prof files into.",
     ),
+    Knob(
+        "REPRO_SERVE_WORKERS",
+        "",
+        "Default solver-pool size of the repro-serve daemon (the "
+        "--workers flag wins; repro.serve.daemon).",
+    ),
+    Knob(
+        "REPRO_SERVE_MAX_QUEUE",
+        "",
+        "Default in-flight request cap before repro-serve answers 503 "
+        "(the --max-queue flag wins; repro.serve.daemon).",
+    ),
+    Knob(
+        "REPRO_SERVE_LOG",
+        "",
+        "Default per-request JSONL log path of the repro-serve daemon "
+        "(the --log flag wins; repro.serve.daemon).",
+    ),
 )
 
 

@@ -153,6 +153,12 @@ _SPECS: List[CounterSpec] = [
         "attempts",
         "fallback-chain entries abandoned in favour of the next one",
     ),
+    CounterSpec(
+        "budget.skipped",
+        "attempts",
+        "non-final fallback-chain entries never invoked because the "
+        "shared deadline was already spent",
+    ),
     # Batch engine — scheduler accounting (recorded in the parent
     # process, so present even on untraced runs).
     CounterSpec(
@@ -181,6 +187,35 @@ _SPECS: List[CounterSpec] = [
         "jobs",
         "cacheable jobs the armed result store could not answer "
         "(cold solves, written back afterwards)",
+    ),
+    # Serve layer — daemon admission and routing accounting (recorded
+    # in the daemon process, independent of per-request tracing).
+    CounterSpec(
+        "serve.requests",
+        "requests",
+        "solve requests admitted by the daemon (cache hits included)",
+    ),
+    CounterSpec(
+        "serve.cache_hits",
+        "requests",
+        "requests answered from the result store without touching the "
+        "worker pool",
+    ),
+    CounterSpec(
+        "serve.deadline_misses",
+        "requests",
+        "admitted requests whose deadline expired before the preferred "
+        "algorithm finished (an anytime fallback answer was returned)",
+    ),
+    CounterSpec(
+        "serve.rejections",
+        "requests",
+        "requests refused with 503 (queue full or daemon draining)",
+    ),
+    CounterSpec(
+        "serve.queue_depth",
+        "requests",
+        "high-water mark of concurrently in-flight admitted requests",
     ),
 ]
 

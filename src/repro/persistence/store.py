@@ -299,14 +299,33 @@ class ResultStore:
         return removed
 
 
+#: Per-process memo for :func:`store_from_env`: the env value the cached
+#: instance was built from, and the instance itself.  Never shared across
+#: processes — forked workers inherit a copy and re-validate it against
+#: their own environment on first use.
+_ENV_STORE_CACHE: Optional[Tuple[str, ResultStore]] = None
+
+
 def store_from_env() -> Optional[ResultStore]:
     """The store named by ``REPRO_RESULT_STORE``, or ``None`` when unset.
 
     This is how worker processes rejoin the parent's store: the env var
     is inherited across the fork/spawn boundary, so ``execute_job`` can
     resolve the same directory without the store object being pickled.
+
+    The instance is memoized per process, keyed on the raw env value:
+    callers on a hot path (one store consultation per daemon request or
+    batch job) share one ``ResultStore`` instead of paying a fresh
+    construction — and its ``mkdir`` — each call.  Changing or unsetting
+    the variable invalidates the memo on the next call.
     """
+    global _ENV_STORE_CACHE
     root = os.environ.get(STORE_ENV_VAR, "").strip()
     if not root:
+        _ENV_STORE_CACHE = None
         return None
-    return ResultStore(root)
+    if _ENV_STORE_CACHE is not None and _ENV_STORE_CACHE[0] == root:
+        return _ENV_STORE_CACHE[1]
+    store = ResultStore(root)
+    _ENV_STORE_CACHE = (root, store)
+    return store

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.core.exceptions import (
     AlgorithmLimitError,
@@ -116,9 +116,11 @@ class Attempt:
     """One ladder step: which algorithm, and how it ended.
 
     ``outcome`` is ``"ok"`` (finished inside the budget), ``"partial"``
-    (returned a feasible incumbent with the budget exhausted), or the
-    exception class name that ended the attempt without a tree
-    (``"BudgetExhaustedError"``, ``"AlgorithmLimitError"``, ...).
+    (returned a feasible incumbent with the budget exhausted),
+    ``"skipped"`` (the shared deadline was already spent, so the entry
+    was never invoked), or the exception class name that ended the
+    attempt without a tree (``"BudgetExhaustedError"``,
+    ``"AlgorithmLimitError"``, ...).
     """
 
     algorithm: str
@@ -208,19 +210,28 @@ def solve(
     net: Net,
     eps: float,
     policy: FallbackPolicy,
+    clock: Callable[[], float] = time.monotonic,
 ) -> PartialResult:
     """Walk the fallback ladder until some entry yields a feasible tree.
 
     Every entry except the last runs under a :class:`Budget` holding
     the *remaining* share of ``policy.deadline_seconds`` plus the
     per-attempt ``policy.max_nodes`` cap; the final entry keeps the node
-    cap but drops the deadline so the safety net always completes.  An
+    cap but drops the deadline so the safety net always completes.  Once
+    the shared deadline is spent, remaining non-final entries are not
+    invoked at all — each is recorded as ``Attempt(outcome="skipped")``
+    and the walk jumps straight to the safety net, instead of paying
+    every rung's pre-checkpoint setup under a zero-second budget.  An
     entry that returns a tree ends the walk (anytime solvers return
     their best-so-far incumbent on exhaustion, which is already the
     right ladder answer); an entry that raises
     ``BudgetExhaustedError``/``AlgorithmLimitError``/``InfeasibleError``
     hands over to the next.  Anything else (bad parameters, genuine
     bugs) propagates.
+
+    ``clock`` is the monotonic time source used for the shared deadline
+    and every per-entry budget; tests inject a fake clock to make
+    deadline behaviour deterministic.
 
     Raises :class:`~repro.core.exceptions.InfeasibleError` when every
     entry failed — possible only for chains whose last entry can itself
@@ -230,7 +241,7 @@ def solve(
 
     for name in policy.chain:
         get_runner(name)  # fail fast on typos before spending the deadline
-    started = time.monotonic()
+    started = clock()
     deadline_at = (
         None
         if policy.deadline_seconds is None
@@ -246,8 +257,13 @@ def solve(
         elif deadline_at is None:
             seconds = None
         else:
-            seconds = max(0.0, deadline_at - time.monotonic())
-        budget = Budget(seconds=seconds, max_nodes=policy.max_nodes)
+            seconds = max(0.0, deadline_at - clock())
+            if seconds <= 0.0:
+                attempts.append(Attempt(algorithm=name, outcome="skipped"))
+                if traced:
+                    incr("budget.skipped")
+                continue
+        budget = Budget(seconds=seconds, max_nodes=policy.max_nodes, clock=clock)
         runner = get_runner(name)
         try:
             with use_budget(budget):
@@ -286,7 +302,7 @@ def solve(
             exhausted=exhausted,
             attempts=tuple(attempts),
             checkpoints=total_checkpoints,
-            elapsed_seconds=time.monotonic() - started,
+            elapsed_seconds=clock() - started,
         )
     outcomes = ", ".join(f"{a.algorithm}: {a.outcome}" for a in attempts)
     raise InfeasibleError(

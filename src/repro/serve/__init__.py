@@ -1,0 +1,39 @@
+"""Routing-as-a-service: the long-running ``repro-serve`` daemon.
+
+Three modules:
+
+* :mod:`repro.serve.protocol` — request validation and JSON payload
+  shapes (:class:`ServeRequest`, :class:`ProtocolError`);
+* :mod:`repro.serve.worker` — the picklable pool-side solver
+  (:func:`execute_request`);
+* :mod:`repro.serve.daemon` — the asyncio front end, admission control,
+  memoization tier and lifecycle (:class:`ReproServer`,
+  :class:`ServerThread`, :func:`serve_forever`).
+
+Start one with ``repro-serve`` or ``repro-cli serve``; the protocol and
+operational guide live in ``docs/serving.md``.
+"""
+
+from repro.serve.daemon import (
+    ReproServer,
+    ServeConfig,
+    ServerThread,
+    serve_forever,
+)
+from repro.serve.protocol import (
+    ProtocolError,
+    ServeRequest,
+    parse_solve_request,
+)
+from repro.serve.worker import execute_request
+
+__all__ = [
+    "ProtocolError",
+    "ReproServer",
+    "ServeConfig",
+    "ServeRequest",
+    "ServerThread",
+    "execute_request",
+    "parse_solve_request",
+    "serve_forever",
+]

@@ -1,0 +1,687 @@
+"""The ``repro-serve`` daemon: routing-as-a-service over asyncio.
+
+Architecture — three tiers, one process boundary::
+
+    client --HTTP/JSON--> asyncio front end --pickle--> process pool
+                               |
+                         ResultStore (memoization tier, disk)
+
+* The front end is ``asyncio.start_server`` plus a deliberately minimal
+  HTTP/1.1 parser (request line, headers, ``Content-Length`` body;
+  keep-alive; no chunked encoding, no TLS) — stdlib only, because this
+  repo adds no dependencies.
+* Validated requests (see :mod:`repro.serve.protocol`) are solved on a
+  persistent ``ProcessPoolExecutor`` by
+  :func:`repro.serve.worker.execute_request`; the event loop never runs
+  a solver, so health checks and admission stay responsive under load.
+* Cacheable requests consult the content-addressed
+  :class:`~repro.persistence.ResultStore` *before* touching the pool:
+  a hot net is answered from disk with zero solver recomputation
+  (``serve.cache_hits``), and cold results are written back by the
+  worker.
+
+Admission control: a draining daemon or a full queue answers 503
+(``serve.rejections``); an admitted request with a deadline runs the
+fallback ladder, whose final entry ignores the deadline — so admission
+is a promise of an *anytime* answer, not of the preferred algorithm
+(``serve.deadline_misses`` counts the degraded ones).
+
+Every request gets a trace ID (``<pid>-<sequence>``, no randomness),
+returned in the body and the ``X-Repro-Trace-Id`` header, and stamped
+on the per-request JSONL log entry along with the worker's trace
+counters and the daemon's cumulative ``serve.*`` counters.
+
+Graceful shutdown (SIGTERM/SIGINT or :meth:`ReproServer.drain`): stop
+accepting connections, reject new solves with 503, wait for in-flight
+requests, shut the pool down, flush the log — then exit 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import threading
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.exceptions import (
+    InfeasibleError,
+    InvalidNetError,
+    InvalidParameterError,
+    ReproError,
+)
+from repro.serve.protocol import (
+    ProtocolError,
+    ServeRequest,
+    parse_solve_request,
+)
+from repro.serve.worker import execute_request
+
+__all__ = [
+    "ServeConfig",
+    "ReproServer",
+    "ServerThread",
+    "serve_forever",
+    "main",
+]
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8787
+
+#: Env knobs (declared in :mod:`repro.core.knobs`): defaults for the
+#: matching :class:`ServeConfig` fields, overridable per flag.
+WORKERS_ENV_VAR = "REPRO_SERVE_WORKERS"
+MAX_QUEUE_ENV_VAR = "REPRO_SERVE_MAX_QUEUE"
+LOG_ENV_VAR = "REPRO_SERVE_LOG"
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+_MAX_HEADER_LINES = 100
+_MAX_LINE_BYTES = 16 * 1024
+
+#: Client errors a worker can only discover by solving (or failing to):
+#: mapped to 422 rather than a daemon fault.
+_CLIENT_ERROR_TYPES = frozenset(
+    {
+        InfeasibleError.__name__,
+        InvalidParameterError.__name__,
+        InvalidNetError.__name__,
+    }
+)
+
+
+def _bump(counters: Dict[str, float], name: str, value: float = 1) -> None:
+    counters[name] = counters.get(name, 0) + value
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Daemon configuration; :meth:`from_env` layers in the env knobs."""
+
+    host: str = DEFAULT_HOST
+    port: int = DEFAULT_PORT
+    workers: int = 2
+    store: Optional[str] = None
+    max_queue: int = 64
+    log_path: Optional[str] = None
+    trace: bool = True
+    idle_timeout: float = 30.0
+
+    @classmethod
+    def from_env(cls, **overrides: Any) -> "ServeConfig":
+        """Defaults from ``REPRO_SERVE_*`` knobs, then ``overrides``.
+
+        Override values of ``None`` mean "not given on the command
+        line" and are dropped, so the env (or dataclass) default wins.
+        """
+        env_defaults: Dict[str, Any] = {}
+        workers = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if workers:
+            env_defaults["workers"] = int(workers)
+        max_queue = os.environ.get(MAX_QUEUE_ENV_VAR, "").strip()
+        if max_queue:
+            env_defaults["max_queue"] = int(max_queue)
+        log_path = os.environ.get(LOG_ENV_VAR, "").strip()
+        if log_path:
+            env_defaults["log_path"] = log_path
+        env_defaults.update(
+            {k: v for k, v in overrides.items() if v is not None}
+        )
+        return replace(cls(), **env_defaults)
+
+
+class ReproServer:
+    """One daemon instance: front end, admission, pool, store, log."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        if config.workers < 1:
+            raise InvalidParameterError("serve needs at least 1 worker")
+        if config.max_queue < 1:
+            raise InvalidParameterError("max_queue must be >= 1")
+        self.config = config
+        self.counters: Dict[str, float] = {}
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._pool = None
+        self._store = None
+        self._log_handle = None
+        self._draining = False
+        self._in_flight = 0
+        self._request_seq = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        from repro.analysis.batch import _make_pool
+        from repro.persistence.store import ResultStore
+
+        if self.config.store:
+            self._store = ResultStore(self.config.store)
+        if self.config.log_path:
+            self._log_handle = open(
+                self.config.log_path, "a", encoding="utf-8"
+            )
+        self._pool = _make_pool(self.config.workers)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def drain(self) -> None:
+        """Graceful shutdown: reject new work, finish in-flight, stop."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._idle.wait()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._log_handle is not None:
+            self._log_handle.close()
+            self._log_handle = None
+
+    # ------------------------------------------------------------------
+    # HTTP front end
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    parsed = await self._read_request(reader)
+                except ProtocolError as exc:
+                    writer.write(_error_response(exc)[0])
+                    await writer.drain()
+                    break
+                if parsed is None:
+                    break
+                method, path, headers, body = parsed
+                payload, status, extra_headers = await self._dispatch(
+                    method, path, body
+                )
+                keep_alive = (
+                    headers.get("connection", "").lower() != "close"
+                    and not self._draining
+                )
+                writer.write(
+                    _http_response(
+                        status, payload, keep_alive, extra_headers
+                    )
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.TimeoutError,
+            ConnectionError,
+        ):
+            pass  # client went away; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        """Parse one HTTP/1.1 request; ``None`` on a clean EOF."""
+        line = await asyncio.wait_for(
+            reader.readline(), timeout=self.config.idle_timeout
+        )
+        if not line:
+            return None
+        if len(line) > _MAX_LINE_BYTES:
+            raise ProtocolError("request line too long", status=431)
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise ProtocolError("malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        for _ in range(_MAX_HEADER_LINES):
+            raw = await asyncio.wait_for(
+                reader.readline(), timeout=self.config.idle_timeout
+            )
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            if len(raw) > _MAX_LINE_BYTES:
+                raise ProtocolError("header line too long", status=431)
+            text = raw.decode("latin-1")
+            if ":" not in text:
+                raise ProtocolError("malformed header line")
+            key, _, value = text.partition(":")
+            headers[key.strip().lower()] = value.strip()
+        else:
+            raise ProtocolError("too many headers", status=431)
+        body = b""
+        if "content-length" in headers:
+            try:
+                length = int(headers["content-length"])
+            except ValueError:
+                raise ProtocolError("malformed Content-Length") from None
+            if length < 0:
+                raise ProtocolError("malformed Content-Length")
+            if length > _MAX_BODY_BYTES:
+                raise ProtocolError(
+                    f"request body too large (max {_MAX_BODY_BYTES} bytes)",
+                    status=413,
+                    code="body_too_large",
+                )
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=self.config.idle_timeout
+            )
+        return method, target, headers, body
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[Dict[str, Any], int, Dict[str, str]]:
+        path = path.split("?", 1)[0]
+        if path == "/solve":
+            if method != "POST":
+                return _error_payload(
+                    "use POST for /solve", 405, "method_not_allowed"
+                )
+            return await self._handle_solve(body)
+        if path == "/healthz":
+            if method != "GET":
+                return _error_payload(
+                    "use GET for /healthz", 405, "method_not_allowed"
+                )
+            status = "draining" if self._draining else "ok"
+            return (
+                {"status": status, "in_flight": self._in_flight},
+                200,
+                {},
+            )
+        if path == "/stats":
+            if method != "GET":
+                return _error_payload(
+                    "use GET for /stats", 405, "method_not_allowed"
+                )
+            return (
+                {
+                    "counters": dict(self.counters),
+                    "in_flight": self._in_flight,
+                    "draining": self._draining,
+                    "workers": self.config.workers,
+                    "store_armed": self._store is not None,
+                },
+                200,
+                {},
+            )
+        return _error_payload(f"no such endpoint: {path}", 404, "not_found")
+
+    # ------------------------------------------------------------------
+    # /solve
+    # ------------------------------------------------------------------
+    async def _handle_solve(
+        self, body: bytes
+    ) -> Tuple[Dict[str, Any], int, Dict[str, str]]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return _error_payload(
+                f"request body is not valid JSON: {exc}", 400, "invalid_json"
+            )
+        try:
+            request = parse_solve_request(payload)
+        except ProtocolError as exc:
+            return _error_payload(str(exc), exc.status, exc.code)
+
+        if self._draining:
+            _bump(self.counters, "serve.rejections")
+            return _error_payload(
+                "daemon is draining", 503, "draining"
+            )
+        if self._in_flight >= self.config.max_queue:
+            _bump(self.counters, "serve.rejections")
+            return _error_payload(
+                f"queue full ({self.config.max_queue} in flight)",
+                503,
+                "overloaded",
+            )
+
+        self._request_seq += 1
+        trace_id = f"{os.getpid():x}-{self._request_seq:06d}"
+        _bump(self.counters, "serve.requests")
+        self._in_flight += 1
+        self._idle.clear()
+        # High-water gauge, kept as a monotone counter so it merges and
+        # exports like every other counter.
+        peak = self.counters.get("serve.queue_depth", 0)
+        if self._in_flight > peak:
+            _bump(self.counters, "serve.queue_depth", self._in_flight - peak)
+        try:
+            result, status = await self._solve_admitted(request)
+        finally:
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._idle.set()
+        result["trace_id"] = trace_id
+        self._log_request(trace_id, request, result, status)
+        return result, status, {"X-Repro-Trace-Id": trace_id}
+
+    async def _solve_admitted(
+        self, request: ServeRequest
+    ) -> Tuple[Dict[str, Any], int]:
+        loop = asyncio.get_running_loop()
+        if self._store is not None and request.cacheable:
+            spec = request.to_spec()
+            cached = await loop.run_in_executor(None, self._store.load, spec)
+            if cached is not None:
+                _bump(self.counters, "serve.cache_hits")
+                return _cached_result(request, cached), 200
+        try:
+            result = await loop.run_in_executor(
+                self._pool,
+                execute_request,
+                request,
+                self.config.store,
+                self.config.trace,
+            )
+        # lint: allow-broad-except(a broken pool or lost worker must map to one 5xx answer and a pool rebuild, never kill the daemon)
+        except Exception as exc:  # noqa: BLE001
+            self._rebuild_pool()
+            payload, status, _ = _error_payload(
+                f"worker pool failed: {exc}", 500, "worker_crashed"
+            )
+            return payload, status
+        if not result.get("ok", False):
+            status = (
+                422
+                if result.get("error_type") in _CLIENT_ERROR_TYPES
+                else 500
+            )
+            result["error_code"] = (
+                "unsolvable" if status == 422 else "worker_error"
+            )
+            return result, status
+        if (
+            request.deadline_seconds is not None
+            and result.get("exhausted", False)
+        ):
+            _bump(self.counters, "serve.deadline_misses")
+        return result, 200
+
+    def _rebuild_pool(self) -> None:
+        from repro.analysis.batch import _make_pool
+
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = _make_pool(self.config.workers)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _log_request(
+        self,
+        trace_id: str,
+        request: ServeRequest,
+        result: Dict[str, Any],
+        status: int,
+    ) -> None:
+        if self._log_handle is None:
+            return
+        entry = {
+            "trace_id": trace_id,
+            "algorithm": request.algorithm,
+            "net": request.name or "?",
+            "eps": result.get("eps"),
+            "ok": bool(result.get("ok", False)),
+            "status": status,
+            "cache_hit": bool(result.get("cache_hit", False)),
+            "exhausted": bool(result.get("exhausted", False)),
+            "produced_by": result.get("produced_by"),
+            "wall_seconds": result.get("wall_seconds"),
+            "counters": dict(result.get("counters") or {}),
+            "serve": dict(self.counters),
+        }
+        if not entry["ok"]:
+            entry["error_type"] = result.get("error_type")
+            entry["error"] = result.get("error")
+        self._log_handle.write(
+            json.dumps(entry, allow_nan=False, sort_keys=True) + "\n"
+        )
+        self._log_handle.flush()
+
+
+def _cached_result(
+    request: ServeRequest, cached: Tuple[Any, Any]
+) -> Dict[str, Any]:
+    """A response served from the memoization tier — no solver ran."""
+    from repro.serve.protocol import (
+        encode_eps,
+        report_payload,
+        tree_payload,
+    )
+
+    report, tree = cached
+    return {
+        "ok": True,
+        "algorithm": request.algorithm,
+        "eps": encode_eps(request.eps),
+        "net": report.net_name,
+        "tree": tree_payload(tree),
+        "report": report_payload(report),
+        "produced_by": request.algorithm,
+        "exhausted": False,
+        "attempts": [
+            {
+                "algorithm": request.algorithm,
+                "outcome": "cached",
+                "checkpoints": 0,
+                "elapsed_seconds": 0.0,
+            }
+        ],
+        "cache_hit": True,
+        "wall_seconds": 0.0,
+    }
+
+
+def _error_payload(
+    message: str, status: int, code: str
+) -> Tuple[Dict[str, Any], int, Dict[str, str]]:
+    return {"error": {"code": code, "message": message}}, status, {}
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _http_response(
+    status: int,
+    payload: Dict[str, Any],
+    keep_alive: bool,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    body = json.dumps(payload, allow_nan=False, sort_keys=True).encode(
+        "utf-8"
+    )
+    reason = _STATUS_TEXT.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for key, value in (extra_headers or {}).items():
+        lines.append(f"{key}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def _error_response(exc: ProtocolError) -> Tuple[bytes, int]:
+    payload, status, _ = _error_payload(str(exc), exc.status, exc.code)
+    return _http_response(status, payload, keep_alive=False), status
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+class ServerThread:
+    """A live daemon on a background thread — tests and the bench
+    load generator drive a real socket server without blocking."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.server = ReproServer(config)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None, "server not started"
+        return self.server.port
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(30.0):
+            raise RuntimeError("repro-serve thread failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"repro-serve failed to start: {self._startup_error}"
+            )
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.server.start())
+        # lint: allow-broad-except(startup failures must surface on the caller's thread, not die silently here)
+        except Exception as exc:  # noqa: BLE001
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        self._loop.run_forever()
+
+    def stop(self) -> None:
+        if self._loop is None or self._startup_error is not None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.drain(), self._loop
+        )
+        future.result(timeout=60.0)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        assert self._thread is not None
+        self._thread.join(timeout=10.0)
+        self._loop.close()
+        self._loop = None
+
+
+def serve_forever(config: ServeConfig) -> int:
+    """Run a daemon until SIGTERM/SIGINT, then drain; returns 0."""
+
+    async def _run() -> None:
+        server = ReproServer(config)
+        await server.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        print(
+            f"repro-serve listening on "
+            f"http://{config.host}:{server.port} "
+            f"(workers={config.workers}, "
+            f"store={'on' if config.store else 'off'})",
+            flush=True,
+        )
+        await stop.wait()
+        print("repro-serve draining...", flush=True)
+        await server.drain()
+        print("repro-serve stopped cleanly", flush=True)
+
+    asyncio.run(_run())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="long-running routing-as-a-service daemon",
+    )
+    parser.add_argument("--host", default=None, help=f"bind address (default {DEFAULT_HOST})")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help=f"TCP port, 0 for ephemeral (default {DEFAULT_PORT})",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=f"solver pool size (default 2, env {WORKERS_ENV_VAR})",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="result-store directory used as the memoization tier",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help=f"in-flight request cap before 503 (default 64, "
+        f"env {MAX_QUEUE_ENV_VAR})",
+    )
+    parser.add_argument(
+        "--log",
+        default=None,
+        help=f"per-request JSONL log path (env {LOG_ENV_VAR})",
+    )
+    parser.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="skip per-request trace sessions in workers",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ServeConfig.from_env(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        store=args.store,
+        max_queue=args.max_queue,
+        log_path=args.log,
+        trace=False if args.no_trace else None,
+    )
+    return serve_forever(config)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

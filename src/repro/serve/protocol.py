@@ -1,0 +1,373 @@
+"""Wire protocol of the ``repro-serve`` daemon: requests and payloads.
+
+One request = one routing problem.  The JSON body of ``POST /solve``::
+
+    {
+      "points": [[0, 0], [10, 4], [3, 7]],   # row 0 is the source
+      "eps": 0.25,                            # or "inf"
+      "algorithm": "bkrus",
+      "chain": ["bmst_g", "bkh2", "bkrus"],  # optional explicit ladder
+      "deadline_seconds": 0.5,               # optional anytime deadline
+      "max_nodes": 100000,                   # optional checkpoint cap
+      "metric": "l1",                        # "l1" (default) or "l2"
+      "name": "net_7"                        # optional label
+    }
+
+Validation happens *here*, in the daemon process, so malformed input is
+a structured 4xx answer and never a worker exception:
+:func:`parse_solve_request` raises :class:`ProtocolError` carrying the
+HTTP status and a machine-readable ``code``.
+
+A validated :class:`ServeRequest` is a frozen, picklable dataclass —
+the unit shipped to pool workers.  Admission control lives in
+:meth:`ServeRequest.policy`: a request carrying a deadline (or an
+explicit chain, or a node cap) is turned into a
+:class:`~repro.runtime.solve.FallbackPolicy`, so every admitted request
+comes back with an anytime answer — the final ladder entry runs without
+a deadline (see :func:`repro.runtime.solve.solve`) and the response
+serializes the :class:`~repro.runtime.solve.PartialResult` honesty
+metadata (``produced_by``, ``exhausted``, per-attempt outcomes).
+
+Requests with no runtime limits are deterministic and therefore
+cacheable: :meth:`ServeRequest.to_spec` builds the batch-engine
+:class:`~repro.analysis.batch.JobSpec` whose content address keys the
+result-store memoization tier.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.exceptions import InvalidNetError, ReproError
+from repro.core.geometry import Metric
+from repro.core.net import Net
+
+__all__ = [
+    "ProtocolError",
+    "ServeRequest",
+    "parse_solve_request",
+    "encode_eps",
+    "tree_payload",
+    "report_payload",
+]
+
+#: Hard cap on terminals per request — a service boundary, not an
+#: algorithmic one (quadratic distance matrices make huge nets a denial
+#: of service long before they are interesting).
+MAX_POINTS = 4096
+
+_ALLOWED_KEYS = frozenset(
+    {
+        "points",
+        "eps",
+        "algorithm",
+        "chain",
+        "deadline_seconds",
+        "max_nodes",
+        "metric",
+        "name",
+    }
+)
+
+
+class ProtocolError(ReproError):
+    """A request the daemon refuses: carries HTTP status + stable code."""
+
+    def __init__(
+        self, message: str, status: int = 400, code: str = "bad_request"
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One validated solve request, ready to cross the worker boundary."""
+
+    points: Tuple[Tuple[float, float], ...]
+    eps: float
+    algorithm: str
+    chain: Optional[Tuple[str, ...]] = None
+    deadline_seconds: Optional[float] = None
+    max_nodes: Optional[int] = None
+    metric: str = "l1"
+    name: Optional[str] = None
+
+    def build_net(self) -> Net:
+        return Net.from_points(
+            list(self.points), metric=self.metric, name=self.name
+        )
+
+    def policy(self):
+        """The request's ladder, or ``None`` for a plain deterministic run.
+
+        This is the admission-control contract: any runtime limit
+        (deadline, node cap, explicit chain) routes the request through
+        :func:`repro.runtime.solve.solve`, whose final ladder entry
+        ignores the deadline — an admitted request always produces a
+        tree, degraded rather than absent.
+        """
+        from repro.runtime.solve import DEFAULT_CHAINS, FallbackPolicy
+
+        if (
+            self.chain is None
+            and self.deadline_seconds is None
+            and self.max_nodes is None
+        ):
+            return None
+        chain = self.chain or DEFAULT_CHAINS.get(
+            self.algorithm, (self.algorithm,)
+        )
+        return FallbackPolicy(
+            chain=tuple(chain),
+            deadline_seconds=self.deadline_seconds,
+            max_nodes=self.max_nodes,
+        )
+
+    def to_spec(self, net: Optional[Net] = None):
+        """The equivalent batch :class:`~repro.analysis.batch.JobSpec`.
+
+        Plain requests (no policy) produce a cacheable spec — the key
+        of the daemon's result-store memoization tier.
+        """
+        from repro.analysis.batch import JobSpec
+
+        return JobSpec(
+            algorithm=self.algorithm,
+            net=net if net is not None else self.build_net(),
+            eps=self.eps,
+            policy=self.policy(),
+        )
+
+    @property
+    def cacheable(self) -> bool:
+        """Deterministic (store-eligible): carries no runtime limits."""
+        return (
+            self.chain is None
+            and self.deadline_seconds is None
+            and self.max_nodes is None
+        )
+
+
+def _require(condition: bool, message: str, code: str = "bad_request") -> None:
+    if not condition:
+        raise ProtocolError(message, status=400, code=code)
+
+
+def _parse_eps(value: Any) -> float:
+    if isinstance(value, str):
+        if value.lower() in ("inf", "infinity"):
+            return math.inf
+        raise ProtocolError(
+            f"eps string must be 'inf', got {value!r}", code="invalid_eps"
+        )
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        "eps must be a number or 'inf'",
+        code="invalid_eps",
+    )
+    eps = float(value)
+    if math.isnan(eps) or eps < 0:
+        raise ProtocolError(
+            f"eps must be >= 0, got {value!r}", code="invalid_eps"
+        )
+    return eps
+
+
+def _parse_points(value: Any) -> Tuple[Tuple[float, float], ...]:
+    _require(
+        isinstance(value, list) and len(value) >= 2,
+        "points must be a list of at least 2 [x, y] pairs "
+        "(row 0 is the source)",
+        code="invalid_points",
+    )
+    _require(
+        len(value) <= MAX_POINTS,
+        f"too many points (max {MAX_POINTS})",
+        code="too_many_points",
+    )
+    points: List[Tuple[float, float]] = []
+    for i, pair in enumerate(value):
+        ok = (
+            isinstance(pair, (list, tuple))
+            and len(pair) == 2
+            and all(
+                isinstance(c, (int, float)) and not isinstance(c, bool)
+                for c in pair
+            )
+            and all(math.isfinite(float(c)) for c in pair)
+        )
+        _require(
+            ok,
+            f"points[{i}] must be a pair of finite numbers",
+            code="invalid_points",
+        )
+        points.append((float(pair[0]), float(pair[1])))
+    return tuple(points)
+
+
+def parse_solve_request(payload: Any) -> ServeRequest:
+    """Validate a decoded ``POST /solve`` body into a :class:`ServeRequest`.
+
+    Raises :class:`ProtocolError` (status 400) with a stable ``code``
+    on any malformation — the daemon maps it to structured JSON, so bad
+    input never reaches a worker process.
+    """
+    from repro.analysis.runners import ALGORITHMS, algorithm_names
+
+    _require(isinstance(payload, dict), "request body must be a JSON object")
+    unknown = sorted(set(payload) - _ALLOWED_KEYS)
+    _require(
+        not unknown,
+        f"unknown request field(s): {', '.join(unknown)}",
+        code="unknown_field",
+    )
+    for key in ("points", "eps", "algorithm"):
+        _require(
+            key in payload,
+            f"missing required field {key!r}",
+            code="missing_field",
+        )
+
+    points = _parse_points(payload["points"])
+    eps = _parse_eps(payload["eps"])
+
+    algorithm = payload["algorithm"]
+    _require(
+        isinstance(algorithm, str) and algorithm in ALGORITHMS,
+        f"unknown algorithm {algorithm!r}; choose from {algorithm_names()}",
+        code="unknown_algorithm",
+    )
+
+    chain: Optional[Tuple[str, ...]] = None
+    if payload.get("chain") is not None:
+        raw_chain = payload["chain"]
+        _require(
+            isinstance(raw_chain, list) and raw_chain,
+            "chain must be a non-empty list of algorithm names",
+            code="invalid_chain",
+        )
+        for entry in raw_chain:
+            _require(
+                isinstance(entry, str) and entry in ALGORITHMS,
+                f"unknown chain entry {entry!r}",
+                code="invalid_chain",
+            )
+        _require(
+            raw_chain[0] == algorithm,
+            f"chain must start with the requested algorithm "
+            f"{algorithm!r}, got {raw_chain[0]!r}",
+            code="invalid_chain",
+        )
+        chain = tuple(raw_chain)
+
+    deadline: Optional[float] = None
+    if payload.get("deadline_seconds") is not None:
+        raw = payload["deadline_seconds"]
+        _require(
+            isinstance(raw, (int, float))
+            and not isinstance(raw, bool)
+            and math.isfinite(float(raw))
+            and float(raw) >= 0,
+            "deadline_seconds must be a finite number >= 0",
+            code="invalid_deadline",
+        )
+        deadline = float(raw)
+
+    max_nodes: Optional[int] = None
+    if payload.get("max_nodes") is not None:
+        raw = payload["max_nodes"]
+        _require(
+            isinstance(raw, int) and not isinstance(raw, bool) and raw >= 0,
+            "max_nodes must be an integer >= 0",
+            code="invalid_max_nodes",
+        )
+        max_nodes = raw
+
+    metric = payload.get("metric", "l1")
+    try:
+        metric_value = Metric.parse(metric).value
+    except Exception:  # lint: allow-broad-except(any unparseable metric is the same client error)
+        raise ProtocolError(
+            f"metric must be 'l1' or 'l2', got {metric!r}",
+            code="invalid_metric",
+        ) from None
+
+    name = payload.get("name")
+    _require(
+        name is None or isinstance(name, str),
+        "name must be a string",
+        code="invalid_name",
+    )
+
+    request = ServeRequest(
+        points=points,
+        eps=eps,
+        algorithm=algorithm,
+        chain=chain,
+        deadline_seconds=deadline,
+        max_nodes=max_nodes,
+        metric=metric_value,
+        name=name,
+    )
+    try:
+        request.build_net()
+    except InvalidNetError as exc:
+        raise ProtocolError(str(exc), code="invalid_net") from exc
+    return request
+
+
+def encode_eps(eps: float) -> Any:
+    """JSON-safe eps (strict encoders reject the inf/nan literals)."""
+    if math.isinf(eps):
+        return "inf" if eps > 0 else "-inf"
+    if math.isnan(eps):
+        return "nan"
+    return float(eps)
+
+
+def tree_payload(tree: Any) -> Dict[str, Any]:
+    """The JSON form of a routing or Steiner tree.
+
+    Edges are canonical sorted index pairs — terminal indices for
+    spanning trees, grid-node ids for Steiner trees — which makes the
+    payload directly comparable against an in-process ``solve()`` call
+    on the same request (the differential tests rely on this).
+    """
+    from repro.analysis.metrics import tree_longest_path
+    from repro.steiner.bkst import SteinerTree
+
+    if isinstance(tree, SteinerTree):
+        kind = "steiner"
+        edges = sorted((int(u), int(v)) for u, v in tree.edges)
+    else:
+        kind = "spanning"
+        edges = sorted(
+            (int(min(u, v)), int(max(u, v))) for u, v in tree.edge_set()
+        )
+    return {
+        "kind": kind,
+        "edges": [[u, v] for u, v in edges],
+        "cost": float(tree.cost),
+        "longest_path": float(tree_longest_path(tree)),
+    }
+
+
+def report_payload(report: Any) -> Dict[str, Any]:
+    """The JSON form of a :class:`~repro.analysis.metrics.TreeReport`."""
+    return {
+        "algorithm": report.algorithm,
+        "net": report.net_name,
+        "eps": encode_eps(report.eps),
+        "cost": report.cost,
+        "longest_path": report.longest_path,
+        "shortest_path": report.shortest_path,
+        "perf_ratio": report.perf_ratio,
+        "path_ratio": report.path_ratio,
+        "cpu_seconds": (
+            report.cpu_seconds if math.isfinite(report.cpu_seconds) else None
+        ),
+    }

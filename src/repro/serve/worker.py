@@ -1,0 +1,161 @@
+"""The pool side of ``repro-serve``: one request in, one JSON dict out.
+
+:func:`execute_request` is the module-level (picklable) function the
+daemon submits to its persistent ``ProcessPoolExecutor``.  It mirrors
+the batch engine's ``execute_job`` isolation contract — *never raise*,
+failures become structured error dicts — but keeps the full
+:class:`~repro.runtime.solve.PartialResult` honesty metadata
+(``produced_by``, ``exhausted``, per-attempt outcomes) that the batch
+record flattens away, because the serve protocol promises it per
+response.
+
+The return value is a plain JSON-ready dict (edges, floats, strings):
+nothing solver-shaped crosses back over the pickle boundary, so the
+daemon can serialize a response without importing tree classes into its
+hot path.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Any, Dict, Optional, Tuple
+
+from repro.observability import start_trace
+from repro.persistence.store import ResultStore, cacheable, store_from_env
+from repro.serve.protocol import (
+    ServeRequest,
+    encode_eps,
+    report_payload,
+    tree_payload,
+)
+
+__all__ = ["execute_request"]
+
+#: Per-process memo of the explicit-path store, mirroring the
+#: ``store_from_env`` memoization: the daemon passes the same path on
+#: every request, and rebuilding a ``ResultStore`` (mkdir + stat) per
+#: request is exactly the hot-path overhead the env-path fix removed.
+_STORE_CACHE: Optional[Tuple[str, ResultStore]] = None
+
+
+def _resolve_store(store_path: Optional[str]) -> Optional[ResultStore]:
+    global _STORE_CACHE
+    if not store_path:
+        return store_from_env()
+    if _STORE_CACHE is not None and _STORE_CACHE[0] == store_path:
+        return _STORE_CACHE[1]
+    store = ResultStore(store_path)
+    _STORE_CACHE = (store_path, store)
+    return store
+
+
+def _solve(request: ServeRequest, net) -> Dict[str, Any]:
+    """Run the request's solver (ladder or direct) to a result dict."""
+    from repro.analysis.metrics import evaluate, timed
+    from repro.analysis.runners import get_runner
+    from repro.runtime.solve import solve
+
+    policy = request.policy()
+    if policy is not None:
+        start = time.perf_counter()
+        partial = solve(net, request.eps, policy)
+        seconds = time.perf_counter() - start
+        tree = partial.tree
+        produced_by = partial.produced_by
+        exhausted = partial.exhausted
+        attempts = [
+            {
+                "algorithm": attempt.algorithm,
+                "outcome": attempt.outcome,
+                "checkpoints": attempt.checkpoints,
+                "elapsed_seconds": attempt.elapsed_seconds,
+            }
+            for attempt in partial.attempts
+        ]
+    else:
+        runner = get_runner(request.algorithm)
+        tree, seconds = timed(runner, net, request.eps)
+        produced_by = request.algorithm
+        exhausted = False
+        attempts = [
+            {
+                "algorithm": request.algorithm,
+                "outcome": "ok",
+                "checkpoints": 0,
+                "elapsed_seconds": seconds,
+            }
+        ]
+    report = evaluate(
+        request.algorithm,
+        net,
+        tree,
+        request.eps,
+        cpu_seconds=seconds,
+    )
+    return {
+        "tree_obj": tree,
+        "report_obj": report,
+        "produced_by": produced_by,
+        "exhausted": exhausted,
+        "attempts": attempts,
+    }
+
+
+def execute_request(
+    request: ServeRequest,
+    store_path: Optional[str] = None,
+    trace: bool = False,
+) -> Dict[str, Any]:
+    """Solve one admitted request; never raises.
+
+    The daemon has already consulted the store for cacheable requests,
+    so this function only *writes back*: a cold deterministic solve
+    lands in the store and the next identical request never reaches the
+    pool.  ``trace=True`` runs the solve inside a
+    :class:`~repro.observability.trace.TraceSession` and attaches its
+    counter totals to the result for the daemon's JSONL log.
+    """
+    started = time.perf_counter()
+    session = start_trace(f"serve:{request.algorithm}") if trace else None
+    try:
+        net = request.build_net()
+        if session is not None:
+            with session:
+                outcome = _solve(request, net)
+        else:
+            outcome = _solve(request, net)
+        tree = outcome.pop("tree_obj")
+        report = outcome.pop("report_obj")
+        store = _resolve_store(store_path)
+        if store is not None and request.cacheable:
+            spec = request.to_spec(net)
+            if cacheable(spec):
+                # Never raises; an unwritable store only costs reuse.
+                store.store(spec, report, tree)
+        result: Dict[str, Any] = {
+            "ok": True,
+            "algorithm": request.algorithm,
+            "eps": encode_eps(request.eps),
+            "net": net.name or "?",
+            "tree": tree_payload(tree),
+            "report": report_payload(report),
+            "cache_hit": False,
+            "wall_seconds": time.perf_counter() - started,
+        }
+        result.update(outcome)
+    # lint: allow-broad-except(worker isolation — any failure must come back as a structured error dict, never poison the pool)
+    except Exception as exc:  # noqa: BLE001
+        detail = traceback.format_exception_only(type(exc), exc)[-1].strip()
+        result = {
+            "ok": False,
+            "algorithm": request.algorithm,
+            "eps": encode_eps(request.eps),
+            "net": request.name or "?",
+            "error": detail,
+            "error_type": type(exc).__name__,
+            "wall_seconds": time.perf_counter() - started,
+        }
+    if session is not None:
+        result["counters"] = session.counter_totals()
+    return result

@@ -14,10 +14,12 @@ job flagged ``budget_exhausted`` and rescued by its fallback chain.
 """
 
 import math
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import replace
 
 import pytest
 
+from repro.analysis import batch as batch_mod
 from repro.analysis.batch import expand_grid, run_batch
 from repro.instances.random_nets import random_net
 from repro.runtime import chaos
@@ -113,14 +115,19 @@ class TestAcceptanceSweep:
         hard_net = random_net(HARD_NET_SINKS, HARD_NET_SEED)
         jobs += expand_grid(
             [hard_net], ["bkrus", "bprim", "brbc", "bkh2"], [0.2, 0.5]
-        )[:7]
-        # Job 19: a deadline guaranteed to trip, rescued by the ladder.
-        budgeted = expand_grid([hard_net], ["bmst_g"], [HARD_EPS])[0]
-        budgeted = replace(
-            budgeted,
-            policy=default_policy("bmst_g", deadline_seconds=0.0),
+        )[:6]
+        base = expand_grid([hard_net], ["bmst_g"], [HARD_EPS])[0]
+        # Job 18: a node cap guaranteed to trip, rescued by the ladder.
+        starved = replace(
+            base, policy=default_policy("bmst_g", max_nodes=2)
         )
-        jobs.append(budgeted)
+        jobs.append(starved)
+        # Job 19: a deadline already spent on arrival — every non-final
+        # rung is skipped outright and the safety net answers anytime.
+        expired = replace(
+            base, policy=default_policy("bmst_g", deadline_seconds=0.0)
+        )
+        jobs.append(expired)
         assert len(jobs) == 20
 
         policy = chaos.ChaosPolicy(crash_jobs=(3,))  # forced worker crash
@@ -135,20 +142,29 @@ class TestAcceptanceSweep:
         assert not result.failures
         assert result.records[3].attempts >= 2
 
-        # The deadline-tripped job came back as an anytime answer from
-        # the fallback chain, still satisfying the eps bound.
-        record = result.records[19]
-        assert record.ok
-        assert record.budget_exhausted
-        assert record.fallback_used in ("bkh2", "bkrus")
+        # The node-capped job came back as an anytime answer from the
+        # fallback chain, still satisfying the eps bound.
         bound = hard_net.path_bound(HARD_EPS)
-        assert record.report.longest_path <= bound + 1e-9
+        starved_record = result.records[18]
+        assert starved_record.ok
+        assert starved_record.budget_exhausted
+        assert starved_record.fallback_used in ("bkh2", "bkrus")
+        assert starved_record.report.longest_path <= bound + 1e-9
 
-        # Checkpoint and retry accounting is visible in one place.
+        # The expired-deadline job never ran its intermediate rungs:
+        # the safety net produced the (still feasible) anytime answer.
+        expired_record = result.records[19]
+        assert expired_record.ok
+        assert expired_record.budget_exhausted
+        assert expired_record.fallback_used == "bkrus"
+        assert expired_record.report.longest_path <= bound + 1e-9
+
+        # Checkpoint, skip and retry accounting is visible in one place.
         totals = result.counter_totals()
         assert totals.get("budget.checkpoints", 0) > 0
         assert totals.get("budget.exhausted", 0) >= 1
         assert totals.get("budget.fallbacks", 0) >= 1
+        assert totals.get("budget.skipped", 0) >= 2
         assert totals.get("batch.retries", 0) >= 1
         assert totals.get("batch.pool_rebuilds", 0) >= 1
 
@@ -164,3 +180,100 @@ def test_chaos_disarmed_outside_context():
     assert result.batch_counters == {}
     assert all(r.attempts == 1 for r in result.records)
     assert math.isfinite(result.wall_seconds)
+
+
+# ----------------------------------------------------------------------
+# Backoff accounting (scripted scheduler, no real pool)
+# ----------------------------------------------------------------------
+
+
+class ScriptedFuture:
+    """A future whose fate was decided when it was submitted."""
+
+    def __init__(self, index: int, crash: bool):
+        self.index = index
+        self.crash = crash
+
+    def result(self):
+        if self.crash:
+            raise BrokenProcessPool(f"scripted crash on job {self.index}")
+        return f"done-{self.index}"
+
+
+class ScriptedPool:
+    """Stands in for ProcessPoolExecutor; crashes on scripted attempts."""
+
+    def __init__(self, crashes):
+        self.crashes = crashes  # {(job index, attempt number), ...}
+
+    def submit(self, worker, indexed_spec, attempt):
+        index, _spec = indexed_spec
+        return ScriptedFuture(index, crash=(index, attempt) in self.crashes)
+
+    def shutdown(self, wait=False, cancel_futures=False):
+        pass
+
+
+def _one_at_a_time(futures, timeout=None, return_when=None):
+    """A wait() double that wakes for exactly one future per round,
+    lowest job index first, so round boundaries are deterministic."""
+    chosen = min(futures, key=lambda future: future.index)
+    return {chosen}, set(futures) - {chosen}
+
+
+class TestBackoffReset:
+    def test_late_crash_pays_base_backoff_again(self, monkeypatch):
+        """Regression: the backoff exponent grew with *lifetime* rebuilds,
+        so a crash early in a sweep permanently inflated the recovery
+        pause of every later crash.  Script one crash on job 0's first
+        attempt (early) and one on job 3's second attempt (late, after a
+        clean stretch of completions): both pauses must be the base
+        ``retry_backoff``."""
+        sleeps = []
+        crashes = {(0, 1), (3, 2)}
+        monkeypatch.setattr(
+            batch_mod, "_make_pool", lambda n_jobs: ScriptedPool(crashes)
+        )
+        monkeypatch.setattr(batch_mod, "wait", _one_at_a_time)
+        monkeypatch.setattr(batch_mod.time, "sleep", sleeps.append)
+        counters = {}
+        specs = list(enumerate(small_jobs(4)))
+        records = batch_mod._run_parallel(
+            specs,
+            worker=lambda *args, **kwargs: None,
+            n_jobs=2,
+            max_attempts=5,
+            job_timeout=None,
+            retry_backoff=0.25,
+            counters=counters,
+        )
+        assert sorted(records) == [0, 1, 2, 3]
+        assert counters["batch.pool_rebuilds"] == 2
+        # Early crash: first rebuild sleeps the base backoff.  Late
+        # crash after a rebuild-free round of completions: the exponent
+        # has reset, so the pause is the base backoff again (the
+        # pre-fix scheduler slept 2 * retry_backoff here).
+        assert sleeps == [0.25, 0.25]
+
+    def test_consecutive_crashes_still_escalate(self, monkeypatch):
+        """The reset must not disable escalation: back-to-back broken
+        rounds keep doubling the pause."""
+        sleeps = []
+        crashes = {(0, 1), (0, 2), (0, 3)}
+        monkeypatch.setattr(
+            batch_mod, "_make_pool", lambda n_jobs: ScriptedPool(crashes)
+        )
+        monkeypatch.setattr(batch_mod, "wait", _one_at_a_time)
+        monkeypatch.setattr(batch_mod.time, "sleep", sleeps.append)
+        specs = list(enumerate(small_jobs(1)))
+        records = batch_mod._run_parallel(
+            specs,
+            worker=lambda *args, **kwargs: None,
+            n_jobs=2,
+            max_attempts=5,
+            job_timeout=None,
+            retry_backoff=0.25,
+            counters={},
+        )
+        assert sorted(records) == [0]
+        assert sleeps == [0.25, 0.5, 1.0]

@@ -217,6 +217,31 @@ class TestEnvKnob:
         monkeypatch.setenv(STORE_ENV_VAR, "   ")
         assert store_from_env() is None
 
+    def test_store_from_env_memoizes_per_value(self, tmp_path, monkeypatch):
+        # Regression: every call used to build (and mkdir) a fresh
+        # ResultStore — hot-path overhead once a daemon consults the
+        # store per request.  Same env value must yield the same object.
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "a"))
+        first = store_from_env()
+        assert first is not None
+        assert store_from_env() is first
+
+    def test_store_from_env_invalidates_on_change(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "a"))
+        first = store_from_env()
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "b"))
+        second = store_from_env()
+        assert second is not first
+        assert str(second.root).endswith("b")
+        # Unsetting drops the memo entirely: re-arming the old value
+        # builds a fresh instance rather than resurrecting a stale one.
+        monkeypatch.delenv(STORE_ENV_VAR)
+        assert store_from_env() is None
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "a"))
+        third = store_from_env()
+        assert third is not first
+        assert third is store_from_env()
+
     def test_env_var_arms_serial_batch(self, tmp_path, monkeypatch):
         monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path))
         jobs = [spec_of(seed=55)]

@@ -327,10 +327,9 @@ class TestSolve:
         validate_tree(result.tree, 0.01)
 
     def test_final_entry_ignores_deadline(self):
-        # A deadline of zero starves every entry except the last, which
-        # must still finish: the safety net never runs out of time.
-        # (This net makes bmst_g spend > check_stride checkpoints, so
-        # the strided clock read actually fires and trips the deadline.)
+        # A deadline of zero spends the shared allowance before any
+        # entry runs: every non-final entry is skipped outright and the
+        # safety net, which never runs out of time, produces the tree.
         net = random_net(8, 42)
         policy = FallbackPolicy(
             chain=("bmst_g", "bkrus"), deadline_seconds=0.0
@@ -338,8 +337,66 @@ class TestSolve:
         result = solve(net, 0.01, policy)
         assert result.produced_by == "bkrus"
         assert result.exhausted
-        assert result.attempts[0].outcome == "BudgetExhaustedError"
+        assert result.attempts[0].outcome == "skipped"
+        assert result.attempts[0].checkpoints == 0
         validate_tree(result.tree, 0.01)
+
+    def test_expired_deadline_skips_intermediate_entries(self, monkeypatch):
+        # Regression: once the shared deadline was spent, each remaining
+        # non-final rung was still armed with Budget(seconds=0.0) and
+        # invoked, paying the solver's full pre-checkpoint setup per
+        # rung.  With a fake clock, prove the intermediate entry is
+        # never called once the first entry burns the whole deadline.
+        clock = FakeClock()
+        invoked = []
+
+        def burner(net, eps):
+            invoked.append("burner")
+            clock.advance(10.0)  # blow well past the 1 s deadline
+            raise BudgetExhaustedError("burner spent the whole deadline")
+
+        def middle(net, eps):
+            invoked.append("middle")
+            return runners.ALGORITHMS["bkrus"](net, eps)
+
+        monkeypatch.setitem(runners.ALGORITHMS, "burner", burner)
+        monkeypatch.setitem(runners.ALGORITHMS, "middle", middle)
+        net = random_net(6, 7)
+        policy = FallbackPolicy(
+            chain=("burner", "middle", "bkrus"), deadline_seconds=1.0
+        )
+        result = solve(net, 0.2, policy, clock=clock)
+        assert invoked == ["burner"]
+        assert [a.outcome for a in result.attempts] == [
+            "BudgetExhaustedError",
+            "skipped",
+            "ok",
+        ]
+        assert result.produced_by == "bkrus"
+        assert result.exhausted
+        validate_tree(result.tree, 0.2)
+
+    def test_live_deadline_does_not_skip(self, monkeypatch):
+        # The skip only fires once the deadline is actually spent: with
+        # time left on the clock every rung still gets its chance.
+        clock = FakeClock()
+        invoked = []
+
+        def cheap_fail(net, eps):
+            invoked.append("cheap_fail")
+            clock.advance(0.1)  # well inside the deadline
+            raise BudgetExhaustedError("nothing feasible yet")
+
+        monkeypatch.setitem(runners.ALGORITHMS, "cheap_fail", cheap_fail)
+        net = random_net(6, 7)
+        policy = FallbackPolicy(
+            chain=("cheap_fail", "bkh2", "bkrus"), deadline_seconds=5.0
+        )
+        result = solve(net, 0.2, policy, clock=clock)
+        assert invoked == ["cheap_fail"]
+        assert result.produced_by == "bkh2"
+        assert "skipped" not in [a.outcome for a in result.attempts]
+        validate_tree(result.tree, 0.2)
 
     def test_run_with_budget_reports_partial(self):
         net = random_net(8, 5)

@@ -1,0 +1,454 @@
+"""End-to-end tests of the ``repro-serve`` daemon.
+
+A real :class:`~repro.serve.daemon.ServerThread` listens on an
+ephemeral port; the tests drive it with a small asyncio HTTP client
+(``asyncio.open_connection`` wrapped in ``asyncio.run`` — the suite has
+no async test runner).  Covered paths: solve, store cache hit,
+past-deadline anytime answer, malformed requests, concurrency,
+draining/shutdown, the JSONL trace log, and a hypothesis differential
+against the in-process solvers.
+"""
+
+import asyncio
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import runners
+from repro.core.net import Net
+from repro.instances.random_nets import random_net
+from repro.serve.daemon import ReproServer, ServeConfig, ServerThread
+from repro.serve.protocol import (
+    ProtocolError,
+    parse_solve_request,
+    tree_payload,
+)
+
+# The (net, eps) pair of the batch fault tests: bmst_g enumerates 77
+# spanning trees before the first feasible one, so a spent deadline
+# deterministically needs the fallback ladder.
+HARD_NET = random_net(8, 42)
+HARD_EPS = 0.01
+
+
+def net_points(net: Net):
+    return [[float(x), float(y)] for x, y in net.points]
+
+
+def solve_body(net: Net, eps: float, algorithm: str, **extra):
+    body = {
+        "points": net_points(net),
+        "eps": eps,
+        "algorithm": algorithm,
+        "name": net.name,
+    }
+    body.update(extra)
+    return body
+
+
+async def _request(port, method, path, payload=None):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: localhost\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        key, _, value = line.decode("latin-1").partition(":")
+        headers[key.strip().lower()] = value.strip()
+    data = await reader.readexactly(int(headers.get("content-length", 0)))
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    return status, json.loads(data), headers
+
+
+def request(port, method, path, payload=None):
+    return asyncio.run(_request(port, method, path, payload))
+
+
+def in_process_tree(body):
+    net = Net.from_points(
+        [tuple(p) for p in body["points"]],
+        metric=body.get("metric", "l1"),
+        name=body.get("name"),
+    )
+    tree = runners.ALGORITHMS[body["algorithm"]](net, body["eps"])
+    return tree_payload(tree)
+
+
+@pytest.fixture(scope="module")
+def shared_server():
+    config = ServeConfig(port=0, workers=2, trace=False)
+    with ServerThread(config) as handle:
+        yield handle
+
+
+# ----------------------------------------------------------------------
+# Protocol validation (no daemon needed)
+# ----------------------------------------------------------------------
+
+
+class TestProtocol:
+    def good(self, **overrides):
+        body = {
+            "points": [[0.0, 0.0], [3.0, 4.0], [7.0, 1.0]],
+            "eps": 0.25,
+            "algorithm": "bkrus",
+        }
+        body.update(overrides)
+        return body
+
+    def expect_code(self, body, code):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_solve_request(body)
+        assert excinfo.value.code == code
+        assert excinfo.value.status == 400
+
+    def test_valid_request_parses(self):
+        parsed = parse_solve_request(self.good())
+        assert parsed.algorithm == "bkrus"
+        assert parsed.cacheable
+        assert parsed.policy() is None
+
+    def test_inf_eps(self):
+        parsed = parse_solve_request(self.good(eps="inf"))
+        assert parsed.eps == float("inf")
+
+    def test_missing_field(self):
+        self.expect_code({"eps": 0.2, "algorithm": "bkrus"}, "missing_field")
+
+    def test_unknown_field(self):
+        self.expect_code(self.good(surprise=1), "unknown_field")
+
+    def test_bad_points(self):
+        self.expect_code(self.good(points=[[0, 0]]), "invalid_points")
+        self.expect_code(self.good(points="nope"), "invalid_points")
+        self.expect_code(
+            self.good(points=[[0, 0], [1, float("nan")]]), "invalid_points"
+        )
+        self.expect_code(self.good(points=[[0, 0], [1, True]]), "invalid_points")
+
+    def test_bad_eps(self):
+        self.expect_code(self.good(eps=-0.5), "invalid_eps")
+        self.expect_code(self.good(eps="huge"), "invalid_eps")
+        self.expect_code(self.good(eps=float("nan")), "invalid_eps")
+
+    def test_unknown_algorithm(self):
+        self.expect_code(self.good(algorithm="nope"), "unknown_algorithm")
+
+    def test_bad_chain(self):
+        self.expect_code(self.good(chain=[]), "invalid_chain")
+        self.expect_code(self.good(chain=["nope"]), "invalid_chain")
+        # The chain must start with the requested algorithm.
+        self.expect_code(self.good(chain=["bkh2", "bkrus"]), "invalid_chain")
+
+    def test_bad_deadline_and_cap(self):
+        self.expect_code(
+            self.good(deadline_seconds=-1.0), "invalid_deadline"
+        )
+        self.expect_code(self.good(max_nodes=-1), "invalid_max_nodes")
+        self.expect_code(self.good(max_nodes=1.5), "invalid_max_nodes")
+
+    def test_bad_metric(self):
+        self.expect_code(self.good(metric="manhattan?"), "invalid_metric")
+
+    def test_duplicate_points_rejected(self):
+        self.expect_code(
+            self.good(points=[[0, 0], [1, 1], [1, 1]]), "invalid_net"
+        )
+
+    def test_deadline_becomes_policy(self):
+        parsed = parse_solve_request(
+            self.good(algorithm="bmst_g", deadline_seconds=0.5)
+        )
+        policy = parsed.policy()
+        assert policy is not None
+        assert policy.chain == ("bmst_g", "bkh2", "bkrus")
+        assert policy.deadline_seconds == 0.5
+        assert not parsed.cacheable
+
+    def test_config_rejects_degenerate_values(self):
+        from repro.core.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            ReproServer(ServeConfig(workers=0))
+        with pytest.raises(InvalidParameterError):
+            ReproServer(ServeConfig(max_queue=0))
+
+
+# ----------------------------------------------------------------------
+# Live daemon
+# ----------------------------------------------------------------------
+
+
+class TestDaemon:
+    def test_healthz(self, shared_server):
+        status, payload, _ = request(shared_server.port, "GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+
+    def test_solve_matches_in_process(self, shared_server):
+        body = solve_body(random_net(6, 3), 0.25, "bkrus")
+        status, payload, headers = request(
+            shared_server.port, "POST", "/solve", body
+        )
+        assert status == 200
+        assert payload["ok"]
+        assert payload["produced_by"] == "bkrus"
+        assert not payload["exhausted"]
+        assert [a["outcome"] for a in payload["attempts"]] == ["ok"]
+        assert payload["tree"] == in_process_tree(body)
+        assert payload["trace_id"]
+        assert headers["x-repro-trace-id"] == payload["trace_id"]
+
+    def test_past_deadline_gets_anytime_answer(self, shared_server):
+        body = solve_body(
+            HARD_NET, HARD_EPS, "bmst_g", deadline_seconds=0.0
+        )
+        status, payload, _ = request(
+            shared_server.port, "POST", "/solve", body
+        )
+        assert status == 200
+        assert payload["ok"]
+        assert payload["exhausted"]
+        assert payload["produced_by"] == "bkrus"
+        # Intermediate rungs were skipped, not executed (satellite fix).
+        assert [a["outcome"] for a in payload["attempts"]] == [
+            "skipped",
+            "skipped",
+            "ok",
+        ]
+        bound = HARD_NET.path_bound(HARD_EPS)
+        assert payload["tree"]["longest_path"] <= bound + 1e-9
+        _, stats, _ = request(shared_server.port, "GET", "/stats")
+        assert stats["counters"].get("serve.deadline_misses", 0) >= 1
+
+    def test_unsolvable_is_422(self, shared_server):
+        # A chain whose only entry is an exact method under a node cap
+        # fails outright: the daemon maps it to 422, not a 5xx.
+        body = solve_body(
+            HARD_NET,
+            HARD_EPS,
+            "bmst_g",
+            chain=["bmst_g"],
+            max_nodes=1,
+        )
+        status, payload, _ = request(
+            shared_server.port, "POST", "/solve", body
+        )
+        assert status == 422
+        assert not payload["ok"]
+        assert payload["error_code"] == "unsolvable"
+        assert payload["error_type"] == "InfeasibleError"
+
+    def test_malformed_requests(self, shared_server):
+        port = shared_server.port
+        status, payload, _ = request(
+            port, "POST", "/solve", {"points": "nope"}
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "missing_field"
+        status, payload, _ = request(port, "GET", "/nope")
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+        status, payload, _ = request(port, "GET", "/solve")
+        assert status == 405
+
+        async def bad_json():
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port
+            )
+            body = b"{not json"
+            writer.write(
+                b"POST /solve HTTP/1.1\r\nHost: x\r\n"
+                + f"Content-Length: {len(body)}\r\n".encode()
+                + b"Connection: close\r\n\r\n"
+                + body
+            )
+            await writer.drain()
+            line = await reader.readline()
+            writer.close()
+            return int(line.split()[1])
+
+        assert asyncio.run(bad_json()) == 400
+
+    def test_concurrent_requests_all_correct(self, shared_server):
+        bodies = [
+            solve_body(random_net(5 + (i % 3), 10 + i), 0.3, algorithm)
+            for i, algorithm in enumerate(
+                ["bkrus", "bprim", "bkh2", "bkrus", "brbc", "mst"]
+            )
+        ]
+
+        async def fire_all():
+            return await asyncio.gather(
+                *(
+                    _request(shared_server.port, "POST", "/solve", body)
+                    for body in bodies
+                )
+            )
+
+        responses = asyncio.run(fire_all())
+        assert [status for status, _, _ in responses] == [200] * len(bodies)
+        trace_ids = [payload["trace_id"] for _, payload, _ in responses]
+        assert len(set(trace_ids)) == len(bodies)
+        for body, (_, payload, _) in zip(bodies, responses):
+            assert payload["tree"] == in_process_tree(body)
+
+    def test_draining_rejects_new_solves(self, shared_server):
+        shared_server.server._draining = True
+        try:
+            status, payload, _ = request(
+                shared_server.port,
+                "POST",
+                "/solve",
+                solve_body(random_net(5, 1), 0.3, "bkrus"),
+            )
+        finally:
+            shared_server.server._draining = False
+        assert status == 503
+        assert payload["error"]["code"] == "draining"
+        _, stats, _ = request(shared_server.port, "GET", "/stats")
+        assert stats["counters"].get("serve.rejections", 0) >= 1
+
+
+class TestStoreTier:
+    def test_repeat_request_hits_store(self, tmp_path):
+        config = ServeConfig(
+            port=0, workers=1, store=str(tmp_path / "store"), trace=False
+        )
+        body = solve_body(random_net(6, 5), 0.25, "bkrus")
+        with ServerThread(config) as handle:
+            status, cold, _ = request(handle.port, "POST", "/solve", body)
+            assert status == 200
+            assert not cold["cache_hit"]
+            status, warm, _ = request(handle.port, "POST", "/solve", body)
+            assert status == 200
+            # Zero solver recomputation: answered from disk, the single
+            # attempt is the literal "cached" marker, and the payload
+            # carries the same tree.
+            assert warm["cache_hit"]
+            assert [a["outcome"] for a in warm["attempts"]] == ["cached"]
+            assert warm["tree"] == cold["tree"]
+            _, stats, _ = request(handle.port, "GET", "/stats")
+            assert stats["counters"]["serve.cache_hits"] == 1
+            assert stats["counters"]["serve.requests"] == 2
+
+    def test_budgeted_requests_bypass_store(self, tmp_path):
+        # Anytime answers are timing-dependent — never memoized.
+        config = ServeConfig(
+            port=0, workers=1, store=str(tmp_path / "store"), trace=False
+        )
+        body = solve_body(
+            random_net(6, 5), 0.25, "bkrus", deadline_seconds=5.0
+        )
+        with ServerThread(config) as handle:
+            for _ in range(2):
+                status, payload, _ = request(
+                    handle.port, "POST", "/solve", body
+                )
+                assert status == 200
+                assert not payload["cache_hit"]
+            _, stats, _ = request(handle.port, "GET", "/stats")
+            assert stats["counters"].get("serve.cache_hits", 0) == 0
+
+
+class TestLifecycle:
+    def test_graceful_shutdown_refuses_new_connections(self, tmp_path):
+        config = ServeConfig(port=0, workers=1, trace=False)
+        handle = ServerThread(config).start()
+        port = handle.port
+        status, _, _ = request(
+            port, "POST", "/solve", solve_body(random_net(5, 2), 0.3, "bkrus")
+        )
+        assert status == 200
+        handle.stop()
+        with pytest.raises(OSError):
+            request(port, "GET", "/healthz")
+
+    def test_trace_log_has_ids_and_serve_counters(self, tmp_path):
+        log_path = tmp_path / "serve.jsonl"
+        config = ServeConfig(
+            port=0,
+            workers=1,
+            store=str(tmp_path / "store"),
+            log_path=str(log_path),
+            trace=True,
+        )
+        body = solve_body(random_net(6, 9), 0.25, "bkrus")
+        with ServerThread(config) as handle:
+            request(handle.port, "POST", "/solve", body)
+            request(handle.port, "POST", "/solve", body)  # store hit
+        entries = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+            if line
+        ]
+        assert len(entries) == 2
+        ids = [entry["trace_id"] for entry in entries]
+        assert len(set(ids)) == 2 and all(ids)
+        # The cold solve ran traced in a worker: its algorithm counters
+        # made it into the exported entry.
+        cold, warm = entries
+        assert not cold["cache_hit"]
+        assert cold["counters"].get("bkrus.edges_scanned", 0) > 0
+        # Both entries carry the daemon's serve.* counter snapshot.
+        for entry in entries:
+            assert entry["serve"].get("serve.requests", 0) >= 1
+        assert warm["cache_hit"]
+        assert warm["serve"].get("serve.cache_hits", 0) == 1
+
+
+# ----------------------------------------------------------------------
+# Differential: served result == in-process result
+# ----------------------------------------------------------------------
+
+points_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=0, max_value=30),
+    ),
+    min_size=3,
+    max_size=7,
+    unique=True,
+)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    points=points_strategy,
+    eps=st.sampled_from([0.1, 0.5, "inf"]),
+    algorithm=st.sampled_from(["bkrus", "bprim", "bkh2"]),
+)
+def test_served_tree_identical_to_in_process(
+    shared_server, points, eps, algorithm
+):
+    body = {
+        "points": [[float(x), float(y)] for x, y in points],
+        "eps": eps,
+        "algorithm": algorithm,
+    }
+    status, payload, _ = request(shared_server.port, "POST", "/solve", body)
+    assert status == 200
+    expected_eps = float("inf") if eps == "inf" else eps
+    expected = in_process_tree({**body, "eps": expected_eps})
+    assert payload["tree"] == expected

@@ -245,6 +245,9 @@ class TestRepoTreeGate:
             "REPRO_PROFILE",
             "REPRO_PROFILE_DIR",
             "REPRO_RESULT_STORE",
+            "REPRO_SERVE_LOG",
+            "REPRO_SERVE_MAX_QUEUE",
+            "REPRO_SERVE_WORKERS",
             "REPRO_TRACE",
         }
 
