@@ -29,7 +29,7 @@ from repro.core.tree import RoutingTree
 from repro.algorithms.bkrus import bkrus
 from repro.observability import span, tracing_active
 from repro.observability.trace import Span
-from repro.runtime.budget import Budget, active_budget
+from repro.runtime.budget import Budget, active_budget, use_budget
 
 
 @dataclass
@@ -176,34 +176,38 @@ def bkex(
         raise InvalidParameterError(f"eps must be >= 0, got {eps}")
     if budget is None:
         budget = active_budget()
-    bound = net.path_bound(eps) if math.isfinite(eps) else math.inf
-    tree = initial if initial is not None else bkrus(net, eps)
-    if tree.longest_source_path() > bound + tolerance:
-        raise InvalidParameterError(
-            "initial tree violates the path-length bound; BKEX needs a "
-            "feasible starting solution"
-        )
+    # Install the resolved budget ambiently so shared helpers (edge
+    # streams, seeding constructions) checkpoint the same budget the
+    # caller passed explicitly — explicit beats ambient everywhere.
+    with use_budget(budget):
+        bound = net.path_bound(eps) if math.isfinite(eps) else math.inf
+        tree = initial if initial is not None else bkrus(net, eps)
+        if tree.longest_source_path() > bound + tolerance:
+            raise InvalidParameterError(
+                "initial tree violates the path-length bound; BKEX needs a "
+                "feasible starting solution"
+            )
 
-    def is_feasible(candidate: RoutingTree) -> bool:
-        return candidate.longest_source_path() <= bound + tolerance
+        def is_feasible(candidate: RoutingTree) -> bool:
+            return candidate.longest_source_path() <= bound + tolerance
 
-    # Under an active trace session, fill a (caller's or throwaway)
-    # stats object and publish its totals on the ``bkex`` span.
-    local_stats = stats
-    if local_stats is None and tracing_active():
-        local_stats = BkexStats()
-    with span("bkex") as bkex_span:
-        result = exchange_descent(
-            tree,
-            is_feasible,
-            max_depth=max_depth,
-            stats=local_stats,
-            tolerance=tolerance,
-            budget=budget,
-        )
-        if bkex_span is not None and local_stats is not None:
-            local_stats.publish(bkex_span)
-    return result
+        # Under an active trace session, fill a (caller's or throwaway)
+        # stats object and publish its totals on the ``bkex`` span.
+        local_stats = stats
+        if local_stats is None and tracing_active():
+            local_stats = BkexStats()
+        with span("bkex") as bkex_span:
+            result = exchange_descent(
+                tree,
+                is_feasible,
+                max_depth=max_depth,
+                stats=local_stats,
+                tolerance=tolerance,
+                budget=budget,
+            )
+            if bkex_span is not None and local_stats is not None:
+                local_stats.publish(bkex_span)
+        return result
 
 
 def exchange_descent(

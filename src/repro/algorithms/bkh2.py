@@ -28,7 +28,7 @@ from repro.algorithms.bkrus import bkrus
 from repro.algorithms.exchange import Exchange, iter_all_exchanges
 from repro.observability import span, tracing_active
 from repro.observability.trace import Span
-from repro.runtime.budget import Budget, active_budget
+from repro.runtime.budget import Budget, active_budget, use_budget
 
 
 @dataclass
@@ -135,33 +135,37 @@ def bkh2(
         raise InvalidParameterError(f"eps must be >= 0, got {eps}")
     if budget is None:
         budget = active_budget()
-    bound = net.path_bound(eps) if math.isfinite(eps) else math.inf
-    tree = initial if initial is not None else bkrus(net, eps)
-    if tree.longest_source_path() > bound + tolerance:
-        raise InvalidParameterError(
-            "initial tree violates the path-length bound"
-        )
+    # Install the resolved budget ambiently so shared helpers (edge
+    # streams, seeding constructions) checkpoint the same budget the
+    # caller passed explicitly — explicit beats ambient everywhere.
+    with use_budget(budget):
+        bound = net.path_bound(eps) if math.isfinite(eps) else math.inf
+        tree = initial if initial is not None else bkrus(net, eps)
+        if tree.longest_source_path() > bound + tolerance:
+            raise InvalidParameterError(
+                "initial tree violates the path-length bound"
+            )
 
-    def is_feasible(candidate: RoutingTree) -> bool:
-        return candidate.longest_source_path() <= bound + tolerance
+        def is_feasible(candidate: RoutingTree) -> bool:
+            return candidate.longest_source_path() <= bound + tolerance
 
-    # Under an active trace session, fill a (caller's or throwaway)
-    # stats object and publish its totals on the ``bkh2`` span.
-    local_stats = stats
-    if local_stats is None and tracing_active():
-        local_stats = Bkh2Stats()
-    with span("bkh2") as bkh2_span:
-        result = depth2_descent(
-            tree,
-            is_feasible,
-            level2_beam=level2_beam,
-            stats=local_stats,
-            tolerance=tolerance,
-            budget=budget,
-        )
-        if bkh2_span is not None and local_stats is not None:
-            local_stats.publish(bkh2_span)
-    return result
+        # Under an active trace session, fill a (caller's or throwaway)
+        # stats object and publish its totals on the ``bkh2`` span.
+        local_stats = stats
+        if local_stats is None and tracing_active():
+            local_stats = Bkh2Stats()
+        with span("bkh2") as bkh2_span:
+            result = depth2_descent(
+                tree,
+                is_feasible,
+                level2_beam=level2_beam,
+                stats=local_stats,
+                tolerance=tolerance,
+                budget=budget,
+            )
+            if bkh2_span is not None and local_stats is not None:
+                local_stats.publish(bkh2_span)
+        return result
 
 
 def depth2_descent(

@@ -40,7 +40,7 @@ from repro.core.partial_forest import PartialForest
 from repro.core.tree import RoutingTree
 from repro.algorithms.bkrus import bkrus, upper_bound_test
 from repro.algorithms.mst import constrained_mst
-from repro.runtime.budget import Budget, active_budget
+from repro.runtime.budget import Budget, active_budget, use_budget
 
 
 @dataclass
@@ -159,7 +159,11 @@ def bmst_branch_bound(
         return forest
 
     try:
-        search(0, PartialForest(net), [], frozenset())
+        # Install the resolved budget ambiently so shared helpers
+        # (constrained_mst's edge scans) checkpoint the same budget the
+        # caller passed explicitly, not a stale ambient one.
+        with use_budget(budget):
+            search(0, PartialForest(net), [], frozenset())
     except BudgetExhaustedError:
         # The BKRUS-seeded incumbent is always feasible: return it as
         # the anytime answer instead of surfacing the exhaustion.

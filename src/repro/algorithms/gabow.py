@@ -43,7 +43,7 @@ from repro.core.net import Net, SOURCE
 from repro.core.tree import RoutingTree
 from repro.algorithms.mst import constrained_mst
 from repro.observability import incr, span, tracing_active
-from repro.runtime.budget import Budget, active_budget
+from repro.runtime.budget import Budget, active_budget, use_budget
 
 
 def lemma_preprocessing(
@@ -205,7 +205,11 @@ def bmst_gabow(
     if budget is None:
         budget = active_budget()
     bound = net.path_bound(eps) if math.isfinite(eps) else math.inf
-    with span("bmst_g"):
+    # Install the resolved budget ambiently so constrained_mst's edge
+    # scans (run inside the enumeration generator, in this frame's
+    # context) checkpoint the caller's explicit budget, not a stale
+    # ambient one.
+    with use_budget(budget), span("bmst_g"):
         include: FrozenSet[Edge] = frozenset()
         exclude: FrozenSet[Edge] = frozenset()
         if use_lemmas and math.isfinite(bound):

@@ -19,6 +19,7 @@ from repro.core.disjoint_set import DisjointSet
 from repro.core.edges import sorted_edge_arrays
 from repro.core.net import Net, SOURCE
 from repro.core.tree import RoutingTree
+from repro.runtime.budget import active_budget
 
 
 def kruskal_mst(net: Net) -> RoutingTree:
@@ -26,12 +27,19 @@ def kruskal_mst(net: Net) -> RoutingTree:
 
     Deterministic: edges are scanned in (weight, u, v) order, so equal-cost
     MSTs resolve identically run to run.
+
+    Checkpoints the ambient :class:`~repro.runtime.Budget` (if any) per
+    scanned edge, so budgeted callers (brbc's backbone MST, exact-solver
+    seeding) stay cancellable inside this loop too.
     """
     n = net.num_terminals
     _, us, vs = sorted_edge_arrays(net)
+    budget = active_budget()
     sets = DisjointSet(n)
     chosen: List[tuple] = []
     for u, v in zip(us.tolist(), vs.tolist()):
+        if budget is not None:
+            budget.checkpoint()
         if sets.union(u, v):
             chosen.append((u, v))
             if len(chosen) == n - 1:
@@ -103,9 +111,12 @@ def constrained_mst(
     forming a cycle, or the remaining graph disconnected).
     """
     n = net.num_terminals
+    budget = active_budget()
     sets = DisjointSet(n)
     chosen: List[tuple] = []
     for u, v in sorted(include):
+        if budget is not None:
+            budget.checkpoint()
         if not sets.union(u, v):
             return None
         chosen.append((u, v))
@@ -113,6 +124,8 @@ def constrained_mst(
         return RoutingTree(net, chosen)
     _, us, vs = sorted_edge_arrays(net)
     for u, v in zip(us.tolist(), vs.tolist()):
+        if budget is not None:
+            budget.checkpoint()
         edge = (u, v)
         if edge in include or edge in exclude:
             continue

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.exceptions import InvalidParameterError
 from repro.core.net import Net, SOURCE
 from repro.core.tree import RoutingTree
+from repro.runtime.budget import active_budget
 
 
 def prim_dijkstra(net: Net, c: float) -> RoutingTree:
@@ -47,7 +48,10 @@ def prim_dijkstra(net: Net, c: float) -> RoutingTree:
     best_from = np.full(n, SOURCE, dtype=int)
     best_key[SOURCE] = np.inf
     edges: List[Tuple[int, int]] = []
+    budget = active_budget()
     for _ in range(n - 1):
+        if budget is not None:
+            budget.checkpoint()
         v = int(np.argmin(np.where(in_tree, np.inf, best_key)))
         u = int(best_from[v])
         in_tree[v] = True

@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Mapping, Tuple
 from repro.core.exceptions import InvalidParameterError
 from repro.core.net import Net, SOURCE
 from repro.core.tree import RoutingTree, star_tree
+from repro.runtime.budget import active_budget
 
 
 def spt(net: Net) -> RoutingTree:
@@ -40,16 +41,21 @@ def dijkstra(
     Returns ``(dist, parent)`` dictionaries covering every node reachable
     from ``source``.  Deterministic: ties are resolved by node index.
     """
+    budget = active_budget()
     dist: Dict[int, float] = {source: 0.0}
     parent: Dict[int, int] = {source: -1}
     heap: List[Tuple[float, int]] = [(0.0, source)]
     done = set()
     while heap:
+        if budget is not None:
+            budget.checkpoint()
         d, node = heapq.heappop(heap)
         if node in done:
             continue
         done.add(node)
         for neighbor, weight in adjacency.get(node, ()):
+            if budget is not None:
+                budget.checkpoint()
             if weight < 0:
                 raise InvalidParameterError(
                     f"negative edge weight {weight} on ({node}, {neighbor})"

@@ -35,7 +35,18 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.exceptions import InvalidParameterError, WorkerCrashError
 from repro.core.net import Net
@@ -55,6 +66,7 @@ __all__ = [
     "JobRecord",
     "BatchResult",
     "expand_grid",
+    "iter_grid",
     "execute_job",
     "run_batch",
     "strip_timing",
@@ -227,6 +239,54 @@ class BatchResult:
         return rows
 
 
+def iter_grid(
+    nets: Iterable[Net],
+    algorithms: Sequence[str],
+    eps_values: Sequence[float],
+    share_mst_reference: bool = True,
+    budget_seconds: Optional[float] = None,
+    max_nodes: Optional[int] = None,
+    use_fallback: bool = False,
+) -> Iterator[JobSpec]:
+    """Streaming :func:`expand_grid`: yield specs lazily, in row order.
+
+    One net's specs are generated at a time, so a million-job grid over
+    a net *generator* never materializes more than a single net (plus
+    its MST reference) in memory — this is what the distributed sweep
+    scheduler chunks over.  Algorithm names are still validated eagerly,
+    before the first element is yielded.
+    """
+    names = list(algorithms)
+    if not names:
+        raise InvalidParameterError("iter_grid needs at least one algorithm")
+    # Validate names eagerly: a typo should fail at grid-build time, not
+    # inside a worker process.
+    from repro.analysis.runners import get_runner
+
+    for name in names:
+        get_runner(name)
+
+    def _generate() -> Iterator[JobSpec]:
+        from repro.algorithms.mst import mst_cost
+        from repro.runtime.solve import default_policy
+
+        for net in nets:
+            reference = mst_cost(net) if share_mst_reference else None
+            for eps in eps_values:
+                for name in names:
+                    yield JobSpec(
+                        algorithm=name,
+                        net=net,
+                        eps=eps,
+                        mst_reference=reference,
+                        budget_seconds=budget_seconds,
+                        max_nodes=max_nodes,
+                        policy=default_policy(name) if use_fallback else None,
+                    )
+
+    return _generate()
+
+
 def expand_grid(
     nets: Sequence[Net],
     algorithms: Sequence[str],
@@ -246,36 +306,21 @@ def expand_grid(
     ``budget_seconds``/``max_nodes`` stamp a per-job budget on every
     spec; ``use_fallback`` additionally arms each algorithm's
     conventional fallback ladder (:data:`repro.runtime.solve.DEFAULT_CHAINS`).
+
+    Materializes the whole list; grids too large for that should chunk
+    over :func:`iter_grid` instead.
     """
-    from repro.algorithms.mst import mst_cost
-
-    names = list(algorithms)
-    if not names:
-        raise InvalidParameterError("expand_grid needs at least one algorithm")
-    # Validate names eagerly: a typo should fail at grid-build time, not
-    # inside a worker process.
-    from repro.analysis.runners import get_runner
-    from repro.runtime.solve import default_policy
-
-    for name in names:
-        get_runner(name)
-    jobs: List[JobSpec] = []
-    for net in nets:
-        reference = mst_cost(net) if share_mst_reference else None
-        for eps in eps_values:
-            for name in names:
-                jobs.append(
-                    JobSpec(
-                        algorithm=name,
-                        net=net,
-                        eps=eps,
-                        mst_reference=reference,
-                        budget_seconds=budget_seconds,
-                        max_nodes=max_nodes,
-                        policy=default_policy(name) if use_fallback else None,
-                    )
-                )
-    return jobs
+    return list(
+        iter_grid(
+            nets,
+            algorithms,
+            eps_values,
+            share_mst_reference=share_mst_reference,
+            budget_seconds=budget_seconds,
+            max_nodes=max_nodes,
+            use_fallback=use_fallback,
+        )
+    )
 
 
 def _run_spec(spec: JobSpec) -> Tuple[TreeReport, AnyTree, bool, Optional[str]]:
@@ -426,20 +471,23 @@ def execute_job(
                     attempts=attempt,
                     cache_hit=True,
                 )
+        def _solve_and_persist():
+            if profiler is not None:
+                result = profiler.runcall(_run_spec, spec)
+            else:
+                result = _run_spec(spec)
+            if store is not None and cacheable(spec):
+                # Never raises; an unwritable store costs nothing but
+                # reuse (``store.write_errors`` counts the failure).
+                store.store(spec, result[0], result[1])
+            return result
+
         if session is not None:
             with session:
-                if profiler is not None:
-                    outcome = profiler.runcall(_run_spec, spec)
-                else:
-                    outcome = _run_spec(spec)
-        elif profiler is not None:
-            outcome = profiler.runcall(_run_spec, spec)
+                outcome = _solve_and_persist()
         else:
-            outcome = _run_spec(spec)
+            outcome = _solve_and_persist()
         report, tree, budget_exhausted, fallback_used = outcome
-        if store is not None and cacheable(spec):
-            # Never raises; an unwritable store costs nothing but reuse.
-            store.store(spec, report, tree)
         return JobRecord(
             index=index,
             algorithm=spec.algorithm,

@@ -229,6 +229,42 @@ def _batch_engine() -> Dict[str, float]:
     }
 
 
+def _sweep_throughput() -> Dict[str, float]:
+    """Lease-queue sweep scheduler, serial drain, cold store.
+
+    Drains a 60-job grid (10 x 16-sink nets, 2 algorithms, 3 eps) through
+    :func:`repro.analysis.sweep.run_sweep` in ``workers=0`` mode on a
+    fresh store+queue, so the measured jobs/second is scheduler + lease +
+    store-writeback overhead on top of the cheap construction heuristics.
+    The store is recreated per run: every job is a cold solve, keeping
+    the work identical run-over-run.
+    """
+    import tempfile
+    from pathlib import Path as _Path
+
+    from repro.analysis.sweep import SweepGrid, run_sweep
+
+    grid = SweepGrid(
+        sizes=(16,),
+        cases=10,
+        algorithms=("bkrus", "bprim"),
+        eps_values=(0.1, 0.3, 0.5),
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-sweep-") as tmp:
+        result = run_sweep(
+            grid, _Path(tmp) / "store", workers=0, chunk_size=10
+        )
+    if not result.complete or result.chunk_failures:  # pragma: no cover
+        raise RuntimeError(
+            f"bench sweep incomplete ({result.chunk_failures} failure(s))"
+        )
+    return {
+        "jobs": float(result.chunk_jobs),
+        "chunks": float(result.completed_chunks),
+        "jobs_per_second": result.jobs_per_second,
+    }
+
+
 def _serve_latency() -> Dict[str, float]:
     """Load-generate against a live ``repro-serve`` daemon.
 
@@ -347,6 +383,7 @@ _QUICK: Tuple[BenchCase, ...] = (
     BenchCase("bkst_np_steiner", "vectorized BKST backend, same 6 x 24-sink nets", _bkst_np_steiner),
     BenchCase("gabow_enumerator", "BMST_G enumeration, 3 x 10 sinks eps=0.02", _gabow_enumerator),
     BenchCase("batch_engine", "serial batch engine, 36-job grid over 48-sink nets", _batch_engine),
+    BenchCase("sweep_throughput", "lease-queue sweep scheduler, 60-job serial drain, jobs/second", _sweep_throughput),
     BenchCase("serve_latency", "live repro-serve daemon, 40 requests (8 cold + 32 store hits), p50/p99 + throughput", _serve_latency),
 )
 

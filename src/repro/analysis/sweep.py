@@ -1,0 +1,533 @@
+"""Crash-safe distributed sweeps: chunked, lease-driven scheduling.
+
+The batch engine (:mod:`repro.analysis.batch`) schedules one process
+pool on one machine and needs the full job list in memory.  This module
+is the scale-out tier above it:
+
+* **Compact grids** — a :class:`SweepGrid` defines ``sizes x cases x
+  eps x algorithms`` over the paper's seeded random nets.  Every job is
+  a pure function of its integer index, so a million-job grid is a few
+  numbers: any worker can materialize any index range on demand
+  (:meth:`SweepGrid.iter_range`, built on the streaming
+  :func:`~repro.analysis.batch.iter_grid` order) without the grid ever
+  existing as a list.
+* **Chunked lease queue** — jobs are scheduled in contiguous index
+  chunks; each chunk is one job in a
+  :class:`~repro.persistence.leases.LeaseQueue`.  N worker processes —
+  on one machine or many sharing a filesystem — claim chunks via
+  ``O_EXCL`` leases, heartbeat while working, and reclaim chunks whose
+  owner died mid-lease (SIGKILL leaves a stale lease; survivors take it
+  over after the TTL).
+* **Effectively-exactly-once** — every finished job is written to the
+  content-addressed :class:`~repro.persistence.ResultStore` before its
+  chunk completes, so a re-executed chunk answers its already-computed
+  prefix from the store (``cache_hit``) and re-runs zero solvers.
+  At-least-once scheduling plus idempotent write-back is exactly-once
+  observable effort.
+
+A sweep is *resumable by construction*: rerunning :func:`run_sweep`
+over the same store/queue directories skips done chunks outright and
+store-hits any partially-computed ones.  The CLI front end is
+``repro-cli sweep --workers N --store DIR``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.core.exceptions import InvalidParameterError, WorkerCrashError
+from repro.core.geometry import Metric
+from repro.observability import incr, merge_totals, start_trace
+from repro.persistence.leases import LeaseQueue
+from repro.runtime import chaos
+
+__all__ = [
+    "SweepGrid",
+    "SweepResult",
+    "run_sweep",
+]
+
+_MANIFEST_FILE = "MANIFEST.json"
+_MANIFEST_SCHEMA = 1
+
+
+# ----------------------------------------------------------------------
+# Grid definition
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepGrid:
+    """A sweep over the paper's seeded random nets, defined compactly.
+
+    ``sizes`` are sink counts, ``cases`` seeds per size (the paper's
+    benchmark set (4) shape); nets are regenerated deterministically
+    from ``(size, seed)`` by :func:`repro.instances.random_net`, so the
+    grid definition — not a net list — is the unit shipped to workers.
+
+    Job order matches :func:`~repro.analysis.batch.iter_grid`:
+    net-major, then eps, then algorithm.
+    """
+
+    sizes: Tuple[int, ...]
+    cases: int
+    algorithms: Tuple[str, ...]
+    eps_values: Tuple[float, ...]
+    metric: str = "l1"
+
+    def __post_init__(self) -> None:
+        if not self.sizes or any(s < 1 for s in self.sizes):
+            raise InvalidParameterError(
+                f"sizes must be positive sink counts, got {self.sizes}"
+            )
+        if self.cases < 1:
+            raise InvalidParameterError(
+                f"cases must be >= 1, got {self.cases}"
+            )
+        if not self.algorithms:
+            raise InvalidParameterError("need at least one algorithm")
+        if not self.eps_values:
+            raise InvalidParameterError("need at least one eps value")
+        Metric.parse(self.metric)
+
+    # -- shape ----------------------------------------------------------
+    @property
+    def num_nets(self) -> int:
+        return len(self.sizes) * self.cases
+
+    @property
+    def jobs_per_net(self) -> int:
+        return len(self.eps_values) * len(self.algorithms)
+
+    @property
+    def total_jobs(self) -> int:
+        return self.num_nets * self.jobs_per_net
+
+    def num_chunks(self, chunk_size: int) -> int:
+        if chunk_size < 1:
+            raise InvalidParameterError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        return max(1, math.ceil(self.total_jobs / chunk_size))
+
+    def validate(self) -> None:
+        """Fail fast on unknown algorithm names (before spawning workers)."""
+        from repro.analysis.runners import get_runner
+
+        for name in self.algorithms:
+            get_runner(name)
+
+    # -- materialization ------------------------------------------------
+    def _net(self, net_index: int):
+        from repro.instances.random_nets import random_net
+
+        size = self.sizes[net_index // self.cases]
+        seed = net_index % self.cases
+        return random_net(size, seed, metric=self.metric)
+
+    def iter_range(self, start: int, stop: int) -> Iterator[Tuple[int, "object"]]:
+        """Yield ``(index, JobSpec)`` for ``start <= index < stop``.
+
+        Materializes one net at a time; its MST reference is computed
+        once and shared by all of the net's jobs in the range (the same
+        sharing :func:`~repro.analysis.batch.expand_grid` does), which
+        also keeps store keys identical across workers.
+        """
+        from repro.algorithms.mst import mst_cost
+        from repro.analysis.batch import JobSpec
+
+        start = max(0, start)
+        stop = min(stop, self.total_jobs)
+        per_net = self.jobs_per_net
+        n_algorithms = len(self.algorithms)
+        index = start
+        while index < stop:
+            net_index = index // per_net
+            net = self._net(net_index)
+            reference = mst_cost(net)
+            net_end = min((net_index + 1) * per_net, stop)
+            for i in range(index, net_end):
+                within = i % per_net
+                yield i, JobSpec(
+                    algorithm=self.algorithms[within % n_algorithms],
+                    net=net,
+                    eps=self.eps_values[within // n_algorithms],
+                    mst_reference=reference,
+                )
+            index = net_end
+
+    # -- serialisation ---------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "sizes": list(self.sizes),
+                "cases": self.cases,
+                "algorithms": list(self.algorithms),
+                "eps_values": list(self.eps_values),
+                "metric": self.metric,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepGrid":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise InvalidParameterError(f"malformed grid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise InvalidParameterError("grid JSON must be an object")
+        return cls(
+            sizes=tuple(int(s) for s in payload.get("sizes", ())),
+            cases=int(payload.get("cases", 0)),
+            algorithms=tuple(payload.get("algorithms", ())),
+            eps_values=tuple(float(e) for e in payload.get("eps_values", ())),
+            metric=str(payload.get("metric", "l1")),
+        )
+
+    def fingerprint(self) -> str:
+        """Content hash of the definition — two initialisers of one
+        queue must be sweeping the same grid."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Queue manifest
+# ----------------------------------------------------------------------
+def _chunk_id(k: int) -> str:
+    return f"chunk-{k:08d}"
+
+
+def _ensure_manifest(
+    queue_root: Path, grid: SweepGrid, chunk_size: int
+) -> None:
+    """Publish (or validate against) the queue's grid manifest.
+
+    The first initialiser wins an ``O_EXCL`` write, exactly like the
+    store's layout marker; every later initialiser — a resume, or a
+    second machine joining the sweep — must present an identical grid
+    fingerprint and chunk size, because chunk ids are only meaningful
+    relative to both.
+    """
+    queue_root.mkdir(parents=True, exist_ok=True)
+    path = queue_root / _MANIFEST_FILE
+    blob = json.dumps(
+        {
+            "schema": _MANIFEST_SCHEMA,
+            "grid": json.loads(grid.to_json()),
+            "fingerprint": grid.fingerprint(),
+            "chunk_size": chunk_size,
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+    try:
+        fd = os.open(
+            str(path), os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+        )
+    except FileExistsError:
+        try:
+            existing = json.loads(path.read_text("utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise InvalidParameterError(
+                f"unreadable sweep manifest at {path}: {exc}"
+            ) from exc
+        if (
+            existing.get("fingerprint") != grid.fingerprint()
+            or existing.get("chunk_size") != chunk_size
+        ):
+            raise InvalidParameterError(
+                f"queue at {queue_root} belongs to a different sweep "
+                "(grid fingerprint or chunk size mismatch); use a fresh "
+                "queue directory or the original grid definition"
+            )
+        return
+    with os.fdopen(fd, "wb") as stream:
+        stream.write(blob)
+
+
+# ----------------------------------------------------------------------
+# Worker
+# ----------------------------------------------------------------------
+def _run_chunk(
+    grid: SweepGrid,
+    k: int,
+    chunk_size: int,
+    store_root: str,
+    lease,
+) -> None:
+    """Execute chunk ``k`` under ``lease``; mark done unless the lease
+    is lost mid-chunk (then the reclaimer finishes it)."""
+    from repro.analysis.batch import execute_job
+
+    start = k * chunk_size
+    stop = start + chunk_size
+    jobs = hits = computed = failures = 0
+    for index, spec in grid.iter_range(start, stop):
+        chaos.inject_kill(index, lease.attempt)
+        record = execute_job(
+            (index, spec),
+            keep_tree=False,
+            trace=False,
+            attempt=lease.attempt,
+            store_path=store_root,
+        )
+        jobs += 1
+        incr("sweep.jobs_executed")
+        if record.cache_hit:
+            hits += 1
+            incr("batch.store_hits")
+        else:
+            computed += 1
+            incr("batch.store_misses")
+        if record.error is not None:
+            failures += 1
+        if not lease.heartbeat():
+            return
+    lease.done(
+        {
+            "jobs": jobs,
+            "hits": hits,
+            "computed": computed,
+            "failures": failures,
+        }
+    )
+    incr("sweep.chunks_completed")
+
+
+def _drain(
+    queue: LeaseQueue,
+    grid: SweepGrid,
+    chunk_size: int,
+    store_root: str,
+    poll_seconds: float,
+    start_offset: int,
+) -> None:
+    """Claim-and-run chunks until every chunk has a done marker.
+
+    Workers start their scan at different offsets so they fan out over
+    the chunk space instead of stampeding the same lease.  A pass that
+    finds work outstanding but claims nothing (all held by live
+    owners) sleeps briefly — an owner may finish, die, or expire.
+    """
+    n_chunks = grid.num_chunks(chunk_size)
+    while True:
+        incr("sweep.passes")
+        claimed_any = False
+        remaining = 0
+        for step in range(n_chunks):
+            k = (start_offset + step) % n_chunks
+            chunk = _chunk_id(k)
+            if queue.is_done(chunk):
+                continue
+            remaining += 1
+            lease = queue.claim(chunk)
+            if lease is None:
+                continue
+            claimed_any = True
+            try:
+                _run_chunk(grid, k, chunk_size, store_root, lease)
+            except WorkerCrashError:
+                # Serial-mode chaos kill: the worker is "dead" for this
+                # chunk.  Leave the lease to expire, exactly as a real
+                # SIGKILL would, so reclamation (attempt 2) runs it.
+                continue
+        if remaining == 0:
+            return
+        if not claimed_any:
+            time.sleep(poll_seconds)
+
+
+def _worker_entry(
+    queue_root: str,
+    store_root: str,
+    grid_json: str,
+    chunk_size: int,
+    ttl_seconds: float,
+    poll_seconds: float,
+    start_offset: int,
+    stats_path: str,
+) -> None:
+    """Process entry point: drain the queue, then write a stats file.
+
+    The stats file is written atomically at clean exit only — a
+    SIGKILLed worker leaves none, which is correct: its surviving
+    counters live in the store entries it wrote and the done markers it
+    published.
+    """
+    grid = SweepGrid.from_json(grid_json)
+    queue = LeaseQueue(queue_root, ttl_seconds=ttl_seconds)
+    with start_trace("sweep:worker") as session:
+        _drain(queue, grid, chunk_size, store_root, poll_seconds, start_offset)
+    blob = json.dumps(
+        {"counters": session.counter_totals()}, sort_keys=True
+    ).encode("utf-8")
+    path = Path(stats_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.with_name(path.name + ".tmp")
+    temp.write_bytes(blob)
+    os.replace(temp, path)
+
+
+# ----------------------------------------------------------------------
+# Scheduler (parent side)
+# ----------------------------------------------------------------------
+@dataclass
+class SweepResult:
+    """Outcome of one :func:`run_sweep` call over a (possibly shared,
+    possibly half-finished) queue."""
+
+    total_jobs: int
+    num_chunks: int
+    completed_chunks: int
+    complete: bool
+    chunk_jobs: int
+    """Jobs accounted by done markers — cumulative across runs."""
+    chunk_hits: int
+    """Of those, answered from the result store by the completing pass
+    (work a dead worker banked before dying, not recomputed)."""
+    chunk_computed: int
+    chunk_failures: int
+    counters: Dict[str, float] = field(default_factory=dict)
+    """Merged trace counters of this run's cleanly-exited workers."""
+    worker_exits: List[Optional[int]] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def jobs_per_second(self) -> float:
+        executed = self.counters.get("sweep.jobs_executed", 0.0)
+        return executed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+def run_sweep(
+    grid: SweepGrid,
+    store: Union[str, Path],
+    queue: Union[str, Path, None] = None,
+    workers: int = 2,
+    chunk_size: int = 25,
+    ttl_seconds: float = 30.0,
+    poll_seconds: float = 0.05,
+    max_seconds: Optional[float] = None,
+) -> SweepResult:
+    """Drain ``grid`` into ``store`` with ``workers`` processes.
+
+    ``queue`` defaults to ``<store>/queue``; pointing several machines'
+    invocations at one shared directory makes them one sweep.  The call
+    is idempotent: done chunks are skipped, live chunks respected,
+    expired chunks reclaimed — rerunning after any number of worker
+    deaths (or parent deaths) resumes where the survivors left off.
+
+    ``workers=0`` drains in-process (serial), which is also the chaos
+    harness's deterministic mode.  ``max_seconds`` is a parent-side
+    backstop: on expiry remaining workers are terminated and the sweep
+    reports ``complete=False`` (a later run resumes it).
+    """
+    import multiprocessing
+
+    grid.validate()
+    store_root = Path(store)
+    queue_root = Path(queue) if queue is not None else store_root / "queue"
+    _ensure_manifest(queue_root, grid, chunk_size)
+    queue_obj = LeaseQueue(queue_root, ttl_seconds=ttl_seconds)
+    n_chunks = grid.num_chunks(chunk_size)
+    stats_dir = queue_root / "stats"
+    run_tag = f"{os.getpid()}-{os.urandom(4).hex()}"
+    started = time.monotonic()
+
+    stats_paths: List[Path] = []
+    exits: List[Optional[int]] = []
+    if workers <= 0:
+        stats_path = stats_dir / f"run-{run_tag}-serial.json"
+        stats_paths.append(stats_path)
+        _worker_entry(
+            str(queue_root),
+            str(store_root),
+            grid.to_json(),
+            chunk_size,
+            ttl_seconds,
+            poll_seconds,
+            0,
+            str(stats_path),
+        )
+        exits.append(0)
+    else:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            context = multiprocessing.get_context()
+        processes = []
+        for slot in range(workers):
+            stats_path = stats_dir / f"run-{run_tag}-w{slot}.json"
+            stats_paths.append(stats_path)
+            offset = (slot * n_chunks) // workers
+            process = context.Process(
+                target=_worker_entry,
+                args=(
+                    str(queue_root),
+                    str(store_root),
+                    grid.to_json(),
+                    chunk_size,
+                    ttl_seconds,
+                    poll_seconds,
+                    offset,
+                    str(stats_path),
+                ),
+            )
+            process.start()
+            processes.append(process)
+        deadline = (
+            time.monotonic() + max_seconds if max_seconds is not None else None
+        )
+        for process in processes:
+            if deadline is None:
+                process.join()
+            else:
+                process.join(max(0.0, deadline - time.monotonic()))
+                if process.is_alive():
+                    process.terminate()
+                    process.join()
+        exits = [process.exitcode for process in processes]
+
+    per_worker: List[Dict[str, float]] = []
+    for stats_path in stats_paths:
+        try:
+            payload = json.loads(stats_path.read_text("utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue  # SIGKILLed workers never write stats
+        worker_counters = payload.get("counters")
+        if isinstance(worker_counters, dict):
+            per_worker.append(worker_counters)
+    counters = merge_totals(per_worker)
+
+    completed = 0
+    chunk_jobs = chunk_hits = chunk_computed = chunk_failures = 0
+    for k in range(n_chunks):
+        payload = queue_obj.done_payload(_chunk_id(k))
+        if payload is None:
+            if not queue_obj.is_done(_chunk_id(k)):
+                continue
+            completed += 1
+            continue
+        completed += 1
+        chunk_jobs += int(payload.get("jobs", 0))
+        chunk_hits += int(payload.get("hits", 0))
+        chunk_computed += int(payload.get("computed", 0))
+        chunk_failures += int(payload.get("failures", 0))
+
+    return SweepResult(
+        total_jobs=grid.total_jobs,
+        num_chunks=n_chunks,
+        completed_chunks=completed,
+        complete=completed == n_chunks,
+        chunk_jobs=chunk_jobs,
+        chunk_hits=chunk_hits,
+        chunk_computed=chunk_computed,
+        chunk_failures=chunk_failures,
+        counters=counters,
+        worker_exits=exits,
+        wall_seconds=time.monotonic() - started,
+    )

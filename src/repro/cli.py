@@ -222,6 +222,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.store:
+        return _cmd_sweep_distributed(args)
+    if not args.benchmark:
+        print(
+            "sweep: --benchmark is required (legacy eps sweep), or pass "
+            "--store DIR for a distributed sweep",
+            file=sys.stderr,
+        )
+        return 2
     net = _load_net(args)
     points = tradeoff_curve(net, algorithm=args.algorithm)
     rows = [
@@ -236,6 +245,47 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _cmd_sweep_distributed(args: argparse.Namespace) -> int:
+    """Crash-safe multi-worker sweep over a shared store directory."""
+    from repro.analysis.sweep import SweepGrid, run_sweep
+
+    grid = SweepGrid(
+        sizes=tuple(
+            int(s.strip()) for s in args.sizes.split(",") if s.strip()
+        ),
+        cases=args.cases,
+        algorithms=tuple(
+            a.strip() for a in args.algorithms.split(",") if a.strip()
+        ),
+        eps_values=tuple(
+            _parse_eps(e.strip()) for e in args.eps_values.split(",") if e.strip()
+        ),
+    )
+    result = run_sweep(
+        grid,
+        store=args.store,
+        queue=args.queue,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        ttl_seconds=args.ttl,
+        max_seconds=args.max_seconds,
+    )
+    rows = [
+        ("total jobs", result.total_jobs),
+        ("chunks", f"{result.completed_chunks}/{result.num_chunks}"),
+        ("complete", result.complete),
+        ("jobs executed (this run)", int(result.counters.get("sweep.jobs_executed", 0))),
+        ("store hits (as completed)", result.chunk_hits),
+        ("solver runs (as completed)", result.chunk_computed),
+        ("failures", result.chunk_failures),
+        ("leases reclaimed", int(result.counters.get("lease.reclaimed", 0))),
+        ("jobs/second", f"{result.jobs_per_second:.1f}"),
+        ("worker exits", ",".join(str(code) for code in result.worker_exits)),
+    ]
+    print(format_table(["quantity", "value"], rows, title="distributed sweep"))
+    return 0 if result.complete and result.chunk_failures == 0 else 1
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -681,12 +731,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.set_defaults(func=_cmd_batch)
 
-    sweep = sub.add_parser("sweep", help="eps sweep (Figure 9 data)")
-    sweep.add_argument("--benchmark", required=True)
+    sweep = sub.add_parser(
+        "sweep",
+        help="eps sweep (Figure 9 data), or a crash-safe distributed "
+        "sweep with --store/--workers",
+    )
+    sweep.add_argument("--benchmark", default=None)
     sweep.add_argument(
         "--algorithm", default="bkrus", choices=algorithm_names()
     )
     sweep.add_argument("--scale", type=float, default=None)
+    sweep.add_argument(
+        "--store",
+        default=None,
+        help="result-store directory; arms the distributed lease-driven mode",
+    )
+    sweep.add_argument(
+        "--queue",
+        default=None,
+        help="work-queue directory (default: <store>/queue)",
+    )
+    sweep.add_argument("--workers", type=int, default=2)
+    sweep.add_argument("--chunk-size", type=int, default=25)
+    sweep.add_argument(
+        "--ttl",
+        type=float,
+        default=30.0,
+        help="lease TTL in seconds; a worker silent this long is presumed dead",
+    )
+    sweep.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="parent-side backstop: terminate workers and report incomplete",
+    )
+    sweep.add_argument("--sizes", default="5,8", help="sink counts, comma-separated")
+    sweep.add_argument("--cases", type=int, default=5, help="seeded cases per size")
+    sweep.add_argument("--algorithms", default="bkrus", help="comma-separated")
+    sweep.add_argument("--eps-values", default="0.2", help="comma-separated")
     sweep.set_defaults(func=_cmd_sweep)
 
     table1 = sub.add_parser("table1", help="benchmark characteristics")

@@ -94,9 +94,20 @@ def sorted_edge_arrays(net: Net) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
 
 
 def non_tree_edges(num_terminals: int, tree_edges: Sequence[Edge]) -> Iterator[Edge]:
-    """Complete-graph edges absent from ``tree_edges`` (as ``u < v`` pairs)."""
+    """Complete-graph edges absent from ``tree_edges`` (as ``u < v`` pairs).
+
+    Checkpoints the ambient budget once per outer node so the exchange
+    enumerators stay cancellable while scanning large complete graphs.
+    The import is function-level: the core layer must not depend on the
+    runtime layer at import time.
+    """
+    from repro.runtime.budget import active_budget
+
+    budget = active_budget()
     in_tree = {(min(u, v), max(u, v)) for u, v in tree_edges}
     for u in range(num_terminals):
+        if budget is not None:
+            budget.checkpoint()
         for v in range(u + 1, num_terminals):
             if (u, v) not in in_tree:
                 yield (u, v)

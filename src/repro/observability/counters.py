@@ -217,6 +217,78 @@ _SPECS: List[CounterSpec] = [
         "requests",
         "high-water mark of concurrently in-flight admitted requests",
     ),
+    CounterSpec(
+        "serve.connections_open",
+        "connections",
+        "TCP connections accepted by the daemon",
+    ),
+    CounterSpec(
+        "serve.connections_reused",
+        "requests",
+        "keep-alive requests served on an already-open connection "
+        "(request 2..N of a connection)",
+    ),
+    # Persistence — result-store accounting beyond the per-instance
+    # hit/miss counters (which live on StoreStats).
+    CounterSpec(
+        "store.write_errors",
+        "writes",
+        "store write-backs that failed (ENOSPC, permissions, read-only "
+        "shard) and degraded to recompute-and-continue",
+    ),
+    # Lease queue — distributed-sweep work claiming (repro.persistence.leases).
+    CounterSpec(
+        "lease.claimed",
+        "leases",
+        "uncontested O_EXCL lease acquisitions",
+    ),
+    CounterSpec(
+        "lease.reclaimed",
+        "leases",
+        "expired leases taken over from a presumed-dead owner",
+    ),
+    CounterSpec(
+        "lease.expired",
+        "leases",
+        "leases observed past their TTL (each triggers a reclaim race)",
+    ),
+    CounterSpec(
+        "lease.heartbeats",
+        "renewals",
+        "lease renewals written by live owners",
+    ),
+    CounterSpec(
+        "lease.lost",
+        "leases",
+        "heartbeats that found the lease reclaimed by another worker "
+        "(the owner abandons the job)",
+    ),
+    CounterSpec(
+        "lease.released",
+        "leases",
+        "leases dropped cleanly without completing the job",
+    ),
+    CounterSpec(
+        "lease.done",
+        "jobs",
+        "jobs completed under lease (permanent done marker written)",
+    ),
+    # Distributed sweep scheduler (repro.analysis.sweep).
+    CounterSpec(
+        "sweep.jobs_executed",
+        "jobs",
+        "grid jobs executed by this worker (store hits included)",
+    ),
+    CounterSpec(
+        "sweep.chunks_completed",
+        "chunks",
+        "chunks this worker ran to completion and marked done",
+    ),
+    CounterSpec(
+        "sweep.passes",
+        "passes",
+        "scan passes over the chunk space (idle passes sleep briefly)",
+    ),
 ]
 
 COUNTERS: Dict[str, CounterSpec] = {spec.name: spec for spec in _SPECS}

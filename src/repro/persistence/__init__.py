@@ -5,6 +5,7 @@ integration lives in :mod:`repro.analysis.batch` (``run_batch(store=)``
 and the ``REPRO_RESULT_STORE`` environment knob).
 """
 
+from repro.persistence.leases import Lease, LeaseQueue
 from repro.persistence.store import (
     STORE_ENV_VAR,
     STORE_SCHEMA_VERSION,
@@ -17,6 +18,8 @@ from repro.persistence.store import (
 __all__ = [
     "STORE_ENV_VAR",
     "STORE_SCHEMA_VERSION",
+    "Lease",
+    "LeaseQueue",
     "ResultStore",
     "StoreStats",
     "cacheable",

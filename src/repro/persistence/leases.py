@@ -1,0 +1,307 @@
+"""Lease-based filesystem work queue for crash-safe distributed sweeps.
+
+A sweep's chunks are drained by N independent worker processes —
+optionally on different machines sharing one directory — with no broker
+and no network protocol beyond the filesystem's atomic primitives:
+
+* **Claim** — a worker claims job ``J`` by creating ``leases/J.lease``
+  with ``O_CREAT | O_EXCL``: exactly one creator succeeds, every racer
+  gets ``FileExistsError``.  The lease body records the owner token and
+  a wall-clock renewal timestamp.
+* **Heartbeat** — the owner periodically rewrites its lease (temp file +
+  ``os.replace``) with a fresh timestamp.  A lease whose timestamp is
+  older than ``ttl_seconds`` is *expired*: its owner is presumed dead
+  (SIGKILL leaves no chance for cleanup).
+* **Reclaim** — any worker finding an expired lease renames it to a
+  unique tombstone with ``os.replace``.  Rename is atomic, so exactly
+  one reclaimer wins (the losers see ``FileNotFoundError``); the winner
+  re-creates the lease in its own name with the attempt count bumped.
+* **Done** — finishing a job writes an atomic ``done/J.done`` marker and
+  releases the lease.  Done markers are never reclaimed: a completed
+  job is completed forever, so restarts and late reclaims cannot lose
+  or repeat it.
+
+The queue therefore guarantees *at-least-once* execution under
+arbitrary worker kills.  Sweeps get effectively-exactly-once semantics
+by pairing it with the content-addressed result store: a re-executed
+job finds its results already stored and re-runs zero solvers
+(idempotent write-back).
+
+Wall-clock timestamps (not ``time.monotonic``) are deliberate: lease
+expiry is the one cross-process, cross-machine comparison in the
+system, and monotonic clocks are incomparable between processes.  The
+TTL should be chosen orders of magnitude above heartbeat jitter, so
+modest NTP steps are harmless.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from repro.core.exceptions import InvalidParameterError
+from repro.observability import incr
+
+__all__ = ["Lease", "LeaseQueue"]
+
+_LEASE_SUFFIX = ".lease"
+_DONE_SUFFIX = ".done"
+
+
+def _now() -> float:
+    return time.time()  # lint: disable=R006 (lease expiry is compared across processes/machines; monotonic clocks are incomparable between them)
+
+
+def _write_atomic(path: Path, blob: bytes) -> None:
+    handle, temp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(blob)
+        os.replace(temp_name, path)
+    # lint: allow-broad-except(cleanup-and-reraise: the temp file must not leak on any failure)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass
+class Lease:
+    """One live claim on one job.  Obtained from :meth:`LeaseQueue.claim`."""
+
+    queue: "LeaseQueue"
+    job_id: str
+    token: str
+    attempt: int
+    """1 on a fresh claim; +1 each time the job was reclaimed from a
+    dead owner — chaos policies key ``only_first_attempt`` off this."""
+
+    @property
+    def path(self) -> Path:
+        return self.queue._lease_path(self.job_id)
+
+    def heartbeat(self) -> bool:
+        """Refresh the renewal timestamp; False when the lease was lost.
+
+        A lease is *lost* when its file no longer carries this owner's
+        token — another worker reclaimed it after an expiry (e.g. this
+        process was suspended past the TTL).  The owner must then stop
+        working the job: the reclaimer owns it now.
+        """
+        current = self.queue._read_lease(self.job_id)
+        if current is None or current.get("token") != self.token:
+            incr("lease.lost")
+            return False
+        incr("lease.heartbeats")
+        self.queue._write_lease(self.job_id, self.token, self.attempt)
+        return True
+
+    def done(self, payload: Optional[Dict[str, object]] = None) -> None:
+        """Mark the job complete (atomic, idempotent) and release."""
+        self.queue.mark_done(self.job_id, payload)
+        self.release()
+        incr("lease.done")
+
+    def release(self) -> None:
+        """Drop the claim without completing the job (clean abandon)."""
+        current = self.queue._read_lease(self.job_id)
+        if current is not None and current.get("token") == self.token:
+            try:
+                self.path.unlink()
+                incr("lease.released")
+            except OSError:
+                pass
+
+
+class LeaseQueue:
+    """Filesystem work queue; see the module docstring for the protocol.
+
+    ``root`` gains two subdirectories, ``leases/`` and ``done/``.  Any
+    number of :class:`LeaseQueue` instances (across processes and
+    machines sharing the filesystem) may operate on one root
+    concurrently.
+    """
+
+    def __init__(
+        self, root: Union[str, Path], ttl_seconds: float = 30.0
+    ) -> None:
+        if ttl_seconds <= 0:
+            raise InvalidParameterError(
+                f"ttl_seconds must be positive, got {ttl_seconds}"
+            )
+        self.root = Path(root)
+        self.ttl_seconds = float(ttl_seconds)
+        self._leases_dir = self.root / "leases"
+        self._done_dir = self.root / "done"
+        self._owner = f"{socket.gethostname()}:{os.getpid()}"
+        self._dirs_ready = False
+
+    # ------------------------------------------------------------------
+    # Paths and low-level I/O
+    # ------------------------------------------------------------------
+    def _ensure_dirs(self) -> None:
+        if not self._dirs_ready:
+            self._leases_dir.mkdir(parents=True, exist_ok=True)
+            self._done_dir.mkdir(parents=True, exist_ok=True)
+            self._dirs_ready = True
+
+    def _lease_path(self, job_id: str) -> Path:
+        return self._leases_dir / f"{job_id}{_LEASE_SUFFIX}"
+
+    def _done_path(self, job_id: str) -> Path:
+        return self._done_dir / f"{job_id}{_DONE_SUFFIX}"
+
+    def _lease_blob(self, token: str, attempt: int) -> bytes:
+        return json.dumps(
+            {
+                "owner": self._owner,
+                "token": token,
+                "attempt": attempt,
+                "renewed_at": _now(),
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+
+    def _read_lease(self, job_id: str) -> Optional[Dict[str, object]]:
+        """The lease body, or None when absent/corrupt.
+
+        A corrupt body (a writer died mid-``os.replace`` cannot happen,
+        but a full disk can truncate the temp write) reads as an
+        already-expired lease: reclaimable immediately.
+        """
+        try:
+            raw = self._lease_path(job_id).read_bytes()
+        except OSError:
+            return None
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return {"token": "", "attempt": 0, "renewed_at": 0.0}
+        if not isinstance(body, dict):
+            return {"token": "", "attempt": 0, "renewed_at": 0.0}
+        return body
+
+    def _write_lease(self, job_id: str, token: str, attempt: int) -> None:
+        _write_atomic(self._lease_path(job_id), self._lease_blob(token, attempt))
+
+    # ------------------------------------------------------------------
+    # The protocol
+    # ------------------------------------------------------------------
+    def claim(self, job_id: str) -> Optional[Lease]:
+        """Try to acquire ``job_id``; None when done, held, or lost a race.
+
+        Claim order: a done marker short-circuits (the job will never
+        run again); a fresh ``O_EXCL`` create wins an uncontested claim;
+        a contested claim succeeds only by reclaiming an expired lease.
+        """
+        if self.is_done(job_id):
+            return None
+        self._ensure_dirs()
+        token = f"{self._owner}:{os.urandom(8).hex()}"
+        path = self._lease_path(job_id)
+        try:
+            fd = os.open(
+                str(path), os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+            )
+        except FileExistsError:
+            return self._try_reclaim(job_id, token)
+        with os.fdopen(fd, "wb") as stream:
+            stream.write(self._lease_blob(token, attempt=1))
+        incr("lease.claimed")
+        return Lease(queue=self, job_id=job_id, token=token, attempt=1)
+
+    def _try_reclaim(self, job_id: str, token: str) -> Optional[Lease]:
+        body = self._read_lease(job_id)
+        if body is None:
+            # Lease vanished between O_EXCL failure and the read: the
+            # owner finished or released.  Let the next scan decide.
+            return None
+        renewed = body.get("renewed_at")
+        age = _now() - renewed if isinstance(renewed, (int, float)) else None
+        if age is not None and age <= self.ttl_seconds:
+            return None  # live owner
+        incr("lease.expired")
+        # Atomically retire the dead lease under a unique tombstone
+        # name: os.replace admits exactly one winner, every losing
+        # racer's replace raises FileNotFoundError.
+        tombstone = (
+            self._leases_dir
+            / f"{job_id}{_LEASE_SUFFIX}.reclaim-{os.urandom(8).hex()}"
+        )
+        try:
+            os.replace(self._lease_path(job_id), tombstone)
+        except FileNotFoundError:
+            return None  # another reclaimer won
+        except OSError:
+            return None
+        try:
+            tombstone.unlink()
+        except OSError:
+            pass
+        old_attempt = body.get("attempt")
+        attempt = (old_attempt if isinstance(old_attempt, int) else 0) + 1
+        # The path is free now; O_EXCL again in case a fresh claimer
+        # slipped in between the replace and this create.
+        try:
+            fd = os.open(
+                str(self._lease_path(job_id)),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                0o644,
+            )
+        except FileExistsError:
+            return None
+        with os.fdopen(fd, "wb") as stream:
+            stream.write(self._lease_blob(token, attempt=attempt))
+        incr("lease.reclaimed")
+        return Lease(queue=self, job_id=job_id, token=token, attempt=attempt)
+
+    def mark_done(
+        self, job_id: str, payload: Optional[Dict[str, object]] = None
+    ) -> None:
+        """Write the permanent done marker (atomic, idempotent)."""
+        self._ensure_dirs()
+        blob = json.dumps(
+            {"owner": self._owner, "payload": payload or {}},
+            sort_keys=True,
+        ).encode("utf-8")
+        _write_atomic(self._done_path(job_id), blob)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def is_done(self, job_id: str) -> bool:
+        return self._done_path(job_id).exists()
+
+    def done_ids(self) -> Iterator[str]:
+        if not self._done_dir.is_dir():
+            return iter(())
+        return (
+            path.name[: -len(_DONE_SUFFIX)]
+            for path in self._done_dir.glob(f"*{_DONE_SUFFIX}")
+        )
+
+    def done_payload(self, job_id: str) -> Optional[Dict[str, object]]:
+        """The payload recorded at completion, or None."""
+        try:
+            body = json.loads(self._done_path(job_id).read_text("utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        payload = body.get("payload") if isinstance(body, dict) else None
+        return payload if isinstance(payload, dict) else None
+
+    def live_lease_ids(self) -> Iterator[str]:
+        """Jobs currently under lease (live or expired, not yet done)."""
+        if not self._leases_dir.is_dir():
+            return iter(())
+        return (
+            path.name[: -len(_LEASE_SUFFIX)]
+            for path in self._leases_dir.glob(f"*{_LEASE_SUFFIX}")
+        )

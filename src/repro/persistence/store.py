@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.core.backends import canonical_algorithm
 from repro.core.exceptions import InvalidParameterError
+from repro.observability import incr
 
 if TYPE_CHECKING:
     from repro.analysis.batch import JobSpec
@@ -69,6 +70,16 @@ rooted there even if ``run_batch`` was not handed one explicitly."""
 
 _MAGIC = "repro-result-store"
 
+_LAYOUT_FILE = "LAYOUT.json"
+"""Self-describing shard-layout marker in the store root.  Written once
+(atomically) by whichever writer initialises the store first; every
+other process — including ones constructed with a different
+``shard_width`` — adopts the on-disk layout, so concurrent writers
+always agree on where a key lives."""
+
+DEFAULT_SHARD_WIDTH = 2
+"""Hex-prefix characters per fan-out subdirectory (2 -> 256 shards)."""
+
 
 @dataclass(frozen=True)
 class StoreStats:
@@ -80,6 +91,10 @@ class StoreStats:
     corrupt: int
     """Entries that failed the checksum/schema check and were discarded
     (each also counts as a miss — the job is recomputed)."""
+    write_errors: int = 0
+    """Failed ``store()`` calls (``ENOSPC``, permission denied, read-only
+    shard...).  Each degrades to recompute-and-continue: the result is
+    still returned to the caller, it just is not persisted."""
 
 
 def cacheable(spec: "JobSpec") -> bool:
@@ -98,21 +113,107 @@ def cacheable(spec: "JobSpec") -> bool:
 class ResultStore:
     """Filesystem-backed content-addressed cache of batch job results.
 
-    ``root`` is created on first use.  Entries live two levels deep
-    (``<root>/<key[:2]>/<key>.res``) so large sweeps do not produce one
-    directory with tens of thousands of files.
+    ``root`` is created on first use.  Entries are sharded one level deep
+    by key prefix (``<root>/<key[:shard_width]>/<key>.res``) so large
+    sweeps do not produce one directory with tens of thousands of files,
+    and so many writer processes fan their ``os.replace`` traffic out
+    over independent directories.  The live layout is recorded in a
+    ``LAYOUT.json`` marker written atomically by the first writer; later
+    instances adopt the on-disk width regardless of what they were
+    constructed with, which keeps concurrent multi-process (and
+    multi-machine, over a shared filesystem) writers agreeing on entry
+    paths.
+
+    Pre-marker stores are still readable: ``load`` falls back to the
+    legacy flat path (``<root>/<key>.res``), and :meth:`migrate` moves
+    flat entries into their shards with atomic renames.
 
     The class is safe for concurrent use by independent processes (each
     opens its own instance over the shared directory); per-instance
     counters are process-local.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path],
+        shard_width: int = DEFAULT_SHARD_WIDTH,
+    ) -> None:
+        if not 0 <= shard_width <= 8:
+            raise InvalidParameterError(
+                f"shard_width must be in [0, 8], got {shard_width}"
+            )
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.corrupt = 0
+        self.write_errors = 0
+        self._requested_width = shard_width
+        self._width: Optional[int] = None  # resolved lazily
+
+    # ------------------------------------------------------------------
+    # Shard layout
+    # ------------------------------------------------------------------
+    @property
+    def shard_width(self) -> int:
+        """The effective fan-out width.
+
+        An existing ``LAYOUT.json`` always wins (all writers must
+        agree); until one exists, the constructor's width applies but is
+        *not* cached — a concurrent initialiser may still publish a
+        different layout, and this instance must adopt it.
+        """
+        return self._effective_width(create=False)
+
+    def _layout_path(self) -> Path:
+        return self.root / _LAYOUT_FILE
+
+    def _read_layout(self) -> Optional[int]:
+        """The marker's shard width, or None when absent/unreadable."""
+        try:
+            header = json.loads(self._layout_path().read_text("utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        width = header.get("shard_width") if isinstance(header, dict) else None
+        if isinstance(width, int) and 0 <= width <= 8:
+            return width
+        return None
+
+    def _effective_width(self, create: bool) -> int:
+        if self._width is not None:
+            return self._width
+        on_disk = self._read_layout()
+        if on_disk is not None:
+            self._width = on_disk
+            return on_disk
+        if not create:
+            return self._requested_width
+        self._width = self._publish_layout()
+        return self._width
+
+    def _publish_layout(self) -> int:
+        """Write the marker via ``O_EXCL`` so exactly one initialiser
+        wins a creation race; the loser adopts the winner's layout."""
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd = os.open(
+                str(self._layout_path()),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                0o644,
+            )
+        except FileExistsError:
+            on_disk = self._read_layout()
+            return on_disk if on_disk is not None else self._requested_width
+        except OSError:
+            # Read-only root: run with the requested width, unpublished.
+            return self._requested_width
+        blob = json.dumps(
+            {"shard_width": self._requested_width, "magic": _MAGIC},
+            sort_keys=True,
+        ).encode("utf-8")
+        with os.fdopen(fd, "wb") as stream:
+            stream.write(blob)
+        return self._requested_width
 
     # ------------------------------------------------------------------
     # Keying
@@ -152,8 +253,15 @@ class ResultStore:
             digest.update(b"ref:" + struct.pack("<d", spec.mst_reference))
         return digest.hexdigest()
 
-    def _entry_path(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.res"
+    def _entry_path(self, key: str, create: bool = False) -> Path:
+        width = self._effective_width(create=create)
+        if width == 0:
+            return self.root / f"{key}.res"
+        return self.root / key[:width] / f"{key}.res"
+
+    def _flat_path(self, key: str) -> Path:
+        """Legacy pre-sharding location (``<root>/<key>.res``)."""
+        return self.root / f"{key}.res"
 
     # ------------------------------------------------------------------
     # Read path
@@ -164,11 +272,25 @@ class ResultStore:
         Never raises: unreadable, truncated, checksum-failing or
         schema-mismatched entries are deleted (best effort), counted in
         ``corrupt``, and reported as a miss so the caller recomputes.
+
+        Reads are layout-compatible: a key missing at its sharded path
+        is also looked up at the legacy flat location, so a store is
+        readable before, during, and after :meth:`migrate`.
         """
-        path = self._entry_path(self.spec_key(spec))
+        key = self.spec_key(spec)
+        path = self._entry_path(key)
+        blob: Optional[bytes] = None
         try:
             blob = path.read_bytes()
         except OSError:
+            flat = self._flat_path(key)
+            if flat != path:
+                try:
+                    blob = flat.read_bytes()
+                    path = flat
+                except OSError:
+                    blob = None
+        if blob is None:
             self.misses += 1
             return None
         payload = self._verify(blob)
@@ -226,7 +348,13 @@ class ResultStore:
         The tree is always stored (even when the batch ran with
         ``keep_trees=False``) so a later replay can serve either mode.
         Writes go through a same-directory temp file and ``os.replace``,
-        which is atomic on POSIX — racing workers cannot interleave.
+        which is atomic on POSIX — racing workers cannot interleave, per
+        shard and across shards alike.
+
+        Failures (``ENOSPC``, permission denied, a read-only shard)
+        degrade to recompute-and-continue: the call returns ``False``,
+        bumps ``write_errors`` (and the ``store.write_errors`` trace
+        counter), and the caller keeps the in-memory result.
         """
         key = self.spec_key(spec)
         body = pickle.dumps(
@@ -243,7 +371,7 @@ class ResultStore:
             },
             sort_keys=True,
         ).encode("utf-8")
-        path = self._entry_path(key)
+        path = self._entry_path(key, create=True)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             handle, temp_name = tempfile.mkstemp(
@@ -263,6 +391,8 @@ class ResultStore:
                     pass
                 raise
         except OSError:
+            self.write_errors += 1
+            incr("store.write_errors")
             return False
         self.writes += 1
         return True
@@ -276,13 +406,47 @@ class ResultStore:
             misses=self.misses,
             writes=self.writes,
             corrupt=self.corrupt,
+            write_errors=self.write_errors,
         )
 
     def entry_paths(self) -> Iterator[Path]:
-        """Every entry file currently on disk, in no particular order."""
+        """Every entry file currently on disk, in no particular order.
+
+        Covers both layouts: sharded entries (one fan-out level deep)
+        and not-yet-migrated flat entries in the root.
+        """
         if not self.root.is_dir():
             return iter(())
-        return self.root.glob("*/*.res")
+
+        def _walk() -> Iterator[Path]:
+            yield from self.root.glob("*/*.res")
+            yield from self.root.glob("*.res")
+
+        return _walk()
+
+    def migrate(self) -> int:
+        """Move legacy flat entries into their shards; returns the count.
+
+        Each move is an atomic ``os.replace`` into the entry's sharded
+        location, so readers racing the migration see the entry at one
+        path or the other, never a partial file.  Safe to re-run and
+        safe to run while writers are active.
+        """
+        if self._effective_width(create=True) == 0:
+            return 0
+        moved = 0
+        for flat in list(self.root.glob("*.res")):
+            target = self._entry_path(flat.stem, create=True)
+            if target == flat:
+                continue
+            try:
+                target.parent.mkdir(parents=True, exist_ok=True)
+                os.replace(flat, target)
+                moved += 1
+            except OSError:
+                self.write_errors += 1
+                incr("store.write_errors")
+        return moved
 
     def __len__(self) -> int:
         return sum(1 for _ in self.entry_paths())

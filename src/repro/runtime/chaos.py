@@ -31,6 +31,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import signal
 import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
@@ -50,6 +51,7 @@ __all__ = [
     "clear",
     "inject_failure",
     "inject_infrastructure",
+    "inject_kill",
     "install",
     "installed",
 ]
@@ -80,6 +82,10 @@ class ChaosPolicy:
     """Jobs that sleep ``slow_seconds`` before solving."""
     fail_jobs: Tuple[int, ...] = ()
     """Jobs that raise :class:`ChaosInjectedError` mid-run."""
+    kill_jobs: Tuple[int, ...] = ()
+    """Sweep jobs at which the worker SIGKILLs itself mid-lease — the
+    distributed-sweep analogue of ``crash_jobs``: no cleanup handler
+    runs, the lease goes stale, and a survivor must reclaim it."""
     slow_seconds: float = 0.5
     only_first_attempt: bool = True
     """Inject only on attempt 1, so requeued jobs succeed."""
@@ -98,6 +104,7 @@ class ChaosPolicy:
             index in self.crash_jobs
             or index in self.slow_jobs
             or index in self.fail_jobs
+            or index in self.kill_jobs
         )
 
     def to_json(self) -> str:
@@ -115,6 +122,7 @@ class ChaosPolicy:
             crash_jobs=tuple(payload.get("crash_jobs", ())),
             slow_jobs=tuple(payload.get("slow_jobs", ())),
             fail_jobs=tuple(payload.get("fail_jobs", ())),
+            kill_jobs=tuple(payload.get("kill_jobs", ())),
             slow_seconds=float(payload.get("slow_seconds", 0.5)),
             only_first_attempt=bool(payload.get("only_first_attempt", True)),
         )
@@ -179,6 +187,32 @@ def inject_infrastructure(index: int, attempt: int) -> None:
         )
     if index in policy.slow_jobs:
         time.sleep(policy.slow_seconds)
+
+
+def inject_kill(index: int, attempt: int) -> None:
+    """SIGKILL injection for distributed-sweep workers, mid-lease.
+
+    Called by the sweep worker loop after it has claimed a lease and
+    before it completes the chunk, so the kill leaves a stale lease
+    behind — exactly the state expiry-based reclamation must recover
+    from.  SIGKILL (not ``os._exit``) is the point: no ``atexit``, no
+    ``finally``, no flush; the process is simply gone.
+
+    Like :func:`inject_infrastructure`, a kill in a non-worker process
+    (serial execution in the caller's process) degrades to
+    :class:`WorkerCrashError` so tests do not kill their own runner.
+    """
+    policy = active_policy()
+    if policy is None:
+        return
+    if policy.only_first_attempt and attempt > 1:
+        return
+    if index in policy.kill_jobs:
+        if _in_worker_process():
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise WorkerCrashError(
+            f"chaos kill injection for job {index} (serial mode)"
+        )
 
 
 def inject_failure(index: int, attempt: int) -> None:

@@ -150,6 +150,7 @@ class ReproServer:
         self._draining = False
         self._in_flight = 0
         self._request_seq = 0
+        self._connection_seq = 0
         self._idle = asyncio.Event()
         self._idle.set()
 
@@ -192,6 +193,10 @@ class ReproServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._connection_seq += 1
+        connection_id = self._connection_seq
+        connection_requests = 0
+        _bump(self.counters, "serve.connections_open")
         try:
             while True:
                 try:
@@ -202,9 +207,17 @@ class ReproServer:
                     break
                 if parsed is None:
                     break
+                connection_requests += 1
+                if connection_requests > 1:
+                    # Request 2..N rode an existing keep-alive connection
+                    # instead of paying a fresh TCP handshake.
+                    _bump(self.counters, "serve.connections_reused")
                 method, path, headers, body = parsed
                 payload, status, extra_headers = await self._dispatch(
-                    method, path, body
+                    method,
+                    path,
+                    body,
+                    connection=(connection_id, connection_requests),
                 )
                 keep_alive = (
                     headers.get("connection", "").lower() != "close"
@@ -282,7 +295,11 @@ class ReproServer:
         return method, target, headers, body
 
     async def _dispatch(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        connection: Tuple[int, int] = (0, 0),
     ) -> Tuple[Dict[str, Any], int, Dict[str, str]]:
         path = path.split("?", 1)[0]
         if path == "/solve":
@@ -290,7 +307,7 @@ class ReproServer:
                 return _error_payload(
                     "use POST for /solve", 405, "method_not_allowed"
                 )
-            return await self._handle_solve(body)
+            return await self._handle_solve(body, connection)
         if path == "/healthz":
             if method != "GET":
                 return _error_payload(
@@ -324,7 +341,7 @@ class ReproServer:
     # /solve
     # ------------------------------------------------------------------
     async def _handle_solve(
-        self, body: bytes
+        self, body: bytes, connection: Tuple[int, int] = (0, 0)
     ) -> Tuple[Dict[str, Any], int, Dict[str, str]]:
         try:
             payload = json.loads(body.decode("utf-8"))
@@ -367,7 +384,7 @@ class ReproServer:
             if self._in_flight == 0:
                 self._idle.set()
         result["trace_id"] = trace_id
-        self._log_request(trace_id, request, result, status)
+        self._log_request(trace_id, request, result, status, connection)
         return result, status, {"X-Repro-Trace-Id": trace_id}
 
     async def _solve_admitted(
@@ -428,9 +445,11 @@ class ReproServer:
         request: ServeRequest,
         result: Dict[str, Any],
         status: int,
+        connection: Tuple[int, int] = (0, 0),
     ) -> None:
         if self._log_handle is None:
             return
+        connection_id, connection_request = connection
         entry = {
             "trace_id": trace_id,
             "algorithm": request.algorithm,
@@ -442,6 +461,8 @@ class ReproServer:
             "exhausted": bool(result.get("exhausted", False)),
             "produced_by": result.get("produced_by"),
             "wall_seconds": result.get("wall_seconds"),
+            "connection_id": connection_id,
+            "connection_request": connection_request,
             "counters": dict(result.get("counters") or {}),
             "serve": dict(self.counters),
         }

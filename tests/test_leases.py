@@ -1,0 +1,174 @@
+"""The lease-based filesystem work queue behind distributed sweeps.
+
+Covers the claim/heartbeat/reclaim/done protocol of
+:mod:`repro.persistence.leases` — O_EXCL claims admit one winner,
+expired leases are taken over with the attempt count bumped, done
+markers are permanent, and a reclaimed owner's heartbeat reports the
+loss so it stops working the job.
+"""
+
+import json
+
+import pytest
+
+from repro.core.exceptions import InvalidParameterError
+from repro.observability import start_trace
+from repro.persistence import Lease, LeaseQueue
+
+
+def test_ttl_must_be_positive(tmp_path):
+    with pytest.raises(InvalidParameterError):
+        LeaseQueue(tmp_path, ttl_seconds=0.0)
+    with pytest.raises(InvalidParameterError):
+        LeaseQueue(tmp_path, ttl_seconds=-1.0)
+
+
+class TestClaim:
+    def test_fresh_claim_wins(self, tmp_path):
+        queue = LeaseQueue(tmp_path)
+        lease = queue.claim("job-1")
+        assert isinstance(lease, Lease)
+        assert lease.attempt == 1
+        assert lease.path.is_file()
+        assert list(queue.live_lease_ids()) == ["job-1"]
+
+    def test_live_lease_blocks_racers(self, tmp_path):
+        queue_a = LeaseQueue(tmp_path, ttl_seconds=60.0)
+        queue_b = LeaseQueue(tmp_path, ttl_seconds=60.0)
+        assert queue_a.claim("job-1") is not None
+        assert queue_b.claim("job-1") is None
+
+    def test_done_job_is_never_claimable(self, tmp_path):
+        queue = LeaseQueue(tmp_path)
+        lease = queue.claim("job-1")
+        lease.done()
+        assert queue.claim("job-1") is None
+        # Even a different queue instance sees the permanent marker.
+        assert LeaseQueue(tmp_path).claim("job-1") is None
+
+    def test_release_frees_the_job(self, tmp_path):
+        queue = LeaseQueue(tmp_path)
+        lease = queue.claim("job-1")
+        lease.release()
+        again = queue.claim("job-1")
+        assert again is not None
+        assert again.attempt == 1  # a clean release is not a death
+
+    def test_distinct_jobs_are_independent(self, tmp_path):
+        queue = LeaseQueue(tmp_path)
+        assert queue.claim("job-1") is not None
+        assert queue.claim("job-2") is not None
+        assert sorted(queue.live_lease_ids()) == ["job-1", "job-2"]
+
+
+class TestHeartbeat:
+    def test_heartbeat_refreshes_timestamp(self, tmp_path):
+        queue = LeaseQueue(tmp_path)
+        lease = queue.claim("job-1")
+        before = queue._read_lease("job-1")["renewed_at"]
+        assert lease.heartbeat()
+        after = queue._read_lease("job-1")["renewed_at"]
+        assert after >= before
+
+    def test_heartbeat_reports_lost_lease(self, tmp_path):
+        # Owner claims with a tiny TTL, then a second worker reclaims
+        # after expiry: the owner's next heartbeat must say "lost".
+        owner_q = LeaseQueue(tmp_path, ttl_seconds=0.01)
+        lease = owner_q.claim("job-1")
+        import time
+
+        time.sleep(0.05)
+        rival_q = LeaseQueue(tmp_path, ttl_seconds=0.01)
+        rival = rival_q.claim("job-1")
+        assert rival is not None
+        assert rival.attempt == 2
+        assert not lease.heartbeat()
+        # The rival's lease is untouched by the loser's heartbeat.
+        assert rival.heartbeat()
+
+
+class TestReclaim:
+    def test_expired_lease_is_reclaimed_with_attempt_bump(self, tmp_path):
+        queue = LeaseQueue(tmp_path, ttl_seconds=0.01)
+        first = queue.claim("job-1")
+        assert first.attempt == 1
+        import time
+
+        time.sleep(0.05)
+        second = queue.claim("job-1")
+        assert second is not None
+        assert second.attempt == 2
+        assert second.token != first.token
+        time.sleep(0.05)
+        third = queue.claim("job-1")
+        assert third is not None and third.attempt == 3
+
+    def test_corrupt_lease_body_is_immediately_reclaimable(self, tmp_path):
+        queue = LeaseQueue(tmp_path, ttl_seconds=3600.0)
+        lease = queue.claim("job-1")
+        lease.path.write_bytes(b"\x00not json")
+        reclaimed = LeaseQueue(tmp_path, ttl_seconds=3600.0).claim("job-1")
+        assert reclaimed is not None
+        assert reclaimed.attempt == 1  # corrupt body reads as attempt 0
+
+    def test_no_tombstones_left_behind(self, tmp_path):
+        queue = LeaseQueue(tmp_path, ttl_seconds=0.01)
+        queue.claim("job-1")
+        import time
+
+        time.sleep(0.05)
+        assert queue.claim("job-1") is not None
+        leftovers = [
+            p.name
+            for p in (tmp_path / "leases").iterdir()
+            if ".reclaim-" in p.name
+        ]
+        assert leftovers == []
+
+
+class TestDone:
+    def test_done_payload_roundtrip(self, tmp_path):
+        queue = LeaseQueue(tmp_path)
+        lease = queue.claim("job-1")
+        lease.done({"jobs": 7, "hits": 3})
+        assert queue.is_done("job-1")
+        assert queue.done_payload("job-1") == {"jobs": 7, "hits": 3}
+        assert list(queue.done_ids()) == ["job-1"]
+        assert list(queue.live_lease_ids()) == []
+
+    def test_mark_done_is_idempotent(self, tmp_path):
+        queue = LeaseQueue(tmp_path)
+        queue.mark_done("job-1", {"jobs": 1})
+        queue.mark_done("job-1", {"jobs": 1})
+        assert queue.is_done("job-1")
+
+    def test_done_marker_records_owner(self, tmp_path):
+        queue = LeaseQueue(tmp_path)
+        queue.mark_done("job-1")
+        body = json.loads(
+            (tmp_path / "done" / "job-1.done").read_text("utf-8")
+        )
+        assert body["owner"] == queue._owner
+
+    def test_missing_payload_reads_as_none(self, tmp_path):
+        queue = LeaseQueue(tmp_path)
+        assert queue.done_payload("job-1") is None
+
+
+def test_protocol_counters_are_emitted(tmp_path):
+    import time
+
+    with start_trace("test:leases") as session:
+        queue = LeaseQueue(tmp_path, ttl_seconds=0.01)
+        lease = queue.claim("job-1")
+        lease.heartbeat()
+        time.sleep(0.05)
+        rival = LeaseQueue(tmp_path, ttl_seconds=0.01).claim("job-1")
+        assert not lease.heartbeat()
+        rival.done()
+        totals = session.counter_totals()
+    assert totals["lease.claimed"] == 1
+    assert totals["lease.expired"] == 1
+    assert totals["lease.reclaimed"] == 1
+    assert totals["lease.lost"] == 1
+    assert totals["lease.done"] == 1

@@ -299,3 +299,180 @@ def test_store_env_var_name_is_stable():
     """The knob is documented API; renaming it breaks users' scripts."""
     assert STORE_ENV_VAR == "REPRO_RESULT_STORE"
     assert os.environ.get("___repro_never_set___") is None  # monkeypatch hygiene
+
+
+class TestSharding:
+    """Fan-out layout: entries shard by key prefix under a LAYOUT marker."""
+
+    def entry_for(self, root, **spec_kwargs):
+        store = ResultStore(root)
+        spec = spec_of(**spec_kwargs)
+        record = run_batch([spec], keep_trees=True).records[0]
+        assert store.store(spec, record.report, record.tree)
+        return store, spec
+
+    def test_entries_land_in_shard_directories(self, tmp_path):
+        store, spec = self.entry_for(tmp_path / "store")
+        key = ResultStore.spec_key(spec)
+        sharded = tmp_path / "store" / key[:2] / f"{key}.res"
+        assert sharded.is_file()
+        assert store.load(spec) is not None
+        assert store.stats().hits == 1
+
+    def test_layout_marker_is_published_once(self, tmp_path):
+        import json as _json
+
+        self.entry_for(tmp_path / "store")
+        marker = tmp_path / "store" / "LAYOUT.json"
+        header = _json.loads(marker.read_text("utf-8"))
+        assert header["shard_width"] == 2
+
+    def test_width_zero_is_flat(self, tmp_path):
+        root = tmp_path / "flat"
+        store = ResultStore(root, shard_width=0)
+        spec = spec_of()
+        record = run_batch([spec], keep_trees=True).records[0]
+        assert store.store(spec, record.report, record.tree)
+        key = ResultStore.spec_key(spec)
+        assert (root / f"{key}.res").is_file()
+
+    def test_second_instance_adopts_on_disk_layout(self, tmp_path):
+        root = tmp_path / "store"
+        wide = ResultStore(root, shard_width=4)
+        spec = spec_of()
+        record = run_batch([spec], keep_trees=True).records[0]
+        assert wide.store(spec, record.report, record.tree)
+        late = ResultStore(root)  # constructed with the default width 2
+        assert late.shard_width == 4
+        assert late.load(spec) is not None
+
+    def test_invalid_width_rejected(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            ResultStore(tmp_path, shard_width=-1)
+        with pytest.raises(InvalidParameterError):
+            ResultStore(tmp_path, shard_width=9)
+
+
+class TestFlatMigration:
+    """Pre-sharding stores stay readable and migrate atomically."""
+
+    def legacy_store(self, root, n=3):
+        """A flat pre-marker store, as an old release would have left it."""
+        store = ResultStore(root, shard_width=0)
+        specs = [spec_of(seed=100 + i) for i in range(n)]
+        for spec in specs:
+            record = run_batch([spec], keep_trees=True).records[0]
+            assert store.store(spec, record.report, record.tree)
+        (root / "LAYOUT.json").unlink()  # pre-marker stores had none
+        return specs
+
+    def test_sharded_reader_falls_back_to_flat_entries(self, tmp_path):
+        root = tmp_path / "store"
+        specs = self.legacy_store(root)
+        reader = ResultStore(root)
+        for spec in specs:
+            assert reader.load(spec) is not None
+        assert reader.stats().hits == len(specs)
+
+    def test_migrate_moves_entries_into_shards(self, tmp_path):
+        root = tmp_path / "store"
+        specs = self.legacy_store(root)
+        store = ResultStore(root)
+        assert store.migrate() == len(specs)
+        assert list(root.glob("*.res")) == []
+        for spec in specs:
+            key = ResultStore.spec_key(spec)
+            assert (root / key[:2] / f"{key}.res").is_file()
+            assert store.load(spec) is not None
+        assert len(store) == len(specs)
+        assert store.migrate() == 0  # idempotent
+
+    def test_entry_paths_covers_both_layouts(self, tmp_path):
+        root = tmp_path / "store"
+        self.legacy_store(root, n=2)
+        store = ResultStore(root)
+        assert len(list(store.entry_paths())) == 2
+        store.migrate()
+        assert len(list(store.entry_paths())) == 2
+
+
+class TestWriteErrors:
+    """Failed write-backs degrade to recompute-and-continue."""
+
+    def test_failing_replace_counts_and_returns_false(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path / "store")
+        spec = spec_of()
+        record = run_batch([spec], keep_trees=True).records[0]
+
+        def broken_replace(src, dst):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr("repro.persistence.store.os.replace", broken_replace)
+        assert store.store(spec, record.report, record.tree) is False
+        assert store.stats().write_errors == 1
+        assert store.load(spec) is None  # nothing was persisted
+        monkeypatch.undo()
+        assert store.store(spec, record.report, record.tree) is True
+        assert store.load(spec) is not None
+
+    def test_batch_continues_past_write_failures(self, tmp_path, monkeypatch):
+        def broken_replace(src, dst):
+            raise OSError(30, "Read-only file system")
+
+        monkeypatch.setattr("repro.persistence.store.os.replace", broken_replace)
+        root = tmp_path / "store"
+        jobs = [spec_of(seed=60), spec_of(seed=61)]
+        result = run_batch(jobs, store=root, trace=True)
+        assert not result.failures  # results still returned to the caller
+        assert not any(r.cache_hit for r in result.records)
+        assert result.counter_totals().get("store.write_errors", 0) == len(jobs)
+        assert list(root.rglob("*.res")) == []  # nothing was persisted
+
+    def test_no_temp_files_leak_on_failure(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path / "store")
+        spec = spec_of()
+        record = run_batch([spec], keep_trees=True).records[0]
+        monkeypatch.setattr(
+            "repro.persistence.store.os.replace",
+            lambda src, dst: (_ for _ in ()).throw(OSError(28, "ENOSPC")),
+        )
+        store.store(spec, record.report, record.tree)
+        assert list((tmp_path / "store").rglob("*.tmp")) == []
+
+
+def _hammer_worker(root: str, seeds, barrier) -> None:
+    """One hammer process: write every seed's result into the shared store."""
+    from repro.analysis.batch import run_batch as _run_batch
+
+    jobs = [spec_of(seed=seed) for seed in seeds]
+    barrier.wait()  # maximise write overlap across the processes
+    result = _run_batch(jobs, store=root)
+    assert not result.failures
+
+
+class TestMultiProcessHammer:
+    def test_four_processes_overlapping_keys_one_store(self, tmp_path):
+        """4 writers x 6 overlapping keys -> every entry intact."""
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        root = tmp_path / "store"
+        seeds = list(range(300, 306))
+        barrier = context.Barrier(4)
+        processes = [
+            context.Process(target=_hammer_worker, args=(str(root), seeds, barrier))
+            for _ in range(4)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(120)
+        assert [p.exitcode for p in processes] == [0, 0, 0, 0]
+        store = ResultStore(root)
+        assert len(store) == len(seeds)  # one entry per key, no strays
+        for seed in seeds:
+            assert store.load(spec_of(seed=seed)) is not None
+        assert store.stats().corrupt == 0
+        # The whole set now warms a fresh batch without any solver work.
+        warm = run_batch([spec_of(seed=seed) for seed in seeds], store=root)
+        assert all(r.cache_hit for r in warm.records)

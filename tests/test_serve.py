@@ -368,6 +368,75 @@ class TestStoreTier:
             assert stats["counters"].get("serve.cache_hits", 0) == 0
 
 
+async def _keepalive_requests(port, payloads):
+    """Send ``payloads`` sequentially over ONE keep-alive connection."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    statuses = []
+    try:
+        for i, payload in enumerate(payloads):
+            body = json.dumps(payload).encode("utf-8")
+            connection = "close" if i == len(payloads) - 1 else "keep-alive"
+            head = (
+                f"POST /solve HTTP/1.1\r\n"
+                f"Host: localhost\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: {connection}\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+            status_line = await reader.readline()
+            statuses.append(int(status_line.split()[1]))
+            headers = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                key, _, value = line.decode("latin-1").partition(":")
+                headers[key.strip().lower()] = value.strip()
+            await reader.readexactly(int(headers.get("content-length", 0)))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return statuses
+
+
+class TestConnectionMetrics:
+    def test_keepalive_reuse_is_counted_and_logged(self, tmp_path):
+        log_path = tmp_path / "serve.jsonl"
+        config = ServeConfig(
+            port=0, workers=1, log_path=str(log_path), trace=False
+        )
+        body = solve_body(random_net(5, 3), 0.3, "bkrus")
+        with ServerThread(config) as handle:
+            statuses = asyncio.run(
+                _keepalive_requests(handle.port, [body, body, body])
+            )
+            assert statuses == [200, 200, 200]
+            # A separate one-shot connection for contrast.
+            status, _, _ = request(handle.port, "POST", "/solve", body)
+            assert status == 200
+            _, stats, _ = request(handle.port, "GET", "/stats")
+        counters = stats["counters"]
+        # 3 connections: the keep-alive one, the one-shot, and /stats.
+        assert counters["serve.connections_open"] == 3
+        # Only requests 2..3 of the keep-alive connection were reuses.
+        assert counters["serve.connections_reused"] == 2
+        entries = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+            if line
+        ]
+        assert len(entries) == 4
+        kept, solo = entries[:3], entries[3]
+        assert len({entry["connection_id"] for entry in kept}) == 1
+        assert [entry["connection_request"] for entry in kept] == [1, 2, 3]
+        assert solo["connection_id"] != kept[0]["connection_id"]
+        assert solo["connection_request"] == 1
+
+
 class TestLifecycle:
     def test_graceful_shutdown_refuses_new_connections(self, tmp_path):
         config = ServeConfig(port=0, workers=1, trace=False)

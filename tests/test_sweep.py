@@ -1,0 +1,267 @@
+"""Crash-safe distributed sweeps: grid indexing, manifests, resume.
+
+Exercises :mod:`repro.analysis.sweep` end to end: the compact
+:class:`SweepGrid` materializes exactly the jobs ``expand_grid`` would
+build (same order, same store keys), the queue manifest rejects a
+mismatched grid, serial and multi-process drains complete, and a
+SIGKILLed worker's chunks are reclaimed and finished by survivors with
+zero lost jobs and zero recomputation of already-stored results.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.batch import expand_grid
+from repro.analysis.sweep import SweepGrid, run_sweep
+from repro.core.exceptions import InvalidParameterError
+from repro.instances.random_nets import random_net
+from repro.persistence import ResultStore
+from repro.runtime import chaos
+
+
+def small_grid(**overrides):
+    params = dict(
+        sizes=(5,),
+        cases=2,
+        algorithms=("bkrus", "bprim"),
+        eps_values=(0.2, 0.5),
+    )
+    params.update(overrides)
+    return SweepGrid(**params)
+
+
+class TestSweepGrid:
+    def test_shape(self):
+        grid = small_grid()
+        assert grid.num_nets == 2
+        assert grid.jobs_per_net == 4
+        assert grid.total_jobs == 8
+        assert grid.num_chunks(3) == 3
+        assert grid.num_chunks(100) == 1
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"sizes": ()},
+            {"sizes": (0,)},
+            {"cases": 0},
+            {"algorithms": ()},
+            {"eps_values": ()},
+            {"metric": "chebyshev"},
+        ],
+    )
+    def test_validation(self, overrides):
+        with pytest.raises(InvalidParameterError):
+            small_grid(**overrides)
+
+    def test_unknown_algorithm_fails_validate(self):
+        grid = small_grid(algorithms=("bkrus", "nope"))
+        with pytest.raises(InvalidParameterError):
+            grid.validate()
+
+    def test_iter_range_matches_expand_grid(self):
+        grid = small_grid(sizes=(5, 6), cases=2, eps_values=(0.1, 0.4))
+        nets = [
+            random_net(size, seed)
+            for size in grid.sizes
+            for seed in range(grid.cases)
+        ]
+        expected = expand_grid(
+            nets, list(grid.algorithms), list(grid.eps_values)
+        )
+        produced = list(grid.iter_range(0, grid.total_jobs))
+        assert [i for i, _ in produced] == list(range(grid.total_jobs))
+        assert len(expected) == len(produced)
+        for want, (_, got) in zip(expected, produced):
+            assert got.algorithm == want.algorithm
+            assert got.eps == want.eps
+            assert got.net.name == want.net.name
+            assert got.mst_reference == want.mst_reference
+            # Identical specs must contend for identical store entries.
+            assert ResultStore.spec_key(got) == ResultStore.spec_key(want)
+
+    def test_iter_range_subrange_agrees_with_full_range(self):
+        grid = small_grid()
+        full = dict(grid.iter_range(0, grid.total_jobs))
+        partial = dict(grid.iter_range(3, 6))
+        assert sorted(partial) == [3, 4, 5]
+        for index, spec in partial.items():
+            assert ResultStore.spec_key(spec) == ResultStore.spec_key(
+                full[index]
+            )
+
+    def test_iter_range_clamps(self):
+        grid = small_grid()
+        assert list(grid.iter_range(-5, 10**9))[0][0] == 0
+        assert list(grid.iter_range(grid.total_jobs, 10**9)) == []
+
+    def test_json_roundtrip_and_fingerprint(self):
+        grid = small_grid()
+        clone = SweepGrid.from_json(grid.to_json())
+        assert clone == grid
+        assert clone.fingerprint() == grid.fingerprint()
+        assert small_grid(cases=3).fingerprint() != grid.fingerprint()
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(InvalidParameterError):
+            SweepGrid.from_json("{not json")
+        with pytest.raises(InvalidParameterError):
+            SweepGrid.from_json("[]")
+
+
+class TestSerialSweep:
+    def test_serial_drain_completes(self, tmp_path):
+        grid = small_grid()
+        result = run_sweep(grid, tmp_path / "store", workers=0, chunk_size=3)
+        assert result.complete
+        assert result.num_chunks == 3
+        assert result.completed_chunks == 3
+        assert result.chunk_jobs == grid.total_jobs
+        assert result.chunk_failures == 0
+        assert result.counters["sweep.jobs_executed"] == grid.total_jobs
+        assert result.counters["lease.claimed"] == 3
+        assert result.counters["lease.done"] == 3
+        assert result.worker_exits == [0]
+        assert result.jobs_per_second > 0
+
+    def test_resume_executes_nothing(self, tmp_path):
+        grid = small_grid()
+        run_sweep(grid, tmp_path / "store", workers=0, chunk_size=3)
+        again = run_sweep(grid, tmp_path / "store", workers=0, chunk_size=3)
+        assert again.complete
+        assert again.counters.get("sweep.jobs_executed", 0) == 0
+        assert again.chunk_jobs == grid.total_jobs  # done markers persist
+
+    def test_results_land_in_the_store(self, tmp_path):
+        grid = small_grid()
+        run_sweep(grid, tmp_path / "store", workers=0, chunk_size=4)
+        store = ResultStore(tmp_path / "store")
+        assert len(store) == grid.total_jobs
+        for _, spec in grid.iter_range(0, grid.total_jobs):
+            assert store.load(spec) is not None
+
+    def test_manifest_rejects_a_different_sweep(self, tmp_path):
+        run_sweep(small_grid(), tmp_path / "store", workers=0, chunk_size=3)
+        with pytest.raises(InvalidParameterError):
+            run_sweep(
+                small_grid(cases=3), tmp_path / "store", workers=0, chunk_size=3
+            )
+        with pytest.raises(InvalidParameterError):
+            run_sweep(
+                small_grid(), tmp_path / "store", workers=0, chunk_size=4
+            )
+
+    def test_manifest_contents(self, tmp_path):
+        grid = small_grid()
+        run_sweep(grid, tmp_path / "store", workers=0, chunk_size=3)
+        manifest = json.loads(
+            (tmp_path / "store" / "queue" / "MANIFEST.json").read_text("utf-8")
+        )
+        assert manifest["fingerprint"] == grid.fingerprint()
+        assert manifest["chunk_size"] == 3
+        assert manifest["grid"]["sizes"] == [5]
+
+    def test_separate_queue_directory(self, tmp_path):
+        grid = small_grid()
+        result = run_sweep(
+            grid,
+            tmp_path / "store",
+            queue=tmp_path / "q",
+            workers=0,
+            chunk_size=3,
+        )
+        assert result.complete
+        assert (tmp_path / "q" / "MANIFEST.json").is_file()
+        assert not (tmp_path / "store" / "queue").exists()
+
+
+class TestChaosKill:
+    def test_serial_kill_reclaims_and_finishes(self, tmp_path):
+        # Job 5 dies on attempt 1 (WorkerCrashError in serial mode); the
+        # lease expires and the retry store-hits jobs 3-4 before
+        # recomputing 5 onward.
+        grid = small_grid()
+        policy = chaos.ChaosPolicy(kill_jobs=(5,))
+        with chaos.installed(policy):
+            result = run_sweep(
+                grid,
+                tmp_path / "store",
+                workers=0,
+                chunk_size=3,
+                ttl_seconds=0.1,
+                poll_seconds=0.02,
+            )
+        assert result.complete
+        assert result.chunk_jobs == grid.total_jobs
+        assert result.chunk_failures == 0
+        assert result.counters["lease.reclaimed"] == 1
+        assert result.counters["batch.store_hits"] >= 1
+        # The killed chunk's prefix was answered from the store, not
+        # recomputed: total solver runs stay exactly total_jobs.
+        assert result.counters["batch.store_misses"] == grid.total_jobs
+
+    def test_multiprocess_kill_zero_lost_zero_recompute(self, tmp_path):
+        grid = small_grid(cases=3)  # 12 jobs, 4 chunks
+        policy = chaos.ChaosPolicy(kill_jobs=(4,))
+        with chaos.installed(policy):
+            result = run_sweep(
+                grid,
+                tmp_path / "store",
+                workers=2,
+                chunk_size=3,
+                ttl_seconds=1.0,
+                poll_seconds=0.02,
+                max_seconds=120.0,
+            )
+        assert result.complete
+        assert result.chunk_jobs == grid.total_jobs
+        assert result.chunk_failures == 0
+        assert -9 in result.worker_exits  # one worker really was SIGKILLed
+        # The survivor reclaimed the dead worker's chunk...
+        assert result.counters.get("lease.reclaimed", 0) >= 1
+        # ...and every job ran exactly once across the whole sweep: the
+        # store answered the killed chunk's banked prefix.
+        assert result.counters.get("batch.store_misses", 0) + result.counters.get(
+            "batch.store_hits", 0
+        ) == result.counters.get("sweep.jobs_executed", 0)
+        store = ResultStore(tmp_path / "store")
+        for _, spec in grid.iter_range(0, grid.total_jobs):
+            assert store.load(spec) is not None
+
+
+class TestSweepCli:
+    def test_cli_sweep_distributed(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "sweep",
+                "--store",
+                str(tmp_path / "store"),
+                "--sizes",
+                "5",
+                "--cases",
+                "2",
+                "--algorithms",
+                "bkrus",
+                "--eps-values",
+                "0.2,0.5",
+                "--workers",
+                "0",
+                "--chunk-size",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "jobs" in out
+        store = ResultStore(tmp_path / "store")
+        assert len(store) == 4
+
+    def test_cli_sweep_requires_benchmark_or_store(self, capsys):
+        from repro.cli import main
+
+        code = main(["sweep"])
+        assert code == 2
+        assert "store" in capsys.readouterr().err.lower()
