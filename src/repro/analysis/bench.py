@@ -196,6 +196,43 @@ def _bkst_np_steiner() -> Dict[str, float]:
     return {"total_cost": total_cost}
 
 
+def _obstacle_route() -> Dict[str, float]:
+    """Obstacle/region-aware BKST plus route-segment export.
+
+    Two hard blockages (clear of every terminal of the three nets) and
+    a 2x congestion region across the centre; exercises the costed
+    Dijkstra substrate, corridor re-routing, and collinear segment
+    merging.
+    """
+    from repro.instances.random_nets import random_net
+    from repro.steiner.obstacles import Obstacle, bkst_obstacles
+    from repro.steiner.regions import CostRegion
+
+    obstacles = (
+        Obstacle(40.0, 520.0, 300.0, 700.0),
+        Obstacle(680.0, 400.0, 900.0, 620.0),
+    )
+    cost_regions = (CostRegion(300.0, 300.0, 700.0, 700.0, 2.0),)
+    total_cost = 0.0
+    total_wire = 0.0
+    total_segments = 0.0
+    for seed in (11, 12, 13):
+        tree = bkst_obstacles(
+            random_net(16, seed),
+            0.2,
+            obstacles=obstacles,
+            cost_regions=cost_regions,
+        )
+        total_cost += tree.cost
+        total_wire += tree.wire_length
+        total_segments += len(tree.route_segments())
+    return {
+        "total_cost": total_cost,
+        "total_wire": total_wire,
+        "total_segments": total_segments,
+    }
+
+
 def _gabow_enumerator() -> Dict[str, float]:
     """BMST_G's ordered spanning-tree enumeration on tight bounds."""
     from repro.algorithms.gabow import bmst_gabow
@@ -381,6 +418,7 @@ _QUICK: Tuple[BenchCase, ...] = (
     BenchCase("bkh2_polish", "BKH2 exchange polish, 12-sink net", _bkh2_polish),
     BenchCase("bkst_steiner", "BKST Hanan-grid construction, 6 x 24 sinks", _bkst_steiner),
     BenchCase("bkst_np_steiner", "vectorized BKST backend, same 6 x 24-sink nets", _bkst_np_steiner),
+    BenchCase("obstacle_route", "obstacle/region-aware BKST + segment export, 3 x 16 sinks", _obstacle_route),
     BenchCase("gabow_enumerator", "BMST_G enumeration, 3 x 10 sinks eps=0.02", _gabow_enumerator),
     BenchCase("batch_engine", "serial batch engine, 36-job grid over 48-sink nets", _batch_engine),
     BenchCase("sweep_throughput", "lease-queue sweep scheduler, 60-job serial drain, jobs/second", _sweep_throughput),

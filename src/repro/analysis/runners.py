@@ -32,6 +32,7 @@ from repro.algorithms.spt import spt
 from repro.analysis.metrics import AnyTree, TreeReport, evaluate, timed
 from repro.steiner.bkst import bkst
 from repro.steiner.bkst_np import bkst_np
+from repro.steiner.obstacles import bkst_obstacles
 
 Runner = Callable[[Net, float], AnyTree]
 
@@ -90,6 +91,18 @@ def _bkst_np_runner(net: Net, eps: float):
     return bkst_np(net, eps)
 
 
+def _bkst_obstacles_runner(net: Net, eps: float, obstacles=(), cost_regions=()):
+    """Obstacle/region-aware BKST; extra kwargs flow through ``checked``.
+
+    With no obstacles or effective cost regions this is exactly
+    :func:`_bkst_runner` (same backend dispatch, bit-identical trees),
+    so batch jobs that omit the kwargs behave like plain ``bkst``.
+    """
+    return bkst_obstacles(
+        net, eps, obstacles=obstacles, cost_regions=cost_regions
+    )
+
+
 def _prim_dijkstra_runner(net: Net, eps: float) -> RoutingTree:
     # Map eps in [0, inf) to the mixing weight: large slack -> Prim-like.
     if math.isinf(eps):
@@ -111,6 +124,7 @@ ALGORITHMS: Dict[str, Runner] = {
     "prim_dijkstra": _prim_dijkstra_runner,
     "bkst": _bkst_runner,
     "bkst_np": _bkst_np_runner,
+    "bkst_obstacles": _bkst_obstacles_runner,
 }
 
 HEURISTICS = ("bprim", "brbc", "bkrus", "bkh2")

@@ -2,7 +2,11 @@
 
 Subcommands
 -----------
-``route``   — run one algorithm on a benchmark and print its report.
+``route``   — run one algorithm on a benchmark and print its report;
+              ``--obstacle``/``--cost-region`` route around blockages
+              and through weighted regions (``bkst_obstacles``), and
+              ``--segments-json`` exports the tree as collinear-merged
+              wire segments.
 ``solve``   — run one algorithm under a deadline/node budget with an
               optional fallback chain; prints the anytime outcome.
 ``batch``   — benchmarks x algorithms x eps grid through the parallel
@@ -32,6 +36,9 @@ Subcommands
 Examples::
 
     repro-cli route --benchmark p3 --algorithm bkrus --eps 0.25
+    repro-cli route --benchmark rnd8_3 --algorithm bkst_obstacles \
+        --obstacle 550,550,850,850 --cost-region 100,100,500,500,2.5 \
+        --segments-json routes.json
     repro-cli batch --benchmarks p1,p2,p3 --algorithms mst,bkrus,bprim \
         --eps-list 0.1 0.2 inf --n-jobs 4
     repro-cli sweep --benchmark p4 --algorithm bkrus
@@ -68,8 +75,61 @@ def _load_net(args: argparse.Namespace):
     return registry.load(args.benchmark, scale=getattr(args, "scale", None))
 
 
+def _parse_obstacle(text: str):
+    from repro.steiner.obstacles import Obstacle
+
+    parts = text.split(",")
+    if len(parts) != 4:
+        raise argparse.ArgumentTypeError(
+            f"expected XMIN,YMIN,XMAX,YMAX, got {text!r}"
+        )
+    return Obstacle(*(float(p) for p in parts))
+
+
+def _parse_cost_region(text: str):
+    from repro.steiner.regions import CostRegion
+
+    parts = text.split(",")
+    if len(parts) != 5:
+        raise argparse.ArgumentTypeError(
+            f"expected XMIN,YMIN,XMAX,YMAX,MULT, got {text!r}"
+        )
+    return CostRegion(*(float(p) for p in parts))
+
+
+def _route_payload(args, net, tree, seconds) -> dict:
+    """The ``route --segments-json`` document (segment list + metrics)."""
+    segments = tree.route_segments()
+    if tree.bound_radius is not None:
+        radius = tree.bound_radius
+    else:
+        radius = net.radius()
+    bound = (1.0 + args.eps) * radius if math.isfinite(args.eps) else None
+    return {
+        "benchmark": net.name or "?",
+        "algorithm": args.algorithm,
+        "eps": args.eps if math.isfinite(args.eps) else "inf",
+        "cost": tree.cost,
+        "wire_length": tree.wire_length,
+        "longest_sink_path": tree.longest_sink_path(),
+        "radius": radius,
+        "bound": bound,
+        "num_obstacles": len(args.obstacle or ()),
+        "num_cost_regions": len(args.cost_region or ()),
+        "num_blocked_edges": tree.grid.num_blocked_edges,
+        "num_costed_edges": tree.grid.num_costed_edges,
+        "total_segment_length": sum(s.length for s in segments),
+        "cpu_seconds": seconds,
+        "segments": [s.as_dict() for s in segments],
+    }
+
+
 def _cmd_route(args: argparse.Namespace) -> int:
     net = _load_net(args)
+    obstacles = list(args.obstacle or ())
+    regions = list(args.cost_region or ())
+    if obstacles or regions or args.segments_json:
+        return _cmd_route_export(args, net, obstacles, regions)
     report = run(args.algorithm, net, args.eps)
     rows = [
         ("algorithm", report.algorithm),
@@ -83,6 +143,60 @@ def _cmd_route(args: argparse.Namespace) -> int:
         ("cpu seconds", f"{report.cpu_seconds:.4f}"),
     ]
     print(format_table(["quantity", "value"], rows))
+    return 0
+
+
+def _cmd_route_export(args, net, obstacles, regions) -> int:
+    """The obstacle/region-aware ``route`` path with segment export.
+
+    Runs the algorithm directly (the report path only keeps summary
+    metrics, not the tree), prints the usual report table — unless the
+    JSON goes to stdout, which must stay parseable — and writes the
+    segment document.
+    """
+    import json
+
+    from repro.analysis.metrics import timed
+    from repro.analysis.runners import get_runner
+    from repro.steiner.bkst import SteinerTree
+
+    kwargs = {}
+    if obstacles or regions:
+        if args.algorithm != "bkst_obstacles":
+            raise ReproError(
+                "--obstacle/--cost-region need --algorithm bkst_obstacles "
+                f"(got {args.algorithm!r})"
+            )
+        kwargs = {"obstacles": obstacles, "cost_regions": regions}
+    tree, seconds = timed(get_runner(args.algorithm), net, args.eps, **kwargs)
+    if not isinstance(tree, SteinerTree):
+        raise ReproError(
+            f"{args.algorithm!r} does not produce grid-realised trees; "
+            "segment export needs a Steiner algorithm "
+            "(bkst, bkst_np, bkst_obstacles)"
+        )
+    payload = _route_payload(args, net, tree, seconds)
+    to_stdout = args.segments_json in (None, "-")
+    if not to_stdout:
+        with open(args.segments_json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        rows = [
+            ("algorithm", args.algorithm),
+            ("benchmark", payload["benchmark"]),
+            ("eps", format_eps(args.eps)),
+            ("cost", f"{payload['cost']:.4f}"),
+            ("wire length", f"{payload['wire_length']:.4f}"),
+            ("longest path", f"{payload['longest_sink_path']:.4f}"),
+            ("bound", f"{payload['bound']:.4f}" if payload["bound"] is not None else "inf"),
+            ("obstacles", str(payload["num_obstacles"])),
+            ("cost regions", str(payload["num_cost_regions"])),
+            ("segments", str(len(payload["segments"]))),
+            ("segments written to", args.segments_json),
+        ]
+        print(format_table(["quantity", "value"], rows))
+    else:
+        print(json.dumps(payload, indent=2))
     return 0
 
 
@@ -635,6 +749,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     route.add_argument("--eps", type=_parse_eps, default=0.2)
     route.add_argument("--scale", type=float, default=None)
+    route.add_argument(
+        "--obstacle",
+        type=_parse_obstacle,
+        action="append",
+        metavar="XMIN,YMIN,XMAX,YMAX",
+        help=(
+            "rectangular blockage (repeatable); needs "
+            "--algorithm bkst_obstacles"
+        ),
+    )
+    route.add_argument(
+        "--cost-region",
+        type=_parse_cost_region,
+        action="append",
+        metavar="XMIN,YMIN,XMAX,YMAX,MULT",
+        help=(
+            "weighted region with cost multiplier >= 1 (repeatable; inf "
+            "blocks); needs --algorithm bkst_obstacles"
+        ),
+    )
+    route.add_argument(
+        "--segments-json",
+        metavar="PATH",
+        default=None,
+        help=(
+            "export the tree as collinear-merged wire segments to PATH "
+            "('-' for stdout; Steiner algorithms only)"
+        ),
+    )
     route.set_defaults(func=_cmd_route)
 
     solve = sub.add_parser(

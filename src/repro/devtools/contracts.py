@@ -55,9 +55,15 @@ BOUND_GUARANTEED = frozenset(
         "bmst_g",
         "bkst",
         "bkst_np",
+        "bkst_obstacles",
     }
 )
-"""Algorithms whose output must satisfy ``path <= (1 + eps) * R``."""
+"""Algorithms whose output must satisfy ``path <= (1 + eps) * R``.
+
+``R`` is the net's geometric radius, except for trees that carry a
+``bound_radius`` override (``bkst_obstacles``), whose bound is checked
+against the costed shortest-path radius instead — see
+:meth:`repro.steiner.bkst.SteinerTree.satisfies_bound`."""
 
 UNBOUNDED = frozenset({"mst", "prim_dijkstra"})
 """Unbounded anchors: their trees are still structurally validated, but

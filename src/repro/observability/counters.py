@@ -137,6 +137,23 @@ _SPECS: List[CounterSpec] = [
         "attempts",
         "construction restarts with stranded sinks pre-wired",
     ),
+    # Route layer — obstacle/cost-region grids and segment export
+    # (repro.steiner.obstacles / repro.steiner.routes).
+    CounterSpec(
+        "route.blocked_edges",
+        "edges",
+        "grid edges removed by obstacles in the routing substrate",
+    ),
+    CounterSpec(
+        "route.costed_edges",
+        "edges",
+        "grid edges carrying a non-unit cost-region factor",
+    ),
+    CounterSpec(
+        "route.segments",
+        "segments",
+        "collinear-merged wire runs exported from a tree",
+    ),
     # Runtime layer — budgets and fallback chains (repro.runtime).
     CounterSpec(
         "budget.checkpoints",

@@ -9,11 +9,15 @@ from repro.steiner.iterated_one_steiner import (
     steiner_ratio,
 )
 from repro.steiner.obstacles import (
+    bkst_obstacles,
     Obstacle,
     obstacle_grid,
     obstacle_mst,
     obstacle_spt,
+    total_blocked_area,
 )
+from repro.steiner.regions import CostRegion, region_grid
+from repro.steiner.routes import RouteSegment, route_segments
 
 __all__ = [
     "bkst",
@@ -25,8 +29,14 @@ __all__ = [
     "PointSteinerTree",
     "iterated_one_steiner",
     "steiner_ratio",
+    "bkst_obstacles",
     "Obstacle",
     "obstacle_grid",
     "obstacle_mst",
     "obstacle_spt",
+    "total_blocked_area",
+    "CostRegion",
+    "region_grid",
+    "RouteSegment",
+    "route_segments",
 ]

@@ -47,26 +47,44 @@ from repro.observability import incr, span, tracing_active
 from repro.runtime.budget import Budget, active_budget
 from repro.steiner.grid_graph import GridGraph
 from repro.steiner.hanan import hanan_grid
+from repro.steiner.routes import RouteSegment, route_segments
 
 
 class SteinerTree:
-    """A rectilinear Steiner tree of a net, realised on a grid graph."""
+    """A rectilinear Steiner tree of a net, realised on a grid graph.
+
+    All metric accessors (:attr:`cost`, path lengths, the eps bound)
+    use the grid's *costed* edge lengths, which coincide with geometric
+    wire lengths on grids without cost regions.  ``bound_radius``
+    overrides the radius the eps bound is measured against — the
+    obstacle-aware constructions pass the costed shortest-path radius,
+    since the net's geometric radius is unreachable around blockages.
+    """
 
     def __init__(
         self,
         net: Net,
         grid: GridGraph,
         edges: Sequence[Tuple[int, int]],
+        bound_radius: Optional[float] = None,
     ) -> None:
         self.net = net
         self.grid = grid
         self.edges: Tuple[Tuple[int, int], ...] = tuple(sorted(set(edges)))
+        self.bound_radius = bound_radius
         self._adjacency: Optional[Dict[int, List[Tuple[int, float]]]] = None
         self._source_paths: Optional[Dict[int, float]] = None
 
     @property
     def cost(self) -> float:
-        """Total wire length (each grid edge counted once)."""
+        """Total costed length (each grid edge counted once)."""
+        return float(
+            sum(self.grid.edge_cost(u, v) for u, v in self.edges)
+        )
+
+    @property
+    def wire_length(self) -> float:
+        """Total geometric wire length, ignoring region cost factors."""
         return float(
             sum(self.grid.edge_length(u, v) for u, v in self.edges)
         )
@@ -75,11 +93,15 @@ class SteinerTree:
         if self._adjacency is None:
             adjacency: Dict[int, List[Tuple[int, float]]] = {}
             for u, v in self.edges:
-                length = self.grid.edge_length(u, v)
+                length = self.grid.edge_cost(u, v)
                 adjacency.setdefault(u, []).append((v, length))
                 adjacency.setdefault(v, []).append((u, length))
             self._adjacency = adjacency
         return self._adjacency
+
+    def route_segments(self) -> "List[RouteSegment]":
+        """The tree as collinear-merged axis-aligned wire runs."""
+        return route_segments(self.grid, list(self.edges))
 
     def nodes(self) -> Set[int]:
         used: Set[int] = set()
@@ -124,7 +146,12 @@ class SteinerTree:
         return max(self.sink_path_lengths().values())
 
     def satisfies_bound(self, eps: float, tolerance: float = 1e-9) -> bool:
-        bound = self.net.path_bound(eps) if math.isfinite(eps) else math.inf
+        if not math.isfinite(eps):
+            bound = math.inf
+        elif self.bound_radius is not None:
+            bound = (1.0 + eps) * self.bound_radius
+        else:
+            bound = self.net.path_bound(eps)
         return self.longest_sink_path() <= bound + tolerance
 
     def is_connected_tree(self) -> bool:
@@ -201,7 +228,7 @@ class _GridForest:
         """Union two components via a single grid edge; False on cycle."""
         if self.sets.connected(u, v):
             return False
-        d = self.grid.edge_length(u, v)
+        d = self.grid.edge_cost(u, v)
         mu = np.asarray(self.sets.members_view(u), dtype=int)
         mv = np.asarray(self.sets.members_view(v), dtype=int)
         cross = self.P[mu, u][:, None] + d + self.P[v, mv][None, :]
@@ -327,8 +354,14 @@ class _PathRealiser:
         return "X"
 
     def _corridors(self, nodes: List[int], a: int, b: int):
-        """Yield (length, segment) corridors along one route."""
+        """Yield (length, segment) corridors along one route.
+
+        Lengths are *costed* (identical to wire length on uncosted
+        grids).  On a blocked grid, corridors crossing an obstacle are
+        skipped — the walk exists geometrically but is unroutable.
+        """
         labels = [self._classify(node, a, b) for node in nodes]
+        blocked = self.grid.num_blocked_edges > 0
         n = len(nodes)
         for i in range(n):
             if labels[i] not in ("A", "B"):
@@ -338,6 +371,8 @@ class _PathRealiser:
                 j += 1
             if j < n and labels[j] in ("A", "B") and labels[j] != labels[i]:
                 segment = nodes[i : j + 1]
+                if blocked and not self.grid.is_walk_routable(segment):
+                    continue
                 yield self.grid.path_cost(segment), segment
 
     def corridor_candidates(self, a: int, b: int) -> List[Tuple[float, List[int]]]:

@@ -81,7 +81,7 @@ class _GridForestNP(_GridForest):
         root_v = comp[v]
         if root_u == root_v:
             return False
-        d = self.grid.edge_length(u, v)
+        d = self.grid.edge_cost(u, v)
         mu = np.asarray(sets.members_view(u), dtype=np.int64)
         mv = np.asarray(sets.members_view(v), dtype=np.int64)
         P = self.P

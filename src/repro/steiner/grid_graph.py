@@ -9,6 +9,18 @@ Nodes are integer ids in row-major order (``id = row * num_cols + col``,
 row indexing the sorted y values).  Edges connect horizontally and
 vertically adjacent crossings and are weighted by geometric distance,
 so every distance on the graph is a rectilinear wire length.
+
+Two per-edge annotations modify that base metric:
+
+* **Blocked edges** (:meth:`GridGraph.add_obstacle`) are removed from
+  the adjacency entirely — wires cannot cross an obstacle interior.
+* **Cost factors** (:meth:`GridGraph.add_cost_region`) multiply an
+  edge's geometric length by a region multiplier ``>= 1``; routing
+  then minimises *costed* length (:meth:`GridGraph.edge_cost`) while
+  the geometric wire length stays available via
+  :meth:`GridGraph.edge_length`.  An infinite multiplier degenerates
+  to blocking, so obstacles are the ``inf``-cost special case of the
+  same registration seam.
 """
 
 from __future__ import annotations
@@ -44,6 +56,9 @@ class GridGraph:
         self.terminal_ids: Dict[int, int] = {}
         # Edges removed by obstacles (canonical (min, max) node pairs).
         self._blocked: set = set()
+        # Multiplicative cost factors (canonical edge pair -> factor > 1);
+        # absent edges cost their geometric length.
+        self._cost: Dict[Tuple[int, int], float] = {}
         # Lazily built per-node coordinate arrays (node id -> x / y).
         self._node_xy: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
@@ -101,7 +116,12 @@ class GridGraph:
     # Adjacency
     # ------------------------------------------------------------------
     def neighbors(self, node: int) -> Iterator[Tuple[int, float]]:
-        """Adjacent crossings with edge lengths (blocked edges omitted)."""
+        """Adjacent crossings with *costed* edge lengths.
+
+        Blocked edges are omitted; edges inside a cost region carry
+        their geometric length times the accumulated region factor
+        (identical to the plain length on an uncosted grid).
+        """
         row, col = divmod(node, self.num_cols)
         candidates = []
         if col > 0:
@@ -116,16 +136,27 @@ class GridGraph:
             candidates.append(
                 (node + self.num_cols, self.ys[row + 1] - self.ys[row])
             )
+        blocked = self._blocked
+        cost = self._cost
         for neighbor, length in candidates:
-            if not self.is_blocked(node, neighbor):
-                yield neighbor, length
+            pair = (node, neighbor) if node < neighbor else (neighbor, node)
+            if pair in blocked:
+                continue
+            if cost:
+                length *= cost.get(pair, 1.0)
+            yield neighbor, length
 
     # ------------------------------------------------------------------
-    # Obstacles
+    # Obstacles and cost regions
     # ------------------------------------------------------------------
     @property
     def num_blocked_edges(self) -> int:
         return len(self._blocked)
+
+    @property
+    def num_costed_edges(self) -> int:
+        """Edges carrying a non-unit cost factor."""
+        return len(self._cost)
 
     def is_blocked(self, a: int, b: int) -> bool:
         return (min(a, b), max(a, b)) in self._blocked
@@ -144,6 +175,32 @@ class GridGraph:
     def unblock_edge(self, a: int, b: int) -> None:
         self._blocked.discard((min(a, b), max(a, b)))
 
+    def _interior_edges(
+        self, min_x: float, min_y: float, max_x: float, max_y: float
+    ) -> Iterator[Tuple[int, int]]:
+        """Canonical edge pairs crossing the *open* rectangle interior.
+
+        Edges along the rectangle boundary are excluded (wires may hug
+        an obstacle or region edge), matching channel-intersection-graph
+        semantics.
+        """
+        xs = np.asarray(self.xs)
+        ys = np.asarray(self.ys)
+        ncols = self.num_cols
+        # Horizontal edges: rows strictly inside the y-range crossed with
+        # column intervals overlapping the x-range.
+        rows = np.flatnonzero((min_y < ys) & (ys < max_y))
+        cols = np.flatnonzero((xs[:-1] < max_x) & (xs[1:] > min_x))
+        if rows.size and cols.size:
+            nodes = (rows[:, None] * ncols + cols[None, :]).ravel()
+            yield from zip(nodes.tolist(), (nodes + 1).tolist())
+        # Vertical edges, symmetrically.
+        vcols = np.flatnonzero((min_x < xs) & (xs < max_x))
+        vrows = np.flatnonzero((ys[:-1] < max_y) & (ys[1:] > min_y))
+        if vcols.size and vrows.size:
+            nodes = (vrows[:, None] * ncols + vcols[None, :]).ravel()
+            yield from zip(nodes.tolist(), (nodes + ncols).tolist())
+
     def add_obstacle(
         self, min_x: float, min_y: float, max_x: float, max_y: float
     ) -> int:
@@ -156,107 +213,152 @@ class GridGraph:
         if min_x > max_x or min_y > max_y:
             raise InvalidParameterError("obstacle rectangle is inverted")
         blocked_before = len(self._blocked)
-        xs = np.asarray(self.xs)
-        ys = np.asarray(self.ys)
-        ncols = self.num_cols
-        # Horizontal edges: rows strictly inside the y-range crossed with
-        # column intervals overlapping the x-range.
-        rows = np.flatnonzero((min_y < ys) & (ys < max_y))
-        cols = np.flatnonzero((xs[:-1] < max_x) & (xs[1:] > min_x))
-        if rows.size and cols.size:
-            nodes = (rows[:, None] * ncols + cols[None, :]).ravel()
-            self._blocked.update(
-                zip(nodes.tolist(), (nodes + 1).tolist())
-            )
-        # Vertical edges, symmetrically.
-        vcols = np.flatnonzero((min_x < xs) & (xs < max_x))
-        vrows = np.flatnonzero((ys[:-1] < max_y) & (ys[1:] > min_y))
-        if vcols.size and vrows.size:
-            nodes = (vrows[:, None] * ncols + vcols[None, :]).ravel()
-            self._blocked.update(
-                zip(nodes.tolist(), (nodes + ncols).tolist())
-            )
+        self._blocked.update(
+            self._interior_edges(min_x, min_y, max_x, max_y)
+        )
         return len(self._blocked) - blocked_before
 
+    def add_cost_region(
+        self,
+        min_x: float,
+        min_y: float,
+        max_x: float,
+        max_y: float,
+        multiplier: float,
+    ) -> int:
+        """Scale every edge crossing the open rectangle interior.
+
+        ``multiplier`` must be ``>= 1``: routing through the region can
+        only get more expensive, never cheaper, so costed shortest-path
+        distances dominate geometric ones.  ``inf`` degenerates to
+        :meth:`add_obstacle` (an unroutable region); ``1.0`` is a no-op
+        that leaves the grid bit-identical to an uncosted one.
+        Overlapping regions multiply.  Returns the number of edges whose
+        factor changed.
+        """
+        if min_x > max_x or min_y > max_y:
+            raise InvalidParameterError("cost region rectangle is inverted")
+        multiplier = float(multiplier)
+        if math.isnan(multiplier) or multiplier < 1.0:
+            raise InvalidParameterError(
+                f"cost multiplier must be >= 1.0, got {multiplier}"
+            )
+        if math.isinf(multiplier):
+            return self.add_obstacle(min_x, min_y, max_x, max_y)
+        if multiplier == 1.0:  # lint: disable=R002 (1.0 is the exact identity sentinel; near-1 multipliers are real factors)
+            return 0
+        affected = 0
+        for pair in self._interior_edges(min_x, min_y, max_x, max_y):
+            self._cost[pair] = self._cost.get(pair, 1.0) * multiplier
+            affected += 1
+        return affected
+
     def edge_length(self, a: int, b: int) -> float:
-        if not self._blocked:
-            row_a, col_a = divmod(a, self.num_cols)
-            row_b, col_b = divmod(b, self.num_cols)
-            if row_a == row_b and abs(col_a - col_b) == 1:
-                return abs(self.xs[col_a] - self.xs[col_b])
-            if col_a == col_b and abs(row_a - row_b) == 1:
-                return abs(self.ys[row_a] - self.ys[row_b])
+        """Geometric length of one routable grid edge.
+
+        Raises when ``(a, b)`` is not grid-adjacent or is blocked by an
+        obstacle; cost factors do not change the result (see
+        :meth:`edge_cost` for the routing metric).
+        """
+        row_a, col_a = divmod(a, self.num_cols)
+        row_b, col_b = divmod(b, self.num_cols)
+        if row_a == row_b and abs(col_a - col_b) == 1:
+            length = abs(self.xs[col_a] - self.xs[col_b])
+        elif col_a == col_b and abs(row_a - row_b) == 1:
+            length = abs(self.ys[row_a] - self.ys[row_b])
+        else:
             raise InvalidParameterError(f"({a}, {b}) is not a grid edge")
-        for neighbor, length in self.neighbors(a):
-            if neighbor == b:
-                return length
-        raise InvalidParameterError(f"({a}, {b}) is not a grid edge")
+        if self._blocked and self.is_blocked(a, b):
+            raise InvalidParameterError(f"({a}, {b}) is not a grid edge")
+        return length
+
+    def edge_cost(self, a: int, b: int) -> float:
+        """Costed length of one routable grid edge.
+
+        Equals :meth:`edge_length` times the edge's accumulated region
+        factor — and exactly :meth:`edge_length` on an uncosted grid.
+        """
+        length = self.edge_length(a, b)
+        if not self._cost:
+            return length
+        pair = (a, b) if a < b else (b, a)
+        return length * self._cost.get(pair, 1.0)
 
     # ------------------------------------------------------------------
     # Paths
     # ------------------------------------------------------------------
     def shortest_path_length(self, a: int, b: int) -> float:
-        """Shortest routable path length between two crossings.
+        """Shortest routable *costed* path length between two crossings.
 
-        Equals the Manhattan distance on an unblocked grid; with
-        obstacles present a Dijkstra search runs instead.  Returns
-        ``math.inf`` when no route exists.
+        Equals the Manhattan distance on an unblocked, uncosted grid;
+        with obstacles or cost regions present a Dijkstra search runs
+        instead.  Returns ``math.inf`` when no route exists.
         """
-        if not self._blocked:
+        if not self._blocked and not self._cost:
             return self.manhattan(a, b)
-        dist = self.dijkstra_distances(a)
+        dist, _ = self.dijkstra_tree(a)
         return dist.get(b, math.inf)
 
     def shortest_path_nodes(self, a: int, b: int) -> List[int]:
         """One shortest routable node walk from ``a`` to ``b``.
 
-        Raises :class:`InvalidParameterError` when ``b`` is unreachable.
+        Ties are broken exactly like :meth:`dijkstra_tree` (the walk is
+        the tree path).  Raises :class:`InvalidParameterError` when
+        ``b`` is unreachable.
         """
-        dist: Dict[int, float] = {a: 0.0}
-        parent: Dict[int, int] = {a: -1}
-        heap: List[Tuple[float, int]] = [(0.0, a)]
-        done = set()
-        while heap:
-            d, node = heapq.heappop(heap)
-            if node in done:
-                continue
-            if node == b:
-                break
-            done.add(node)
-            for neighbor, length in self.neighbors(node):
-                candidate = d + length
-                if neighbor not in dist or candidate < dist[neighbor] - 1e-12:
-                    dist[neighbor] = candidate
-                    parent[neighbor] = node
-                    heapq.heappush(heap, (candidate, neighbor))
-        if b not in parent and b != a:
+        _, parent = self.dijkstra_tree(a, target=b)
+        if b not in parent:
             raise InvalidParameterError(
                 f"no route between {a} and {b} (obstacles disconnect them)"
             )
         walk = [b]
         node = b
-        while parent.get(node, -1) != -1:
+        while parent[node] != -1:
             node = parent[node]
             walk.append(node)
         walk.reverse()
         return walk
 
-    def dijkstra_distances(self, source: int) -> Dict[int, float]:
-        """Reference Dijkstra over the grid (tests cross-check it against
-        :meth:`manhattan`; kept for future blocked-edge variants)."""
-        dist = {source: 0.0}
-        heap = [(0.0, source)]
+    def dijkstra_tree(
+        self, source: int, target: Optional[int] = None
+    ) -> Tuple[Dict[int, float], Dict[int, int]]:
+        """Costed shortest-path distances and parents from ``source``.
+
+        Relaxation compares float distances *exactly*; among equal-cost
+        predecessors the smallest parent id wins, so the returned tree
+        is a deterministic function of the grid alone — independent of
+        heap insertion and neighbor iteration order.  Passing ``target``
+        stops the scan once that node's entry is final (every candidate
+        predecessor sits strictly closer and has already relaxed it).
+        Unreachable nodes are absent from both maps.
+        """
+        dist: Dict[int, float] = {source: 0.0}
+        parent: Dict[int, int] = {source: -1}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
         done = set()
         while heap:
             d, node = heapq.heappop(heap)
             if node in done:
                 continue
+            if node == target:
+                break
             done.add(node)
             for neighbor, length in self.neighbors(node):
                 candidate = d + length
-                if neighbor not in dist or candidate < dist[neighbor] - 1e-12:
+                known = dist.get(neighbor)
+                better = known is None or candidate < known
+                if not better and candidate == known:  # lint: disable=R002 (exact ties resolve to the smallest parent id; an epsilon would make tie-breaking order-dependent)
+                    better = node < parent[neighbor]
+                if better:
                     dist[neighbor] = candidate
+                    parent[neighbor] = node
                     heapq.heappush(heap, (candidate, neighbor))
+        return dist, parent
+
+    def dijkstra_distances(self, source: int) -> Dict[int, float]:
+        """Costed shortest-path distances from ``source`` (tests
+        cross-check the uncosted case against :meth:`manhattan`)."""
+        dist, _ = self.dijkstra_tree(source)
         return dist
 
     def segment_nodes(self, a: int, b: int) -> List[int]:
@@ -322,15 +424,29 @@ class GridGraph:
         corner = min(candidates, key=corner_key)
         return self.l_path_nodes(a, b, corner)
 
-    def path_cost(self, nodes: List[int]) -> float:
-        """Total wire length of a node walk along grid edges.
+    def is_walk_routable(self, nodes: List[int]) -> bool:
+        """True when consecutive nodes are grid-adjacent and unblocked."""
+        ncols = self.num_cols
+        for u, v in zip(nodes, nodes[1:]):
+            row_u, col_u = divmod(u, ncols)
+            row_v, col_v = divmod(v, ncols)
+            adjacent = (row_u == row_v and abs(col_u - col_v) == 1) or (
+                col_u == col_v and abs(row_u - row_v) == 1
+            )
+            if not adjacent or self.is_blocked(u, v):
+                return False
+        return True
 
-        On an unblocked grid the per-edge lengths come from one
+    def path_cost(self, nodes: List[int]) -> float:
+        """Total *costed* length of a node walk along grid edges.
+
+        Equals the total wire length on an uncosted grid.  On an
+        unblocked, uncosted grid the per-edge lengths come from one
         vectorized coordinate gather; the running sum stays sequential
         (Python ``sum``) so the float result is identical to the
         edge-at-a-time loop.
         """
-        if not self._blocked and len(nodes) > 16:
+        if not self._blocked and not self._cost and len(nodes) > 16:
             idx = np.asarray(nodes, dtype=np.int64)
             rows, cols = np.divmod(idx, self.num_cols)
             hops = np.abs(rows[1:] - rows[:-1]) + np.abs(cols[1:] - cols[:-1])
@@ -346,7 +462,7 @@ class GridGraph:
             return total
         total = 0.0
         for u, v in zip(nodes, nodes[1:]):
-            total += self.edge_length(u, v)
+            total += self.edge_cost(u, v)
         return total
 
 

@@ -13,29 +13,54 @@ provides obstacle-aware tree constructions on it:
   source (minimum-radius anchor);
 * :func:`obstacle_mst` — Kruskal over terminals with grid shortest-path
   distances, realised as grid routes with cycle edges skipped (a
-  low-cost anchor analogous to the MST).
+  low-cost anchor analogous to the MST);
+* :func:`bkst_obstacles` — the bounded path length Steiner construction
+  on blocked and weighted grids, where feasibility and the eps bound
+  are evaluated on *costed* shortest-path lengths
+  (:class:`~repro.steiner.regions.CostRegion` multipliers; obstacles
+  are the infinite-cost degenerate case).
 
-Both return :class:`~repro.steiner.bkst.SteinerTree` objects, so all
-validation/rendering machinery applies.
+All constructions return :class:`~repro.steiner.bkst.SteinerTree`
+objects, so the validation/rendering machinery applies throughout.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
+from repro.core.backends import use_numpy
 from repro.core.disjoint_set import DisjointSet
 from repro.core.exceptions import InfeasibleError, InvalidParameterError
 from repro.core.net import Net, SOURCE
-from repro.steiner.bkst import SteinerTree
+from repro.observability import incr, span, tracing_active
+from repro.runtime.budget import Budget, active_budget
+from repro.steiner.bkst import (
+    SteinerTree,
+    _attach_leftovers,
+    _GridForest,
+    _PathRealiser,
+    bkst,
+)
+from repro.steiner.bkst_np import _GridForestNP, bkst_np
 from repro.steiner.grid_graph import GridGraph
-from repro.steiner.hanan import hanan_coordinates
+from repro.steiner.regions import CostRegion, effective_regions, region_grid
 
 
 @dataclass(frozen=True)
 class Obstacle:
-    """A rectangular blockage (a macro, a pre-route, a keep-out)."""
+    """A rectangular blockage (a macro, a pre-route, a keep-out).
+
+    Rectangles must have strictly positive area: a zero-width or
+    zero-height "obstacle" would inject grid lines into the routing
+    graph yet block nothing (only edges crossing the *open* interior
+    are removed), which is never what the caller meant.
+    """
 
     min_x: float
     min_y: float
@@ -45,6 +70,10 @@ class Obstacle:
     def __post_init__(self) -> None:
         if self.min_x > self.max_x or self.min_y > self.max_y:
             raise InvalidParameterError(f"inverted obstacle: {self}")
+        if self.min_x == self.max_x or self.min_y == self.max_y:
+            raise InvalidParameterError(
+                f"obstacle must have positive area: {self}"
+            )
 
     def contains_point(self, point: Tuple[float, float]) -> bool:
         """Is ``point`` strictly inside the blockage?"""
@@ -60,29 +89,11 @@ def obstacle_grid(net: Net, obstacles: Sequence[Obstacle]) -> GridGraph:
     Grid lines run through every terminal coordinate and every obstacle
     boundary, so routes can hug blockages; edges through obstacle
     interiors are removed.  Terminals inside an obstacle are rejected.
+    The cost-region generalisation is
+    :func:`~repro.steiner.regions.region_grid`, of which this is the
+    no-regions special case.
     """
-    points = [net.point(node) for node in range(net.num_terminals)]
-    for obstacle in obstacles:
-        for node, point in enumerate(points):
-            if obstacle.contains_point(point):
-                raise InvalidParameterError(
-                    f"terminal {node} at {point} lies inside {obstacle}"
-                )
-    xs, ys = hanan_coordinates(points)
-    extra_xs = {o.min_x for o in obstacles} | {o.max_x for o in obstacles}
-    extra_ys = {o.min_y for o in obstacles} | {o.max_y for o in obstacles}
-    grid = GridGraph(
-        sorted(set(xs) | extra_xs),
-        sorted(set(ys) | extra_ys),
-    )
-    grid.terminal_ids = {
-        node: grid.id_at(net.point(node)) for node in range(net.num_terminals)
-    }
-    for obstacle in obstacles:
-        grid.add_obstacle(
-            obstacle.min_x, obstacle.min_y, obstacle.max_x, obstacle.max_y
-        )
-    return grid
+    return region_grid(net, obstacles, ())
 
 
 def _route_edges(
@@ -96,43 +107,38 @@ def _route_edges(
             edges.append((min(u, v), max(u, v)))
 
 
+def _parent_walk(parent: Dict[int, int], target: int) -> List[int]:
+    """The root-to-``target`` node walk of one Dijkstra parent tree."""
+    walk = [target]
+    while parent[walk[-1]] != -1:  # lint: disable=R103 (walk length is bounded by the grid diameter; no solver work per step)
+        walk.append(parent[walk[-1]])
+    walk.reverse()
+    return walk
+
+
 def obstacle_spt(net: Net, obstacles: Sequence[Obstacle]) -> SteinerTree:
     """Union of grid shortest paths from the source to every sink.
 
     The minimum-radius construction on the blocked substrate: every
     sink's tree path is a shortest routable path (paths to different
-    sinks share prefixes where Dijkstra's parents coincide).
+    sinks share prefixes where Dijkstra's parents coincide).  The
+    parent tree comes from
+    :meth:`~repro.steiner.grid_graph.GridGraph.dijkstra_tree`, whose
+    exact ``(dist, node)`` tie-breaking makes the result a
+    deterministic function of the instance — no dependence on heap or
+    neighbor iteration order.
     """
     grid = obstacle_grid(net, obstacles)
     source_gid = grid.terminal_ids[SOURCE]
     sets = DisjointSet(grid.num_nodes)
     edges: List[Tuple[int, int]] = []
     # One Dijkstra, shared parents -> a genuine shortest path tree.
-    import heapq
-
-    dist = {source_gid: 0.0}
-    parent = {source_gid: -1}
-    heap = [(0.0, source_gid)]
-    done = set()
-    while heap:
-        d, node = heapq.heappop(heap)
-        if node in done:
-            continue
-        done.add(node)
-        for neighbor, length in grid.neighbors(node):
-            candidate = d + length
-            if neighbor not in dist or candidate < dist[neighbor] - 1e-12:
-                dist[neighbor] = candidate
-                parent[neighbor] = node
-                heapq.heappush(heap, (candidate, neighbor))
+    _, parent = grid.dijkstra_tree(source_gid)
     for node in range(1, net.num_terminals):
         gid = grid.terminal_ids[node]
         if gid not in parent:
             raise InfeasibleError(f"sink {node} is walled off by obstacles")
-        walk = [gid]
-        while parent[walk[-1]] != -1:
-            walk.append(parent[walk[-1]])
-        _route_edges(grid, walk, sets, edges)
+        _route_edges(grid, _parent_walk(parent, gid), sets, edges)
     return SteinerTree(net, grid, edges)
 
 
@@ -143,14 +149,27 @@ def obstacle_mst(net: Net, obstacles: Sequence[Obstacle]) -> SteinerTree:
     realised as grid routes with cycle edges skipped, so shared channel
     segments are reused (the result is a Steiner tree, usually cheaper
     than the sum of its pairwise routes).
+
+    One Dijkstra pass per terminal supplies every pairwise length *and*
+    (via the memoized parent maps) every accepted route — previously
+    the O(T^2) pair loop ran a fresh search per pair plus another per
+    accepted edge.  The trees are identical: a pair's route is exactly
+    the parent walk of the search rooted at its first terminal.
     """
     grid = obstacle_grid(net, obstacles)
     terminal_gids = [grid.terminal_ids[n] for n in range(net.num_terminals)]
+    searches: Dict[int, Tuple[Dict[int, float], Dict[int, int]]] = {}
+
+    def search_from(a: int) -> Tuple[Dict[int, float], Dict[int, int]]:
+        if a not in searches:
+            searches[a] = grid.dijkstra_tree(a)
+        return searches[a]
+
     pairs = []
     for i, a in enumerate(terminal_gids):
+        dist, _ = search_from(a)
         for b in terminal_gids[i + 1 :]:
-            length = grid.shortest_path_length(a, b)
-            pairs.append((length, a, b))
+            pairs.append((dist.get(b, math.inf), a, b))
     pairs.sort()
     sets = DisjointSet(grid.num_nodes)
     edges: List[Tuple[int, int]] = []
@@ -159,16 +178,293 @@ def obstacle_mst(net: Net, obstacles: Sequence[Obstacle]) -> SteinerTree:
             raise InfeasibleError("obstacles disconnect the terminals")
         if sets.connected(a, b):
             continue
-        walk = grid.shortest_path_nodes(a, b)
-        _route_edges(grid, walk, sets, edges)
+        _, parent = search_from(a)
+        # Route a -> b, matching the historical traversal direction:
+        # _route_edges skips cycle edges as it walks, so the direction
+        # decides which edge of a re-entered component is kept.
+        _route_edges(grid, _parent_walk(parent, b)[::-1], sets, edges)
     tree = SteinerTree(net, grid, edges)
     if not tree.is_connected_tree():
         raise InfeasibleError("obstacle MST failed to connect all terminals")
     return tree
 
 
-def total_blocked_area(obstacles: Iterable[Obstacle]) -> float:
-    """Sum of obstacle areas (overlaps counted twice; diagnostic only)."""
-    return sum(
-        (o.max_x - o.min_x) * (o.max_y - o.min_y) for o in obstacles
+def bkst_obstacles(
+    net: Net,
+    eps: float,
+    obstacles: Sequence[Obstacle] = (),
+    cost_regions: Sequence[CostRegion] = (),
+    tolerance: float = 1e-9,
+    budget: Optional[Budget] = None,
+) -> SteinerTree:
+    """Bounded path length Steiner tree on a blocked, weighted grid.
+
+    The obstacle-aware sibling of :func:`~repro.steiner.bkst.bkst`:
+    every sink's *costed* tree path from the source is at most
+    ``(1 + eps) * R`` where ``R`` is the costed shortest-path radius —
+    the distance to the farthest sink as actually routable around
+    obstacles and through weighted regions (the geometric radius may be
+    unreachable).  Feasibility runs the BKRUS (3-a)/(3-b) conditions on
+    costed lengths throughout, and the returned tree carries
+    ``bound_radius = R`` so :meth:`SteinerTree.satisfies_bound` and the
+    ``REPRO_CHECK_INVARIANTS`` contract check the same costed bound.
+
+    Construction: Kruskal-ordered terminal pairs keyed on costed
+    shortest-path distances (one Dijkstra per terminal, parent maps
+    memoized), each accepted pair realised as the cheapest feasible
+    corridor along its shortest route; stranded fragments are completed
+    by the corridor router, and a restart loop pre-wires stranded sinks
+    along the source's shortest-path tree (each pre-wired path costs at
+    most ``R``, so the all-prewired limit is always feasible).
+
+    With no obstacles and no effective cost regions (all multipliers
+    ``1.0``), delegates to the plain Hanan-grid construction of the
+    active backend — bit-identical trees by construction.
+    """
+    if eps < 0 or math.isnan(eps):
+        raise InvalidParameterError(f"eps must be >= 0, got {eps}")
+    blocking, weighted = effective_regions(cost_regions)
+    if not obstacles and not blocking and not weighted:
+        if use_numpy():
+            return bkst_np(net, eps, tolerance=tolerance, budget=budget)
+        return bkst(net, eps, tolerance=tolerance, budget=budget)
+    if budget is None:
+        budget = active_budget()
+    grid = region_grid(net, obstacles, cost_regions)
+    traced = tracing_active()
+    forest_cls = _GridForestNP if use_numpy() else _GridForest
+    with span("bkst_obstacles"):
+        if traced:
+            incr("bkst.grid_nodes", grid.num_nodes)
+            incr("route.blocked_edges", grid.num_blocked_edges)
+            incr("route.costed_edges", grid.num_costed_edges)
+        return _bkst_obstacle_attempts(
+            net, eps, grid, tolerance, traced, budget, forest_cls
+        )
+
+
+def _bkst_obstacle_attempts(
+    net: Net,
+    eps: float,
+    grid: GridGraph,
+    tolerance: float,
+    traced: bool,
+    budget: Optional[Budget],
+    forest_cls: type,
+) -> SteinerTree:
+    """Restart loop of :func:`bkst_obstacles` (split out for span scope)."""
+    source_gid = grid.terminal_ids[SOURCE]
+    source_dist, source_parent = grid.dijkstra_tree(source_gid)
+    for node in range(1, net.num_terminals):  # lint: disable=R103 (one dict probe per sink)
+        if grid.terminal_ids[node] not in source_dist:
+            raise InfeasibleError(f"sink {node} is walled off by obstacles")
+    radius = max(
+        source_dist[grid.terminal_ids[node]]
+        for node in range(1, net.num_terminals)
     )
+    bound = (1.0 + eps) * radius if math.isfinite(eps) else math.inf
+
+    prewire: Set[int] = set()
+    for attempt in range(net.num_terminals + 1):
+        if traced and attempt > 0:
+            incr("bkst.restarts")
+        tree, stranded = _build_costed(
+            net, grid, bound, radius, prewire, source_dist, source_parent,
+            tolerance, traced, budget, forest_cls,
+        )
+        if tree is not None:
+            if not tree.is_connected_tree():
+                raise InfeasibleError(
+                    "bkst_obstacles produced a disconnected or cyclic result"
+                )
+            if (
+                math.isfinite(bound)
+                and tree.longest_sink_path() > bound + 1e-6
+            ):
+                raise InfeasibleError(
+                    "bkst_obstacles result violates the costed path bound "
+                    "— internal logic error"
+                )
+            return tree
+        if not stranded or stranded <= prewire:
+            break
+        prewire |= stranded
+    raise InfeasibleError(
+        "bkst_obstacles failed to converge — internal logic error"
+    )
+
+
+def _build_costed(
+    net: Net,
+    grid: GridGraph,
+    bound: float,
+    radius: float,
+    prewire: Set[int],
+    source_dist: Dict[int, float],
+    source_parent: Dict[int, int],
+    tolerance: float,
+    traced: bool,
+    budget: Optional[Budget],
+    forest_cls: type,
+) -> "Tuple[SteinerTree | None, Set[int]]":
+    """One costed construction attempt.
+
+    Returns ``(tree, set())`` on success or ``(None, stranded_gids)``
+    when some sinks could not be feasibly routed (restart signal).
+    """
+    source_gid = grid.terminal_ids[SOURCE]
+    forest = forest_cls(grid, source_gid)
+    # The forest's geometric source distances are unreachable around
+    # obstacles; feasibility witnesses must use the costed ones.
+    costed = np.full(grid.num_nodes, math.inf)
+    for node, value in source_dist.items():  # lint: disable=R103 (one array store per node)
+        costed[node] = value
+    forest.source_dist = costed  # lint: disable=R004 (the forest is private to this attempt; its geometric distances are meaningless on a blocked grid)
+    terminals = set(grid.terminal_ids.values())
+    active: Set[int] = set(terminals)
+
+    def splice_feasible(z: int, w: int, length: float) -> bool:
+        return forest.feasible_splice(z, w, length, bound, tolerance)
+
+    realiser = _PathRealiser(
+        grid, forest, terminals, active, source_gid, splice_feasible
+    )
+
+    def best_corridor_along(
+        walk: List[int], a: int, b: int
+    ) -> "List[int] | None":
+        """Cheapest feasible corridor along one concrete node walk."""
+        corridors = sorted(
+            realiser._corridors(walk, a, b), key=lambda item: item[0]
+        )
+        for length, segment in corridors:
+            if splice_feasible(segment[0], segment[-1], length):
+                return segment
+        return None
+
+    counter = itertools.count()
+    heap: List[Tuple[float, int, int, int]] = []
+    deferred: List[Tuple[float, int, int]] = []
+
+    def merge_path(nodes: List[int]) -> None:
+        if traced:
+            incr("bkst.steiner_merges")
+        for u, v in zip(nodes, nodes[1:]):
+            forest.merge_edge(u, v)
+        active.update(nodes)
+        while deferred:
+            d, da, db = deferred.pop()
+            if not forest.connected(da, db):
+                heapq.heappush(heap, (d, next(counter), da, db))
+
+    # Pre-wire previously stranded sinks along the source's shortest
+    # path tree, nearest first so earlier runs are splice targets for
+    # later ones rather than blockers.  A pre-wired sink's tree path is
+    # its costed shortest path (<= radius <= bound), so pre-wiring
+    # never violates the bound, and the all-prewired limit — the
+    # shortest path tree union — is always feasible.
+    stranded: Set[int] = set()
+    for gid in sorted(prewire, key=lambda g: (source_dist[g], g)):
+        if budget is not None:
+            budget.checkpoint()
+        if forest.connected(source_gid, gid):
+            continue
+        walk = _parent_walk(source_parent, gid)
+        segment = best_corridor_along(walk, source_gid, gid)
+        if segment is None:
+            # Another unconnected terminal sits on the walk; pre-wire
+            # it too on the next attempt (it is strictly nearer the
+            # source, so the sorted order wires it first).
+            for node in walk:  # lint: disable=R103 (one membership test per walk node)
+                if node in terminals and node != source_gid:
+                    stranded.add(node)
+            stranded.add(gid)
+            continue
+        merge_path(segment)
+    if stranded:
+        return None, stranded | prewire
+
+    # Kruskal-ordered terminal pairs on costed shortest-path lengths
+    # (one memoized Dijkstra per terminal).
+    searches: Dict[int, Tuple[Dict[int, float], Dict[int, int]]] = {}
+
+    def search_from(a: int) -> Tuple[Dict[int, float], Dict[int, int]]:
+        if a not in searches:
+            searches[a] = grid.dijkstra_tree(a)
+        return searches[a]
+
+    ordered = sorted(terminals)
+    for i, a in enumerate(ordered):
+        if budget is not None:
+            budget.checkpoint()
+        dist, _ = search_from(a)
+        for b in ordered[i + 1 :]:  # lint: disable=R103 (one heap push per pair; the enclosing loop checkpoints per terminal)
+            if b in dist and not forest.connected(a, b):
+                heapq.heappush(
+                    heap, (dist[b], next(counter), a, b)
+                )
+
+    def all_terminals_connected() -> bool:
+        return all(forest.connected(source_gid, t) for t in terminals)
+
+    spanning = all_terminals_connected()
+    while heap and not spanning:
+        if budget is not None:
+            budget.checkpoint()
+        d, _, a, b = heapq.heappop(heap)
+        if forest.connected(a, b):
+            continue
+        if traced:
+            incr("bkst.pairs_tried")
+        if not splice_feasible(a, b, d):
+            if traced:
+                incr("bkst.bound_rejections")
+            continue
+        _, parent = search_from(a)
+        segment = best_corridor_along(_parent_walk(parent, b), a, b)
+        if segment is None:
+            deferred.append((d, a, b))
+        else:
+            merge_path(segment)
+            spanning = all_terminals_connected()
+
+    if not all_terminals_connected():
+        stranded = _attach_leftovers(
+            realiser, merge_path, terminals, forest, source_gid, bound,
+            tolerance,
+        )
+        if stranded:
+            return None, stranded | prewire
+
+    return SteinerTree(net, grid, forest.edges, bound_radius=radius), set()
+
+
+def total_blocked_area(obstacles: Iterable[Obstacle]) -> float:
+    """Area of the *union* of the obstacle rectangles.
+
+    Computed on the compressed coordinate grid, so overlapping
+    obstacles are counted once (the sum of individual areas previously
+    reported here double-counted overlaps).
+    """
+    rectangles = list(obstacles)
+    if not rectangles:
+        return 0.0
+    xs = sorted(
+        {o.min_x for o in rectangles} | {o.max_x for o in rectangles}
+    )
+    ys = sorted(
+        {o.min_y for o in rectangles} | {o.max_y for o in rectangles}
+    )
+    total = 0.0
+    for i in range(len(xs) - 1):
+        for j in range(len(ys) - 1):
+            covered = any(
+                o.min_x <= xs[i]
+                and xs[i + 1] <= o.max_x
+                and o.min_y <= ys[j]
+                and ys[j + 1] <= o.max_y
+                for o in rectangles
+            )
+            if covered:
+                total += (xs[i + 1] - xs[i]) * (ys[j + 1] - ys[j])
+    return total

@@ -1,0 +1,149 @@
+"""Weighted-region routing substrate (cost maps over the grid).
+
+Obstacles model hard keep-outs; many physical-design scenarios are
+softer — congestion maps, noisy neighbourhoods, double-spacing zones —
+where routing *through* a region is allowed but costs more than routing
+around it.  A :class:`CostRegion` is the rectangular primitive for that:
+edges crossing its open interior cost ``multiplier`` times their
+geometric length.  An ``inf`` multiplier degenerates to a hard blockage,
+so obstacles are the limiting case of the same seam (they register
+through :meth:`~repro.steiner.grid_graph.GridGraph.add_cost_region`'s
+``inf`` branch, which delegates to ``add_obstacle``).
+
+:func:`region_grid` builds the channel-intersection-style grid whose
+lines run through every terminal *and* every region boundary, then
+registers blockages and cost factors on it.  Identity regions
+(``multiplier == 1.0``) are dropped before any grid line is added, so a
+cost map of all ones yields a grid — and therefore trees — bit-identical
+to the uncosted construction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net
+from repro.steiner.grid_graph import GridGraph
+from repro.steiner.hanan import hanan_coordinates
+
+__all__ = ["CostRegion", "effective_regions", "region_grid"]
+
+
+@dataclass(frozen=True)
+class CostRegion:
+    """A rectangular weighted region (congestion, soft keep-out).
+
+    Grid edges crossing the *open* interior cost ``multiplier`` times
+    their geometric length; boundary edges stay at unit cost, so routes
+    may hug the region.  ``multiplier`` must be ``>= 1`` — regions make
+    routing more expensive, never cheaper — with two special values:
+    ``1.0`` is an explicit no-op (dropped before grid construction) and
+    ``inf`` turns the region into a hard blockage.  Zero-area
+    rectangles are rejected: they could inject grid lines yet cost
+    nothing, which is never what the caller meant.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+    multiplier: float
+
+    def __post_init__(self) -> None:
+        if self.min_x >= self.max_x or self.min_y >= self.max_y:
+            raise InvalidParameterError(
+                f"cost region must have positive area: {self}"
+            )
+        if math.isnan(self.multiplier) or self.multiplier < 1.0:
+            raise InvalidParameterError(
+                f"cost multiplier must be >= 1.0: {self}"
+            )
+
+    @property
+    def is_blocking(self) -> bool:
+        """True when the region is an ``inf``-cost hard blockage."""
+        return math.isinf(self.multiplier)
+
+    def contains_point(self, point: Tuple[float, float]) -> bool:
+        """Is ``point`` strictly inside the region?"""
+        return (
+            self.min_x < point[0] < self.max_x
+            and self.min_y < point[1] < self.max_y
+        )
+
+
+def effective_regions(
+    cost_regions: Sequence[CostRegion],
+) -> Tuple[List[CostRegion], List[CostRegion]]:
+    """Split regions into ``(blocking, weighted)``, dropping identities.
+
+    ``blocking`` holds the ``inf``-multiplier regions (they behave as
+    obstacles), ``weighted`` the finite multipliers ``> 1``.  Regions
+    with ``multiplier == 1.0`` appear in neither: they must not even
+    contribute grid lines, so an all-ones cost map reproduces the
+    uncosted grid exactly.
+    """
+    blocking: List[CostRegion] = []
+    weighted: List[CostRegion] = []
+    for region in cost_regions:  # lint: disable=R103 (one classification per region; grid-construction time)
+        if region.is_blocking:
+            blocking.append(region)
+        elif region.multiplier != 1.0:  # lint: disable=R002 (1.0 is the exact identity sentinel; near-1 multipliers are real factors)
+            weighted.append(region)
+    return blocking, weighted
+
+
+def region_grid(
+    net: Net,
+    obstacles: Sequence = (),
+    cost_regions: Sequence[CostRegion] = (),
+) -> GridGraph:
+    """The routing grid for ``net`` with blockages and cost regions.
+
+    Grid lines run through every terminal coordinate and every
+    (effective) region boundary, so routes can hug blockages and
+    region edges; obstacle interiors are unroutable and weighted
+    interiors carry their multiplier.  ``obstacles`` accepts any
+    rectangle-like objects with ``min_x``/``min_y``/``max_x``/``max_y``
+    attributes (:class:`~repro.steiner.obstacles.Obstacle` or blocking
+    :class:`CostRegion` instances).  Terminals strictly inside a
+    blockage are rejected; terminals inside a weighted region are fine
+    (their wires are merely expensive).
+    """
+    blocking, weighted = effective_regions(cost_regions)
+    blockers = list(obstacles) + blocking
+    points = [net.point(node) for node in range(net.num_terminals)]
+    for rect in blockers:  # lint: disable=R103 (terminal containment scan; grid-construction time)
+        for node, point in enumerate(points):
+            if (
+                rect.min_x < point[0] < rect.max_x
+                and rect.min_y < point[1] < rect.max_y
+            ):
+                raise InvalidParameterError(
+                    f"terminal {node} at {point} lies inside {rect}"
+                )
+    xs, ys = hanan_coordinates(points)
+    rects = blockers + weighted
+    extra_xs = {r.min_x for r in rects} | {r.max_x for r in rects}
+    extra_ys = {r.min_y for r in rects} | {r.max_y for r in rects}
+    grid = GridGraph(
+        sorted(set(xs) | extra_xs),
+        sorted(set(ys) | extra_ys),
+    )
+    grid.terminal_ids = {
+        node: grid.id_at(net.point(node)) for node in range(net.num_terminals)
+    }
+    for rect in blockers:  # lint: disable=R103 (vectorized edge blocking per rectangle; grid-construction time)
+        grid.add_obstacle(rect.min_x, rect.min_y, rect.max_x, rect.max_y)
+    for region in weighted:  # lint: disable=R103 (vectorized factor registration per region; grid-construction time)
+        grid.add_cost_region(
+            region.min_x,
+            region.min_y,
+            region.max_x,
+            region.max_y,
+            region.multiplier,
+        )
+    return grid

@@ -1,0 +1,101 @@
+"""Route-segment export: trees as physically routable wire runs.
+
+A :class:`~repro.steiner.bkst.SteinerTree` is a set of unit grid edges —
+fine for cost arithmetic, noisy for anything downstream (DEF-style
+routing dumps, renderers, sanity diffs against a router).  This module
+flattens a tree's edge set into :class:`RouteSegment` runs: maximal
+axis-aligned horizontal/vertical stretches with collinear adjacent grid
+edges merged.  Merging never moves a wire, so the summed geometric
+length of the segments equals the tree's total wire length (and
+therefore its cost on an uncosted grid) — exactly so on the integer
+coordinates the benchmark instances use, and up to float associativity
+on arbitrary ones (a merged run's length is the difference of its
+endpoints, not the re-summed member edges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.observability import incr, tracing_active
+from repro.steiner.grid_graph import GridGraph
+
+__all__ = ["RouteSegment", "route_segments"]
+
+
+@dataclass(frozen=True)
+class RouteSegment:
+    """One maximal axis-aligned wire run, endpoint coordinates sorted.
+
+    Horizontal runs have ``y1 == y2`` and ``x1 < x2``; vertical runs
+    have ``x1 == x2`` and ``y1 < y2``.
+    """
+
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+
+    @property
+    def is_horizontal(self) -> bool:
+        return self.y1 == self.y2
+
+    @property
+    def length(self) -> float:
+        return abs(self.x2 - self.x1) + abs(self.y2 - self.y1)
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-friendly form (the CLI's segment list rows)."""
+        return {"x1": self.x1, "y1": self.y1, "x2": self.x2, "y2": self.y2}
+
+
+def _merge_runs(cells: List[int]) -> List[Tuple[int, int]]:
+    """Merge sorted unit intervals ``[c, c+1]`` into maximal runs."""
+    runs: List[Tuple[int, int]] = []
+    for cell in cells:
+        if runs and runs[-1][1] == cell:
+            runs[-1] = (runs[-1][0], cell + 1)
+        else:
+            runs.append((cell, cell + 1))
+    return runs
+
+
+def route_segments(
+    grid: GridGraph, edges: List[Tuple[int, int]]
+) -> List[RouteSegment]:
+    """Collinear-merged wire runs covering ``edges`` exactly once.
+
+    Horizontal segments come first (by row, then start column), then
+    vertical ones (by column, then start row) — a stable order for
+    golden files.  Runs merge straight through T-junctions and
+    crossings; only collinearity matters.
+    """
+    ncols = grid.num_cols
+    horizontal: Dict[int, List[int]] = {}
+    vertical: Dict[int, List[int]] = {}
+    for u, v in edges:
+        a, b = (u, v) if u < v else (v, u)
+        row, col = divmod(a, ncols)
+        if b == a + 1:
+            horizontal.setdefault(row, []).append(col)
+        elif b == a + ncols:
+            vertical.setdefault(col, []).append(row)
+        else:
+            raise ValueError(f"({u}, {v}) is not a grid edge")
+    segments: List[RouteSegment] = []
+    for row in sorted(horizontal):
+        y = grid.ys[row]
+        for start, stop in _merge_runs(sorted(horizontal[row])):
+            segments.append(
+                RouteSegment(grid.xs[start], y, grid.xs[stop], y)
+            )
+    for col in sorted(vertical):
+        x = grid.xs[col]
+        for start, stop in _merge_runs(sorted(vertical[col])):
+            segments.append(
+                RouteSegment(x, grid.ys[start], x, grid.ys[stop])
+            )
+    if tracing_active():
+        incr("route.segments", len(segments))
+    return segments

@@ -35,6 +35,95 @@ class TestCommands:
         assert main(["route", "--benchmark", "nope"]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_route_segments_json_stdout(self, capsys):
+        import json
+        import math
+
+        code = main(
+            [
+                "route",
+                "--benchmark",
+                "rnd8_3",
+                "--algorithm",
+                "bkst_obstacles",
+                "--eps",
+                "0.2",
+                "--obstacle",
+                "550,550,850,850",
+                "--cost-region",
+                "100,100,500,500,2.5",
+                "--segments-json",
+                "-",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "bkst_obstacles"
+        assert payload["num_obstacles"] == 1
+        assert payload["num_cost_regions"] == 1
+        assert payload["num_blocked_edges"] > 0
+        assert payload["num_costed_edges"] > 0
+        total = sum(
+            abs(s["x2"] - s["x1"]) + abs(s["y2"] - s["y1"])
+            for s in payload["segments"]
+        )
+        assert math.isclose(total, payload["total_segment_length"])
+        assert math.isclose(total, payload["wire_length"])
+        assert payload["longest_sink_path"] <= payload["bound"] + 1e-6
+
+    def test_route_segments_json_file(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "segments.json"
+        code = main(
+            [
+                "route",
+                "--benchmark",
+                "rnd5_0",
+                "--algorithm",
+                "bkst_obstacles",
+                "--eps",
+                "0.3",
+                "--segments-json",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["segments"]
+        out = capsys.readouterr().out
+        assert "segments written to" in out
+
+    def test_route_obstacle_needs_bkst_obstacles(self, capsys):
+        code = main(
+            [
+                "route",
+                "--benchmark",
+                "p1",
+                "--algorithm",
+                "bkrus",
+                "--obstacle",
+                "550,550,850,850",
+            ]
+        )
+        assert code == 1
+        assert "bkst_obstacles" in capsys.readouterr().err
+
+    def test_route_bad_obstacle_spec_rejected_at_parse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "route",
+                    "--benchmark",
+                    "p1",
+                    "--algorithm",
+                    "bkst_obstacles",
+                    "--obstacle",
+                    "1,2,3",
+                ]
+            )
+        assert "XMIN,YMIN,XMAX,YMAX" in capsys.readouterr().err
+
     def test_batch(self, capsys):
         code = main(
             [

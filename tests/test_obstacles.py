@@ -4,16 +4,22 @@ import math
 
 import pytest
 
+from repro.core.disjoint_set import DisjointSet
 from repro.core.exceptions import InfeasibleError, InvalidParameterError
 from repro.core.net import Net
+from repro.steiner.bkst import SteinerTree, bkst
+from repro.steiner.bkst_np import bkst_np
 from repro.steiner.grid_graph import GridGraph
 from repro.steiner.obstacles import (
     Obstacle,
+    _route_edges,
+    bkst_obstacles,
     obstacle_grid,
     obstacle_mst,
     obstacle_spt,
     total_blocked_area,
 )
+from repro.steiner.regions import CostRegion
 from repro.analysis.validation import assert_valid, check_steiner_tree
 from repro.instances.random_nets import random_net
 
@@ -97,6 +103,30 @@ class TestObstacleGrid:
         with pytest.raises(InvalidParameterError):
             Obstacle(2, 0, 0, 1)
 
+    def test_zero_area_obstacle_rejected(self):
+        # A zero-width or zero-height rectangle has no interior to
+        # block, yet would inject grid lines; the constructor rejects
+        # it rather than letting it silently distort the substrate.
+        with pytest.raises(InvalidParameterError):
+            Obstacle(1, 0, 1, 5)
+        with pytest.raises(InvalidParameterError):
+            Obstacle(0, 3, 5, 3)
+        with pytest.raises(InvalidParameterError):
+            Obstacle(2, 2, 2, 2)
+
+    def test_total_blocked_area_unions_overlaps(self):
+        # Two 2x2 squares overlapping in a 1x1 corner: the union covers
+        # 7 units, not 8 (the overlap must not be counted twice).
+        overlapping = [Obstacle(0, 0, 2, 2), Obstacle(1, 1, 3, 3)]
+        assert total_blocked_area(overlapping) == 7.0
+        # A rectangle nested inside another adds nothing.
+        nested = [Obstacle(0, 0, 4, 4), Obstacle(1, 1, 2, 2)]
+        assert total_blocked_area(nested) == 16.0
+        # Disjoint rectangles still sum.
+        disjoint = [Obstacle(0, 0, 1, 1), Obstacle(5, 5, 7, 6)]
+        assert total_blocked_area(disjoint) == 3.0
+        assert total_blocked_area([]) == 0.0
+
 
 class TestObstacleTrees:
     def test_spt_detours_around_block(self):
@@ -149,3 +179,211 @@ class TestObstacleTrees:
         ]
         with pytest.raises(InfeasibleError):
             obstacle_spt(net, frame)
+
+
+# A fractional-coordinate instance where monotone routes around the
+# obstacle have float lengths differing by a few ulps.  The historical
+# Dijkstra relaxed with ``candidate < dist - 1e-12``, so it kept the
+# first-found (iteration-order-dependent) route instead of the exact
+# shortest one; the tests below pin the exact behaviour.
+_FRACTIONAL_POINTS = [
+    (23.6, 10.3), (39.6, 15.5), (6.7, 40.2), (91.8, 80.0),
+    (76.5, 22.2), (53.7, 27.7), (17.3, 10.6),
+]
+_FRACTIONAL_OBSTACLE = Obstacle(30.05, 30.05, 70.05, 70.05)
+
+
+def _mirror_x(net, obstacles):
+    """The instance reflected through x -> -x (an IEEE-exact map)."""
+    points = [net.point(i) for i in range(net.num_terminals)]
+    mirrored = [(-x, y) for x, y in points]
+    return (
+        Net(mirrored[0], mirrored[1:]),
+        [Obstacle(-o.max_x, o.min_y, -o.min_x, o.max_y) for o in obstacles],
+    )
+
+
+def _mirror_edges(tree):
+    """Tree edges mapped through the column reversal of x -> -x."""
+    ncols = tree.grid.num_cols
+    mapped = set()
+    for a, b in tree.edges:
+        ma = (a // ncols) * ncols + (ncols - 1 - a % ncols)
+        mb = (b // ncols) * ncols + (ncols - 1 - b % ncols)
+        mapped.add((min(ma, mb), max(ma, mb)))
+    return mapped
+
+
+class TestSptDeterminism:
+    def test_paths_bitwise_equal_exact_dijkstra(self):
+        # Pre-fix, the 1e-12 relaxation slop could keep an ulp-longer
+        # first-found route (sink 1 here measured 21.2 instead of the
+        # exact 21.199999999999996); paths must now match the exact
+        # shortest-path distances bit for bit.
+        net = Net(_FRACTIONAL_POINTS[0], _FRACTIONAL_POINTS[1:])
+        tree = obstacle_spt(net, [_FRACTIONAL_OBSTACLE])
+        dist, _ = tree.grid.dijkstra_tree(tree.grid.terminal_ids[0])
+        paths = tree.sink_path_lengths()
+        for node in range(1, net.num_terminals):
+            assert paths[node] == dist[tree.grid.terminal_ids[node]]
+
+    def test_run_to_run_identity(self):
+        net = Net(_FRACTIONAL_POINTS[0], _FRACTIONAL_POINTS[1:])
+        first = obstacle_spt(net, [_FRACTIONAL_OBSTACLE])
+        second = obstacle_spt(net, [_FRACTIONAL_OBSTACLE])
+        assert sorted(map(tuple, first.edges)) == sorted(map(tuple, second.edges))
+
+    def test_reflected_instance_identity(self):
+        # Reflection reverses the neighbour iteration order, so any
+        # order-dependent route choice shows up as a mirror mismatch.
+        net = Net(_FRACTIONAL_POINTS[0], _FRACTIONAL_POINTS[1:])
+        obstacles = [_FRACTIONAL_OBSTACLE]
+        tree = obstacle_spt(net, obstacles)
+        mirrored_net, mirrored_obstacles = _mirror_x(net, obstacles)
+        mirrored = obstacle_spt(mirrored_net, mirrored_obstacles)
+        original = {(min(a, b), max(a, b)) for a, b in tree.edges}
+        assert _mirror_edges(mirrored) == original
+        assert mirrored.sink_path_lengths() == tree.sink_path_lengths()
+
+
+class TestMstEquivalence:
+    @staticmethod
+    def _per_pair_mst(net, obstacles):
+        """The historical O(T^2)-searches structure, exact primitives:
+        a fresh shortest-path query per pair and per accepted edge."""
+        grid = obstacle_grid(net, obstacles)
+        gids = [grid.terminal_ids[n] for n in range(net.num_terminals)]
+        pairs = []
+        for i, a in enumerate(gids):
+            for b in gids[i + 1:]:
+                pairs.append((grid.shortest_path_length(a, b), a, b))
+        pairs.sort()
+        sets = DisjointSet(grid.num_nodes)
+        edges = []
+        for length, a, b in pairs:
+            if math.isinf(length):
+                raise InfeasibleError("obstacles disconnect the terminals")
+            if sets.connected(a, b):
+                continue
+            _route_edges(grid, grid.shortest_path_nodes(a, b), sets, edges)
+        return SteinerTree(net, grid, edges)
+
+    @pytest.mark.parametrize("seed", [0, 3, 8, 14])
+    def test_single_pass_matches_per_pair(self, seed):
+        # The memoized one-Dijkstra-per-terminal implementation must
+        # produce trees identical to the per-pair structure it replaced.
+        # The seeds keep every terminal clear of the fixture obstacle.
+        net = random_net(8, seed)
+        obstacles = [Obstacle(250, 400, 460, 650)]
+        assert not any(
+            obstacles[0].contains_point(net.point(i))
+            for i in range(net.num_terminals)
+        )
+        fast = obstacle_mst(net, obstacles)
+        slow = self._per_pair_mst(net, obstacles)
+        assert sorted(map(tuple, fast.edges)) == sorted(map(tuple, slow.edges))
+        assert fast.cost == slow.cost
+
+    def test_disconnected_terminals_raise(self):
+        net = Net((0, 0), [(10, 0)])
+        frame = [
+            Obstacle(7, -3, 13, -1),
+            Obstacle(7, 1, 13, 3),
+            Obstacle(7, -3, 8.5, 3),
+            Obstacle(11, -3, 13, 3),
+        ]
+        with pytest.raises(InfeasibleError):
+            obstacle_mst(net, frame)
+
+
+class TestBkstObstacles:
+    @pytest.fixture(params=["reference", "numpy"])
+    def backend(self, request, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", request.param)
+        return request.param
+
+    def test_costed_bound_holds(self, backend):
+        net = random_net(10, 2)
+        obstacles = [Obstacle(250, 400, 460, 650)]
+        regions = [CostRegion(500, 100, 900, 380, 2.0)]
+        for eps in (0.0, 0.1, 0.5, math.inf):
+            tree = bkst_obstacles(
+                net, eps, obstacles=obstacles, cost_regions=regions
+            )
+            assert tree.is_connected_tree()
+            assert tree.satisfies_bound(eps)
+            # The bound is evaluated on costed lengths against the
+            # costed radius carried by the tree.
+            assert tree.bound_radius is not None
+
+    def test_all_ones_cost_map_bit_identical_to_bkst(self, backend):
+        # Metamorphic: identity regions are dropped before the grid is
+        # built, so the costed path must reproduce plain BKST exactly.
+        plain = bkst_np if backend == "numpy" else bkst
+        for seed in (1, 4, 9):
+            net = random_net(9, seed)
+            regions = [CostRegion(111.5, 222.5, 333.5, 444.5, 1.0)]
+            costed = bkst_obstacles(net, 0.25, cost_regions=regions)
+            reference = plain(net, 0.25)
+            assert costed.edges == reference.edges
+            assert costed.cost == reference.cost
+
+    def test_contract_checked_runner(self, backend, monkeypatch):
+        from repro.analysis.runners import get_runner
+
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+        net = random_net(8, 3)
+        runner = get_runner("bkst_obstacles")
+        tree = runner(
+            net,
+            0.2,
+            obstacles=[Obstacle(550, 550, 850, 850)],
+            cost_regions=[CostRegion(100, 100, 500, 500, 2.5)],
+        )
+        assert tree.is_connected_tree()
+        bare = runner(net, 0.2)
+        assert bare.cost == (bkst_np if backend == "numpy" else bkst)(net, 0.2).cost
+
+    def test_walled_off_sink_raises(self, backend):
+        net = Net((0, 0), [(10, 0)])
+        frame = [
+            Obstacle(7, -3, 13, -1),
+            Obstacle(7, 1, 13, 3),
+            Obstacle(7, -3, 8.5, 3),
+            Obstacle(11, -3, 13, 3),
+        ]
+        with pytest.raises(InfeasibleError):
+            bkst_obstacles(net, 0.5, obstacles=frame)
+
+    def test_blocking_region_walls_off_too(self, backend):
+        net = Net((0, 0), [(10, 0)])
+        frame = [
+            CostRegion(7, -3, 13, -1, math.inf),
+            CostRegion(7, 1, 13, 3, math.inf),
+            CostRegion(7, -3, 8.5, 3, math.inf),
+            CostRegion(11, -3, 13, 3, math.inf),
+        ]
+        with pytest.raises(InfeasibleError):
+            bkst_obstacles(net, 0.5, cost_regions=frame)
+
+    def test_terminal_on_obstacle_boundary_routes(self, backend):
+        # Terminals on a blockage boundary are legal: boundary edges
+        # stay routable, so the wire hugs the rectangle.
+        net = Net((0, 0), [(5, 5), (10, 2)])
+        tree = bkst_obstacles(net, 0.3, obstacles=[Obstacle(5, 5, 8, 8)])
+        assert tree.is_connected_tree()
+        assert tree.satisfies_bound(0.3)
+
+    def test_expensive_region_changes_routing(self, backend):
+        # A severe congestion region on the direct corridor: the costed
+        # tree pays more than the uncosted one, but stays within bound.
+        net = random_net(8, 6)
+        regions = [CostRegion(200, 200, 800, 800, 8.0)]
+        costed = bkst_obstacles(net, 0.4, cost_regions=regions)
+        plain = bkst(net, 0.4)
+        assert costed.cost >= plain.cost
+        assert costed.satisfies_bound(0.4)
+
+    def test_invalid_eps_rejected(self, backend):
+        with pytest.raises(InvalidParameterError):
+            bkst_obstacles(random_net(5, 0), -0.1)

@@ -1,0 +1,156 @@
+"""Tests for weighted cost regions and the costed grid substrate."""
+
+import math
+
+import pytest
+
+from repro.core.exceptions import InvalidParameterError
+from repro.core.net import Net
+from repro.steiner.grid_graph import GridGraph
+from repro.steiner.obstacles import Obstacle
+from repro.steiner.regions import CostRegion, effective_regions, region_grid
+
+
+class TestCostRegionDataclass:
+    def test_valid_region(self):
+        region = CostRegion(0, 0, 2, 3, 2.5)
+        assert region.multiplier == 2.5
+        assert not region.is_blocking
+        assert region.contains_point((1, 1))
+        assert not region.contains_point((0, 0))  # boundary is not inside
+
+    def test_inf_multiplier_is_blocking(self):
+        assert CostRegion(0, 0, 1, 1, math.inf).is_blocking
+
+    def test_inverted_rectangle_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            CostRegion(2, 0, 0, 1, 2.0)
+
+    def test_zero_area_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            CostRegion(0, 0, 0, 1, 2.0)
+        with pytest.raises(InvalidParameterError):
+            CostRegion(0, 1, 5, 1, 2.0)
+
+    def test_discount_multiplier_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            CostRegion(0, 0, 1, 1, 0.5)
+        with pytest.raises(InvalidParameterError):
+            CostRegion(0, 0, 1, 1, math.nan)
+
+    def test_identity_multiplier_allowed_but_ineffective(self):
+        identity = CostRegion(0, 0, 1, 1, 1.0)
+        blocking, weighted = effective_regions([identity])
+        assert blocking == [] and weighted == []
+
+    def test_effective_regions_split(self):
+        hard = CostRegion(0, 0, 1, 1, math.inf)
+        soft = CostRegion(2, 2, 3, 3, 1.5)
+        blocking, weighted = effective_regions([hard, soft])
+        assert blocking == [hard]
+        assert weighted == [soft]
+
+
+class TestGridCostRegions:
+    @pytest.fixture
+    def grid(self):
+        return GridGraph([0.0, 1.0, 2.0, 3.0], [0.0, 1.0, 2.0, 3.0])
+
+    def test_interior_edges_scaled(self, grid):
+        count = grid.add_cost_region(0.5, 0.5, 2.5, 2.5, 3.0)
+        assert count > 0
+        assert grid.num_costed_edges == count
+        a = grid.id_at((1.0, 1.0))
+        b = grid.id_at((2.0, 1.0))
+        assert grid.edge_length(a, b) == 1.0
+        assert grid.edge_cost(a, b) == 3.0
+        # Boundary edges (y=0 row) stay at unit cost.
+        assert grid.edge_cost(grid.id_at((1.0, 0.0)), grid.id_at((2.0, 0.0))) == 1.0
+
+    def test_neighbors_yield_costed_lengths(self, grid):
+        grid.add_cost_region(0.5, 0.5, 2.5, 2.5, 4.0)
+        a = grid.id_at((1.0, 1.0))
+        lengths = dict(grid.neighbors(a))
+        assert lengths[grid.id_at((2.0, 1.0))] == 4.0
+
+    def test_overlapping_regions_multiply(self, grid):
+        grid.add_cost_region(0.5, 0.5, 2.5, 2.5, 2.0)
+        grid.add_cost_region(0.5, 0.5, 2.5, 2.5, 3.0)
+        a = grid.id_at((1.0, 1.0))
+        b = grid.id_at((2.0, 1.0))
+        assert grid.edge_cost(a, b) == 6.0
+
+    def test_inf_multiplier_blocks(self, grid):
+        grid.add_cost_region(0.5, 0.5, 2.5, 2.5, math.inf)
+        a = grid.id_at((1.0, 1.0))
+        b = grid.id_at((2.0, 1.0))
+        assert grid.is_blocked(a, b)
+        assert grid.num_costed_edges == 0
+
+    def test_identity_multiplier_noop(self, grid):
+        assert grid.add_cost_region(0.5, 0.5, 2.5, 2.5, 1.0) == 0
+        assert grid.num_costed_edges == 0
+
+    def test_bad_multiplier_rejected(self, grid):
+        with pytest.raises(InvalidParameterError):
+            grid.add_cost_region(0.5, 0.5, 2.5, 2.5, 0.9)
+        with pytest.raises(InvalidParameterError):
+            grid.add_cost_region(0.5, 0.5, 2.5, 2.5, math.nan)
+
+    def test_shortest_path_detours_around_expensive_region(self, grid):
+        # Crossing costs 5x per unit; the perimeter detour is cheaper.
+        grid.add_cost_region(0.5, -0.5, 2.5, 2.5, 5.0)
+        a = grid.id_at((0.0, 1.0))
+        b = grid.id_at((3.0, 1.0))
+        length = grid.shortest_path_length(a, b)
+        assert length > grid.manhattan(a, b)
+        walk = grid.shortest_path_nodes(a, b)
+        assert math.isclose(grid.path_cost(walk), length)
+
+    def test_crossing_wins_when_detour_blocked(self):
+        # A corridor grid where the only route crosses the region.
+        # Edges partially inside count in full (same semantics as
+        # add_obstacle), so all three unit edges carry the factor.
+        grid = GridGraph([0.0, 1.0, 2.0, 3.0], [0.0])
+        grid.add_cost_region(0.5, -0.5, 2.5, 0.5, 2.0)
+        a = grid.id_at((0.0, 0.0))
+        b = grid.id_at((3.0, 0.0))
+        assert grid.shortest_path_length(a, b) == pytest.approx(6.0)
+
+
+class TestRegionGrid:
+    def test_lines_include_region_boundaries(self):
+        net = Net((0, 0), [(10, 0), (10, 10)])
+        grid = region_grid(net, cost_regions=[CostRegion(3, -1, 6, 4, 2.0)])
+        assert 3.0 in grid.xs and 6.0 in grid.xs
+        assert -1.0 in grid.ys and 4.0 in grid.ys
+        assert grid.num_costed_edges > 0
+
+    def test_identity_region_adds_no_lines(self):
+        net = Net((0, 0), [(10, 0), (10, 10)])
+        plain = region_grid(net)
+        with_identity = region_grid(
+            net, cost_regions=[CostRegion(3.3, -1.1, 6.6, 4.4, 1.0)]
+        )
+        assert with_identity.xs == plain.xs
+        assert with_identity.ys == plain.ys
+        assert with_identity.num_costed_edges == 0
+
+    def test_blocking_region_behaves_like_obstacle(self):
+        net = Net((0, 0), [(10, 0), (10, 10)])
+        hard = region_grid(
+            net, cost_regions=[CostRegion(3, -1, 6, 4, math.inf)]
+        )
+        via_obstacle = region_grid(net, obstacles=[Obstacle(3, -1, 6, 4)])
+        assert hard.num_blocked_edges == via_obstacle.num_blocked_edges > 0
+        assert hard.num_costed_edges == 0
+
+    def test_terminal_inside_blocking_region_rejected(self):
+        net = Net((0, 0), [(5, 5)])
+        with pytest.raises(InvalidParameterError):
+            region_grid(net, cost_regions=[CostRegion(4, 4, 6, 6, math.inf)])
+
+    def test_terminal_inside_weighted_region_allowed(self):
+        net = Net((0, 0), [(5, 5)])
+        grid = region_grid(net, cost_regions=[CostRegion(4, 4, 6, 6, 2.0)])
+        assert grid.num_costed_edges > 0

@@ -1,0 +1,110 @@
+"""Tests for route-segment export (collinear-merged wire runs)."""
+
+import math
+
+import pytest
+
+from repro.core.net import Net
+from repro.instances.random_nets import random_net
+from repro.observability import start_trace
+from repro.steiner.bkst import bkst
+from repro.steiner.grid_graph import GridGraph
+from repro.steiner.obstacles import Obstacle, bkst_obstacles, obstacle_spt
+from repro.steiner.regions import CostRegion
+from repro.steiner.routes import RouteSegment, route_segments
+
+
+class TestRouteSegment:
+    def test_horizontal(self):
+        seg = RouteSegment(1.0, 2.0, 5.0, 2.0)
+        assert seg.is_horizontal
+        assert seg.length == 4.0
+        assert seg.as_dict() == {"x1": 1.0, "y1": 2.0, "x2": 5.0, "y2": 2.0}
+
+    def test_vertical(self):
+        seg = RouteSegment(3.0, 0.0, 3.0, 7.0)
+        assert not seg.is_horizontal
+        assert seg.length == 7.0
+
+
+class TestRouteSegments:
+    @pytest.fixture
+    def grid(self):
+        return GridGraph([0.0, 1.0, 2.0, 3.0], [0.0, 1.0, 2.0])
+
+    def test_collinear_edges_merge(self, grid):
+        # Three unit edges along the bottom row -> one segment.
+        edges = [(0, 1), (1, 2), (2, 3)]
+        segments = route_segments(grid, edges)
+        assert segments == [RouteSegment(0.0, 0.0, 3.0, 0.0)]
+
+    def test_gap_splits_runs(self, grid):
+        edges = [(0, 1), (2, 3)]
+        segments = route_segments(grid, edges)
+        assert segments == [
+            RouteSegment(0.0, 0.0, 1.0, 0.0),
+            RouteSegment(2.0, 0.0, 3.0, 0.0),
+        ]
+
+    def test_merge_through_t_junction(self, grid):
+        # A horizontal run crossed by a vertical stub at x=1: the
+        # horizontal run still merges into a single segment.
+        edges = [(0, 1), (1, 2), (1, 5)]
+        segments = route_segments(grid, edges)
+        assert RouteSegment(0.0, 0.0, 2.0, 0.0) in segments
+        assert RouteSegment(1.0, 0.0, 1.0, 1.0) in segments
+        assert len(segments) == 2
+
+    def test_deterministic_order(self, grid):
+        edges = [(1, 5), (0, 1), (4, 5), (1, 2)]
+        assert route_segments(grid, edges) == route_segments(
+            grid, list(reversed(edges))
+        )
+
+    def test_empty_edges(self, grid):
+        assert route_segments(grid, []) == []
+
+
+class TestTreeRouteSegments:
+    def test_total_length_equals_cost_uncosted(self):
+        # On an uncosted grid the collinear-merged runs cover every tree
+        # edge exactly once, so their total length is the tree cost.
+        for seed in (0, 1, 2):
+            tree = bkst(random_net(10, seed), 0.2)
+            segments = tree.route_segments()
+            total = sum(segment.length for segment in segments)
+            assert total == pytest.approx(tree.cost)
+            assert total == pytest.approx(tree.wire_length)
+
+    def test_total_length_equals_wire_length_costed(self):
+        # With cost regions, segments measure geometry (wire length);
+        # the tree cost is at least that since multipliers are >= 1.
+        net = random_net(8, 5)
+        tree = bkst_obstacles(
+            net, 0.3, cost_regions=[CostRegion(200, 200, 800, 800, 2.0)]
+        )
+        total = sum(segment.length for segment in tree.route_segments())
+        assert total == pytest.approx(tree.wire_length)
+        assert tree.cost >= tree.wire_length - 1e-9
+
+    def test_segments_avoid_obstacle_interiors(self):
+        net = Net((0, 0), [(10, 0)])
+        wall = Obstacle(4, -5, 6, 5)
+        tree = obstacle_spt(net, [wall])
+        for segment in tree.route_segments():
+            midpoint = (
+                (segment.x1 + segment.x2) / 2.0,
+                (segment.y1 + segment.y2) / 2.0,
+            )
+            if segment.is_horizontal:
+                assert not (
+                    wall.min_x < midpoint[0] < wall.max_x
+                    and wall.min_y < midpoint[1] < wall.max_y
+                ), f"segment {segment} crosses the wall"
+
+    def test_segment_counter_emitted(self):
+        tree = bkst(random_net(6, 7), 0.2)
+        with start_trace("t") as session:
+            segments = tree.route_segments()
+        totals = session.root.counter_totals()
+        assert totals["route.segments"] == len(segments) > 0
